@@ -1,0 +1,194 @@
+//! The AutoML knowledge base and the two inference pipelines of Figure 9.
+
+use lids_ml::MlFrame;
+use lids_vector::cosine_similarity;
+
+use crate::portfolio::{default_config, Config, ModelKind};
+use crate::search::{search, SearchResult};
+
+/// One seen dataset in the knowledge base: its embedding, the estimator
+/// top-voted pipelines used, and the hyperparameter configurations
+/// harvested from those pipelines (name/value pairs per the documentation
+/// analysis).
+#[derive(Debug, Clone)]
+pub struct SeenDataset {
+    pub name: String,
+    /// CoLR table/dataset embedding.
+    pub embedding: Vec<f32>,
+    pub best_model: ModelKind,
+    /// Harvested configurations, most-voted first.
+    pub configs: Vec<Config>,
+}
+
+/// The KGpip-style AutoML engine.
+#[derive(Debug, Clone, Default)]
+pub struct AutoMl {
+    seen: Vec<SeenDataset>,
+}
+
+impl AutoMl {
+    /// Build from a set of seen datasets (extracted from the LiDS graph).
+    pub fn new(seen: Vec<SeenDataset>) -> Self {
+        AutoMl { seen }
+    }
+
+    /// Number of seen datasets.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when the knowledge base is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// The most similar seen dataset by embedding cosine.
+    pub fn most_similar(&self, embedding: &[f32]) -> Option<&SeenDataset> {
+        self.seen.iter().max_by(|a, b| {
+            let sa = cosine_similarity(&a.embedding, embedding);
+            let sb = cosine_similarity(&b.embedding, embedding);
+            sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+
+    /// Recommend an estimator for an unseen dataset embedding (the KGpip
+    /// classifier-prediction step).
+    pub fn recommend_model(&self, embedding: &[f32]) -> ModelKind {
+        self.most_similar(embedding)
+            .map(|s| s.best_model)
+            .unwrap_or(ModelKind::RandomForest)
+    }
+
+    /// Recommend starting hyperparameters: "the most commonly used for the
+    /// top-voted pipelines associated with the most similar dataset found
+    /// in the LiDS graph" (Section 6.3.3).
+    pub fn recommend_hyperparameters(&self, embedding: &[f32], model: ModelKind) -> Vec<Config> {
+        let Some(similar) = self.most_similar(embedding) else {
+            return vec![default_config(model)];
+        };
+        let harvested: Vec<Config> = similar
+            .configs
+            .iter()
+            .filter(|c| c.model == model)
+            .cloned()
+            .collect();
+        if harvested.is_empty() {
+            vec![default_config(model)]
+        } else {
+            harvested
+        }
+    }
+
+    /// Run the full inference pipeline on an unseen dataset.
+    ///
+    /// `use_priors = true` → `Pip_LiDS`: the search is seeded with the
+    /// harvested configurations (pruned search space). `use_priors = false`
+    /// → `Pip_G4C`: the GraphGen4Code graph lacks parameter names, so the
+    /// search starts from the estimator default only.
+    pub fn fit_with_budget(
+        &self,
+        frame: &MlFrame,
+        embedding: &[f32],
+        budget_evals: usize,
+        use_priors: bool,
+        seed: u64,
+    ) -> SearchResult {
+        let model = self.recommend_model(embedding);
+        let seeds: Vec<Config> = if use_priors {
+            self.recommend_hyperparameters(embedding, model)
+        } else {
+            vec![default_config(model)]
+        };
+        search(frame, model, &seeds, budget_evals, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kb() -> AutoMl {
+        AutoMl::new(vec![
+            SeenDataset {
+                name: "health".into(),
+                embedding: vec![1.0, 0.0, 0.0],
+                best_model: ModelKind::RandomForest,
+                configs: vec![Config {
+                    model: ModelKind::RandomForest,
+                    params: vec![
+                        ("n_estimators".to_string(), 40.0),
+                        ("max_depth".to_string(), 12.0),
+                        ("min_samples_split".to_string(), 2.0),
+                    ],
+                }],
+            },
+            SeenDataset {
+                name: "text".into(),
+                embedding: vec![0.0, 1.0, 0.0],
+                best_model: ModelKind::LogisticRegression,
+                configs: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn recommends_by_similarity() {
+        let a = kb();
+        assert_eq!(a.recommend_model(&[0.9, 0.1, 0.0]), ModelKind::RandomForest);
+        assert_eq!(a.recommend_model(&[0.1, 0.9, 0.0]), ModelKind::LogisticRegression);
+    }
+
+    #[test]
+    fn hyperparameter_priors_come_from_similar_dataset() {
+        let a = kb();
+        let priors = a.recommend_hyperparameters(&[1.0, 0.0, 0.0], ModelKind::RandomForest);
+        assert_eq!(priors.len(), 1);
+        assert_eq!(priors[0].get("n_estimators", 0.0), 40.0);
+        // no harvested configs for LR on the text dataset → default
+        let lr = a.recommend_hyperparameters(&[0.0, 1.0, 0.0], ModelKind::LogisticRegression);
+        assert_eq!(lr, vec![default_config(ModelKind::LogisticRegression)]);
+    }
+
+    #[test]
+    fn empty_kb_falls_back() {
+        let a = AutoMl::default();
+        assert!(a.is_empty());
+        assert_eq!(a.recommend_model(&[1.0]), ModelKind::RandomForest);
+        assert_eq!(
+            a.recommend_hyperparameters(&[1.0], ModelKind::Knn),
+            vec![default_config(ModelKind::Knn)]
+        );
+    }
+
+    #[test]
+    fn priors_help_under_tight_budget() {
+        // dataset where a deep forest wins; priors point at the good config
+        let x: Vec<Vec<f64>> = (0..90)
+            .map(|i| {
+                let a = (i % 3) as f64;
+                let b = ((i / 3) % 3) as f64;
+                vec![a + (i as f64) * 1e-3, b - (i as f64) * 1e-3]
+            })
+            .collect();
+        let y: Vec<usize> = (0..90)
+            .map(|i| {
+                let a = i % 3;
+                let b = (i / 3) % 3;
+                (a + b) % 3
+            })
+            .collect();
+        let frame = MlFrame {
+            feature_names: vec!["a".into(), "b".into()],
+            x,
+            y,
+            n_classes: 3,
+        };
+        let a = kb();
+        let emb = vec![1.0, 0.0, 0.0];
+        let with = a.fit_with_budget(&frame, &emb, 2, true, 7);
+        let without = a.fit_with_budget(&frame, &emb, 2, false, 7);
+        // both respect the budget; priors never hurt
+        assert!(with.evaluations <= 2 && without.evaluations <= 2);
+        assert!(with.best_f1 >= without.best_f1 - 0.05);
+    }
+}

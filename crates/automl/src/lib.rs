@@ -1,0 +1,23 @@
+//! `lids-automl` — KGpip-style AutoML on top of the LiDS graph (§4.4).
+//!
+//! KGpip predicts a classifier for an unseen dataset from a KG of seen
+//! datasets and then tunes hyperparameters. KGLiDS improves it two ways:
+//! the LiDS graph needs no noisy-node filtration, and — more importantly —
+//! LiDS records every call's *(hyperparameter name, value)* pairs
+//! (including implicit and default parameters from documentation
+//! analysis), which lets the inference pipeline **prune the hyperparameter
+//! search space** by starting at the configurations used by top-voted
+//! pipelines on the most similar dataset.
+//!
+//! [`AutoMl::fit_with_budget`] implements both variants: `use_priors =
+//! true` is `Pip_LiDS` (search seeded with harvested configurations);
+//! `use_priors = false` is `Pip_G4C` (blind search from defaults/random) —
+//! the two systems of Figure 9.
+
+pub mod knowledge;
+pub mod portfolio;
+pub mod search;
+
+pub use knowledge::{AutoMl, SeenDataset};
+pub use portfolio::{build_classifier, default_config, param_space, Config, ModelKind};
+pub use search::{evaluate_config, SearchResult};

@@ -1,0 +1,192 @@
+//! The classifier portfolio and hyperparameter spaces.
+
+use lids_ml::forest::RandomForestConfig;
+use lids_ml::logreg::{LogRegConfig, LogisticRegression};
+use lids_ml::tree::TreeConfig;
+use lids_ml::{Classifier, DecisionTree, KnnClassifier, RandomForest};
+
+/// Estimators the AutoML system chooses between (the classifier label
+/// space of the KGpip GNN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ModelKind {
+    RandomForest,
+    DecisionTree,
+    LogisticRegression,
+    Knn,
+}
+
+impl ModelKind {
+    /// All portfolio members.
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::RandomForest,
+        ModelKind::DecisionTree,
+        ModelKind::LogisticRegression,
+        ModelKind::Knn,
+    ];
+
+    /// The sklearn-style name used in pipelines and the LiDS graph.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::RandomForest => "RandomForestClassifier",
+            ModelKind::DecisionTree => "DecisionTreeClassifier",
+            ModelKind::LogisticRegression => "LogisticRegression",
+            ModelKind::Knn => "KNeighborsClassifier",
+        }
+    }
+
+    /// Parse from the sklearn-style name.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.label() == s)
+    }
+
+    /// Index in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|m| *m == self).unwrap()
+    }
+}
+
+/// A concrete configuration: estimator plus numeric hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Config {
+    pub model: ModelKind,
+    /// `(name, value)` pairs; names match the sklearn parameter names the
+    /// documentation analysis harvests.
+    pub params: Vec<(String, f64)>,
+}
+
+impl Config {
+    /// Value of a parameter, or the portfolio default.
+    pub fn get(&self, name: &str, default: f64) -> f64 {
+        self.params
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(default)
+    }
+}
+
+/// The tunable space of one estimator: parameter names with candidate
+/// values (grids, as GridSearchCV-style pipelines use).
+pub fn param_space(model: ModelKind) -> Vec<(&'static str, Vec<f64>)> {
+    match model {
+        ModelKind::RandomForest => vec![
+            ("n_estimators", vec![2.0, 5.0, 10.0, 20.0, 40.0, 80.0, 120.0]),
+            ("max_depth", vec![1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 24.0]),
+            ("min_samples_split", vec![2.0, 4.0, 8.0, 16.0, 32.0]),
+        ],
+        ModelKind::DecisionTree => vec![
+            ("max_depth", vec![1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0]),
+            ("min_samples_split", vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0]),
+        ],
+        ModelKind::LogisticRegression => vec![
+            ("C", vec![0.001, 0.01, 0.1, 0.3, 1.0, 3.0, 10.0, 100.0]),
+            ("max_iter", vec![10.0, 25.0, 50.0, 100.0, 200.0, 400.0]),
+        ],
+        ModelKind::Knn => vec![(
+            "n_neighbors",
+            vec![1.0, 2.0, 3.0, 5.0, 7.0, 9.0, 13.0, 17.0, 25.0, 35.0],
+        )],
+    }
+}
+
+/// The default (documentation-default) configuration of an estimator.
+pub fn default_config(model: ModelKind) -> Config {
+    let params = match model {
+        ModelKind::RandomForest => vec![
+            ("n_estimators".to_string(), 10.0),
+            ("max_depth".to_string(), 8.0),
+            ("min_samples_split".to_string(), 2.0),
+        ],
+        ModelKind::DecisionTree => vec![
+            ("max_depth".to_string(), 6.0),
+            ("min_samples_split".to_string(), 2.0),
+        ],
+        ModelKind::LogisticRegression => vec![
+            ("C".to_string(), 1.0),
+            ("max_iter".to_string(), 100.0),
+        ],
+        ModelKind::Knn => vec![("n_neighbors".to_string(), 5.0)],
+    };
+    Config { model, params }
+}
+
+/// Instantiate a classifier for a configuration.
+pub fn build_classifier(config: &Config, seed: u64) -> Box<dyn Classifier> {
+    match config.model {
+        ModelKind::RandomForest => Box::new(RandomForest::new(RandomForestConfig {
+            n_estimators: config.get("n_estimators", 10.0) as usize,
+            max_depth: config.get("max_depth", 8.0) as usize,
+            min_samples_split: config.get("min_samples_split", 2.0) as usize,
+            seed,
+        })),
+        ModelKind::DecisionTree => Box::new(DecisionTree::new(TreeConfig {
+            max_depth: config.get("max_depth", 6.0) as usize,
+            min_samples_split: config.get("min_samples_split", 2.0) as usize,
+            max_features: None,
+            candidate_splits: 16,
+            seed,
+        })),
+        ModelKind::LogisticRegression => Box::new(LogisticRegression::new(LogRegConfig {
+            learning_rate: 0.1,
+            epochs: config.get("max_iter", 100.0) as usize,
+            l2: 0.01 / config.get("C", 1.0).max(1e-6),
+        })),
+        ModelKind::Knn => Box::new(KnnClassifier::new(config.get("n_neighbors", 5.0) as usize)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        for m in ModelKind::ALL {
+            assert_eq!(ModelKind::from_label(m.label()), Some(m));
+        }
+        assert_eq!(ModelKind::from_label("SVC"), None);
+    }
+
+    #[test]
+    fn spaces_are_nonempty() {
+        for m in ModelKind::ALL {
+            let space = param_space(m);
+            assert!(!space.is_empty());
+            assert!(space.iter().all(|(_, vals)| !vals.is_empty()));
+        }
+    }
+
+    #[test]
+    fn defaults_lie_in_space() {
+        for m in ModelKind::ALL {
+            let d = default_config(m);
+            let space = param_space(m);
+            for (name, value) in &d.params {
+                let (_, candidates) =
+                    space.iter().find(|(n, _)| n == name).expect("param in space");
+                assert!(candidates.contains(value), "{m:?} {name}={value}");
+            }
+        }
+    }
+
+    #[test]
+    fn builds_and_fits_every_member() {
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64 / 10.0, (i % 3) as f64])
+            .collect();
+        let y: Vec<usize> = (0..30).map(|i| usize::from(i >= 15)).collect();
+        for m in ModelKind::ALL {
+            let mut clf = build_classifier(&default_config(m), 1);
+            clf.fit(&x, &y);
+            let pred = clf.predict(&x);
+            assert_eq!(pred.len(), 30, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn config_get_falls_back() {
+        let c = default_config(ModelKind::Knn);
+        assert_eq!(c.get("n_neighbors", 9.0), 5.0);
+        assert_eq!(c.get("missing", 9.0), 9.0);
+    }
+}

@@ -1,0 +1,461 @@
+//! GraphGen4Code-style general-purpose code KG generation.
+//!
+//! GraphGen4Code (Abdelaziz et al.) is "developed for general semantic
+//! code abstraction. Hence, it captures irrelevant information to data
+//! science artifacts" — per Table 4: statement locations, variable names,
+//! and function-parameter *order* triples account for ~30% of its graph,
+//! library calls and flow edges are modelled at much finer granularity
+//! (one node per sub-expression, WALA-style), and nodes carry no RDF
+//! types. This implementation walks the full expression tree of every
+//! statement and emits all of that, which is what makes its graphs ~6×
+//! larger and its analysis markedly slower than KGLiDS's in Table 3.
+
+use std::collections::HashMap;
+
+use lids_py::ast::{Expr, Stmt};
+use lids_py::parse_module;
+use lids_py::PyParseError;
+use lids_rdf::{GraphName, Quad, QuadStore, Term};
+
+/// The modelled aspects of Table 4's GraphGen4Code column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum G4cAspect {
+    StatementLocation,
+    VariableNames,
+    FuncParameterOrder,
+    ColumnReads,
+    LibraryCalls,
+    CodeFlow,
+    DataFlow,
+    ControlFlowType,
+    FuncParameters,
+    StatementText,
+}
+
+impl G4cAspect {
+    /// Table 4 row order (GraphGen4Code rows).
+    pub const ALL: [G4cAspect; 10] = [
+        G4cAspect::StatementLocation,
+        G4cAspect::VariableNames,
+        G4cAspect::FuncParameterOrder,
+        G4cAspect::ColumnReads,
+        G4cAspect::LibraryCalls,
+        G4cAspect::CodeFlow,
+        G4cAspect::DataFlow,
+        G4cAspect::ControlFlowType,
+        G4cAspect::FuncParameters,
+        G4cAspect::StatementText,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            G4cAspect::StatementLocation => "Statement location",
+            G4cAspect::VariableNames => "Variable names",
+            G4cAspect::FuncParameterOrder => "Func. parameter order",
+            G4cAspect::ColumnReads => "Column reads",
+            G4cAspect::LibraryCalls => "Library calls",
+            G4cAspect::CodeFlow => "Code flow",
+            G4cAspect::DataFlow => "Data flow",
+            G4cAspect::ControlFlowType => "Control flow type",
+            G4cAspect::FuncParameters => "Func. parameters",
+            G4cAspect::StatementText => "Statement text",
+        }
+    }
+}
+
+/// Per-aspect counts for the generated graph.
+#[derive(Debug, Clone, Default)]
+pub struct G4cStats {
+    counts: HashMap<G4cAspect, u64>,
+}
+
+impl G4cStats {
+    pub fn add(&mut self, aspect: G4cAspect, n: u64) {
+        *self.counts.entry(aspect).or_insert(0) += n;
+    }
+
+    pub fn get(&self, aspect: G4cAspect) -> u64 {
+        self.counts.get(&aspect).copied().unwrap_or(0)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn merge(&mut self, other: &G4cStats) {
+        for (a, n) in &other.counts {
+            self.add(*a, *n);
+        }
+    }
+}
+
+const G4C: &str = "http://graph4code.org/";
+
+/// The generator.
+pub struct GraphGen4Code;
+
+impl GraphGen4Code {
+    /// Abstract one script into the store (its own named graph), emitting
+    /// the verbose general-purpose representation.
+    pub fn abstract_pipeline(
+        store: &mut QuadStore,
+        stats: &mut G4cStats,
+        pipeline_id: &str,
+        source: &str,
+    ) -> Result<usize, PyParseError> {
+        let module = parse_module(source)?;
+        let graph_iri = format!("{G4C}pipelines/{pipeline_id}");
+        let graph = GraphName::named(graph_iri.clone());
+        let mut ctx = Emit {
+            store,
+            stats,
+            graph,
+            graph_iri,
+            node_counter: 0,
+            prev_stmt: None,
+            last_def: HashMap::new(),
+        };
+        ctx.walk(&module.body, "module");
+        Ok(ctx.node_counter)
+    }
+}
+
+struct Emit<'a> {
+    store: &'a mut QuadStore,
+    stats: &'a mut G4cStats,
+    graph: GraphName,
+    graph_iri: String,
+    node_counter: usize,
+    prev_stmt: Option<String>,
+    last_def: HashMap<String, String>,
+}
+
+impl<'a> Emit<'a> {
+    fn fresh(&mut self, kind: &str) -> String {
+        self.node_counter += 1;
+        format!("{}/{kind}{}", self.graph_iri, self.node_counter)
+    }
+
+    fn triple(&mut self, s: &str, p: &str, o: Term, aspect: G4cAspect) {
+        self.store.insert(&Quad::in_graph(
+            Term::iri(s.to_string()),
+            Term::iri(format!("{G4C}{p}")),
+            o,
+            self.graph.clone(),
+        ));
+        self.stats.add(aspect, 1);
+    }
+
+    fn walk(&mut self, body: &[Stmt], context: &str) {
+        for stmt in body {
+            self.visit(stmt, context);
+        }
+    }
+
+    fn visit(&mut self, stmt: &Stmt, context: &str) {
+        let line = stmt.line();
+        let node = self.fresh("stmt");
+        // statement location (per Table 4: ~4% of the graph)
+        self.triple(&node, "line", Term::integer(line as i64), G4cAspect::StatementLocation);
+        self.triple(&node, "offset", Term::integer(0), G4cAspect::StatementLocation);
+        self.triple(
+            &node,
+            "context",
+            Term::string(context.to_string()),
+            G4cAspect::ControlFlowType,
+        );
+        if let Some(prev) = self.prev_stmt.clone() {
+            self.triple(&prev, "flowsTo", Term::iri(node.clone()), G4cAspect::CodeFlow);
+            // immediate-successor AND transitive marker edges (WALA emits
+            // both control-flow and control-dependence edges)
+            self.triple(&node, "follows", Term::iri(prev), G4cAspect::CodeFlow);
+        }
+        self.prev_stmt = Some(node.clone());
+
+        match stmt {
+            Stmt::Import { items, .. } => {
+                for (module, alias) in items {
+                    let m_node = self.fresh("import");
+                    self.triple(&node, "imports", Term::iri(m_node.clone()), G4cAspect::LibraryCalls);
+                    self.triple(
+                        &m_node,
+                        "moduleName",
+                        Term::string(module.clone()),
+                        G4cAspect::LibraryCalls,
+                    );
+                    if let Some(a) = alias {
+                        self.triple(&m_node, "alias", Term::string(a.clone()), G4cAspect::VariableNames);
+                    }
+                }
+                self.triple(
+                    &node,
+                    "sourceText",
+                    Term::string(format!("import:{}", items.len())),
+                    G4cAspect::StatementText,
+                );
+            }
+            Stmt::FromImport { module, items, .. } => {
+                for (name, _) in items {
+                    let m_node = self.fresh("import");
+                    self.triple(&node, "imports", Term::iri(m_node.clone()), G4cAspect::LibraryCalls);
+                    self.triple(
+                        &m_node,
+                        "moduleName",
+                        Term::string(format!("{module}.{name}")),
+                        G4cAspect::LibraryCalls,
+                    );
+                }
+                self.triple(
+                    &node,
+                    "sourceText",
+                    Term::string(format!("from {module} import …")),
+                    G4cAspect::StatementText,
+                );
+            }
+            Stmt::Assign { targets, value, .. } => {
+                for t in targets {
+                    if let Expr::Name(n) = t {
+                        self.triple(&node, "defines", Term::string(n.clone()), G4cAspect::VariableNames);
+                        self.last_def.insert(n.clone(), node.clone());
+                    }
+                }
+                self.emit_expr(value, &node);
+                self.triple(
+                    &node,
+                    "sourceText",
+                    Term::string(value.to_text()),
+                    G4cAspect::StatementText,
+                );
+            }
+            Stmt::AugAssign { target, value, .. } => {
+                self.emit_expr(target, &node);
+                self.emit_expr(value, &node);
+                self.triple(
+                    &node,
+                    "sourceText",
+                    Term::string(value.to_text()),
+                    G4cAspect::StatementText,
+                );
+            }
+            Stmt::Expr { value, .. } => {
+                self.emit_expr(value, &node);
+                self.triple(
+                    &node,
+                    "sourceText",
+                    Term::string(value.to_text()),
+                    G4cAspect::StatementText,
+                );
+            }
+            Stmt::If { test, body, orelse, .. } => {
+                self.emit_expr(test, &node);
+                self.walk(body, "if");
+                self.walk(orelse, "else");
+            }
+            Stmt::For { iter, body, .. } => {
+                self.emit_expr(iter, &node);
+                self.walk(body, "loop");
+            }
+            Stmt::While { test, body, .. } => {
+                self.emit_expr(test, &node);
+                self.walk(body, "loop");
+            }
+            Stmt::FunctionDef { name, params, body, .. } => {
+                self.triple(&node, "definesFunction", Term::string(name.clone()), G4cAspect::VariableNames);
+                for (i, p) in params.iter().enumerate() {
+                    self.triple(&node, "param", Term::string(p.clone()), G4cAspect::VariableNames);
+                    self.triple(
+                        &node,
+                        "paramIndex",
+                        Term::integer(i as i64),
+                        G4cAspect::FuncParameterOrder,
+                    );
+                }
+                self.walk(body, "function");
+            }
+            Stmt::ClassDef { body, .. } => self.walk(body, "class"),
+            Stmt::With { items, body, .. } => {
+                for (e, _) in items {
+                    self.emit_expr(e, &node);
+                }
+                self.walk(body, context);
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.emit_expr(v, &node);
+                }
+            }
+            Stmt::Pass { .. } | Stmt::Break { .. } | Stmt::Continue { .. } => {}
+        }
+    }
+
+    /// Emit one node per sub-expression — the WALA-style fine granularity
+    /// that inflates the graph.
+    fn emit_expr(&mut self, expr: &Expr, parent: &str) -> String {
+        let node = self.fresh("expr");
+        self.triple(parent, "hasChild", Term::iri(node.clone()), G4cAspect::CodeFlow);
+        // WALA emits kind + source position for every IR node
+        let kind = match expr {
+            Expr::Name(_) => "name",
+            Expr::Attribute { .. } => "attribute",
+            Expr::Call { .. } => "call",
+            Expr::Subscript { .. } => "subscript",
+            Expr::List(_) | Expr::Tuple(_) | Expr::Dict(_) => "collection",
+            Expr::BinOp { .. } | Expr::UnaryOp { .. } => "operation",
+            Expr::Lambda { .. } => "lambda",
+            _ => "literal",
+        };
+        self.triple(&node, "nodeKind", Term::string(kind.to_string()), G4cAspect::CodeFlow);
+        self.triple(
+            &node,
+            "sourcePosition",
+            Term::integer(self.node_counter as i64),
+            G4cAspect::StatementLocation,
+        );
+        match expr {
+            Expr::Name(n) => {
+                self.triple(&node, "reads", Term::string(n.clone()), G4cAspect::VariableNames);
+                if let Some(def) = self.last_def.get(n).cloned() {
+                    self.triple(&def, "dataFlowsTo", Term::iri(node.clone()), G4cAspect::DataFlow);
+                }
+            }
+            Expr::Attribute { base, attr } => {
+                let b = self.emit_expr(base, &node);
+                self.triple(&node, "attribute", Term::string(attr.clone()), G4cAspect::LibraryCalls);
+                self.triple(&node, "base", Term::iri(b), G4cAspect::CodeFlow);
+            }
+            Expr::Call { func, args, kwargs } => {
+                let f = self.emit_expr(func, &node);
+                self.triple(&node, "callTarget", Term::iri(f), G4cAspect::LibraryCalls);
+                for (i, a) in args.iter().enumerate() {
+                    let an = self.emit_expr(a, &node);
+                    self.triple(&node, "argument", Term::iri(an.clone()), G4cAspect::FuncParameters);
+                    // positional ordering triples (≈26% of the G4C graph)
+                    self.triple(&an, "argIndex", Term::integer(i as i64), G4cAspect::FuncParameterOrder);
+                    self.triple(&node, "argSlot", Term::string(format!("arg{i}")), G4cAspect::FuncParameterOrder);
+                }
+                for (k, v) in kwargs {
+                    let vn = self.emit_expr(v, &node);
+                    self.triple(&node, "keywordArgument", Term::iri(vn), G4cAspect::FuncParameters);
+                    self.triple(&node, "keywordName", Term::string(k.clone()), G4cAspect::FuncParameters);
+                }
+            }
+            Expr::Subscript { base, index } => {
+                let b = self.emit_expr(base, &node);
+                self.triple(&node, "base", Term::iri(b), G4cAspect::CodeFlow);
+                if let Some(s) = index.as_str() {
+                    self.triple(&node, "subscript", Term::string(s.to_string()), G4cAspect::ColumnReads);
+                } else {
+                    self.emit_expr(index, &node);
+                }
+            }
+            Expr::List(items) | Expr::Tuple(items) => {
+                for i in items {
+                    self.emit_expr(i, &node);
+                }
+            }
+            Expr::Dict(items) => {
+                for (k, v) in items {
+                    self.emit_expr(k, &node);
+                    self.emit_expr(v, &node);
+                }
+            }
+            Expr::BinOp { op, left, right } => {
+                self.triple(&node, "operator", Term::string(op.clone()), G4cAspect::StatementText);
+                self.emit_expr(left, &node);
+                self.emit_expr(right, &node);
+            }
+            Expr::UnaryOp { operand, .. } => {
+                self.emit_expr(operand, &node);
+            }
+            Expr::Lambda { body, .. } => {
+                self.emit_expr(body, &node);
+            }
+            Expr::Str(s) => {
+                self.triple(&node, "literal", Term::string(s.clone()), G4cAspect::StatementText);
+            }
+            Expr::Int(i) => {
+                self.triple(&node, "literal", Term::integer(*i), G4cAspect::StatementText);
+            }
+            Expr::Float(f) => {
+                self.triple(&node, "literal", Term::double(*f), G4cAspect::StatementText);
+            }
+            _ => {}
+        }
+        node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_kg::abstraction::{abstract_pipeline, AbstractionStats, PipelineMetadata};
+    use lids_kg::docs::LibraryDocs;
+
+    const SCRIPT: &str = r#"
+import pandas as pd
+from sklearn.ensemble import RandomForestClassifier
+df = pd.read_csv('titanic/train.csv')
+X = df.drop('Survived', axis=1)
+y = df['Survived']
+clf = RandomForestClassifier(50, max_depth=10)
+clf.fit(X, y)
+"#;
+
+    #[test]
+    fn produces_verbose_graph() {
+        let mut store = QuadStore::new();
+        let mut stats = G4cStats::default();
+        GraphGen4Code::abstract_pipeline(&mut store, &mut stats, "p1", SCRIPT).unwrap();
+        assert!(stats.total() > 50);
+        assert!(stats.get(G4cAspect::StatementLocation) > 0);
+        assert!(stats.get(G4cAspect::FuncParameterOrder) > 0);
+        assert!(stats.get(G4cAspect::VariableNames) > 0);
+    }
+
+    #[test]
+    fn graph_is_larger_than_kglids() {
+        let mut g4c_store = QuadStore::new();
+        let mut g4c_stats = G4cStats::default();
+        GraphGen4Code::abstract_pipeline(&mut g4c_store, &mut g4c_stats, "p1", SCRIPT).unwrap();
+
+        let mut lids_store = QuadStore::new();
+        let mut lids_stats = AbstractionStats::default();
+        let md = PipelineMetadata {
+            id: "p1".into(),
+            dataset: "titanic".into(),
+            title: "t".into(),
+            author: "a".into(),
+            votes: 1,
+            score: 0.5,
+            task: "classification".into(),
+        };
+        abstract_pipeline(&mut lids_store, &mut lids_stats, &LibraryDocs::builtin(), &md, SCRIPT)
+            .unwrap();
+
+        // Table 3's shape: the general-purpose graph is several times larger
+        assert!(
+            g4c_store.len() as f64 > lids_store.len() as f64 * 2.0,
+            "g4c {} vs lids {}",
+            g4c_store.len(),
+            lids_store.len()
+        );
+        assert!(g4c_store.term_count() > lids_store.term_count());
+    }
+
+    #[test]
+    fn separate_named_graph_per_pipeline() {
+        let mut store = QuadStore::new();
+        let mut stats = G4cStats::default();
+        GraphGen4Code::abstract_pipeline(&mut store, &mut stats, "a", "x = 1\n").unwrap();
+        GraphGen4Code::abstract_pipeline(&mut store, &mut stats, "b", "y = 2\n").unwrap();
+        assert_eq!(store.named_graphs().len(), 2);
+    }
+
+    #[test]
+    fn aspect_labels_cover_table4() {
+        let labels: Vec<&str> = G4cAspect::ALL.iter().map(|a| a.label()).collect();
+        assert!(labels.contains(&"Func. parameter order"));
+        assert!(labels.contains(&"Statement location"));
+        assert_eq!(labels.len(), 10);
+    }
+}

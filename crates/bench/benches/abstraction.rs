@@ -1,0 +1,53 @@
+//! Table 3 as Criterion benchmarks: per-corpus abstraction time for
+//! KGLiDS (Algorithm 1) vs GraphGen4Code.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lids_baselines::graphgen4code::{G4cStats, GraphGen4Code};
+use lids_datagen::pipelines::{generate_corpus, CorpusSpec};
+use lids_kg::abstraction::{abstract_pipeline, AbstractionStats};
+use lids_kg::docs::LibraryDocs;
+use lids_rdf::QuadStore;
+
+fn bench_abstraction(c: &mut Criterion) {
+    let corpus = generate_corpus(&CorpusSpec::synthetic(8, 4, 7));
+    let docs = LibraryDocs::builtin();
+    let mut group = c.benchmark_group("pipeline_abstraction");
+    group.sample_size(10);
+
+    group.bench_function("kglids_32_pipelines", |b| {
+        b.iter(|| {
+            let mut store = QuadStore::new();
+            let mut stats = AbstractionStats::default();
+            for p in &corpus {
+                let _ = abstract_pipeline(&mut store, &mut stats, &docs, &p.metadata, &p.source);
+            }
+            black_box(store.len())
+        })
+    });
+
+    group.bench_function("graphgen4code_32_pipelines", |b| {
+        b.iter(|| {
+            let mut store = QuadStore::new();
+            let mut stats = G4cStats::default();
+            for p in &corpus {
+                let id = format!("{}_{}", p.metadata.dataset, p.metadata.id);
+                let _ = GraphGen4Code::abstract_pipeline(&mut store, &mut stats, &id, &p.source);
+            }
+            black_box(store.len())
+        })
+    });
+
+    group.bench_function("static_analysis_only", |b| {
+        b.iter(|| {
+            let mut total = 0;
+            for p in &corpus {
+                total += lids_py::analyze(&p.source).map(|a| a.statements.len()).unwrap_or(0);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_abstraction);
+criterion_main!(benches);

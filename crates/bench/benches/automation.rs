@@ -1,0 +1,80 @@
+//! Figures 7/8/9 as Criterion benchmarks: per-dataset cleaning and
+//! transformation latency for KGLiDS vs the raw-data baselines, and the
+//! budgeted AutoML search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lids_automl::{default_config, ModelKind};
+use lids_baselines::autolearn::{AutoLearn, AutoLearnConfig};
+use lids_baselines::holoclean::{HoloClean, HoloCleanConfig};
+use lids_bench::corpus::corpus_platform;
+use lids_datagen::tasks::{cleaning_datasets, transform_datasets};
+use lids_exec::MemoryMeter;
+use lids_ml::{CleaningOp, MlFrame};
+
+fn bench_cleaning(c: &mut Criterion) {
+    let dataset = &cleaning_datasets(0.2)[4];
+    let frame = MlFrame::from_table(&dataset.table, &dataset.target).unwrap();
+    let mut cp = corpus_platform(5, 4, 3);
+    let mut group = c.benchmark_group("cleaning");
+    group.sample_size(10);
+
+    group.bench_function("holoclean", |b| {
+        b.iter(|| {
+            let meter = MemoryMeter::new();
+            black_box(HoloClean::clean(&frame, &HoloCleanConfig::default(), &meter).ok())
+        })
+    });
+    group.bench_function("kglids_recommend_and_apply", |b| {
+        b.iter(|| {
+            let ranked = cp.platform.recommend_cleaning_operations(&dataset.table);
+            let op = ranked.first().map(|(o, _)| *o).unwrap_or(CleaningOp::SimpleImputer);
+            black_box(cp.platform.apply_cleaning_operations(op, &frame))
+        })
+    });
+    group.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let dataset = &transform_datasets(0.2)[2]; // wine (mixed scales)
+    let frame = MlFrame::from_table(&dataset.table, &dataset.target).unwrap();
+    let mut cp = corpus_platform(5, 4, 4);
+    let mut group = c.benchmark_group("transformation");
+    group.sample_size(10);
+
+    group.bench_function("autolearn", |b| {
+        b.iter(|| {
+            let meter = MemoryMeter::new();
+            black_box(AutoLearn::transform(&frame, &AutoLearnConfig::default(), &meter).ok())
+        })
+    });
+    group.bench_function("kglids_recommend_and_apply", |b| {
+        b.iter(|| {
+            let rec = cp.platform.recommend_transformations(&dataset.table);
+            black_box(cp.platform.apply_transformations(&rec, &frame))
+        })
+    });
+    group.finish();
+}
+
+fn bench_automl(c: &mut Criterion) {
+    let dataset = &lids_datagen::tasks::automl_datasets(0.2)[0];
+    let frame = MlFrame::from_table(&dataset.table, &dataset.target).unwrap();
+    let mut group = c.benchmark_group("automl_search");
+    group.sample_size(10);
+    group.bench_function("budget_3_evals", |b| {
+        b.iter(|| {
+            let seeds = [default_config(ModelKind::RandomForest)];
+            black_box(lids_automl::search::search(
+                &frame,
+                ModelKind::RandomForest,
+                &seeds,
+                3,
+                7,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cleaning, bench_transform, bench_automl);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Table 2 as Criterion benchmarks: preprocessing and query time of the
+//! three discovery systems on the (scaled) benchmark lakes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kglids::discovery::UnionMode;
+use kglids::KgLidsBuilder;
+use lids_baselines::starmie::StarmieConfig;
+use lids_baselines::{Santos, Starmie};
+use lids_bench::corpus::lake_as_dataset;
+use lids_datagen::LakeSpec;
+
+const SCALE: f64 = 0.2;
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery_preprocessing");
+    group.sample_size(10);
+    for spec in [LakeSpec::santos_small().scaled(SCALE), LakeSpec::tus_small().scaled(SCALE)] {
+        let lake = spec.generate();
+        group.bench_with_input(
+            BenchmarkId::new("kglids", &lake.name),
+            &lake,
+            |b, lake| {
+                b.iter(|| {
+                    let (p, _) = KgLidsBuilder::new()
+                        .with_dataset(lake_as_dataset(lake))
+                        .bootstrap();
+                    black_box(p.triple_count())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("starmie", &lake.name),
+            &lake,
+            |b, lake| {
+                b.iter(|| black_box(Starmie::preprocess(lake, StarmieConfig::default())))
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("santos", &lake.name), &lake, |b, lake| {
+            b.iter(|| black_box(Santos::preprocess(lake)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery_query");
+    let lake = LakeSpec::santos_small().scaled(SCALE).generate();
+    let (platform, _) = KgLidsBuilder::new()
+        .with_dataset(lake_as_dataset(&lake))
+        .bootstrap();
+    let starmie = Starmie::preprocess(&lake, StarmieConfig::default());
+    let santos = Santos::preprocess(&lake);
+    let query_name = lake.query_tables[0].clone();
+    let query = lake
+        .tables
+        .iter()
+        .find(|t| t.name == query_name)
+        .unwrap()
+        .clone();
+
+    group.bench_function("kglids", |b| {
+        b.iter(|| {
+            black_box(platform.find_unionable_tables(
+                &lake.name,
+                &query.name,
+                10,
+                UnionMode::ContentAndLabel,
+            ))
+        })
+    });
+    group.bench_function("starmie", |b| b.iter(|| black_box(starmie.query(&query, 10))));
+    group.bench_function("santos", |b| b.iter(|| black_box(santos.query(&query, 10))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing, bench_query);
+criterion_main!(benches);

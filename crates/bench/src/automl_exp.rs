@@ -1,0 +1,152 @@
+//! AutoML experiment: Figure 9 — F1 difference between `Pip_LiDS` (KGpip +
+//! LiDS hyperparameter priors) and `Pip_G4C` (KGpip without parameter
+//! names) on 24 datasets, with the paired two-tailed t-test.
+//!
+//! The paper's priors come from top-voted Kaggle pipelines: configurations
+//! human data scientists *already found to work well* on similar datasets.
+//! The substitution (see DESIGN.md) synthesises that accumulated
+//! experience: a disjoint set of *seen* datasets with the same geometry
+//! families is searched offline with a generous budget, and the winning
+//! configurations become the knowledge-base entries — what the LiDS graph
+//! would have harvested from those pipelines' `hasParameter` triples.
+//! `Pip_G4C` sees the same estimator recommendation but no parameter
+//! priors (GraphGen4Code does not record parameter names), so its tight-
+//! budget search starts from documentation defaults.
+
+use kglids::KgLids;
+use lids_automl::{build_classifier, default_config, AutoMl, Config, ModelKind, SeenDataset};
+use lids_datagen::tasks::automl_datasets;
+use lids_ml::metrics::{f1_macro, paired_t_test};
+use lids_ml::split::train_test_split;
+use lids_ml::MlFrame;
+
+/// One dataset's outcome.
+#[derive(Debug, Clone)]
+pub struct AutomlRow {
+    pub id: usize,
+    pub name: String,
+    pub lids_f1: f64,
+    pub g4c_f1: f64,
+    /// `Pip_LiDS − Pip_G4C` (percentage points).
+    pub delta: f64,
+}
+
+/// Experiment summary.
+#[derive(Debug, Clone)]
+pub struct AutomlResult {
+    pub rows: Vec<AutomlRow>,
+    pub wins: usize,
+    pub losses: usize,
+    pub ties: usize,
+    /// Two-tailed paired t-test p-value over the per-dataset F1 pairs.
+    pub p_value: f64,
+}
+
+/// Build the knowledge base from *seen* sibling datasets: per dataset, an
+/// offline search (the accumulated experience of the pipelines the LiDS
+/// graph abstracts) records the best estimator and configuration.
+pub fn build_knowledge(platform: &KgLids, scale: f64, offline_budget: usize) -> AutoMl {
+    let mut seen = Vec::new();
+    for dataset in automl_datasets(scale) {
+        let frame = MlFrame::from_table(&dataset.table, &dataset.target)
+            .expect("task dataset has a target");
+        let embedding = platform.embed_table(&dataset.table);
+        let seed = 0x5EE ^ dataset.id as u64;
+        // model selection: defaults of each portfolio member
+        let mut best: Option<(ModelKind, f64)> = None;
+        for model in ModelKind::ALL {
+            let f1 = lids_automl::evaluate_config(&frame, &default_config(model), seed);
+            if best.is_none_or(|(_, b)| f1 > b) {
+                best = Some((model, f1));
+            }
+        }
+        let (best_model, _) = best.expect("portfolio non-empty");
+        // hyperparameter refinement with a generous budget
+        let refined = lids_automl::search::search(
+            &frame,
+            best_model,
+            &[default_config(best_model)],
+            offline_budget,
+            seed,
+        );
+        seen.push(SeenDataset {
+            name: format!("seen_{}", dataset.name),
+            embedding,
+            best_model,
+            configs: vec![refined.best_config],
+        });
+    }
+    AutoMl::new(seen)
+}
+
+/// Run Figure 9. `budget_evals` bounds the online hyperparameter search
+/// (the deterministic stand-in for the paper's 40 s budget); the seen
+/// split uses `scale * 0.8` so the unseen datasets differ in size.
+pub fn run_automl(platform: &KgLids, scale: f64, budget_evals: usize) -> AutomlResult {
+    let automl = build_knowledge(platform, scale * 0.8, budget_evals * 4);
+    let mut rows = Vec::new();
+    for dataset in automl_datasets(scale) {
+        let frame = MlFrame::from_table(&dataset.table, &dataset.target)
+            .expect("task dataset has a target");
+        let embedding = platform.embed_table(&dataset.table);
+        let seed = 0xA07 ^ dataset.id as u64;
+        // the search sees only the train split; the reported F1 is on a
+        // held-out test split, as the KGpip evaluation does
+        let (train_idx, test_idx) = train_test_split(frame.rows(), 0.3, seed);
+        let train = frame.select_rows(&train_idx);
+        let test = frame.select_rows(&test_idx);
+        let holdout = |cfg: &Config| -> f64 {
+            let mut clf = build_classifier(cfg, seed);
+            clf.fit(&train.x, &train.y);
+            f1_macro(&test.y, &clf.predict(&test.x), frame.n_classes)
+        };
+        let lids = automl.fit_with_budget(&train, &embedding, budget_evals, true, seed);
+        let g4c = automl.fit_with_budget(&train, &embedding, budget_evals, false, seed);
+        let lids_f1 = holdout(&lids.best_config);
+        let g4c_f1 = holdout(&g4c.best_config);
+        rows.push(AutomlRow {
+            id: dataset.id,
+            name: dataset.name.clone(),
+            lids_f1: 100.0 * lids_f1,
+            g4c_f1: 100.0 * g4c_f1,
+            delta: 100.0 * (lids_f1 - g4c_f1),
+        });
+    }
+    let wins = rows.iter().filter(|r| r.delta > 1e-9).count();
+    let losses = rows.iter().filter(|r| r.delta < -1e-9).count();
+    let ties = rows.len() - wins - losses;
+    let a: Vec<f64> = rows.iter().map(|r| r.lids_f1).collect();
+    let b: Vec<f64> = rows.iter().map(|r| r.g4c_f1).collect();
+    let p_value = paired_t_test(&a, &b);
+    AutomlResult { rows, wins, losses, ties, p_value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::corpus_platform;
+
+    #[test]
+    fn figure9_shape() {
+        let cp = corpus_platform(4, 3, 11);
+        let result = run_automl(&cp.platform, 0.25, 3);
+        assert_eq!(result.rows.len(), 24);
+        assert_eq!(result.wins + result.losses + result.ties, 24);
+        // priors from similar seen datasets should win on balance under a
+        // tight budget (the Figure 9 shape)
+        assert!(
+            result.wins >= result.losses,
+            "wins {} losses {}",
+            result.wins,
+            result.losses
+        );
+        assert!((0.0..=1.0).contains(&result.p_value));
+    }
+
+    #[test]
+    fn knowledge_base_covers_all_seen_datasets() {
+        let cp = corpus_platform(3, 2, 12);
+        let kb = build_knowledge(&cp.platform, 0.15, 3);
+        assert_eq!(kb.len(), 24);
+    }
+}

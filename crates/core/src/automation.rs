@@ -1,0 +1,564 @@
+//! On-demand automation interfaces (§4, §5): cleaning, transformation, and
+//! AutoML recommendations driven by GNN models trained on the LiDS graph.
+//!
+//! The models train lazily on examples *harvested from the knowledge
+//! graph*: each abstracted pipeline's cleaning/scaling/transformation and
+//! estimator calls, joined with its dataset's stored CoLR embeddings —
+//! "KGLiDS could be queried to fetch the cleaning or transformation
+//! operations and dataset nodes … used as input" (§4.1).
+
+use std::collections::HashMap;
+
+use lids_automl::{AutoMl, Config, ModelKind, SeenDataset};
+use lids_gnn::{CleaningModel, ColumnTransformModel, ScalingModel};
+use lids_ml::{CleaningOp, ColumnTransform, MlFrame, ScalingOp};
+use lids_profiler::Table;
+
+use crate::dataframe::DataFrame;
+use crate::platform::KgLids;
+
+/// One harvested estimator call:
+/// `(dataset, estimator, votes, score, parameters)`.
+type EstimatorCall = (String, String, u32, f64, Vec<(String, String)>);
+/// Per-dataset estimator usage: `(estimator, votes, parameters)`.
+type EstimatorUsage = (String, u32, Vec<(String, String)>);
+/// Per-pipeline accumulator: `(dataset, votes, score, parameters)`.
+type PipelineParams = (String, u32, f64, Vec<(String, String)>);
+
+/// A transformation recommendation: one table-level scaling operation plus
+/// per-column unary transforms (§4.3's two-step formulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformRecommendation {
+    pub scaling: ScalingOp,
+    /// `(column name, transform)` for numeric columns.
+    pub column_transforms: Vec<(String, ColumnTransform)>,
+}
+
+impl KgLids {
+    // ------------------------------------------------------------ cleaning
+
+    /// §5 `recommend_cleaning_operations(df)`: ranked cleaning operations
+    /// for an unseen table. Trains the cleaning GNN from the LiDS graph on
+    /// first use; falls back to `SimpleImputer` when the graph holds no
+    /// cleaning examples.
+    pub fn recommend_cleaning_operations(&mut self, table: &Table) -> Vec<(CleaningOp, f32)> {
+        self.ensure_cleaning_model();
+        let embedding = self.embed_table_missing(table);
+        match &self.cleaning_model {
+            Some(model) => model.recommend_ranked(&embedding),
+            None => vec![(CleaningOp::SimpleImputer, 1.0)],
+        }
+    }
+
+    /// §5 `apply_cleaning_operations(op, df)`: apply a cleaning operation,
+    /// returning the cleaned frame.
+    pub fn apply_cleaning_operations(&self, op: CleaningOp, frame: &MlFrame) -> MlFrame {
+        op.apply(frame)
+    }
+
+    fn ensure_cleaning_model(&mut self) {
+        if self.cleaning_model.is_some() {
+            return;
+        }
+        let examples = self.harvest_examples_with(&CLEANING_OPS, |label| {
+            CleaningOp::from_label(label)
+        }, true);
+        if examples.len() >= 4 {
+            self.cleaning_model = Some(CleaningModel::train(&examples, 0x11D5));
+        }
+    }
+
+    // ------------------------------------------------------- transformation
+
+    /// §5 `recommend_transformations(dataset)`: a scaling operation for the
+    /// whole table plus unary transforms per numeric column.
+    pub fn recommend_transformations(&mut self, table: &Table) -> TransformRecommendation {
+        self.ensure_transform_models();
+        let table_emb = self.embed_table(table);
+        let scaling = match &self.scaling_model {
+            Some(m) => m.recommend(&table_emb),
+            None => ScalingOp::StandardScaler,
+        };
+        let mut column_transforms = Vec::new();
+        for (name, fgt, emb) in self.embed_columns(table) {
+            if !fgt.is_numeric() || emb.is_empty() {
+                continue;
+            }
+            let t = match &self.column_model {
+                Some(m) => m.recommend(&emb),
+                None => ColumnTransform::None,
+            };
+            column_transforms.push((name, t));
+        }
+        TransformRecommendation { scaling, column_transforms }
+    }
+
+    /// §5 apply-transformations: scaling first, then unary column
+    /// transforms (the order §4.3 motivates).
+    pub fn apply_transformations(
+        &self,
+        rec: &TransformRecommendation,
+        frame: &MlFrame,
+    ) -> MlFrame {
+        // unary transforms reshape distributions; scaling then normalises
+        // magnitudes (paper applies scaling first, transforms on the result)
+        let mut out = rec.scaling.apply(frame);
+        for (column, transform) in &rec.column_transforms {
+            if let Some(j) = out.feature_names.iter().position(|n| n == column) {
+                transform.apply_column(&mut out, j);
+            }
+        }
+        out
+    }
+
+    fn ensure_transform_models(&mut self) {
+        if self.scaling_model.is_none() {
+            let examples = self.harvest_examples(&SCALING_OPS, |label| {
+                ScalingOp::from_label(label)
+            });
+            if examples.len() >= 4 {
+                self.scaling_model = Some(ScalingModel::train(&examples, 0x5CA1));
+            }
+        }
+        if self.column_model.is_none() {
+            let examples = self.harvest_column_transform_examples();
+            if examples.len() >= 4 {
+                self.column_model = Some(ColumnTransformModel::train(&examples, 0xC01));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- AutoML
+
+    /// §5 `recommend_ml_models(dataset, task)`: estimators used on the
+    /// given dataset by abstracted pipelines, with votes and scores.
+    pub fn recommend_ml_models(&self, dataset: &str) -> DataFrame {
+        let mut df = DataFrame::new(vec!["model".into(), "votes".into(), "score".into()]);
+        let rows = self.estimator_calls();
+        let mut per_model: HashMap<String, (u32, f64)> = HashMap::new();
+        for (ds, model, votes, score, _params) in rows {
+            if ds != dataset {
+                continue;
+            }
+            let entry = per_model.entry(model).or_insert((0, 0.0));
+            entry.0 += votes;
+            entry.1 = entry.1.max(score);
+        }
+        let mut ranked: Vec<(String, (u32, f64))> = per_model.into_iter().collect();
+        ranked.sort_by_key(|(_, (votes, _))| std::cmp::Reverse(*votes));
+        for (model, (votes, score)) in ranked {
+            df.push(vec![model, votes.to_string(), format!("{score:.3}")]);
+        }
+        df
+    }
+
+    /// §5 `recommend_hyperparameters(model_info)`: the hyperparameters used
+    /// with an estimator on a dataset, most-voted first.
+    pub fn recommend_hyperparameters(&self, dataset: &str, model: &str) -> DataFrame {
+        let mut df = DataFrame::new(vec!["parameter".into(), "value".into(), "votes".into()]);
+        let mut weights: HashMap<(String, String), u32> = HashMap::new();
+        for (ds, m, votes, _score, params) in self.estimator_calls() {
+            if ds != dataset || m != model {
+                continue;
+            }
+            for (name, value) in params {
+                *weights.entry((name, value)).or_insert(0) += votes.max(1);
+            }
+        }
+        let mut ranked: Vec<((String, String), u32)> = weights.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for ((name, value), votes) in ranked {
+            df.push(vec![name, value, votes.to_string()]);
+        }
+        df
+    }
+
+    /// Build the KGpip-style AutoML knowledge base from the LiDS graph:
+    /// per seen dataset, the most-voted estimator and its harvested
+    /// configurations (XGBoost/LightGBM calls map to the random-forest
+    /// family of the portfolio).
+    pub fn automl(&self) -> AutoMl {
+        let mut per_dataset: HashMap<String, Vec<EstimatorUsage>> = HashMap::new();
+        for (ds, model, votes, _score, params) in self.estimator_calls() {
+            per_dataset.entry(ds).or_default().push((model, votes, params));
+        }
+        let mut seen = Vec::new();
+        for (dataset, calls) in per_dataset {
+            let Some(embedding) = self.dataset_embedding(&dataset) else {
+                continue;
+            };
+            // most-voted estimator wins
+            let mut votes_per_model: HashMap<ModelKind, u32> = HashMap::new();
+            for (model, votes, _) in &calls {
+                if let Some(kind) = portfolio_kind(model) {
+                    *votes_per_model.entry(kind).or_insert(0) += votes.max(&1);
+                }
+            }
+            let Some((&best_model, _)) =
+                votes_per_model.iter().max_by_key(|(_, &v)| v)
+            else {
+                continue;
+            };
+            // harvested configs for the winning estimator, most-voted first
+            let mut configs: Vec<(u32, Config)> = calls
+                .iter()
+                .filter(|(m, _, _)| portfolio_kind(m) == Some(best_model))
+                .map(|(_, votes, params)| {
+                    let numeric: Vec<(String, f64)> = params
+                        .iter()
+                        .filter_map(|(k, v)| {
+                            v.trim_matches('\'').parse::<f64>().ok().map(|n| (k.clone(), n))
+                        })
+                        .collect();
+                    (*votes, Config { model: best_model, params: numeric })
+                })
+                .collect();
+            configs.sort_by_key(|(votes, _)| std::cmp::Reverse(*votes));
+            seen.push(SeenDataset {
+                name: dataset,
+                embedding: embedding.to_vec(),
+                best_model,
+                configs: configs.into_iter().map(|(_, c)| c).take(3).collect(),
+            });
+        }
+        AutoMl::new(seen)
+    }
+
+    // ----------------------------------------------------------- harvesting
+
+    /// All estimator calls in the graph:
+    /// `(dataset, estimator, votes, score, params)`.
+    fn estimator_calls(&self) -> Vec<EstimatorCall> {
+        let mut out = Vec::new();
+        for est in ESTIMATORS {
+            let q = format!(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?g ?votes ?score ?ds ?param WHERE {{ \
+                    GRAPH ?g {{ ?s k:callsFunction <{}> . \
+                                OPTIONAL {{ ?s k:hasParameter ?param . }} }} \
+                    ?g k:hasVotes ?votes ; k:hasScore ?score ; k:aboutDataset ?ds . \
+                 }}",
+                lids_kg::ontology::res::library(est)
+            );
+            let rows = self.query(&q).expect("well-formed internal query");
+            // group parameter rows per pipeline
+            let mut per_pipeline: HashMap<String, PipelineParams> = HashMap::new();
+            for i in 0..rows.len() {
+                let g = rows.get(i, "g").unwrap().to_string();
+                let entry = per_pipeline.entry(g).or_insert_with(|| {
+                    (
+                        dataset_name(rows.get(i, "ds").unwrap()),
+                        rows.get_f64(i, "votes").unwrap_or(0.0) as u32,
+                        rows.get_f64(i, "score").unwrap_or(0.0),
+                        Vec::new(),
+                    )
+                });
+                let param = rows.get(i, "param").unwrap_or("");
+                if let Some((name, value)) = param.split_once('=') {
+                    let pair = (name.to_string(), value.to_string());
+                    if !entry.3.contains(&pair) {
+                        entry.3.push(pair);
+                    }
+                }
+            }
+            let model = est.rsplit('.').next().unwrap_or(est).to_string();
+            for (_, (ds, votes, score, params)) in per_pipeline {
+                out.push((ds, model.clone(), votes, score, params));
+            }
+        }
+        out
+    }
+
+    /// Harvest `(dataset embedding, operation)` training examples for
+    /// table-level operations.
+    fn harvest_examples<Op: Copy>(
+        &self,
+        ops: &[(&str, &str)],
+        parse: impl Fn(&str) -> Option<Op>,
+    ) -> Vec<(Vec<f32>, Op)> {
+        self.harvest_examples_with(ops, parse, false)
+    }
+
+    /// Harvest examples; `missing_aware` selects the §4.2 cleaning
+    /// embeddings (averages over null-containing columns).
+    fn harvest_examples_with<Op: Copy>(
+        &self,
+        ops: &[(&str, &str)],
+        parse: impl Fn(&str) -> Option<Op>,
+        missing_aware: bool,
+    ) -> Vec<(Vec<f32>, Op)> {
+        let mut out = Vec::new();
+        for (lib_path, label) in ops {
+            let Some(op) = parse(label) else { continue };
+            let q = format!(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT DISTINCT ?ds WHERE {{ \
+                    GRAPH ?g {{ ?s k:callsFunction <{}> . }} \
+                    ?g k:aboutDataset ?ds . \
+                 }}",
+                lids_kg::ontology::res::library(lib_path)
+            );
+            let rows = self.query(&q).expect("well-formed internal query");
+            for i in 0..rows.len() {
+                let ds = dataset_name(rows.get(i, "ds").unwrap());
+                let embedding = if missing_aware {
+                    self.dataset_embedding_missing(&ds)
+                } else {
+                    self.dataset_embedding(&ds)
+                };
+                if let Some(e) = embedding {
+                    out.push((e.to_vec(), op));
+                }
+            }
+        }
+        out
+    }
+
+    /// Column-transform examples: `(column embedding, transform)` for
+    /// columns of datasets whose pipelines apply `np.log1p` / `np.sqrt`.
+    fn harvest_column_transform_examples(&self) -> Vec<(Vec<f32>, ColumnTransform)> {
+        let mut out = Vec::new();
+        for (lib_path, label) in COLUMN_TRANSFORMS {
+            let Some(op) = ColumnTransform::from_label(label) else { continue };
+            let q = format!(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT DISTINCT ?col WHERE {{ \
+                    GRAPH ?g {{ ?s k:callsFunction <{}> ; k:readsColumn ?col . }} \
+                 }}",
+                lids_kg::ontology::res::library(lib_path)
+            );
+            let rows = self.query(&q).expect("well-formed internal query");
+            for i in 0..rows.len() {
+                let col_iri = rows.get(i, "col").unwrap();
+                if let Some(profile) = self
+                    .profiles
+                    .iter()
+                    .find(|p| {
+                        lids_kg::ontology::res::column(
+                            &p.meta.dataset,
+                            &p.meta.table,
+                            &p.meta.column,
+                        ) == col_iri
+                    })
+                {
+                    if !profile.embedding.is_empty() {
+                        out.push((profile.embedding.clone(), op));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cleaning operations and the library calls that mark them.
+const CLEANING_OPS: [(&str, &str); 5] = [
+    ("pandas.DataFrame.fillna", "Fillna"),
+    ("pandas.DataFrame.interpolate", "Interpolate"),
+    ("sklearn.impute.SimpleImputer", "SimpleImputer"),
+    ("sklearn.impute.KNNImputer", "KNNImputer"),
+    ("sklearn.impute.IterativeImputer", "IterativeImputer"),
+];
+
+/// Scaling operations.
+const SCALING_OPS: [(&str, &str); 3] = [
+    ("sklearn.preprocessing.StandardScaler", "StandardScaler"),
+    ("sklearn.preprocessing.MinMaxScaler", "MinMaxScaler"),
+    ("sklearn.preprocessing.RobustScaler", "RobustScaler"),
+];
+
+/// Column transforms.
+const COLUMN_TRANSFORMS: [(&str, &str); 3] = [
+    ("numpy.log1p", "log"),
+    ("numpy.log", "log"),
+    ("numpy.sqrt", "sqrt"),
+];
+
+/// Estimators harvested for AutoML.
+const ESTIMATORS: [&str; 6] = [
+    "sklearn.ensemble.RandomForestClassifier",
+    "sklearn.tree.DecisionTreeClassifier",
+    "sklearn.linear_model.LogisticRegression",
+    "sklearn.neighbors.KNeighborsClassifier",
+    "xgboost.XGBClassifier",
+    "lightgbm.LGBMClassifier",
+];
+
+/// Map an estimator class name to the portfolio family (boosted trees fall
+/// back to the forest family).
+fn portfolio_kind(model: &str) -> Option<ModelKind> {
+    ModelKind::from_label(model).or(match model {
+        "XGBClassifier" | "LGBMClassifier" => Some(ModelKind::RandomForest),
+        _ => None,
+    })
+}
+
+/// Dataset name from its resource IRI.
+fn dataset_name(iri: &str) -> String {
+    iri.rsplit('/').next().unwrap_or(iri).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{KgLidsBuilder, PipelineScript};
+    use lids_kg::abstraction::PipelineMetadata;
+    use lids_profiler::table::{Column, Dataset};
+
+    fn dataset(name: &str, base: i64) -> Dataset {
+        Dataset::new(
+            name,
+            vec![Table::new(
+                "train",
+                vec![
+                    Column::new("a", (0..30).map(|i| (base + i).to_string()).collect()),
+                    Column::new(
+                        "b",
+                        (0..30).map(|i| format!("{:.2}", base as f64 * 0.5 + i as f64)).collect(),
+                    ),
+                ],
+            )],
+        )
+    }
+
+    fn script(id: &str, ds: &str, votes: u32, body: &str) -> PipelineScript {
+        PipelineScript {
+            metadata: PipelineMetadata {
+                id: id.into(),
+                dataset: ds.into(),
+                title: id.into(),
+                author: "a".into(),
+                votes,
+                score: 0.8,
+                task: "classification".into(),
+            },
+            source: body.to_string(),
+        }
+    }
+
+    fn platform() -> KgLids {
+        let clean1 = "import pandas as pd\nfrom sklearn.impute import SimpleImputer\n\
+                      df = pd.read_csv('ds1/train.csv')\nimp = SimpleImputer(strategy='mean')\n\
+                      X = imp.fit_transform(df)\n";
+        let clean2 = "import pandas as pd\nfrom sklearn.impute import KNNImputer\n\
+                      df = pd.read_csv('ds2/train.csv')\nimp = KNNImputer(n_neighbors=5)\n\
+                      X = imp.fit_transform(df)\n";
+        let scale1 = "import pandas as pd\nfrom sklearn.preprocessing import StandardScaler\n\
+                      df = pd.read_csv('ds1/train.csv')\nsc = StandardScaler()\nX = sc.fit_transform(df)\n";
+        let model1 = "import pandas as pd\nfrom sklearn.ensemble import RandomForestClassifier\n\
+                      df = pd.read_csv('ds1/train.csv')\nclf = RandomForestClassifier(n_estimators=40, max_depth=12)\n\
+                      clf.fit(df, df)\n";
+        let model2 = "import pandas as pd\nfrom sklearn.linear_model import LogisticRegression\n\
+                      df = pd.read_csv('ds2/train.csv')\nclf = LogisticRegression(C=10.0)\nclf.fit(df, df)\n";
+        KgLidsBuilder::new()
+            .with_datasets([dataset("ds1", 0), dataset("ds2", 5000)])
+            .with_pipelines([
+                script("p1", "ds1", 100, clean1),
+                script("p2", "ds2", 80, clean2),
+                script("p3", "ds1", 60, scale1),
+                script("p4", "ds1", 90, model1),
+                script("p5", "ds2", 70, model2),
+                // extra examples so GNN training has enough nodes
+                script("p6", "ds1", 10, clean1),
+                script("p7", "ds2", 10, clean2),
+                script("p8", "ds1", 10, clean1),
+                script("p9", "ds2", 10, clean2),
+            ])
+            .bootstrap()
+            .0
+    }
+
+    #[test]
+    fn cleaning_recommendation_from_graph() {
+        let mut p = platform();
+        let probe = Table::new(
+            "probe",
+            vec![Column::new("a", (0..20).map(|i| i.to_string()).collect())],
+        );
+        let ranked = p.recommend_cleaning_operations(&probe);
+        assert!(!ranked.is_empty());
+        // probabilities sum to 1 when the GNN is trained
+        if ranked.len() == CleaningOp::ALL.len() {
+            let total: f32 = ranked.iter().map(|(_, s)| s).sum();
+            assert!((total - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn apply_cleaning_removes_nans() {
+        let p = KgLids::empty();
+        let frame = MlFrame {
+            feature_names: vec!["x".into()],
+            x: vec![vec![1.0], vec![f64::NAN], vec![3.0]],
+            y: vec![0, 1, 0],
+            n_classes: 2,
+        };
+        let cleaned = p.apply_cleaning_operations(CleaningOp::Interpolate, &frame);
+        assert!(!cleaned.has_missing());
+    }
+
+    #[test]
+    fn transform_recommendation_and_application() {
+        let mut p = platform();
+        let probe = Table::new(
+            "probe",
+            vec![
+                Column::new("num", (0..20).map(|i| (i * i).to_string()).collect()),
+                Column::new("txt", (0..20).map(|i| format!("v{i}")).collect()),
+            ],
+        );
+        let rec = p.recommend_transformations(&probe);
+        // only the numeric column gets a unary transform slot
+        assert_eq!(rec.column_transforms.len(), 1);
+        assert_eq!(rec.column_transforms[0].0, "num");
+
+        let frame = MlFrame {
+            feature_names: vec!["num".into()],
+            x: (0..10).map(|i| vec![(i * i) as f64]).collect(),
+            y: (0..10).map(|i| i % 2).collect(),
+            n_classes: 2,
+        };
+        let rec2 = TransformRecommendation {
+            scaling: ScalingOp::MinMaxScaler,
+            column_transforms: vec![("num".into(), ColumnTransform::Sqrt)],
+        };
+        let out = p.apply_transformations(&rec2, &frame);
+        assert!(out.x.iter().all(|r| (0.0..=1.0 + 1e-9).contains(&r[0])));
+    }
+
+    #[test]
+    fn ml_model_recommendation() {
+        let p = platform();
+        let df = p.recommend_ml_models("ds1");
+        assert_eq!(df.get(0, "model"), Some("RandomForestClassifier"));
+        let hp = p.recommend_hyperparameters("ds1", "RandomForestClassifier");
+        let params: Vec<&str> = hp.column("parameter");
+        assert!(params.contains(&"n_estimators"));
+        assert!(params.contains(&"max_depth"));
+        // documentation defaults harvested too
+        assert!(params.contains(&"criterion"));
+    }
+
+    #[test]
+    fn automl_kb_from_graph() {
+        let p = platform();
+        let automl = p.automl();
+        assert_eq!(automl.len(), 2);
+        let e1 = p.dataset_embedding("ds1").unwrap();
+        assert_eq!(automl.recommend_model(e1), ModelKind::RandomForest);
+        let priors = automl.recommend_hyperparameters(e1, ModelKind::RandomForest);
+        assert!(priors
+            .iter()
+            .any(|c| c.params.iter().any(|(k, v)| k == "n_estimators" && *v == 40.0)));
+    }
+
+    #[test]
+    fn portfolio_mapping() {
+        assert_eq!(portfolio_kind("XGBClassifier"), Some(ModelKind::RandomForest));
+        assert_eq!(
+            portfolio_kind("LogisticRegression"),
+            Some(ModelKind::LogisticRegression)
+        );
+        assert_eq!(portfolio_kind("MysteryModel"), None);
+    }
+}

@@ -1,0 +1,456 @@
+//! Data-discovery interfaces (§5): keyword search, unionable/joinable
+//! discovery, and join-path discovery. The discovery queries run as SPARQL
+//! against the LiDS graph, leveraging the store's indexes (§6.1.2).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use lids_kg::ontology::{object_prop, res};
+use lids_profiler::Table;
+use lids_vector::cosine_similarity;
+
+use crate::dataframe::DataFrame;
+use crate::platform::KgLids;
+
+/// Which similarity edges drive union search — the configurations of the
+/// Figure 6 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnionMode {
+    /// CoLR content + label similarity (the full system, best accuracy).
+    #[default]
+    ContentAndLabel,
+    /// CoLR content similarity only ("Fine-Grained" in Figure 6 — for
+    /// anonymised lakes without column names).
+    ContentOnly,
+    /// Label similarity only.
+    LabelOnly,
+}
+
+impl KgLids {
+    /// §5 "Search Tables Based on Specific Columns": keyword search with
+    /// conjunctive/disjunctive conditions expressed as nested lists — the
+    /// outer list is a disjunction of conjunctive groups, e.g.
+    /// `[["heart", "disease"], ["patients"]]` = (heart AND disease) OR
+    /// patients. Conditions match table, dataset, and column labels.
+    pub fn search_tables(&self, conditions: &[&[&str]]) -> DataFrame {
+        // base relation from the LiDS graph
+        let base = self
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
+                 SELECT ?table ?name ?dataset WHERE { \
+                    ?table a k:Table ; rdfs:label ?name ; k:isPartOf ?d . \
+                    ?d rdfs:label ?dataset . \
+                 } ORDER BY ?table",
+            )
+            .expect("well-formed internal query");
+        // column labels per table for matching
+        let col_labels = self
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
+                 SELECT ?table ?col WHERE { ?table k:hasColumn ?c . ?c rdfs:label ?col . }",
+            )
+            .expect("well-formed internal query");
+        let mut columns_of: HashMap<String, Vec<String>> = HashMap::new();
+        for i in 0..col_labels.len() {
+            columns_of
+                .entry(col_labels.get(i, "table").unwrap().to_string())
+                .or_default()
+                .push(col_labels.get(i, "col").unwrap().to_lowercase());
+        }
+
+        let mut out = DataFrame::new(vec![
+            "dataset".into(),
+            "table".into(),
+            "table_iri".into(),
+        ]);
+        for i in 0..base.len() {
+            let iri = base.get(i, "table").unwrap().to_string();
+            let name = base.get(i, "name").unwrap().to_lowercase();
+            let dataset = base.get(i, "dataset").unwrap().to_string();
+            let haystack: Vec<&str> = std::iter::once(name.as_str())
+                .chain(std::iter::once(dataset.as_str()))
+                .chain(
+                    columns_of
+                        .get(&iri)
+                        .map(|v| v.iter().map(|s| s.as_str()).collect::<Vec<_>>())
+                        .unwrap_or_default(),
+                )
+                .collect();
+            let lower_dataset = dataset.to_lowercase();
+            let matches = conditions.is_empty()
+                || conditions.iter().any(|group| {
+                    group.iter().all(|kw| {
+                        let kw = kw.to_lowercase();
+                        haystack.iter().any(|h| h.contains(&kw))
+                            || lower_dataset.contains(&kw)
+                    })
+                });
+            if matches {
+                out.push(vec![dataset, base.get(i, "name").unwrap().to_string(), iri]);
+            }
+        }
+        out
+    }
+
+    /// §5 "Discover Unionable Columns": matched (unionable) column pairs
+    /// between two tables, with similarity kind and score.
+    pub fn find_unionable_columns(
+        &self,
+        a: (&str, &str),
+        b: (&str, &str),
+    ) -> DataFrame {
+        let a_iri = res::table(a.0, a.1);
+        let b_iri = res::table(b.0, b.1);
+        let mut out = DataFrame::new(vec![
+            "column_a".into(),
+            "column_b".into(),
+            "kind".into(),
+            "score".into(),
+        ]);
+        for (pred, kind) in [
+            (object_prop::HAS_LABEL_SIMILARITY, "label"),
+            (object_prop::HAS_CONTENT_SIMILARITY, "content"),
+        ] {
+            let q = format!(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
+                 SELECT ?la ?lb ?s WHERE {{ \
+                    <{a_iri}> k:hasColumn ?ca . \
+                    ?ca k:{pred} ?cb . \
+                    ?cb k:isPartOf <{b_iri}> . \
+                    << ?ca k:{pred} ?cb >> k:withCertainty ?s . \
+                    ?ca rdfs:label ?la . ?cb rdfs:label ?lb . \
+                 }} ORDER BY DESC(?s)"
+            );
+            let rows = self.query(&q).expect("well-formed internal query");
+            for i in 0..rows.len() {
+                out.push(vec![
+                    rows.get(i, "la").unwrap().to_string(),
+                    rows.get(i, "lb").unwrap().to_string(),
+                    kind.to_string(),
+                    rows.get(i, "s").unwrap().to_string(),
+                ]);
+            }
+        }
+        out
+    }
+
+    /// Union search over the LiDS graph: rank tables unionable with the
+    /// given (profiled) table. "The similarity score between two tables is
+    /// based on both the number of similar columns and the similarity
+    /// scores between them."
+    pub fn find_unionable_tables(
+        &self,
+        dataset: &str,
+        table: &str,
+        k: usize,
+        mode: UnionMode,
+    ) -> Vec<(String, f64)> {
+        let t_iri = res::table(dataset, table);
+        let preds: &[&str] = match mode {
+            UnionMode::ContentAndLabel => {
+                &[object_prop::HAS_LABEL_SIMILARITY, object_prop::HAS_CONTENT_SIMILARITY]
+            }
+            UnionMode::ContentOnly => &[object_prop::HAS_CONTENT_SIMILARITY],
+            UnionMode::LabelOnly => &[object_prop::HAS_LABEL_SIMILARITY],
+        };
+        let mut scores: HashMap<String, (usize, f64)> = HashMap::new();
+        for pred in preds {
+            // Edge scores are rescaled by *sharpness above the
+            // materialisation threshold*: an edge at exactly α/θ carries no
+            // evidence (it barely cleared the bar), a perfect match carries
+            // full weight. This keeps borderline content edges from
+            // drowning out exact label matches when combining both kinds.
+            let threshold = if *pred == object_prop::HAS_LABEL_SIMILARITY {
+                self.schema_config.alpha as f64
+            } else {
+                self.schema_config.theta as f64
+            };
+            let q = format!(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?other ?s WHERE {{ \
+                    <{t_iri}> k:hasColumn ?ca . \
+                    ?ca k:{pred} ?cb . \
+                    ?cb k:isPartOf ?other . \
+                    << ?ca k:{pred} ?cb >> k:withCertainty ?s . \
+                 }}"
+            );
+            let rows = self.query(&q).expect("well-formed internal query");
+            for i in 0..rows.len() {
+                let other = rows.get(i, "other").unwrap().to_string();
+                if other == t_iri {
+                    continue;
+                }
+                let s: f64 = rows.get_f64(i, "s").unwrap_or(0.0);
+                let sharpness = ((s - threshold) / (1.0 - threshold).max(1e-9)).clamp(0.0, 1.0);
+                let entry = scores.entry(other).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 += sharpness;
+            }
+        }
+        let mut ranked: Vec<(String, f64)> = scores
+            .into_iter()
+            .map(|(iri, (n, total))| {
+                let name = iri.rsplit('/').next().unwrap_or("").to_string();
+                // "based on both the number of similar columns and the
+                // similarity scores between them"
+                (name, 0.25 * n as f64 + total)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Joinable-table discovery: tables sharing a high-content-similarity
+    /// column ("joinable if … content similarity relationships").
+    pub fn find_joinable_tables(&self, dataset: &str, table: &str, k: usize) -> Vec<(String, f64)> {
+        self.find_unionable_tables(dataset, table, k, UnionMode::ContentOnly)
+    }
+
+    /// §5 "Join Path Discovery": paths of content-similar (joinable) tables
+    /// from `from` to `to`, up to `hops` intermediate joins. Each path is a
+    /// list of table names.
+    pub fn get_path_to_table(
+        &self,
+        from: (&str, &str),
+        to: (&str, &str),
+        hops: usize,
+    ) -> Vec<Vec<String>> {
+        let adjacency = self.join_graph();
+        let start = res::table(from.0, from.1);
+        let goal = res::table(to.0, to.1);
+        let mut paths: Vec<Vec<String>> = Vec::new();
+        let mut stack: Vec<(String, Vec<String>)> = vec![(start.clone(), vec![start.clone()])];
+        while let Some((node, path)) = stack.pop() {
+            if node == goal && path.len() > 1 {
+                paths.push(path.iter().map(|iri| short_name(iri)).collect());
+                continue;
+            }
+            if path.len() > hops + 1 {
+                continue;
+            }
+            if let Some(next) = adjacency.get(&node) {
+                for n in next {
+                    if !path.contains(n) {
+                        let mut p = path.clone();
+                        p.push(n.clone());
+                        stack.push((n.clone(), p));
+                    }
+                }
+            }
+        }
+        paths.sort_by_key(|p| p.len());
+        paths
+    }
+
+    /// §5 "shortest path between two given tables" (BFS over the join
+    /// graph).
+    pub fn shortest_path_between_tables(
+        &self,
+        from: (&str, &str),
+        to: (&str, &str),
+    ) -> Option<Vec<String>> {
+        let adjacency = self.join_graph();
+        let start = res::table(from.0, from.1);
+        let goal = res::table(to.0, to.1);
+        let mut queue = VecDeque::from([vec![start.clone()]]);
+        let mut visited: HashSet<String> = HashSet::from([start]);
+        while let Some(path) = queue.pop_front() {
+            let node = path.last().unwrap();
+            if *node == goal {
+                return Some(path.iter().map(|iri| short_name(iri)).collect());
+            }
+            if let Some(next) = adjacency.get(node) {
+                for n in next {
+                    if visited.insert(n.clone()) {
+                        let mut p = path.clone();
+                        p.push(n.clone());
+                        queue.push_back(p);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// §5 `get_path_to_table(df, hops)` for an *unseen* DataFrame: "done by
+    /// computing an embedding of the given DataFrame, finding the most
+    /// similar table in the LiDS graph, and determining potential join
+    /// paths to the given target table."
+    pub fn get_path_to_table_for(
+        &self,
+        df: &Table,
+        to: (&str, &str),
+        hops: usize,
+    ) -> Vec<Vec<String>> {
+        let Some((dataset, table, _)) = self.most_similar_table(df) else {
+            return Vec::new();
+        };
+        self.get_path_to_table((&dataset, &table), to, hops)
+    }
+
+    /// The most similar profiled table to an unseen one (by table-embedding
+    /// cosine) — the first step of `get_path_to_table(df, …)` in §5.
+    pub fn most_similar_table(&self, table: &Table) -> Option<(String, String, f32)> {
+        let probe = self.embed_table(table);
+        self.table_embeddings
+            .iter()
+            .map(|((d, t), e)| (d.clone(), t.clone(), cosine_similarity(&probe, e)))
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Adjacency over tables connected by content-similar columns.
+    fn join_graph(&self) -> HashMap<String, Vec<String>> {
+        let rows = self
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT DISTINCT ?ta ?tb WHERE { \
+                    ?ca k:hasContentSimilarity ?cb . \
+                    ?ca k:isPartOf ?ta . ?cb k:isPartOf ?tb . \
+                 }",
+            )
+            .expect("well-formed internal query");
+        let mut adjacency: HashMap<String, Vec<String>> = HashMap::new();
+        for i in 0..rows.len() {
+            let a = rows.get(i, "ta").unwrap().to_string();
+            let b = rows.get(i, "tb").unwrap().to_string();
+            if a != b {
+                adjacency.entry(a).or_default().push(b);
+            }
+        }
+        adjacency
+    }
+}
+
+fn short_name(iri: &str) -> String {
+    iri.rsplit('/').next().unwrap_or(iri).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::KgLidsBuilder;
+    use lids_profiler::table::{Column, Dataset};
+
+    /// Three tables: A and B share an `age` column (same values → content
+    /// + label similar); B and C share a `city` column.
+    fn platform() -> KgLids {
+        let ages: Vec<String> = (20..60).map(|i| i.to_string()).collect();
+        let cities: Vec<String> = (0..40)
+            .map(|i| ["London", "Paris", "Tokyo", "Cairo"][i % 4].to_string())
+            .collect();
+        let salaries: Vec<String> = (0..40).map(|i| (30_000 + i * 500).to_string()).collect();
+        let ds = |name: &str, table: &str, cols: Vec<Column>| {
+            Dataset::new(name, vec![lids_profiler::Table::new(table, cols)])
+        };
+        KgLidsBuilder::new()
+            .with_datasets([
+                ds(
+                    "health",
+                    "patients",
+                    vec![
+                        Column::new("age", ages.clone()),
+                        Column::new("salary", salaries.clone()),
+                    ],
+                ),
+                ds(
+                    "census",
+                    "people",
+                    vec![
+                        Column::new("age", ages.clone()),
+                        Column::new("city", cities.clone()),
+                    ],
+                ),
+                ds("travel", "trips", vec![Column::new("city", cities)]),
+            ])
+            .bootstrap()
+            .0
+    }
+
+    #[test]
+    fn keyword_search_with_and_or() {
+        let p = platform();
+        // (age AND city) OR travel
+        let hits = p.search_tables(&[&["age", "city"], &["travel"]]);
+        let tables: Vec<&str> = hits.column("table");
+        assert!(tables.contains(&"people"));
+        assert!(tables.contains(&"trips"));
+        assert!(!tables.contains(&"patients"));
+        // empty conditions return everything
+        assert_eq!(p.search_tables(&[]).len(), 3);
+    }
+
+    #[test]
+    fn unionable_columns_between_tables() {
+        let p = platform();
+        let df = p.find_unionable_columns(("health", "patients"), ("census", "people"));
+        assert!(!df.is_empty());
+        let pairs: Vec<(&str, &str)> = (0..df.len())
+            .map(|i| (df.get(i, "column_a").unwrap(), df.get(i, "column_b").unwrap()))
+            .collect();
+        assert!(pairs.contains(&("age", "age")));
+    }
+
+    #[test]
+    fn unionable_tables_ranked() {
+        let p = platform();
+        let ranked = p.find_unionable_tables("health", "patients", 5, UnionMode::default());
+        assert!(!ranked.is_empty());
+        assert_eq!(ranked[0].0, "people");
+    }
+
+    #[test]
+    fn join_path_two_hops() {
+        let p = platform();
+        // patients —age— people —city— trips
+        let paths = p.get_path_to_table(("health", "patients"), ("travel", "trips"), 2);
+        assert!(!paths.is_empty(), "no join path found");
+        assert_eq!(paths[0], vec!["patients", "people", "trips"]);
+        let shortest = p
+            .shortest_path_between_tables(("health", "patients"), ("travel", "trips"))
+            .unwrap();
+        assert_eq!(shortest.len(), 3);
+    }
+
+    #[test]
+    fn no_path_when_disconnected() {
+        let p = platform();
+        assert!(p
+            .shortest_path_between_tables(("health", "patients"), ("nope", "missing"))
+            .is_none());
+    }
+
+    #[test]
+    fn join_path_for_unseen_dataframe() {
+        let p = platform();
+        // an unseen frame resembling `patients`/`people` (age column)
+        let probe = lids_profiler::Table::new(
+            "probe",
+            vec![Column::new("age", (22..58).map(|i| i.to_string()).collect())],
+        );
+        let paths = p.get_path_to_table_for(&probe, ("travel", "trips"), 2);
+        assert!(!paths.is_empty(), "no join path from most-similar table");
+        assert_eq!(paths[0].last().map(|s| s.as_str()), Some("trips"));
+    }
+
+    #[test]
+    fn most_similar_table_finds_twin() {
+        let p = platform();
+        let probe = lids_profiler::Table::new(
+            "probe",
+            vec![Column::new("age", (25..55).map(|i| i.to_string()).collect())],
+        );
+        let (d, _t, sim) = p.most_similar_table(&probe).unwrap();
+        assert!(sim > 0.5);
+        assert!(d == "health" || d == "census");
+    }
+
+    #[test]
+    fn content_only_mode_still_finds_unionable() {
+        let p = platform();
+        let ranked = p.find_unionable_tables("health", "patients", 5, UnionMode::ContentOnly);
+        assert!(ranked.iter().any(|(t, _)| t == "people"));
+    }
+}

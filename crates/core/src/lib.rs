@@ -1,0 +1,34 @@
+//! `kglids` — the KGLiDS platform (the paper's primary contribution).
+//!
+//! A scalable platform that abstracts the semantics of data-science
+//! artifacts (datasets + pipeline scripts) into an RDF-star knowledge
+//! graph — the *LiDS graph* — and drives discovery and on-demand
+//! automation on top of it:
+//!
+//! - [`KgLids`]: the platform façade. Bootstrap it with datasets and
+//!   pipeline scripts (the KG Governor profiles, abstracts, links — §2.1/§3)
+//!   and query it through the §5 interfaces.
+//! - [`discovery`]: `search_tables`, `find_unionable_columns`/`tables`,
+//!   `find_joinable_tables`, `get_path_to_table`, shortest join paths.
+//! - [`insights`]: `get_top_k_libraries_used`, `get_top_used_libraries`,
+//!   `get_pipelines_calling_libraries` (Figure 4's data).
+//! - [`automation`]: `recommend_cleaning_operations`, `apply_cleaning_
+//!   operations`, `recommend_transformations`, `recommend_ml_models`,
+//!   `recommend_hyperparameters` (§4, §5).
+//! - [`dataframe`]: query results materialise as a [`DataFrame`] ("KGLiDS
+//!   exports query results as Pandas DataFrame" — §2.2).
+//! - [`maintenance`]: incremental additions — `add_dataset` /
+//!   `add_pipeline` keep the KG in sync without a rebuild (§2.1).
+//! - Ad-hoc SPARQL via [`KgLids::query`].
+
+pub mod automation;
+pub mod dataframe;
+pub mod discovery;
+pub mod export;
+pub mod insights;
+pub mod maintenance;
+pub mod manager;
+pub mod platform;
+
+pub use dataframe::DataFrame;
+pub use platform::{BootstrapStats, KgLids, KgLidsBuilder, PipelineScript};

@@ -1,0 +1,402 @@
+//! Incremental KG maintenance (§2.1): "KGLiDS is not a static platform; as
+//! more datasets and pipelines are added, KGLiDS continuously and
+//! incrementally maintains our KG."
+//!
+//! [`KgLids::add_dataset`] profiles only the new tables and compares their
+//! columns against the existing profiles (new×old plus new×new pairs — not
+//! a full rebuild); [`KgLids::add_pipeline`] abstracts and links one script
+//! against the current data global schema. Materialised similarity edges
+//! keep their prediction scores, so downstream queries need no re-runs.
+
+use lids_embed::{table_embedding, ColrModels, FineGrainedType, WordEmbeddings};
+use lids_exec::parallel_map;
+use lids_kg::abstraction::{AbstractionStats, PipelineMetadata};
+use lids_kg::linker::{link_pipelines, LinkStats};
+use lids_kg::ontology::{class, data_prop, object_prop, res, RDFS_LABEL, RDF_TYPE};
+use lids_profiler::table::Dataset;
+use lids_profiler::{profile_table, ColumnProfile};
+use lids_rdf::{Quad, Term};
+use lids_vector::{cosine_similarity, VectorIndex};
+
+use crate::platform::KgLids;
+
+/// What an incremental dataset addition did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IncrementStats {
+    pub columns_added: usize,
+    pub pairs_compared: usize,
+    pub label_edges: usize,
+    pub content_edges: usize,
+}
+
+impl KgLids {
+    /// Incrementally add a dataset: profile its tables, extend the data
+    /// global schema (comparing only new×existing and new×new column
+    /// pairs), and refresh the embedding store.
+    pub fn add_dataset(&mut self, dataset: &Dataset) -> IncrementStats {
+        let models = ColrModels::pretrained();
+        let we = WordEmbeddings::new();
+        let mut stats = IncrementStats::default();
+
+        // ---- profile the new tables ----
+        let mut new_profiles: Vec<ColumnProfile> = Vec::new();
+        for table in &dataset.tables {
+            new_profiles.extend(profile_table(
+                &dataset.name,
+                table,
+                models,
+                &we,
+                &self.profiler_config,
+                Some(&self.meter),
+            ));
+        }
+        stats.columns_added = new_profiles.len();
+
+        // ---- metadata subgraph for the new entities ----
+        let d_iri = res::dataset(&dataset.name);
+        self.store.insert(&Quad::new(
+            Term::iri(d_iri.clone()),
+            Term::iri(RDF_TYPE),
+            Term::iri(class::iri(class::DATASET)),
+        ));
+        self.store.insert(&Quad::new(
+            Term::iri(d_iri.clone()),
+            Term::iri(RDFS_LABEL),
+            Term::string(dataset.name.clone()),
+        ));
+        let mut seen_tables: std::collections::HashSet<String> = Default::default();
+        for p in &new_profiles {
+            let t_iri = res::table(&p.meta.dataset, &p.meta.table);
+            if seen_tables.insert(t_iri.clone()) {
+                for (pred, obj) in [
+                    (RDF_TYPE.to_string(), Term::iri(class::iri(class::TABLE))),
+                    (RDFS_LABEL.to_string(), Term::string(p.meta.table.clone())),
+                    (
+                        object_prop::iri(object_prop::IS_PART_OF),
+                        Term::iri(d_iri.clone()),
+                    ),
+                ] {
+                    self.store.insert(&Quad::new(
+                        Term::iri(t_iri.clone()),
+                        Term::iri(pred),
+                        obj,
+                    ));
+                }
+                self.store.insert(&Quad::new(
+                    Term::iri(d_iri.clone()),
+                    Term::iri(object_prop::iri(object_prop::HAS_TABLE)),
+                    Term::iri(t_iri.clone()),
+                ));
+            }
+            let c_iri = res::column(&p.meta.dataset, &p.meta.table, &p.meta.column);
+            for (pred, obj) in [
+                (RDF_TYPE.to_string(), Term::iri(class::iri(class::COLUMN))),
+                (RDFS_LABEL.to_string(), Term::string(p.meta.column.clone())),
+                (
+                    object_prop::iri(object_prop::IS_PART_OF),
+                    Term::iri(t_iri.clone()),
+                ),
+                (
+                    data_prop::iri(data_prop::HAS_DATA_TYPE),
+                    Term::string(p.fgt.label()),
+                ),
+                (
+                    data_prop::iri(data_prop::HAS_TOTAL_VALUE_COUNT),
+                    Term::integer(p.stats.count as i64),
+                ),
+                (
+                    data_prop::iri(data_prop::HAS_MISSING_VALUE_COUNT),
+                    Term::integer(p.stats.nulls as i64),
+                ),
+            ] {
+                self.store.insert(&Quad::new(
+                    Term::iri(c_iri.clone()),
+                    Term::iri(pred),
+                    obj,
+                ));
+            }
+            self.store.insert(&Quad::new(
+                Term::iri(t_iri),
+                Term::iri(object_prop::iri(object_prop::HAS_COLUMN)),
+                Term::iri(c_iri),
+            ));
+        }
+
+        // ---- incremental similarity: new×(existing ∪ new), same type,
+        // different table ----
+        let existing = self.profiles.len();
+        let all: Vec<&ColumnProfile> =
+            self.profiles.iter().chain(new_profiles.iter()).collect();
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (offset, a) in new_profiles.iter().enumerate() {
+            let i = existing + offset;
+            for (j, b) in all.iter().enumerate() {
+                if j >= i {
+                    break;
+                }
+                if a.fgt != b.fgt {
+                    continue;
+                }
+                if a.meta.dataset == b.meta.dataset && a.meta.table == b.meta.table {
+                    continue;
+                }
+                pairs.push((i, j));
+            }
+        }
+        stats.pairs_compared = pairs.len();
+
+        struct Edge {
+            a: String,
+            b: String,
+            predicate: &'static str,
+            score: f64,
+        }
+        let alpha = self.schema_config.alpha;
+        let beta = self.schema_config.beta;
+        let theta = self.schema_config.theta;
+        let edges: Vec<Vec<Edge>> = parallel_map(&pairs, |&(i, j)| {
+            let (a, b) = (all[i], all[j]);
+            let a_iri = res::column(&a.meta.dataset, &a.meta.table, &a.meta.column);
+            let b_iri = res::column(&b.meta.dataset, &b.meta.table, &b.meta.column);
+            let mut out = Vec::new();
+            let label_sim = lids_embed::label_similarity(&we, &a.meta.column, &b.meta.column);
+            if label_sim >= alpha {
+                out.push(Edge {
+                    a: a_iri.clone(),
+                    b: b_iri.clone(),
+                    predicate: object_prop::HAS_LABEL_SIMILARITY,
+                    score: label_sim as f64,
+                });
+            }
+            if a.fgt == FineGrainedType::Boolean {
+                if let (Some(ta), Some(tb)) = (a.stats.true_ratio, b.stats.true_ratio) {
+                    let sim = 1.0 - (ta - tb).abs();
+                    if sim >= beta {
+                        out.push(Edge {
+                            a: a_iri,
+                            b: b_iri,
+                            predicate: object_prop::HAS_CONTENT_SIMILARITY,
+                            score: sim,
+                        });
+                    }
+                }
+            } else if !a.embedding.is_empty() && !b.embedding.is_empty() {
+                let sim = cosine_similarity(&a.embedding, &b.embedding);
+                if sim >= theta {
+                    out.push(Edge {
+                        a: a_iri,
+                        b: b_iri,
+                        predicate: object_prop::HAS_CONTENT_SIMILARITY,
+                        score: sim as f64,
+                    });
+                }
+            }
+            out
+        });
+        for edge in edges.into_iter().flatten() {
+            for (x, y) in [(&edge.a, &edge.b), (&edge.b, &edge.a)] {
+                self.store.insert(&Quad::new(
+                    Term::iri(x.clone()),
+                    Term::iri(object_prop::iri(edge.predicate)),
+                    Term::iri(y.clone()),
+                ));
+                self.store.insert(&Quad::new(
+                    Term::quoted(
+                        Term::iri(x.clone()),
+                        Term::iri(object_prop::iri(edge.predicate)),
+                        Term::iri(y.clone()),
+                    ),
+                    Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY)),
+                    Term::double(edge.score),
+                ));
+            }
+            match edge.predicate {
+                object_prop::HAS_LABEL_SIMILARITY => stats.label_edges += 1,
+                _ => stats.content_edges += 1,
+            }
+        }
+
+        // ---- embedding store + table/dataset embeddings ----
+        for p in new_profiles {
+            if !p.embedding.is_empty() {
+                self.column_index.add(self.profiles.len() as u64, &p.embedding);
+            }
+            self.profiles.push(p);
+        }
+        self.refresh_embeddings_for(&dataset.name);
+        stats
+    }
+
+    /// Incrementally abstract and link one pipeline script. Returns `None`
+    /// when the script fails to parse.
+    pub fn add_pipeline(
+        &mut self,
+        metadata: &PipelineMetadata,
+        source: &str,
+    ) -> Option<LinkStats> {
+        let mut ab_stats = AbstractionStats::default();
+        lids_kg::abstraction::abstract_pipeline(
+            &mut self.store,
+            &mut ab_stats,
+            &self.docs,
+            metadata,
+            source,
+        )
+        .ok()?;
+        // linking is idempotent: only the fresh predictions remain
+        Some(link_pipelines(&mut self.store))
+    }
+
+    /// Recompute table/dataset embeddings for one dataset from the profile
+    /// registry (called after incremental additions).
+    fn refresh_embeddings_for(&mut self, dataset: &str) {
+        let mut by_table: std::collections::HashMap<String, Vec<(FineGrainedType, Vec<f32>, bool)>> =
+            Default::default();
+        for p in self.profiles.iter().filter(|p| p.meta.dataset == dataset) {
+            if !p.embedding.is_empty() {
+                by_table.entry(p.meta.table.clone()).or_default().push((
+                    p.fgt,
+                    p.embedding.clone(),
+                    p.stats.nulls > 0,
+                ));
+            }
+        }
+        let mut all_tables = Vec::new();
+        let mut missing_tables = Vec::new();
+        for (table, cols) in by_table {
+            let all: Vec<(FineGrainedType, Vec<f32>)> =
+                cols.iter().map(|(t, e, _)| (*t, e.clone())).collect();
+            let with_missing: Vec<(FineGrainedType, Vec<f32>)> = cols
+                .iter()
+                .filter(|(_, _, m)| *m)
+                .map(|(t, e, _)| (*t, e.clone()))
+                .collect();
+            let table_emb = table_embedding(&all);
+            let missing_emb =
+                table_embedding(if with_missing.is_empty() { &all } else { &with_missing });
+            all_tables.push(table_emb.clone());
+            missing_tables.push(missing_emb.clone());
+            self.table_embeddings
+                .insert((dataset.to_string(), table.clone()), table_emb);
+        }
+        if !all_tables.is_empty() {
+            let dim = all_tables[0].len();
+            self.dataset_embeddings.insert(
+                dataset.to_string(),
+                lids_vector::mean_vector(all_tables.iter().map(|e| e.as_slice()), dim),
+            );
+            self.dataset_embeddings_missing.insert(
+                dataset.to_string(),
+                lids_vector::mean_vector(missing_tables.iter().map(|e| e.as_slice()), dim),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::UnionMode;
+    use crate::platform::KgLidsBuilder;
+    use lids_profiler::table::{Column, Table};
+
+    fn dataset(name: &str, table: &str, ages: bool) -> Dataset {
+        let values: Vec<String> = (20..60).map(|i| i.to_string()).collect();
+        let col_name = if ages { "age" } else { "height" };
+        Dataset::new(
+            name,
+            vec![Table::new(table, vec![Column::new(col_name, values)])],
+        )
+    }
+
+    #[test]
+    fn incremental_dataset_links_to_existing() {
+        let (mut platform, _) = KgLidsBuilder::new()
+            .with_dataset(dataset("base", "people", true))
+            .bootstrap();
+        let before_cols = platform.profiles().len();
+
+        let stats = platform.add_dataset(&dataset("newcomer", "patients", true));
+        assert_eq!(stats.columns_added, 1);
+        assert!(stats.pairs_compared >= 1);
+        // identical age columns → content + label edges across datasets
+        assert!(stats.content_edges >= 1, "{stats:?}");
+        assert!(stats.label_edges >= 1);
+        assert_eq!(platform.profiles().len(), before_cols + 1);
+
+        // discovery sees the new table immediately
+        let ranked = platform.find_unionable_tables("base", "people", 5, UnionMode::default());
+        assert!(ranked.iter().any(|(t, _)| t == "patients"));
+        // and so does keyword search
+        let hits = platform.search_tables(&[&["newcomer"]]);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn incremental_dataset_embeddings_registered() {
+        let (mut platform, _) = KgLidsBuilder::new().bootstrap();
+        platform.add_dataset(&dataset("solo", "t", true));
+        assert!(platform.table_embedding("solo", "t").is_some());
+        assert!(platform.dataset_embedding("solo").is_some());
+        assert!(platform.dataset_embedding_missing("solo").is_some());
+    }
+
+    #[test]
+    fn incremental_pipeline_links_against_schema() {
+        let (mut platform, _) = KgLidsBuilder::new()
+            .with_dataset(dataset("titanic", "train", true))
+            .bootstrap();
+        let md = PipelineMetadata {
+            id: "late".into(),
+            dataset: "titanic".into(),
+            title: "late pipeline".into(),
+            author: "zed".into(),
+            votes: 5,
+            score: 0.6,
+            task: "classification".into(),
+        };
+        let src = "import pandas as pd\ndf = pd.read_csv('titanic/train.csv')\nx = df['age']\n";
+        let links = platform.add_pipeline(&md, src).unwrap();
+        assert_eq!(links.tables_linked, 1);
+        assert_eq!(links.columns_linked, 1);
+        // the pipeline shows up in library queries
+        let libs = platform.get_top_k_libraries_used(3);
+        assert_eq!(libs.get(0, "library"), Some("pandas"));
+    }
+
+    #[test]
+    fn broken_pipeline_returns_none() {
+        let (mut platform, _) = KgLidsBuilder::new().bootstrap();
+        let md = PipelineMetadata {
+            id: "bad".into(),
+            dataset: "d".into(),
+            title: "t".into(),
+            author: "a".into(),
+            votes: 0,
+            score: 0.0,
+            task: "eda".into(),
+        };
+        assert!(platform.add_pipeline(&md, "def broken(:\n").is_none());
+    }
+
+    #[test]
+    fn no_edges_for_unrelated_types() {
+        let (mut platform, _) = KgLidsBuilder::new()
+            .with_dataset(dataset("base", "people", true))
+            .bootstrap();
+        // a text dataset: same label never matches "age", types differ
+        let text = Dataset::new(
+            "texts",
+            vec![Table::new(
+                "reviews",
+                vec![Column::new(
+                    "comment",
+                    (0..20).map(|i| format!("great product number {i} works well")).collect(),
+                )],
+            )],
+        );
+        let stats = platform.add_dataset(&text);
+        assert_eq!(stats.pairs_compared, 0); // different fine-grained type
+        assert_eq!(stats.content_edges, 0);
+    }
+}

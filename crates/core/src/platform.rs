@@ -1,0 +1,552 @@
+//! The platform façade: bootstrap (KG Governor) + storage + ad-hoc queries.
+
+use std::collections::HashMap;
+
+use lids_embed::{table_embedding, ColrModels, FineGrainedType, WordEmbeddings};
+use lids_exec::{MemoryMeter, Stopwatch};
+use lids_kg::abstraction::{emit_pipeline, AbstractionStats, PipelineMetadata};
+use lids_kg::docs::LibraryDocs;
+use lids_kg::library_graph::build_library_graph;
+use lids_kg::linker::{link_pipelines, LinkStats};
+use lids_kg::schema::{build_data_global_schema, SchemaConfig, SchemaStats};
+use lids_profiler::table::Dataset;
+use lids_profiler::{profile_table, ColumnProfile, ProfilerConfig, Table};
+use lids_py::analysis::AnalyzedScript;
+use lids_rdf::QuadStore;
+use lids_sparql::SparqlError;
+use lids_vector::{BruteForceIndex, Metric, VectorIndex};
+
+use crate::dataframe::DataFrame;
+
+/// A pipeline script plus its metadata (`S` and `MD` of Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct PipelineScript {
+    pub metadata: PipelineMetadata,
+    pub source: String,
+}
+
+/// What bootstrap did, with per-phase timings — the numbers behind the
+/// Table 2 "preprocessing" column and Table 3's analysis time.
+#[derive(Debug, Clone, Default)]
+pub struct BootstrapStats {
+    pub profiling_secs: f64,
+    pub schema_secs: f64,
+    pub abstraction_secs: f64,
+    pub linking_secs: f64,
+    pub columns_profiled: usize,
+    pub pipelines_abstracted: usize,
+    pub pipelines_failed: usize,
+    pub triples: usize,
+    pub schema: Option<SchemaStatsLite>,
+    pub abstraction: AbstractionStats,
+    pub links: LinkStats,
+}
+
+/// Copyable subset of [`SchemaStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchemaStatsLite {
+    pub pairs_compared: usize,
+    pub label_edges: usize,
+    pub content_edges: usize,
+}
+
+impl From<&SchemaStats> for SchemaStatsLite {
+    fn from(s: &SchemaStats) -> Self {
+        SchemaStatsLite {
+            pairs_compared: s.pairs_compared,
+            label_edges: s.label_edges,
+            content_edges: s.content_edges,
+        }
+    }
+}
+
+/// Builder for a [`KgLids`] platform instance.
+pub struct KgLidsBuilder {
+    datasets: Vec<Dataset>,
+    pipelines: Vec<PipelineScript>,
+    profiler_config: ProfilerConfig,
+    schema_config: SchemaConfig,
+    custom_profiles: Option<Vec<ColumnProfile>>,
+}
+
+impl Default for KgLidsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KgLidsBuilder {
+    pub fn new() -> Self {
+        KgLidsBuilder {
+            datasets: Vec::new(),
+            pipelines: Vec::new(),
+            profiler_config: ProfilerConfig::default(),
+            schema_config: SchemaConfig::default(),
+            custom_profiles: None,
+        }
+    }
+
+    /// Add a dataset (one or more tables) to be profiled.
+    pub fn with_dataset(mut self, dataset: Dataset) -> Self {
+        self.datasets.push(dataset);
+        self
+    }
+
+    /// Add many datasets.
+    pub fn with_datasets(mut self, datasets: impl IntoIterator<Item = Dataset>) -> Self {
+        self.datasets.extend(datasets);
+        self
+    }
+
+    /// Add pipeline scripts to be abstracted.
+    pub fn with_pipelines(mut self, pipelines: impl IntoIterator<Item = PipelineScript>) -> Self {
+        self.pipelines.extend(pipelines);
+        self
+    }
+
+    /// Override profiling parameters.
+    pub fn with_profiler_config(mut self, config: ProfilerConfig) -> Self {
+        self.profiler_config = config;
+        self
+    }
+
+    /// Override similarity thresholds (`α`, `β`, `θ`).
+    pub fn with_schema_config(mut self, config: SchemaConfig) -> Self {
+        self.schema_config = config;
+        self
+    }
+
+    /// Use pre-computed column profiles instead of profiling datasets —
+    /// for ablations with alternative embedding models (Figure 6's
+    /// coarse-grained arm).
+    pub fn with_custom_profiles(mut self, profiles: Vec<ColumnProfile>) -> Self {
+        self.custom_profiles = Some(profiles);
+        self
+    }
+
+    /// Run the KG Governor: profile → schema → library graph → abstract →
+    /// link. Returns the platform and bootstrap statistics.
+    pub fn bootstrap(self) -> (KgLids, BootstrapStats) {
+        let mut stats = BootstrapStats::default();
+        let mut store = QuadStore::new();
+        let docs = LibraryDocs::builtin();
+        let we = WordEmbeddings::new();
+        let models = ColrModels::pretrained();
+        let meter = MemoryMeter::new();
+
+        // ---- Algorithm 2: profile all datasets ----
+        let mut sw = Stopwatch::started();
+        let profiles: Vec<ColumnProfile> = match self.custom_profiles {
+            Some(profiles) => profiles,
+            None => {
+                let mut profiles = Vec::new();
+                for dataset in &self.datasets {
+                    for table in &dataset.tables {
+                        profiles.extend(profile_table(
+                            &dataset.name,
+                            table,
+                            models,
+                            &we,
+                            &self.profiler_config,
+                            Some(&meter),
+                        ));
+                    }
+                }
+                profiles
+            }
+        };
+        sw.stop();
+        stats.profiling_secs = sw.secs();
+        stats.columns_profiled = profiles.len();
+
+        // ---- Algorithm 3: data global schema ----
+        let mut sw = Stopwatch::started();
+        let schema_stats =
+            build_data_global_schema(&mut store, &profiles, &self.schema_config, &we);
+        sw.stop();
+        stats.schema_secs = sw.secs();
+        stats.schema = Some(SchemaStatsLite::from(&schema_stats));
+
+        // ---- Algorithm 1: library graph + pipeline abstraction ----
+        let mut sw = Stopwatch::started();
+        let mut abstraction = AbstractionStats::default();
+        build_library_graph(&mut store, &docs, &mut abstraction);
+        // analysis is the parallel worker phase; emission is serial
+        let analyzed: Vec<Option<AnalyzedScript>> = lids_exec::parallel_map(
+            &self.pipelines,
+            |p| lids_py::analyze(&p.source).ok(),
+        );
+        for (pipeline, analysis) in self.pipelines.iter().zip(analyzed) {
+            match analysis {
+                Some(a) => {
+                    emit_pipeline(&mut store, &mut abstraction, &docs, &pipeline.metadata, &a);
+                    stats.pipelines_abstracted += 1;
+                }
+                None => stats.pipelines_failed += 1,
+            }
+        }
+        sw.stop();
+        stats.abstraction_secs = sw.secs();
+        stats.abstraction = abstraction;
+
+        // ---- Graph Linker ----
+        let mut sw = Stopwatch::started();
+        stats.links = link_pipelines(&mut store);
+        sw.stop();
+        stats.linking_secs = sw.secs();
+        stats.triples = store.len();
+
+        // ---- embedding store ----
+        let mut column_index = BruteForceIndex::new(lids_embed::EMBEDDING_DIM, Metric::Cosine);
+        for (i, p) in profiles.iter().enumerate() {
+            if !p.embedding.is_empty() {
+                column_index.add(i as u64, &p.embedding);
+            }
+        }
+        let mut table_embeddings: HashMap<(String, String), Vec<f32>> = HashMap::new();
+        let mut missing_table_embeddings: HashMap<(String, String), Vec<f32>> = HashMap::new();
+        // (type, embedding, has-nulls) per column, grouped by table
+        type ColumnEntry = (FineGrainedType, Vec<f32>, bool);
+        let mut by_table: HashMap<(String, String), Vec<ColumnEntry>> = HashMap::new();
+        for p in &profiles {
+            if !p.embedding.is_empty() {
+                by_table
+                    .entry((p.meta.dataset.clone(), p.meta.table.clone()))
+                    .or_default()
+                    .push((p.fgt, p.embedding.clone(), p.stats.nulls > 0));
+            }
+        }
+        for (key, cols) in by_table {
+            let all: Vec<(FineGrainedType, Vec<f32>)> =
+                cols.iter().map(|(t, e, _)| (*t, e.clone())).collect();
+            let with_missing: Vec<(FineGrainedType, Vec<f32>)> = cols
+                .iter()
+                .filter(|(_, _, has_nulls)| *has_nulls)
+                .map(|(t, e, _)| (*t, e.clone()))
+                .collect();
+            table_embeddings.insert(key.clone(), table_embedding(&all));
+            // §4.2: average only the columns containing missing values
+            let source = if with_missing.is_empty() { &all } else { &with_missing };
+            missing_table_embeddings.insert(key, table_embedding(source));
+        }
+        let mut dataset_embeddings: HashMap<String, Vec<f32>> = HashMap::new();
+        let mut dataset_embeddings_missing: HashMap<String, Vec<f32>> = HashMap::new();
+        for (map, out) in [
+            (&table_embeddings, &mut dataset_embeddings),
+            (&missing_table_embeddings, &mut dataset_embeddings_missing),
+        ] {
+            let mut by_dataset: HashMap<String, Vec<Vec<f32>>> = HashMap::new();
+            for ((d, _), e) in map {
+                by_dataset.entry(d.clone()).or_default().push(e.clone());
+            }
+            for (d, embs) in by_dataset {
+                let dim = embs[0].len();
+                out.insert(
+                    d,
+                    lids_vector::mean_vector(embs.iter().map(|e| e.as_slice()), dim),
+                );
+            }
+        }
+        meter.alloc(
+            table_embeddings.values().map(|e| (e.len() * 4) as u64).sum::<u64>()
+                + column_index.approx_bytes(),
+        );
+
+        let platform = KgLids {
+            store,
+            docs,
+            we,
+            profiler_config: self.profiler_config,
+            schema_config: self.schema_config,
+            profiles,
+            column_index,
+            table_embeddings,
+            dataset_embeddings,
+            dataset_embeddings_missing,
+            meter,
+            cleaning_model: None,
+            scaling_model: None,
+            column_model: None,
+        };
+        (platform, stats)
+    }
+}
+
+/// The KGLiDS platform: LiDS graph + embedding store + models.
+pub struct KgLids {
+    pub(crate) store: QuadStore,
+    pub(crate) docs: LibraryDocs,
+    pub(crate) we: WordEmbeddings,
+    pub(crate) profiler_config: ProfilerConfig,
+    #[allow(dead_code)]
+    pub(crate) schema_config: SchemaConfig,
+    pub(crate) profiles: Vec<ColumnProfile>,
+    /// Faiss-substitute embedding store over column embeddings; vector ids
+    /// index into `profiles`.
+    pub(crate) column_index: BruteForceIndex,
+    pub(crate) table_embeddings: HashMap<(String, String), Vec<f32>>,
+    pub(crate) dataset_embeddings: HashMap<String, Vec<f32>>,
+    /// §4.2 cleaning embeddings: per-type averages over the columns that
+    /// contain missing values (falls back to all columns when none do).
+    pub(crate) dataset_embeddings_missing: HashMap<String, Vec<f32>>,
+    pub(crate) meter: MemoryMeter,
+    pub(crate) cleaning_model: Option<lids_gnn::CleaningModel>,
+    pub(crate) scaling_model: Option<lids_gnn::ScalingModel>,
+    pub(crate) column_model: Option<lids_gnn::ColumnTransformModel>,
+}
+
+impl KgLids {
+    /// Bootstrap an empty platform (no artifacts).
+    pub fn empty() -> Self {
+        KgLidsBuilder::new().bootstrap().0
+    }
+
+    /// The LiDS graph (read-only).
+    pub fn store(&self) -> &QuadStore {
+        &self.store
+    }
+
+    /// All column profiles.
+    pub fn profiles(&self) -> &[ColumnProfile] {
+        &self.profiles
+    }
+
+    /// Logical memory meter.
+    pub fn meter(&self) -> &MemoryMeter {
+        &self.meter
+    }
+
+    /// Number of triples in the LiDS graph.
+    pub fn triple_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Ad-hoc SPARQL query returning a [`DataFrame`] (§5, Ad-hoc Queries).
+    pub fn query(&self, sparql: &str) -> Result<DataFrame, SparqlError> {
+        let solutions = lids_sparql::query(&self.store, sparql)?;
+        Ok(DataFrame::from_solutions(&solutions))
+    }
+
+    /// Ask query.
+    pub fn ask(&self, sparql: &str) -> Result<bool, SparqlError> {
+        let solutions = lids_sparql::query(&self.store, sparql)?;
+        Ok(solutions.ask.unwrap_or(false))
+    }
+
+    /// Stored 1800-d embedding of a profiled table.
+    pub fn table_embedding(&self, dataset: &str, table: &str) -> Option<&[f32]> {
+        self.table_embeddings
+            .get(&(dataset.to_string(), table.to_string()))
+            .map(|e| e.as_slice())
+    }
+
+    /// Stored dataset embedding (mean of its tables').
+    pub fn dataset_embedding(&self, dataset: &str) -> Option<&[f32]> {
+        self.dataset_embeddings.get(dataset).map(|e| e.as_slice())
+    }
+
+    /// §4.2 cleaning embedding of a dataset: per-type averages over the
+    /// columns that contain missing values.
+    pub fn dataset_embedding_missing(&self, dataset: &str) -> Option<&[f32]> {
+        self.dataset_embeddings_missing.get(dataset).map(|e| e.as_slice())
+    }
+
+    /// §4.2 cleaning embedding of an *unseen* table: per-type averages over
+    /// its null-containing columns (all columns when none have nulls).
+    pub fn embed_table_missing(&self, table: &Table) -> Vec<f32> {
+        let models = ColrModels::pretrained();
+        let profiles = profile_table(
+            "__unseen__",
+            table,
+            models,
+            &self.we,
+            &self.profiler_config,
+            None,
+        );
+        let with_missing: Vec<(FineGrainedType, Vec<f32>)> = profiles
+            .iter()
+            .filter(|p| !p.embedding.is_empty() && p.stats.nulls > 0)
+            .map(|p| (p.fgt, p.embedding.clone()))
+            .collect();
+        if !with_missing.is_empty() {
+            return table_embedding(&with_missing);
+        }
+        let all: Vec<(FineGrainedType, Vec<f32>)> = profiles
+            .into_iter()
+            .filter(|p| !p.embedding.is_empty())
+            .map(|p| (p.fgt, p.embedding))
+            .collect();
+        table_embedding(&all)
+    }
+
+    /// Embed an *unseen* table with the pre-trained CoLR models (the
+    /// inference path of §4.1: "takes the unseen dataset in the form of a
+    /// DataFrame and calculates the CoLR embedding for each column").
+    pub fn embed_table(&self, table: &Table) -> Vec<f32> {
+        let models = ColrModels::pretrained();
+        let profiles = profile_table(
+            "__unseen__",
+            table,
+            models,
+            &self.we,
+            &self.profiler_config,
+            None,
+        );
+        let cols: Vec<(FineGrainedType, Vec<f32>)> = profiles
+            .into_iter()
+            .filter(|p| !p.embedding.is_empty())
+            .map(|p| (p.fgt, p.embedding))
+            .collect();
+        table_embedding(&cols)
+    }
+
+    /// Column-level embeddings of an unseen table (300-d each).
+    pub fn embed_columns(&self, table: &Table) -> Vec<(String, FineGrainedType, Vec<f32>)> {
+        let models = ColrModels::pretrained();
+        profile_table("__unseen__", table, models, &self.we, &self.profiler_config, None)
+            .into_iter()
+            .map(|p| (p.meta.column, p.fgt, p.embedding))
+            .collect()
+    }
+
+    /// Nearest profiled columns to an embedding (the Faiss-style search of
+    /// §2.2). Returns `(profile index, similarity)`.
+    pub fn similar_columns(&self, embedding: &[f32], k: usize) -> Vec<(usize, f32)> {
+        self.column_index
+            .search(embedding, k)
+            .into_iter()
+            .map(|n| (n.id as usize, 1.0 - n.distance))
+            .collect()
+    }
+
+    /// The documentation KB.
+    pub fn docs(&self) -> &LibraryDocs {
+        &self.docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_profiler::table::Column;
+
+    fn titanic() -> Dataset {
+        Dataset::new(
+            "titanic",
+            vec![Table::new(
+                "train",
+                vec![
+                    Column::new("Survived", vec!["0".into(), "1".into(), "1".into(), "0".into()]),
+                    Column::new("Age", vec!["22".into(), "38".into(), "26".into(), "35".into()]),
+                    Column::new("Sex", vec!["male".into(), "female".into(), "female".into(), "male".into()]),
+                ],
+            )],
+        )
+    }
+
+    const SCRIPT: &str = r#"
+import pandas as pd
+from sklearn.ensemble import RandomForestClassifier
+df = pd.read_csv('titanic/train.csv')
+X, y = df.drop('Survived', axis=1), df['Survived']
+clf = RandomForestClassifier(50, max_depth=10)
+clf.fit(X, y)
+"#;
+
+    fn script() -> PipelineScript {
+        PipelineScript {
+            metadata: PipelineMetadata {
+                id: "p1".into(),
+                dataset: "titanic".into(),
+                title: "Titanic".into(),
+                author: "alice".into(),
+                votes: 10,
+                score: 0.8,
+                task: "classification".into(),
+            },
+            source: SCRIPT.to_string(),
+        }
+    }
+
+    #[test]
+    fn bootstrap_builds_linked_graph() {
+        let (platform, stats) = KgLidsBuilder::new()
+            .with_dataset(titanic())
+            .with_pipelines([script()])
+            .bootstrap();
+        assert_eq!(stats.columns_profiled, 3);
+        assert_eq!(stats.pipelines_abstracted, 1);
+        assert_eq!(stats.pipelines_failed, 0);
+        assert!(stats.triples > 100);
+        assert!(stats.links.tables_linked >= 1);
+        assert!(platform.triple_count() > 100);
+        assert!(platform.meter().peak() > 0);
+    }
+
+    #[test]
+    fn adhoc_sparql_works() {
+        let (platform, _) = KgLidsBuilder::new()
+            .with_dataset(titanic())
+            .with_pipelines([script()])
+            .bootstrap();
+        let df = platform
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?t WHERE { ?t a k:Table . }",
+            )
+            .unwrap();
+        assert_eq!(df.len(), 1);
+        assert!(df.get(0, "t").unwrap().contains("titanic/train"));
+        assert!(platform
+            .ask("PREFIX k: <http://kglids.org/ontology/> ASK { ?p a k:Pipeline . }")
+            .unwrap());
+    }
+
+    #[test]
+    fn embeddings_available() {
+        let (platform, _) = KgLidsBuilder::new().with_dataset(titanic()).bootstrap();
+        let e = platform.table_embedding("titanic", "train").unwrap();
+        assert_eq!(e.len(), lids_embed::TABLE_EMBEDDING_DIM);
+        assert!(platform.dataset_embedding("titanic").is_some());
+        assert!(platform.table_embedding("nope", "x").is_none());
+
+        // unseen table embeds to the same space
+        let unseen = Table::new(
+            "probe",
+            vec![Column::new("Age", vec!["30".into(), "40".into()])],
+        );
+        let pe = platform.embed_table(&unseen);
+        assert_eq!(pe.len(), lids_embed::TABLE_EMBEDDING_DIM);
+    }
+
+    #[test]
+    fn similar_columns_round_trip() {
+        let (platform, _) = KgLidsBuilder::new().with_dataset(titanic()).bootstrap();
+        // the stored Age column should be its own nearest neighbour
+        let age_idx = platform
+            .profiles()
+            .iter()
+            .position(|p| p.meta.column == "Age")
+            .unwrap();
+        let emb = platform.profiles()[age_idx].embedding.clone();
+        let hits = platform.similar_columns(&emb, 1);
+        assert_eq!(hits[0].0, age_idx);
+        assert!(hits[0].1 > 0.999);
+    }
+
+    #[test]
+    fn empty_platform() {
+        let platform = KgLids::empty();
+        // no artifacts, but the library graph (from the docs KB) is always
+        // built during bootstrap
+        assert!(platform.profiles().is_empty());
+        assert!(platform
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?t WHERE { ?t a k:Table . }"
+            )
+            .unwrap()
+            .is_empty());
+        assert!(platform.triple_count() > 0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Typed column domains: value generators with name synonyms and scaling
+//! variants, covering all seven fine-grained types.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Which fine-grained type a domain produces (mirrors
+/// `lids_embed::FineGrainedType` labels; kept as a string to avoid a
+/// dependency cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainType {
+    Int,
+    Float,
+    Boolean,
+    Date,
+    NamedEntity,
+    NaturalLanguage,
+    String,
+}
+
+/// A column domain: generates values for one semantic variable.
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    /// Stable id.
+    pub id: usize,
+    /// Name variants (synonyms) — unionable columns pick different ones.
+    pub names: &'static [&'static str],
+    pub dtype: DomainType,
+    /// Unit-scaling factors for numeric domains (`1.0` plus conversions).
+    pub scales: &'static [f64],
+}
+
+const CITY_POOL: &[&str] = &[
+    "London", "Paris", "Tokyo", "Cairo", "Lagos", "Lima", "Oslo", "Rome", "Berlin", "Madrid",
+    "Toronto", "Chicago", "Boston", "Seattle", "Austin", "Denver", "Houston", "Miami",
+];
+const COUNTRY_POOL: &[&str] = &[
+    "Canada", "Brazil", "Egypt", "Japan", "Kenya", "Norway", "Peru", "France", "Germany",
+    "Spain", "Italy", "China", "India", "Mexico", "Russia", "Nigeria", "Australia",
+];
+const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Linda", "Robert", "Susan", "Michael", "Karen", "David", "Nancy",
+    "Alice", "Carlos", "Maria", "Ahmed", "Fatima", "Olga", "Pierre", "Hans", "Ingrid",
+];
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Brown", "Garcia", "Miller", "Davis", "Wilson", "Anderson", "Taylor",
+    "Moore", "Lee", "White", "Harris", "Clark", "Walker", "Young", "Chen", "Kim", "Singh",
+];
+const ORG_POOL: &[&str] = &[
+    "Google", "Microsoft", "Apple", "Amazon", "Netflix", "Tesla", "IBM", "Intel", "Oracle",
+    "Samsung", "Sony", "Toyota", "Boeing", "Walmart", "Target", "Starbucks", "Nike", "Visa",
+];
+const REVIEW_WORDS: &[&str] = &[
+    "great", "product", "loved", "it", "works", "well", "would", "recommend", "quality",
+    "poor", "broke", "after", "weeks", "amazing", "value", "shipping", "was", "fast",
+    "terrible", "service", "happy", "with", "purchase", "excellent", "condition",
+];
+const DESCRIPTION_WORDS: &[&str] = &[
+    "patient", "presents", "with", "chronic", "acute", "symptoms", "history", "of",
+    "treatment", "plan", "follow", "up", "required", "stable", "condition", "noted",
+    "lab", "results", "pending", "referred", "specialist", "dosage", "adjusted",
+];
+
+/// The catalogue of domains. Indices are stable across runs.
+pub const DOMAINS: &[Domain] = &[
+    Domain { id: 0, names: &["age", "years", "patient_age"], dtype: DomainType::Int, scales: &[1.0] },
+    Domain { id: 1, names: &["price", "cost", "amount"], dtype: DomainType::Float, scales: &[1.0, 1.35, 0.74] },
+    Domain { id: 2, names: &["area_sq_ft", "area_sq_m", "size_sqft"], dtype: DomainType::Float, scales: &[1.0, 0.0929, 10.764] },
+    Domain { id: 3, names: &["weight_kg", "weight_lb", "mass"], dtype: DomainType::Float, scales: &[1.0, 2.2046] },
+    Domain { id: 4, names: &["salary", "income", "wage"], dtype: DomainType::Int, scales: &[1.0, 0.001] },
+    Domain { id: 5, names: &["rating", "score", "stars"], dtype: DomainType::Float, scales: &[1.0, 20.0] },
+    Domain { id: 6, names: &["count", "quantity", "qty"], dtype: DomainType::Int, scales: &[1.0] },
+    Domain { id: 7, names: &["latitude", "lat"], dtype: DomainType::Float, scales: &[1.0] },
+    Domain { id: 8, names: &["year", "yr"], dtype: DomainType::Int, scales: &[1.0] },
+    Domain { id: 9, names: &["is_active", "active", "enabled"], dtype: DomainType::Boolean, scales: &[1.0] },
+    Domain { id: 10, names: &["survived", "alive", "outcome_flag"], dtype: DomainType::Boolean, scales: &[1.0] },
+    Domain { id: 11, names: &["date", "record_date", "created_at"], dtype: DomainType::Date, scales: &[1.0] },
+    Domain { id: 12, names: &["dob", "birth_date", "birthdate"], dtype: DomainType::Date, scales: &[1.0] },
+    Domain { id: 13, names: &["city", "town", "municipality"], dtype: DomainType::NamedEntity, scales: &[1.0] },
+    Domain { id: 14, names: &["country", "nation"], dtype: DomainType::NamedEntity, scales: &[1.0] },
+    Domain { id: 15, names: &["name", "full_name", "customer_name"], dtype: DomainType::NamedEntity, scales: &[1.0] },
+    Domain { id: 16, names: &["company", "employer", "organization"], dtype: DomainType::NamedEntity, scales: &[1.0] },
+    Domain { id: 17, names: &["review", "comment", "feedback"], dtype: DomainType::NaturalLanguage, scales: &[1.0] },
+    Domain { id: 18, names: &["description", "desc", "notes"], dtype: DomainType::NaturalLanguage, scales: &[1.0] },
+    Domain { id: 19, names: &["id", "record_id", "uid"], dtype: DomainType::String, scales: &[1.0] },
+    Domain { id: 20, names: &["postal_code", "zip", "zipcode"], dtype: DomainType::String, scales: &[1.0] },
+    Domain { id: 21, names: &["sku", "product_code", "item_code"], dtype: DomainType::String, scales: &[1.0] },
+];
+
+impl Domain {
+    /// Generate one value with the given unit scale.
+    pub fn value(&self, scale: f64, rng: &mut SmallRng) -> String {
+        match self.id {
+            0 => format!("{}", (rng.gen_range(1..95) as f64 * scale).round() as i64),
+            1 => format!("{:.2}", rng.gen_range(5.0..500.0) * scale),
+            2 => format!("{:.1}", rng.gen_range(300.0..4000.0) * scale),
+            3 => format!("{:.1}", rng.gen_range(40.0..120.0) * scale),
+            4 => format!("{}", (rng.gen_range(20_000..150_000) as f64 * scale).round() as i64),
+            5 => format!("{:.1}", rng.gen_range(1.0..5.0) * scale),
+            6 => format!("{}", rng.gen_range(0..1000)),
+            7 => format!("{:.4}", rng.gen_range(-85.0..85.0)),
+            8 => format!("{}", rng.gen_range(1950..2026)),
+            9 | 10 => if rng.gen_bool(if self.id == 9 { 0.7 } else { 0.4 }) {
+                "true".to_string()
+            } else {
+                "false".to_string()
+            },
+            11 => format!(
+                "{}-{:02}-{:02}",
+                rng.gen_range(2005..2026),
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            ),
+            12 => format!(
+                "{}-{:02}-{:02}",
+                rng.gen_range(1940..2005),
+                rng.gen_range(1..13),
+                rng.gen_range(1..29)
+            ),
+            13 => CITY_POOL[rng.gen_range(0..CITY_POOL.len())].to_string(),
+            14 => COUNTRY_POOL[rng.gen_range(0..COUNTRY_POOL.len())].to_string(),
+            15 => format!(
+                "{} {}",
+                FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())]
+            ),
+            16 => ORG_POOL[rng.gen_range(0..ORG_POOL.len())].to_string(),
+            17 => (0..rng.gen_range(4..10))
+                .map(|_| REVIEW_WORDS[rng.gen_range(0..REVIEW_WORDS.len())])
+                .collect::<Vec<_>>()
+                .join(" "),
+            18 => (0..rng.gen_range(4..10))
+                .map(|_| DESCRIPTION_WORDS[rng.gen_range(0..DESCRIPTION_WORDS.len())])
+                .collect::<Vec<_>>()
+                .join(" "),
+            19 => format!("{:06}", rng.gen_range(0..1_000_000)),
+            20 => format!(
+                "{}{}{}{}{}{}",
+                (b'A' + rng.gen_range(0..26)) as char,
+                rng.gen_range(0..10),
+                (b'A' + rng.gen_range(0..26)) as char,
+                rng.gen_range(0..10),
+                (b'A' + rng.gen_range(0..26)) as char,
+                rng.gen_range(0..10),
+            ),
+            _ => format!(
+                "{}{}-{:04}",
+                (b'A' + rng.gen_range(0..26)) as char,
+                (b'A' + rng.gen_range(0..26)) as char,
+                rng.gen_range(0..10_000)
+            ),
+        }
+    }
+
+    /// Pick a name variant.
+    pub fn name(&self, variant: usize) -> &'static str {
+        self.names[variant % self.names.len()]
+    }
+
+    /// Pick a unit scale.
+    pub fn scale(&self, variant: usize) -> f64 {
+        self.scales[variant % self.scales.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ids_match_positions() {
+        for (i, d) in DOMAINS.iter().enumerate() {
+            assert_eq!(d.id, i);
+        }
+    }
+
+    #[test]
+    fn all_seven_types_covered() {
+        for t in [
+            DomainType::Int,
+            DomainType::Float,
+            DomainType::Boolean,
+            DomainType::Date,
+            DomainType::NamedEntity,
+            DomainType::NaturalLanguage,
+            DomainType::String,
+        ] {
+            assert!(DOMAINS.iter().any(|d| d.dtype == t), "{t:?} missing");
+        }
+    }
+
+    #[test]
+    fn values_match_types() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for d in DOMAINS {
+            for _ in 0..5 {
+                let v = d.value(1.0, &mut rng);
+                match d.dtype {
+                    DomainType::Int => assert!(v.parse::<i64>().is_ok(), "{} {v}", d.id),
+                    DomainType::Float => assert!(v.parse::<f64>().is_ok(), "{} {v}", d.id),
+                    DomainType::Boolean => assert!(v == "true" || v == "false"),
+                    DomainType::Date => {
+                        assert!(v.len() == 10 && v.chars().filter(|c| *c == '-').count() == 2)
+                    }
+                    _ => assert!(!v.is_empty()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn name_and_scale_variants_cycle() {
+        let d = &DOMAINS[2];
+        assert_eq!(d.name(0), "area_sq_ft");
+        assert_eq!(d.name(1), "area_sq_m");
+        assert_eq!(d.name(3), "area_sq_ft");
+        assert_eq!(d.scale(0), 1.0);
+        assert!(d.scale(1) < 1.0);
+    }
+}

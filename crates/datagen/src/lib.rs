@@ -1,0 +1,30 @@
+//! `lids-datagen` — synthetic workload generators for the evaluation.
+//!
+//! The paper's benchmarks are external artifacts (D3L/TUS/SANTOS data
+//! lakes, a 13.8k-pipeline Kaggle corpus, 51 UCI/AutoML datasets). Per the
+//! substitution policy in DESIGN.md, this crate regenerates statistically
+//! faithful equivalents with *known ground truth*:
+//!
+//! - [`lakes`]: union-search benchmarks built the way TUS/SANTOS Small were
+//!   built — horizontal + vertical partitioning of seed tables — plus a
+//!   D3L-style variant where unionable tables additionally rename columns
+//!   to synonyms and rescale numeric units (the "manually annotated,
+//!   distribution-shifted" regime where KGLiDS shines).
+//! - [`domains`]: typed column generators covering all seven fine-grained
+//!   types with name synonyms and unit-scaling variants.
+//! - [`pipelines`]: a Kaggle-style corpus of Python pipeline scripts with a
+//!   realistic library mix (Figure 4), votes, tasks, and harvestable
+//!   cleaning/transformation/estimator calls.
+//! - [`tasks`]: classification datasets with planted missingness and scale
+//!   pathologies so the *choice* of cleaning/transformation operation
+//!   measurably changes downstream F1 (Tables 5–6, Figures 7–9).
+
+pub mod domains;
+pub mod lakes;
+pub mod pipelines;
+pub mod tasks;
+
+pub use domains::{Domain, DOMAINS};
+pub use lakes::{Lake, LakeSpec};
+pub use pipelines::{generate_corpus, CorpusSpec, GeneratedPipeline};
+pub use tasks::{automl_datasets, cleaning_datasets, transform_datasets, TaskDataset};

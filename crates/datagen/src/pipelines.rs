@@ -1,0 +1,412 @@
+//! Kaggle-style pipeline corpus generator.
+//!
+//! The paper abstracts "13,800 data science pipeline scripts used in the
+//! top 1000 datasets from Kaggle … selected based on the number of user
+//! votes". This generator produces Python scripts with the same structural
+//! ingredients — imports with a realistic library mix (the Figure 4
+//! shape), a dataset read, column accesses, cleaning/transformation calls,
+//! an estimator with hyperparameters, and an evaluation — plus the votes/
+//! author/task metadata Algorithm 1 consumes. Each script records which
+//! operations were *planted*, giving the KG-harvesting and GNN-training
+//! experiments their ground truth.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lids_kg::abstraction::PipelineMetadata;
+
+/// What a dataset looks like to the corpus generator.
+#[derive(Debug, Clone)]
+pub struct DatasetSketch {
+    pub name: String,
+    /// `(table name, column names)` — the first column is the target by
+    /// convention.
+    pub tables: Vec<(String, Vec<String>)>,
+    /// Data character (0–4): what kind of data the dataset holds. Kaggle
+    /// authors choose preprocessing suited to their data, so the planted
+    /// cleaning operation correlates with this — the signal the cleaning
+    /// GNN learns (§4.2).
+    pub character: usize,
+}
+
+impl DatasetSketch {
+    /// A small synthetic dataset sketch.
+    pub fn synthetic(name: &str, rng: &mut SmallRng) -> Self {
+        let n_cols = rng.gen_range(4..9);
+        let columns: Vec<String> = std::iter::once("target".to_string())
+            .chain((1..n_cols).map(|i| format!("feature_{i}")))
+            .collect();
+        DatasetSketch {
+            name: name.to_string(),
+            tables: vec![("train".to_string(), columns)],
+            character: rng.gen_range(0..5),
+        }
+    }
+}
+
+/// The libraries of the Figure 4 bar chart with their usage probabilities
+/// (pandas-dominant mix, as in the paper's 13k-pipeline corpus).
+pub const LIBRARY_MIX: &[(&str, f64)] = &[
+    ("pandas", 1.00),
+    ("numpy", 0.90),
+    ("sklearn", 0.62),
+    ("matplotlib", 0.58),
+    ("seaborn", 0.45),
+    ("xgboost", 0.22),
+    ("scipy", 0.15),
+    ("lightgbm", 0.11),
+    ("keras", 0.07),
+    ("statsmodels", 0.05),
+];
+
+/// Operations planted into a generated pipeline (ground truth for the
+/// harvesting and GNN-training experiments).
+#[derive(Debug, Clone, Default)]
+pub struct PlantedOps {
+    /// Cleaning op label (`Fillna` / `SimpleImputer` / …), if any.
+    pub cleaning: Option<String>,
+    /// Scaling op (`StandardScaler` / …), if any.
+    pub scaling: Option<String>,
+    /// Column transform (`log` / `sqrt`), if any.
+    pub column_transform: Option<String>,
+    /// Estimator class name.
+    pub model: String,
+    /// Estimator hyperparameters as written.
+    pub hyperparams: Vec<(String, String)>,
+}
+
+/// One generated pipeline.
+#[derive(Debug, Clone)]
+pub struct GeneratedPipeline {
+    pub metadata: PipelineMetadata,
+    pub source: String,
+    pub planted: PlantedOps,
+}
+
+/// Corpus parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusSpec {
+    pub datasets: Vec<DatasetSketch>,
+    pub pipelines_per_dataset: usize,
+    pub seed: u64,
+}
+
+impl CorpusSpec {
+    /// A fully synthetic corpus of `n_datasets × pipelines_per_dataset`.
+    pub fn synthetic(n_datasets: usize, pipelines_per_dataset: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let datasets = (0..n_datasets)
+            .map(|i| DatasetSketch::synthetic(&format!("dataset_{i}"), &mut rng))
+            .collect();
+        CorpusSpec { datasets, pipelines_per_dataset, seed }
+    }
+}
+
+const AUTHORS: &[&str] = &[
+    "alice", "bob", "carol", "dmitri", "elena", "farid", "grace", "hiro", "ines", "jamal",
+];
+const MODELS: &[(&str, &str)] = &[
+    ("RandomForestClassifier", "sklearn.ensemble"),
+    ("DecisionTreeClassifier", "sklearn.tree"),
+    ("LogisticRegression", "sklearn.linear_model"),
+    ("KNeighborsClassifier", "sklearn.neighbors"),
+    ("XGBClassifier", "xgboost"),
+    ("LGBMClassifier", "lightgbm"),
+];
+
+/// Generate the corpus.
+pub fn generate_corpus(spec: &CorpusSpec) -> Vec<GeneratedPipeline> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut out = Vec::new();
+    for dataset in &spec.datasets {
+        for p in 0..spec.pipelines_per_dataset {
+            out.push(generate_pipeline(dataset, p, &mut rng));
+        }
+    }
+    out
+}
+
+fn generate_pipeline(
+    dataset: &DatasetSketch,
+    index: usize,
+    rng: &mut SmallRng,
+) -> GeneratedPipeline {
+    let (table, columns) = &dataset.tables[rng.gen_range(0..dataset.tables.len())];
+    let target = &columns[0];
+    let mut planted = PlantedOps::default();
+    let mut src = String::new();
+
+    // ---- imports ----
+    let use_lib: Vec<bool> = LIBRARY_MIX.iter().map(|(_, p)| rng.gen_bool(*p)).collect();
+    src.push_str("import pandas as pd\n");
+    if use_lib[1] {
+        src.push_str("import numpy as np\n");
+    }
+    if use_lib[3] {
+        src.push_str("import matplotlib.pyplot as plt\n");
+    }
+    if use_lib[4] {
+        src.push_str("import seaborn as sns\n");
+    }
+    if use_lib[6] {
+        src.push_str("from scipy import stats\n");
+    }
+    if use_lib[8] {
+        src.push_str("import keras\n");
+    }
+    if use_lib[9] {
+        src.push_str("import statsmodels.api as sm\n");
+    }
+
+    // estimator selection (XGB/LGBM only when their library is in the mix)
+    let candidates: Vec<&(&str, &str)> = MODELS
+        .iter()
+        .filter(|(_name, module)| {
+            if module.starts_with("sklearn") {
+                use_lib[2]
+            } else if *module == "xgboost" {
+                use_lib[5]
+            } else {
+                use_lib[7]
+            }
+        })
+        .collect();
+    // EDA-only pipelines (no estimator) when no ML library is in the mix —
+    // a realistic share of Kaggle notebooks never train a model
+    let estimator = if candidates.is_empty() {
+        None
+    } else {
+        Some(**candidates.get(rng.gen_range(0..candidates.len())).unwrap())
+    };
+    let sklearn_utils = use_lib[2];
+    if let Some((model_name, model_module)) = estimator {
+        src.push_str(&format!("from {model_module} import {model_name}\n"));
+    }
+    if sklearn_utils {
+        src.push_str("from sklearn.model_selection import train_test_split\n");
+        src.push_str("from sklearn.metrics import f1_score\n");
+    }
+
+    // ---- read + feature selection ----
+    src.push_str(&format!("df = pd.read_csv('{}/{}.csv')\n", dataset.name, table));
+    let feature = &columns[rng.gen_range(1..columns.len().max(2)).min(columns.len() - 1)];
+    src.push_str(&format!(
+        "X, y = df.drop('{target}', axis=1), df['{target}']\n"
+    ));
+    // every imported library gets at least one call, so the Figure 4
+    // "unique pipelines calling the library" counts reflect the mix
+    if use_lib[1] {
+        src.push_str("X = np.array(X)\n");
+    }
+    if use_lib[6] {
+        src.push_str("z = stats.zscore(X)\n");
+    }
+    if use_lib[8] {
+        src.push_str("backbone = keras.Sequential()\n");
+    }
+    if use_lib[9] {
+        src.push_str("ols = sm.OLS(y, X)\n");
+    }
+
+    // ---- cleaning (60%) ----
+    if rng.gen_bool(0.6) {
+        // authors pick the imputer that suits the dataset's character most
+        // of the time; sometimes they just fillna. Without sklearn in the
+        // mix, only the pandas operations are available.
+        let mut op = if rng.gen_bool(0.75) {
+            dataset.character
+        } else {
+            rng.gen_range(0..5)
+        };
+        if !use_lib[2] && op >= 2 {
+            op = usize::from(dataset.character == 1);
+        }
+        match op {
+            0 => {
+                src.push_str("X = X.fillna(0)\n");
+                planted.cleaning = Some("Fillna".into());
+            }
+            1 => {
+                src.push_str("X = X.interpolate()\n");
+                planted.cleaning = Some("Interpolate".into());
+            }
+            2 => {
+                src.push_str("from sklearn.impute import SimpleImputer\n");
+                src.push_str("imputer = SimpleImputer(strategy='mean')\nX = imputer.fit_transform(X)\n");
+                planted.cleaning = Some("SimpleImputer".into());
+            }
+            3 => {
+                src.push_str("from sklearn.impute import KNNImputer\n");
+                src.push_str("imputer = KNNImputer(n_neighbors=5)\nX = imputer.fit_transform(X)\n");
+                planted.cleaning = Some("KNNImputer".into());
+            }
+            _ => {
+                src.push_str("from sklearn.impute import IterativeImputer\n");
+                src.push_str("imputer = IterativeImputer()\nX = imputer.fit_transform(X)\n");
+                planted.cleaning = Some("IterativeImputer".into());
+            }
+        }
+    }
+
+    // ---- scaling (50%) ----
+    if use_lib[2] && rng.gen_bool(0.5) {
+        let scaler = ["StandardScaler", "MinMaxScaler", "RobustScaler"][rng.gen_range(0..3)];
+        src.push_str(&format!("from sklearn.preprocessing import {scaler}\n"));
+        src.push_str(&format!("scaler = {scaler}()\nX = scaler.fit_transform(X)\n"));
+        planted.scaling = Some(scaler.to_string());
+    }
+
+    // ---- column transform (25%) ----
+    if use_lib[1] && rng.gen_bool(0.25) {
+        let t = if rng.gen_bool(0.5) { "log1p" } else { "sqrt" };
+        src.push_str(&format!("X['{feature}'] = np.{t}(X['{feature}'])\n"));
+        planted.column_transform = Some(
+            if t == "log1p" { "log" } else { "sqrt" }.to_string(),
+        );
+    }
+
+    // ---- EDA (plots) ----
+    if use_lib[4] {
+        src.push_str("sns.heatmap(df)\n");
+    }
+    if use_lib[3] {
+        src.push_str("plt.hist(y)\nplt.show()\n");
+    }
+    if rng.gen_bool(0.4) {
+        src.push_str("df.head()\n");
+    }
+
+    // ---- estimator with hyperparameters ----
+    let hyperparams: Vec<(String, String)> = match estimator.map(|(n, _)| n).unwrap_or("") {
+        "RandomForestClassifier" => vec![
+            ("n_estimators".into(), [10, 20, 40, 80][rng.gen_range(0..4)].to_string()),
+            ("max_depth".into(), [5, 8, 12, 16][rng.gen_range(0..4)].to_string()),
+        ],
+        "DecisionTreeClassifier" => vec![(
+            "max_depth".into(),
+            [4, 6, 10, 14][rng.gen_range(0..4)].to_string(),
+        )],
+        "LogisticRegression" => vec![(
+            "C".into(),
+            ["0.1", "1.0", "10.0"][rng.gen_range(0..3)].to_string(),
+        )],
+        "KNeighborsClassifier" => vec![(
+            "n_neighbors".into(),
+            [3, 5, 9][rng.gen_range(0..3)].to_string(),
+        )],
+        "XGBClassifier" | "LGBMClassifier" => vec![
+            ("n_estimators".into(), [50, 100][rng.gen_range(0..2)].to_string()),
+            ("learning_rate".into(), ["0.1", "0.3"][rng.gen_range(0..2)].to_string()),
+        ],
+        _ => Vec::new(),
+    };
+    let args = hyperparams
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    if let Some((model_name, _)) = estimator {
+        src.push_str(&format!("clf = {model_name}({args})\n"));
+        if sklearn_utils {
+            src.push_str("X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2)\n");
+            src.push_str("clf.fit(X_train, y_train)\n");
+            src.push_str("print(f1_score(y_test, clf.predict(X_test)))\n");
+        } else {
+            src.push_str("clf.fit(X, y)\n");
+            src.push_str("preds = clf.predict(X)\n");
+        }
+    }
+
+    planted.model = estimator.map(|(n, _)| n).unwrap_or("").to_string();
+    planted.hyperparams = hyperparams;
+
+    let votes = (rng.gen_range(0.0f64..1.0).powi(3) * 500.0) as u32;
+    let metadata = PipelineMetadata {
+        id: format!("pipeline_{index}"),
+        dataset: dataset.name.clone(),
+        title: format!("{} analysis #{index}", dataset.name),
+        author: AUTHORS[rng.gen_range(0..AUTHORS.len())].to_string(),
+        votes,
+        score: rng.gen_range(0.5..1.0),
+        task: if rng.gen_bool(0.8) { "classification" } else { "eda" }.to_string(),
+    };
+    GeneratedPipeline { metadata, source: src, planted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_py::analyze;
+
+    #[test]
+    fn corpus_counts() {
+        let spec = CorpusSpec::synthetic(5, 4, 1);
+        let corpus = generate_corpus(&spec);
+        assert_eq!(corpus.len(), 20);
+        let datasets: std::collections::HashSet<&str> = corpus
+            .iter()
+            .map(|p| p.metadata.dataset.as_str())
+            .collect();
+        assert_eq!(datasets.len(), 5);
+    }
+
+    #[test]
+    fn every_script_parses_and_analyzes() {
+        let spec = CorpusSpec::synthetic(8, 5, 2);
+        for p in generate_corpus(&spec) {
+            let analyzed = analyze(&p.source).unwrap_or_else(|e| {
+                panic!("script failed to parse: {e}\n{}", p.source)
+            });
+            assert!(analyzed.statements.len() >= 5, "{}", p.source);
+            // dataset read detected in every pipeline
+            assert!(analyzed
+                .statements
+                .iter()
+                .any(|s| !s.dataset_reads.is_empty()));
+        }
+    }
+
+    #[test]
+    fn planted_ops_appear_in_source() {
+        let spec = CorpusSpec::synthetic(10, 6, 3);
+        for p in generate_corpus(&spec) {
+            assert!(p.source.contains(&p.planted.model));
+            if let Some(c) = &p.planted.cleaning {
+                let marker = match c.as_str() {
+                    "Fillna" => "fillna",
+                    "Interpolate" => "interpolate",
+                    other => other,
+                };
+                assert!(p.source.contains(marker), "{c} not in\n{}", p.source);
+            }
+            for (k, v) in &p.planted.hyperparams {
+                assert!(p.source.contains(&format!("{k}={v}")));
+            }
+        }
+    }
+
+    #[test]
+    fn pandas_always_used_and_mix_is_graded() {
+        let spec = CorpusSpec::synthetic(20, 10, 4);
+        let corpus = generate_corpus(&spec);
+        let count = |needle: &str| corpus.iter().filter(|p| p.source.contains(needle)).count();
+        let pandas = count("import pandas");
+        let numpy = count("import numpy");
+        let seaborn = count("import seaborn");
+        let statsmodels = count("import statsmodels");
+        assert_eq!(pandas, corpus.len());
+        assert!(numpy > seaborn);
+        assert!(seaborn > statsmodels);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_corpus(&CorpusSpec::synthetic(3, 3, 9));
+        let b = generate_corpus(&CorpusSpec::synthetic(3, 3, 9));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+            assert_eq!(x.metadata, y.metadata);
+        }
+    }
+}

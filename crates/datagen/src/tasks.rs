@@ -1,0 +1,440 @@
+//! Task datasets for the on-demand-automation experiments (Section 6.3).
+//!
+//! The paper evaluates on 51 unseen datasets (13 cleaning, 17
+//! transformation, plus 24 AutoML tables). These generators produce
+//! datasets with the same *shape*: names and increasing sizes mirror the
+//! paper's tables, and each dataset plants a structure that makes the
+//! choice of operation matter downstream:
+//!
+//! - Cleaning sets differ in missingness mechanism (row-order trends favour
+//!   `Interpolate`, inter-feature correlation favours `IterativeImputer`,
+//!   cluster structure favours `KNNImputer`, …), so imputers separate in
+//!   10-fold random-forest F1 exactly as in Table 5.
+//! - Transformation sets plant scale pathologies (log-normal magnitudes,
+//!   quadratic growth, wildly mixed scales) that change the accuracy of a
+//!   distance-based downstream model (see EXPERIMENTS.md for why the
+//!   evaluator is scale-sensitive).
+//! - AutoML sets vary geometry (blobs, linear, interactions, noise) so the
+//!   best estimator and hyperparameters differ per dataset (Figure 9).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lids_profiler::table::{Column, Table};
+
+/// A generated task dataset.
+#[derive(Debug, Clone)]
+pub struct TaskDataset {
+    /// Paper dataset id (1–30 for cleaning/transform, 1–24 for AutoML).
+    pub id: usize,
+    pub name: String,
+    pub table: Table,
+    /// Target column name.
+    pub target: String,
+}
+
+/// Missingness mechanism planted in a cleaning dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Missingness {
+    /// Values missing at random; column means are good fills.
+    Random,
+    /// Features follow smooth row-order trends; interpolation recovers them.
+    Trend,
+    /// Features strongly inter-correlated; regression imputation recovers.
+    Correlated,
+    /// Clustered rows; nearest neighbours recover.
+    Clustered,
+}
+
+/// Build a numeric classification dataset as string table.
+struct Builder {
+    rows: usize,
+    features: Vec<(String, Vec<f64>)>,
+    labels: Vec<usize>,
+}
+
+impl Builder {
+    fn into_table(
+        mut self,
+        name: &str,
+        missing_rate: f64,
+        missing_cols: &[usize],
+        rng: &mut SmallRng,
+    ) -> Table {
+        let mut columns = Vec::new();
+        for (j, (fname, values)) in self.features.drain(..).enumerate() {
+            let strings: Vec<String> = values
+                .iter()
+                .map(|v| {
+                    if missing_cols.contains(&j) && rng.gen_bool(missing_rate) {
+                        "NA".to_string()
+                    } else {
+                        format!("{v:.4}")
+                    }
+                })
+                .collect();
+            columns.push(Column::new(fname, strings));
+        }
+        columns.push(Column::new(
+            "target",
+            self.labels.iter().map(|l| format!("c{l}")).collect(),
+        ));
+        let _ = self.rows;
+        Table::new(name, columns)
+    }
+}
+
+/// Generate a classification dataset with the given mechanism.
+fn classification(
+    rows: usize,
+    n_features: usize,
+    mechanism: Missingness,
+    seed: u64,
+) -> Builder {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut features: Vec<Vec<f64>> =
+                (0..n_features).map(|_| Vec::with_capacity(rows)).collect();
+    let mut labels = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let t = i as f64 / rows as f64;
+        let row: Vec<f64> = match mechanism {
+            Missingness::Random => (0..n_features)
+                .map(|_| rng.gen_range(-1.0..1.0))
+                .collect(),
+            Missingness::Trend => (0..n_features)
+                .map(|j| {
+                    // smooth per-feature trend + small noise
+                    (t * (j + 1) as f64 * std::f64::consts::TAU).sin() * 2.0
+                        + rng.gen_range(-0.15..0.15)
+                })
+                .collect(),
+            Missingness::Correlated => {
+                let base: f64 = rng.gen_range(-1.0..1.0);
+                (0..n_features)
+                    .map(|j| base * (j + 1) as f64 + rng.gen_range(-0.1..0.1))
+                    .collect()
+            }
+            Missingness::Clustered => {
+                let cluster = rng.gen_range(0..4usize);
+                let center = cluster as f64 * 3.0 - 4.5;
+                (0..n_features)
+                    .map(|j| center + (j as f64 * 0.3) + rng.gen_range(-0.4..0.4))
+                    .collect()
+            }
+        };
+        // label depends on the informative features, so bad imputation hurts
+        let score: f64 = row.iter().enumerate().map(|(j, v)| v * ((j % 3) as f64 - 1.0)).sum();
+        let noise: f64 = rng.gen_range(-0.3..0.3);
+        labels.push(usize::from(score + noise > 0.0));
+        for (f, v) in features.iter_mut().zip(&row) {
+            f.push(*v);
+        }
+    }
+    Builder {
+        rows,
+        features: features
+            .into_iter()
+            .enumerate()
+            .map(|(j, v)| (format!("f{j}"), v))
+            .collect(),
+        labels,
+    }
+}
+
+/// The 13 cleaning datasets of Table 5 (names from the paper, sizes
+/// increasing, #11–13 large). `scale` multiplies row counts.
+pub fn cleaning_datasets(scale: f64) -> Vec<TaskDataset> {
+    let specs: [(&str, usize, Missingness, f64); 13] = [
+        ("hepatitis", 160, Missingness::Random, 0.12),
+        ("horsecolic", 300, Missingness::Correlated, 0.25),
+        ("housevotes84", 430, Missingness::Random, 0.08),
+        ("breastcancerwisconsin", 560, Missingness::Clustered, 0.05),
+        ("credit", 690, Missingness::Random, 0.07),
+        ("cleveland_heart_disease", 300, Missingness::Correlated, 0.15),
+        ("titanic", 890, Missingness::Clustered, 0.20),
+        ("creditg", 1000, Missingness::Trend, 0.18),
+        ("jm1", 1900, Missingness::Random, 0.10),
+        ("adult", 2600, Missingness::Clustered, 0.09),
+        ("higgs", 5200, Missingness::Trend, 0.12),
+        ("APSFailure", 7000, Missingness::Correlated, 0.15),
+        ("albert", 9000, Missingness::Random, 0.22),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, rows, mech, rate))| {
+            let rows = ((*rows as f64 * scale).round() as usize).max(40);
+            let seed = 0xC1EA + i as u64;
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xF00D);
+            let n_features = 5 + i % 4;
+            let builder = classification(rows, n_features, *mech, seed);
+            // missingness hits half the features
+            let missing_cols: Vec<usize> = (0..n_features).step_by(2).collect();
+            let table = builder.into_table(name, *rate, &missing_cols, &mut rng);
+            TaskDataset {
+                id: i + 1,
+                name: name.to_string(),
+                table,
+                target: "target".to_string(),
+            }
+        })
+        .collect()
+}
+
+/// Scale pathology planted in a transformation dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pathology {
+    /// Features already well-behaved (no transform is best).
+    None,
+    /// Log-normal magnitudes: classes separate in log space.
+    LogNormal,
+    /// Quadratic growth: classes separate under sqrt.
+    Quadratic,
+    /// Wildly mixed feature scales: scalers matter for distance models.
+    MixedScales,
+}
+
+fn transform_dataset(rows: usize, pathology: Pathology, seed: u64) -> Builder {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_features = 4;
+    let mut features: Vec<Vec<f64>> =
+                (0..n_features).map(|_| Vec::with_capacity(rows)).collect();
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let class = rng.gen_range(0..2usize);
+        let sep = class as f64; // latent separation in "natural" space
+        let row: Vec<f64> = match pathology {
+            Pathology::None => (0..n_features)
+                .map(|_| sep + rng.gen_range(-0.65..0.65))
+                .collect(),
+            Pathology::LogNormal => (0..n_features)
+                .map(|_| {
+                    // classes differ by a multiplicative factor → additive in
+                    // log space, swamped by magnitude variance in raw space
+                    let z: f64 = rng.gen_range(-1.4..1.4);
+                    (z + sep * 1.1).exp() * 100.0
+                })
+                .collect(),
+            Pathology::Quadratic => (0..n_features)
+                .map(|_| {
+                    let base: f64 = sep * 2.0 + 4.0 + rng.gen_range(-0.9..0.9);
+                    base * base
+                })
+                .collect(),
+            Pathology::MixedScales => (0..n_features)
+                .map(|j| {
+                    if j == 0 {
+                        // informative, tiny scale
+                        sep * 0.01 + rng.gen_range(-0.004..0.004)
+                    } else {
+                        // uninformative, huge scale — dominates distances
+                        rng.gen_range(-1.0e4..1.0e4)
+                    }
+                })
+                .collect(),
+        };
+        labels.push(class);
+        for (f, v) in features.iter_mut().zip(&row) {
+            f.push(*v);
+        }
+    }
+    Builder {
+        rows,
+        features: features
+            .into_iter()
+            .enumerate()
+            .map(|(j, v)| (format!("f{j}"), v))
+            .collect(),
+        labels,
+    }
+}
+
+/// The 17 transformation datasets of Table 6 (ids 14–30; 24–30 large —
+/// AutoLearn times out / OOMs on those in the paper).
+pub fn transform_datasets(scale: f64) -> Vec<TaskDataset> {
+    let specs: [(&str, usize, Pathology); 17] = [
+        ("fertility_Diagnosis", 100, Pathology::None),
+        ("haberman", 300, Pathology::Quadratic),
+        ("wine", 180, Pathology::MixedScales),
+        ("Ecoli", 340, Pathology::LogNormal),
+        ("pima_diabetes", 770, Pathology::None),
+        ("Banke_Note", 1370, Pathology::MixedScales),
+        ("ionosphere", 350, Pathology::Quadratic),
+        ("sonar", 210, Pathology::LogNormal),
+        ("Abalone", 4200, Pathology::Quadratic),
+        ("libras", 360, Pathology::MixedScales),
+        ("waveform", 5000, Pathology::LogNormal),
+        ("letter_recognition", 6000, Pathology::MixedScales),
+        ("opticaldigits", 5600, Pathology::Quadratic),
+        ("featurepixel", 2000, Pathology::MixedScales),
+        ("shuttle", 8000, Pathology::None),
+        ("featurefourier", 2000, Pathology::LogNormal),
+        ("poker", 10000, Pathology::MixedScales),
+    ];
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, rows, pathology))| {
+            let rows = ((*rows as f64 * scale).round() as usize).max(40);
+            let seed = 0x7AA5 + i as u64;
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xBEAD);
+            let builder = transform_dataset(rows, *pathology, seed);
+            let table = builder.into_table(name, 0.0, &[], &mut rng);
+            TaskDataset {
+                id: i + 14,
+                name: name.to_string(),
+                table,
+                target: "target".to_string(),
+            }
+        })
+        .collect()
+}
+
+/// The 24 AutoML benchmark datasets of Figure 9: varied geometry so the
+/// best estimator and hyperparameters differ per dataset.
+pub fn automl_datasets(scale: f64) -> Vec<TaskDataset> {
+    (0..24)
+        .map(|i| {
+            let seed = 0xA07 + i as u64;
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let rows = (((400 + i * 110) as f64) * scale).round() as usize;
+            let rows = rows.max(120);
+            let n_classes = 2 + i % 3;
+            let n_features = 4 + i % 5;
+            let geometry = i % 4;
+            let mut features: Vec<Vec<f64>> =
+                (0..n_features).map(|_| Vec::with_capacity(rows)).collect();
+            let mut labels = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                let class = rng.gen_range(0..n_classes);
+                // overlapping classes: hyperparameter choice matters when
+                // the problem is neither trivial nor hopeless
+                let row: Vec<f64> = match geometry {
+                    // overlapping blobs (kNN/forest friendly)
+                    0 => (0..n_features)
+                        .map(|j| class as f64 * 0.9 + (j as f64 * 0.2) + rng.gen_range(-0.9..0.9))
+                        .collect(),
+                    // noisy linear boundary (logistic friendly)
+                    1 => {
+                        let dir: Vec<f64> =
+                            (0..n_features).map(|j| ((j + 1) as f64 * 0.7).sin()).collect();
+                        let offset = class as f64 * 0.8;
+                        dir.iter()
+                            .map(|d| d * offset + rng.gen_range(-0.8..0.8))
+                            .collect()
+                    }
+                    // overlapping axis-aligned boxes (tree friendly)
+                    2 => (0..n_features)
+                        .map(|j| {
+                            let box_id = (class + j) % n_classes;
+                            box_id as f64 * 1.0 + rng.gen_range(-0.8..0.8)
+                        })
+                        .collect(),
+                    // noisy interactions (deep forest friendly)
+                    _ => {
+                        let a: f64 = rng.gen_range(-1.0..1.0);
+                        let b: f64 = rng.gen_range(-1.0..1.0);
+                        let mut row: Vec<f64> =
+                            (0..n_features).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                        row[0] = a;
+                        row[1 % n_features] = b;
+                        let want = usize::from(a * b > 0.0) % n_classes;
+                        if n_features > 2 {
+                            row[2] = (class as f64 - want as f64) * 0.7 + rng.gen_range(-0.5..0.5);
+                        }
+                        row
+                    }
+                };
+                // 12% label noise caps attainable F1 below saturation
+                let observed = if rng.gen_bool(0.12) {
+                    rng.gen_range(0..n_classes)
+                } else {
+                    class
+                };
+                labels.push(observed);
+                for (f, v) in features.iter_mut().zip(&row) {
+                    f.push(*v);
+                }
+            }
+            let builder = Builder {
+                rows,
+                features: features
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, v)| (format!("f{j}"), v))
+                    .collect(),
+                labels,
+            };
+            let table = builder.into_table(&format!("automl_{}", i + 1), 0.0, &[], &mut rng);
+            TaskDataset {
+                id: i + 1,
+                name: format!("automl_{}", i + 1),
+                table,
+                target: "target".to_string(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_ml::MlFrame;
+
+    #[test]
+    fn cleaning_sets_have_missing_values_and_ids() {
+        let sets = cleaning_datasets(0.2);
+        assert_eq!(sets.len(), 13);
+        for (i, d) in sets.iter().enumerate() {
+            assert_eq!(d.id, i + 1);
+            let frame = MlFrame::from_table(&d.table, &d.target).unwrap();
+            assert!(frame.has_missing(), "{} should have NAs", d.name);
+            assert!(frame.n_classes >= 2);
+        }
+        // sizes increase overall
+        assert!(sets[12].table.rows() > sets[0].table.rows() * 10);
+    }
+
+    #[test]
+    fn transform_sets_are_complete_and_numbered_14_to_30() {
+        let sets = transform_datasets(0.2);
+        assert_eq!(sets.len(), 17);
+        assert_eq!(sets[0].id, 14);
+        assert_eq!(sets[16].id, 30);
+        for d in &sets {
+            let frame = MlFrame::from_table(&d.table, &d.target).unwrap();
+            assert!(!frame.has_missing(), "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn automl_sets_vary_in_classes() {
+        let sets = automl_datasets(0.3);
+        assert_eq!(sets.len(), 24);
+        let classes: std::collections::HashSet<usize> = sets
+            .iter()
+            .map(|d| MlFrame::from_table(&d.table, &d.target).unwrap().n_classes)
+            .collect();
+        assert!(classes.len() >= 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = cleaning_datasets(0.1);
+        let b = cleaning_datasets(0.1);
+        assert_eq!(a[3].table, b[3].table);
+    }
+
+    #[test]
+    fn labels_are_learnable() {
+        // sanity: a forest beats chance on a generated cleaning dataset
+        use lids_ml::{Classifier, RandomForest};
+        let d = &cleaning_datasets(0.3)[4];
+        let frame = MlFrame::from_table(&d.table, &d.target).unwrap();
+        let clean = lids_ml::CleaningOp::SimpleImputer.apply(&frame);
+        let mut rf = RandomForest::new(Default::default());
+        rf.fit(&clean.x, &clean.y);
+        let acc = lids_ml::accuracy(&clean.y, &rf.predict(&clean.x));
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+}

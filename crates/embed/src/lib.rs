@@ -1,0 +1,29 @@
+//! `lids-embed` — column, table, and label embeddings.
+//!
+//! Section 3.2 of the paper: KGLiDS profiles datasets into *column learned
+//! representations* (CoLR) — fixed-size 300-dimensional embeddings produced
+//! by a per-fine-grained-type neural network applied to a sample of column
+//! values and averaged — plus label embeddings over column names built from
+//! word embeddings and a semantic-similarity technique.
+//!
+//! Substitutions (documented in DESIGN.md): the paper's CoLR models are
+//! PyTorch networks pre-trained on 5,500 Kaggle/OpenML tables; here each
+//! fine-grained type has a deterministic feature extractor (distribution
+//! sketches, character n-gram hashes) feeding a small MLP that is trained
+//! in-repo with the same binary-cross-entropy pair objective the paper
+//! describes. GloVe is replaced by hash-seeded word vectors plus a built-in
+//! concept table that supplies the synonym structure (`area_sq_ft` close to
+//! `area_sq_m`) that the paper gets from pre-trained embeddings.
+
+pub mod coarse;
+pub mod colr;
+pub mod features;
+pub mod mlp;
+pub mod train;
+pub mod types;
+pub mod word;
+
+pub use coarse::CoarseModels;
+pub use colr::{table_embedding, ColrModels, EMBEDDING_DIM, TABLE_EMBEDDING_DIM};
+pub use types::FineGrainedType;
+pub use word::{label_similarity, tokenize_label, WordEmbeddings};

@@ -1,0 +1,275 @@
+#![allow(clippy::needless_range_loop)] // index math mirrors the equations
+
+//! A small two-layer perceptron with manual backpropagation.
+//!
+//! This is the network behind each CoLR model: `feature -> ReLU hidden ->
+//! embedding`. Training happens in [`crate::train`]; this module only knows
+//! forward, backward, and SGD application.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Dense 2-layer MLP: `out = W2 · relu(W1 · x + b1) + b2`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    pub in_dim: usize,
+    pub hidden: usize,
+    pub out_dim: usize,
+    /// `hidden × in_dim`, row-major.
+    pub w1: Vec<f32>,
+    pub b1: Vec<f32>,
+    /// `out_dim × hidden`, row-major.
+    pub w2: Vec<f32>,
+    pub b2: Vec<f32>,
+}
+
+/// Parameter gradients matching [`Mlp`]'s layout.
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    pub w1: Vec<f32>,
+    pub b1: Vec<f32>,
+    pub w2: Vec<f32>,
+    pub b2: Vec<f32>,
+}
+
+impl MlpGrads {
+    /// Zero gradients shaped for `net`.
+    pub fn zeros(net: &Mlp) -> Self {
+        MlpGrads {
+            w1: vec![0.0; net.w1.len()],
+            b1: vec![0.0; net.b1.len()],
+            w2: vec![0.0; net.w2.len()],
+            b2: vec![0.0; net.b2.len()],
+        }
+    }
+
+    /// Accumulate another gradient in place.
+    pub fn add(&mut self, other: &MlpGrads) {
+        for (a, b) in self.w1.iter_mut().zip(&other.w1) {
+            *a += b;
+        }
+        for (a, b) in self.b1.iter_mut().zip(&other.b1) {
+            *a += b;
+        }
+        for (a, b) in self.w2.iter_mut().zip(&other.w2) {
+            *a += b;
+        }
+        for (a, b) in self.b2.iter_mut().zip(&other.b2) {
+            *a += b;
+        }
+    }
+
+    /// Scale all gradients by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for g in self
+            .w1
+            .iter_mut()
+            .chain(&mut self.b1)
+            .chain(&mut self.w2)
+            .chain(&mut self.b2)
+        {
+            *g *= s;
+        }
+    }
+}
+
+impl Mlp {
+    /// Xavier-initialised network, deterministic for a given seed.
+    pub fn new(in_dim: usize, hidden: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lim1 = (6.0f32 / (in_dim + hidden) as f32).sqrt();
+        let lim2 = (6.0f32 / (hidden + out_dim) as f32).sqrt();
+        Mlp {
+            in_dim,
+            hidden,
+            out_dim,
+            w1: (0..hidden * in_dim).map(|_| rng.gen_range(-lim1..lim1)).collect(),
+            b1: vec![0.0; hidden],
+            w2: (0..out_dim * hidden).map(|_| rng.gen_range(-lim2..lim2)).collect(),
+            b2: vec![0.0; out_dim],
+        }
+    }
+
+    /// Forward pass returning `(hidden_pre_activation, output)`.
+    pub fn forward(&self, x: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut z1 = self.b1.clone();
+        for h in 0..self.hidden {
+            let row = &self.w1[h * self.in_dim..(h + 1) * self.in_dim];
+            let mut acc = 0.0f32;
+            for (w, xv) in row.iter().zip(x) {
+                acc += w * xv;
+            }
+            z1[h] += acc;
+        }
+        let a1: Vec<f32> = z1.iter().map(|&z| z.max(0.0)).collect();
+        let mut out = self.b2.clone();
+        for o in 0..self.out_dim {
+            let row = &self.w2[o * self.hidden..(o + 1) * self.hidden];
+            let mut acc = 0.0f32;
+            for (w, av) in row.iter().zip(&a1) {
+                acc += w * av;
+            }
+            out[o] += acc;
+        }
+        (z1, out)
+    }
+
+    /// Output only.
+    pub fn embed(&self, x: &[f32]) -> Vec<f32> {
+        self.forward(x).1
+    }
+
+    /// Backward pass given the input, the stored pre-activations, and the
+    /// loss gradient w.r.t. the output. Returns parameter gradients.
+    pub fn backward(&self, x: &[f32], z1: &[f32], grad_out: &[f32]) -> MlpGrads {
+        let a1: Vec<f32> = z1.iter().map(|&z| z.max(0.0)).collect();
+        let mut grads = MlpGrads::zeros(self);
+        // layer 2
+        for o in 0..self.out_dim {
+            let g = grad_out[o];
+            grads.b2[o] = g;
+            let row = &mut grads.w2[o * self.hidden..(o + 1) * self.hidden];
+            for (gw, av) in row.iter_mut().zip(&a1) {
+                *gw = g * av;
+            }
+        }
+        // grad into hidden (through ReLU)
+        let mut grad_h = vec![0.0f32; self.hidden];
+        for o in 0..self.out_dim {
+            let g = grad_out[o];
+            let row = &self.w2[o * self.hidden..(o + 1) * self.hidden];
+            for (gh, w) in grad_h.iter_mut().zip(row) {
+                *gh += g * w;
+            }
+        }
+        for (gh, &z) in grad_h.iter_mut().zip(z1) {
+            if z <= 0.0 {
+                *gh = 0.0;
+            }
+        }
+        // layer 1
+        for h in 0..self.hidden {
+            let g = grad_h[h];
+            grads.b1[h] = g;
+            let row = &mut grads.w1[h * self.in_dim..(h + 1) * self.in_dim];
+            for (gw, xv) in row.iter_mut().zip(x) {
+                *gw = g * xv;
+            }
+        }
+        grads
+    }
+
+    /// SGD step: `param -= lr * grad`.
+    pub fn apply(&mut self, grads: &MlpGrads, lr: f32) {
+        for (p, g) in self.w1.iter_mut().zip(&grads.w1) {
+            *p -= lr * g;
+        }
+        for (p, g) in self.b1.iter_mut().zip(&grads.b1) {
+            *p -= lr * g;
+        }
+        for (p, g) in self.w2.iter_mut().zip(&grads.w2) {
+            *p -= lr * g;
+        }
+        for (p, g) in self.b2.iter_mut().zip(&grads.b2) {
+            *p -= lr * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let net = Mlp::new(4, 8, 3, 1);
+        let (z1, out) = net.forward(&[0.1, -0.2, 0.3, 0.4]);
+        assert_eq!(z1.len(), 8);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let a = Mlp::new(4, 8, 3, 42);
+        let b = Mlp::new(4, 8, 3, 42);
+        assert_eq!(a.w1, b.w1);
+        let c = Mlp::new(4, 8, 3, 43);
+        assert_ne!(a.w1, c.w1);
+    }
+
+    /// Numerical gradient check on a scalar loss `L = sum(out)`.
+    #[test]
+    fn gradient_check() {
+        let mut net = Mlp::new(3, 5, 2, 7);
+        let x = [0.5f32, -0.3, 0.8];
+        let (z1, _) = net.forward(&x);
+        let grad_out = vec![1.0f32; 2]; // dL/dout for L = sum(out)
+        let grads = net.backward(&x, &z1, &grad_out);
+
+        let eps = 1e-3f32;
+        let loss = |net: &Mlp| -> f32 { net.forward(&x).1.iter().sum() };
+        // check a sample of w1 and w2 entries
+        for idx in [0usize, 3, 7, 11] {
+            let orig = net.w1[idx];
+            net.w1[idx] = orig + eps;
+            let lp = loss(&net);
+            net.w1[idx] = orig - eps;
+            let lm = loss(&net);
+            net.w1[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads.w1[idx]).abs() < 1e-2,
+                "w1[{idx}] numeric {numeric} analytic {}",
+                grads.w1[idx]
+            );
+        }
+        for idx in [0usize, 4, 9] {
+            let orig = net.w2[idx];
+            net.w2[idx] = orig + eps;
+            let lp = loss(&net);
+            net.w2[idx] = orig - eps;
+            let lm = loss(&net);
+            net.w2[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grads.w2[idx]).abs() < 1e-2,
+                "w2[{idx}] numeric {numeric} analytic {}",
+                grads.w2[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_reduces_simple_loss() {
+        // teach the net to output zero for a fixed input
+        let mut net = Mlp::new(2, 6, 2, 3);
+        let x = [1.0f32, -1.0];
+        let loss_of = |out: &[f32]| out.iter().map(|o| o * o).sum::<f32>();
+        let initial = loss_of(&net.forward(&x).1);
+        for _ in 0..200 {
+            let (z1, out) = net.forward(&x);
+            let grad_out: Vec<f32> = out.iter().map(|o| 2.0 * o).collect();
+            let grads = net.backward(&x, &z1, &grad_out);
+            net.apply(&grads, 0.05);
+        }
+        let fin = loss_of(&net.forward(&x).1);
+        assert!(fin < initial * 0.1, "loss {initial} -> {fin}");
+    }
+
+    #[test]
+    fn grads_accumulate_and_scale() {
+        let net = Mlp::new(2, 3, 1, 5);
+        let x = [1.0f32, 2.0];
+        let (z1, _) = net.forward(&x);
+        let g1 = net.backward(&x, &z1, &[1.0]);
+        let mut acc = MlpGrads::zeros(&net);
+        acc.add(&g1);
+        acc.add(&g1);
+        acc.scale(0.5);
+        for (a, b) in acc.w1.iter().zip(&g1.w1) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

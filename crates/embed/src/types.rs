@@ -1,0 +1,118 @@
+//! The seven fine-grained column types of Section 3.2.
+//!
+//! KGLiDS "infers for each column a fine-grained data type out of 7 types"
+//! and only compares columns of equal type, which "drastically cuts false
+//! positives in column similarity prediction". The enum lives here (rather
+//! than in the profiler) because the CoLR models are parameterised by it.
+
+/// Fine-grained column type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FineGrainedType {
+    /// Integer-valued columns.
+    Int,
+    /// Floating-point columns.
+    Float,
+    /// Boolean columns (compared via *true ratio*, not embeddings).
+    Boolean,
+    /// Date/time columns.
+    Date,
+    /// Named entities: persons, locations, organisations, … (NER-detected).
+    NamedEntity,
+    /// Free natural-language text: reviews, comments, descriptions.
+    NaturalLanguage,
+    /// Generic strings that fit none of the above: IDs, postal codes, …
+    String,
+}
+
+impl FineGrainedType {
+    /// All seven types, in the canonical order used for table-embedding
+    /// concatenation and Table 1 reporting.
+    pub const ALL: [FineGrainedType; 7] = [
+        FineGrainedType::Int,
+        FineGrainedType::Float,
+        FineGrainedType::Boolean,
+        FineGrainedType::Date,
+        FineGrainedType::NamedEntity,
+        FineGrainedType::NaturalLanguage,
+        FineGrainedType::String,
+    ];
+
+    /// The six types that carry CoLR embeddings (all but `Boolean`); table
+    /// embeddings concatenate per-type averages over these (Section 4.2:
+    /// "embeddings … of length 1800, which is the concatenation of
+    /// embeddings for six fine-grained column types").
+    pub const EMBEDDABLE: [FineGrainedType; 6] = [
+        FineGrainedType::Int,
+        FineGrainedType::Float,
+        FineGrainedType::Date,
+        FineGrainedType::NamedEntity,
+        FineGrainedType::NaturalLanguage,
+        FineGrainedType::String,
+    ];
+
+    /// Stable label used in the LiDS graph and Table 1 output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FineGrainedType::Int => "int",
+            FineGrainedType::Float => "float",
+            FineGrainedType::Boolean => "boolean",
+            FineGrainedType::Date => "date",
+            FineGrainedType::NamedEntity => "named_entity",
+            FineGrainedType::NaturalLanguage => "natural_language",
+            FineGrainedType::String => "string",
+        }
+    }
+
+    /// Parse a label back (inverse of [`label`](Self::label)).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|t| t.label() == s)
+    }
+
+    /// True when the type is numeric.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, FineGrainedType::Int | FineGrainedType::Float)
+    }
+
+    /// Index in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|t| *t == self).unwrap()
+    }
+}
+
+impl std::fmt::Display for FineGrainedType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        for t in FineGrainedType::ALL {
+            assert_eq!(FineGrainedType::from_label(t.label()), Some(t));
+        }
+        assert_eq!(FineGrainedType::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn embeddable_excludes_boolean() {
+        assert_eq!(FineGrainedType::EMBEDDABLE.len(), 6);
+        assert!(!FineGrainedType::EMBEDDABLE.contains(&FineGrainedType::Boolean));
+    }
+
+    #[test]
+    fn indexes_are_stable() {
+        assert_eq!(FineGrainedType::Int.index(), 0);
+        assert_eq!(FineGrainedType::String.index(), 6);
+    }
+
+    #[test]
+    fn numeric_predicate() {
+        assert!(FineGrainedType::Int.is_numeric());
+        assert!(FineGrainedType::Float.is_numeric());
+        assert!(!FineGrainedType::Date.is_numeric());
+    }
+}

@@ -1,0 +1,253 @@
+//! Label (column-name) embeddings.
+//!
+//! Algorithm 3 computes *label similarity* "based on GloVe Word embeddings
+//! and a semantic similarity technique". GloVe itself is a 6B-token
+//! pre-trained artifact; the substitution here is a deterministic vector
+//! space — each token gets a hash-seeded Gaussian vector — augmented with a
+//! built-in concept table for data-science column vocabulary: tokens in the
+//! same concept group share a dominant concept vector, so `area_sq_ft` and
+//! `area_sq_m` land close together exactly as GloVe synonyms would.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::features::fxhash;
+use lids_vector::ops::{cosine_similarity, l2_norm, normalize};
+
+/// Word-vector dimensionality (GloVe's common 50d size).
+pub const WORD_DIM: usize = 50;
+
+/// Synonym/concept groups for common column-name vocabulary. Tokens within
+/// a group embed near each other. This is the semantic structure the paper
+/// obtains from pre-trained embeddings + WordNet-style similarity.
+const CONCEPT_GROUPS: &[&[&str]] = &[
+    &["id", "identifier", "key", "code", "uid", "uuid", "no", "num", "number"],
+    &["name", "title", "label", "caption"],
+    &["age", "years", "yrs"],
+    &["date", "time", "datetime", "timestamp", "day", "month", "year", "dob"],
+    &["price", "cost", "amount", "fee", "charge", "value", "total", "fare"],
+    &["area", "size", "sqft", "sqm", "ft", "m", "sq", "square", "acreage"],
+    &["weight", "mass", "kg", "lb", "lbs", "pounds", "kilograms"],
+    &["height", "length", "width", "depth", "tall"],
+    &["country", "nation", "state", "province", "region", "territory"],
+    &["city", "town", "municipality", "locality"],
+    &["address", "street", "location", "place"],
+    &["phone", "telephone", "mobile", "cell", "contact"],
+    &["email", "mail", "e"],
+    &["sex", "gender"],
+    &["salary", "income", "wage", "earnings", "pay"],
+    &["rating", "score", "rank", "grade", "stars"],
+    &["count", "quantity", "qty", "freq", "frequency"],
+    &["lat", "latitude", "lon", "lng", "longitude", "coord", "coordinates"],
+    &["description", "desc", "text", "comment", "review", "note", "remarks"],
+    &["category", "type", "class", "kind", "group", "genre"],
+    &["status", "flag", "active", "enabled", "survived", "churn", "outcome"],
+    &["patient", "person", "customer", "client", "user", "employee", "member"],
+    &["disease", "diagnosis", "condition", "illness", "failure", "heart", "cardiac"],
+    &["product", "item", "sku", "article", "goods"],
+    &["company", "organization", "org", "firm", "employer", "brand"],
+];
+
+/// Deterministic word-embedding provider.
+#[derive(Debug, Default, Clone)]
+pub struct WordEmbeddings;
+
+impl WordEmbeddings {
+    pub fn new() -> Self {
+        WordEmbeddings
+    }
+
+    /// Embedding of a single lower-cased token.
+    pub fn embed_token(&self, token: &str) -> Vec<f32> {
+        let token = token.to_lowercase();
+        let mut v = seeded_vector(&format!("tok::{token}"));
+        if let Some(group) = concept_of(&token) {
+            let concept = seeded_vector(&format!("concept::{group}"));
+            // dominant concept component + token-specific residual
+            for (x, c) in v.iter_mut().zip(&concept) {
+                *x = 0.85 * c + 0.15 * *x;
+            }
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// True when the token is "known": in the concept vocabulary. The
+    /// profiler uses this to detect natural-language text ("predicted based
+    /// on the existence of corresponding word embeddings for the tokens").
+    pub fn knows(&self, token: &str) -> bool {
+        concept_of(&token.to_lowercase()).is_some() || is_common_english(token)
+    }
+
+    /// Embedding of a label: mean of token embeddings, normalised.
+    pub fn embed_label(&self, label: &str) -> Vec<f32> {
+        let tokens = tokenize_label(label);
+        let mut sum = vec![0.0f32; WORD_DIM];
+        let mut count = 0;
+        for t in &tokens {
+            let e = self.embed_token(t);
+            for (s, x) in sum.iter_mut().zip(&e) {
+                *s += x;
+            }
+            count += 1;
+        }
+        if count > 0 {
+            normalize(&mut sum);
+        }
+        sum
+    }
+}
+
+/// Index of the concept group containing `token`, if any.
+fn concept_of(token: &str) -> Option<usize> {
+    CONCEPT_GROUPS
+        .iter()
+        .position(|group| group.contains(&token))
+}
+
+/// A small common-English check so word-y tokens count as "having
+/// embeddings" for natural-language detection even outside the concept
+/// table: alphabetic, 2+ chars, contains a vowel.
+fn is_common_english(token: &str) -> bool {
+    token.len() >= 2
+        && token.chars().all(|c| c.is_ascii_alphabetic())
+        && token.to_lowercase().chars().any(|c| "aeiou".contains(c))
+}
+
+/// Deterministic Gaussian-ish unit vector from a string seed.
+fn seeded_vector(seed: &str) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(fxhash(seed.as_bytes()));
+    let mut v: Vec<f32> = (0..WORD_DIM)
+        .map(|_| {
+            // sum of uniforms ≈ normal
+            (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>() * 0.5
+        })
+        .collect();
+    normalize(&mut v);
+    v
+}
+
+/// Split a column name into lower-cased tokens: `_`, `-`, spaces, digits,
+/// and camelCase boundaries all split.
+pub fn tokenize_label(label: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in label.chars() {
+        if c == '_' || c == '-' || c == ' ' || c == '.' || c == '/' || c.is_ascii_digit() {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            prev_lower = false;
+            continue;
+        }
+        if c.is_uppercase() && prev_lower && !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+        prev_lower = c.is_lowercase();
+        current.push(c.to_ascii_lowercase());
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Label similarity between two column names: cosine over mean token
+/// vectors, boosted to 1.0 for exact token-set matches.
+pub fn label_similarity(we: &WordEmbeddings, a: &str, b: &str) -> f32 {
+    let ta = tokenize_label(a);
+    let tb = tokenize_label(b);
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    if ta == tb {
+        return 1.0;
+    }
+    let ea = we.embed_label(a);
+    let eb = we.embed_label(b);
+    if l2_norm(&ea) == 0.0 || l2_norm(&eb) == 0.0 {
+        return 0.0;
+    }
+    cosine_similarity(&ea, &eb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_everything() {
+        assert_eq!(tokenize_label("area_sq_ft"), vec!["area", "sq", "ft"]);
+        assert_eq!(tokenize_label("NormalizedAge"), vec!["normalized", "age"]);
+        assert_eq!(tokenize_label("col1value"), vec!["col", "value"]);
+        assert_eq!(tokenize_label("heart-failure rate"), vec!["heart", "failure", "rate"]);
+        assert!(tokenize_label("123").is_empty());
+    }
+
+    #[test]
+    fn synonyms_are_close_unrelated_far() {
+        let we = WordEmbeddings::new();
+        let same_concept = label_similarity(&we, "area_sq_ft", "area_sq_m");
+        let unrelated = label_similarity(&we, "area_sq_ft", "patient_email");
+        assert!(
+            same_concept > 0.8,
+            "concept similarity too low: {same_concept}"
+        );
+        assert!(same_concept > unrelated + 0.3, "{same_concept} vs {unrelated}");
+    }
+
+    #[test]
+    fn exact_match_is_one() {
+        let we = WordEmbeddings::new();
+        assert_eq!(label_similarity(&we, "passenger_age", "passenger_age"), 1.0);
+        // same tokens, different casing/separators
+        assert_eq!(label_similarity(&we, "PassengerAge", "passenger_age"), 1.0);
+    }
+
+    #[test]
+    fn deterministic_embeddings() {
+        let we = WordEmbeddings::new();
+        assert_eq!(we.embed_token("price"), we.embed_token("price"));
+    }
+
+    #[test]
+    fn knows_concept_and_english_words() {
+        let we = WordEmbeddings::new();
+        assert!(we.knows("price"));
+        assert!(we.knows("wonderful"));
+        assert!(!we.knows("qz7x"));
+        assert!(!we.knows("x"));
+    }
+
+    #[test]
+    fn empty_labels_are_zero_similarity() {
+        let we = WordEmbeddings::new();
+        assert_eq!(label_similarity(&we, "", "price"), 0.0);
+    }
+
+    #[test]
+    fn synonym_pairs_beat_random_pairs_on_average() {
+        let we = WordEmbeddings::new();
+        let syn = [
+            ("price", "cost"),
+            ("country", "nation"),
+            ("salary", "income"),
+            ("sex", "gender"),
+        ];
+        let rand_pairs = [
+            ("price", "gender"),
+            ("country", "salary"),
+            ("city", "rating"),
+            ("email", "weight"),
+        ];
+        let avg = |pairs: &[(&str, &str)]| {
+            pairs
+                .iter()
+                .map(|(a, b)| label_similarity(&we, a, b))
+                .sum::<f32>()
+                / pairs.len() as f32
+        };
+        assert!(avg(&syn) > avg(&rand_pairs) + 0.4);
+    }
+}

@@ -1,0 +1,18 @@
+//! `lids-exec` — execution substrate shared by every system in this repository.
+//!
+//! The KGLiDS paper distributes its profiling and graph-construction
+//! algorithms with PySpark (Algorithms 1–3 are all embarrassingly parallel
+//! `map`s over scripts, columns, or column pairs). This crate provides the
+//! single-machine equivalent: a chunked [`parallel_map`] over a slice, plus
+//! the instrumentation the evaluation section needs — a wall-clock
+//! [`Stopwatch`] and a logical-bytes [`MemoryMeter`] with which each system
+//! reports the peak size of its resident data structures (the substitute for
+//! the paper's process-level RSS measurements; see DESIGN.md).
+
+pub mod meter;
+pub mod pool;
+pub mod timer;
+
+pub use meter::MemoryMeter;
+pub use pool::{parallel_map, parallel_map_with, ParallelConfig};
+pub use timer::Stopwatch;

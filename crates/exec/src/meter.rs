@@ -1,0 +1,137 @@
+//! Logical memory accounting.
+//!
+//! Figures 7(b) and 8(b) of the paper compare the *peak memory* of each
+//! system as dataset size grows. Instead of sampling process RSS (noisy,
+//! allocator-dependent, and shared across the whole benchmark process), every
+//! system in this repository charges the bytes of its resident data
+//! structures to a [`MemoryMeter`]. The meter tracks the current and peak
+//! logical footprint, which reproduces the growth *shape* the figures report:
+//! HoloClean/AutoLearn grow with raw data size, KGLiDS stays flat at the size
+//! of its fixed embeddings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe logical-bytes counter with a high-water mark.
+#[derive(Debug, Default)]
+pub struct MemoryMeter {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryMeter {
+    /// A meter starting at zero bytes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `bytes` to the meter, updating the peak.
+    pub fn alloc(&self, bytes: u64) {
+        let now = self.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` previously charged. Saturates at zero.
+    pub fn free(&self, bytes: u64) {
+        let mut cur = self.current.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(bytes);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// Currently charged bytes.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since construction (or last [`reset`](Self::reset)).
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset both counters to zero.
+    pub fn reset(&self) {
+        self.current.store(0, Ordering::Relaxed);
+        self.peak.store(0, Ordering::Relaxed);
+    }
+
+    /// Peak footprint in mebibytes, the unit the paper's figures use.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Charge for a slice of POD values (`len * size_of::<T>()`).
+pub fn bytes_of_slice<T>(slice: &[T]) -> u64 {
+    std::mem::size_of_val(slice) as u64
+}
+
+/// Charge for a string's heap payload.
+pub fn bytes_of_str(s: &str) -> u64 {
+    s.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_peak() {
+        let m = MemoryMeter::new();
+        m.alloc(100);
+        m.alloc(50);
+        m.free(120);
+        m.alloc(10);
+        assert_eq!(m.current(), 40);
+        assert_eq!(m.peak(), 150);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let m = MemoryMeter::new();
+        m.alloc(5);
+        m.free(100);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = MemoryMeter::new();
+        m.alloc(1024 * 1024);
+        assert!(m.peak_mib() > 0.99);
+        m.reset();
+        assert_eq!(m.peak(), 0);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    fn concurrent_peak_is_at_least_sequential_max() {
+        let m = MemoryMeter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        m.alloc(10);
+                        m.free(10);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.current(), 0);
+        assert!(m.peak() >= 10);
+    }
+
+    #[test]
+    fn slice_and_str_helpers() {
+        assert_eq!(bytes_of_slice(&[0u64; 4]), 32);
+        assert_eq!(bytes_of_str("abcd"), 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Feature graphs for node classification.
+
+/// An undirected graph with dense node features and optional node labels.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    /// Node features, one row per node (uniform dimensionality).
+    pub features: Vec<Vec<f32>>,
+    /// Adjacency lists (undirected: both directions present).
+    pub neighbors: Vec<Vec<u32>>,
+    /// Class label per node; `None` for unlabeled nodes.
+    pub labels: Vec<Option<usize>>,
+}
+
+impl Graph {
+    /// An empty graph expecting `dim`-dimensional features.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimensionality (0 for an empty graph).
+    pub fn dim(&self) -> usize {
+        self.features.first().map_or(0, |f| f.len())
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self, features: Vec<f32>, label: Option<usize>) -> u32 {
+        debug_assert!(
+            self.features.is_empty() || features.len() == self.dim(),
+            "feature dimensionality mismatch"
+        );
+        let id = self.features.len() as u32;
+        self.features.push(features);
+        self.neighbors.push(Vec::new());
+        self.labels.push(label);
+        id
+    }
+
+    /// Add an undirected edge.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        if !self.neighbors[a as usize].contains(&b) {
+            self.neighbors[a as usize].push(b);
+            self.neighbors[b as usize].push(a);
+        }
+    }
+
+    /// Mean of neighbour features for a node (zeros for isolated nodes).
+    pub fn neighbor_mean(&self, node: u32) -> Vec<f32> {
+        let dim = self.dim();
+        let ns = &self.neighbors[node as usize];
+        let mut out = vec![0.0f32; dim];
+        if ns.is_empty() {
+            return out;
+        }
+        for &n in ns {
+            for (o, x) in out.iter_mut().zip(&self.features[n as usize]) {
+                *o += x;
+            }
+        }
+        let inv = 1.0 / ns.len() as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        out
+    }
+
+    /// Ids of labeled nodes.
+    pub fn labeled_nodes(&self) -> Vec<u32> {
+        (0..self.len() as u32)
+            .filter(|&i| self.labels[i as usize].is_some())
+            .collect()
+    }
+
+    /// Number of edges (each undirected edge counted once).
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Induced subgraph over a node set; returns the subgraph and the
+    /// mapping from subgraph ids to original ids.
+    pub fn induced(&self, nodes: &[u32]) -> (Graph, Vec<u32>) {
+        let mut map = std::collections::HashMap::new();
+        for (new, &old) in nodes.iter().enumerate() {
+            map.insert(old, new as u32);
+        }
+        let mut g = Graph::new();
+        for &old in nodes {
+            g.add_node(self.features[old as usize].clone(), self.labels[old as usize]);
+        }
+        for (new, &old) in nodes.iter().enumerate() {
+            for &nb in &self.neighbors[old as usize] {
+                if let Some(&nb_new) = map.get(&nb) {
+                    g.add_edge(new as u32, nb_new);
+                }
+            }
+        }
+        (g, nodes.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(vec![1.0, 0.0], Some(0));
+        let b = g.add_node(vec![0.0, 1.0], Some(1));
+        let c = g.add_node(vec![1.0, 1.0], None);
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        g
+    }
+
+    #[test]
+    fn construction() {
+        let g = triangle();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.dim(), 2);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.labeled_nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut g = triangle();
+        g.add_edge(0, 1);
+        g.add_edge(2, 2);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn neighbor_mean() {
+        let g = triangle();
+        // neighbors of node 0 are 1 and 2: mean = (0.5, 1.0)
+        assert_eq!(g.neighbor_mean(0), vec![0.5, 1.0]);
+        let mut lone = Graph::new();
+        lone.add_node(vec![3.0], None);
+        assert_eq!(lone.neighbor_mean(0), vec![0.0]);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = triangle();
+        let (sub, map) = g.induced(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.edge_count(), 1); // only the 0-2 edge survives
+        assert_eq!(map, vec![0, 2]);
+        assert_eq!(sub.labels[0], Some(0));
+        assert_eq!(sub.labels[1], None);
+    }
+}

@@ -1,0 +1,25 @@
+//! `lids-gnn` — graph neural networks for on-demand automation (Section 4).
+//!
+//! KGLiDS "formalizes data cleaning and transformation as graph neural
+//! network classification tasks based on the semantics of data science
+//! artifacts and dataset embeddings": node-classification models over a
+//! graph whose dataset nodes are initialised with CoLR embeddings (1800-d
+//! concatenated per-type table embeddings for table-level tasks, 300-d
+//! column embeddings for column-level tasks), trained with GraphSAINT
+//! random-walk sampling. "The GNN model has one layer, as there is only
+//! one edge between a given table and its cleaning operation."
+//!
+//! This crate implements the whole stack from scratch: the graph container
+//! ([`Graph`]), a one-layer GraphSAGE-style network with manual backprop
+//! ([`GnnModel`]), the GraphSAINT sampler ([`saint`]), and the three task
+//! models of Sections 4.2–4.3 ([`models`]).
+
+pub mod graph;
+pub mod models;
+pub mod network;
+pub mod saint;
+
+pub use graph::Graph;
+pub use models::{CleaningModel, ColumnTransformModel, ScalingModel};
+pub use network::{GnnConfig, GnnModel};
+pub use saint::sample_random_walk_subgraph;

@@ -1,0 +1,212 @@
+//! Task-specific GNN models (Sections 4.2–4.3).
+//!
+//! - [`CleaningModel`]: 1800-d table embeddings → one of 5 cleaning ops.
+//! - [`ScalingModel`]: 1800-d table embeddings → one of the scaling ops.
+//! - [`ColumnTransformModel`]: 300-d column embeddings → log/sqrt/none.
+//!
+//! Training graphs connect examples whose embeddings are cosine-similar
+//! (the content-similarity edges the models see in the LiDS graph), so the
+//! GraphSAINT-trained network smooths labels over similar datasets — the
+//! paper's "predict a near-optimal operation … based on the set of
+//! operations used with the most similar dataset".
+
+use lids_ml::{CleaningOp, ColumnTransform, ScalingOp};
+
+use crate::graph::Graph;
+use crate::network::{GnnConfig, GnnModel};
+
+/// Cosine threshold for similarity edges in training graphs.
+const EDGE_THRESHOLD: f32 = 0.8;
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Build a training graph from `(embedding, class)` examples with
+/// similarity edges.
+fn build_graph(examples: &[(Vec<f32>, usize)]) -> Graph {
+    let mut g = Graph::new();
+    for (e, label) in examples {
+        g.add_node(e.clone(), Some(*label));
+    }
+    for i in 0..examples.len() {
+        for j in i + 1..examples.len() {
+            if cosine(&examples[i].0, &examples[j].0) >= EDGE_THRESHOLD {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    g
+}
+
+macro_rules! task_model {
+    ($(#[$doc:meta])* $name:ident, $op:ty, $all:expr, $index:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            gnn: GnnModel,
+        }
+
+        impl $name {
+            /// Train on `(embedding, operation)` examples.
+            pub fn train(examples: &[(Vec<f32>, $op)], seed: u64) -> Self {
+                assert!(!examples.is_empty(), "no training examples");
+                let dim = examples[0].0.len();
+                let indexed: Vec<(Vec<f32>, usize)> = examples
+                    .iter()
+                    .map(|(e, op)| (e.clone(), $index(*op)))
+                    .collect();
+                let graph = build_graph(&indexed);
+                let mut gnn = GnnModel::new(GnnConfig {
+                    seed,
+                    ..GnnConfig::new(dim, $all.len())
+                });
+                gnn.train(&graph);
+                $name { gnn }
+            }
+
+            /// Recommend the best operation for an unseen embedding.
+            pub fn recommend(&self, embedding: &[f32]) -> $op {
+                $all[self.gnn.predict(embedding)]
+            }
+
+            /// All operations ranked by predicted probability.
+            pub fn recommend_ranked(&self, embedding: &[f32]) -> Vec<($op, f32)> {
+                let probs = self.gnn.predict_proba(embedding);
+                let mut ranked: Vec<($op, f32)> = $all
+                    .iter()
+                    .copied()
+                    .zip(probs)
+                    .collect();
+                ranked.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                ranked
+            }
+        }
+    };
+}
+
+task_model!(
+    /// GNN recommender for data-cleaning operations (Section 4.2).
+    CleaningModel,
+    CleaningOp,
+    CleaningOp::ALL,
+    |op: CleaningOp| op.index()
+);
+
+task_model!(
+    /// GNN recommender for table-level scaling transformations (Section 4.3).
+    ScalingModel,
+    ScalingOp,
+    ScalingOp::ALL,
+    |op: ScalingOp| op.index()
+);
+
+task_model!(
+    /// GNN recommender for column-level unary transformations (Section 4.3).
+    ColumnTransformModel,
+    ColumnTransform,
+    ColumnTransform::ALL,
+    |op: ColumnTransform| op.index()
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthetic embeddings where the right operation correlates with a
+    /// *direction* in embedding space (as with CoLR table embeddings, whose
+    /// per-type blocks give classes distinct orientations).
+    fn cleaning_examples(n: usize, seed: u64) -> Vec<(Vec<f32>, CleaningOp)> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        for i in 0..n {
+            let op = CleaningOp::ALL[i % 3]; // use 3 of the 5 classes
+            let block = op.index();
+            let e: Vec<f32> = (0..16)
+                .map(|d| {
+                    let hot = if d / 5 == block { 1.0 } else { 0.0 };
+                    hot + rng.gen_range(-0.2..0.2)
+                })
+                .collect();
+            out.push((e, op));
+        }
+        out
+    }
+
+    #[test]
+    fn cleaning_model_learns_and_recommends() {
+        let examples = cleaning_examples(60, 1);
+        let model = CleaningModel::train(&examples, 42);
+        let mut hits = 0;
+        for (e, op) in cleaning_examples(30, 2) {
+            if model.recommend(&e) == op {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 24, "hits {hits}/30");
+    }
+
+    #[test]
+    fn ranked_recommendations_are_sorted_probabilities() {
+        let examples = cleaning_examples(30, 3);
+        let model = CleaningModel::train(&examples, 7);
+        let ranked = model.recommend_ranked(&examples[0].0);
+        assert_eq!(ranked.len(), CleaningOp::ALL.len());
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+        let total: f32 = ranked.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        assert_eq!(ranked[0].0, model.recommend(&examples[0].0));
+    }
+
+    #[test]
+    fn scaling_model_roundtrip() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let examples: Vec<(Vec<f32>, ScalingOp)> = (0..40)
+            .map(|i| {
+                let op = ScalingOp::ALL[i % 2];
+                let center = if op == ScalingOp::None { -1.0 } else { 1.0 };
+                let e: Vec<f32> = (0..8).map(|_| center + rng.gen_range(-0.3f32..0.3)).collect();
+                (e, op)
+            })
+            .collect();
+        let model = ScalingModel::train(&examples, 5);
+        assert_eq!(model.recommend(&[-1.0; 8]), ScalingOp::None);
+        assert_eq!(model.recommend(&[1.0; 8]), ScalingOp::StandardScaler);
+    }
+
+    #[test]
+    fn column_transform_model_on_300d() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let examples: Vec<(Vec<f32>, ColumnTransform)> = (0..30)
+            .map(|i| {
+                let op = ColumnTransform::ALL[i % 2];
+                let center = op.index() as f32;
+                let e: Vec<f32> = (0..300).map(|_| center + rng.gen_range(-0.2f32..0.2)).collect();
+                (e, op)
+            })
+            .collect();
+        let model = ColumnTransformModel::train(&examples, 11);
+        assert_eq!(model.recommend(&vec![0.0; 300]), ColumnTransform::None);
+        assert_eq!(model.recommend(&vec![1.0; 300]), ColumnTransform::Log);
+    }
+
+    #[test]
+    #[should_panic(expected = "no training examples")]
+    fn empty_training_panics() {
+        let _ = CleaningModel::train(&[], 1);
+    }
+}

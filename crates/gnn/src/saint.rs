@@ -1,0 +1,96 @@
+//! GraphSAINT random-walk subgraph sampling (Zeng et al., ICLR 2020).
+//!
+//! The paper trains its node-classification models with GraphSAINT. The
+//! random-walk sampler used here is GraphSAINT-RW: pick `roots` start
+//! nodes uniformly, walk `walk_length` steps from each, and train on the
+//! subgraph induced by all visited nodes.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::graph::Graph;
+
+/// Sample a node set by `roots` random walks of `walk_length` steps.
+/// Returns sorted, deduplicated node ids (never empty for non-empty input).
+pub fn sample_random_walk_subgraph(
+    graph: &Graph,
+    roots: usize,
+    walk_length: usize,
+    rng: &mut SmallRng,
+) -> Vec<u32> {
+    let n = graph.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut visited: Vec<u32> = Vec::with_capacity(roots * (walk_length + 1));
+    for _ in 0..roots.max(1) {
+        let mut current = rng.gen_range(0..n) as u32;
+        visited.push(current);
+        for _ in 0..walk_length {
+            let ns = &graph.neighbors[current as usize];
+            if ns.is_empty() {
+                break;
+            }
+            current = ns[rng.gen_range(0..ns.len())];
+            visited.push(current);
+        }
+    }
+    visited.sort_unstable();
+    visited.dedup();
+    visited
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..n {
+            g.add_node(vec![i as f32], None);
+        }
+        for i in 0..n as u32 - 1 {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn samples_are_valid_nodes() {
+        let g = path_graph(50);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let nodes = sample_random_walk_subgraph(&g, 5, 4, &mut rng);
+        assert!(!nodes.is_empty());
+        assert!(nodes.iter().all(|&n| (n as usize) < 50));
+        // sorted + deduped
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_sample() {
+        let g = Graph::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(sample_random_walk_subgraph(&g, 4, 4, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_terminate_walks() {
+        let mut g = Graph::new();
+        g.add_node(vec![0.0], None);
+        g.add_node(vec![1.0], None);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let nodes = sample_random_walk_subgraph(&g, 3, 10, &mut rng);
+        assert!(!nodes.is_empty());
+    }
+
+    #[test]
+    fn more_roots_cover_more_nodes() {
+        let g = path_graph(200);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let small = sample_random_walk_subgraph(&g, 2, 3, &mut rng).len();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let large = sample_random_walk_subgraph(&g, 40, 3, &mut rng).len();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,526 @@
+//! Library documentation analysis (Algorithm 1, lines 9–13).
+//!
+//! "For each class and method in the documentation, we build a JSON
+//! document containing the names, values, and data types of input
+//! parameters, including default parameters, as well as their return data
+//! types." This module is that KB: a built-in registry for the
+//! data-science libraries the Kaggle corpus uses, serialisable to/from
+//! JSON. It powers accurate return-type detection (`pd.read_csv` →
+//! `pandas.DataFrame`), implicit-parameter naming
+//! (`RandomForestClassifier(50)` → `n_estimators=50`), and default
+//! parameters — the information the paper credits for the improved
+//! AutoML hyperparameter pruning (Section 4.4).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of documented element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocKind {
+    Package,
+    Class,
+    Function,
+    Method,
+}
+
+/// A documented parameter: name plus optional default value (rendered).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamDoc {
+    pub name: String,
+    pub default: Option<String>,
+}
+
+impl ParamDoc {
+    fn req(name: &str) -> Self {
+        ParamDoc { name: name.into(), default: None }
+    }
+
+    fn opt(name: &str, default: &str) -> Self {
+        ParamDoc { name: name.into(), default: Some(default.into()) }
+    }
+}
+
+/// Documentation of one function/class/method.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocEntry {
+    /// Dotted path, e.g. `sklearn.ensemble.RandomForestClassifier`.
+    pub path: String,
+    pub kind: DocKind,
+    pub parameters: Vec<ParamDoc>,
+    /// Dotted path of the return type (constructors return their class).
+    pub return_type: Option<String>,
+}
+
+/// The documentation KB (`LD` in Algorithm 1).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LibraryDocs {
+    entries: HashMap<String, DocEntry>,
+}
+
+impl LibraryDocs {
+    /// Documentation for a dotted path.
+    pub fn get(&self, path: &str) -> Option<&DocEntry> {
+        self.entries.get(path)
+    }
+
+    /// All documented paths.
+    pub fn paths(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(|s| s.as_str())
+    }
+
+    /// Number of documented elements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the KB is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert an entry (builder-style).
+    pub fn insert(&mut self, entry: DocEntry) {
+        self.entries.insert(entry.path.clone(), entry);
+    }
+
+    /// Serialise the KB to JSON (the paper materialises it as JSON docs).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self).expect("docs serialise")
+    }
+
+    /// Load a KB from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Resolve a call against the KB. Handles method calls on documented
+    /// classes (`sklearn.impute.SimpleImputer.fit_transform` falls back to
+    /// the class's method table, then to generic estimator methods).
+    pub fn resolve(&self, path: &str) -> Option<&DocEntry> {
+        if let Some(e) = self.entries.get(path) {
+            return Some(e);
+        }
+        // method on a documented class?
+        let (class_path, method) = path.rsplit_once('.')?;
+        if self.entries.get(class_path).map(|e| e.kind) == Some(DocKind::Class) {
+            return self.entries.get(&format!("__method__.{method}"));
+        }
+        None
+    }
+
+    /// Pair positional argument values with documented parameter names and
+    /// append unspecified defaults — the enrichment of Algorithm 1 lines
+    /// 11–13. Returns `(name, value, explicit)` tuples.
+    pub fn enrich_parameters(
+        &self,
+        entry: &DocEntry,
+        positional: &[String],
+        keyword: &[(String, String)],
+    ) -> Vec<(String, String, bool)> {
+        let mut out: Vec<(String, String, bool)> = Vec::new();
+        let mut used: Vec<&str> = Vec::new();
+        for (i, value) in positional.iter().enumerate() {
+            let name = entry
+                .parameters
+                .get(i)
+                .map(|p| p.name.clone())
+                .unwrap_or_else(|| format!("arg{i}"));
+            used.push(entry.parameters.get(i).map(|p| p.name.as_str()).unwrap_or(""));
+            out.push((name, value.clone(), true));
+        }
+        for (name, value) in keyword {
+            used.push(name.as_str());
+            out.push((name.clone(), value.clone(), true));
+        }
+        for p in &entry.parameters {
+            if let Some(default) = &p.default {
+                if !used.contains(&p.name.as_str()) {
+                    out.push((p.name.clone(), default.clone(), false));
+                }
+            }
+        }
+        out
+    }
+
+    /// The built-in KB covering the libraries of the Kaggle-style corpus.
+    pub fn builtin() -> Self {
+        let mut docs = LibraryDocs::default();
+        let mut add = |path: &str, kind: DocKind, params: Vec<ParamDoc>, ret: Option<&str>| {
+            docs.insert(DocEntry {
+                path: path.to_string(),
+                kind,
+                parameters: params,
+                return_type: ret.map(|s| s.to_string()),
+            });
+        };
+
+        // ---- packages (library hierarchy roots) ----
+        for p in [
+            "pandas",
+            "numpy",
+            "sklearn",
+            "sklearn.ensemble",
+            "sklearn.linear_model",
+            "sklearn.tree",
+            "sklearn.svm",
+            "sklearn.neighbors",
+            "sklearn.impute",
+            "sklearn.preprocessing",
+            "sklearn.model_selection",
+            "sklearn.metrics",
+            "xgboost",
+            "lightgbm",
+            "matplotlib",
+            "matplotlib.pyplot",
+            "seaborn",
+            "scipy",
+            "scipy.stats",
+            "statsmodels",
+            "keras",
+            "torch",
+        ] {
+            add(p, DocKind::Package, vec![], None);
+        }
+
+        // ---- pandas ----
+        add(
+            "pandas.read_csv",
+            DocKind::Function,
+            vec![
+                ParamDoc::req("filepath_or_buffer"),
+                ParamDoc::opt("sep", "','"),
+                ParamDoc::opt("header", "'infer'"),
+                ParamDoc::opt("index_col", "None"),
+            ],
+            Some("pandas.DataFrame"),
+        );
+        add(
+            "pandas.read_json",
+            DocKind::Function,
+            vec![ParamDoc::req("path_or_buf")],
+            Some("pandas.DataFrame"),
+        );
+        add(
+            "pandas.concat",
+            DocKind::Function,
+            vec![ParamDoc::req("objs"), ParamDoc::opt("axis", "0"), ParamDoc::opt("sort", "False")],
+            Some("pandas.DataFrame"),
+        );
+        add(
+            "pandas.merge",
+            DocKind::Function,
+            vec![
+                ParamDoc::req("left"),
+                ParamDoc::req("right"),
+                ParamDoc::opt("how", "'inner'"),
+                ParamDoc::opt("on", "None"),
+            ],
+            Some("pandas.DataFrame"),
+        );
+        add("pandas.DataFrame", DocKind::Class, vec![ParamDoc::opt("data", "None")], Some("pandas.DataFrame"));
+        add("pandas.Series", DocKind::Class, vec![ParamDoc::opt("data", "None")], Some("pandas.Series"));
+        for (m, params, ret) in [
+            ("drop", vec![ParamDoc::req("labels"), ParamDoc::opt("axis", "0")], Some("pandas.DataFrame")),
+            ("fillna", vec![ParamDoc::req("value"), ParamDoc::opt("method", "None")], Some("pandas.DataFrame")),
+            ("interpolate", vec![ParamDoc::opt("method", "'linear'")], Some("pandas.DataFrame")),
+            ("dropna", vec![ParamDoc::opt("axis", "0"), ParamDoc::opt("how", "'any'")], Some("pandas.DataFrame")),
+            ("groupby", vec![ParamDoc::req("by")], Some("pandas.DataFrameGroupBy")),
+            ("merge", vec![ParamDoc::req("right"), ParamDoc::opt("how", "'inner'")], Some("pandas.DataFrame")),
+            ("pivot", vec![ParamDoc::opt("index", "None"), ParamDoc::opt("columns", "None")], Some("pandas.DataFrame")),
+            ("apply", vec![ParamDoc::req("func"), ParamDoc::opt("axis", "0")], Some("pandas.DataFrame")),
+            ("astype", vec![ParamDoc::req("dtype")], Some("pandas.DataFrame")),
+            ("copy", vec![], Some("pandas.DataFrame")),
+        ] {
+            add(&format!("pandas.DataFrame.{m}"), DocKind::Method, params, ret);
+        }
+
+        // ---- numpy ----
+        for (f, ret) in [
+            ("array", "numpy.ndarray"),
+            ("log", "numpy.ndarray"),
+            ("log1p", "numpy.ndarray"),
+            ("sqrt", "numpy.ndarray"),
+            ("mean", "float"),
+            ("std", "float"),
+            ("zeros", "numpy.ndarray"),
+            ("ones", "numpy.ndarray"),
+        ] {
+            add(&format!("numpy.{f}"), DocKind::Function, vec![ParamDoc::req("x")], Some(ret));
+        }
+
+        // ---- sklearn estimators (AutoML portfolio + hyperparameters) ----
+        add(
+            "sklearn.ensemble.RandomForestClassifier",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("n_estimators", "100"),
+                ParamDoc::opt("criterion", "'gini'"),
+                ParamDoc::opt("max_depth", "None"),
+                ParamDoc::opt("min_samples_split", "2"),
+                ParamDoc::opt("min_samples_leaf", "1"),
+                ParamDoc::opt("random_state", "None"),
+            ],
+            Some("sklearn.ensemble.RandomForestClassifier"),
+        );
+        add(
+            "sklearn.ensemble.GradientBoostingClassifier",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("n_estimators", "100"),
+                ParamDoc::opt("learning_rate", "0.1"),
+                ParamDoc::opt("max_depth", "3"),
+            ],
+            Some("sklearn.ensemble.GradientBoostingClassifier"),
+        );
+        add(
+            "sklearn.ensemble.AdaBoostClassifier",
+            DocKind::Class,
+            vec![ParamDoc::opt("n_estimators", "50"), ParamDoc::opt("learning_rate", "1.0")],
+            Some("sklearn.ensemble.AdaBoostClassifier"),
+        );
+        add(
+            "sklearn.linear_model.LogisticRegression",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("penalty", "'l2'"),
+                ParamDoc::opt("C", "1.0"),
+                ParamDoc::opt("max_iter", "100"),
+                ParamDoc::opt("solver", "'lbfgs'"),
+            ],
+            Some("sklearn.linear_model.LogisticRegression"),
+        );
+        add(
+            "sklearn.linear_model.LinearRegression",
+            DocKind::Class,
+            vec![ParamDoc::opt("fit_intercept", "True")],
+            Some("sklearn.linear_model.LinearRegression"),
+        );
+        add(
+            "sklearn.tree.DecisionTreeClassifier",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("criterion", "'gini'"),
+                ParamDoc::opt("max_depth", "None"),
+                ParamDoc::opt("min_samples_split", "2"),
+            ],
+            Some("sklearn.tree.DecisionTreeClassifier"),
+        );
+        add(
+            "sklearn.svm.SVC",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("C", "1.0"),
+                ParamDoc::opt("kernel", "'rbf'"),
+                ParamDoc::opt("gamma", "'scale'"),
+            ],
+            Some("sklearn.svm.SVC"),
+        );
+        add(
+            "sklearn.neighbors.KNeighborsClassifier",
+            DocKind::Class,
+            vec![ParamDoc::opt("n_neighbors", "5"), ParamDoc::opt("weights", "'uniform'")],
+            Some("sklearn.neighbors.KNeighborsClassifier"),
+        );
+        add(
+            "xgboost.XGBClassifier",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("n_estimators", "100"),
+                ParamDoc::opt("max_depth", "6"),
+                ParamDoc::opt("learning_rate", "0.3"),
+                ParamDoc::opt("subsample", "1.0"),
+            ],
+            Some("xgboost.XGBClassifier"),
+        );
+        add(
+            "lightgbm.LGBMClassifier",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("n_estimators", "100"),
+                ParamDoc::opt("num_leaves", "31"),
+                ParamDoc::opt("learning_rate", "0.1"),
+            ],
+            Some("lightgbm.LGBMClassifier"),
+        );
+
+        // ---- sklearn preprocessing / imputation (the automation targets) ----
+        add(
+            "sklearn.impute.SimpleImputer",
+            DocKind::Class,
+            vec![
+                ParamDoc::opt("missing_values", "nan"),
+                ParamDoc::opt("strategy", "'mean'"),
+            ],
+            Some("sklearn.impute.SimpleImputer"),
+        );
+        add(
+            "sklearn.impute.KNNImputer",
+            DocKind::Class,
+            vec![ParamDoc::opt("n_neighbors", "5")],
+            Some("sklearn.impute.KNNImputer"),
+        );
+        add(
+            "sklearn.impute.IterativeImputer",
+            DocKind::Class,
+            vec![ParamDoc::opt("max_iter", "10")],
+            Some("sklearn.impute.IterativeImputer"),
+        );
+        for (c, params) in [
+            ("StandardScaler", vec![ParamDoc::opt("with_mean", "True"), ParamDoc::opt("with_std", "True")]),
+            ("MinMaxScaler", vec![ParamDoc::opt("feature_range", "(0, 1)")]),
+            ("RobustScaler", vec![ParamDoc::opt("quantile_range", "(25.0, 75.0)")]),
+            ("LabelEncoder", vec![]),
+            ("OneHotEncoder", vec![ParamDoc::opt("handle_unknown", "'error'")]),
+        ] {
+            let path = format!("sklearn.preprocessing.{c}");
+            add(&path, DocKind::Class, params, Some(&path));
+        }
+
+        // ---- sklearn model selection & metrics ----
+        add(
+            "sklearn.model_selection.train_test_split",
+            DocKind::Function,
+            vec![
+                ParamDoc::req("X"),
+                ParamDoc::req("y"),
+                ParamDoc::opt("test_size", "0.25"),
+                ParamDoc::opt("random_state", "None"),
+            ],
+            Some("tuple"),
+        );
+        add(
+            "sklearn.model_selection.cross_val_score",
+            DocKind::Function,
+            vec![ParamDoc::req("estimator"), ParamDoc::req("X"), ParamDoc::req("y"), ParamDoc::opt("cv", "5")],
+            Some("numpy.ndarray"),
+        );
+        add(
+            "sklearn.model_selection.GridSearchCV",
+            DocKind::Class,
+            vec![ParamDoc::req("estimator"), ParamDoc::req("param_grid"), ParamDoc::opt("cv", "5")],
+            Some("sklearn.model_selection.GridSearchCV"),
+        );
+        for m in ["accuracy_score", "f1_score", "roc_auc_score", "precision_score", "recall_score"] {
+            add(
+                &format!("sklearn.metrics.{m}"),
+                DocKind::Function,
+                vec![ParamDoc::req("y_true"), ParamDoc::req("y_pred")],
+                Some("float"),
+            );
+        }
+
+        // ---- plotting ----
+        for f in ["plot", "scatter", "hist", "bar", "show", "figure", "xlabel", "ylabel", "title"] {
+            add(
+                &format!("matplotlib.pyplot.{f}"),
+                DocKind::Function,
+                vec![ParamDoc::opt("args", "None")],
+                None,
+            );
+        }
+        for f in ["heatmap", "pairplot", "countplot", "boxplot", "distplot"] {
+            add(
+                &format!("seaborn.{f}"),
+                DocKind::Function,
+                vec![ParamDoc::req("data")],
+                None,
+            );
+        }
+
+        // ---- generic estimator/transformer methods (shared) ----
+        add(
+            "__method__.fit",
+            DocKind::Method,
+            vec![ParamDoc::req("X"), ParamDoc::opt("y", "None")],
+            Some("self"),
+        );
+        add(
+            "__method__.predict",
+            DocKind::Method,
+            vec![ParamDoc::req("X")],
+            Some("numpy.ndarray"),
+        );
+        add(
+            "__method__.transform",
+            DocKind::Method,
+            vec![ParamDoc::req("X")],
+            Some("numpy.ndarray"),
+        );
+        add(
+            "__method__.fit_transform",
+            DocKind::Method,
+            vec![ParamDoc::req("X"), ParamDoc::opt("y", "None")],
+            Some("numpy.ndarray"),
+        );
+        add(
+            "__method__.fit_predict",
+            DocKind::Method,
+            vec![ParamDoc::req("X")],
+            Some("numpy.ndarray"),
+        );
+        add(
+            "__method__.score",
+            DocKind::Method,
+            vec![ParamDoc::req("X"), ParamDoc::req("y")],
+            Some("float"),
+        );
+
+        docs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_has_core_entries() {
+        let docs = LibraryDocs::builtin();
+        assert!(docs.len() > 60);
+        let rc = docs.get("pandas.read_csv").unwrap();
+        assert_eq!(rc.return_type.as_deref(), Some("pandas.DataFrame"));
+        assert_eq!(rc.parameters[0].name, "filepath_or_buffer");
+    }
+
+    #[test]
+    fn implicit_parameter_naming_figure3() {
+        // RandomForestClassifier(50, max_depth=10): the paper's example —
+        // "the inference of names of implicit call parameters, such as
+        // n_estimators, the first parameter in line 12".
+        let docs = LibraryDocs::builtin();
+        let entry = docs.get("sklearn.ensemble.RandomForestClassifier").unwrap();
+        let params = docs.enrich_parameters(
+            entry,
+            &["50".to_string()],
+            &[("max_depth".to_string(), "10".to_string())],
+        );
+        assert!(params.contains(&("n_estimators".into(), "50".into(), true)));
+        assert!(params.contains(&("max_depth".into(), "10".into(), true)));
+        // defaults appended for unspecified parameters
+        assert!(params.contains(&("criterion".into(), "'gini'".into(), false)));
+        // no duplicate for the explicitly-set ones
+        assert_eq!(params.iter().filter(|(n, _, _)| n == "n_estimators").count(), 1);
+        assert_eq!(params.iter().filter(|(n, _, _)| n == "max_depth").count(), 1);
+    }
+
+    #[test]
+    fn method_resolution_via_class() {
+        let docs = LibraryDocs::builtin();
+        let e = docs.resolve("sklearn.impute.SimpleImputer.fit_transform").unwrap();
+        assert_eq!(e.kind, DocKind::Method);
+        assert!(docs.resolve("sklearn.impute.SimpleImputer.unknown_method").is_none());
+        assert!(docs.resolve("nonexistent.path").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let docs = LibraryDocs::builtin();
+        let back = LibraryDocs::from_json(&docs.to_json()).unwrap();
+        assert_eq!(back.len(), docs.len());
+        assert_eq!(
+            back.get("xgboost.XGBClassifier"),
+            docs.get("xgboost.XGBClassifier")
+        );
+    }
+}

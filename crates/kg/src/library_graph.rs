@@ -1,0 +1,145 @@
+//! The library graph (Algorithm 1, line 2: `build_library_hierarchy_subgraph`).
+//!
+//! "A useful by-product of documentation analysis is the library graph,
+//! indicating methods belonging to classes, sub-packages, etc." Nodes are
+//! library elements; `isPartOf` edges form the hierarchy.
+
+use lids_rdf::{Quad, QuadStore, Term};
+
+use crate::abstraction::{AbstractionStats, Aspect};
+use crate::docs::{DocKind, LibraryDocs};
+use crate::ontology::{class, object_prop, res, RDFS_LABEL, RDF_TYPE};
+
+/// Populate the store's default graph with the library hierarchy from the
+/// documentation KB. Returns the number of library elements created.
+pub fn build_library_graph(
+    store: &mut QuadStore,
+    docs: &LibraryDocs,
+    stats: &mut AbstractionStats,
+) -> usize {
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut created = 0usize;
+
+    let mut paths: Vec<&str> = docs.paths().filter(|p| !p.starts_with("__method__")).collect();
+    paths.sort_unstable();
+    for path in paths {
+        let segments: Vec<&str> = path.split('.').collect();
+        for depth in 1..=segments.len() {
+            let prefix = segments[..depth].join(".");
+            if !seen.insert(prefix.clone()) {
+                continue;
+            }
+            created += 1;
+            let iri = res::library(&prefix);
+            let kind = if depth == segments.len() {
+                match docs.get(path).map(|e| e.kind) {
+                    Some(DocKind::Class) => class::LIBRARY_CLASS,
+                    Some(DocKind::Function) | Some(DocKind::Method) => class::LIBRARY_FUNCTION,
+                    Some(DocKind::Package) if depth == 1 => class::LIBRARY,
+                    _ => class::LIBRARY_PACKAGE,
+                }
+            } else if depth == 1 {
+                class::LIBRARY
+            } else {
+                class::LIBRARY_PACKAGE
+            };
+            store.insert(&Quad::new(
+                Term::iri(iri.clone()),
+                Term::iri(RDF_TYPE),
+                Term::iri(class::iri(kind)),
+            ));
+            stats.add(Aspect::RdfNodeTypes, 1);
+            store.insert(&Quad::new(
+                Term::iri(iri.clone()),
+                Term::iri(RDFS_LABEL),
+                Term::string(segments[depth - 1]),
+            ));
+            stats.add(Aspect::LibraryHierarchy, 1);
+            if depth > 1 {
+                let parent = res::library(&segments[..depth - 1].join("."));
+                store.insert(&Quad::new(
+                    Term::iri(iri),
+                    Term::iri(object_prop::iri(object_prop::IS_PART_OF)),
+                    Term::iri(parent),
+                ));
+                stats.add(Aspect::LibraryHierarchy, 1);
+            }
+        }
+    }
+    created
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_rdf::QuadPattern;
+
+    #[test]
+    fn builds_hierarchy_with_is_part_of() {
+        let mut store = QuadStore::new();
+        let mut stats = AbstractionStats::default();
+        let docs = LibraryDocs::builtin();
+        let n = build_library_graph(&mut store, &docs, &mut stats);
+        assert!(n > 50);
+
+        // sklearn.ensemble.RandomForestClassifier isPartOf sklearn.ensemble
+        let rf = res::library("sklearn.ensemble.RandomForestClassifier");
+        let parent = res::library("sklearn.ensemble");
+        let hits = store
+            .match_pattern(
+                &QuadPattern::any()
+                    .with_subject(Term::iri(rf.clone()))
+                    .with_predicate(Term::iri(object_prop::iri(object_prop::IS_PART_OF))),
+            )
+            .count();
+        assert_eq!(hits, 1);
+        let parent_exists = store
+            .match_pattern(&QuadPattern::any().with_subject(Term::iri(parent)))
+            .count();
+        assert!(parent_exists > 0);
+
+        // class typing
+        let typed: Vec<_> = store
+            .match_pattern(
+                &QuadPattern::any()
+                    .with_subject(Term::iri(rf))
+                    .with_predicate(Term::iri(RDF_TYPE)),
+            )
+            .collect();
+        assert_eq!(typed.len(), 1);
+        assert_eq!(
+            typed[0].object.as_iri().unwrap(),
+            class::iri(class::LIBRARY_CLASS)
+        );
+    }
+
+    #[test]
+    fn roots_are_libraries() {
+        let mut store = QuadStore::new();
+        let mut stats = AbstractionStats::default();
+        build_library_graph(&mut store, &LibraryDocs::builtin(), &mut stats);
+        let pandas = res::library("pandas");
+        let ty: Vec<_> = store
+            .match_pattern(
+                &QuadPattern::any()
+                    .with_subject(Term::iri(pandas))
+                    .with_predicate(Term::iri(RDF_TYPE)),
+            )
+            .collect();
+        assert_eq!(ty[0].object.as_iri().unwrap(), class::iri(class::LIBRARY));
+    }
+
+    #[test]
+    fn method_pseudo_entries_are_skipped() {
+        let mut store = QuadStore::new();
+        let mut stats = AbstractionStats::default();
+        build_library_graph(&mut store, &LibraryDocs::builtin(), &mut stats);
+        let bogus = res::library("__method__.fit");
+        assert_eq!(
+            store
+                .match_pattern(&QuadPattern::any().with_subject(Term::iri(bogus)))
+                .count(),
+            0
+        );
+    }
+}

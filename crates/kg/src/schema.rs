@@ -1,0 +1,397 @@
+//! Data Global Schema construction — Algorithm 3.
+//!
+//! Builds the dataset side of the LiDS graph from column profiles: a
+//! metadata subgraph (dataset → table → column hierarchy plus statistics)
+//! and similarity edges between column pairs of the same fine-grained type
+//! from different tables. Label similarity uses word embeddings with
+//! threshold `α`; content similarity uses the *true ratio* for booleans
+//! (threshold `β`) and CoLR cosine for everything else (threshold `θ`).
+//! Similarity edges are RDF-star-annotated with their score.
+
+use lids_embed::{label_similarity, FineGrainedType, WordEmbeddings};
+use lids_exec::parallel_map;
+use lids_profiler::ColumnProfile;
+use lids_rdf::{Quad, QuadStore, Term};
+use lids_vector::cosine_similarity;
+
+use crate::ontology::{class, data_prop, object_prop, res, RDFS_LABEL, RDF_TYPE};
+
+/// Similarity thresholds (`α`, `β`, `θ` in Algorithm 3).
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaConfig {
+    /// Label-similarity threshold.
+    pub alpha: f32,
+    /// Boolean true-ratio similarity threshold.
+    pub beta: f64,
+    /// Content (CoLR cosine) similarity threshold.
+    pub theta: f32,
+}
+
+impl Default for SchemaConfig {
+    fn default() -> Self {
+        SchemaConfig { alpha: 0.75, beta: 0.9, theta: 0.9 }
+    }
+}
+
+/// Construction statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaStats {
+    pub columns: usize,
+    pub pairs_compared: usize,
+    pub label_edges: usize,
+    pub content_edges: usize,
+    pub metadata_triples: usize,
+}
+
+/// One similarity edge produced by a comparison worker.
+struct Edge {
+    a: String,
+    b: String,
+    predicate: &'static str,
+    score: f64,
+}
+
+/// Build the data global schema into the store's default graph.
+pub fn build_data_global_schema(
+    store: &mut QuadStore,
+    profiles: &[ColumnProfile],
+    config: &SchemaConfig,
+    we: &WordEmbeddings,
+) -> SchemaStats {
+    let mut stats = SchemaStats { columns: profiles.len(), ..Default::default() };
+
+    // ---- metadata subgraph (Algorithm 3 lines 2–5) ----
+    let mut seen_tables: std::collections::HashSet<(String, String)> = Default::default();
+    let mut seen_datasets: std::collections::HashSet<String> = Default::default();
+    for p in profiles {
+        let d_iri = res::dataset(&p.meta.dataset);
+        if seen_datasets.insert(p.meta.dataset.clone()) {
+            emit(store, &mut stats, Term::iri(d_iri.clone()), RDF_TYPE, Term::iri(class::iri(class::DATASET)));
+            emit(store, &mut stats, Term::iri(d_iri.clone()), RDFS_LABEL, Term::string(p.meta.dataset.clone()));
+        }
+        let t_iri = res::table(&p.meta.dataset, &p.meta.table);
+        if seen_tables.insert((p.meta.dataset.clone(), p.meta.table.clone())) {
+            emit(store, &mut stats, Term::iri(t_iri.clone()), RDF_TYPE, Term::iri(class::iri(class::TABLE)));
+            emit(store, &mut stats, Term::iri(t_iri.clone()), RDFS_LABEL, Term::string(p.meta.table.clone()));
+            emit(
+                store,
+                &mut stats,
+                Term::iri(t_iri.clone()),
+                &object_prop::iri(object_prop::IS_PART_OF),
+                Term::iri(d_iri.clone()),
+            );
+            emit(
+                store,
+                &mut stats,
+                Term::iri(d_iri.clone()),
+                &object_prop::iri(object_prop::HAS_TABLE),
+                Term::iri(t_iri.clone()),
+            );
+        }
+        let c_iri = res::column(&p.meta.dataset, &p.meta.table, &p.meta.column);
+        let c = Term::iri(c_iri.clone());
+        emit(store, &mut stats, c.clone(), RDF_TYPE, Term::iri(class::iri(class::COLUMN)));
+        emit(store, &mut stats, c.clone(), RDFS_LABEL, Term::string(p.meta.column.clone()));
+        emit(store, &mut stats, c.clone(), &object_prop::iri(object_prop::IS_PART_OF), Term::iri(t_iri.clone()));
+        emit(store, &mut stats, Term::iri(t_iri.clone()), &object_prop::iri(object_prop::HAS_COLUMN), c.clone());
+        emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_DATA_TYPE), Term::string(p.fgt.label()));
+        emit(
+            store,
+            &mut stats,
+            c.clone(),
+            &data_prop::iri(data_prop::HAS_TOTAL_VALUE_COUNT),
+            Term::integer(p.stats.count as i64),
+        );
+        emit(
+            store,
+            &mut stats,
+            c.clone(),
+            &data_prop::iri(data_prop::HAS_MISSING_VALUE_COUNT),
+            Term::integer(p.stats.nulls as i64),
+        );
+        emit(
+            store,
+            &mut stats,
+            c.clone(),
+            &data_prop::iri(data_prop::HAS_DISTINCT_VALUE_COUNT),
+            Term::integer(p.stats.distinct as i64),
+        );
+        if let Some(v) = p.stats.mean {
+            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_MEAN_VALUE), Term::double(v));
+        }
+        if let Some(v) = p.stats.min {
+            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_MIN_VALUE), Term::double(v));
+        }
+        if let Some(v) = p.stats.max {
+            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_MAX_VALUE), Term::double(v));
+        }
+        if let Some(v) = p.stats.true_ratio {
+            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_TRUE_RATIO), Term::double(v));
+        }
+    }
+
+    // ---- pairwise similarity (Algorithm 3 lines 6–19) ----
+    // pairs with the same fine-grained type, from different tables
+    let mut by_type: std::collections::HashMap<FineGrainedType, Vec<usize>> = Default::default();
+    for (i, p) in profiles.iter().enumerate() {
+        by_type.entry(p.fgt).or_default().push(i);
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for members in by_type.values() {
+        for (pos, &i) in members.iter().enumerate() {
+            for &j in &members[pos + 1..] {
+                let (a, b) = (&profiles[i].meta, &profiles[j].meta);
+                if a.dataset == b.dataset && a.table == b.table {
+                    continue;
+                }
+                pairs.push((i, j));
+            }
+        }
+    }
+    stats.pairs_compared = pairs.len();
+
+    let edges: Vec<Vec<Edge>> = parallel_map(&pairs, |&(i, j)| {
+        compare_pair(&profiles[i], &profiles[j], config, we)
+    });
+
+    for edge in edges.into_iter().flatten() {
+        let annotate = |store: &mut QuadStore, a: &str, b: &str| {
+            let base = Quad::new(
+                Term::iri(a.to_string()),
+                Term::iri(object_prop::iri(edge.predicate)),
+                Term::iri(b.to_string()),
+            );
+            store.insert(&base);
+            // RDF-star score annotation
+            store.insert(&Quad::new(
+                Term::quoted(
+                    Term::iri(a.to_string()),
+                    Term::iri(object_prop::iri(edge.predicate)),
+                    Term::iri(b.to_string()),
+                ),
+                Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY)),
+                Term::double(edge.score),
+            ));
+        };
+        // symmetric: materialise both directions for cheap BGP queries
+        annotate(store, &edge.a, &edge.b);
+        annotate(store, &edge.b, &edge.a);
+        match edge.predicate {
+            object_prop::HAS_LABEL_SIMILARITY => stats.label_edges += 1,
+            _ => stats.content_edges += 1,
+        }
+    }
+    stats
+}
+
+fn emit(store: &mut QuadStore, stats: &mut SchemaStats, s: Term, p: &str, o: Term) {
+    store.insert(&Quad::new(s, Term::iri(p.to_string()), o));
+    stats.metadata_triples += 1;
+}
+
+/// Algorithm 3's `column_similarity_worker`.
+fn compare_pair(
+    a: &ColumnProfile,
+    b: &ColumnProfile,
+    config: &SchemaConfig,
+    we: &WordEmbeddings,
+) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    let a_iri = res::column(&a.meta.dataset, &a.meta.table, &a.meta.column);
+    let b_iri = res::column(&b.meta.dataset, &b.meta.table, &b.meta.column);
+
+    // label similarity (lines 11–12)
+    let label_sim = label_similarity(we, &a.meta.column, &b.meta.column);
+    if label_sim >= config.alpha {
+        edges.push(Edge {
+            a: a_iri.clone(),
+            b: b_iri.clone(),
+            predicate: object_prop::HAS_LABEL_SIMILARITY,
+            score: label_sim as f64,
+        });
+    }
+
+    // content similarity (lines 13–18)
+    if a.fgt == FineGrainedType::Boolean {
+        if let (Some(ta), Some(tb)) = (a.stats.true_ratio, b.stats.true_ratio) {
+            let sim = 1.0 - (ta - tb).abs();
+            if sim >= config.beta {
+                edges.push(Edge {
+                    a: a_iri,
+                    b: b_iri,
+                    predicate: object_prop::HAS_CONTENT_SIMILARITY,
+                    score: sim,
+                });
+            }
+        }
+    } else if !a.embedding.is_empty() && !b.embedding.is_empty() {
+        let sim = cosine_similarity(&a.embedding, &b.embedding);
+        if sim >= config.theta {
+            edges.push(Edge {
+                a: a_iri,
+                b: b_iri,
+                predicate: object_prop::HAS_CONTENT_SIMILARITY,
+                score: sim as f64,
+            });
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_embed::ColrModels;
+    use lids_profiler::{profile_table, ProfilerConfig};
+    use lids_profiler::table::{Column, Table};
+    use lids_rdf::QuadPattern;
+
+    fn profiles() -> Vec<ColumnProfile> {
+        let models = ColrModels::untrained(3);
+        let we = WordEmbeddings::new();
+        let cfg = ProfilerConfig::default();
+        let t1 = Table::new(
+            "patients",
+            vec![
+                Column::new("age", (20..24).map(|i| i.to_string()).collect()),
+                Column::new("smoker", vec!["true".into(), "false".into(), "true".into(), "true".into()]),
+            ],
+        );
+        let t2 = Table::new(
+            "clients",
+            vec![
+                Column::new("age", (20..24).map(|i| i.to_string()).collect()),
+                Column::new("is_smoker", vec!["true".into(), "true".into(), "true".into(), "false".into()]),
+            ],
+        );
+        let mut ps = profile_table("health", &t1, &models, &we, &cfg, None);
+        ps.extend(profile_table("bank", &t2, &models, &we, &cfg, None));
+        ps
+    }
+
+    #[test]
+    fn metadata_hierarchy_built() {
+        let mut store = QuadStore::new();
+        let stats = build_data_global_schema(
+            &mut store,
+            &profiles(),
+            &SchemaConfig::default(),
+            &WordEmbeddings::new(),
+        );
+        assert_eq!(stats.columns, 4);
+        assert!(stats.metadata_triples > 10);
+        // column → table → dataset chain
+        let col = res::column("health", "patients", "age");
+        let tbl = res::table("health", "patients");
+        let part_of: Vec<_> = store
+            .match_pattern(
+                &QuadPattern::any()
+                    .with_subject(Term::iri(col))
+                    .with_predicate(Term::iri(object_prop::iri(object_prop::IS_PART_OF))),
+            )
+            .collect();
+        assert_eq!(part_of[0].object.as_iri().unwrap(), tbl);
+    }
+
+    #[test]
+    fn identical_columns_get_content_edges() {
+        let mut store = QuadStore::new();
+        let stats = build_data_global_schema(
+            &mut store,
+            &profiles(),
+            &SchemaConfig::default(),
+            &WordEmbeddings::new(),
+        );
+        // the two `age` columns have identical values → cosine 1 ≥ θ
+        assert!(stats.content_edges >= 1);
+        let a = res::column("health", "patients", "age");
+        let b = res::column("bank", "clients", "age");
+        let edge = store
+            .match_pattern(
+                &QuadPattern::any()
+                    .with_subject(Term::iri(a.clone()))
+                    .with_predicate(Term::iri(object_prop::iri(
+                        object_prop::HAS_CONTENT_SIMILARITY,
+                    )))
+                    .with_object(Term::iri(b.clone())),
+            )
+            .count();
+        assert_eq!(edge, 1);
+        // RDF-star annotation present with score ≈ 1
+        let score = store
+            .match_pattern(
+                &QuadPattern::any().with_subject(Term::quoted(
+                    Term::iri(a),
+                    Term::iri(object_prop::iri(object_prop::HAS_CONTENT_SIMILARITY)),
+                    Term::iri(b),
+                )),
+            )
+            .next()
+            .unwrap();
+        let v = score.object.as_literal().unwrap().as_f64().unwrap();
+        assert!(v > 0.99);
+    }
+
+    #[test]
+    fn label_similarity_edges() {
+        let mut store = QuadStore::new();
+        let stats = build_data_global_schema(
+            &mut store,
+            &profiles(),
+            &SchemaConfig::default(),
+            &WordEmbeddings::new(),
+        );
+        // age/age exact label match across tables
+        assert!(stats.label_edges >= 1);
+    }
+
+    #[test]
+    fn boolean_similarity_uses_true_ratio() {
+        let mut store = QuadStore::new();
+        // smoker 0.75 vs is_smoker 0.75 → sim 1.0 ≥ β
+        build_data_global_schema(
+            &mut store,
+            &profiles(),
+            &SchemaConfig::default(),
+            &WordEmbeddings::new(),
+        );
+        let a = res::column("health", "patients", "smoker");
+        let b = res::column("bank", "clients", "is_smoker");
+        let edge = store
+            .match_pattern(
+                &QuadPattern::any()
+                    .with_subject(Term::iri(a))
+                    .with_predicate(Term::iri(object_prop::iri(
+                        object_prop::HAS_CONTENT_SIMILARITY,
+                    )))
+                    .with_object(Term::iri(b)),
+            )
+            .count();
+        assert_eq!(edge, 1);
+    }
+
+    #[test]
+    fn same_table_pairs_skipped() {
+        let mut store = QuadStore::new();
+        let stats = build_data_global_schema(
+            &mut store,
+            &profiles(),
+            &SchemaConfig::default(),
+            &WordEmbeddings::new(),
+        );
+        // 2 int columns + 2 boolean columns, cross-table only → 1 + 1 pairs
+        assert_eq!(stats.pairs_compared, 2);
+    }
+
+    #[test]
+    fn high_thresholds_suppress_edges() {
+        let mut store = QuadStore::new();
+        let stats = build_data_global_schema(
+            &mut store,
+            &profiles(),
+            &SchemaConfig { alpha: 1.1, beta: 1.1, theta: 1.1 },
+            &WordEmbeddings::new(),
+        );
+        assert_eq!(stats.label_edges + stats.content_edges, 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Numeric ML frames and encoding from profiler tables.
+
+use std::collections::HashMap;
+
+use lids_profiler::table::{is_null, Table};
+
+/// A numeric feature matrix with class labels. Missing values are `NaN`
+/// until an imputer runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlFrame {
+    pub feature_names: Vec<String>,
+    /// Row-major features.
+    pub x: Vec<Vec<f64>>,
+    /// Class labels `0..n_classes`.
+    pub y: Vec<usize>,
+    pub n_classes: usize,
+}
+
+impl MlFrame {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// True when any cell is NaN.
+    pub fn has_missing(&self) -> bool {
+        self.x.iter().any(|row| row.iter().any(|v| v.is_nan()))
+    }
+
+    /// Count of NaN cells.
+    pub fn missing_count(&self) -> usize {
+        self.x
+            .iter()
+            .map(|row| row.iter().filter(|v| v.is_nan()).count())
+            .sum()
+    }
+
+    /// Drop rows containing any NaN (the paper's cleaning baseline).
+    pub fn drop_missing(&self) -> MlFrame {
+        let keep: Vec<usize> = (0..self.rows())
+            .filter(|&i| self.x[i].iter().all(|v| !v.is_nan()))
+            .collect();
+        self.select_rows(&keep)
+    }
+
+    /// Project a subset of rows.
+    pub fn select_rows(&self, rows: &[usize]) -> MlFrame {
+        MlFrame {
+            feature_names: self.feature_names.clone(),
+            x: rows.iter().map(|&i| self.x[i].clone()).collect(),
+            y: rows.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+        }
+    }
+
+    /// Encode a profiler [`Table`] into a frame with `target` as the label
+    /// column. Numeric columns parse to f64 (NaN when missing); everything
+    /// else is label-encoded per distinct value (NaN when missing). Rows
+    /// with a missing *target* are dropped.
+    ///
+    /// Returns `None` when the target column is absent.
+    pub fn from_table(table: &Table, target: &str) -> Option<MlFrame> {
+        let target_col = table.column(target)?;
+        // label-encode the target
+        let mut class_ids: HashMap<String, usize> = HashMap::new();
+        let mut keep_rows: Vec<usize> = Vec::new();
+        let mut y: Vec<usize> = Vec::new();
+        for (i, v) in target_col.values.iter().enumerate() {
+            if is_null(v) {
+                continue;
+            }
+            let next = class_ids.len();
+            let id = *class_ids.entry(v.clone()).or_insert(next);
+            keep_rows.push(i);
+            y.push(id);
+        }
+        let n_classes = class_ids.len().max(1);
+
+        let mut feature_names = Vec::new();
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        for col in &table.columns {
+            if col.name == target {
+                continue;
+            }
+            feature_names.push(col.name.clone());
+            // numeric if ≥90% of non-null values parse
+            let non_null: Vec<&String> =
+                col.values.iter().filter(|v| !is_null(v)).collect();
+            let parsed = non_null
+                .iter()
+                .filter(|v| v.trim().parse::<f64>().is_ok())
+                .count();
+            let numeric = !non_null.is_empty()
+                && parsed as f64 / non_null.len() as f64 >= 0.9;
+            let encoded: Vec<f64> = if numeric {
+                keep_rows
+                    .iter()
+                    .map(|&i| {
+                        let v = &col.values[i];
+                        if is_null(v) {
+                            f64::NAN
+                        } else {
+                            v.trim().parse().unwrap_or(f64::NAN)
+                        }
+                    })
+                    .collect()
+            } else {
+                let mut codes: HashMap<&str, usize> = HashMap::new();
+                keep_rows
+                    .iter()
+                    .map(|&i| {
+                        let v = col.values[i].as_str();
+                        if is_null(v) {
+                            f64::NAN
+                        } else {
+                            let next = codes.len();
+                            *codes.entry(v).or_insert(next) as f64
+                        }
+                    })
+                    .collect()
+            };
+            columns.push(encoded);
+        }
+
+        let x: Vec<Vec<f64>> = (0..keep_rows.len())
+            .map(|r| columns.iter().map(|c| c[r]).collect())
+            .collect();
+        Some(MlFrame { feature_names, x, y, n_classes })
+    }
+
+    /// Column view (copies).
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        self.x.iter().map(|r| r[j]).collect()
+    }
+
+    /// Overwrite a feature column.
+    pub fn set_column(&mut self, j: usize, values: &[f64]) {
+        assert_eq!(values.len(), self.rows());
+        for (row, &v) in self.x.iter_mut().zip(values) {
+            row[j] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_profiler::table::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::new("age", vec!["25".into(), "NA".into(), "40".into(), "31".into()]),
+                Column::new("city", vec!["x".into(), "y".into(), "x".into(), "".into()]),
+                Column::new("label", vec!["yes".into(), "no".into(), "yes".into(), "NA".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn encodes_numeric_and_categorical() {
+        let f = MlFrame::from_table(&table(), "label").unwrap();
+        // last row dropped (missing target)
+        assert_eq!(f.rows(), 3);
+        assert_eq!(f.n_features(), 2);
+        assert_eq!(f.n_classes, 2);
+        assert!(f.x[1][0].is_nan()); // NA age
+        assert_eq!(f.x[0][1], 0.0); // "x" encoded 0
+        assert_eq!(f.x[1][1], 1.0); // "y" encoded 1
+        assert_eq!(f.x[2][1], 0.0);
+        assert_eq!(f.y, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn missing_helpers() {
+        let f = MlFrame::from_table(&table(), "label").unwrap();
+        assert!(f.has_missing());
+        assert_eq!(f.missing_count(), 1);
+        let dropped = f.drop_missing();
+        assert_eq!(dropped.rows(), 2);
+        assert!(!dropped.has_missing());
+    }
+
+    #[test]
+    fn missing_target_column() {
+        assert!(MlFrame::from_table(&table(), "nope").is_none());
+    }
+
+    #[test]
+    fn column_set_get() {
+        let mut f = MlFrame::from_table(&table(), "label").unwrap();
+        f.set_column(0, &[1.0, 2.0, 3.0]);
+        assert_eq!(f.column(0), vec![1.0, 2.0, 3.0]);
+    }
+}

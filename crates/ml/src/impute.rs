@@ -1,0 +1,316 @@
+#![allow(clippy::needless_range_loop)] // index math mirrors the equations
+
+//! The five cleaning operations of Section 4.2.
+//!
+//! "The output of the model can be one of 5 cleaning operations (Fillna,
+//! Interpolate, SimpleImputer, KNNImputer, IterativeImputer)." Each
+//! operation maps a frame with NaNs to a complete frame, mirroring the
+//! semantics of its pandas/scikit-learn namesake.
+
+use crate::frame::MlFrame;
+use crate::knn::nearest_rows;
+use crate::linalg::{ridge_fit, ridge_predict};
+
+/// A cleaning operation — the label space of the cleaning GNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CleaningOp {
+    /// `df.fillna(0)`.
+    FillNa,
+    /// `df.interpolate()` — linear interpolation in row order.
+    Interpolate,
+    /// `SimpleImputer(strategy='mean')` (mode for categorical-coded).
+    SimpleImputer,
+    /// `KNNImputer(n_neighbors=5)`.
+    KnnImputer,
+    /// `IterativeImputer()` — round-robin ridge regression on the other
+    /// features.
+    IterativeImputer,
+}
+
+impl CleaningOp {
+    /// All five operations, canonical order (= GNN class indices).
+    pub const ALL: [CleaningOp; 5] = [
+        CleaningOp::FillNa,
+        CleaningOp::Interpolate,
+        CleaningOp::SimpleImputer,
+        CleaningOp::KnnImputer,
+        CleaningOp::IterativeImputer,
+    ];
+
+    /// Stable label (used in the LiDS graph and APIs).
+    pub fn label(self) -> &'static str {
+        match self {
+            CleaningOp::FillNa => "Fillna",
+            CleaningOp::Interpolate => "Interpolate",
+            CleaningOp::SimpleImputer => "SimpleImputer",
+            CleaningOp::KnnImputer => "KNNImputer",
+            CleaningOp::IterativeImputer => "IterativeImputer",
+        }
+    }
+
+    /// Parse from a label.
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.label() == s)
+    }
+
+    /// Class index in [`Self::ALL`].
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|o| *o == self).unwrap()
+    }
+
+    /// Apply the operation, producing a frame without NaNs.
+    pub fn apply(self, frame: &MlFrame) -> MlFrame {
+        let mut out = frame.clone();
+        match self {
+            CleaningOp::FillNa => fill_constant(&mut out, 0.0),
+            CleaningOp::Interpolate => interpolate(&mut out),
+            CleaningOp::SimpleImputer => impute_mean(&mut out),
+            CleaningOp::KnnImputer => impute_knn(&mut out, 5),
+            CleaningOp::IterativeImputer => impute_iterative(&mut out, 3),
+        }
+        out
+    }
+}
+
+fn column_mean(frame: &MlFrame, j: usize) -> f64 {
+    let vals: Vec<f64> = frame.x.iter().map(|r| r[j]).filter(|v| !v.is_nan()).collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+fn fill_constant(frame: &mut MlFrame, value: f64) {
+    for row in &mut frame.x {
+        for v in row.iter_mut() {
+            if v.is_nan() {
+                *v = value;
+            }
+        }
+    }
+}
+
+/// Linear interpolation down each column (pandas `interpolate` with both
+/// directions filled at the edges).
+fn interpolate(frame: &mut MlFrame) {
+    let n = frame.rows();
+    for j in 0..frame.n_features() {
+        let col = frame.column(j);
+        let mut filled = col.clone();
+        let known: Vec<usize> = (0..n).filter(|&i| !col[i].is_nan()).collect();
+        if known.is_empty() {
+            filled.fill(0.0);
+        } else {
+            for i in 0..n {
+                if !col[i].is_nan() {
+                    continue;
+                }
+                let prev = known.iter().rev().find(|&&k| k < i).copied();
+                let next = known.iter().find(|&&k| k > i).copied();
+                filled[i] = match (prev, next) {
+                    (Some(p), Some(q)) => {
+                        let t = (i - p) as f64 / (q - p) as f64;
+                        col[p] + t * (col[q] - col[p])
+                    }
+                    (Some(p), None) => col[p],
+                    (None, Some(q)) => col[q],
+                    (None, None) => 0.0,
+                };
+            }
+        }
+        frame.set_column(j, &filled);
+    }
+}
+
+/// Mean imputation per column (the scikit-learn default strategy).
+fn impute_mean(frame: &mut MlFrame) {
+    for j in 0..frame.n_features() {
+        let mean = column_mean(frame, j);
+        let col: Vec<f64> = frame
+            .column(j)
+            .into_iter()
+            .map(|v| if v.is_nan() { mean } else { v })
+            .collect();
+        frame.set_column(j, &col);
+    }
+}
+
+/// KNN imputation: each missing cell takes the mean of that feature over
+/// the `k` nearest rows (NaN-tolerant distance), falling back to the
+/// column mean.
+fn impute_knn(frame: &mut MlFrame, k: usize) {
+    let original = frame.x.clone();
+    let means: Vec<f64> = (0..frame.n_features()).map(|j| column_mean(frame, j)).collect();
+    for i in 0..frame.rows() {
+        let missing: Vec<usize> = (0..frame.n_features())
+            .filter(|&j| original[i][j].is_nan())
+            .collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let neighbors = nearest_rows(&original, &original[i], k + 1);
+        for &j in &missing {
+            let vals: Vec<f64> = neighbors
+                .iter()
+                .filter(|&&r| r != i)
+                .map(|&r| original[r][j])
+                .filter(|v| !v.is_nan())
+                .collect();
+            frame.x[i][j] = if vals.is_empty() {
+                means[j]
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            };
+        }
+    }
+}
+
+/// Iterative (MICE-style) imputation: initialise with means, then for a few
+/// rounds re-predict each originally-missing cell from the other features
+/// with ridge regression.
+fn impute_iterative(frame: &mut MlFrame, rounds: usize) {
+    let d = frame.n_features();
+    let missing_mask: Vec<Vec<bool>> = frame
+        .x
+        .iter()
+        .map(|row| row.iter().map(|v| v.is_nan()).collect())
+        .collect();
+    impute_mean(frame);
+    for _ in 0..rounds {
+        for j in 0..d {
+            let target_rows: Vec<usize> =
+                (0..frame.rows()).filter(|&i| missing_mask[i][j]).collect();
+            if target_rows.is_empty() {
+                continue;
+            }
+            let train_rows: Vec<usize> =
+                (0..frame.rows()).filter(|&i| !missing_mask[i][j]).collect();
+            if train_rows.len() < d + 2 {
+                continue; // not enough data to regress
+            }
+            let other: Vec<usize> = (0..d).filter(|&c| c != j).collect();
+            let tx: Vec<Vec<f64>> = train_rows
+                .iter()
+                .map(|&i| other.iter().map(|&c| frame.x[i][c]).collect())
+                .collect();
+            let ty: Vec<f64> = train_rows.iter().map(|&i| frame.x[i][j]).collect();
+            let Some(w) = ridge_fit(&tx, &ty, 1e-3) else {
+                continue;
+            };
+            for &i in &target_rows {
+                let features: Vec<f64> = other.iter().map(|&c| frame.x[i][c]).collect();
+                frame.x[i][j] = ridge_predict(&w, &features);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_with_missing() -> MlFrame {
+        MlFrame {
+            feature_names: vec!["a".into(), "b".into()],
+            x: vec![
+                vec![1.0, 10.0],
+                vec![f64::NAN, 20.0],
+                vec![3.0, f64::NAN],
+                vec![4.0, 40.0],
+                vec![5.0, 50.0],
+            ],
+            y: vec![0, 0, 1, 1, 1],
+            n_classes: 2,
+        }
+    }
+
+    #[test]
+    fn every_op_removes_all_nans() {
+        for op in CleaningOp::ALL {
+            let cleaned = op.apply(&frame_with_missing());
+            assert!(!cleaned.has_missing(), "{op:?} left NaNs");
+            assert_eq!(cleaned.rows(), 5, "{op:?} changed row count");
+        }
+    }
+
+    #[test]
+    fn ops_do_not_touch_observed_values() {
+        for op in CleaningOp::ALL {
+            let cleaned = op.apply(&frame_with_missing());
+            assert_eq!(cleaned.x[0][0], 1.0);
+            assert_eq!(cleaned.x[4][1], 50.0);
+        }
+    }
+
+    #[test]
+    fn fillna_uses_zero() {
+        let cleaned = CleaningOp::FillNa.apply(&frame_with_missing());
+        assert_eq!(cleaned.x[1][0], 0.0);
+    }
+
+    #[test]
+    fn interpolate_is_linear() {
+        let cleaned = CleaningOp::Interpolate.apply(&frame_with_missing());
+        // a: 1, ?, 3 → midpoint 2
+        assert!((cleaned.x[1][0] - 2.0).abs() < 1e-9);
+        // b: 20, ?, 40 → 30
+        assert!((cleaned.x[2][1] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simple_imputer_uses_column_mean() {
+        let cleaned = CleaningOp::SimpleImputer.apply(&frame_with_missing());
+        let mean_a = (1.0 + 3.0 + 4.0 + 5.0) / 4.0;
+        assert!((cleaned.x[1][0] - mean_a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knn_imputer_uses_neighbors() {
+        let cleaned = CleaningOp::KnnImputer.apply(&frame_with_missing());
+        // neighbours of row 1 (b=20) are rows with nearby b values
+        let v = cleaned.x[1][0];
+        assert!((1.0..=5.0).contains(&v), "imputed {v}");
+    }
+
+    #[test]
+    fn iterative_imputer_learns_linear_relation() {
+        // b = 10a exactly; missing a in row 1 should regress to ≈2
+        let frame = MlFrame {
+            feature_names: vec!["a".into(), "b".into()],
+            x: vec![
+                vec![1.0, 10.0],
+                vec![f64::NAN, 20.0],
+                vec![3.0, 30.0],
+                vec![4.0, 40.0],
+                vec![5.0, 50.0],
+                vec![6.0, 60.0],
+            ],
+            y: vec![0; 6],
+            n_classes: 1,
+        };
+        let cleaned = CleaningOp::IterativeImputer.apply(&frame);
+        assert!((cleaned.x[1][0] - 2.0).abs() < 0.25, "got {}", cleaned.x[1][0]);
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        for op in CleaningOp::ALL {
+            assert_eq!(CleaningOp::from_label(op.label()), Some(op));
+        }
+        assert_eq!(CleaningOp::from_label("nope"), None);
+    }
+
+    #[test]
+    fn all_nan_column_becomes_finite() {
+        let frame = MlFrame {
+            feature_names: vec!["a".into()],
+            x: vec![vec![f64::NAN], vec![f64::NAN]],
+            y: vec![0, 1],
+            n_classes: 2,
+        };
+        for op in CleaningOp::ALL {
+            assert!(!op.apply(&frame).has_missing(), "{op:?}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! k-nearest-neighbour classifier (also backs the KNN imputer).
+
+use crate::Classifier;
+
+/// A lazy kNN classifier over standardised Euclidean distance.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    pub fn new(k: usize) -> Self {
+        KnnClassifier { k: k.max(1), x: Vec::new(), y: Vec::new(), n_classes: 0 }
+    }
+}
+
+/// NaN-tolerant squared Euclidean distance: dimensions where either side is
+/// NaN are skipped and the sum rescaled (scikit-learn's `nan_euclidean`).
+pub fn nan_distance(a: &[f64], b: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut used = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        if x.is_nan() || y.is_nan() {
+            continue;
+        }
+        sum += (x - y) * (x - y);
+        used += 1;
+    }
+    if used == 0 {
+        f64::INFINITY
+    } else {
+        sum * (a.len() as f64 / used as f64)
+    }
+}
+
+/// Indices of the `k` nearest rows in `data` to `query` (NaN-tolerant).
+pub fn nearest_rows(data: &[Vec<f64>], query: &[f64], k: usize) -> Vec<usize> {
+    let mut scored: Vec<(f64, usize)> = data
+        .iter()
+        .enumerate()
+        .map(|(i, row)| (nan_distance(query, row), i))
+        .collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+        self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+    }
+
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        assert!(!self.x.is_empty(), "knn not fitted");
+        x.iter()
+            .map(|q| {
+                let neighbors = nearest_rows(&self.x, q, self.k);
+                let mut votes = vec![0usize; self.n_classes];
+                for &i in &neighbors {
+                    votes[self.y[i]] += 1;
+                }
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &c)| c)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_neighbor_vote() {
+        let x = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1], vec![10.2]];
+        let y = vec![0, 0, 1, 1, 1];
+        let mut knn = KnnClassifier::new(3);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[vec![0.05], vec![9.9]]), vec![0, 1]);
+    }
+
+    #[test]
+    fn nan_distance_skips_missing_dims() {
+        let a = [1.0, f64::NAN, 3.0];
+        let b = [1.0, 5.0, 3.0];
+        assert_eq!(nan_distance(&a, &b), 0.0);
+        let c = [2.0, 5.0, 3.0];
+        // (2-1)^2 over 2 of 3 dims, rescaled by 3/2
+        assert!((nan_distance(&a, &c) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_nan_is_infinite() {
+        assert!(nan_distance(&[f64::NAN], &[1.0]).is_infinite());
+    }
+
+    #[test]
+    fn nearest_rows_order() {
+        let data = vec![vec![5.0], vec![1.0], vec![3.0]];
+        assert_eq!(nearest_rows(&data, &[0.0], 2), vec![1, 2]);
+    }
+}

@@ -1,0 +1,42 @@
+//! `lids-ml` — the machine-learning substrate for the evaluation harness.
+//!
+//! Sections 4 and 6.3 of the paper evaluate cleaning/transformation
+//! recommendations by their effect on a downstream random-forest model
+//! (10-fold CV F1 for cleaning, 5-fold accuracy for transformation), and
+//! the AutoML experiments need a portfolio of classifiers with tunable
+//! hyperparameters. This crate provides all of it from scratch: numeric
+//! frames, seeded splits and k-fold CV, classification metrics (incl.
+//! P@k/R@k for the discovery benchmarks), a Gini decision tree, a random
+//! forest, multinomial logistic regression, kNN, the five cleaning
+//! operations the paper's GNN chooses between (FillNa, Interpolate,
+//! SimpleImputer, KNNImputer, IterativeImputer), and the scaling/unary
+//! transformations (Standard/MinMax/Robust, log, sqrt).
+
+pub mod forest;
+pub mod frame;
+pub mod impute;
+pub mod knn;
+pub mod linalg;
+pub mod logreg;
+pub mod metrics;
+pub mod scale;
+pub mod split;
+pub mod tree;
+
+pub use forest::{RandomForest, RandomForestConfig};
+pub use frame::MlFrame;
+pub use impute::CleaningOp;
+pub use knn::KnnClassifier;
+pub use logreg::LogisticRegression;
+pub use metrics::{accuracy, f1_binary, f1_macro, precision_recall_at_k};
+pub use scale::{ColumnTransform, ScalingOp};
+pub use split::{kfold_indices, train_test_split};
+pub use tree::{DecisionTree, TreeConfig};
+
+/// Classifier interface shared by the model portfolio.
+pub trait Classifier {
+    /// Fit on row-major features and class labels.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]);
+    /// Predict a class per row.
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<usize>;
+}

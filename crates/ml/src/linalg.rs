@@ -1,0 +1,132 @@
+#![allow(clippy::needless_range_loop)] // index math mirrors the equations
+
+//! Small dense linear algebra: least squares via normal equations.
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+/// Returns `None` for (numerically) singular systems.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    if n == 0 || a.iter().any(|r| r.len() != n) || b.len() != n {
+        return None;
+    }
+    for col in 0..n {
+        // pivot
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // eliminate below
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Ridge-regularised least squares: minimise `|Xw - y|² + λ|w|²` where `X`
+/// is row-major with an implicit bias column appended. Returns weights of
+/// length `d + 1` (bias last).
+pub fn ridge_fit(x: &[Vec<f64>], y: &[f64], lambda: f64) -> Option<Vec<f64>> {
+    let n = x.len();
+    if n == 0 {
+        return None;
+    }
+    let d = x[0].len() + 1; // with bias
+    let feature = |row: &Vec<f64>, j: usize| -> f64 {
+        if j < row.len() {
+            row[j]
+        } else {
+            1.0
+        }
+    };
+    // normal equations: (XᵀX + λI) w = Xᵀ y
+    let mut ata = vec![vec![0.0; d]; d];
+    let mut atb = vec![0.0; d];
+    for (row, &target) in x.iter().zip(y) {
+        for i in 0..d {
+            let xi = feature(row, i);
+            atb[i] += xi * target;
+            for j in 0..d {
+                ata[i][j] += xi * feature(row, j);
+            }
+        }
+    }
+    for (i, row) in ata.iter_mut().enumerate() {
+        // do not regularise the bias
+        if i < d - 1 {
+            row[i] += lambda;
+        }
+    }
+    solve(ata, atb)
+}
+
+/// Predict with [`ridge_fit`] weights.
+pub fn ridge_predict(weights: &[f64], row: &[f64]) -> f64 {
+    let mut acc = weights[weights.len() - 1];
+    for (w, x) in weights.iter().zip(row) {
+        acc += w * x;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_2x2() {
+        // x + y = 3 ; x - y = 1 → x=2, y=1
+        let x = solve(vec![vec![1.0, 1.0], vec![1.0, -1.0]], vec![3.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        assert!(solve(vec![vec![1.0, 2.0], vec![2.0, 4.0]], vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn ridge_recovers_linear_function() {
+        // y = 3a - 2b + 5
+        let x: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 5) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 5.0).collect();
+        let w = ridge_fit(&x, &y, 1e-9).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((w[1] + 2.0).abs() < 1e-6);
+        assert!((w[2] - 5.0).abs() < 1e-6);
+        let pred = ridge_predict(&w, &[2.0, 1.0]);
+        assert!((pred - 9.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ridge_handles_constant_feature() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[1] * 2.0).collect();
+        let w = ridge_fit(&x, &y, 1e-6).unwrap();
+        let pred = ridge_predict(&w, &[1.0, 4.0]);
+        assert!((pred - 8.0).abs() < 1e-3);
+    }
+}

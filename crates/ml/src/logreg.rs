@@ -1,0 +1,193 @@
+//! Multinomial logistic regression (softmax + mini-batch SGD).
+
+use crate::Classifier;
+
+/// Logistic-regression hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LogRegConfig {
+    pub learning_rate: f64,
+    pub epochs: usize,
+    pub l2: f64,
+}
+
+impl Default for LogRegConfig {
+    fn default() -> Self {
+        LogRegConfig { learning_rate: 0.1, epochs: 100, l2: 1e-4 }
+    }
+}
+
+/// A fitted softmax classifier with feature standardisation baked in.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    config: LogRegConfig,
+    /// `n_classes × (n_features + 1)` weights (bias last).
+    weights: Vec<Vec<f64>>,
+    /// Standardisation parameters learned at fit time.
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    n_classes: usize,
+}
+
+impl LogisticRegression {
+    pub fn new(config: LogRegConfig) -> Self {
+        LogisticRegression {
+            config,
+            weights: Vec::new(),
+            means: Vec::new(),
+            stds: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Default-configured model.
+    pub fn default_model() -> Self {
+        Self::new(LogRegConfig::default())
+    }
+
+    fn standardize(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .enumerate()
+            .map(|(j, &v)| {
+                let v = if v.is_nan() { self.means[j] } else { v };
+                (v - self.means[j]) / self.stds[j]
+            })
+            .collect()
+    }
+
+    fn scores(&self, z: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .map(|w| {
+                let mut s = w[z.len()]; // bias
+                for (wi, zi) in w.iter().zip(z) {
+                    s += wi * zi;
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty());
+        let d = x[0].len();
+        self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+
+        // standardisation parameters (NaN-safe)
+        self.means = (0..d)
+            .map(|j| {
+                let vals: Vec<f64> = x.iter().map(|r| r[j]).filter(|v| !v.is_nan()).collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            })
+            .collect();
+        self.stds = (0..d)
+            .map(|j| {
+                let m = self.means[j];
+                let vals: Vec<f64> = x.iter().map(|r| r[j]).filter(|v| !v.is_nan()).collect();
+                if vals.is_empty() {
+                    1.0
+                } else {
+                    let var = vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>()
+                        / vals.len() as f64;
+                    var.sqrt().max(1e-9)
+                }
+            })
+            .collect();
+
+        let z: Vec<Vec<f64>> = x.iter().map(|r| self.standardize(r)).collect();
+        self.weights = vec![vec![0.0; d + 1]; self.n_classes];
+
+        let lr = self.config.learning_rate;
+        for _ in 0..self.config.epochs {
+            for (row, &label) in z.iter().zip(y) {
+                let probs = softmax(&self.scores(row));
+                for (c, w) in self.weights.iter_mut().enumerate() {
+                    let grad = probs[c] - f64::from(u8::from(c == label));
+                    for (wj, &zj) in w.iter_mut().zip(row) {
+                        *wj -= lr * (grad * zj + self.config.l2 * *wj);
+                    }
+                    let dlast = w.len() - 1;
+                    w[dlast] -= lr * grad;
+                }
+            }
+        }
+    }
+
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter()
+            .map(|row| {
+                let z = self.standardize(row);
+                let scores = self.scores(&z);
+                scores
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn separates_linear_data() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let v = i as f64 / 10.0 - 5.0;
+            x.push(vec![v, -v * 0.5]);
+            y.push(usize::from(v > 0.3));
+        }
+        let mut m = LogisticRegression::default_model();
+        m.fit(&x, &y);
+        assert!(accuracy(&y, &m.predict(&x)) > 0.95);
+    }
+
+    #[test]
+    fn three_classes() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let c = i % 3;
+            x.push(vec![c as f64 * 4.0 + (i as f64 * 0.01), (i % 5) as f64 * 0.1]);
+            y.push(c);
+        }
+        let mut m = LogisticRegression::default_model();
+        m.fit(&x, &y);
+        assert!(accuracy(&y, &m.predict(&x)) > 0.9);
+    }
+
+    #[test]
+    fn handles_nan_features_via_mean() {
+        let x = vec![vec![1.0], vec![2.0], vec![f64::NAN], vec![10.0], vec![11.0]];
+        let y = vec![0, 0, 0, 1, 1];
+        let mut m = LogisticRegression::default_model();
+        m.fit(&x, &y);
+        let p = m.predict(&[vec![f64::NAN]]);
+        assert!(p[0] <= 1);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+}

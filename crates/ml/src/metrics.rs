@@ -1,0 +1,252 @@
+//! Classification and retrieval metrics.
+
+/// Fraction of predictions equal to truth.
+pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(truth.len(), predicted.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let hits = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Binary F1 treating `positive` as the positive class.
+pub fn f1_binary(truth: &[usize], predicted: &[usize], positive: usize) -> f64 {
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for (&t, &p) in truth.iter().zip(predicted) {
+        match (t == positive, p == positive) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (true, false) => fn_ += 1,
+            _ => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fn_) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Macro-averaged F1 over `n_classes`.
+pub fn f1_macro(truth: &[usize], predicted: &[usize], n_classes: usize) -> f64 {
+    if n_classes == 0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..n_classes)
+        .map(|c| f1_binary(truth, predicted, c))
+        .sum();
+    sum / n_classes as f64
+}
+
+/// Precision@k and Recall@k for a ranked retrieval result.
+///
+/// `retrieved` is the ranked candidate list (best first); `relevant` the
+/// ground-truth set. Matches the discovery benchmarks' definitions:
+/// precision = hits / k (capped by retrieved length), recall = hits /
+/// |relevant|.
+pub fn precision_recall_at_k<T: PartialEq>(
+    retrieved: &[T],
+    relevant: &[T],
+    k: usize,
+) -> (f64, f64) {
+    if k == 0 || relevant.is_empty() {
+        return (0.0, 0.0);
+    }
+    let top = &retrieved[..k.min(retrieved.len())];
+    let hits = top.iter().filter(|r| relevant.contains(r)).count();
+    let precision = hits as f64 / k.min(retrieved.len()).max(1) as f64;
+    let recall = hits as f64 / relevant.len() as f64;
+    (precision, recall)
+}
+
+/// Two-tailed paired t-test p-value (used by the Figure 9 analysis).
+/// Returns 1.0 when the variance is degenerate.
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean = diffs.iter().sum::<f64>() / n as f64;
+    let var = diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / (n as f64 - 1.0);
+    if var <= 0.0 {
+        return if mean == 0.0 { 1.0 } else { 0.0 };
+    }
+    let t = mean / (var / n as f64).sqrt();
+    let df = (n - 1) as f64;
+    2.0 * (1.0 - student_t_cdf(t.abs(), df))
+}
+
+/// Student-t CDF via the regularised incomplete beta function.
+fn student_t_cdf(t: f64, df: f64) -> f64 {
+    let x = df / (df + t * t);
+    1.0 - 0.5 * incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// Regularised incomplete beta I_x(a, b) by continued fraction (Numerical
+/// Recipes style).
+fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let front = (a * x.ln() + b * (1.0 - x).ln() - ln_beta).exp();
+    // use symmetry for convergence; `<=` so the boundary case (e.g.
+    // a=b=1, x=0.5) takes the direct branch instead of recursing forever
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - incomplete_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 200;
+    const EPS: f64 = 1e-12;
+    let mut c = 1.0f64;
+    let mut d = 1.0 - (a + b) * x / (a + 1.0);
+    if d.abs() < 1e-30 {
+        d = 1e-30;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        // even step
+        let num = m * (b - m) * x / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+        d = 1.0 + num * d;
+        if d.abs() < 1e-30 {
+            d = 1e-30;
+        }
+        c = 1.0 + num / c;
+        if c.abs() < 1e-30 {
+            c = 1e-30;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let num = -(a + m) * (a + b + m) * x / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+        d = 1.0 + num * d;
+        if d.abs() < 1e-30 {
+            d = 1e-30;
+        }
+        c = 1.0 + num / c;
+        if c.abs() < 1e-30 {
+            c = 1e-30;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Lanczos approximation of ln Γ(x).
+fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 7] = [
+        1.000000000190015,
+        76.18009172947146,
+        -86.50532032941677,
+        24.01409824083091,
+        -1.231739572450155,
+        0.1208650973866179e-2,
+        -0.5395239384953e-5,
+    ];
+    let mut sum = G[0];
+    for (i, &g) in G.iter().enumerate().skip(1) {
+        sum += g / (x + i as f64);
+    }
+    let tmp = x + 5.5;
+    (2.5066282746310005 * sum / x).ln() - tmp + (x + 0.5) * tmp.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 0, 1], &[1, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn f1_hand_computed() {
+        // tp=2, fp=1, fn=1 → p=2/3, r=2/3, f1=2/3
+        let truth = [1, 1, 1, 0, 0];
+        let pred = [1, 1, 0, 1, 0];
+        let f1 = f1_binary(&truth, &pred, 1);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f1_zero_when_no_tp() {
+        assert_eq!(f1_binary(&[1, 1], &[0, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages() {
+        let truth = [0, 0, 1, 1];
+        let pred = [0, 0, 1, 1];
+        assert!((f1_macro(&truth, &pred, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_r_at_k() {
+        let retrieved = ["a", "b", "c", "d"];
+        let relevant = ["a", "c", "e"];
+        let (p, r) = precision_recall_at_k(&retrieved, &relevant, 3);
+        assert!((p - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r - 2.0 / 3.0).abs() < 1e-9);
+        let (p5, r5) = precision_recall_at_k(&retrieved, &relevant, 5);
+        assert!((p5 - 2.0 / 4.0).abs() < 1e-9); // only 4 retrieved
+        assert!((r5 - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_test_detects_difference() {
+        let a = [0.9, 0.85, 0.92, 0.88, 0.91, 0.87, 0.9, 0.89];
+        let b = [0.7, 0.72, 0.69, 0.71, 0.73, 0.68, 0.7, 0.71];
+        let p = paired_t_test(&a, &b);
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn t_test_no_difference() {
+        let a = [0.5, 0.6, 0.4, 0.55, 0.45];
+        let b = [0.5, 0.59, 0.42, 0.54, 0.46];
+        let p = paired_t_test(&a, &b);
+        assert!(p > 0.05, "p = {p}");
+    }
+
+    #[test]
+    fn incomplete_beta_sanity() {
+        // I_x(1,1) = x
+        for x in [0.1, 0.5, 0.9] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-9);
+        }
+        // symmetry: I_x(a,b) = 1 - I_{1-x}(b,a)
+        let lhs = incomplete_beta(2.0, 3.0, 0.3);
+        let rhs = 1.0 - incomplete_beta(3.0, 2.0, 0.7);
+        assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(5) = 24
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        // Γ(0.5) = sqrt(pi)
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,248 @@
+//! Scaling and unary feature transformations (Section 4.3).
+//!
+//! "We support two types of transformation: Table transformations
+//! (Standard Scaler, Minmax Scaler, and Robust Scaler) and column
+//! transformations (log and sqrt)."
+
+use crate::frame::MlFrame;
+
+/// Table-level scaling operations — the label space of the scaling GNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalingOp {
+    /// No transformation (a valid recommendation).
+    None,
+    /// `(x - mean) / std`.
+    StandardScaler,
+    /// `(x - min) / (max - min)`.
+    MinMaxScaler,
+    /// `(x - median) / IQR`.
+    RobustScaler,
+}
+
+impl ScalingOp {
+    /// The scaling label space.
+    pub const ALL: [ScalingOp; 4] = [
+        ScalingOp::None,
+        ScalingOp::StandardScaler,
+        ScalingOp::MinMaxScaler,
+        ScalingOp::RobustScaler,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ScalingOp::None => "NoScaling",
+            ScalingOp::StandardScaler => "StandardScaler",
+            ScalingOp::MinMaxScaler => "MinMaxScaler",
+            ScalingOp::RobustScaler => "RobustScaler",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.label() == s)
+    }
+
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|o| *o == self).unwrap()
+    }
+
+    /// Apply to every feature column (NaNs pass through untouched).
+    pub fn apply(self, frame: &MlFrame) -> MlFrame {
+        let mut out = frame.clone();
+        if self == ScalingOp::None {
+            return out;
+        }
+        for j in 0..frame.n_features() {
+            let col = frame.column(j);
+            let observed: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
+            if observed.is_empty() {
+                continue;
+            }
+            let transformed: Vec<f64> = match self {
+                ScalingOp::StandardScaler => {
+                    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+                    let var = observed.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                        / observed.len() as f64;
+                    let std = var.sqrt().max(1e-12);
+                    col.iter().map(|&v| (v - mean) / std).collect()
+                }
+                ScalingOp::MinMaxScaler => {
+                    let min = observed.iter().copied().fold(f64::INFINITY, f64::min);
+                    let max = observed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let range = (max - min).max(1e-12);
+                    col.iter().map(|&v| (v - min) / range).collect()
+                }
+                ScalingOp::RobustScaler => {
+                    let mut sorted = observed.clone();
+                    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                    let q = |p: f64| -> f64 {
+                        let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+                        sorted[idx.min(sorted.len() - 1)]
+                    };
+                    let median = q(0.5);
+                    let iqr = (q(0.75) - q(0.25)).max(1e-12);
+                    col.iter().map(|&v| (v - median) / iqr).collect()
+                }
+                ScalingOp::None => unreachable!(),
+            };
+            out.set_column(j, &transformed);
+        }
+        out
+    }
+}
+
+/// Column-level unary transformations — the label space of the
+/// column-transform GNN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ColumnTransform {
+    /// Leave the column unchanged.
+    None,
+    /// `sign-preserving log1p(|x|)` (handles zeros and negatives).
+    Log,
+    /// `sign-preserving sqrt(|x|)`.
+    Sqrt,
+}
+
+impl ColumnTransform {
+    pub const ALL: [ColumnTransform; 3] = [
+        ColumnTransform::None,
+        ColumnTransform::Log,
+        ColumnTransform::Sqrt,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ColumnTransform::None => "NoTransform",
+            ColumnTransform::Log => "log",
+            ColumnTransform::Sqrt => "sqrt",
+        }
+    }
+
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|o| o.label() == s)
+    }
+
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|o| *o == self).unwrap()
+    }
+
+    /// Transform a single value (NaN passes through).
+    pub fn apply_value(self, v: f64) -> f64 {
+        if v.is_nan() {
+            return v;
+        }
+        match self {
+            ColumnTransform::None => v,
+            ColumnTransform::Log => v.signum() * v.abs().ln_1p(),
+            ColumnTransform::Sqrt => v.signum() * v.abs().sqrt(),
+        }
+    }
+
+    /// Apply to one feature column of the frame.
+    pub fn apply_column(self, frame: &mut MlFrame, j: usize) {
+        let col: Vec<f64> = frame
+            .column(j)
+            .into_iter()
+            .map(|v| self.apply_value(v))
+            .collect();
+        frame.set_column(j, &col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn frame() -> MlFrame {
+        MlFrame {
+            feature_names: vec!["a".into(), "b".into()],
+            x: vec![
+                vec![1.0, 100.0],
+                vec![2.0, 200.0],
+                vec![3.0, 300.0],
+                vec![4.0, f64::NAN],
+            ],
+            y: vec![0, 0, 1, 1],
+            n_classes: 2,
+        }
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let out = ScalingOp::StandardScaler.apply(&frame());
+        let col: Vec<f64> = out.column(0);
+        let mean = col.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+        let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_bounds() {
+        let out = ScalingOp::MinMaxScaler.apply(&frame());
+        let col = out.column(0);
+        assert_eq!(col.iter().copied().fold(f64::INFINITY, f64::min), 0.0);
+        assert_eq!(col.iter().copied().fold(f64::NEG_INFINITY, f64::max), 1.0);
+    }
+
+    #[test]
+    fn robust_centers_on_median() {
+        let out = ScalingOp::RobustScaler.apply(&frame());
+        let col = out.column(0);
+        // median of 1..4 (rounded quantile) maps to ~0
+        assert!(col.iter().any(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn nans_pass_through_scaling() {
+        let out = ScalingOp::StandardScaler.apply(&frame());
+        assert!(out.x[3][1].is_nan());
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let f = frame();
+        let a = ScalingOp::None.apply(&f);
+        assert_eq!(a.x[0], f.x[0]);
+    }
+
+    #[test]
+    fn log_sqrt_signs() {
+        assert!(ColumnTransform::Log.apply_value(-10.0) < 0.0);
+        assert_eq!(ColumnTransform::Sqrt.apply_value(9.0), 3.0);
+        assert_eq!(ColumnTransform::Log.apply_value(0.0), 0.0);
+        assert!(ColumnTransform::Sqrt.apply_value(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn apply_column_only_touches_target() {
+        let mut f = frame();
+        ColumnTransform::Sqrt.apply_column(&mut f, 1);
+        assert_eq!(f.x[0][0], 1.0);
+        assert_eq!(f.x[0][1], 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_minmax_in_unit_interval(values in proptest::collection::vec(-1e6f64..1e6, 2..50)) {
+            let f = MlFrame {
+                feature_names: vec!["v".into()],
+                x: values.iter().map(|&v| vec![v]).collect(),
+                y: vec![0; values.len()],
+                n_classes: 1,
+            };
+            let out = ScalingOp::MinMaxScaler.apply(&f);
+            for row in &out.x {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&row[0]));
+            }
+        }
+
+        #[test]
+        fn prop_transforms_are_monotone(a in -1e4f64..1e4, b in -1e4f64..1e4) {
+            prop_assume!(a < b);
+            for t in [ColumnTransform::Log, ColumnTransform::Sqrt] {
+                prop_assert!(t.apply_value(a) <= t.apply_value(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Seeded train/test splitting and k-fold cross-validation.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffled train/test index split with the given test fraction.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let test_n = ((n as f64 * test_fraction).round() as usize).min(n);
+    let test = indices[..test_n].to_vec();
+    let train = indices[test_n..].to_vec();
+    (train, test)
+}
+
+/// K shuffled folds as `(train, test)` index pairs. Every index appears in
+/// exactly one test fold; folds differ in size by at most one.
+pub fn kfold_indices(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let k = k.min(n.max(2));
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test: Vec<usize> = indices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k == fold)
+            .map(|(_, &v)| v)
+            .collect();
+        let train: Vec<usize> = indices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % k != fold)
+            .map(|(_, &v)| v)
+            .collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_sizes() {
+        let (train, test) = train_test_split(100, 0.2, 1);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        assert_eq!(train_test_split(50, 0.3, 7), train_test_split(50, 0.3, 7));
+        assert_ne!(train_test_split(50, 0.3, 7).1, train_test_split(50, 0.3, 8).1);
+    }
+
+    #[test]
+    fn folds_partition() {
+        let folds = kfold_indices(23, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 23);
+            assert!(test.iter().all(|t| !train.contains(t)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_kfold_laws(n in 4usize..200, k in 2usize..10, seed in 0u64..100) {
+            let folds = kfold_indices(n, k, seed);
+            let mut all: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            let sizes: Vec<usize> = folds.iter().map(|(_, t)| t.len()).collect();
+            let max = sizes.iter().max().unwrap();
+            let min = sizes.iter().min().unwrap();
+            prop_assert!(max - min <= 1);
+        }
+    }
+}

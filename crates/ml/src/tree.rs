@@ -1,0 +1,264 @@
+//! CART-style decision tree classifier (Gini impurity).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Classifier;
+
+/// Tree hyper-parameters (the AutoML search tunes these).
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Features considered per split; `None` = all (forests pass √d).
+    pub max_features: Option<usize>,
+    /// Candidate thresholds per feature (quantile cuts).
+    pub candidate_splits: usize,
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 10,
+            min_samples_split: 2,
+            max_features: None,
+            candidate_splits: 16,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    n_classes: usize,
+    root: Option<Node>,
+}
+
+impl DecisionTree {
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTree { config, n_classes: 0, root: None }
+    }
+
+    /// Number of nodes in the fitted tree (diagnostics).
+    pub fn node_count(&self) -> usize {
+        fn count(n: &Node) -> usize {
+            match n {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => 1 + count(left) + count(right),
+            }
+        }
+        self.root.as_ref().map_or(0, count)
+    }
+
+    fn build(
+        &self,
+        x: &[Vec<f64>],
+        y: &[usize],
+        rows: &[usize],
+        depth: usize,
+        rng: &mut SmallRng,
+    ) -> Node {
+        let majority = majority_class(y, rows, self.n_classes);
+        if depth >= self.config.max_depth
+            || rows.len() < self.config.min_samples_split
+            || is_pure(y, rows)
+        {
+            return Node::Leaf { class: majority };
+        }
+
+        let n_features = x[0].len();
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if let Some(m) = self.config.max_features {
+            features.shuffle(rng);
+            features.truncate(m.max(1).min(n_features));
+        }
+
+        let parent_gini = gini(y, rows, self.n_classes);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+        for &f in &features {
+            let mut values: Vec<f64> = rows.iter().map(|&r| x[r][f]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            let step = (values.len() / self.config.candidate_splits).max(1);
+            for i in (step..values.len()).step_by(step) {
+                let threshold = (values[i - 1] + values[i]) / 2.0;
+                let (left, right): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| x[r][f] <= threshold);
+                if left.is_empty() || right.is_empty() {
+                    continue;
+                }
+                let w_l = left.len() as f64 / rows.len() as f64;
+                let w_r = 1.0 - w_l;
+                let child_gini =
+                    w_l * gini(y, &left, self.n_classes) + w_r * gini(y, &right, self.n_classes);
+                let gain = parent_gini - child_gini;
+                if best.is_none_or(|(g, _, _)| gain > g) && gain > 1e-12 {
+                    best = Some((gain, f, threshold));
+                }
+            }
+        }
+
+        let Some((_, feature, threshold)) = best else {
+            return Node::Leaf { class: majority };
+        };
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&r| x[r][feature] <= threshold);
+        Node::Split {
+            feature,
+            threshold,
+            left: Box::new(self.build(x, y, &left_rows, depth + 1, rng)),
+            right: Box::new(self.build(x, y, &right_rows, depth + 1, rng)),
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> usize {
+        let mut node = self.root.as_ref().expect("tree is fitted");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    let v = row[*feature];
+                    // NaN routes right (an arbitrary but consistent rule)
+                    node = if v.is_nan() || v > *threshold { right } else { left };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert_eq!(x.len(), y.len());
+        assert!(!x.is_empty(), "cannot fit on empty data");
+        self.n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+        let rows: Vec<usize> = (0..x.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        self.root = Some(self.build(x, y, &rows, 0, &mut rng));
+    }
+
+    fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|row| self.predict_row(row)).collect()
+    }
+}
+
+fn is_pure(y: &[usize], rows: &[usize]) -> bool {
+    rows.windows(2).all(|w| y[w[0]] == y[w[1]])
+}
+
+fn majority_class(y: &[usize], rows: &[usize], n_classes: usize) -> usize {
+    let mut counts = vec![0usize; n_classes.max(1)];
+    for &r in rows {
+        counts[y[r]] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn gini(y: &[usize], rows: &[usize], n_classes: usize) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; n_classes.max(1)];
+    for &r in rows {
+        counts[y[r]] += 1;
+    }
+    let n = rows.len() as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / n;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    /// `y = (a > 0.5) AND (b > 0.5)` — needs a two-level tree but each
+    /// greedy split has positive Gini gain (unlike pure XOR).
+    fn and_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = (i % 2) as f64;
+            let b = ((i / 2) % 2) as f64;
+            // jitter so thresholds exist
+            x.push(vec![a + (i as f64) * 1e-4, b - (i as f64) * 1e-4]);
+            y.push(usize::from(a > 0.5 && b > 0.5));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_conjunction() {
+        let (x, y) = and_data();
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y);
+        let pred = tree.predict(&x);
+        assert!(accuracy(&y, &pred) > 0.95);
+        assert!(tree.node_count() >= 5); // needs two levels
+    }
+
+    #[test]
+    fn depth_one_is_a_stump() {
+        let (x, y) = and_data();
+        let mut tree = DecisionTree::new(TreeConfig { max_depth: 0, ..Default::default() });
+        tree.fit(&x, &y);
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn pure_data_single_leaf() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&x), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn nan_routes_consistently() {
+        let x = vec![vec![0.0], vec![1.0], vec![0.1], vec![0.9]];
+        let y = vec![0, 1, 0, 1];
+        let mut tree = DecisionTree::new(TreeConfig::default());
+        tree.fit(&x, &y);
+        let p = tree.predict(&[vec![f64::NAN]]);
+        assert!(p[0] == 0 || p[0] == 1);
+    }
+
+    #[test]
+    fn gini_math() {
+        let y = [0, 0, 1, 1];
+        let rows = [0usize, 1, 2, 3];
+        assert!((gini(&y, &rows, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(gini(&y, &rows[..2], 2), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cross-module ML invariants as property tests.
+
+use lids_ml::{CleaningOp, ColumnTransform, MlFrame, ScalingOp};
+use proptest::prelude::*;
+
+fn frame_strategy() -> impl Strategy<Value = MlFrame> {
+    (2usize..5, 6usize..40).prop_flat_map(|(d, n)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    prop_oneof![
+                        4 => (-100.0f64..100.0).prop_map(Some),
+                        1 => Just(None),
+                    ],
+                    d..=d,
+                ),
+                n..=n,
+            ),
+            Just(d),
+        )
+            .prop_map(|(cells, d)| MlFrame {
+                feature_names: (0..d).map(|j| format!("f{j}")).collect(),
+                x: cells
+                    .iter()
+                    .map(|row| row.iter().map(|c| c.unwrap_or(f64::NAN)).collect())
+                    .collect(),
+                y: (0..cells.len()).map(|i| i % 2).collect(),
+                n_classes: 2,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_cleaning_op_yields_complete_finite_frames(frame in frame_strategy()) {
+        for op in CleaningOp::ALL {
+            let cleaned = op.apply(&frame);
+            prop_assert_eq!(cleaned.rows(), frame.rows(), "{:?}", op);
+            prop_assert_eq!(cleaned.n_features(), frame.n_features());
+            for row in &cleaned.x {
+                for v in row {
+                    prop_assert!(v.is_finite(), "{:?} produced {v}", op);
+                }
+            }
+            // labels untouched
+            prop_assert_eq!(&cleaned.y, &frame.y);
+        }
+    }
+
+    #[test]
+    fn cleaning_ops_preserve_observed_cells(frame in frame_strategy()) {
+        for op in CleaningOp::ALL {
+            let cleaned = op.apply(&frame);
+            for (orig, new) in frame.x.iter().zip(&cleaned.x) {
+                for (o, n) in orig.iter().zip(new) {
+                    if o.is_finite() {
+                        prop_assert_eq!(o, n, "{:?} altered an observed value", op);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_then_transform_keeps_shape(frame in frame_strategy()) {
+        let complete = CleaningOp::SimpleImputer.apply(&frame);
+        for scaling in ScalingOp::ALL {
+            let scaled = scaling.apply(&complete);
+            prop_assert_eq!(scaled.rows(), complete.rows());
+            let mut transformed = scaled.clone();
+            for j in 0..transformed.n_features() {
+                ColumnTransform::Log.apply_column(&mut transformed, j);
+            }
+            for row in &transformed.x {
+                for v in row {
+                    prop_assert!(v.is_finite());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_missing_is_idempotent(frame in frame_strategy()) {
+        let once = frame.drop_missing();
+        let twice = once.drop_missing();
+        prop_assert_eq!(&once.x, &twice.x);
+        prop_assert!(!once.has_missing());
+    }
+}

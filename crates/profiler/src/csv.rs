@@ -1,0 +1,184 @@
+//! Minimal RFC-4180-style CSV reader/writer.
+
+use crate::table::{Column, Table};
+
+/// Parse CSV text into a [`Table`]. The first record is the header. Handles
+/// quoted fields, embedded commas, doubled quotes, and embedded newlines.
+/// Short rows are padded with empty strings; long rows are truncated.
+pub fn parse_csv(name: &str, text: &str) -> Table {
+    let records = parse_records(text);
+    let mut records = records.into_iter();
+    let header = records.next().unwrap_or_default();
+    let ncols = header.len();
+    let mut columns: Vec<Column> = header
+        .into_iter()
+        .map(|h| Column::new(h.trim().to_string(), Vec::new()))
+        .collect();
+    for mut record in records {
+        record.resize(ncols, String::new());
+        for (col, value) in columns.iter_mut().zip(record) {
+            col.values.push(value);
+        }
+    }
+    Table::new(name.to_string(), columns)
+}
+
+fn parse_records(text: &str) -> Vec<Vec<String>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    // Distinguishes a blank physical line (skipped) from a record holding a
+    // single quoted-empty field (kept).
+    let mut record_has_content = false;
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    record_has_content = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                    record_has_content = true;
+                }
+                '\r' => {}
+                '\n' => {
+                    if record_has_content || !field.is_empty() {
+                        record.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut record));
+                    }
+                    record_has_content = false;
+                }
+                other => {
+                    field.push(other);
+                    record_has_content = true;
+                }
+            }
+        }
+    }
+    if record_has_content || !field.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    records
+}
+
+/// Serialize a table to CSV (quoting only when needed).
+pub fn write_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let quote = |s: &str| -> String {
+        // Empty fields are quoted so a one-column row of "" survives the
+        // blank-line skip on re-parse.
+        if s.is_empty() || s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    out.push_str(
+        &table
+            .columns
+            .iter()
+            .map(|c| quote(&c.name))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in 0..table.rows() {
+        out.push_str(
+            &table
+                .columns
+                .iter()
+                .map(|c| quote(&c.values[row]))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_parse() {
+        let t = parse_csv("t", "a,b\n1,x\n2,y\n");
+        assert_eq!(t.columns.len(), 2);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.column("a").unwrap().values, vec!["1", "2"]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = parse_csv("t", "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+        assert_eq!(t.column("a").unwrap().values[0], "hello, world");
+        assert_eq!(t.column("b").unwrap().values[0], "say \"hi\"");
+    }
+
+    #[test]
+    fn embedded_newline() {
+        let t = parse_csv("t", "a\n\"line1\nline2\"\n");
+        assert_eq!(t.column("a").unwrap().values[0], "line1\nline2");
+    }
+
+    #[test]
+    fn ragged_rows_padded_and_truncated() {
+        let t = parse_csv("t", "a,b\n1\n2,3,4\n");
+        assert_eq!(t.column("a").unwrap().values, vec!["1", "2"]);
+        assert_eq!(t.column("b").unwrap().values, vec!["", "3"]);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse_csv("t", "a,b\r\n1,2\r\n");
+        assert_eq!(t.rows(), 1);
+        assert_eq!(t.column("b").unwrap().values[0], "2");
+    }
+
+    #[test]
+    fn missing_final_newline() {
+        let t = parse_csv("t", "a\n1\n2");
+        assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let t = Table::new(
+            "t",
+            vec![
+                Column::new("name,with,commas", vec!["a\"b".into(), "plain".into()]),
+                Column::new("b", vec!["1,2".into(), "x\ny".into()]),
+            ],
+        );
+        let back = parse_csv("t", &write_csv(&t));
+        assert_eq!(back.columns, t.columns);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            values in proptest::collection::vec("[a-zA-Z0-9,\"\\n ]{0,12}", 1..20)
+        ) {
+            let t = Table::new("t", vec![Column::new("col", values.clone())]);
+            let back = parse_csv("t", &write_csv(&t));
+            prop_assert_eq!(back.column("col").unwrap().values.clone(), values);
+        }
+    }
+}

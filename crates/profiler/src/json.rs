@@ -1,0 +1,162 @@
+//! JSON table ingestion (§3.2: "KGLiDS handles files of different formats,
+//! such as CSV and JSON").
+//!
+//! Accepts the two common tabular JSON shapes:
+//! - an array of flat objects: `[{"a": 1, "b": "x"}, …]` (records)
+//! - an object of arrays: `{"a": [1, 2], "b": ["x", "y"]}` (columns)
+//!
+//! Values normalise to the profiler's lexical forms (numbers, booleans,
+//! strings; `null` becomes the empty string = missing).
+
+use serde_json::Value;
+
+use crate::table::{Column, Table};
+
+/// Error for malformed tabular JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonTableError(pub String);
+
+impl std::fmt::Display for JsonTableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json table error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonTableError {}
+
+/// Parse tabular JSON into a [`Table`]. Column order follows first
+/// appearance; records missing a key get an empty (missing) cell.
+pub fn parse_json_table(name: &str, text: &str) -> Result<Table, JsonTableError> {
+    let value: Value =
+        serde_json::from_str(text).map_err(|e| JsonTableError(e.to_string()))?;
+    match value {
+        Value::Array(records) => from_records(name, &records),
+        Value::Object(columns) => {
+            let mut cols = Vec::new();
+            let mut rows: Option<usize> = None;
+            for (key, cell) in columns {
+                let Value::Array(values) = cell else {
+                    return Err(JsonTableError(format!(
+                        "column {key} is not an array"
+                    )));
+                };
+                match rows {
+                    None => rows = Some(values.len()),
+                    Some(n) if n != values.len() => {
+                        return Err(JsonTableError(format!(
+                            "column {key} has {} values, expected {n}",
+                            values.len()
+                        )))
+                    }
+                    _ => {}
+                }
+                cols.push(Column::new(key, values.iter().map(scalar).collect()));
+            }
+            Ok(Table::new(name, cols))
+        }
+        other => Err(JsonTableError(format!(
+            "expected an array of records or an object of columns, got {other}"
+        ))),
+    }
+}
+
+fn from_records(name: &str, records: &[Value]) -> Result<Table, JsonTableError> {
+    // column order = first appearance across records
+    let mut order: Vec<String> = Vec::new();
+    for (i, record) in records.iter().enumerate() {
+        let Value::Object(map) = record else {
+            return Err(JsonTableError(format!("record {i} is not an object")));
+        };
+        for key in map.keys() {
+            if !order.contains(key) {
+                order.push(key.clone());
+            }
+        }
+    }
+    let mut columns: Vec<Column> = order
+        .iter()
+        .map(|k| Column::new(k.clone(), Vec::with_capacity(records.len())))
+        .collect();
+    for record in records {
+        let Value::Object(map) = record else { unreachable!() };
+        for (key, col) in order.iter().zip(&mut columns) {
+            col.values.push(map.get(key).map(scalar).unwrap_or_default());
+        }
+    }
+    Ok(Table::new(name, columns))
+}
+
+/// Render a JSON scalar as the profiler's lexical form.
+fn scalar(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => n.to_string(),
+        Value::String(s) => s.clone(),
+        // nested structures flatten to their JSON text (rare in tabular data)
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_shape() {
+        let t = parse_json_table(
+            "t",
+            r#"[{"age": 30, "name": "alice", "ok": true},
+                {"age": null, "name": "bob"},
+                {"age": 41.5, "name": "carol", "ok": false}]"#,
+        )
+        .unwrap();
+        assert_eq!(t.columns.len(), 3);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.column("age").unwrap().values, vec!["30", "", "41.5"]);
+        assert_eq!(t.column("ok").unwrap().values, vec!["true", "", "false"]);
+        // null / absent both count as missing
+        assert_eq!(t.column("age").unwrap().null_count(), 1);
+    }
+
+    #[test]
+    fn columns_shape() {
+        let t = parse_json_table("t", r#"{"a": [1, 2, 3], "b": ["x", "y", "z"]}"#).unwrap();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.column("b").unwrap().values[2], "z");
+    }
+
+    #[test]
+    fn ragged_columns_rejected() {
+        assert!(parse_json_table("t", r#"{"a": [1], "b": [1, 2]}"#).is_err());
+    }
+
+    #[test]
+    fn non_tabular_rejected() {
+        assert!(parse_json_table("t", "42").is_err());
+        assert!(parse_json_table("t", r#"[1, 2]"#).is_err());
+        assert!(parse_json_table("t", "not json").is_err());
+    }
+
+    #[test]
+    fn profiles_like_csv_tables() {
+        use lids_embed::{ColrModels, WordEmbeddings};
+        let t = parse_json_table(
+            "t",
+            r#"[{"age": 30, "city": "London"}, {"age": 35, "city": "Paris"},
+                {"age": 28, "city": "Tokyo"}]"#,
+        )
+        .unwrap();
+        let profiles = crate::profile_table(
+            "d",
+            &t,
+            &ColrModels::untrained(1),
+            &WordEmbeddings::new(),
+            &crate::ProfilerConfig::default(),
+            None,
+        );
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].fgt, lids_embed::FineGrainedType::Int);
+        assert_eq!(profiles[1].fgt, lids_embed::FineGrainedType::NamedEntity);
+    }
+}

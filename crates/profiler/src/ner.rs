@@ -1,0 +1,323 @@
+//! Gazetteer + pattern named-entity recognition.
+//!
+//! Substitute for the paper's pre-trained spaCy NER "trained on the
+//! OntoNotes 5 dataset, which recognizes 18 entity types including persons,
+//! countries, organizations, products, and events". The gazetteer covers
+//! high-frequency entities per type; pattern rules cover the measurable
+//! types (PERCENT, MONEY, ORDINAL, CARDINAL, TIME, DATE).
+
+/// The 18 OntoNotes 5 entity types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityType {
+    Person,
+    Norp,
+    Fac,
+    Org,
+    Gpe,
+    Loc,
+    Product,
+    Event,
+    WorkOfArt,
+    Law,
+    Language,
+    Date,
+    Time,
+    Percent,
+    Money,
+    Quantity,
+    Ordinal,
+    Cardinal,
+}
+
+impl EntityType {
+    /// All 18 types.
+    pub const ALL: [EntityType; 18] = [
+        EntityType::Person,
+        EntityType::Norp,
+        EntityType::Fac,
+        EntityType::Org,
+        EntityType::Gpe,
+        EntityType::Loc,
+        EntityType::Product,
+        EntityType::Event,
+        EntityType::WorkOfArt,
+        EntityType::Law,
+        EntityType::Language,
+        EntityType::Date,
+        EntityType::Time,
+        EntityType::Percent,
+        EntityType::Money,
+        EntityType::Quantity,
+        EntityType::Ordinal,
+        EntityType::Cardinal,
+    ];
+
+    /// OntoNotes label text.
+    pub fn label(self) -> &'static str {
+        match self {
+            EntityType::Person => "PERSON",
+            EntityType::Norp => "NORP",
+            EntityType::Fac => "FAC",
+            EntityType::Org => "ORG",
+            EntityType::Gpe => "GPE",
+            EntityType::Loc => "LOC",
+            EntityType::Product => "PRODUCT",
+            EntityType::Event => "EVENT",
+            EntityType::WorkOfArt => "WORK_OF_ART",
+            EntityType::Law => "LAW",
+            EntityType::Language => "LANGUAGE",
+            EntityType::Date => "DATE",
+            EntityType::Time => "TIME",
+            EntityType::Percent => "PERCENT",
+            EntityType::Money => "MONEY",
+            EntityType::Quantity => "QUANTITY",
+            EntityType::Ordinal => "ORDINAL",
+            EntityType::Cardinal => "CARDINAL",
+        }
+    }
+}
+
+const GPE: &[&str] = &[
+    "london", "paris", "tokyo", "cairo", "lagos", "lima", "oslo", "rome", "berlin", "madrid",
+    "moscow", "beijing", "delhi", "sydney", "toronto", "montreal", "chicago", "boston",
+    "seattle", "austin", "denver", "houston", "atlanta", "miami", "dallas", "phoenix",
+    "canada", "brazil", "egypt", "japan", "kenya", "norway", "peru", "france", "germany",
+    "spain", "italy", "china", "india", "mexico", "russia", "nigeria", "argentina",
+    "australia", "sweden", "poland", "greece", "turkey", "portugal", "austria", "belgium",
+    "usa", "uk", "uae", "texas", "california", "ontario", "quebec", "florida", "ohio",
+    "georgia", "alberta", "bavaria", "scotland", "wales", "ireland",
+];
+
+const PERSON_FIRST: &[&str] = &[
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael", "linda", "william",
+    "elizabeth", "david", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
+    "sarah", "charles", "karen", "daniel", "nancy", "matthew", "lisa", "anthony", "betty",
+    "mark", "margaret", "donald", "sandra", "steven", "ashley", "paul", "kimberly", "andrew",
+    "emily", "joshua", "donna", "kenneth", "michelle", "kevin", "carol", "brian", "amanda",
+    "george", "dorothy", "alice", "bob", "carlos", "maria", "ahmed", "fatima", "wei", "yuki",
+    "olga", "pierre", "hans", "ingrid",
+];
+
+const PERSON_LAST: &[&str] = &[
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis",
+    "rodriguez", "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson",
+    "thomas", "taylor", "moore", "jackson", "martin", "lee", "thompson", "white", "harris",
+    "clark", "lewis", "walker", "hall", "young", "allen", "chen", "wang", "kim", "singh",
+    "kumar", "ali", "khan", "mueller", "schmidt", "rossi", "silva", "santos",
+];
+
+const ORG: &[&str] = &[
+    "google", "microsoft", "apple", "amazon", "facebook", "netflix", "tesla", "ibm",
+    "intel", "oracle", "samsung", "sony", "toyota", "honda", "boeing", "airbus", "nasa",
+    "fbi", "who", "unicef", "unesco", "acme corp", "globex inc", "initech", "umbrella ltd",
+    "hooli", "walmart", "target", "costco", "starbucks", "mcdonalds", "nike", "adidas",
+    "visa", "mastercard", "paypal", "spotify", "uber", "airbnb",
+];
+
+const NORP: &[&str] = &[
+    "american", "british", "canadian", "french", "german", "japanese", "chinese", "indian",
+    "mexican", "brazilian", "egyptian", "russian", "italian", "spanish", "democrat",
+    "republican", "christian", "muslim", "jewish", "buddhist", "hindu",
+];
+
+const LANGUAGE: &[&str] = &[
+    "english", "french", "spanish", "german", "mandarin", "arabic", "hindi", "portuguese",
+    "japanese", "korean", "italian", "dutch", "swedish", "polish", "turkish", "swahili",
+];
+
+const EVENT: &[&str] = &[
+    "world cup", "olympics", "super bowl", "world war ii", "world war i", "black friday",
+    "hurricane katrina", "christmas", "ramadan", "thanksgiving", "easter",
+];
+
+const PRODUCT: &[&str] = &[
+    "iphone", "android", "windows", "macbook", "playstation", "xbox", "kindle", "tesla model s",
+    "boeing 747", "corolla", "civic", "mustang", "thinkpad",
+];
+
+const LOC: &[&str] = &[
+    "everest", "sahara", "amazon river", "nile", "pacific", "atlantic", "alps", "andes",
+    "rockies", "mediterranean", "arctic", "antarctica",
+];
+
+const FAC: &[&str] = &[
+    "heathrow", "jfk airport", "golden gate bridge", "eiffel tower", "empire state building",
+    "hoover dam", "grand central",
+];
+
+const WORK_OF_ART: &[&str] = &[
+    "mona lisa", "hamlet", "star wars", "the godfather", "harry potter", "casablanca",
+];
+
+const LAW: &[&str] = &["gdpr", "hipaa", "first amendment", "clean air act", "patriot act"];
+
+const MONTHS: &[&str] = &[
+    "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december", "monday", "tuesday", "wednesday", "thursday",
+    "friday", "saturday", "sunday",
+];
+
+const ORDINALS: &[&str] = &[
+    "first", "second", "third", "fourth", "fifth", "sixth", "seventh", "eighth", "ninth",
+    "tenth",
+];
+
+/// Recognise the entity type of a single value, if any.
+pub fn recognize_entity(value: &str) -> Option<EntityType> {
+    let v = value.trim();
+    if v.is_empty() || v.len() > 64 {
+        return None;
+    }
+    let lower = v.to_lowercase();
+
+    // pattern types first
+    if lower.ends_with('%') && lower[..lower.len() - 1].trim().parse::<f64>().is_ok() {
+        return Some(EntityType::Percent);
+    }
+    if (v.starts_with('$') || v.starts_with('€') || v.starts_with('£'))
+        && v[v.chars().next().unwrap().len_utf8()..]
+            .replace(',', "")
+            .trim()
+            .parse::<f64>()
+            .is_ok()
+    {
+        return Some(EntityType::Money);
+    }
+    if lids_embed::features::parse_date_parts(v).is_some() || MONTHS.contains(&lower.as_str()) {
+        return Some(EntityType::Date);
+    }
+    if is_time(&lower) {
+        return Some(EntityType::Time);
+    }
+    if let Some(stripped) = lower.strip_suffix("th").or_else(|| lower.strip_suffix("st"))
+        .or_else(|| lower.strip_suffix("nd"))
+        .or_else(|| lower.strip_suffix("rd"))
+    {
+        if stripped.parse::<u64>().is_ok() {
+            return Some(EntityType::Ordinal);
+        }
+    }
+    if ORDINALS.contains(&lower.as_str()) {
+        return Some(EntityType::Ordinal);
+    }
+    if is_quantity(&lower) {
+        return Some(EntityType::Quantity);
+    }
+
+    // gazetteers
+    let tables: [(&[&str], EntityType); 10] = [
+        (GPE, EntityType::Gpe),
+        (ORG, EntityType::Org),
+        (NORP, EntityType::Norp),
+        (LANGUAGE, EntityType::Language),
+        (EVENT, EntityType::Event),
+        (PRODUCT, EntityType::Product),
+        (LOC, EntityType::Loc),
+        (FAC, EntityType::Fac),
+        (WORK_OF_ART, EntityType::WorkOfArt),
+        (LAW, EntityType::Law),
+    ];
+    for (table, ty) in tables {
+        if table.contains(&lower.as_str()) {
+            return Some(ty);
+        }
+    }
+
+    // person names: "First Last" with both parts in the name gazetteers, or
+    // a single known first/last name
+    let parts: Vec<&str> = lower.split_whitespace().collect();
+    match parts.as_slice() {
+        [first, last]
+            if (PERSON_FIRST.contains(first) || PERSON_LAST.contains(last)) => {
+                return Some(EntityType::Person);
+            }
+        [single]
+            if (PERSON_FIRST.contains(single) || PERSON_LAST.contains(single)) => {
+                return Some(EntityType::Person);
+            }
+        _ => {}
+    }
+    None
+}
+
+fn is_time(lower: &str) -> bool {
+    // HH:MM or HH:MM:SS, optional am/pm
+    let t = lower
+        .trim_end_matches("am")
+        .trim_end_matches("pm")
+        .trim();
+    let parts: Vec<&str> = t.split(':').collect();
+    (2..=3).contains(&parts.len())
+        && parts
+            .iter()
+            .all(|p| p.parse::<u32>().map(|n| n < 60).unwrap_or(false))
+}
+
+fn is_quantity(lower: &str) -> bool {
+    const UNITS: &[&str] = &[
+        "kg", "g", "mg", "lb", "lbs", "km", "m", "cm", "mm", "mi", "ft", "mph", "kph", "kwh",
+        "mb", "gb", "tb", "ml", "l", "oz",
+    ];
+    let mut split = lower.splitn(2, ' ');
+    let (Some(num), Some(unit)) = (split.next(), split.next()) else {
+        // attached unit: "5kg"
+        let idx = lower.find(|c: char| c.is_ascii_alphabetic());
+        if let Some(i) = idx {
+            let (num, unit) = lower.split_at(i);
+            return !num.is_empty()
+                && num.parse::<f64>().is_ok()
+                && UNITS.contains(&unit.trim());
+        }
+        return false;
+    };
+    num.parse::<f64>().is_ok() && UNITS.contains(&unit.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gazetteer_types() {
+        assert_eq!(recognize_entity("London"), Some(EntityType::Gpe));
+        assert_eq!(recognize_entity("Google"), Some(EntityType::Org));
+        assert_eq!(recognize_entity("Alice Smith"), Some(EntityType::Person));
+        assert_eq!(recognize_entity("canadian"), Some(EntityType::Norp));
+        assert_eq!(recognize_entity("Swahili"), Some(EntityType::Language));
+        assert_eq!(recognize_entity("World Cup"), Some(EntityType::Event));
+        assert_eq!(recognize_entity("iPhone"), Some(EntityType::Product));
+        assert_eq!(recognize_entity("Everest"), Some(EntityType::Loc));
+        assert_eq!(recognize_entity("Heathrow"), Some(EntityType::Fac));
+        assert_eq!(recognize_entity("Mona Lisa"), Some(EntityType::WorkOfArt));
+        assert_eq!(recognize_entity("GDPR"), Some(EntityType::Law));
+    }
+
+    #[test]
+    fn pattern_types() {
+        assert_eq!(recognize_entity("45%"), Some(EntityType::Percent));
+        assert_eq!(recognize_entity("$1,250.50"), Some(EntityType::Money));
+        assert_eq!(recognize_entity("2021-05-01"), Some(EntityType::Date));
+        assert_eq!(recognize_entity("March"), Some(EntityType::Date));
+        assert_eq!(recognize_entity("10:30"), Some(EntityType::Time));
+        assert_eq!(recognize_entity("10:30:05pm"), Some(EntityType::Time));
+        assert_eq!(recognize_entity("3rd"), Some(EntityType::Ordinal));
+        assert_eq!(recognize_entity("first"), Some(EntityType::Ordinal));
+        assert_eq!(recognize_entity("5 kg"), Some(EntityType::Quantity));
+        assert_eq!(recognize_entity("120km"), Some(EntityType::Quantity));
+    }
+
+    #[test]
+    fn non_entities() {
+        assert_eq!(recognize_entity("qz7-44-xx"), None);
+        assert_eq!(recognize_entity(""), None);
+        assert_eq!(recognize_entity("the product was great"), None);
+        assert_eq!(recognize_entity("99:99"), None);
+    }
+
+    #[test]
+    fn all_labels_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            EntityType::ALL.iter().map(|t| t.label()).collect();
+        assert_eq!(labels.len(), 18);
+    }
+}

@@ -1,0 +1,163 @@
+//! Column statistics (`S` in Algorithm 2, "statistics e.g. #NaNs").
+
+use serde::{Deserialize, Serialize};
+
+use lids_embed::FineGrainedType;
+
+use crate::table::Column;
+
+/// Statistics gathered per column during profiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Total values, including nulls.
+    pub count: usize,
+    /// Missing values (the `#NaNs` of Algorithm 2).
+    pub nulls: usize,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Numeric summary (numeric columns only).
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    pub mean: Option<f64>,
+    pub std_dev: Option<f64>,
+    /// Fraction of `true` among non-null values (boolean columns only) —
+    /// the basis of boolean content similarity in Algorithm 3.
+    pub true_ratio: Option<f64>,
+    /// Mean character length of non-null values (string-ish columns).
+    pub avg_length: Option<f64>,
+}
+
+/// Collect statistics for a column given its inferred type.
+pub fn collect_stats(column: &Column, fgt: FineGrainedType) -> ColumnStats {
+    let count = column.values.len();
+    let nulls = column.null_count();
+    let mut distinct: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    for v in column.non_null() {
+        distinct.insert(v);
+    }
+    let distinct = distinct.len();
+
+    let (mut min, mut max, mut mean, mut std_dev) = (None, None, None, None);
+    if fgt.is_numeric() {
+        let values: Vec<f64> = column.numeric_values().collect();
+        if !values.is_empty() {
+            let n = values.len() as f64;
+            let m = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n;
+            min = values.iter().copied().fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            });
+            max = values.iter().copied().fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            });
+            mean = Some(m);
+            std_dev = Some(var.sqrt());
+        }
+    }
+
+    let true_ratio = if fgt == FineGrainedType::Boolean {
+        let mut trues = 0usize;
+        let mut total = 0usize;
+        for v in column.non_null() {
+            total += 1;
+            if matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "true" | "yes" | "t" | "y" | "1"
+            ) {
+                trues += 1;
+            }
+        }
+        if total > 0 {
+            Some(trues as f64 / total as f64)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let avg_length = if !fgt.is_numeric() && fgt != FineGrainedType::Boolean {
+        let mut total = 0usize;
+        let mut chars = 0usize;
+        for v in column.non_null() {
+            total += 1;
+            chars += v.chars().count();
+        }
+        if total > 0 {
+            Some(chars as f64 / total as f64)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    ColumnStats {
+        count,
+        nulls,
+        distinct,
+        min,
+        max,
+        mean,
+        std_dev,
+        true_ratio,
+        avg_length,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_stats() {
+        let c = Column::new(
+            "x",
+            vec!["1".into(), "2".into(), "3".into(), "NA".into(), "2".into()],
+        );
+        let s = collect_stats(&c, FineGrainedType::Int);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.distinct, 3);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(3.0));
+        assert_eq!(s.mean, Some(2.0));
+        assert!(s.std_dev.unwrap() > 0.0);
+        assert!(s.true_ratio.is_none());
+    }
+
+    #[test]
+    fn boolean_true_ratio() {
+        let c = Column::new(
+            "b",
+            vec!["true".into(), "false".into(), "TRUE".into(), "no".into()],
+        );
+        let s = collect_stats(&c, FineGrainedType::Boolean);
+        assert_eq!(s.true_ratio, Some(0.5));
+        assert!(s.mean.is_none());
+    }
+
+    #[test]
+    fn string_avg_length() {
+        let c = Column::new("s", vec!["ab".into(), "abcd".into()]);
+        let s = collect_stats(&c, FineGrainedType::String);
+        assert_eq!(s.avg_length, Some(3.0));
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::new("e", vec![]);
+        let s = collect_stats(&c, FineGrainedType::Float);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_none());
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let c = Column::new("x", vec!["1".into()]);
+        let s = collect_stats(&c, FineGrainedType::Int);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ColumnStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

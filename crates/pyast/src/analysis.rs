@@ -1,0 +1,865 @@
+//! Statement-level analysis: code flow, data flow, control-flow type, calls,
+//! dataset reads, and column accesses (Section 3.1 / Algorithm 1, line 7).
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Module, Stmt};
+use crate::parser::{parse_module, PyParseError};
+
+/// Control-flow type of a statement, per the paper: "whether the statement
+/// occurs in a loop, a conditional, an import, or a user-defined function
+/// block".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlFlow {
+    /// Straight-line top-level code.
+    Straight,
+    Loop,
+    Conditional,
+    Import,
+    UserFunction,
+}
+
+impl ControlFlow {
+    /// Stable label for the LiDS graph.
+    pub fn label(self) -> &'static str {
+        match self {
+            ControlFlow::Straight => "straight",
+            ControlFlow::Loop => "loop",
+            ControlFlow::Conditional => "conditional",
+            ControlFlow::Import => "import",
+            ControlFlow::UserFunction => "user_function",
+        }
+    }
+}
+
+/// A call made by a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallInfo {
+    /// The dotted path as written, e.g. `["pd", "read_csv"]`.
+    pub path: Vec<String>,
+    /// Import-alias-resolved dotted library path (`pandas.read_csv`), when
+    /// the call root is an imported name or a variable whose constructor
+    /// class is known (`imputer.fit_transform` →
+    /// `sklearn.impute.SimpleImputer.fit_transform`).
+    pub resolved: Option<String>,
+    /// Local variable the call is invoked on, when the root is not an
+    /// import (`clf.fit` → `clf`).
+    pub receiver_var: Option<String>,
+    /// Rendered positional arguments.
+    pub args: Vec<String>,
+    /// Keyword arguments as `(name, rendered value)`.
+    pub kwargs: Vec<(String, String)>,
+}
+
+/// Analysis output for one significant statement.
+#[derive(Debug, Clone)]
+pub struct StatementInfo {
+    /// Position in execution (code-flow) order.
+    pub index: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// Raw statement text (re-rendered).
+    pub text: String,
+    pub control_flow: ControlFlow,
+    /// Variables this statement assigns.
+    pub defines: Vec<String>,
+    /// Variables this statement reads.
+    pub uses: Vec<String>,
+    /// Indices of earlier statements whose definitions flow into this one.
+    pub data_flow_from: Vec<usize>,
+    pub calls: Vec<CallInfo>,
+    /// File paths read via `*.read_csv(...)` / `read_json` / `read_parquet`.
+    pub dataset_reads: Vec<String>,
+    /// `(receiver variable, column name)` for string subscript reads.
+    pub column_reads: Vec<(String, String)>,
+    /// `(receiver variable, column name)` for string subscript assignments.
+    pub column_writes: Vec<(String, String)>,
+}
+
+/// Whole-script analysis result.
+#[derive(Debug, Clone)]
+pub struct AnalyzedScript {
+    pub statements: Vec<StatementInfo>,
+    /// Alias → dotted module/class path, from `import`/`from-import`.
+    pub imports: HashMap<String, String>,
+    /// Variable → constructor class path, for variables assigned from a
+    /// call to an imported class (capitalised convention).
+    pub var_classes: HashMap<String, String>,
+}
+
+/// Calls the paper discards as insignificant (Section 3.1).
+const INSIGNIFICANT_CALLS: &[&str] = &[
+    "print", "head", "summary", "describe", "info", "display", "tail", "show",
+];
+
+/// Parse and analyze a pipeline script.
+pub fn analyze(source: &str) -> Result<AnalyzedScript, PyParseError> {
+    let module = parse_module(source)?;
+    Ok(analyze_module(&module))
+}
+
+/// Analyze an already-parsed module.
+pub fn analyze_module(module: &Module) -> AnalyzedScript {
+    let mut ctx = Ctx {
+        imports: HashMap::new(),
+        var_classes: HashMap::new(),
+        last_def: HashMap::new(),
+        out: Vec::new(),
+    };
+    ctx.walk(&module.body, ControlFlow::Straight);
+    AnalyzedScript {
+        statements: ctx.out,
+        imports: ctx.imports,
+        var_classes: ctx.var_classes,
+    }
+}
+
+struct Ctx {
+    imports: HashMap<String, String>,
+    var_classes: HashMap<String, String>,
+    /// variable name → index of the statement that last defined it
+    last_def: HashMap<String, usize>,
+    out: Vec<StatementInfo>,
+}
+
+impl Ctx {
+    fn walk(&mut self, body: &[Stmt], flow: ControlFlow) {
+        for stmt in body {
+            self.visit(stmt, flow);
+        }
+    }
+
+    fn visit(&mut self, stmt: &Stmt, flow: ControlFlow) {
+        match stmt {
+            Stmt::Import { line, items } => {
+                for (module, alias) in items {
+                    let name = alias.clone().unwrap_or_else(|| module.clone());
+                    self.imports.insert(name, module.clone());
+                }
+                self.emit_simple(
+                    *line,
+                    render_import(items),
+                    ControlFlow::Import,
+                    vec![],
+                    vec![],
+                    vec![],
+                );
+            }
+            Stmt::FromImport { line, module, items } => {
+                for (name, alias) in items {
+                    if name == "*" {
+                        continue;
+                    }
+                    let local = alias.clone().unwrap_or_else(|| name.clone());
+                    self.imports.insert(local, format!("{module}.{name}"));
+                }
+                self.emit_simple(
+                    *line,
+                    render_from_import(module, items),
+                    ControlFlow::Import,
+                    vec![],
+                    vec![],
+                    vec![],
+                );
+            }
+            Stmt::Assign { line, targets, value } => {
+                self.handle_assign(*line, targets, value, flow);
+            }
+            Stmt::AugAssign { line, target, op, value } => {
+                let mut uses = Vec::new();
+                collect_uses(value, &mut uses);
+                collect_uses(target, &mut uses);
+                let defines = target_names(std::slice::from_ref(target));
+                let text = format!("{} {}= {}", target.to_text(), op, value.to_text());
+                let calls = self.extract_calls(value);
+                self.emit(*line, text, flow, defines, uses, calls, value, Some(target));
+            }
+            Stmt::Expr { line, value } => {
+                if is_insignificant(value) {
+                    return;
+                }
+                let mut uses = Vec::new();
+                collect_uses(value, &mut uses);
+                let calls = self.extract_calls(value);
+                self.emit(*line, value.to_text(), flow, vec![], uses, calls, value, None);
+            }
+            Stmt::If { test, body, orelse, .. } => {
+                let mut uses = Vec::new();
+                collect_uses(test, &mut uses);
+                self.walk(body, ControlFlow::Conditional);
+                self.walk(orelse, ControlFlow::Conditional);
+            }
+            Stmt::For { target, iter, body, .. } => {
+                // loop variable definitions feed the body
+                let defines = target_names(std::slice::from_ref(target));
+                let mut uses = Vec::new();
+                collect_uses(iter, &mut uses);
+                let idx = self.out.len();
+                for d in &defines {
+                    self.last_def.insert(d.clone(), idx.saturating_sub(1));
+                }
+                self.walk(body, ControlFlow::Loop);
+            }
+            Stmt::While { body, .. } => {
+                self.walk(body, ControlFlow::Loop);
+            }
+            Stmt::FunctionDef { body, .. } | Stmt::ClassDef { body, .. } => {
+                self.walk(body, ControlFlow::UserFunction);
+            }
+            Stmt::With { items, body, .. } => {
+                for (_, alias) in items {
+                    if let Some(a) = alias {
+                        self.last_def.insert(a.clone(), self.out.len().saturating_sub(1));
+                    }
+                }
+                self.walk(body, flow);
+            }
+            Stmt::Return { line, value } => {
+                if let Some(v) = value {
+                    let mut uses = Vec::new();
+                    collect_uses(v, &mut uses);
+                    let calls = self.extract_calls(v);
+                    self.emit(
+                        *line,
+                        format!("return {}", v.to_text()),
+                        ControlFlow::UserFunction,
+                        vec![],
+                        uses,
+                        calls,
+                        v,
+                        None,
+                    );
+                }
+            }
+            Stmt::Pass { .. } | Stmt::Break { .. } | Stmt::Continue { .. } => {}
+        }
+    }
+
+    fn handle_assign(&mut self, line: usize, targets: &[Expr], value: &Expr, flow: ControlFlow) {
+        let defines = target_names(targets);
+        let mut uses = Vec::new();
+        collect_uses(value, &mut uses);
+        // subscript targets read their base too: X['Sex'] = ... uses X
+        for t in targets {
+            if let Expr::Subscript { base, .. } = t {
+                collect_uses(base, &mut uses);
+            }
+        }
+        let calls = self.extract_calls(value);
+
+        // constructor tracking: var = ImportedClass(...)
+        if let (1, Expr::Call { func, .. }) = (targets.len(), value) {
+            if let (Some(Expr::Name(var)), Some(path)) =
+                (targets.first(), func.dotted_path())
+            {
+                if let Some(resolved) = self.resolve_path(&path) {
+                    if resolved
+                        .rsplit('.')
+                        .next()
+                        .is_some_and(|last| last.chars().next().is_some_and(char::is_uppercase))
+                    {
+                        self.var_classes.insert(var.clone(), resolved);
+                    }
+                }
+            }
+        }
+
+        let text = format!(
+            "{} = {}",
+            targets.iter().map(|t| t.to_text()).collect::<Vec<_>>().join(", "),
+            value.to_text()
+        );
+        // column writes from subscript targets
+        let mut col_writes = Vec::new();
+        for t in targets {
+            if let Expr::Subscript { base, index } = t {
+                if let (Some(path), Some(col)) = (base.dotted_path(), index.as_str()) {
+                    col_writes.push((path.join("."), col.to_string()));
+                }
+            }
+        }
+        self.emit_with_writes(line, text, flow, defines, uses, calls, value, col_writes);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &mut self,
+        line: usize,
+        text: String,
+        flow: ControlFlow,
+        defines: Vec<String>,
+        uses: Vec<String>,
+        calls: Vec<CallInfo>,
+        value: &Expr,
+        extra_expr: Option<&Expr>,
+    ) {
+        let mut col_writes = Vec::new();
+        if let Some(Expr::Subscript { base, index }) = extra_expr {
+            if let (Some(path), Some(col)) = (base.dotted_path(), index.as_str()) {
+                col_writes.push((path.join("."), col.to_string()));
+            }
+        }
+        self.emit_with_writes(line, text, flow, defines, uses, calls, value, col_writes);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_with_writes(
+        &mut self,
+        line: usize,
+        text: String,
+        flow: ControlFlow,
+        defines: Vec<String>,
+        uses: Vec<String>,
+        calls: Vec<CallInfo>,
+        value: &Expr,
+        column_writes: Vec<(String, String)>,
+    ) {
+        let index = self.out.len();
+        let mut data_flow_from: Vec<usize> = uses
+            .iter()
+            .filter_map(|u| self.last_def.get(u).copied())
+            .collect();
+        data_flow_from.sort_unstable();
+        data_flow_from.dedup();
+
+        let mut dataset_reads = Vec::new();
+        collect_dataset_reads(value, &mut dataset_reads);
+        let mut column_reads = Vec::new();
+        collect_column_reads(value, &mut column_reads);
+
+        for d in &defines {
+            self.last_def.insert(d.clone(), index);
+        }
+
+        self.out.push(StatementInfo {
+            index,
+            line,
+            text,
+            control_flow: flow,
+            defines,
+            uses,
+            data_flow_from,
+            calls,
+            dataset_reads,
+            column_reads,
+            column_writes,
+        });
+    }
+
+    fn emit_simple(
+        &mut self,
+        line: usize,
+        text: String,
+        flow: ControlFlow,
+        defines: Vec<String>,
+        uses: Vec<String>,
+        calls: Vec<CallInfo>,
+    ) {
+        self.emit_with_writes(line, text, flow, defines, uses, calls, &Expr::NoneLit, vec![]);
+    }
+
+    /// Resolve a dotted path's root through the import table.
+    fn resolve_path(&self, path: &[String]) -> Option<String> {
+        let root = path.first()?;
+        let base = self.imports.get(root)?;
+        let mut resolved = base.clone();
+        for part in &path[1..] {
+            resolved.push('.');
+            resolved.push_str(part);
+        }
+        Some(resolved)
+    }
+
+    /// Resolve through the variable-class table:
+    /// `imputer.fit_transform` → `sklearn.impute.SimpleImputer.fit_transform`.
+    fn resolve_via_var(&self, path: &[String]) -> Option<String> {
+        let root = path.first()?;
+        let class = self.var_classes.get(root)?;
+        let mut resolved = class.clone();
+        for part in &path[1..] {
+            resolved.push('.');
+            resolved.push_str(part);
+        }
+        Some(resolved)
+    }
+
+    fn extract_calls(&self, expr: &Expr) -> Vec<CallInfo> {
+        let mut out = Vec::new();
+        self.collect_calls(expr, &mut out);
+        out
+    }
+
+    fn collect_calls(&self, expr: &Expr, out: &mut Vec<CallInfo>) {
+        match expr {
+            Expr::Call { func, args, kwargs } => {
+                if let Some(path) = func.dotted_path() {
+                    let resolved = self
+                        .resolve_path(&path)
+                        .or_else(|| self.resolve_via_var(&path));
+                    let receiver_var = if resolved.is_none()
+                        || self.var_classes.contains_key(&path[0])
+                    {
+                        if path.len() > 1 && !self.imports.contains_key(&path[0]) {
+                            Some(path[0].clone())
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    };
+                    out.push(CallInfo {
+                        path,
+                        resolved,
+                        receiver_var,
+                        args: args.iter().map(|a| a.to_text()).collect(),
+                        kwargs: kwargs
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.to_text()))
+                            .collect(),
+                    });
+                } else {
+                    // e.g. chained call `LabelEncoder().fit_transform(x)`:
+                    // recurse into the callee expression
+                    self.collect_calls(func, out);
+                }
+                for a in args {
+                    self.collect_calls(a, out);
+                }
+                for (_, v) in kwargs {
+                    self.collect_calls(v, out);
+                }
+            }
+            Expr::Attribute { base, .. } => self.collect_calls(base, out),
+            Expr::Subscript { base, index } => {
+                self.collect_calls(base, out);
+                self.collect_calls(index, out);
+            }
+            Expr::List(items) | Expr::Tuple(items) => {
+                for i in items {
+                    self.collect_calls(i, out);
+                }
+            }
+            Expr::Dict(items) => {
+                for (k, v) in items {
+                    self.collect_calls(k, out);
+                    self.collect_calls(v, out);
+                }
+            }
+            Expr::BinOp { left, right, .. } => {
+                self.collect_calls(left, out);
+                self.collect_calls(right, out);
+            }
+            Expr::UnaryOp { operand, .. } => self.collect_calls(operand, out),
+            Expr::Lambda { body, .. } => self.collect_calls(body, out),
+            _ => {}
+        }
+    }
+}
+
+fn render_import(items: &[(String, Option<String>)]) -> String {
+    let parts: Vec<String> = items
+        .iter()
+        .map(|(m, a)| match a {
+            Some(alias) => format!("{m} as {alias}"),
+            None => m.clone(),
+        })
+        .collect();
+    format!("import {}", parts.join(", "))
+}
+
+fn render_from_import(module: &str, items: &[(String, Option<String>)]) -> String {
+    let parts: Vec<String> = items
+        .iter()
+        .map(|(m, a)| match a {
+            Some(alias) => format!("{m} as {alias}"),
+            None => m.clone(),
+        })
+        .collect();
+    format!("from {module} import {}", parts.join(", "))
+}
+
+/// Names assigned by targets: plain names, tuple elements, and the base
+/// variable of subscript/attribute targets.
+fn target_names(targets: &[Expr]) -> Vec<String> {
+    let mut out = Vec::new();
+    for t in targets {
+        match t {
+            Expr::Name(n) => out.push(n.clone()),
+            Expr::Tuple(items) | Expr::List(items) => {
+                out.extend(target_names(items));
+            }
+            Expr::Subscript { base, .. } | Expr::Attribute { base, .. } => {
+                if let Expr::Name(n) = &**base {
+                    out.push(n.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// All variable names *read* by an expression (attribute tails and kwarg
+/// names are not variables).
+fn collect_uses(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Name(n)
+            if !out.contains(n) => {
+                out.push(n.clone());
+            }
+        Expr::Attribute { base, .. } => collect_uses(base, out),
+        Expr::Call { func, args, kwargs } => {
+            collect_uses(func, out);
+            for a in args {
+                collect_uses(a, out);
+            }
+            for (_, v) in kwargs {
+                collect_uses(v, out);
+            }
+        }
+        Expr::Subscript { base, index } => {
+            collect_uses(base, out);
+            collect_uses(index, out);
+        }
+        Expr::List(items) | Expr::Tuple(items) => {
+            for i in items {
+                collect_uses(i, out);
+            }
+        }
+        Expr::Dict(items) => {
+            for (k, v) in items {
+                collect_uses(k, out);
+                collect_uses(v, out);
+            }
+        }
+        Expr::BinOp { left, right, .. } => {
+            collect_uses(left, out);
+            collect_uses(right, out);
+        }
+        Expr::UnaryOp { operand, .. } => collect_uses(operand, out),
+        Expr::Lambda { body, .. } => collect_uses(body, out),
+        Expr::Slice { lower, upper } => {
+            if let Some(l) = lower {
+                collect_uses(l, out);
+            }
+            if let Some(u) = upper {
+                collect_uses(u, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Dataset-usage analysis (Algorithm 1 lines 14–15): collect file paths from
+/// `read_csv` / `read_json` / `read_parquet` / `read_table` calls.
+fn collect_dataset_reads(expr: &Expr, out: &mut Vec<String>) {
+    if let Expr::Call { func, args, .. } = expr {
+        if let Expr::Attribute { attr, .. } = &**func {
+            if matches!(attr.as_str(), "read_csv" | "read_json" | "read_parquet" | "read_table") {
+                if let Some(Expr::Str(path)) = args.first() {
+                    out.push(path.clone());
+                }
+            }
+        }
+    }
+    walk_expr(expr, &mut |e| collect_dataset_reads_shallow(e, out));
+}
+
+fn collect_dataset_reads_shallow(expr: &Expr, out: &mut Vec<String>) {
+    if let Expr::Call { func, args, .. } = expr {
+        if let Expr::Attribute { attr, .. } = &**func {
+            if matches!(attr.as_str(), "read_csv" | "read_json" | "read_parquet" | "read_table") {
+                if let Some(Expr::Str(path)) = args.first() {
+                    if !out.contains(path) {
+                        out.push(path.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Column-usage analysis (Algorithm 1 lines 16–17): string subscripts.
+fn collect_column_reads(expr: &Expr, out: &mut Vec<(String, String)>) {
+    let mut visit = |e: &Expr| {
+        if let Expr::Subscript { base, index } = e {
+            if let (Some(path), Some(col)) = (base.dotted_path(), index.as_str()) {
+                let entry = (path.join("."), col.to_string());
+                if !out.contains(&entry) {
+                    out.push(entry);
+                }
+            }
+            // list-of-columns selection: df[['a', 'b']]
+            if let (Some(path), Expr::List(items)) = (base.dotted_path(), &**index) {
+                for item in items {
+                    if let Some(col) = item.as_str() {
+                        let entry = (path.join("."), col.to_string());
+                        if !out.contains(&entry) {
+                            out.push(entry);
+                        }
+                    }
+                }
+            }
+        }
+    };
+    visit(expr);
+    walk_expr(expr, &mut visit);
+}
+
+/// Post-order walk over sub-expressions.
+fn walk_expr(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    match expr {
+        Expr::Attribute { base, .. } => walk_expr(base, f),
+        Expr::Call { func, args, kwargs } => {
+            walk_expr(func, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+            for (_, v) in kwargs {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Subscript { base, index } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::List(items) | Expr::Tuple(items) => {
+            for i in items {
+                walk_expr(i, f);
+            }
+        }
+        Expr::Dict(items) => {
+            for (k, v) in items {
+                walk_expr(k, f);
+                walk_expr(v, f);
+            }
+        }
+        Expr::BinOp { left, right, .. } => {
+            walk_expr(left, f);
+            walk_expr(right, f);
+        }
+        Expr::UnaryOp { operand, .. } => walk_expr(operand, f),
+        Expr::Lambda { body, .. } => walk_expr(body, f),
+        Expr::Slice { lower, upper } => {
+            if let Some(l) = lower {
+                walk_expr(l, f);
+            }
+            if let Some(u) = upper {
+                walk_expr(u, f);
+            }
+        }
+        _ => {}
+    }
+    f(expr);
+}
+
+/// "We discard from our analysis statements that have no significance in
+/// the pipeline semantics, such as print(), DataFrame.head(), and
+/// summary()."
+fn is_insignificant(expr: &Expr) -> bool {
+    if let Expr::Call { func, args, .. } = expr {
+        let last = match &**func {
+            Expr::Name(n) => n.as_str(),
+            Expr::Attribute { attr, .. } => attr.as_str(),
+            _ => return false,
+        };
+        if INSIGNIFICANT_CALLS.contains(&last) {
+            // print(expr) stays significant if it wraps a significant call
+            return !args.iter().any(contains_significant_call);
+        }
+    }
+    false
+}
+
+fn contains_significant_call(expr: &Expr) -> bool {
+    let mut found = false;
+    walk_expr(expr, &mut |e| {
+        if let Expr::Call { func, .. } = e {
+            let last = match &**func {
+                Expr::Name(n) => n.as_str(),
+                Expr::Attribute { attr, .. } => attr.as_str(),
+                _ => return,
+            };
+            if !INSIGNIFICANT_CALLS.contains(&last) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE3: &str = r#"
+import pandas as pd
+from sklearn.impute import SimpleImputer
+from sklearn.preprocessing import LabelEncoder, StandardScaler
+from sklearn.ensemble import RandomForestClassifier
+from sklearn.metrics import accuracy_score
+from sklearn.model_selection import train_test_split
+
+df = pd.read_csv('titanic/train.csv')
+X, y = df.drop('Survived', axis=1), df['Survived']
+imputer = SimpleImputer(strategy='most_frequent')
+X['Sex'] = LabelEncoder().fit_transform(X['Sex'])
+X = imputer.fit_transform(X)
+scaler = StandardScaler()
+X['NormalizedAge'] = scaler.fit_transform(X['Age'])
+X_train, y_train, X_test, y_test = train_test_split(X, y, 0.2)
+clf = RandomForestClassifier(50, max_depth=10)
+clf.fit(X_train, y_train)
+print(accuracy_score(y_test, clf.predict(X_test)))
+"#;
+
+    #[test]
+    fn figure3_full_analysis() {
+        let a = analyze(FIGURE3).unwrap();
+        // imports resolved
+        assert_eq!(a.imports["pd"], "pandas");
+        assert_eq!(a.imports["SimpleImputer"], "sklearn.impute.SimpleImputer");
+
+        // dataset read detected
+        let reads: Vec<&str> = a
+            .statements
+            .iter()
+            .flat_map(|s| s.dataset_reads.iter().map(|x| x.as_str()))
+            .collect();
+        assert_eq!(reads, vec!["titanic/train.csv"]);
+
+        // column reads include Survived, Sex, Age
+        let cols: Vec<&str> = a
+            .statements
+            .iter()
+            .flat_map(|s| s.column_reads.iter().map(|(_, c)| c.as_str()))
+            .collect();
+        assert!(cols.contains(&"Survived"));
+        assert!(cols.contains(&"Sex"));
+        assert!(cols.contains(&"Age"));
+
+        // column writes include the user-defined NormalizedAge
+        let writes: Vec<&str> = a
+            .statements
+            .iter()
+            .flat_map(|s| s.column_writes.iter().map(|(_, c)| c.as_str()))
+            .collect();
+        assert!(writes.contains(&"NormalizedAge"));
+        assert!(writes.contains(&"Sex"));
+
+        // constructor tracking: imputer maps to the SimpleImputer class
+        assert_eq!(a.var_classes["imputer"], "sklearn.impute.SimpleImputer");
+        assert_eq!(a.var_classes["clf"], "sklearn.ensemble.RandomForestClassifier");
+
+        // resolved method call through the variable-class table
+        let fit_transform = a
+            .statements
+            .iter()
+            .flat_map(|s| &s.calls)
+            .find(|c| c.path == vec!["imputer".to_string(), "fit_transform".to_string()])
+            .unwrap();
+        assert_eq!(
+            fit_transform.resolved.as_deref(),
+            Some("sklearn.impute.SimpleImputer.fit_transform")
+        );
+    }
+
+    #[test]
+    fn print_wrapping_significant_call_is_kept() {
+        let a = analyze(FIGURE3).unwrap();
+        let last = a.statements.last().unwrap();
+        assert!(last.text.contains("accuracy_score"));
+    }
+
+    #[test]
+    fn bare_print_and_head_are_dropped() {
+        let a = analyze("x = 1\nprint('hello')\ndf.head()\ny = x\n").unwrap();
+        assert_eq!(a.statements.len(), 2);
+    }
+
+    #[test]
+    fn data_flow_chains() {
+        let a = analyze("a = 1\nb = a + 1\nc = b * a\n").unwrap();
+        assert_eq!(a.statements[1].data_flow_from, vec![0]);
+        assert_eq!(a.statements[2].data_flow_from, vec![0, 1]);
+    }
+
+    #[test]
+    fn redefinition_updates_flow() {
+        let a = analyze("a = 1\na = 2\nb = a\n").unwrap();
+        assert_eq!(a.statements[2].data_flow_from, vec![1]);
+    }
+
+    #[test]
+    fn control_flow_types() {
+        let src = "\
+import os
+for i in range(3):
+    x = i
+if x:
+    y = 1
+def f():
+    z = 2
+w = 3
+";
+        let a = analyze(src).unwrap();
+        let flows: Vec<ControlFlow> = a.statements.iter().map(|s| s.control_flow).collect();
+        assert_eq!(
+            flows,
+            vec![
+                ControlFlow::Import,
+                ControlFlow::Loop,
+                ControlFlow::Conditional,
+                ControlFlow::UserFunction,
+                ControlFlow::Straight,
+            ]
+        );
+    }
+
+    #[test]
+    fn kwargs_extracted() {
+        let a = analyze("import pandas as pd\nclf = pd.concat([a, b], axis=1, sort=False)\n").unwrap();
+        let call = &a.statements[1].calls[0];
+        assert_eq!(call.resolved.as_deref(), Some("pandas.concat"));
+        assert_eq!(call.kwargs[0], ("axis".to_string(), "1".to_string()));
+    }
+
+    #[test]
+    fn receiver_vars_for_unresolved_calls() {
+        let a = analyze("model.fit(X)\n").unwrap();
+        let call = &a.statements[0].calls[0];
+        assert_eq!(call.receiver_var.as_deref(), Some("model"));
+        assert!(call.resolved.is_none());
+    }
+
+    #[test]
+    fn multi_column_selection() {
+        let a = analyze("sub = df[['a', 'b']]\n").unwrap();
+        let cols: Vec<&str> = a.statements[0]
+            .column_reads
+            .iter()
+            .map(|(_, c)| c.as_str())
+            .collect();
+        assert!(cols.contains(&"a"));
+        assert!(cols.contains(&"b"));
+    }
+
+    #[test]
+    fn chained_constructor_call_is_collected() {
+        let a = analyze(
+            "from sklearn.preprocessing import LabelEncoder\nx = LabelEncoder().fit_transform(y)\n",
+        )
+        .unwrap();
+        let calls = &a.statements[1].calls;
+        assert!(calls
+            .iter()
+            .any(|c| c.resolved.as_deref() == Some("sklearn.preprocessing.LabelEncoder")));
+    }
+
+    #[test]
+    fn loop_statements_counted_once() {
+        let a = analyze("for i in range(2):\n    total = i\n").unwrap();
+        assert_eq!(a.statements.len(), 1);
+        assert_eq!(a.statements[0].control_flow, ControlFlow::Loop);
+    }
+}

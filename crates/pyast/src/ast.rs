@@ -1,0 +1,222 @@
+//! Python-subset abstract syntax tree.
+
+/// A parsed module: top-level statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `import pandas as pd` → `[("pandas", Some("pd"))]`.
+    Import { line: usize, items: Vec<(String, Option<String>)> },
+    /// `from sklearn.impute import SimpleImputer as SI`.
+    FromImport {
+        line: usize,
+        module: String,
+        items: Vec<(String, Option<String>)>,
+    },
+    /// `targets = value`; tuple targets are flattened (`X, y = ...`).
+    Assign { line: usize, targets: Vec<Expr>, value: Expr },
+    /// `x += 1` etc.
+    AugAssign { line: usize, target: Expr, op: char, value: Expr },
+    /// Bare expression statement (usually a call).
+    Expr { line: usize, value: Expr },
+    If {
+        line: usize,
+        test: Expr,
+        body: Vec<Stmt>,
+        orelse: Vec<Stmt>,
+    },
+    For {
+        line: usize,
+        target: Expr,
+        iter: Expr,
+        body: Vec<Stmt>,
+    },
+    While { line: usize, test: Expr, body: Vec<Stmt> },
+    FunctionDef {
+        line: usize,
+        name: String,
+        params: Vec<String>,
+        body: Vec<Stmt>,
+    },
+    ClassDef { line: usize, name: String, body: Vec<Stmt> },
+    With { line: usize, items: Vec<(Expr, Option<String>)>, body: Vec<Stmt> },
+    Return { line: usize, value: Option<Expr> },
+    Pass { line: usize },
+    Break { line: usize },
+    Continue { line: usize },
+}
+
+impl Stmt {
+    /// Source line of the statement head.
+    pub fn line(&self) -> usize {
+        match self {
+            Stmt::Import { line, .. }
+            | Stmt::FromImport { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::AugAssign { line, .. }
+            | Stmt::Expr { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::For { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::FunctionDef { line, .. }
+            | Stmt::ClassDef { line, .. }
+            | Stmt::With { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Pass { line }
+            | Stmt::Break { line }
+            | Stmt::Continue { line } => *line,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Name(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    NoneLit,
+    /// `base.attr`
+    Attribute { base: Box<Expr>, attr: String },
+    /// `func(args, kw=...)`
+    Call {
+        func: Box<Expr>,
+        args: Vec<Expr>,
+        kwargs: Vec<(String, Expr)>,
+    },
+    /// `base[index]`
+    Subscript { base: Box<Expr>, index: Box<Expr> },
+    List(Vec<Expr>),
+    Tuple(Vec<Expr>),
+    Dict(Vec<(Expr, Expr)>),
+    /// Binary operation with a textual operator (`+`, `==`, `and`, …).
+    BinOp { op: String, left: Box<Expr>, right: Box<Expr> },
+    /// Unary operation (`-`, `not`).
+    UnaryOp { op: String, operand: Box<Expr> },
+    /// `lambda params: body`
+    Lambda { params: Vec<String>, body: Box<Expr> },
+    /// Slice inside a subscript: `a[1:2]` — kept opaque.
+    Slice {
+        lower: Option<Box<Expr>>,
+        upper: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// The dotted path of a name/attribute chain (`pd.read_csv` →
+    /// `Some(["pd", "read_csv"])`); `None` when the base is not a name.
+    pub fn dotted_path(&self) -> Option<Vec<String>> {
+        match self {
+            Expr::Name(n) => Some(vec![n.clone()]),
+            Expr::Attribute { base, attr } => {
+                let mut path = base.dotted_path()?;
+                path.push(attr.clone());
+                Some(path)
+            }
+            _ => None,
+        }
+    }
+
+    /// String constant payload, if this is a string literal.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Expr::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render the expression back to compact Python-ish source text.
+    pub fn to_text(&self) -> String {
+        match self {
+            Expr::Name(n) => n.clone(),
+            Expr::Int(i) => i.to_string(),
+            Expr::Float(f) => format!("{f}"),
+            Expr::Str(s) => format!("'{s}'"),
+            Expr::Bool(b) => if *b { "True" } else { "False" }.to_string(),
+            Expr::NoneLit => "None".to_string(),
+            Expr::Attribute { base, attr } => format!("{}.{}", base.to_text(), attr),
+            Expr::Call { func, args, kwargs } => {
+                let mut parts: Vec<String> = args.iter().map(|a| a.to_text()).collect();
+                parts.extend(kwargs.iter().map(|(k, v)| format!("{k}={}", v.to_text())));
+                format!("{}({})", func.to_text(), parts.join(", "))
+            }
+            Expr::Subscript { base, index } => {
+                format!("{}[{}]", base.to_text(), index.to_text())
+            }
+            Expr::List(items) => format!(
+                "[{}]",
+                items.iter().map(|i| i.to_text()).collect::<Vec<_>>().join(", ")
+            ),
+            Expr::Tuple(items) => items
+                .iter()
+                .map(|i| i.to_text())
+                .collect::<Vec<_>>()
+                .join(", "),
+            Expr::Dict(items) => format!(
+                "{{{}}}",
+                items
+                    .iter()
+                    .map(|(k, v)| format!("{}: {}", k.to_text(), v.to_text()))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            Expr::BinOp { op, left, right } => {
+                format!("{} {} {}", left.to_text(), op, right.to_text())
+            }
+            Expr::UnaryOp { op, operand } => format!("{op} {}", operand.to_text()),
+            Expr::Lambda { params, body } => {
+                format!("lambda {}: {}", params.join(", "), body.to_text())
+            }
+            Expr::Slice { lower, upper } => format!(
+                "{}:{}",
+                lower.as_ref().map(|e| e.to_text()).unwrap_or_default(),
+                upper.as_ref().map(|e| e.to_text()).unwrap_or_default()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_paths() {
+        let e = Expr::Attribute {
+            base: Box::new(Expr::Attribute {
+                base: Box::new(Expr::Name("sklearn".into())),
+                attr: "metrics".into(),
+            }),
+            attr: "f1_score".into(),
+        };
+        assert_eq!(
+            e.dotted_path(),
+            Some(vec!["sklearn".into(), "metrics".into(), "f1_score".into()])
+        );
+        let call = Expr::Call {
+            func: Box::new(Expr::Name("f".into())),
+            args: vec![],
+            kwargs: vec![],
+        };
+        assert_eq!(call.dotted_path(), None);
+    }
+
+    #[test]
+    fn text_rendering() {
+        let e = Expr::Call {
+            func: Box::new(Expr::Attribute {
+                base: Box::new(Expr::Name("pd".into())),
+                attr: "read_csv".into(),
+            }),
+            args: vec![Expr::Str("train.csv".into())],
+            kwargs: vec![("sep".into(), Expr::Str(",".into()))],
+        };
+        assert_eq!(e.to_text(), "pd.read_csv('train.csv', sep=',')");
+    }
+}

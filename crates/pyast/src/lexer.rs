@@ -1,0 +1,470 @@
+//! Python tokenizer with indentation tracking.
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: usize,
+}
+
+/// Token kinds for the Python subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokKind {
+    Name(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Newline,
+    Indent,
+    Dedent,
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    Semicolon,
+    Assign,
+    /// augmented assignment operator, e.g. `+=` carries "+".
+    AugAssign(char),
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    DoubleStar,
+    Slash,
+    DoubleSlash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    At,
+    Eof,
+}
+
+/// Tokenizer error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Tokenize a script. Emits NEWLINE at logical line ends and
+/// INDENT/DEDENT pairs tracking indentation, Python-style. Brackets
+/// suppress newlines (implicit line joining). Comments are skipped.
+pub fn tokenize(source: &str) -> Result<Vec<Tok>, LexError> {
+    let mut tokens: Vec<Tok> = Vec::new();
+    let mut indents: Vec<usize> = vec![0];
+    let mut bracket_depth = 0usize;
+
+    for (line_idx, raw_line) in source.lines().enumerate() {
+        let line_no = line_idx + 1;
+        // Indentation handling only outside brackets.
+        if bracket_depth == 0 {
+            let stripped = raw_line.trim_start();
+            if stripped.is_empty() || stripped.starts_with('#') {
+                continue;
+            }
+            let indent = raw_line.len() - stripped.len();
+            let current = *indents.last().unwrap();
+            if indent > current {
+                indents.push(indent);
+                tokens.push(Tok { kind: TokKind::Indent, line: line_no });
+            } else if indent < current {
+                while *indents.last().unwrap() > indent {
+                    indents.pop();
+                    tokens.push(Tok { kind: TokKind::Dedent, line: line_no });
+                }
+                if *indents.last().unwrap() != indent {
+                    return Err(LexError {
+                        line: line_no,
+                        message: "inconsistent indentation".into(),
+                    });
+                }
+            }
+        }
+
+        lex_line(raw_line, line_no, &mut tokens, &mut bracket_depth)?;
+
+        if bracket_depth == 0 {
+            // collapse duplicate newlines
+            if !matches!(tokens.last().map(|t| &t.kind), Some(TokKind::Newline)) {
+                tokens.push(Tok { kind: TokKind::Newline, line: line_no });
+            }
+        }
+    }
+    let last_line = source.lines().count();
+    while indents.len() > 1 {
+        indents.pop();
+        tokens.push(Tok { kind: TokKind::Dedent, line: last_line });
+    }
+    tokens.push(Tok { kind: TokKind::Eof, line: last_line });
+    Ok(tokens)
+}
+
+fn lex_line(
+    line: &str,
+    line_no: usize,
+    tokens: &mut Vec<Tok>,
+    bracket_depth: &mut usize,
+) -> Result<(), LexError> {
+    let bytes = line.as_bytes();
+    let mut pos = if *bracket_depth == 0 {
+        line.len() - line.trim_start().len()
+    } else {
+        0
+    };
+    let push = |tokens: &mut Vec<Tok>, kind: TokKind| tokens.push(Tok { kind, line: line_no });
+    let err = |message: String| LexError { line: line_no, message };
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b' ' | b'\t' => pos += 1,
+            b'#' => break,
+            b'\\' if pos == bytes.len() - 1 => break, // explicit continuation
+            b'(' => {
+                *bracket_depth += 1;
+                push(tokens, TokKind::LParen);
+                pos += 1;
+            }
+            b')' => {
+                *bracket_depth = bracket_depth.saturating_sub(1);
+                push(tokens, TokKind::RParen);
+                pos += 1;
+            }
+            b'[' => {
+                *bracket_depth += 1;
+                push(tokens, TokKind::LBracket);
+                pos += 1;
+            }
+            b']' => {
+                *bracket_depth = bracket_depth.saturating_sub(1);
+                push(tokens, TokKind::RBracket);
+                pos += 1;
+            }
+            b'{' => {
+                *bracket_depth += 1;
+                push(tokens, TokKind::LBrace);
+                pos += 1;
+            }
+            b'}' => {
+                *bracket_depth = bracket_depth.saturating_sub(1);
+                push(tokens, TokKind::RBrace);
+                pos += 1;
+            }
+            b',' => {
+                push(tokens, TokKind::Comma);
+                pos += 1;
+            }
+            b':' => {
+                push(tokens, TokKind::Colon);
+                pos += 1;
+            }
+            b';' => {
+                push(tokens, TokKind::Semicolon);
+                pos += 1;
+            }
+            b'.' => {
+                if bytes.get(pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let (tok, end) = lex_number(bytes, pos, line_no)?;
+                    tokens.push(tok);
+                    pos = end;
+                } else {
+                    push(tokens, TokKind::Dot);
+                    pos += 1;
+                }
+            }
+            b'@' => {
+                push(tokens, TokKind::At);
+                pos += 1;
+            }
+            b'=' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::Eq);
+                    pos += 2;
+                } else {
+                    push(tokens, TokKind::Assign);
+                    pos += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::Ne);
+                    pos += 2;
+                } else {
+                    return Err(err("unexpected '!'".into()));
+                }
+            }
+            b'<' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::Le);
+                    pos += 2;
+                } else {
+                    push(tokens, TokKind::Lt);
+                    pos += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::Ge);
+                    pos += 2;
+                } else {
+                    push(tokens, TokKind::Gt);
+                    pos += 1;
+                }
+            }
+            b'-' => {
+                if bytes.get(pos + 1) == Some(&b'>') {
+                    push(tokens, TokKind::Arrow);
+                    pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::AugAssign('-'));
+                    pos += 2;
+                } else {
+                    push(tokens, TokKind::Minus);
+                    pos += 1;
+                }
+            }
+            b'+' | b'%' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::AugAssign(c as char));
+                    pos += 2;
+                } else {
+                    push(
+                        tokens,
+                        if c == b'+' { TokKind::Plus } else { TokKind::Percent },
+                    );
+                    pos += 1;
+                }
+            }
+            b'*' => {
+                if bytes.get(pos + 1) == Some(&b'*') {
+                    push(tokens, TokKind::DoubleStar);
+                    pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::AugAssign('*'));
+                    pos += 2;
+                } else {
+                    push(tokens, TokKind::Star);
+                    pos += 1;
+                }
+            }
+            b'/' => {
+                if bytes.get(pos + 1) == Some(&b'/') {
+                    push(tokens, TokKind::DoubleSlash);
+                    pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'=') {
+                    push(tokens, TokKind::AugAssign('/'));
+                    pos += 2;
+                } else {
+                    push(tokens, TokKind::Slash);
+                    pos += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let (s, end) = lex_string(bytes, pos, line_no)?;
+                push(tokens, TokKind::Str(s));
+                pos = end;
+            }
+            b'0'..=b'9' => {
+                let (tok, end) = lex_number(bytes, pos, line_no)?;
+                tokens.push(tok);
+                pos = end;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    pos += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..pos]).unwrap();
+                // string prefixes: f"", r"", b"" etc.
+                if pos < bytes.len()
+                    && (bytes[pos] == b'"' || bytes[pos] == b'\'')
+                    && word.len() <= 2
+                    && word.chars().all(|ch| "fFrRbBuU".contains(ch))
+                {
+                    let (s, end) = lex_string(bytes, pos, line_no)?;
+                    push(tokens, TokKind::Str(s));
+                    pos = end;
+                } else {
+                    push(tokens, TokKind::Name(word.to_string()));
+                }
+            }
+            other => {
+                return Err(err(format!("unexpected character {:?}", other as char)));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lex_string(bytes: &[u8], start: usize, line_no: usize) -> Result<(String, usize), LexError> {
+    let quote = bytes[start];
+    // triple-quoted: treat as single-line content until matching triple
+    // (multi-line docstrings are pre-stripped by callers; pipelines rarely
+    // carry them mid-statement)
+    let mut pos = start + 1;
+    let mut out = String::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b == quote {
+            return Ok((out, pos + 1));
+        }
+        if b == b'\\' && pos + 1 < bytes.len() {
+            let esc = bytes[pos + 1];
+            out.push(match esc {
+                b'n' => '\n',
+                b't' => '\t',
+                b'\\' => '\\',
+                b'\'' => '\'',
+                b'"' => '"',
+                other => other as char,
+            });
+            pos += 2;
+        } else {
+            out.push(b as char);
+            pos += 1;
+        }
+    }
+    Err(LexError { line: line_no, message: "unterminated string".into() })
+}
+
+fn lex_number(bytes: &[u8], start: usize, line_no: usize) -> Result<(Tok, usize), LexError> {
+    let mut pos = start;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'0'..=b'9' | b'_' => pos += 1,
+            b'.' if !saw_dot && !saw_exp => {
+                saw_dot = true;
+                pos += 1;
+            }
+            b'e' | b'E' if !saw_exp && pos > start => {
+                saw_exp = true;
+                pos += 1;
+                if pos < bytes.len() && (bytes[pos] == b'+' || bytes[pos] == b'-') {
+                    pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text: String = std::str::from_utf8(&bytes[start..pos])
+        .unwrap()
+        .replace('_', "");
+    let kind = if saw_dot || saw_exp {
+        TokKind::Float(text.parse().map_err(|_| LexError {
+            line: line_no,
+            message: format!("bad float literal {text}"),
+        })?)
+    } else {
+        TokKind::Int(text.parse().map_err(|_| LexError {
+            line: line_no,
+            message: format!("bad int literal {text}"),
+        })?)
+    };
+    Ok((Tok { kind, line: line_no }, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        let ts = kinds("x = 42\n");
+        assert_eq!(
+            ts,
+            vec![
+                TokKind::Name("x".into()),
+                TokKind::Assign,
+                TokKind::Int(42),
+                TokKind::Newline,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let ts = kinds("if x:\n    y = 1\nz = 2\n");
+        assert!(ts.contains(&TokKind::Indent));
+        assert!(ts.contains(&TokKind::Dedent));
+        let i = ts.iter().position(|t| *t == TokKind::Indent).unwrap();
+        let d = ts.iter().position(|t| *t == TokKind::Dedent).unwrap();
+        assert!(i < d);
+    }
+
+    #[test]
+    fn dedent_at_eof() {
+        let ts = kinds("def f():\n    return 1\n");
+        assert_eq!(ts.iter().filter(|t| **t == TokKind::Dedent).count(), 1);
+    }
+
+    #[test]
+    fn implicit_line_joining_in_brackets() {
+        let ts = kinds("f(a,\n  b)\nx = 1\n");
+        // only two logical lines → two newlines
+        assert_eq!(ts.iter().filter(|t| **t == TokKind::Newline).count(), 2);
+        assert!(!ts.contains(&TokKind::Indent));
+    }
+
+    #[test]
+    fn strings_and_prefixes() {
+        let ts = kinds("s = 'it\\'s'\nt = f\"{x}\"\n");
+        assert!(ts.contains(&TokKind::Str("it's".into())));
+        assert!(ts.contains(&TokKind::Str("{x}".into())));
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = kinds("a = 3.14\nb = 1e-3\nc = 10_000\n");
+        assert!(ts.contains(&TokKind::Float(3.14)));
+        assert!(ts.contains(&TokKind::Float(1e-3)));
+        assert!(ts.contains(&TokKind::Int(10000)));
+    }
+
+    #[test]
+    fn operators() {
+        let ts = kinds("a += 1\nb == c != d\ne ** f // g\n");
+        assert!(ts.contains(&TokKind::AugAssign('+')));
+        assert!(ts.contains(&TokKind::Eq));
+        assert!(ts.contains(&TokKind::Ne));
+        assert!(ts.contains(&TokKind::DoubleStar));
+        assert!(ts.contains(&TokKind::DoubleSlash));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let ts = kinds("# header\n\nx = 1  # trailing\n");
+        assert_eq!(ts.iter().filter(|t| **t == TokKind::Newline).count(), 1);
+    }
+
+    #[test]
+    fn figure3_line() {
+        let ts = kinds("df = pd.read_csv('titanic/train.csv')\n");
+        assert!(ts.contains(&TokKind::Name("read_csv".into())));
+        assert!(ts.contains(&TokKind::Str("titanic/train.csv".into())));
+        assert!(ts.contains(&TokKind::Dot));
+    }
+
+    #[test]
+    fn inconsistent_indent_is_error() {
+        assert!(tokenize("if x:\n    y = 1\n  z = 2\n").is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! `lids-py` — static analysis of Python data-science pipelines.
+//!
+//! Section 3.1: pipeline abstraction needs "lightweight static code
+//! analysis" of Python scripts — statements, code flow, data flow, control
+//! flow type, and the calls each statement makes (with positional and
+//! keyword arguments) so the documentation analysis can enrich them. The
+//! original uses CPython's `ast`; this crate is a from-scratch lexer,
+//! parser, and analyzer for the Python subset that data-science pipelines
+//! are written in: imports, assignments, calls, attribute chains,
+//! subscripts, `for`/`while`/`if`/`def`/`with` blocks, and literals.
+//!
+//! The analyzer (see [`analysis`]) emits one [`analysis::StatementInfo`]
+//! per significant statement: its raw text, control-flow type, def/use
+//! variables, dotted call paths with arguments, dataset reads
+//! (`pd.read_csv("x.csv")`), and column accesses (`df["col"]`).
+
+pub mod analysis;
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use analysis::{analyze, AnalyzedScript, CallInfo, ControlFlow, StatementInfo};
+pub use ast::{Expr, Module, Stmt};
+pub use parser::{parse_module, PyParseError};

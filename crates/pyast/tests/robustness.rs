@@ -1,0 +1,61 @@
+//! Robustness: the lexer/parser/analyzer must never panic — arbitrary
+//! input either parses or returns a structured error.
+
+use lids_py::{analyze, parse_module};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics(src in "[ -~\n]{0,200}") {
+        let _ = parse_module(&src);
+    }
+
+    #[test]
+    fn analyzer_never_panics(src in "[a-z0-9_ =().,'\\[\\]\n]{0,160}") {
+        let _ = analyze(&src);
+    }
+
+    #[test]
+    fn python_like_fragments(
+        var in "[a-z][a-z0-9_]{0,8}",
+        module in "[a-z][a-z0-9_]{0,8}",
+        func in "[a-z][a-z0-9_]{0,8}",
+        arg in 0i64..1000,
+    ) {
+        // well-formed fragments must parse and analyze
+        let src = format!(
+            "import {module} as m\n{var} = m.{func}({arg}, key={arg})\ny = {var}\n"
+        );
+        let analyzed = analyze(&src).expect("well-formed fragment");
+        prop_assert_eq!(analyzed.statements.len(), 3);
+        prop_assert_eq!(analyzed.statements[2].data_flow_from.len(), 1);
+        let call = &analyzed.statements[1].calls[0];
+        prop_assert_eq!(call.resolved.clone(), Some(format!("{module}.{func}")));
+    }
+}
+
+#[test]
+fn pathological_nesting_is_handled() {
+    // deep but bounded nesting: no stack overflow, no panic
+    let deep = format!("x = {}1{}\n", "(".repeat(200), ")".repeat(200));
+    let _ = parse_module(&deep);
+    let unbalanced = format!("x = {}1\n", "(".repeat(100));
+    assert!(parse_module(&unbalanced).is_err());
+}
+
+#[test]
+fn weird_but_legal_python() {
+    for src in [
+        "x=1;y=2\n",                           // semicolons (single line)
+        "def f(*args, **kwargs):\n    pass\n", // splat params
+        "a = b = 3\n",                         // chained assignment
+        "t = (1,)\n",                          // single-element tuple
+        "d = {}\n",                            // empty dict
+        "if x: pass\n",                        // inline suite
+        "x = -  5\n",                          // spaced unary
+    ] {
+        parse_module(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+    }
+}

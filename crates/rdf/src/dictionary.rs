@@ -1,0 +1,157 @@
+//! Bidirectional term interning.
+//!
+//! Every distinct [`Term`] is assigned a dense `u32` [`TermId`] the first
+//! time it is seen. Quads are then stored and joined purely over ids, which
+//! keeps the B-tree indexes compact and comparisons cheap — the standard
+//! dictionary-encoding design for RDF stores.
+
+use std::collections::HashMap;
+
+use crate::term::Term;
+
+/// Dense identifier of an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bijective mapping between [`Term`]s and [`TermId`]s.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    /// Look up an id without interning.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolve an id back to its term. Panics on a foreign id.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Approximate heap footprint in bytes (for the memory meter).
+    pub fn approx_bytes(&self) -> u64 {
+        let mut total = (self.terms.len() * std::mem::size_of::<Term>()) as u64;
+        for t in &self.terms {
+            total += term_payload_bytes(t);
+        }
+        // HashMap side: key clone + id
+        total * 2
+    }
+}
+
+fn term_payload_bytes(t: &Term) -> u64 {
+    match t {
+        Term::Iri(s) | Term::BNode(s) => s.len() as u64,
+        Term::Literal(l) => {
+            (l.lexical.len()
+                + l.datatype.len()
+                + l.language.as_ref().map_or(0, |x| x.len())) as u64
+        }
+        Term::Quoted(t) => {
+            term_payload_bytes(&t.subject)
+                + term_payload_bytes(&t.predicate)
+                + term_payload_bytes(&t.object)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://a"));
+        let b = d.intern(&Term::iri("http://a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("x"));
+        let b = d.intern(&Term::string("x"));
+        let c = d.intern(&Term::BNode("x".into()));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn roundtrip_resolution() {
+        let mut d = Dictionary::new();
+        let term = Term::quoted(Term::iri("s"), Term::iri("p"), Term::double(0.93));
+        let id = d.intern(&term);
+        assert_eq!(d.term(id), &term);
+        assert_eq!(d.id_of(&term), Some(id));
+    }
+
+    #[test]
+    fn iter_in_order() {
+        let mut d = Dictionary::new();
+        d.intern(&Term::iri("a"));
+        d.intern(&Term::iri("b"));
+        let collected: Vec<_> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(collected, vec![0, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intern_bijection(strings in proptest::collection::vec("[a-z]{1,8}", 1..50)) {
+            let mut d = Dictionary::new();
+            let ids: Vec<_> = strings.iter().map(|s| d.intern(&Term::iri(s.clone()))).collect();
+            for (s, id) in strings.iter().zip(&ids) {
+                prop_assert_eq!(d.term(*id).as_iri(), Some(s.as_str()));
+                prop_assert_eq!(d.id_of(&Term::iri(s.clone())), Some(*id));
+            }
+            let unique: std::collections::HashSet<_> = strings.iter().collect();
+            prop_assert_eq!(d.len(), unique.len());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Quad patterns: the primitive match unit for store scans.
+
+use crate::term::{GraphName, Term};
+
+/// A quad pattern with optionally bound positions. `None` means wildcard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuadPattern {
+    pub subject: Option<Term>,
+    pub predicate: Option<Term>,
+    pub object: Option<Term>,
+    pub graph: Option<GraphName>,
+}
+
+impl QuadPattern {
+    /// The all-wildcard pattern.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Bind the subject position.
+    pub fn with_subject(mut self, term: Term) -> Self {
+        self.subject = Some(term);
+        self
+    }
+
+    /// Bind the predicate position.
+    pub fn with_predicate(mut self, term: Term) -> Self {
+        self.predicate = Some(term);
+        self
+    }
+
+    /// Bind the object position.
+    pub fn with_object(mut self, term: Term) -> Self {
+        self.object = Some(term);
+        self
+    }
+
+    /// Restrict to a specific graph.
+    pub fn with_graph(mut self, graph: GraphName) -> Self {
+        self.graph = Some(graph);
+        self
+    }
+
+    /// Number of bound positions (used by the planner to order joins).
+    pub fn bound_count(&self) -> usize {
+        [
+            self.subject.is_some(),
+            self.predicate.is_some(),
+            self.object.is_some(),
+            self.graph.is_some(),
+        ]
+        .iter()
+        .filter(|b| **b)
+        .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_binds_positions() {
+        let p = QuadPattern::any()
+            .with_subject(Term::iri("s"))
+            .with_object(Term::iri("o"));
+        assert_eq!(p.bound_count(), 2);
+        assert!(p.predicate.is_none());
+    }
+
+    #[test]
+    fn any_is_unbound() {
+        assert_eq!(QuadPattern::any().bound_count(), 0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Dictionary-encoded quad store with multiple B-tree orderings.
+
+use std::collections::BTreeSet;
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::pattern::QuadPattern;
+use crate::term::{GraphName, Quad, Term};
+
+/// A quad encoded as four term ids: `[subject, predicate, object, graph]`.
+///
+/// The graph slot holds the id of the graph IRI term, or the default-graph sentinel
+/// for the default graph.
+pub type EncodedQuad = [u32; 4];
+
+/// Index orderings maintained by the store.
+///
+/// Each is a `BTreeSet` of the quad's ids permuted so a range scan over a
+/// bound prefix enumerates matches:
+/// - `spog`: subject-bound scans and full scans
+/// - `posg`: predicate(+object)-bound scans — the workhorse for `?x rdf:type C`
+/// - `ospg`: object-bound scans — reverse traversal
+/// - `gspo`: graph-scoped scans — per-pipeline named-graph queries
+#[derive(Debug, Default)]
+pub struct QuadStore {
+    dict: Dictionary,
+    spog: BTreeSet<[u32; 4]>,
+    posg: BTreeSet<[u32; 4]>,
+    ospg: BTreeSet<[u32; 4]>,
+    gspo: BTreeSet<[u32; 4]>,
+}
+
+/// Sentinel graph IRI used internally for the default graph.
+const DEFAULT_GRAPH_IRI: &str = "urn:lids:default-graph";
+
+impl QuadStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of quads in the store.
+    pub fn len(&self) -> usize {
+        self.spog.len()
+    }
+
+    /// True when the store holds no quads.
+    pub fn is_empty(&self) -> bool {
+        self.spog.is_empty()
+    }
+
+    /// Number of distinct interned terms (≈ distinct nodes + literals).
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
+    }
+
+    /// Access the dictionary (read-only).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn graph_term(graph: &GraphName) -> Term {
+        match graph {
+            GraphName::Default => Term::iri(DEFAULT_GRAPH_IRI),
+            GraphName::Named(iri) => Term::iri(iri.clone()),
+        }
+    }
+
+    fn graph_of(&self, id: TermId) -> GraphName {
+        match self.dict.term(id) {
+            Term::Iri(iri) if iri == DEFAULT_GRAPH_IRI => GraphName::Default,
+            Term::Iri(iri) => GraphName::Named(iri.clone()),
+            other => panic!("graph slot held non-IRI term {other:?}"),
+        }
+    }
+
+    /// Insert a quad. Returns `true` when it was not already present.
+    pub fn insert(&mut self, quad: &Quad) -> bool {
+        let s = self.dict.intern(&quad.subject).0;
+        let p = self.dict.intern(&quad.predicate).0;
+        let o = self.dict.intern(&quad.object).0;
+        let g_term = Self::graph_term(&quad.graph);
+        let g = self.dict.intern(&g_term).0;
+        let fresh = self.spog.insert([s, p, o, g]);
+        if fresh {
+            self.posg.insert([p, o, s, g]);
+            self.ospg.insert([o, s, p, g]);
+            self.gspo.insert([g, s, p, o]);
+        }
+        fresh
+    }
+
+    /// Insert a triple into the default graph.
+    pub fn insert_triple(&mut self, subject: Term, predicate: Term, object: Term) -> bool {
+        self.insert(&Quad::new(subject, predicate, object))
+    }
+
+    /// Remove a quad. Returns `true` when it was present.
+    pub fn remove(&mut self, quad: &Quad) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&quad.subject),
+            self.dict.id_of(&quad.predicate),
+            self.dict.id_of(&quad.object),
+        ) else {
+            return false;
+        };
+        let Some(g) = self.dict.id_of(&Self::graph_term(&quad.graph)) else {
+            return false;
+        };
+        let (s, p, o, g) = (s.0, p.0, o.0, g.0);
+        let removed = self.spog.remove(&[s, p, o, g]);
+        if removed {
+            self.posg.remove(&[p, o, s, g]);
+            self.ospg.remove(&[o, s, p, g]);
+            self.gspo.remove(&[g, s, p, o]);
+        }
+        removed
+    }
+
+    /// True when the quad is present.
+    pub fn contains(&self, quad: &Quad) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.dict.id_of(&quad.subject),
+            self.dict.id_of(&quad.predicate),
+            self.dict.id_of(&quad.object),
+        ) else {
+            return false;
+        };
+        let Some(g) = self.dict.id_of(&Self::graph_term(&quad.graph)) else {
+            return false;
+        };
+        self.spog.contains(&[s.0, p.0, o.0, g.0])
+    }
+
+    /// Resolve a term id (delegates to the dictionary).
+    pub fn term(&self, id: TermId) -> &Term {
+        self.dict.term(id)
+    }
+
+    /// Id of a term if it is interned.
+    pub fn id_of(&self, term: &Term) -> Option<TermId> {
+        self.dict.id_of(term)
+    }
+
+    /// Match a pattern, returning encoded quads `[s, p, o, g]`.
+    ///
+    /// Chooses the index whose key order puts the bound positions first, so
+    /// the scan is a contiguous B-tree range.
+    pub fn match_encoded<'a>(
+        &'a self,
+        pattern: &QuadPattern,
+    ) -> Box<dyn Iterator<Item = EncodedQuad> + 'a> {
+        // Resolve bound terms; an unresolvable bound term matches nothing.
+        let mut bound = [None; 4];
+        for (slot, term) in [
+            (0, &pattern.subject),
+            (1, &pattern.predicate),
+            (2, &pattern.object),
+        ] {
+            if let Some(t) = term {
+                match self.dict.id_of(t) {
+                    Some(id) => bound[slot] = Some(id.0),
+                    None => return Box::new(std::iter::empty()),
+                }
+            }
+        }
+        if let Some(g) = &pattern.graph {
+            match self.dict.id_of(&Self::graph_term(g)) {
+                Some(id) => bound[3] = Some(id.0),
+                None => return Box::new(std::iter::empty()),
+            }
+        }
+        let [s, p, o, g] = bound;
+
+        // Pick the index with the longest bound prefix.
+        // Orderings: spog=(s,p,o,g) posg=(p,o,s,g) ospg=(o,s,p,g) gspo=(g,s,p,o)
+        type IndexCandidate<'i> =
+            (&'i BTreeSet<[u32; 4]>, [Option<u32>; 4], fn([u32; 4]) -> EncodedQuad);
+        let candidates: [IndexCandidate; 4] = [
+            (&self.spog, [s, p, o, g], |k| [k[0], k[1], k[2], k[3]]),
+            (&self.posg, [p, o, s, g], |k| [k[2], k[0], k[1], k[3]]),
+            (&self.ospg, [o, s, p, g], |k| [k[1], k[2], k[0], k[3]]),
+            (&self.gspo, [g, s, p, o], |k| [k[1], k[2], k[3], k[0]]),
+        ];
+        let best = candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (_, key, _))| key.iter().take_while(|b| b.is_some()).count())
+            .map(|(i, _)| i)
+            .unwrap();
+        let (index, key, decode) = &candidates[best];
+        let prefix_len = key.iter().take_while(|b| b.is_some()).count();
+        let mut lo = [0u32; 4];
+        let mut hi = [u32::MAX; 4];
+        for i in 0..prefix_len {
+            lo[i] = key[i].unwrap();
+            hi[i] = key[i].unwrap();
+        }
+        let decode = *decode;
+        let residual = *key;
+        Box::new(
+            index
+                .range(lo..=hi)
+                .filter(move |k| {
+                    residual
+                        .iter()
+                        .enumerate()
+                        .skip(prefix_len)
+                        .all(|(i, b)| b.is_none_or(|v| k[i] == v))
+                })
+                .map(move |&k| decode(k)),
+        )
+    }
+
+    /// Match a pattern, returning decoded [`Quad`]s.
+    pub fn match_pattern<'a>(
+        &'a self,
+        pattern: &QuadPattern,
+    ) -> impl Iterator<Item = Quad> + 'a {
+        self.match_encoded(pattern).map(move |[s, p, o, g]| Quad {
+            subject: self.dict.term(TermId(s)).clone(),
+            predicate: self.dict.term(TermId(p)).clone(),
+            object: self.dict.term(TermId(o)).clone(),
+            graph: self.graph_of(TermId(g)),
+        })
+    }
+
+    /// All quads in the store.
+    pub fn iter(&self) -> impl Iterator<Item = Quad> + '_ {
+        self.match_pattern(&QuadPattern::any())
+    }
+
+    /// Distinct named graphs in the store.
+    pub fn named_graphs(&self) -> Vec<String> {
+        let mut graphs: Vec<String> = Vec::new();
+        let mut last: Option<u32> = None;
+        for k in &self.gspo {
+            if last == Some(k[0]) {
+                continue;
+            }
+            last = Some(k[0]);
+            if let GraphName::Named(g) = self.graph_of(TermId(k[0])) {
+                graphs.push(g);
+            }
+        }
+        graphs
+    }
+
+    /// Approximate logical footprint in bytes (indexes + dictionary).
+    pub fn approx_bytes(&self) -> u64 {
+        let per_quad = std::mem::size_of::<[u32; 4]>() as u64;
+        self.spog.len() as u64 * per_quad * 4 + self.dict.approx_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str, p: &str, o: &str) -> Quad {
+        Quad::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut store = QuadStore::new();
+        let quad = q("s", "p", "o");
+        assert!(store.insert(&quad));
+        assert!(!store.insert(&quad));
+        assert!(store.contains(&quad));
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(&quad));
+        assert!(!store.contains(&quad));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn default_and_named_graphs_are_distinct() {
+        let mut store = QuadStore::new();
+        let t = (Term::iri("s"), Term::iri("p"), Term::iri("o"));
+        store.insert(&Quad::new(t.0.clone(), t.1.clone(), t.2.clone()));
+        store.insert(&Quad::in_graph(t.0, t.1, t.2, GraphName::named("g1")));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.named_graphs(), vec!["g1".to_string()]);
+    }
+
+    #[test]
+    fn pattern_scans_each_binding_combination() {
+        let mut store = QuadStore::new();
+        store.insert(&q("s1", "p1", "o1"));
+        store.insert(&q("s1", "p2", "o2"));
+        store.insert(&q("s2", "p1", "o1"));
+        store.insert(&Quad::in_graph(
+            Term::iri("s3"),
+            Term::iri("p1"),
+            Term::iri("o1"),
+            GraphName::named("g"),
+        ));
+
+        let by_s = store
+            .match_pattern(&QuadPattern::any().with_subject(Term::iri("s1")))
+            .count();
+        assert_eq!(by_s, 2);
+
+        let by_p = store
+            .match_pattern(&QuadPattern::any().with_predicate(Term::iri("p1")))
+            .count();
+        assert_eq!(by_p, 3);
+
+        let by_o = store
+            .match_pattern(&QuadPattern::any().with_object(Term::iri("o1")))
+            .count();
+        assert_eq!(by_o, 3);
+
+        let by_g = store
+            .match_pattern(&QuadPattern::any().with_graph(GraphName::named("g")))
+            .count();
+        assert_eq!(by_g, 1);
+
+        let by_po = store
+            .match_pattern(
+                &QuadPattern::any()
+                    .with_predicate(Term::iri("p1"))
+                    .with_object(Term::iri("o1")),
+            )
+            .count();
+        assert_eq!(by_po, 3);
+
+        let all = store.match_pattern(&QuadPattern::any()).count();
+        assert_eq!(all, 4);
+    }
+
+    #[test]
+    fn unknown_terms_match_nothing() {
+        let mut store = QuadStore::new();
+        store.insert(&q("s", "p", "o"));
+        let none = store
+            .match_pattern(&QuadPattern::any().with_subject(Term::iri("missing")))
+            .count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn rdf_star_annotation_roundtrip() {
+        let mut store = QuadStore::new();
+        let edge = Term::quoted(Term::iri("colA"), Term::iri("similar"), Term::iri("colB"));
+        store.insert(&Quad::new(edge.clone(), Term::iri("score"), Term::double(0.93)));
+        let hits: Vec<Quad> = store
+            .match_pattern(&QuadPattern::any().with_subject(edge.clone()))
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].object.as_literal().unwrap().as_f64(), Some(0.93));
+    }
+
+    #[test]
+    fn decoded_quads_match_inserted() {
+        let mut store = QuadStore::new();
+        let quad = Quad::in_graph(
+            Term::iri("s"),
+            Term::iri("p"),
+            Term::string("val"),
+            GraphName::named("g"),
+        );
+        store.insert(&quad);
+        let got: Vec<Quad> = store.iter().collect();
+        assert_eq!(got, vec![quad]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the four index orderings stay consistent across
+//! arbitrary insert/remove interleavings, and pattern scans agree with a
+//! naive filter over the full quad set.
+
+use lids_rdf::{GraphName, Quad, QuadPattern, QuadStore, Term};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8, u8, u8),
+    Remove(u8, u8, u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..5, 0u8..3, 0u8..5, 0u8..3).prop_map(|(s, p, o, g)| Op::Insert(s, p, o, g)),
+        (0u8..5, 0u8..3, 0u8..5, 0u8..3).prop_map(|(s, p, o, g)| Op::Remove(s, p, o, g)),
+    ]
+}
+
+fn quad(s: u8, p: u8, o: u8, g: u8) -> Quad {
+    let graph = if g == 0 {
+        GraphName::Default
+    } else {
+        GraphName::named(format!("g{g}"))
+    };
+    Quad::in_graph(
+        Term::iri(format!("s{s}")),
+        Term::iri(format!("p{p}")),
+        Term::iri(format!("o{o}")),
+        graph,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_matches_reference_set(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut store = QuadStore::new();
+        let mut reference: std::collections::HashSet<Quad> = Default::default();
+        for op in &ops {
+            match *op {
+                Op::Insert(s, p, o, g) => {
+                    let q = quad(s, p, o, g);
+                    let fresh = store.insert(&q);
+                    prop_assert_eq!(fresh, reference.insert(q));
+                }
+                Op::Remove(s, p, o, g) => {
+                    let q = quad(s, p, o, g);
+                    let removed = store.remove(&q);
+                    prop_assert_eq!(removed, reference.remove(&q));
+                }
+            }
+        }
+        prop_assert_eq!(store.len(), reference.len());
+        // full scan equals the reference set
+        let scanned: std::collections::HashSet<Quad> = store.iter().collect();
+        prop_assert_eq!(&scanned, &reference);
+        // every single-position pattern agrees with a naive filter
+        for s in 0..5u8 {
+            let pattern = QuadPattern::any().with_subject(Term::iri(format!("s{s}")));
+            let got = store.match_pattern(&pattern).count();
+            let want = reference.iter().filter(|q| q.subject == Term::iri(format!("s{s}"))).count();
+            prop_assert_eq!(got, want, "subject s{}", s);
+        }
+        for p in 0..3u8 {
+            let pattern = QuadPattern::any().with_predicate(Term::iri(format!("p{p}")));
+            let got = store.match_pattern(&pattern).count();
+            let want = reference.iter().filter(|q| q.predicate == Term::iri(format!("p{p}"))).count();
+            prop_assert_eq!(got, want, "predicate p{}", p);
+        }
+        for o in 0..5u8 {
+            let pattern = QuadPattern::any().with_object(Term::iri(format!("o{o}")));
+            let got = store.match_pattern(&pattern).count();
+            let want = reference.iter().filter(|q| q.object == Term::iri(format!("o{o}"))).count();
+            prop_assert_eq!(got, want, "object o{}", o);
+        }
+        // graph-scoped scans
+        for g in 0..3u8 {
+            let graph = if g == 0 { GraphName::Default } else { GraphName::named(format!("g{g}")) };
+            let pattern = QuadPattern::any().with_graph(graph.clone());
+            let got = store.match_pattern(&pattern).count();
+            let want = reference.iter().filter(|q| q.graph == graph).count();
+            prop_assert_eq!(got, want, "graph {}", g);
+        }
+    }
+
+    #[test]
+    fn nquads_roundtrip_arbitrary_store(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut store = QuadStore::new();
+        for op in &ops {
+            if let Op::Insert(s, p, o, g) = *op {
+                store.insert(&quad(s, p, o, g));
+            }
+        }
+        let doc = lids_rdf::nquads::write_document(store.iter().collect::<Vec<_>>().iter());
+        let parsed = lids_rdf::nquads::parse_document(&doc).unwrap();
+        let mut back = QuadStore::new();
+        for q in &parsed {
+            back.insert(q);
+        }
+        prop_assert_eq!(back.len(), store.len());
+        for q in store.iter() {
+            prop_assert!(back.contains(&q));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Abstract syntax for the supported SPARQL subset.
+
+use lids_rdf::Term;
+
+/// Identifier of a variable within a query (index into [`Query::variables`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u16);
+
+/// A parsed query: prefix table, variable table, and the query form.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Variable names in first-seen order; `VarId` indexes into this.
+    pub variables: Vec<String>,
+    pub form: QueryForm,
+}
+
+impl Query {
+    /// Resolve a variable name to its id.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.variables
+            .iter()
+            .position(|v| v == name)
+            .map(|i| VarId(i as u16))
+    }
+}
+
+/// SELECT or ASK.
+#[derive(Debug, Clone)]
+pub enum QueryForm {
+    Select(SelectQuery),
+    Ask(GroupPattern),
+}
+
+/// The pieces of a SELECT query.
+#[derive(Debug, Clone)]
+pub struct SelectQuery {
+    pub distinct: bool,
+    pub projection: Projection,
+    pub pattern: GroupPattern,
+    pub group_by: Vec<VarId>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+}
+
+/// Projection list: `*` or explicit items.
+#[derive(Debug, Clone)]
+pub enum Projection {
+    Star,
+    Items(Vec<SelectItem>),
+}
+
+/// One projected column.
+#[derive(Debug, Clone)]
+pub enum SelectItem {
+    /// Plain `?var`.
+    Var(VarId),
+    /// `(AGG(...) AS ?alias)`.
+    Aggregate { agg: Aggregate, alias: VarId },
+}
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone)]
+pub enum Aggregate {
+    /// `COUNT(*)`, `COUNT(?v)`, `COUNT(DISTINCT ?v)`.
+    Count { distinct: bool, var: Option<VarId> },
+    Sum(VarId),
+    Avg(VarId),
+    Min(VarId),
+    Max(VarId),
+}
+
+/// A sort key: expression plus direction.
+#[derive(Debug, Clone)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// A group graph pattern: sequence of elements evaluated left to right.
+#[derive(Debug, Clone, Default)]
+pub struct GroupPattern {
+    pub elements: Vec<PatternElement>,
+}
+
+/// One element inside `{ ... }`.
+#[derive(Debug, Clone)]
+pub enum PatternElement {
+    /// A block of triple patterns (joined).
+    Triples(Vec<TriplePattern>),
+    /// `FILTER(expr)`.
+    Filter(Expr),
+    /// `OPTIONAL { ... }`.
+    Optional(GroupPattern),
+    /// `GRAPH term-or-var { ... }`.
+    Graph(NodePattern, GroupPattern),
+    /// `{ ... } UNION { ... }` (n-ary, left-assoc flattened).
+    Union(Vec<GroupPattern>),
+}
+
+/// A triple pattern; positions are terms, variables, or quoted patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    pub subject: NodePattern,
+    pub predicate: NodePattern,
+    pub object: NodePattern,
+}
+
+/// One position of a triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodePattern {
+    Term(Term),
+    Var(VarId),
+    /// RDF-star quoted triple pattern, possibly containing variables.
+    Quoted(Box<TriplePattern>),
+}
+
+impl NodePattern {
+    /// True when the pattern contains no variables (fully ground).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            NodePattern::Term(_) => true,
+            NodePattern::Var(_) => false,
+            NodePattern::Quoted(t) => {
+                t.subject.is_ground() && t.predicate.is_ground() && t.object.is_ground()
+            }
+        }
+    }
+}
+
+/// Filter / order-by expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Var(VarId),
+    Const(Term),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Neg(Box<Expr>),
+    Call(Func, Vec<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Func {
+    /// `REGEX(str, pattern)` — substring-style pattern with `.` and `.*`
+    /// support (see `eval::simple_regex`).
+    Regex,
+    Contains,
+    StrStarts,
+    Str,
+    Bound,
+    LCase,
+    UCase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_detection() {
+        let t = NodePattern::Quoted(Box::new(TriplePattern {
+            subject: NodePattern::Term(Term::iri("a")),
+            predicate: NodePattern::Term(Term::iri("p")),
+            object: NodePattern::Var(VarId(0)),
+        }));
+        assert!(!t.is_ground());
+        let g = NodePattern::Term(Term::iri("x"));
+        assert!(g.is_ground());
+    }
+
+    #[test]
+    fn var_id_lookup() {
+        let q = Query {
+            variables: vec!["x".into(), "y".into()],
+            form: QueryForm::Ask(GroupPattern::default()),
+        };
+        assert_eq!(q.var_id("y"), Some(VarId(1)));
+        assert_eq!(q.var_id("z"), None);
+    }
+}

@@ -1,0 +1,1015 @@
+//! Query evaluation over a [`QuadStore`].
+//!
+//! Evaluation is binding-at-a-time nested-loop join with greedy pattern
+//! ordering (most-bound-first), which together with the store's prefix
+//! indexes reproduces the "leverage the built-in indices of RDF engines"
+//! behaviour the paper relies on for fast discovery queries.
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+use lids_rdf::{GraphName, QuadPattern, QuadStore, Term};
+
+use crate::ast::*;
+use crate::results::{term_text, Solutions, SparqlError};
+
+/// A partial solution: one optional term per query variable.
+type Binding = Vec<Option<Term>>;
+
+/// Evaluate a parsed query against the store.
+pub fn evaluate(store: &QuadStore, query: &Query) -> Result<Solutions, SparqlError> {
+    evaluate_with(store, query, EvalOptions::default())
+}
+
+/// Evaluation knobs (benchmarking/ablation).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Greedy most-bound-first join ordering. Disabling it evaluates
+    /// patterns in textual order — the ablation arm of the
+    /// `sparql/join_ordering` bench.
+    pub reorder_joins: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { reorder_joins: true }
+    }
+}
+
+thread_local! {
+    static REORDER: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
+}
+
+/// Evaluate with explicit options.
+pub fn evaluate_with(
+    store: &QuadStore,
+    query: &Query,
+    options: EvalOptions,
+) -> Result<Solutions, SparqlError> {
+    REORDER.with(|r| r.set(options.reorder_joins));
+    let result = (|| {
+        let nvars = query.variables.len();
+        match &query.form {
+            QueryForm::Ask(pattern) => {
+                let bindings = eval_group(store, pattern, vec![vec![None; nvars]], None)?;
+                Ok(Solutions {
+                    columns: Vec::new(),
+                    rows: Vec::new(),
+                    ask: Some(!bindings.is_empty()),
+                })
+            }
+            QueryForm::Select(select) => {
+                let bindings = eval_group(store, &select.pattern, vec![vec![None; nvars]], None)?;
+                project(query, select, bindings)
+            }
+        }
+    })();
+    REORDER.with(|r| r.set(true));
+    result
+}
+
+// ---------------------------------------------------------------- patterns
+
+fn eval_group(
+    store: &QuadStore,
+    group: &GroupPattern,
+    mut bindings: Vec<Binding>,
+    graph_ctx: Option<&NodePattern>,
+) -> Result<Vec<Binding>, SparqlError> {
+    for element in &group.elements {
+        if bindings.is_empty() {
+            return Ok(bindings);
+        }
+        bindings = match element {
+            PatternElement::Triples(patterns) => {
+                eval_triples(store, patterns, bindings, graph_ctx)
+            }
+            PatternElement::Filter(expr) => bindings
+                .into_iter()
+                .filter(|b| effective_bool(eval_expr(b, expr).ok().as_ref()).unwrap_or(false))
+                .collect(),
+            PatternElement::Optional(inner) => {
+                let mut next = Vec::new();
+                for binding in bindings {
+                    let extended =
+                        eval_group(store, inner, vec![binding.clone()], graph_ctx)?;
+                    if extended.is_empty() {
+                        next.push(binding);
+                    } else {
+                        next.extend(extended);
+                    }
+                }
+                next
+            }
+            PatternElement::Graph(node, inner) => {
+                eval_group(store, inner, bindings, Some(node))?
+            }
+            PatternElement::Union(branches) => {
+                let mut next = Vec::new();
+                for branch in branches {
+                    next.extend(eval_group(store, branch, bindings.clone(), graph_ctx)?);
+                }
+                next
+            }
+        };
+    }
+    Ok(bindings)
+}
+
+fn eval_triples(
+    store: &QuadStore,
+    patterns: &[TriplePattern],
+    bindings: Vec<Binding>,
+    graph_ctx: Option<&NodePattern>,
+) -> Vec<Binding> {
+    let order = if REORDER.with(|r| r.get()) {
+        order_patterns(patterns, &bindings)
+    } else {
+        (0..patterns.len()).collect()
+    };
+    let mut current = bindings;
+    for &idx in &order {
+        let pattern = &patterns[idx];
+        let mut next = Vec::new();
+        for binding in &current {
+            match_one(store, pattern, binding, graph_ctx, &mut next);
+        }
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// Greedy join ordering: repeatedly pick the pattern with the most positions
+/// bound (constants or already-bound variables).
+fn order_patterns(patterns: &[TriplePattern], bindings: &[Binding]) -> Vec<usize> {
+    let mut bound: HashSet<VarId> = HashSet::new();
+    if let Some(first) = bindings.first() {
+        for (i, slot) in first.iter().enumerate() {
+            if slot.is_some() {
+                bound.insert(VarId(i as u16));
+            }
+        }
+    }
+    let score = |p: &TriplePattern, bound: &HashSet<VarId>| -> usize {
+        [&p.subject, &p.predicate, &p.object]
+            .iter()
+            .map(|n| match n {
+                NodePattern::Term(_) => 2,
+                NodePattern::Var(v) => usize::from(bound.contains(v)) * 2,
+                NodePattern::Quoted(_) => 1,
+            })
+            .sum()
+    };
+    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+    let mut order = Vec::with_capacity(patterns.len());
+    while !remaining.is_empty() {
+        let (pos, &best) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &i)| score(&patterns[i], &bound))
+            .unwrap();
+        remaining.remove(pos);
+        order.push(best);
+        collect_vars(&patterns[best], &mut bound);
+    }
+    order
+}
+
+fn collect_vars(p: &TriplePattern, out: &mut HashSet<VarId>) {
+    for n in [&p.subject, &p.predicate, &p.object] {
+        collect_node_vars(n, out);
+    }
+}
+
+fn collect_node_vars(n: &NodePattern, out: &mut HashSet<VarId>) {
+    match n {
+        NodePattern::Var(v) => {
+            out.insert(*v);
+        }
+        NodePattern::Quoted(q) => collect_vars(q, out),
+        NodePattern::Term(_) => {}
+    }
+}
+
+/// Resolve a node pattern against a binding: a concrete term, or None (free).
+fn resolve(node: &NodePattern, binding: &Binding) -> Option<Term> {
+    match node {
+        NodePattern::Term(t) => Some(t.clone()),
+        NodePattern::Var(v) => binding[v.0 as usize].clone(),
+        NodePattern::Quoted(q) => {
+            let s = resolve(&q.subject, binding)?;
+            let p = resolve(&q.predicate, binding)?;
+            let o = resolve(&q.object, binding)?;
+            Some(Term::quoted(s, p, o))
+        }
+    }
+}
+
+fn match_one(
+    store: &QuadStore,
+    pattern: &TriplePattern,
+    binding: &Binding,
+    graph_ctx: Option<&NodePattern>,
+    out: &mut Vec<Binding>,
+) {
+    let s = resolve(&pattern.subject, binding);
+    let p = resolve(&pattern.predicate, binding);
+    let o = resolve(&pattern.object, binding);
+
+    let mut qp = QuadPattern::any();
+    if let Some(t) = &s {
+        qp = qp.with_subject(t.clone());
+    }
+    if let Some(t) = &p {
+        qp = qp.with_predicate(t.clone());
+    }
+    if let Some(t) = &o {
+        qp = qp.with_object(t.clone());
+    }
+
+    // Graph scoping
+    let mut graph_var: Option<VarId> = None;
+    match graph_ctx {
+        None => {}
+        Some(NodePattern::Term(Term::Iri(iri))) => {
+            qp = qp.with_graph(GraphName::named(iri.clone()));
+        }
+        Some(NodePattern::Var(v)) => match &binding[v.0 as usize] {
+            Some(Term::Iri(iri)) => qp = qp.with_graph(GraphName::named(iri.clone())),
+            Some(_) => return,
+            None => graph_var = Some(*v),
+        },
+        Some(_) => return,
+    }
+
+    for quad in store.match_pattern(&qp) {
+        let mut candidate = binding.clone();
+        if !unify(&pattern.subject, &quad.subject, &mut candidate) {
+            continue;
+        }
+        if !unify(&pattern.predicate, &quad.predicate, &mut candidate) {
+            continue;
+        }
+        if !unify(&pattern.object, &quad.object, &mut candidate) {
+            continue;
+        }
+        if let Some(v) = graph_var {
+            match &quad.graph {
+                GraphName::Named(iri) => candidate[v.0 as usize] = Some(Term::iri(iri.clone())),
+                // GRAPH ?g ranges over named graphs only
+                GraphName::Default => continue,
+            }
+        }
+        out.push(candidate);
+    }
+}
+
+/// Unify a node pattern with a concrete term under a binding.
+fn unify(node: &NodePattern, term: &Term, binding: &mut Binding) -> bool {
+    match node {
+        NodePattern::Term(t) => t == term,
+        NodePattern::Var(v) => {
+            let slot = &mut binding[v.0 as usize];
+            match slot {
+                Some(existing) => existing == term,
+                None => {
+                    *slot = Some(term.clone());
+                    true
+                }
+            }
+        }
+        NodePattern::Quoted(q) => match term {
+            Term::Quoted(t) => {
+                unify(&q.subject, &t.subject, binding)
+                    && unify(&q.predicate, &t.predicate, binding)
+                    && unify(&q.object, &t.object, binding)
+            }
+            _ => false,
+        },
+    }
+}
+
+// ------------------------------------------------------------- projection
+
+fn project(
+    query: &Query,
+    select: &SelectQuery,
+    bindings: Vec<Binding>,
+) -> Result<Solutions, SparqlError> {
+    let items: Vec<SelectItem> = match &select.projection {
+        Projection::Star => (0..query.variables.len())
+            .map(|i| SelectItem::Var(VarId(i as u16)))
+            .collect(),
+        Projection::Items(items) => items.clone(),
+    };
+    let has_aggregate = items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+
+    let columns: Vec<String> = items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Var(v) | SelectItem::Aggregate { alias: v, .. } => {
+                query.variables[v.0 as usize].clone()
+            }
+        })
+        .collect();
+
+    let mut rows: Vec<Vec<Option<Term>>> = if has_aggregate || !select.group_by.is_empty() {
+        aggregate_rows(select, &items, bindings)?
+    } else {
+        bindings
+            .iter()
+            .map(|b| {
+                items
+                    .iter()
+                    .map(|item| match item {
+                        SelectItem::Var(v) => b[v.0 as usize].clone(),
+                        SelectItem::Aggregate { .. } => unreachable!(),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    // ORDER BY applies to projected rows; sort keys may reference any
+    // variable, so for the non-aggregate path we sort bindings first.
+    if !select.order_by.is_empty() {
+        let col_of_var: Vec<Option<usize>> = (0..query.variables.len())
+            .map(|vi| {
+                items.iter().position(|it| match it {
+                    SelectItem::Var(v) | SelectItem::Aggregate { alias: v, .. } => {
+                        v.0 as usize == vi
+                    }
+                })
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            for key in &select.order_by {
+                // Build a pseudo-binding view over the projected row.
+                let va = eval_expr_with(a, &col_of_var, &key.expr);
+                let vb = eval_expr_with(b, &col_of_var, &key.expr);
+                let ord = compare_terms(va.as_ref().ok(), vb.as_ref().ok());
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    if select.distinct {
+        let mut seen = HashSet::new();
+        rows.retain(|r| seen.insert(format!("{r:?}")));
+    }
+
+    let offset = select.offset.unwrap_or(0);
+    if offset > 0 {
+        rows.drain(..offset.min(rows.len()));
+    }
+    if let Some(limit) = select.limit {
+        rows.truncate(limit);
+    }
+
+    Ok(Solutions { columns, rows, ask: None })
+}
+
+fn aggregate_rows(
+    select: &SelectQuery,
+    items: &[SelectItem],
+    bindings: Vec<Binding>,
+) -> Result<Vec<Vec<Option<Term>>>, SparqlError> {
+    use std::collections::BTreeMap;
+    // Group key: rendered group-by values (terms compare via Debug ordering;
+    // BTreeMap keeps output deterministic).
+    let mut groups: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
+    for b in bindings {
+        let key: String = select
+            .group_by
+            .iter()
+            .map(|v| format!("{:?}|", b[v.0 as usize]))
+            .collect();
+        groups
+            .entry(key)
+            .or_insert_with(|| (b.clone(), Vec::new()))
+            .1
+            .push(b);
+    }
+    // With no GROUP BY but an aggregate: a single group over everything.
+    if groups.is_empty() {
+        // no solutions: aggregates over the empty group (COUNT = 0)
+        let row = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Aggregate { agg: Aggregate::Count { .. }, .. } => {
+                    Some(Term::integer(0))
+                }
+                _ => None,
+            })
+            .collect();
+        return Ok(vec![row]);
+    }
+
+    let mut rows = Vec::with_capacity(groups.len());
+    for (_, (representative, members)) in groups {
+        let row = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Var(v) => representative[v.0 as usize].clone(),
+                SelectItem::Aggregate { agg, .. } => eval_aggregate(agg, &members),
+            })
+            .collect();
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn eval_aggregate(agg: &Aggregate, members: &[Binding]) -> Option<Term> {
+    match agg {
+        Aggregate::Count { distinct, var } => {
+            let n = match var {
+                None => members.len(),
+                Some(v) => {
+                    let iter = members.iter().filter_map(|b| b[v.0 as usize].as_ref());
+                    if *distinct {
+                        iter.collect::<HashSet<_>>().len()
+                    } else {
+                        iter.count()
+                    }
+                }
+            };
+            Some(Term::integer(n as i64))
+        }
+        Aggregate::Sum(v) | Aggregate::Avg(v) => {
+            let values: Vec<f64> = members
+                .iter()
+                .filter_map(|b| b[v.0 as usize].as_ref())
+                .filter_map(|t| t.as_literal().and_then(|l| l.as_f64()))
+                .collect();
+            if values.is_empty() {
+                return Some(Term::double(0.0));
+            }
+            let sum: f64 = values.iter().sum();
+            Some(Term::double(if matches!(agg, Aggregate::Avg(_)) {
+                sum / values.len() as f64
+            } else {
+                sum
+            }))
+        }
+        Aggregate::Min(v) | Aggregate::Max(v) => {
+            let mut best: Option<&Term> = None;
+            for b in members {
+                if let Some(t) = b[v.0 as usize].as_ref() {
+                    best = Some(match best {
+                        None => t,
+                        Some(cur) => {
+                            let ord = compare_terms(Some(&t.clone()), Some(&cur.clone()));
+                            let take = if matches!(agg, Aggregate::Min(_)) {
+                                ord == Ordering::Less
+                            } else {
+                                ord == Ordering::Greater
+                            };
+                            if take {
+                                t
+                            } else {
+                                cur
+                            }
+                        }
+                    });
+                }
+            }
+            best.cloned()
+        }
+    }
+}
+
+// ------------------------------------------------------------ expressions
+
+/// Evaluate an expression against a binding. `Err(())` models SPARQL's
+/// expression errors (unbound variables, type mismatches), which FILTER
+/// treats as false.
+fn eval_expr(binding: &Binding, expr: &Expr) -> Result<Term, ()> {
+    match expr {
+        Expr::Var(v) => binding[v.0 as usize].clone().ok_or(()),
+        Expr::Const(t) => Ok(t.clone()),
+        Expr::Not(e) => {
+            let b = effective_bool(Some(&eval_expr(binding, e)?)).ok_or(())?;
+            Ok(Term::boolean(!b))
+        }
+        Expr::Neg(e) => {
+            let v = numeric(&eval_expr(binding, e)?).ok_or(())?;
+            Ok(Term::double(-v))
+        }
+        Expr::Binary(op, l, r) => eval_binary(binding, *op, l, r),
+        Expr::Call(func, args) => eval_call(binding, *func, args),
+    }
+}
+
+/// Variant used for ORDER BY over projected rows: variables resolve through
+/// the projection's column mapping.
+fn eval_expr_with(
+    row: &[Option<Term>],
+    col_of_var: &[Option<usize>],
+    expr: &Expr,
+) -> Result<Term, ()> {
+    match expr {
+        Expr::Var(v) => col_of_var
+            .get(v.0 as usize)
+            .copied()
+            .flatten()
+            .and_then(|c| row[c].clone())
+            .ok_or(()),
+        Expr::Const(t) => Ok(t.clone()),
+        Expr::Not(e) => {
+            let b = effective_bool(Some(&eval_expr_with(row, col_of_var, e)?)).ok_or(())?;
+            Ok(Term::boolean(!b))
+        }
+        Expr::Neg(e) => {
+            let v = numeric(&eval_expr_with(row, col_of_var, e)?).ok_or(())?;
+            Ok(Term::double(-v))
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval_expr_with(row, col_of_var, l);
+            let rv = eval_expr_with(row, col_of_var, r);
+            combine_binary(*op, lv, rv)
+        }
+        Expr::Call(..) => Err(()),
+    }
+}
+
+fn eval_binary(binding: &Binding, op: BinOp, l: &Expr, r: &Expr) -> Result<Term, ()> {
+    match op {
+        BinOp::And => {
+            let lv = effective_bool(eval_expr(binding, l).as_ref().ok()).ok_or(())?;
+            if !lv {
+                return Ok(Term::boolean(false));
+            }
+            let rv = effective_bool(eval_expr(binding, r).as_ref().ok()).ok_or(())?;
+            Ok(Term::boolean(rv))
+        }
+        BinOp::Or => {
+            let lv = effective_bool(eval_expr(binding, l).as_ref().ok());
+            if lv == Some(true) {
+                return Ok(Term::boolean(true));
+            }
+            let rv = effective_bool(eval_expr(binding, r).as_ref().ok());
+            match (lv, rv) {
+                (_, Some(true)) => Ok(Term::boolean(true)),
+                (Some(false), Some(false)) => Ok(Term::boolean(false)),
+                _ => Err(()),
+            }
+        }
+        _ => {
+            let lv = eval_expr(binding, l);
+            let rv = eval_expr(binding, r);
+            combine_binary(op, lv, rv)
+        }
+    }
+}
+
+fn combine_binary(op: BinOp, lv: Result<Term, ()>, rv: Result<Term, ()>) -> Result<Term, ()> {
+    let lv = lv?;
+    let rv = rv?;
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+            let a = numeric(&lv).ok_or(())?;
+            let b = numeric(&rv).ok_or(())?;
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Err(());
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            Ok(Term::double(out))
+        }
+        BinOp::Eq => Ok(Term::boolean(terms_equal(&lv, &rv))),
+        BinOp::Ne => Ok(Term::boolean(!terms_equal(&lv, &rv))),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = compare_terms(Some(&lv), Some(&rv));
+            Ok(Term::boolean(match op {
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            }))
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled by eval_binary"),
+    }
+}
+
+fn eval_call(binding: &Binding, func: Func, args: &[Expr]) -> Result<Term, ()> {
+    match func {
+        Func::Bound => match args.first() {
+            Some(Expr::Var(v)) => Ok(Term::boolean(binding[v.0 as usize].is_some())),
+            _ => Err(()),
+        },
+        Func::Str => {
+            let t = eval_expr(binding, args.first().ok_or(())?)?;
+            Ok(Term::string(term_text(&t)))
+        }
+        Func::LCase | Func::UCase => {
+            let t = eval_expr(binding, args.first().ok_or(())?)?;
+            let s = string_of(&t).ok_or(())?;
+            Ok(Term::string(if func == Func::LCase {
+                s.to_lowercase()
+            } else {
+                s.to_uppercase()
+            }))
+        }
+        Func::Contains | Func::StrStarts => {
+            if args.len() != 2 {
+                return Err(());
+            }
+            let hay = string_of(&eval_expr(binding, &args[0])?).ok_or(())?;
+            let needle = string_of(&eval_expr(binding, &args[1])?).ok_or(())?;
+            Ok(Term::boolean(if func == Func::Contains {
+                hay.contains(&needle)
+            } else {
+                hay.starts_with(&needle)
+            }))
+        }
+        Func::Regex => {
+            if args.len() != 2 {
+                return Err(());
+            }
+            let hay = string_of(&eval_expr(binding, &args[0])?).ok_or(())?;
+            let pat = string_of(&eval_expr(binding, &args[1])?).ok_or(())?;
+            Ok(Term::boolean(simple_regex(&hay, &pat)))
+        }
+    }
+}
+
+fn string_of(t: &Term) -> Option<String> {
+    match t {
+        Term::Literal(l) => Some(l.lexical.clone()),
+        Term::Iri(i) => Some(i.clone()),
+        _ => None,
+    }
+}
+
+fn numeric(t: &Term) -> Option<f64> {
+    t.as_literal().and_then(|l| l.as_f64())
+}
+
+fn terms_equal(a: &Term, b: &Term) -> bool {
+    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
+        return x == y;
+    }
+    a == b
+}
+
+/// SPARQL-ish ordering: unbound < numbers < strings < IRIs < other.
+fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
+    fn rank(t: Option<&Term>) -> u8 {
+        match t {
+            None => 0,
+            Some(t) => match t {
+                Term::Literal(l) if l.as_f64().is_some() => 1,
+                Term::Literal(_) => 2,
+                Term::Iri(_) => 3,
+                _ => 4,
+            },
+        }
+    }
+    let (ra, rb) = (rank(a), rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            if let (Some(nx), Some(ny)) = (numeric(x), numeric(y)) {
+                nx.partial_cmp(&ny).unwrap_or(Ordering::Equal)
+            } else {
+                term_text(x).cmp(&term_text(y))
+            }
+        }
+        _ => Ordering::Equal,
+    }
+}
+
+/// SPARQL effective boolean value.
+fn effective_bool(t: Option<&Term>) -> Option<bool> {
+    match t? {
+        Term::Literal(l) => {
+            if let Some(b) = l.as_bool() {
+                Some(b)
+            } else if let Some(n) = l.as_f64() {
+                Some(n != 0.0)
+            } else {
+                Some(!l.lexical.is_empty())
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Tiny regex: supports `.`, `*`, `+`, `?` (postfix on single atoms), `^`,
+/// `$`, and `\`-escaped literals. Enough for the label filters the KGLiDS
+/// interfaces issue; unanchored by default.
+pub fn simple_regex(text: &str, pattern: &str) -> bool {
+    let pat: Vec<char> = pattern.chars().collect();
+    let txt: Vec<char> = text.chars().collect();
+    let anchored_start = pat.first() == Some(&'^');
+    let p = if anchored_start { &pat[1..] } else { &pat[..] };
+    if anchored_start {
+        return match_here(p, &txt);
+    }
+    for start in 0..=txt.len() {
+        if match_here(p, &txt[start..]) {
+            return true;
+        }
+    }
+    false
+}
+
+fn match_here(pat: &[char], txt: &[char]) -> bool {
+    if pat.is_empty() {
+        return true;
+    }
+    if pat == ['$'] {
+        return txt.is_empty();
+    }
+    // atom (+ optional escape)
+    let (atom, alen): (Option<char>, usize) = if pat[0] == '\\' && pat.len() > 1 {
+        (Some(pat[1]), 2)
+    } else if pat[0] == '.' {
+        (None, 1)
+    } else {
+        (Some(pat[0]), 1)
+    };
+    let quant = pat.get(alen).copied();
+    let matches_atom = |c: char| atom.is_none_or(|a| a == c);
+    match quant {
+        Some('*') => {
+            let rest = &pat[alen + 1..];
+            let mut i = 0;
+            loop {
+                if match_here(rest, &txt[i..]) {
+                    return true;
+                }
+                if i < txt.len() && matches_atom(txt[i]) {
+                    i += 1;
+                } else {
+                    return false;
+                }
+            }
+        }
+        Some('+') => {
+            let rest = &pat[alen + 1..];
+            if txt.is_empty() || !matches_atom(txt[0]) {
+                return false;
+            }
+            let mut i = 1;
+            loop {
+                if match_here(rest, &txt[i..]) {
+                    return true;
+                }
+                if i < txt.len() && matches_atom(txt[i]) {
+                    i += 1;
+                } else {
+                    return false;
+                }
+            }
+        }
+        Some('?') => {
+            let rest = &pat[alen + 1..];
+            if !txt.is_empty() && matches_atom(txt[0]) && match_here(rest, &txt[1..]) {
+                return true;
+            }
+            match_here(rest, txt)
+        }
+        _ => {
+            if !txt.is_empty() && matches_atom(txt[0]) {
+                match_here(&pat[alen..], &txt[1..])
+            } else {
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use lids_rdf::Quad;
+
+    fn store() -> QuadStore {
+        let mut s = QuadStore::new();
+        let tr = |a: &str, p: &str, b: &str| Quad::new(Term::iri(a), Term::iri(p), Term::iri(b));
+        s.insert(&tr("t1", "type", "Table"));
+        s.insert(&tr("t2", "type", "Table"));
+        s.insert(&tr("c1", "type", "Column"));
+        s.insert(&Quad::new(Term::iri("t1"), Term::iri("name"), Term::string("titanic")));
+        s.insert(&Quad::new(Term::iri("t2"), Term::iri("name"), Term::string("heart_failure")));
+        s.insert(&Quad::new(Term::iri("t1"), Term::iri("rows"), Term::integer(891)));
+        s.insert(&Quad::new(Term::iri("t2"), Term::iri("rows"), Term::integer(300)));
+        s.insert(&tr("t1", "hasColumn", "c1"));
+        // RDF-star similarity edge
+        s.insert(&Quad::new(
+            Term::quoted(Term::iri("c1"), Term::iri("sim"), Term::iri("c2")),
+            Term::iri("score"),
+            Term::double(0.91),
+        ));
+        // named graph content
+        s.insert(&Quad::in_graph(
+            Term::iri("p1s1"),
+            Term::iri("calls"),
+            Term::iri("pandas.read_csv"),
+            GraphName::named("http://pipeline/1"),
+        ));
+        s.insert(&Quad::in_graph(
+            Term::iri("p2s1"),
+            Term::iri("calls"),
+            Term::iri("pandas.read_csv"),
+            GraphName::named("http://pipeline/2"),
+        ));
+        s
+    }
+
+    fn run(q: &str) -> Solutions {
+        let store = store();
+        evaluate(&store, &parse_query(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bgp_join() {
+        let s = run("SELECT ?t ?n WHERE { ?t <type> <Table> . ?t <name> ?n . }");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn filter_numeric() {
+        let s = run("SELECT ?t WHERE { ?t <rows> ?r . FILTER(?r > 500) }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get_str(0, "t").as_deref(), Some("t1"));
+    }
+
+    #[test]
+    fn filter_string_functions() {
+        let s = run(
+            r#"SELECT ?t WHERE { ?t <name> ?n . FILTER(CONTAINS(?n, "heart") || STRSTARTS(?n, "tit")) }"#,
+        );
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn filter_regex() {
+        let s = run(r#"SELECT ?t WHERE { ?t <name> ?n . FILTER(REGEX(?n, "^tit.*c$")) }"#);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn optional_keeps_unmatched() {
+        let s = run(
+            "SELECT ?t ?c WHERE { ?t <type> <Table> . OPTIONAL { ?t <hasColumn> ?c . } } ORDER BY ?t",
+        );
+        assert_eq!(s.len(), 2);
+        assert!(s.get(0, "c").is_some()); // t1 has a column
+        assert!(s.get(1, "c").is_none()); // t2 does not
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let s = run("SELECT ?x WHERE { { ?x <type> <Table> . } UNION { ?x <type> <Column> . } }");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn graph_variable_binds_named_graphs_only() {
+        let s = run("SELECT DISTINCT ?g WHERE { GRAPH ?g { ?s <calls> ?lib . } }");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn graph_fixed() {
+        let s = run("SELECT ?s WHERE { GRAPH <http://pipeline/1> { ?s <calls> ?lib . } }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get_str(0, "s").as_deref(), Some("p1s1"));
+    }
+
+    #[test]
+    fn default_scope_spans_all_graphs() {
+        let s = run("SELECT ?s WHERE { ?s <calls> <pandas.read_csv> . }");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn quoted_pattern_matching() {
+        let s = run("SELECT ?a ?b ?v WHERE { << ?a <sim> ?b >> <score> ?v . }");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get_str(0, "a").as_deref(), Some("c1"));
+        assert_eq!(s.get_f64(0, "v"), Some(0.91));
+    }
+
+    #[test]
+    fn count_group_order_limit() {
+        let s = run(
+            "SELECT ?lib (COUNT(?s) AS ?n) WHERE { ?s <calls> ?lib . } \
+             GROUP BY ?lib ORDER BY DESC(?n) LIMIT 5",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get_f64(0, "n"), Some(2.0));
+    }
+
+    #[test]
+    fn count_star_without_group() {
+        let s = run("SELECT (COUNT(*) AS ?n) WHERE { ?t <type> <Table> . }");
+        assert_eq!(s.get_f64(0, "n"), Some(2.0));
+    }
+
+    #[test]
+    fn count_empty_is_zero() {
+        let s = run("SELECT (COUNT(*) AS ?n) WHERE { ?t <type> <Nonexistent> . }");
+        assert_eq!(s.get_f64(0, "n"), Some(0.0));
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let s = run(
+            "SELECT (SUM(?r) AS ?s) (AVG(?r) AS ?a) (MIN(?r) AS ?mn) (MAX(?r) AS ?mx) \
+             WHERE { ?t <rows> ?r . }",
+        );
+        assert_eq!(s.get_f64(0, "s"), Some(1191.0));
+        assert_eq!(s.get_f64(0, "a"), Some(595.5));
+        assert_eq!(s.get_f64(0, "mn"), Some(300.0));
+        assert_eq!(s.get_f64(0, "mx"), Some(891.0));
+    }
+
+    #[test]
+    fn ask_true_false() {
+        let store = store();
+        let yes = evaluate(&store, &parse_query("ASK { <t1> <type> <Table> . }").unwrap()).unwrap();
+        assert_eq!(yes.ask, Some(true));
+        let no = evaluate(&store, &parse_query("ASK { <t9> <type> <Table> . }").unwrap()).unwrap();
+        assert_eq!(no.ask, Some(false));
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let s = run("SELECT DISTINCT ?lib WHERE { ?s <calls> ?lib . }");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn order_by_ascending_variable() {
+        let s = run("SELECT ?t ?r WHERE { ?t <rows> ?r . } ORDER BY ?r");
+        assert_eq!(s.get_f64(0, "r"), Some(300.0));
+        assert_eq!(s.get_f64(1, "r"), Some(891.0));
+    }
+
+    #[test]
+    fn offset_skips() {
+        let s = run("SELECT ?t WHERE { ?t <type> <Table> . } ORDER BY ?t LIMIT 1 OFFSET 1");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get_str(0, "t").as_deref(), Some("t2"));
+    }
+
+    #[test]
+    fn arithmetic_in_filter() {
+        let s = run("SELECT ?t WHERE { ?t <rows> ?r . FILTER(?r * 2 - 100 > 1000) }");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn bound_function() {
+        let s = run(
+            "SELECT ?t WHERE { ?t <type> <Table> . OPTIONAL { ?t <hasColumn> ?c . } FILTER(!BOUND(?c)) }",
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get_str(0, "t").as_deref(), Some("t2"));
+    }
+
+    #[test]
+    fn simple_regex_features() {
+        assert!(simple_regex("hello", "ell"));
+        assert!(simple_regex("hello", "^hel"));
+        assert!(simple_regex("hello", "o$"));
+        assert!(!simple_regex("hello", "^ello"));
+        assert!(simple_regex("aaab", "a+b"));
+        assert!(simple_regex("ab", "a.*b"));
+        assert!(simple_regex("ab", "ax?b"));
+        assert!(simple_regex("a.b", "a\\.b"));
+        assert!(!simple_regex("axb", "a\\.b"));
+    }
+
+    #[test]
+    fn filter_error_is_false() {
+        // comparing an unbound var: row dropped, not an error
+        let s = run(
+            "SELECT ?t WHERE { ?t <type> <Table> . OPTIONAL { ?t <hasColumn> ?c . } FILTER(?c = <c1>) }",
+        );
+        assert_eq!(s.len(), 1);
+    }
+}

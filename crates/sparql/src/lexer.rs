@@ -1,0 +1,513 @@
+//! SPARQL tokenizer.
+
+use crate::results::SparqlError;
+
+/// A lexed token with its starting byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds for the supported SPARQL subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `<http://...>`
+    Iri(String),
+    /// `prefix:local` — split into (prefix, local). Prefix may be empty.
+    PName(String, String),
+    /// `?name` or `$name`
+    Var(String),
+    /// String literal body (unescaped), before any `^^` / `@`.
+    String(String),
+    /// `@lang` following a string
+    LangTag(String),
+    /// Integer or decimal literal, kept lexical.
+    Number(String),
+    /// Bare word: keyword or `a`.
+    Word(String),
+    /// `_:label`
+    BNode(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Dot,
+    Semicolon,
+    Comma,
+    Star,
+    /// `<<`
+    LQuote,
+    /// `>>`
+    RQuote,
+    /// `^^`
+    DTypeSep,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Bang,
+    Plus,
+    Minus,
+    Slash,
+    Eof,
+}
+
+impl TokenKind {
+    /// True when this is the given case-insensitive keyword.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+
+    let err = |pos: usize, msg: String| SparqlError::Parse {
+        offset: pos,
+        message: msg,
+    };
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                pos += 1;
+            }
+            b'#' => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, offset: pos });
+                pos += 1;
+            }
+            b'}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, offset: pos });
+                pos += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: pos });
+                pos += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: pos });
+                pos += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: pos });
+                pos += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: pos });
+                pos += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: pos });
+                pos += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: pos });
+                pos += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: pos });
+                pos += 1;
+            }
+            b'=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset: pos });
+                pos += 1;
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: pos });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, offset: pos });
+                    pos += 1;
+                }
+            }
+            b'&' => {
+                if bytes.get(pos + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, offset: pos });
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "expected '&&'".into()));
+                }
+            }
+            b'|' => {
+                if bytes.get(pos + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, offset: pos });
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "expected '||'".into()));
+                }
+            }
+            b'^' => {
+                if bytes.get(pos + 1) == Some(&b'^') {
+                    tokens.push(Token { kind: TokenKind::DTypeSep, offset: pos });
+                    pos += 2;
+                } else {
+                    return Err(err(pos, "expected '^^'".into()));
+                }
+            }
+            b'<' => {
+                // '<<', '<=', '<' or IRI
+                if bytes.get(pos + 1) == Some(&b'<') {
+                    tokens.push(Token { kind: TokenKind::LQuote, offset: pos });
+                    pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: pos });
+                    pos += 2;
+                } else {
+                    // IRI if it closes with '>' before whitespace; else Lt
+                    let mut end = pos + 1;
+                    let mut is_iri = false;
+                    while end < bytes.len() {
+                        match bytes[end] {
+                            b'>' => {
+                                is_iri = true;
+                                break;
+                            }
+                            b' ' | b'\t' | b'\n' | b'\r' | b'{' | b'"' => break,
+                            _ => end += 1,
+                        }
+                    }
+                    if is_iri {
+                        let iri = std::str::from_utf8(&bytes[pos + 1..end])
+                            .map_err(|_| err(pos, "invalid UTF-8 in IRI".into()))?;
+                        tokens.push(Token {
+                            kind: TokenKind::Iri(iri.to_string()),
+                            offset: pos,
+                        });
+                        pos = end + 1;
+                    } else {
+                        tokens.push(Token { kind: TokenKind::Lt, offset: pos });
+                        pos += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::RQuote, offset: pos });
+                    pos += 2;
+                } else if bytes.get(pos + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: pos });
+                    pos += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: pos });
+                    pos += 1;
+                }
+            }
+            b'?' | b'$' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(err(pos, "empty variable name".into()));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Var(
+                        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
+                    ),
+                    offset: pos,
+                });
+                pos = end;
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                let start = pos;
+                pos += 1;
+                let mut s = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        return Err(err(start, "unterminated string".into()));
+                    }
+                    let b = bytes[pos];
+                    if b == quote {
+                        pos += 1;
+                        break;
+                    } else if b == b'\\' {
+                        pos += 1;
+                        let esc = *bytes
+                            .get(pos)
+                            .ok_or_else(|| err(start, "dangling escape".into()))?;
+                        s.push(match esc {
+                            b'"' => '"',
+                            b'\'' => '\'',
+                            b'\\' => '\\',
+                            b'n' => '\n',
+                            b'r' => '\r',
+                            b't' => '\t',
+                            c => return Err(err(pos, format!("unknown escape \\{}", c as char))),
+                        });
+                        pos += 1;
+                    } else {
+                        let rest = std::str::from_utf8(&bytes[pos..])
+                            .map_err(|_| err(pos, "invalid UTF-8".into()))?;
+                        let ch = rest.chars().next().unwrap();
+                        s.push(ch);
+                        pos += ch.len_utf8();
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::String(s), offset: start });
+            }
+            b'@' => {
+                let start = pos + 1;
+                let mut end = start;
+                while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'-')
+                {
+                    end += 1;
+                }
+                if end == start {
+                    return Err(err(pos, "empty language tag".into()));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LangTag(
+                        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
+                    ),
+                    offset: pos,
+                });
+                pos = end;
+            }
+            b'_' if bytes.get(pos + 1) == Some(&b':') => {
+                let start = pos + 2;
+                let mut end = start;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_' || bytes[end] == b'-')
+                {
+                    end += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::BNode(
+                        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
+                    ),
+                    offset: pos,
+                });
+                pos = end;
+            }
+            b'-' => {
+                // negative number literal or minus operator
+                if bytes.get(pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let (num, end) = lex_number(bytes, pos + 1);
+                    tokens.push(Token {
+                        kind: TokenKind::Number(format!("-{num}")),
+                        offset: pos,
+                    });
+                    pos = end;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, offset: pos });
+                    pos += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let (num, end) = lex_number(bytes, pos);
+                tokens.push(Token { kind: TokenKind::Number(num), offset: pos });
+                pos = end;
+            }
+            b'.' => {
+                tokens.push(Token { kind: TokenKind::Dot, offset: pos });
+                pos += 1;
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = pos;
+                let mut end = pos;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                // prefixed name?  word ':' local
+                if bytes.get(end) == Some(&b':') {
+                    let prefix = std::str::from_utf8(&bytes[start..end]).unwrap().to_string();
+                    let lstart = end + 1;
+                    let mut lend = lstart;
+                    while lend < bytes.len()
+                        && (bytes[lend].is_ascii_alphanumeric()
+                            || bytes[lend] == b'_'
+                            || bytes[lend] == b'-'
+                            || bytes[lend] == b'.')
+                    {
+                        lend += 1;
+                    }
+                    // trailing dots belong to punctuation, not the local name
+                    while lend > lstart && bytes[lend - 1] == b'.' {
+                        lend -= 1;
+                    }
+                    let local = std::str::from_utf8(&bytes[lstart..lend]).unwrap().to_string();
+                    tokens.push(Token {
+                        kind: TokenKind::PName(prefix, local),
+                        offset: start,
+                    });
+                    pos = lend;
+                } else {
+                    let word = std::str::from_utf8(&bytes[start..end]).unwrap().to_string();
+                    tokens.push(Token { kind: TokenKind::Word(word), offset: start });
+                    pos = end;
+                }
+            }
+            b':' => {
+                // default-prefix name `:local`
+                let lstart = pos + 1;
+                let mut lend = lstart;
+                while lend < bytes.len()
+                    && (bytes[lend].is_ascii_alphanumeric()
+                        || bytes[lend] == b'_'
+                        || bytes[lend] == b'-'
+                        || bytes[lend] == b'.')
+                {
+                    lend += 1;
+                }
+                while lend > lstart && bytes[lend - 1] == b'.' {
+                    lend -= 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::PName(
+                        String::new(),
+                        std::str::from_utf8(&bytes[lstart..lend]).unwrap().to_string(),
+                    ),
+                    offset: pos,
+                });
+                pos = lend;
+            }
+            other => {
+                return Err(err(pos, format!("unexpected character {:?}", other as char)));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: bytes.len() });
+    Ok(tokens)
+}
+
+fn lex_number(bytes: &[u8], start: usize) -> (String, usize) {
+    let mut end = start;
+    while end < bytes.len() && bytes[end].is_ascii_digit() {
+        end += 1;
+    }
+    if end < bytes.len()
+        && bytes[end] == b'.'
+        && bytes.get(end + 1).is_some_and(|b| b.is_ascii_digit())
+    {
+        end += 1;
+        while end < bytes.len() && bytes[end].is_ascii_digit() {
+            end += 1;
+        }
+    }
+    // exponent
+    if end < bytes.len() && (bytes[end] == b'e' || bytes[end] == b'E') {
+        let mut e = end + 1;
+        if e < bytes.len() && (bytes[e] == b'+' || bytes[e] == b'-') {
+            e += 1;
+        }
+        if e < bytes.len() && bytes[e].is_ascii_digit() {
+            end = e;
+            while end < bytes.len() && bytes[end].is_ascii_digit() {
+                end += 1;
+            }
+        }
+    }
+    (
+        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
+        end,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_select_tokens() {
+        let ts = kinds("SELECT ?x WHERE { ?x a <http://c> . }");
+        assert!(matches!(&ts[0], TokenKind::Word(w) if w == "SELECT"));
+        assert!(matches!(&ts[1], TokenKind::Var(v) if v == "x"));
+        assert!(ts.contains(&TokenKind::Iri("http://c".into())));
+        assert_eq!(*ts.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn operators_and_quotes() {
+        let ts = kinds("<< ?a ?b ?c >> != <= >= && || !");
+        assert_eq!(ts[0], TokenKind::LQuote);
+        assert_eq!(ts[4], TokenKind::RQuote);
+        assert_eq!(ts[5], TokenKind::Ne);
+        assert_eq!(ts[6], TokenKind::Le);
+        assert_eq!(ts[7], TokenKind::Ge);
+        assert_eq!(ts[8], TokenKind::AndAnd);
+        assert_eq!(ts[9], TokenKind::OrOr);
+        assert_eq!(ts[10], TokenKind::Bang);
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let ts = kinds("kglids:Table :label pipeline:score");
+        assert_eq!(ts[0], TokenKind::PName("kglids".into(), "Table".into()));
+        assert_eq!(ts[1], TokenKind::PName("".into(), "label".into()));
+        assert_eq!(ts[2], TokenKind::PName("pipeline".into(), "score".into()));
+    }
+
+    #[test]
+    fn pname_trailing_dot_is_punctuation() {
+        let ts = kinds("?x a ont:Column. }");
+        assert_eq!(ts[2], TokenKind::PName("ont".into(), "Column".into()));
+        assert_eq!(ts[3], TokenKind::Dot);
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = kinds("42 3.14 -7 -0.5 1e6 2.5e-3");
+        assert_eq!(ts[0], TokenKind::Number("42".into()));
+        assert_eq!(ts[1], TokenKind::Number("3.14".into()));
+        assert_eq!(ts[2], TokenKind::Number("-7".into()));
+        assert_eq!(ts[3], TokenKind::Number("-0.5".into()));
+        assert_eq!(ts[4], TokenKind::Number("1e6".into()));
+        assert_eq!(ts[5], TokenKind::Number("2.5e-3".into()));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_lang() {
+        let ts = kinds(r#""he said \"hi\""@en 'single'"#);
+        assert_eq!(ts[0], TokenKind::String("he said \"hi\"".into()));
+        assert_eq!(ts[1], TokenKind::LangTag("en".into()));
+        assert_eq!(ts[2], TokenKind::String("single".into()));
+    }
+
+    #[test]
+    fn typed_literal_tokens() {
+        let ts = kinds(r#""0.9"^^<http://www.w3.org/2001/XMLSchema#double>"#);
+        assert_eq!(ts[0], TokenKind::String("0.9".into()));
+        assert_eq!(ts[1], TokenKind::DTypeSep);
+        assert!(matches!(&ts[2], TokenKind::Iri(_)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ts = kinds("SELECT # comment here\n ?x");
+        assert_eq!(ts.len(), 3); // SELECT, ?x, EOF
+    }
+
+    #[test]
+    fn lt_vs_iri_disambiguation() {
+        let ts = kinds("FILTER(?x < 5)");
+        assert!(ts.contains(&TokenKind::Lt));
+    }
+
+    #[test]
+    fn rejects_bad_chars() {
+        assert!(tokenize("SELECT ~").is_err());
+    }
+}

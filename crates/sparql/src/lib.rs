@@ -1,0 +1,39 @@
+//! `lids-sparql` — a SPARQL engine for the LiDS graph.
+//!
+//! The paper implements most of the KGLiDS interfaces as SPARQL queries
+//! against GraphDB and credits the engine's built-in indexes for its query
+//! speed (Section 6.1.2). This crate implements the subset those interfaces
+//! need, evaluated over [`lids_rdf::QuadStore`]:
+//!
+//! - `SELECT` / `ASK`, `DISTINCT`, projection, `PREFIX`
+//! - basic graph patterns with `;`/`,` abbreviations and `a` for `rdf:type`
+//! - RDF-star quoted triple patterns (`<< ?a :sim ?b >> :score ?s`)
+//! - `FILTER` expressions (comparisons, boolean ops, arithmetic, `REGEX`,
+//!   `CONTAINS`, `STRSTARTS`, `STR`, `BOUND`, `LCASE`/`UCASE`)
+//! - `OPTIONAL`, `UNION`, `GRAPH` (named-graph scoping, variable graphs)
+//! - `GROUP BY` with `COUNT`/`SUM`/`AVG`/`MIN`/`MAX`, `ORDER BY`,
+//!   `LIMIT`/`OFFSET`
+//!
+//! Scoping note: patterns outside `GRAPH` match the union of the default and
+//! all named graphs (the GraphDB-style dataset the paper queries, where each
+//! pipeline lives in its own named graph but discovery queries span all of
+//! them). `GRAPH ?g` ranges over named graphs only, per the SPARQL spec.
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod results;
+
+pub use ast::Query;
+pub use eval::{evaluate, evaluate_with, EvalOptions};
+pub use parser::parse_query;
+pub use results::{Solutions, SparqlError};
+
+use lids_rdf::QuadStore;
+
+/// Parse and evaluate `query` against `store` in one call.
+pub fn query(store: &QuadStore, query: &str) -> Result<Solutions, SparqlError> {
+    let parsed = parse_query(query)?;
+    evaluate(store, &parsed)
+}

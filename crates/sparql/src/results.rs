@@ -1,0 +1,128 @@
+//! Query results and error types.
+
+use lids_rdf::Term;
+
+/// Errors from parsing or evaluating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparqlError {
+    /// Syntax error at a byte offset.
+    Parse { offset: usize, message: String },
+    /// Semantic error during evaluation.
+    Eval(String),
+}
+
+impl std::fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparqlError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+/// A solution sequence: named columns plus rows of optional terms
+/// (`None` = unbound, e.g. from OPTIONAL).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Solutions {
+    /// Projected variable names, in projection order.
+    pub columns: Vec<String>,
+    /// One row per solution; row length equals `columns.len()`.
+    pub rows: Vec<Vec<Option<Term>>>,
+    /// For ASK queries: the boolean result. SELECTs leave this `None`.
+    pub ask: Option<bool>,
+}
+
+impl Solutions {
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Iterate the terms bound to `column` across all rows (skipping unbound).
+    pub fn column<'a>(&'a self, name: &str) -> Box<dyn Iterator<Item = &'a Term> + 'a> {
+        match self.column_index(name) {
+            Some(i) => Box::new(self.rows.iter().filter_map(move |r| r[i].as_ref())),
+            None => Box::new(std::iter::empty()),
+        }
+    }
+
+    /// Get the term at `(row, column-name)`.
+    pub fn get(&self, row: usize, name: &str) -> Option<&Term> {
+        let i = self.column_index(name)?;
+        self.rows.get(row)?.get(i)?.as_ref()
+    }
+
+    /// Convenience: string form of the term at `(row, column)` — IRI text or
+    /// literal lexical form.
+    pub fn get_str(&self, row: usize, name: &str) -> Option<String> {
+        self.get(row, name).map(term_text)
+    }
+
+    /// Convenience: numeric value at `(row, column)`.
+    pub fn get_f64(&self, row: usize, name: &str) -> Option<f64> {
+        match self.get(row, name)? {
+            Term::Literal(l) => l.as_f64(),
+            _ => None,
+        }
+    }
+}
+
+/// Human-facing text of a term: IRI string, bnode label, or lexical form.
+pub fn term_text(t: &Term) -> String {
+    match t {
+        Term::Iri(i) => i.clone(),
+        Term::BNode(b) => format!("_:{b}"),
+        Term::Literal(l) => l.lexical.clone(),
+        Term::Quoted(q) => format!(
+            "<< {} {} {} >>",
+            term_text(&q.subject),
+            term_text(&q.predicate),
+            term_text(&q.object)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Solutions {
+            columns: vec!["x".into(), "n".into()],
+            rows: vec![
+                vec![Some(Term::iri("a")), Some(Term::integer(3))],
+                vec![Some(Term::iri("b")), None],
+            ],
+            ask: None,
+        };
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get_str(0, "x").as_deref(), Some("a"));
+        assert_eq!(s.get_f64(0, "n"), Some(3.0));
+        assert_eq!(s.get(1, "n"), None);
+        assert_eq!(s.column("x").count(), 2);
+        assert_eq!(s.column("n").count(), 1);
+        assert_eq!(s.column("missing").count(), 0);
+    }
+
+    #[test]
+    fn term_text_forms() {
+        assert_eq!(term_text(&Term::iri("http://x")), "http://x");
+        assert_eq!(term_text(&Term::string("v")), "v");
+        assert_eq!(term_text(&Term::BNode("b".into())), "_:b");
+    }
+}

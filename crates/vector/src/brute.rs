@@ -1,0 +1,166 @@
+//! Exact nearest-neighbour search by linear scan.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::metric::Metric;
+use crate::{Neighbor, VecId, VectorIndex};
+
+/// Exact k-NN index. O(n·d) per query but zero build cost; KGLiDS uses the
+/// exact path for the pairwise column-similarity pass of Algorithm 3, and
+/// the benches use it as ground truth for HNSW recall.
+#[derive(Debug, Clone)]
+pub struct BruteForceIndex {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<VecId>,
+    data: Vec<f32>,
+}
+
+impl BruteForceIndex {
+    /// An empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        BruteForceIndex { dim, metric, ids: Vec::new(), data: Vec::new() }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Iterate stored `(id, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (VecId, &[f32])> {
+        self.ids
+            .iter()
+            .enumerate()
+            .map(move |(i, &id)| (id, &self.data[i * self.dim..(i + 1) * self.dim]))
+    }
+
+    /// The stored vector for `id`, if present (linear scan).
+    pub fn get(&self, id: VecId) -> Option<&[f32]> {
+        self.iter().find(|(i, _)| *i == id).map(|(_, v)| v)
+    }
+
+    /// Logical footprint in bytes.
+    pub fn approx_bytes(&self) -> u64 {
+        (self.data.len() * 4 + self.ids.len() * 8) as u64
+    }
+}
+
+/// Max-heap entry so the heap root is the *worst* of the current top-k.
+struct HeapItem(Neighbor);
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.distance == other.0.distance
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .distance
+            .partial_cmp(&other.0.distance)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl VectorIndex for BruteForceIndex {
+    fn add(&mut self, id: VecId, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        self.ids.push(id);
+        self.data.extend_from_slice(vector);
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        for (id, v) in self.iter() {
+            let distance = self.metric.distance(query, v);
+            if heap.len() < k {
+                heap.push(HeapItem(Neighbor { id, distance }));
+            } else if let Some(worst) = heap.peek() {
+                if distance < worst.0.distance {
+                    heap.pop();
+                    heap.push(HeapItem(Neighbor { id, distance }));
+                }
+            }
+        }
+        let mut out: Vec<Neighbor> = heap.into_iter().map(|h| h.0).collect();
+        out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_index() -> BruteForceIndex {
+        let mut idx = BruteForceIndex::new(2, Metric::L2);
+        idx.add(1, &[0.0, 0.0]);
+        idx.add(2, &[1.0, 0.0]);
+        idx.add(3, &[5.0, 5.0]);
+        idx
+    }
+
+    #[test]
+    fn finds_nearest_in_order() {
+        let idx = sample_index();
+        let hits = idx.search(&[0.1, 0.0], 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 2);
+        assert!(hits[0].distance <= hits[1].distance);
+    }
+
+    #[test]
+    fn k_larger_than_len() {
+        let idx = sample_index();
+        assert_eq!(idx.search(&[0.0, 0.0], 10).len(), 3);
+    }
+
+    #[test]
+    fn k_zero() {
+        let idx = sample_index();
+        assert!(idx.search(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn cosine_metric_ranks_by_angle() {
+        let mut idx = BruteForceIndex::new(2, Metric::Cosine);
+        idx.add(10, &[1.0, 0.0]);
+        idx.add(20, &[1.0, 1.0]);
+        idx.add(30, &[0.0, 1.0]);
+        let hits = idx.search(&[2.0, 0.1], 3);
+        assert_eq!(hits[0].id, 10);
+        assert_eq!(hits[2].id, 30);
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let idx = sample_index();
+        assert_eq!(idx.get(3), Some([5.0f32, 5.0].as_slice()));
+        assert_eq!(idx.get(99), None);
+        assert_eq!(idx.iter().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_wrong_dim_panics() {
+        let mut idx = BruteForceIndex::new(2, Metric::L2);
+        idx.add(1, &[1.0]);
+    }
+}

@@ -1,0 +1,388 @@
+//! Hierarchical Navigable Small World index (Malkov & Yashunin, 2020).
+//!
+//! A from-scratch implementation of the ANN index the paper's Faiss store
+//! (and the Starmie baseline) rely on: multi-layer proximity graphs where
+//! upper layers are exponentially sparser, searched greedily from the top
+//! with a beam (`ef`) at the base layer.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metric::Metric;
+use crate::{Neighbor, VecId, VectorIndex};
+
+/// HNSW construction and search parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HnswConfig {
+    /// Max connections per node on upper layers (`M`); layer 0 allows `2M`.
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search.
+    pub ef_search: usize,
+    /// Distance metric.
+    pub metric: Metric,
+    /// RNG seed for level assignment (determinism for tests/benches).
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            metric: Metric::Cosine,
+            seed: 0x5EED,
+        }
+    }
+}
+
+struct Node {
+    id: VecId,
+    /// Adjacency per layer, `neighbors[l]` valid for `l <= level`.
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// The HNSW index.
+pub struct HnswIndex {
+    config: HnswConfig,
+    dim: usize,
+    nodes: Vec<Node>,
+    data: Vec<f32>,
+    entry: Option<u32>,
+    max_level: usize,
+    level_norm: f64,
+    rng: SmallRng,
+}
+
+/// (distance, node) ordered for a max-heap on distance.
+#[derive(PartialEq)]
+struct Far(f32, u32);
+impl Eq for Far {}
+impl PartialOrd for Far {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Far {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// (distance, node) ordered for a min-heap on distance (reverse).
+#[derive(PartialEq)]
+struct Near(f32, u32);
+impl Eq for Near {}
+impl PartialOrd for Near {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Near {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl HnswIndex {
+    /// An empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize, config: HnswConfig) -> Self {
+        let level_norm = 1.0 / (config.m as f64).ln();
+        HnswIndex {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            dim,
+            nodes: Vec::new(),
+            data: Vec::new(),
+            entry: None,
+            max_level: 0,
+            level_norm,
+        }
+    }
+
+    fn vector(&self, node: u32) -> &[f32] {
+        let i = node as usize;
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn distance(&self, query: &[f32], node: u32) -> f32 {
+        self.config.metric.distance(query, self.vector(node))
+    }
+
+    fn random_level(&mut self) -> usize {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        (-u.ln() * self.level_norm).floor() as usize
+    }
+
+    /// Beam search on one layer from `entry_points`, returning up to `ef`
+    /// nearest candidates (unsorted heap order).
+    fn search_layer(&self, query: &[f32], entry_points: &[u32], ef: usize, layer: usize) -> Vec<Far> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut candidates: BinaryHeap<Near> = BinaryHeap::new();
+        let mut results: BinaryHeap<Far> = BinaryHeap::new();
+
+        for &ep in entry_points {
+            if visited[ep as usize] {
+                continue;
+            }
+            visited[ep as usize] = true;
+            let d = self.distance(query, ep);
+            candidates.push(Near(d, ep));
+            results.push(Far(d, ep));
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+
+        while let Some(Near(d, node)) = candidates.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.nodes[node as usize].neighbors[layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let dn = self.distance(query, nb);
+                let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+                if results.len() < ef || dn < worst {
+                    candidates.push(Near(dn, nb));
+                    results.push(Far(dn, nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        results.into_vec()
+    }
+
+    /// Cap a node's neighbour list at `max` by keeping the closest.
+    fn prune(&mut self, node: u32, layer: usize, max: usize) {
+        let list = self.nodes[node as usize].neighbors[layer].clone();
+        if list.len() <= max {
+            return;
+        }
+        let base = self.vector(node).to_vec();
+        let mut scored: Vec<(f32, u32)> = list
+            .into_iter()
+            .map(|nb| (self.config.metric.distance(&base, self.vector(nb)), nb))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+        scored.truncate(max);
+        self.nodes[node as usize].neighbors[layer] = scored.into_iter().map(|(_, n)| n).collect();
+    }
+
+    fn max_neighbors(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn add(&mut self, id: VecId, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        let new_node = self.nodes.len() as u32;
+        let level = self.random_level();
+        self.data.extend_from_slice(vector);
+        self.nodes.push(Node {
+            id,
+            neighbors: vec![Vec::new(); level + 1],
+        });
+
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(new_node);
+            self.max_level = level;
+            return;
+        };
+
+        // Greedy descent through layers above the new node's level.
+        let query = vector.to_vec();
+        let mut layer = self.max_level;
+        while layer > level {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let d_ep = self.distance(&query, ep);
+                let nbrs = self.nodes[ep as usize].neighbors[layer].clone();
+                for nb in nbrs {
+                    if self.distance(&query, nb) < d_ep {
+                        ep = nb;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            layer -= 1;
+        }
+
+        // Insert at each layer from min(level, max_level) down to 0.
+        let top = level.min(self.max_level);
+        let mut entry_points = vec![ep];
+        for l in (0..=top).rev() {
+            let found = self.search_layer(&query, &entry_points, self.config.ef_construction, l);
+            let mut sorted: Vec<(f32, u32)> = found.iter().map(|f| (f.0, f.1)).collect();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+            let m = self.config.m.min(sorted.len());
+            let selected: Vec<u32> = sorted.iter().take(m).map(|&(_, n)| n).collect();
+            for &nb in &selected {
+                self.nodes[new_node as usize].neighbors[l].push(nb);
+                self.nodes[nb as usize].neighbors[l].push(new_node);
+                let cap = self.max_neighbors(l);
+                self.prune(nb, l, cap);
+            }
+            entry_points = sorted.iter().map(|&(_, n)| n).collect();
+            if entry_points.is_empty() {
+                entry_points = vec![ep];
+            }
+        }
+
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(new_node);
+        }
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        // Greedy descent to layer 1.
+        for layer in (1..=self.max_level).rev() {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let d_ep = self.distance(query, ep);
+                for &nb in &self.nodes[ep as usize].neighbors[layer] {
+                    if self.distance(query, nb) < d_ep {
+                        ep = nb;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let ef = self.config.ef_search.max(k);
+        let found = self.search_layer(query, &[ep], ef, 0);
+        let mut hits: Vec<Neighbor> = found
+            .into_iter()
+            .map(|Far(d, n)| Neighbor { id: self.nodes[n as usize].id, distance: d })
+            .collect();
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(Ordering::Equal));
+        hits.truncate(k);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceIndex;
+    use rand::Rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = HnswIndex::new(4, HnswConfig::default());
+        assert!(idx.search(&[0.0; 4], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let mut idx = HnswIndex::new(2, HnswConfig::default());
+        idx.add(7, &[1.0, 2.0]);
+        let hits = idx.search(&[1.0, 2.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+    }
+
+    #[test]
+    fn exact_match_is_first() {
+        let mut idx = HnswIndex::new(8, HnswConfig::default());
+        let vecs = random_vectors(200, 8, 42);
+        for (i, v) in vecs.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        for probe in [0usize, 50, 199] {
+            let hits = idx.search(&vecs[probe], 1);
+            assert_eq!(hits[0].id, probe as u64);
+        }
+    }
+
+    #[test]
+    fn recall_vs_brute_force() {
+        let dim = 16;
+        let n = 500;
+        let vecs = random_vectors(n, dim, 7);
+        let mut hnsw = HnswIndex::new(dim, HnswConfig { ef_search: 128, ..Default::default() });
+        let mut brute = BruteForceIndex::new(dim, Metric::Cosine);
+        for (i, v) in vecs.iter().enumerate() {
+            hnsw.add(i as u64, v);
+            brute.add(i as u64, v);
+        }
+        let queries = random_vectors(20, dim, 99);
+        let k = 10;
+        let mut found = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let truth: std::collections::HashSet<u64> =
+                brute.search(q, k).into_iter().map(|h| h.id).collect();
+            let approx = hnsw.search(q, k);
+            total += truth.len();
+            found += approx.iter().filter(|h| truth.contains(&h.id)).count();
+        }
+        let recall = found as f64 / total as f64;
+        assert!(recall > 0.9, "recall {recall} too low");
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let mut idx = HnswIndex::new(4, HnswConfig::default());
+        for (i, v) in random_vectors(100, 4, 3).iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        let hits = idx.search(&[0.5, -0.5, 0.25, 0.0], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let build = || {
+            let mut idx = HnswIndex::new(4, HnswConfig::default());
+            for (i, v) in random_vectors(64, 4, 11).iter().enumerate() {
+                idx.add(i as u64, v);
+            }
+            idx.search(&[0.1, 0.2, 0.3, 0.4], 5)
+                .into_iter()
+                .map(|h| h.id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

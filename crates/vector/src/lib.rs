@@ -1,0 +1,45 @@
+//! `lids-vector` — the embedding store.
+//!
+//! KGLiDS "uses an embedding store, i.e., Faiss, to index the generated
+//! embeddings and enable several methods for similarity search based on
+//! approximate nearest neighbour operations" (Section 2.2). This crate is
+//! that store: dense-vector primitives, an exact [`BruteForceIndex`], and a
+//! from-scratch [`HnswIndex`] (Hierarchical Navigable Small World graphs,
+//! Malkov & Yashunin) — the same index family Starmie uses, which the paper
+//! contrasts against in Section 6.1.2.
+
+pub mod brute;
+pub mod hnsw;
+pub mod metric;
+pub mod ops;
+
+pub use brute::BruteForceIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use metric::Metric;
+pub use ops::{cosine_similarity, dot, l2_distance, l2_norm, mean_vector, normalize};
+
+/// Identifier of a vector within an index. Callers map these to columns,
+/// tables, or datasets.
+pub type VecId = u64;
+
+/// A search hit: vector id plus its distance under the index metric
+/// (smaller = closer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    pub id: VecId,
+    pub distance: f32,
+}
+
+/// Common interface of the exact and approximate indexes.
+pub trait VectorIndex {
+    /// Insert a vector under `id`. Panics on dimension mismatch.
+    fn add(&mut self, id: VecId, vector: &[f32]);
+    /// The `k` nearest stored vectors to `query`, closest first.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+    /// True when no vectors are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,42 @@
+//! Distance metrics shared by the indexes.
+
+use crate::ops::{cosine_similarity, l2_distance};
+
+/// Distance metric. All index distances are "smaller is closer".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Metric {
+    /// Cosine distance: `1 - cosine_similarity`. The paper's column
+    /// similarities are cosine-based (Algorithm 3, line 17).
+    #[default]
+    Cosine,
+    /// Euclidean distance.
+    L2,
+}
+
+impl Metric {
+    /// Distance between two vectors under this metric.
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::Cosine => 1.0 - cosine_similarity(a, b),
+            Metric::L2 => l2_distance(a, b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_distance_range() {
+        let d = Metric::Cosine.distance(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!(d.abs() < 1e-6);
+        let opp = Metric::Cosine.distance(&[1.0, 0.0], &[-1.0, 0.0]);
+        assert!((opp - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_matches_ops() {
+        assert_eq!(Metric::L2.distance(&[0.0], &[3.0]), 3.0);
+    }
+}

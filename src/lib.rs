@@ -1,0 +1,17 @@
+//! Root re-export crate: one `use kglids_repro::…` namespace for the
+//! examples and cross-crate integration tests.
+
+pub use kglids;
+pub use lids_automl as automl;
+pub use lids_baselines as baselines;
+pub use lids_datagen as datagen;
+pub use lids_embed as embed;
+pub use lids_exec as exec;
+pub use lids_gnn as gnn;
+pub use lids_kg as kg;
+pub use lids_ml as ml;
+pub use lids_profiler as profiler;
+pub use lids_py as py;
+pub use lids_rdf as rdf;
+pub use lids_sparql as sparql;
+pub use lids_vector as vector;

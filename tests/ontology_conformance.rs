@@ -1,0 +1,103 @@
+//! Ontology conformance: every predicate and every `rdf:type` object in a
+//! bootstrapped LiDS graph must come from the declared LiDS vocabulary
+//! (13 classes / 19 object properties / 22 data properties, §2.1) or the
+//! RDF/RDFS standard terms. Guards against vocabulary drift as the
+//! platform evolves.
+
+use std::collections::HashSet;
+
+use kglids_repro::datagen::pipelines::{generate_corpus, CorpusSpec};
+use kglids_repro::kg::ontology::{class, data_prop, object_prop, ONT, RDFS_LABEL, RDF_TYPE};
+use kglids_repro::kglids::{KgLidsBuilder, PipelineScript};
+use kglids_repro::profiler::table::{Column, Dataset, Table};
+
+fn vocabulary() -> (HashSet<String>, HashSet<String>) {
+    let mut predicates: HashSet<String> = HashSet::new();
+    predicates.insert(RDF_TYPE.to_string());
+    predicates.insert(RDFS_LABEL.to_string());
+    for p in object_prop::ALL {
+        predicates.insert(object_prop::iri(p));
+    }
+    for p in data_prop::ALL {
+        predicates.insert(data_prop::iri(p));
+    }
+    let classes: HashSet<String> = class::ALL.iter().map(|c| class::iri(c)).collect();
+    (predicates, classes)
+}
+
+#[test]
+fn bootstrapped_graph_uses_only_declared_vocabulary() {
+    let spec = CorpusSpec::synthetic(3, 3, 5);
+    let pipelines = generate_corpus(&spec);
+    let datasets: Vec<Dataset> = spec
+        .datasets
+        .iter()
+        .map(|sk| {
+            let tables = sk
+                .tables
+                .iter()
+                .map(|(name, cols)| {
+                    Table::new(
+                        name.clone(),
+                        cols.iter()
+                            .map(|c| {
+                                Column::new(
+                                    c.clone(),
+                                    (0..12).map(|i| i.to_string()).collect(),
+                                )
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Dataset::new(sk.name.clone(), tables)
+        })
+        .collect();
+    let scripts: Vec<PipelineScript> = pipelines
+        .iter()
+        .map(|p| PipelineScript { metadata: p.metadata.clone(), source: p.source.clone() })
+        .collect();
+    let (platform, _) = KgLidsBuilder::new()
+        .with_datasets(datasets)
+        .with_pipelines(scripts)
+        .bootstrap();
+
+    let (predicates, classes) = vocabulary();
+    let mut seen_predicates: HashSet<String> = HashSet::new();
+    for quad in platform.store().iter() {
+        let pred = quad
+            .predicate
+            .as_iri()
+            .unwrap_or_else(|| panic!("non-IRI predicate {:?}", quad.predicate))
+            .to_string();
+        assert!(
+            predicates.contains(&pred),
+            "undeclared predicate {pred} on {quad}"
+        );
+        seen_predicates.insert(pred.clone());
+        if pred == RDF_TYPE {
+            let ty = quad.object.as_iri().expect("type object is IRI");
+            assert!(classes.contains(ty), "undeclared class {ty}");
+        }
+        // all LiDS IRIs live under the ontology/resource namespaces
+        if let Some(iri) = quad.subject.as_iri() {
+            assert!(
+                iri.starts_with("http://kglids.org/") || iri.starts_with(ONT),
+                "foreign subject {iri}"
+            );
+        }
+    }
+    // the graph actually exercises a meaningful slice of the vocabulary
+    assert!(
+        seen_predicates.len() >= 15,
+        "only {} predicates used",
+        seen_predicates.len()
+    );
+}
+
+#[test]
+fn ontology_counts_match_the_paper() {
+    assert_eq!(class::ALL.len(), 13, "13 classes");
+    assert_eq!(object_prop::ALL.len(), 19, "19 object properties");
+    assert_eq!(data_prop::ALL.len(), 22, "22 data properties");
+}
