@@ -107,9 +107,9 @@ fn bench_colr(c: &mut Criterion) {
     });
 }
 
-/// Ablation: the greedy most-bound-first join ordering vs textual order.
-/// The query lists an unselective pattern first; the planner must move the
-/// selective one ahead of it.
+/// Ablation: cardinality-based join ordering vs textual order. The query
+/// lists an unselective pattern first; the planner must move the selective
+/// one ahead of it.
 fn bench_join_ordering(c: &mut Criterion) {
     let store = store_with(50_000);
     let query = lids_sparql::parse_query(
@@ -123,7 +123,7 @@ fn bench_join_ordering(c: &mut Criterion) {
                 lids_sparql::evaluate_with(
                     &store,
                     &query,
-                    lids_sparql::EvalOptions { reorder_joins: true },
+                    lids_sparql::EvalOptions { reorder_joins: true, ..Default::default() },
                 )
                 .unwrap()
                 .len(),
@@ -136,11 +136,69 @@ fn bench_join_ordering(c: &mut Criterion) {
                 lids_sparql::evaluate_with(
                     &store,
                     &query,
-                    lids_sparql::EvalOptions { reorder_joins: false },
+                    lids_sparql::EvalOptions { reorder_joins: false, ..Default::default() },
                 )
                 .unwrap()
                 .len(),
             )
+        })
+    });
+    group.finish();
+}
+
+/// Discovery-shaped star join over column profiles (the access pattern of
+/// `KgLids::search_tables`): a hub column variable fanning out to several
+/// property patterns, a join up to the table level, and a numeric filter.
+/// The encoded engine is compared against the retained decoded reference
+/// evaluator on the same parsed query.
+fn bench_discovery_star_join(c: &mut Criterion) {
+    let mut store = QuadStore::new();
+    let pred = |p: &str| Term::iri(format!("http://kglids/{p}"));
+    for t in 0..200usize {
+        let table = Term::iri(format!("http://table/{t}"));
+        store.insert(&Quad::new(
+            table.clone(),
+            pred("dataset"),
+            Term::iri(format!("http://dataset/{}", t % 10)),
+        ));
+        for col in 0..25usize {
+            let column = Term::iri(format!("http://table/{t}/col/{col}"));
+            store.insert(&Quad::new(column.clone(), pred("type"), pred("Column")));
+            store.insert(&Quad::new(
+                column.clone(),
+                pred("name"),
+                Term::string(format!("col_{col}")),
+            ));
+            store.insert(&Quad::new(
+                column.clone(),
+                pred("dtype"),
+                Term::iri(format!("http://kglids/dt/{}", col % 5)),
+            ));
+            store.insert(&Quad::new(column.clone(), pred("table"), table.clone()));
+            store.insert(&Quad::new(
+                column,
+                pred("distinct"),
+                Term::integer(((t * 25 + col) % 1000) as i64),
+            ));
+        }
+    }
+    let query = lids_sparql::parse_query(
+        "SELECT ?c ?n ?tbl ?d WHERE { \
+           ?c <http://kglids/type> <http://kglids/Column> . \
+           ?c <http://kglids/name> ?n . \
+           ?c <http://kglids/dtype> <http://kglids/dt/2> . \
+           ?c <http://kglids/table> ?tbl . \
+           ?tbl <http://kglids/dataset> ?d . \
+           ?c <http://kglids/distinct> ?dc . FILTER(?dc > 900) }",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("sparql_discovery_star_join");
+    group.bench_function("encoded", |b| {
+        b.iter(|| black_box(lids_sparql::evaluate(&store, &query).unwrap().len()))
+    });
+    group.bench_function("reference_decoded", |b| {
+        b.iter(|| {
+            black_box(lids_sparql::reference::evaluate(&store, &query).unwrap().len())
         })
     });
     group.finish();
@@ -152,6 +210,7 @@ criterion_group!(
     bench_sparql,
     bench_vector,
     bench_colr,
-    bench_join_ordering
+    bench_join_ordering,
+    bench_discovery_star_join
 );
 criterion_main!(benches);

@@ -32,63 +32,56 @@ impl KgLids {
     /// `[["heart", "disease"], ["patients"]]` = (heart AND disease) OR
     /// patients. Conditions match table, dataset, and column labels.
     pub fn search_tables(&self, conditions: &[&[&str]]) -> DataFrame {
-        // base relation from the LiDS graph
-        let base = self
+        // One star join per table with the column labels pulled in through
+        // OPTIONAL; ORDER BY keeps each table's rows contiguous so they can
+        // be folded in a single pass.
+        let rows = self
             .query(
                 "PREFIX k: <http://kglids.org/ontology/> \
                  PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
-                 SELECT ?table ?name ?dataset WHERE { \
+                 SELECT ?table ?name ?dataset ?col WHERE { \
                     ?table a k:Table ; rdfs:label ?name ; k:isPartOf ?d . \
                     ?d rdfs:label ?dataset . \
+                    OPTIONAL { ?table k:hasColumn ?c . ?c rdfs:label ?col . } \
                  } ORDER BY ?table",
             )
             .expect("well-formed internal query");
-        // column labels per table for matching
-        let col_labels = self
-            .query(
-                "PREFIX k: <http://kglids.org/ontology/> \
-                 PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
-                 SELECT ?table ?col WHERE { ?table k:hasColumn ?c . ?c rdfs:label ?col . }",
-            )
-            .expect("well-formed internal query");
-        let mut columns_of: HashMap<String, Vec<String>> = HashMap::new();
-        for i in 0..col_labels.len() {
-            columns_of
-                .entry(col_labels.get(i, "table").unwrap().to_string())
-                .or_default()
-                .push(col_labels.get(i, "col").unwrap().to_lowercase());
-        }
 
         let mut out = DataFrame::new(vec![
             "dataset".into(),
             "table".into(),
             "table_iri".into(),
         ]);
-        for i in 0..base.len() {
-            let iri = base.get(i, "table").unwrap().to_string();
-            let name = base.get(i, "name").unwrap().to_lowercase();
-            let dataset = base.get(i, "dataset").unwrap().to_string();
-            let haystack: Vec<&str> = std::iter::once(name.as_str())
-                .chain(std::iter::once(dataset.as_str()))
-                .chain(
-                    columns_of
-                        .get(&iri)
-                        .map(|v| v.iter().map(|s| s.as_str()).collect::<Vec<_>>())
-                        .unwrap_or_default(),
-                )
-                .collect();
+        let mut i = 0;
+        while i < rows.len() {
+            let iri = rows.get(i, "table").unwrap().to_string();
+            let name = rows.get(i, "name").unwrap().to_string();
+            let dataset = rows.get(i, "dataset").unwrap().to_string();
+            let mut cols: Vec<String> = Vec::new();
+            let mut j = i;
+            while j < rows.len() && rows.get(j, "table") == Some(iri.as_str()) {
+                // unbound OPTIONAL values surface as empty cells
+                match rows.get(j, "col") {
+                    Some(c) if !c.is_empty() => cols.push(c.to_lowercase()),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let lower_name = name.to_lowercase();
             let lower_dataset = dataset.to_lowercase();
             let matches = conditions.is_empty()
                 || conditions.iter().any(|group| {
                     group.iter().all(|kw| {
                         let kw = kw.to_lowercase();
-                        haystack.iter().any(|h| h.contains(&kw))
+                        lower_name.contains(&kw)
                             || lower_dataset.contains(&kw)
+                            || cols.iter().any(|c| c.contains(&kw))
                     })
                 });
             if matches {
-                out.push(vec![dataset, base.get(i, "name").unwrap().to_string(), iri]);
+                out.push(vec![dataset, name, iri]);
             }
+            i = j;
         }
         out
     }

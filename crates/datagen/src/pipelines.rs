@@ -320,6 +320,18 @@ fn generate_pipeline(
     planted.model = estimator.map(|(n, _)| n).unwrap_or("").to_string();
     planted.hyperparams = hyperparams;
 
+    // floor: real notebooks always have some inspection; this also keeps
+    // scripts at the minimum *significant* statement count downstream
+    // analyzers expect (head/describe/info/show are discarded per §4.1)
+    let eda_pad = ["corr = df.corr()\n", "counts = y.value_counts()\n", "X = X.copy()\n"];
+    let insignificant =
+        |l: &&str| l.ends_with(".head()") || l.ends_with(".show()") || l.ends_with(".info()");
+    let mut pad = 0;
+    while src.lines().filter(|l| !insignificant(l)).count() < 5 {
+        src.push_str(eda_pad[pad % eda_pad.len()]);
+        pad += 1;
+    }
+
     let votes = (rng.gen_range(0.0f64..1.0).powi(3) * 500.0) as u32;
     let metadata = PipelineMetadata {
         id: format!("pipeline_{index}"),

@@ -33,9 +33,20 @@ impl Dictionary {
     }
 
     /// Intern `term`, returning its id (existing or freshly assigned).
+    ///
+    /// Quoted triples also intern their inner terms, so evaluators working
+    /// purely over ids can destructure a stored quoted triple and resolve
+    /// each constituent with [`Dictionary::id_of`] — a guarantee the
+    /// encoded SPARQL evaluator relies on when a quoted pattern contains
+    /// variables.
     pub fn intern(&mut self, term: &Term) -> TermId {
         if let Some(&id) = self.ids.get(term) {
             return id;
+        }
+        if let Term::Quoted(q) = term {
+            self.intern(&q.subject);
+            self.intern(&q.predicate);
+            self.intern(&q.object);
         }
         let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
         self.terms.push(term.clone());

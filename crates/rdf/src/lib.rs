@@ -20,5 +20,5 @@ pub mod term;
 
 pub use dictionary::{Dictionary, TermId};
 pub use pattern::QuadPattern;
-pub use store::{EncodedQuad, QuadStore};
+pub use store::{EncodedPattern, EncodedQuad, QuadStore};
 pub use term::{GraphName, Literal, Quad, Term, Triple};

@@ -12,6 +12,49 @@ use crate::term::{GraphName, Quad, Term};
 /// for the default graph.
 pub type EncodedQuad = [u32; 4];
 
+/// A quad pattern over term ids: `None` positions are wildcards.
+///
+/// This is the fully-resolved form of a [`QuadPattern`] — constants are
+/// already dictionary ids, so matching ([`QuadStore::match_ids`]) and
+/// cardinality estimation ([`QuadStore::estimate_pattern`]) never touch
+/// [`Term`] values. The graph slot holds the id of the graph IRI term
+/// (the default graph's sentinel IRI included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EncodedPattern {
+    pub subject: Option<TermId>,
+    pub predicate: Option<TermId>,
+    pub object: Option<TermId>,
+    pub graph: Option<TermId>,
+}
+
+impl EncodedPattern {
+    /// The all-wildcard pattern.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    fn ids(&self) -> [Option<u32>; 4] {
+        [
+            self.subject.map(|t| t.0),
+            self.predicate.map(|t| t.0),
+            self.object.map(|t| t.0),
+            self.graph.map(|t| t.0),
+        ]
+    }
+}
+
+/// A chosen index plus the range bounds for one encoded pattern.
+struct ScanPlan<'a> {
+    index: &'a BTreeSet<[u32; 4]>,
+    lo: [u32; 4],
+    hi: [u32; 4],
+    prefix_len: usize,
+    /// Bound positions in index key order, for filtering past the prefix.
+    residual: [Option<u32>; 4],
+    /// Permutes an index key back to `[s, p, o, g]`.
+    decode: fn([u32; 4]) -> EncodedQuad,
+}
+
 /// Index orderings maintained by the store.
 ///
 /// Each is a `BTreeSet` of the quad's ids permuted so a range scan over a
@@ -140,38 +183,40 @@ impl QuadStore {
         self.dict.id_of(term)
     }
 
-    /// Match a pattern, returning encoded quads `[s, p, o, g]`.
-    ///
-    /// Chooses the index whose key order puts the bound positions first, so
-    /// the scan is a contiguous B-tree range.
-    pub fn match_encoded<'a>(
-        &'a self,
-        pattern: &QuadPattern,
-    ) -> Box<dyn Iterator<Item = EncodedQuad> + 'a> {
-        // Resolve bound terms; an unresolvable bound term matches nothing.
-        let mut bound = [None; 4];
-        for (slot, term) in [
-            (0, &pattern.subject),
-            (1, &pattern.predicate),
-            (2, &pattern.object),
-        ] {
-            if let Some(t) = term {
-                match self.dict.id_of(t) {
-                    Some(id) => bound[slot] = Some(id.0),
-                    None => return Box::new(std::iter::empty()),
-                }
-            }
-        }
-        if let Some(g) = &pattern.graph {
-            match self.dict.id_of(&Self::graph_term(g)) {
-                Some(id) => bound[3] = Some(id.0),
-                None => return Box::new(std::iter::empty()),
-            }
-        }
-        let [s, p, o, g] = bound;
+    /// Encode a decoded pattern's constants to ids. Returns `None` when a
+    /// bound term is not interned — such a pattern matches nothing.
+    pub fn encode_pattern(&self, pattern: &QuadPattern) -> Option<EncodedPattern> {
+        let resolve = |t: &Option<Term>| match t {
+            None => Some(None),
+            Some(t) => self.dict.id_of(t).map(Some),
+        };
+        Some(EncodedPattern {
+            subject: resolve(&pattern.subject)?,
+            predicate: resolve(&pattern.predicate)?,
+            object: resolve(&pattern.object)?,
+            graph: match &pattern.graph {
+                None => None,
+                Some(g) => Some(self.dict.id_of(&Self::graph_term(g))?),
+            },
+        })
+    }
 
-        // Pick the index with the longest bound prefix.
-        // Orderings: spog=(s,p,o,g) posg=(p,o,s,g) ospg=(o,s,p,g) gspo=(g,s,p,o)
+    /// Id of the sentinel IRI standing in for the default graph, if any
+    /// default-graph quad has been inserted.
+    pub fn default_graph_id(&self) -> Option<TermId> {
+        self.dict.id_of(&Term::iri(DEFAULT_GRAPH_IRI))
+    }
+
+    /// Id a [`GraphName`] occupies in the graph slot, if interned.
+    pub fn graph_id(&self, graph: &GraphName) -> Option<TermId> {
+        self.dict.id_of(&Self::graph_term(graph))
+    }
+
+    /// Pick the index with the longest bound prefix for `ids` (in
+    /// `[s, p, o, g]` order) and compute its range bounds.
+    ///
+    /// Orderings: spog=(s,p,o,g) posg=(p,o,s,g) ospg=(o,s,p,g) gspo=(g,s,p,o)
+    fn plan(&self, [s, p, o, g]: [Option<u32>; 4]) -> ScanPlan<'_> {
         type IndexCandidate<'i> =
             (&'i BTreeSet<[u32; 4]>, [Option<u32>; 4], fn([u32; 4]) -> EncodedQuad);
         let candidates: [IndexCandidate; 4] = [
@@ -186,7 +231,7 @@ impl QuadStore {
             .max_by_key(|(_, (_, key, _))| key.iter().take_while(|b| b.is_some()).count())
             .map(|(i, _)| i)
             .unwrap();
-        let (index, key, decode) = &candidates[best];
+        let (index, key, decode) = candidates[best];
         let prefix_len = key.iter().take_while(|b| b.is_some()).count();
         let mut lo = [0u32; 4];
         let mut hi = [u32::MAX; 4];
@@ -194,20 +239,61 @@ impl QuadStore {
             lo[i] = key[i].unwrap();
             hi[i] = key[i].unwrap();
         }
-        let decode = *decode;
-        let residual = *key;
-        Box::new(
-            index
-                .range(lo..=hi)
-                .filter(move |k| {
-                    residual
-                        .iter()
-                        .enumerate()
-                        .skip(prefix_len)
-                        .all(|(i, b)| b.is_none_or(|v| k[i] == v))
-                })
-                .map(move |&k| decode(k)),
-        )
+        ScanPlan { index, lo, hi, prefix_len, residual: key, decode }
+    }
+
+    /// Match an id-level pattern, returning encoded quads `[s, p, o, g]`.
+    ///
+    /// Pure id-domain scan: chooses the index whose key order puts the
+    /// bound positions first, range-scans it, and filters any bound
+    /// positions that fall outside the prefix. No term decoding happens.
+    pub fn match_ids<'a>(
+        &'a self,
+        pattern: &EncodedPattern,
+    ) -> impl Iterator<Item = EncodedQuad> + 'a {
+        let ScanPlan { index, lo, hi, prefix_len, residual, decode } = self.plan(pattern.ids());
+        index
+            .range(lo..=hi)
+            .filter(move |k| {
+                residual
+                    .iter()
+                    .enumerate()
+                    .skip(prefix_len)
+                    .all(|(i, b)| b.is_none_or(|v| k[i] == v))
+            })
+            .map(move |&k| decode(k))
+    }
+
+    /// Cardinality estimate for an id-level pattern: the number of index
+    /// entries inside the chosen B-tree range.
+    ///
+    /// Exact when every bound position lands in the range prefix (which the
+    /// four orderings guarantee for any single bound position, any bound
+    /// `(p,o)`/`(s,p)`/`(o,s)`/`(g,s)` pair, and all fully-bound patterns);
+    /// otherwise an upper bound, since residual positions are not filtered.
+    /// Cost is proportional to the range size, not the store size, except
+    /// for the all-wildcard pattern which answers from `len()` directly.
+    pub fn estimate_pattern(&self, pattern: &EncodedPattern) -> usize {
+        let ids = pattern.ids();
+        if ids.iter().all(Option::is_none) {
+            return self.len();
+        }
+        let ScanPlan { index, lo, hi, .. } = self.plan(ids);
+        index.range(lo..=hi).count()
+    }
+
+    /// Match a pattern, returning encoded quads `[s, p, o, g]`.
+    ///
+    /// Resolves the pattern's constant terms to ids (an unresolvable bound
+    /// term matches nothing) and delegates to [`QuadStore::match_ids`].
+    pub fn match_encoded<'a>(
+        &'a self,
+        pattern: &QuadPattern,
+    ) -> Box<dyn Iterator<Item = EncodedQuad> + 'a> {
+        match self.encode_pattern(pattern) {
+            Some(encoded) => Box::new(self.match_ids(&encoded)),
+            None => Box::new(std::iter::empty()),
+        }
     }
 
     /// Match a pattern, returning decoded [`Quad`]s.
@@ -348,6 +434,113 @@ mod tests {
             .collect();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].object.as_literal().unwrap().as_f64(), Some(0.93));
+    }
+
+    /// Store shape for the estimate tests: 3 quads share p1/o1, subjects
+    /// differ, one quad lives in a named graph.
+    fn estimate_store() -> QuadStore {
+        let mut store = QuadStore::new();
+        store.insert(&q("s1", "p1", "o1"));
+        store.insert(&q("s1", "p2", "o2"));
+        store.insert(&q("s2", "p1", "o1"));
+        store.insert(&Quad::in_graph(
+            Term::iri("s3"),
+            Term::iri("p1"),
+            Term::iri("o1"),
+            GraphName::named("g"),
+        ));
+        store
+    }
+
+    fn enc(store: &QuadStore, s: Option<&str>, p: Option<&str>, o: Option<&str>) -> EncodedPattern {
+        let id = |t: Option<&str>| t.map(|t| store.id_of(&Term::iri(t)).unwrap());
+        EncodedPattern { subject: id(s), predicate: id(p), object: id(o), graph: None }
+    }
+
+    #[test]
+    fn estimate_subject_prefix_uses_spog() {
+        let store = estimate_store();
+        assert_eq!(store.estimate_pattern(&enc(&store, Some("s1"), None, None)), 2);
+        // (s, p) is an spog prefix too: exact
+        assert_eq!(store.estimate_pattern(&enc(&store, Some("s1"), Some("p1"), None)), 1);
+    }
+
+    #[test]
+    fn estimate_predicate_prefix_uses_posg() {
+        let store = estimate_store();
+        assert_eq!(store.estimate_pattern(&enc(&store, None, Some("p1"), None)), 3);
+        // (p, o) is a posg prefix: exact
+        assert_eq!(store.estimate_pattern(&enc(&store, None, Some("p1"), Some("o1"))), 3);
+        assert_eq!(store.estimate_pattern(&enc(&store, None, Some("p2"), Some("o2"))), 1);
+    }
+
+    #[test]
+    fn estimate_object_prefix_uses_ospg() {
+        let store = estimate_store();
+        assert_eq!(store.estimate_pattern(&enc(&store, None, None, Some("o1"))), 3);
+        // (o, s) is an ospg prefix: exact
+        assert_eq!(store.estimate_pattern(&enc(&store, Some("s2"), None, Some("o1"))), 1);
+    }
+
+    #[test]
+    fn estimate_graph_prefix_uses_gspo() {
+        let store = estimate_store();
+        let g = store.graph_id(&GraphName::named("g")).unwrap();
+        let pattern = EncodedPattern { graph: Some(g), ..EncodedPattern::any() };
+        assert_eq!(store.estimate_pattern(&pattern), 1);
+        // (g, s) is a gspo prefix: exact
+        let s3 = store.id_of(&Term::iri("s3")).unwrap();
+        let pattern = EncodedPattern { subject: Some(s3), graph: Some(g), ..EncodedPattern::any() };
+        assert_eq!(store.estimate_pattern(&pattern), 1);
+    }
+
+    #[test]
+    fn estimate_fully_unbound_is_store_len() {
+        let store = estimate_store();
+        assert_eq!(store.estimate_pattern(&EncodedPattern::any()), store.len());
+        assert_eq!(QuadStore::new().estimate_pattern(&EncodedPattern::any()), 0);
+    }
+
+    #[test]
+    fn estimate_fully_bound_is_membership() {
+        let store = estimate_store();
+        let mut present = enc(&store, Some("s1"), Some("p1"), Some("o1"));
+        present.graph = store.graph_id(&GraphName::Default);
+        assert_eq!(store.estimate_pattern(&present), 1);
+        // bound to existing ids but no such quad
+        let mut absent = enc(&store, Some("s2"), Some("p2"), Some("o2"));
+        absent.graph = store.graph_id(&GraphName::Default);
+        assert_eq!(store.estimate_pattern(&absent), 0);
+    }
+
+    #[test]
+    fn estimate_agrees_with_match_ids_on_prefix_patterns() {
+        let store = estimate_store();
+        for pattern in [
+            EncodedPattern::any(),
+            enc(&store, Some("s1"), None, None),
+            enc(&store, None, Some("p1"), None),
+            enc(&store, None, None, Some("o1")),
+            enc(&store, None, Some("p1"), Some("o1")),
+        ] {
+            assert_eq!(
+                store.estimate_pattern(&pattern),
+                store.match_ids(&pattern).count(),
+                "pattern {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quoted_inner_terms_are_resolvable() {
+        // the dictionary interns quoted constituents so id-level evaluators
+        // can destructure stored quoted triples
+        let mut store = QuadStore::new();
+        let edge = Term::quoted(Term::iri("colA"), Term::iri("similar"), Term::iri("colB"));
+        store.insert(&Quad::new(edge, Term::iri("score"), Term::double(0.93)));
+        assert!(store.id_of(&Term::iri("colA")).is_some());
+        assert!(store.id_of(&Term::iri("similar")).is_some());
+        assert!(store.id_of(&Term::iri("colB")).is_some());
     }
 
     #[test]

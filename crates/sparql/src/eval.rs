@@ -1,20 +1,32 @@
-//! Query evaluation over a [`QuadStore`].
+//! Encoded query evaluation over a [`QuadStore`].
 //!
-//! Evaluation is binding-at-a-time nested-loop join with greedy pattern
-//! ordering (most-bound-first), which together with the store's prefix
-//! indexes reproduces the "leverage the built-in indices of RDF engines"
-//! behaviour the paper relies on for fast discovery queries.
+//! The engine never joins over decoded [`Term`]s. A query is *compiled*
+//! once against the store — every constant node is resolved to its
+//! dictionary [`TermId`] up front (a constant the store has never interned
+//! short-circuits its whole BGP to empty) — and evaluation then runs
+//! binding-at-a-time nested-loop joins where a binding is a
+//! `Vec<Option<TermId>>`: four-byte slots, integer comparisons, no decoding.
+//!
+//! Terms are materialised only at the solution-modifier boundary
+//! ([`crate::project`]) and, lazily per referenced variable, inside FILTER
+//! expressions. Join ordering is cardinality-based: each candidate pattern
+//! is costed with [`QuadStore::estimate_pattern`], which answers from the
+//! store's B-tree range bounds. Large intermediate binding sets are joined
+//! in parallel chunks via [`lids_exec::parallel_map`].
+//!
+//! The naive decoded engine survives as [`crate::reference`]; the
+//! `encoded_vs_reference` property tests hold this engine to its semantics.
 
-use std::cmp::Ordering;
 use std::collections::HashSet;
 
-use lids_rdf::{GraphName, QuadPattern, QuadStore, Term};
+use lids_exec::parallel_map;
+use lids_rdf::{EncodedPattern, GraphName, QuadStore, Term, TermId, Triple};
 
 use crate::ast::*;
-use crate::results::{term_text, Solutions, SparqlError};
+use crate::project::{project, used_variables};
+use crate::results::{Solutions, SparqlError};
 
-/// A partial solution: one optional term per query variable.
-type Binding = Vec<Option<Term>>;
+pub use crate::expr::simple_regex;
 
 /// Evaluate a parsed query against the store.
 pub fn evaluate(store: &QuadStore, query: &Query) -> Result<Solutions, SparqlError> {
@@ -24,21 +36,24 @@ pub fn evaluate(store: &QuadStore, query: &Query) -> Result<Solutions, SparqlErr
 /// Evaluation knobs (benchmarking/ablation).
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
-    /// Greedy most-bound-first join ordering. Disabling it evaluates
-    /// patterns in textual order — the ablation arm of the
-    /// `sparql/join_ordering` bench.
+    /// Cardinality-based join ordering. Disabling it evaluates patterns in
+    /// textual order — the ablation arm of the `sparql/join_ordering`
+    /// bench, and the mode whose row order matches [`crate::reference`]
+    /// exactly.
     pub reorder_joins: bool,
+    /// Intermediate binding sets at least this large are joined in
+    /// parallel chunks. `usize::MAX` disables parallelism.
+    pub parallel_threshold: usize,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_joins: true }
+        EvalOptions { reorder_joins: true, parallel_threshold: 1024 }
     }
 }
 
-thread_local! {
-    static REORDER: std::cell::Cell<bool> = const { std::cell::Cell::new(true) };
-}
+/// A partial solution: one optional term *id* per query variable.
+type IdBinding = Vec<Option<TermId>>;
 
 /// Evaluate with explicit options.
 pub fn evaluate_with(
@@ -46,54 +61,201 @@ pub fn evaluate_with(
     query: &Query,
     options: EvalOptions,
 ) -> Result<Solutions, SparqlError> {
-    REORDER.with(|r| r.set(options.reorder_joins));
-    let result = (|| {
-        let nvars = query.variables.len();
-        match &query.form {
-            QueryForm::Ask(pattern) => {
-                let bindings = eval_group(store, pattern, vec![vec![None; nvars]], None)?;
-                Ok(Solutions {
-                    columns: Vec::new(),
-                    rows: Vec::new(),
-                    ask: Some(!bindings.is_empty()),
-                })
-            }
-            QueryForm::Select(select) => {
-                let bindings = eval_group(store, &select.pattern, vec![vec![None; nvars]], None)?;
-                project(query, select, bindings)
-            }
+    let ev = Evaluator { store, options };
+    let nvars = query.variables.len();
+    let root = vec![vec![None; nvars]];
+    match &query.form {
+        QueryForm::Ask(pattern) => {
+            let compiled = ev.compile_group(pattern);
+            let bindings = ev.eval_group(&compiled, root, GraphCtx::Default)?;
+            Ok(Solutions {
+                columns: Vec::new(),
+                rows: Vec::new(),
+                ask: Some(!bindings.is_empty()),
+            })
         }
-    })();
-    REORDER.with(|r| r.set(true));
-    result
+        QueryForm::Select(select) => {
+            let compiled = ev.compile_group(&select.pattern);
+            let bindings = ev.eval_group(&compiled, root, GraphCtx::Default)?;
+            let decoded = ev.decode_bindings(query, select, bindings);
+            project(query, select, decoded)
+        }
+    }
 }
 
-// ---------------------------------------------------------------- patterns
+// ------------------------------------------------------------ compiled form
 
-fn eval_group(
-    store: &QuadStore,
-    group: &GroupPattern,
-    mut bindings: Vec<Binding>,
-    graph_ctx: Option<&NodePattern>,
-) -> Result<Vec<Binding>, SparqlError> {
-    for element in &group.elements {
-        if bindings.is_empty() {
-            return Ok(bindings);
+/// A node pattern with constants already resolved to ids.
+enum EncNode {
+    Const(TermId),
+    Var(VarId),
+    /// Quoted pattern containing at least one variable (ground quoted
+    /// patterns compile to `Const`).
+    Quoted(Box<EncTriple>),
+}
+
+struct EncTriple {
+    subject: EncNode,
+    predicate: EncNode,
+    object: EncNode,
+}
+
+enum GraphSpec {
+    Fixed(TermId),
+    Var(VarId),
+}
+
+enum EncElement {
+    Triples(Vec<EncTriple>),
+    /// A pattern that cannot match anything in this store (it references a
+    /// constant the dictionary has never interned).
+    Empty,
+    Filter(Expr),
+    Optional(EncGroup),
+    Graph(GraphSpec, EncGroup),
+    Union(Vec<EncGroup>),
+}
+
+struct EncGroup {
+    elements: Vec<EncElement>,
+}
+
+/// Graph scope during evaluation. The default scope spans all graphs;
+/// `GRAPH` narrows it to one fixed graph id or a variable ranging over
+/// named graphs.
+#[derive(Clone, Copy)]
+enum GraphCtx {
+    Default,
+    Fixed(TermId),
+    Var(VarId),
+}
+
+/// Outcome of resolving a node under a binding before a scan.
+enum Resolved {
+    Bound(TermId),
+    Unbound,
+    /// The node denotes a term the store cannot contain — no quad matches.
+    Dead,
+}
+
+impl Resolved {
+    fn id(&self) -> Option<TermId> {
+        match self {
+            Resolved::Bound(id) => Some(*id),
+            _ => None,
         }
-        bindings = match element {
-            PatternElement::Triples(patterns) => {
-                eval_triples(store, patterns, bindings, graph_ctx)
+    }
+}
+
+struct Evaluator<'a> {
+    store: &'a QuadStore,
+    options: EvalOptions,
+}
+
+impl<'a> Evaluator<'a> {
+    // -------------------------------------------------------------- compile
+
+    fn compile_group(&self, group: &GroupPattern) -> EncGroup {
+        let elements = group
+            .elements
+            .iter()
+            .map(|element| match element {
+                PatternElement::Triples(patterns) => {
+                    let compiled: Option<Vec<EncTriple>> =
+                        patterns.iter().map(|p| self.compile_triple(p)).collect();
+                    match compiled {
+                        Some(triples) => EncElement::Triples(triples),
+                        None => EncElement::Empty,
+                    }
+                }
+                PatternElement::Filter(expr) => EncElement::Filter(expr.clone()),
+                PatternElement::Optional(inner) => {
+                    EncElement::Optional(self.compile_group(inner))
+                }
+                PatternElement::Graph(node, inner) => match node {
+                    NodePattern::Var(v) => {
+                        EncElement::Graph(GraphSpec::Var(*v), self.compile_group(inner))
+                    }
+                    NodePattern::Term(Term::Iri(iri)) => {
+                        match self.store.graph_id(&GraphName::named(iri.clone())) {
+                            Some(id) => {
+                                EncElement::Graph(GraphSpec::Fixed(id), self.compile_group(inner))
+                            }
+                            None => EncElement::Empty,
+                        }
+                    }
+                    // non-IRI graph names match nothing
+                    _ => EncElement::Empty,
+                },
+                PatternElement::Union(branches) => {
+                    EncElement::Union(branches.iter().map(|b| self.compile_group(b)).collect())
+                }
+            })
+            .collect();
+        EncGroup { elements }
+    }
+
+    fn compile_triple(&self, pattern: &TriplePattern) -> Option<EncTriple> {
+        Some(EncTriple {
+            subject: self.compile_node(&pattern.subject)?,
+            predicate: self.compile_node(&pattern.predicate)?,
+            object: self.compile_node(&pattern.object)?,
+        })
+    }
+
+    /// `None` means the node requires a term the dictionary does not hold,
+    /// so the enclosing BGP can never match. (For constants inside quoted
+    /// patterns this relies on the dictionary interning quoted
+    /// constituents recursively.)
+    fn compile_node(&self, node: &NodePattern) -> Option<EncNode> {
+        match node {
+            NodePattern::Term(t) => self.store.id_of(t).map(EncNode::Const),
+            NodePattern::Var(v) => Some(EncNode::Var(*v)),
+            NodePattern::Quoted(q) => match ground_term(node) {
+                Some(term) => self.store.id_of(&term).map(EncNode::Const),
+                None => Some(EncNode::Quoted(Box::new(self.compile_triple(q)?))),
+            },
+        }
+    }
+
+    // ------------------------------------------------------------- evaluate
+
+    fn eval_group(
+        &self,
+        group: &EncGroup,
+        mut bindings: Vec<IdBinding>,
+        ctx: GraphCtx,
+    ) -> Result<Vec<IdBinding>, SparqlError> {
+        for element in &group.elements {
+            if bindings.is_empty() {
+                return Ok(bindings);
             }
-            PatternElement::Filter(expr) => bindings
-                .into_iter()
-                .filter(|b| effective_bool(eval_expr(b, expr).ok().as_ref()).unwrap_or(false))
-                .collect(),
-            PatternElement::Optional(inner) => {
+            bindings = self.apply_element(element, bindings, ctx)?;
+        }
+        Ok(bindings)
+    }
+
+    fn apply_element(
+        &self,
+        element: &EncElement,
+        bindings: Vec<IdBinding>,
+        ctx: GraphCtx,
+    ) -> Result<Vec<IdBinding>, SparqlError> {
+        Ok(match element {
+            EncElement::Triples(patterns) => self.eval_triples(patterns, bindings, ctx),
+            EncElement::Empty => Vec::new(),
+            EncElement::Filter(expr) => {
+                let mut bindings = bindings;
+                bindings.retain(|b| self.filter_passes(b, expr));
+                bindings
+            }
+            EncElement::Optional(inner) => {
                 let mut next = Vec::new();
                 for binding in bindings {
-                    let extended =
-                        eval_group(store, inner, vec![binding.clone()], graph_ctx)?;
+                    let extended = self.eval_group_seeded(inner, &binding, ctx)?;
                     if extended.is_empty() {
+                        // inner group matched nothing: the row survives
+                        // unchanged, moved rather than cloned
                         next.push(binding);
                     } else {
                         next.extend(extended);
@@ -101,701 +263,455 @@ fn eval_group(
                 }
                 next
             }
-            PatternElement::Graph(node, inner) => {
-                eval_group(store, inner, bindings, Some(node))?
+            EncElement::Graph(spec, inner) => {
+                let inner_ctx = match spec {
+                    GraphSpec::Fixed(id) => GraphCtx::Fixed(*id),
+                    GraphSpec::Var(v) => GraphCtx::Var(*v),
+                };
+                self.eval_group(inner, bindings, inner_ctx)?
             }
-            PatternElement::Union(branches) => {
+            EncElement::Union(branches) => {
                 let mut next = Vec::new();
-                for branch in branches {
-                    next.extend(eval_group(store, branch, bindings.clone(), graph_ctx)?);
+                if let Some((last, init)) = branches.split_last() {
+                    for branch in init {
+                        next.extend(self.eval_group(branch, bindings.clone(), ctx)?);
+                    }
+                    next.extend(self.eval_group(last, bindings, ctx)?);
                 }
                 next
             }
+        })
+    }
+
+    /// Evaluate a group for a single input row without cloning it up
+    /// front: the first element matches `seed` by reference, so OPTIONAL
+    /// only pays for rows its inner group actually produces.
+    fn eval_group_seeded(
+        &self,
+        group: &EncGroup,
+        seed: &IdBinding,
+        ctx: GraphCtx,
+    ) -> Result<Vec<IdBinding>, SparqlError> {
+        let Some((first, rest)) = group.elements.split_first() else {
+            return Ok(vec![seed.clone()]);
         };
-    }
-    Ok(bindings)
-}
-
-fn eval_triples(
-    store: &QuadStore,
-    patterns: &[TriplePattern],
-    bindings: Vec<Binding>,
-    graph_ctx: Option<&NodePattern>,
-) -> Vec<Binding> {
-    let order = if REORDER.with(|r| r.get()) {
-        order_patterns(patterns, &bindings)
-    } else {
-        (0..patterns.len()).collect()
-    };
-    let mut current = bindings;
-    for &idx in &order {
-        let pattern = &patterns[idx];
-        let mut next = Vec::new();
-        for binding in &current {
-            match_one(store, pattern, binding, graph_ctx, &mut next);
+        let mut bindings = match first {
+            EncElement::Triples(patterns) => self.eval_triples_seeded(patterns, seed, ctx),
+            EncElement::Empty => Vec::new(),
+            EncElement::Filter(expr) => {
+                if self.filter_passes(seed, expr) {
+                    vec![seed.clone()]
+                } else {
+                    Vec::new()
+                }
+            }
+            EncElement::Optional(inner) => {
+                let extended = self.eval_group_seeded(inner, seed, ctx)?;
+                if extended.is_empty() {
+                    vec![seed.clone()]
+                } else {
+                    extended
+                }
+            }
+            EncElement::Graph(spec, inner) => {
+                let inner_ctx = match spec {
+                    GraphSpec::Fixed(id) => GraphCtx::Fixed(*id),
+                    GraphSpec::Var(v) => GraphCtx::Var(*v),
+                };
+                self.eval_group_seeded(inner, seed, inner_ctx)?
+            }
+            EncElement::Union(branches) => {
+                let mut out = Vec::new();
+                for branch in branches {
+                    out.extend(self.eval_group_seeded(branch, seed, ctx)?);
+                }
+                out
+            }
+        };
+        for element in rest {
+            if bindings.is_empty() {
+                break;
+            }
+            bindings = self.apply_element(element, bindings, ctx)?;
         }
-        current = next;
-        if current.is_empty() {
-            break;
+        Ok(bindings)
+    }
+
+    fn eval_triples(
+        &self,
+        patterns: &[EncTriple],
+        bindings: Vec<IdBinding>,
+        ctx: GraphCtx,
+    ) -> Vec<IdBinding> {
+        let order = self.join_order(patterns, bindings.first(), ctx);
+        let mut current = bindings;
+        for &idx in &order {
+            current = self.join_step(&patterns[idx], current, ctx);
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Like [`Evaluator::eval_triples`] for a single borrowed input row.
+    fn eval_triples_seeded(
+        &self,
+        patterns: &[EncTriple],
+        seed: &IdBinding,
+        ctx: GraphCtx,
+    ) -> Vec<IdBinding> {
+        let order = self.join_order(patterns, Some(seed), ctx);
+        let Some((&head, tail)) = order.split_first() else {
+            return vec![seed.clone()];
+        };
+        let mut current = Vec::new();
+        self.match_rows(&patterns[head], seed, ctx, &mut current);
+        for &idx in tail {
+            if current.is_empty() {
+                break;
+            }
+            current = self.join_step(&patterns[idx], current, ctx);
+        }
+        current
+    }
+
+    /// Extend every binding in `current` with matches of `pattern`,
+    /// parallelising over rows when the set is large enough.
+    fn join_step(
+        &self,
+        pattern: &EncTriple,
+        current: Vec<IdBinding>,
+        ctx: GraphCtx,
+    ) -> Vec<IdBinding> {
+        if current.len() >= self.options.parallel_threshold {
+            parallel_map(&current, |b| {
+                let mut out = Vec::new();
+                self.match_rows(pattern, b, ctx, &mut out);
+                out
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+        } else {
+            let mut next = Vec::new();
+            for b in &current {
+                self.match_rows(pattern, b, ctx, &mut next);
+            }
+            next
         }
     }
-    current
-}
 
-/// Greedy join ordering: repeatedly pick the pattern with the most positions
-/// bound (constants or already-bound variables).
-fn order_patterns(patterns: &[TriplePattern], bindings: &[Binding]) -> Vec<usize> {
-    let mut bound: HashSet<VarId> = HashSet::new();
-    if let Some(first) = bindings.first() {
-        for (i, slot) in first.iter().enumerate() {
-            if slot.is_some() {
-                bound.insert(VarId(i as u16));
+    // --------------------------------------------------------- join ordering
+
+    /// Decide the order in which a BGP's patterns are joined.
+    ///
+    /// Greedy cardinality-based ordering: at each step pick the cheapest
+    /// remaining pattern, where cost is the store's index-range estimate of
+    /// the pattern's constants, discounted for positions whose variables
+    /// are already bound (they act as extra constraints once joined) and
+    /// heavily penalised when the pattern shares no variable with the
+    /// bound set (a cartesian product).
+    fn join_order(
+        &self,
+        patterns: &[EncTriple],
+        first: Option<&IdBinding>,
+        ctx: GraphCtx,
+    ) -> Vec<usize> {
+        if !self.options.reorder_joins || patterns.len() <= 1 {
+            return (0..patterns.len()).collect();
+        }
+        let mut bound: HashSet<VarId> = HashSet::new();
+        if let Some(b) = first {
+            for (i, slot) in b.iter().enumerate() {
+                if slot.is_some() {
+                    bound.insert(VarId(i as u16));
+                }
+            }
+        }
+        let graph_slot = match ctx {
+            GraphCtx::Fixed(id) => Some(id),
+            _ => None,
+        };
+        let mut remaining: Vec<usize> = (0..patterns.len()).collect();
+        let mut order = Vec::with_capacity(patterns.len());
+        while remaining.len() > 1 {
+            let mut best_pos = 0;
+            let mut best_cost = f64::INFINITY;
+            for (pos, &idx) in remaining.iter().enumerate() {
+                let cost = self.pattern_cost(&patterns[idx], &bound, graph_slot);
+                // strict `<`: ties go to the textually earlier pattern
+                if cost < best_cost {
+                    best_cost = cost;
+                    best_pos = pos;
+                }
+            }
+            let idx = remaining.remove(best_pos);
+            collect_triple_vars(&patterns[idx], &mut bound);
+            order.push(idx);
+        }
+        order.push(remaining[0]);
+        order
+    }
+
+    fn pattern_cost(
+        &self,
+        pattern: &EncTriple,
+        bound: &HashSet<VarId>,
+        graph_slot: Option<TermId>,
+    ) -> f64 {
+        let enc = EncodedPattern {
+            subject: const_of(&pattern.subject),
+            predicate: const_of(&pattern.predicate),
+            object: const_of(&pattern.object),
+            graph: graph_slot,
+        };
+        let base = self.store.estimate_pattern(&enc) as f64;
+        let mut bound_positions = 0i32;
+        let mut vars: HashSet<VarId> = HashSet::new();
+        for node in [&pattern.subject, &pattern.predicate, &pattern.object] {
+            let mut node_vars = HashSet::new();
+            collect_node_vars(node, &mut node_vars);
+            if !node_vars.is_empty() && node_vars.iter().all(|v| bound.contains(v)) {
+                bound_positions += 1;
+            }
+            vars.extend(node_vars);
+        }
+        // each position fully determined by already-bound variables acts
+        // like one more index constraint on top of the constant estimate
+        let mut cost = base / 8f64.powi(bound_positions);
+        if !bound.is_empty() && !vars.is_empty() && vars.is_disjoint(bound) {
+            cost *= 1e3;
+        }
+        cost
+    }
+
+    // --------------------------------------------------------------- matching
+
+    /// Extend `binding` with every quad matching `pattern` under the graph
+    /// context. Runs entirely in the id domain: the scan pattern is built
+    /// from ids, candidates come back as `[u32; 4]`, and unification
+    /// compares/binds ids.
+    fn match_rows(
+        &self,
+        pattern: &EncTriple,
+        binding: &IdBinding,
+        ctx: GraphCtx,
+        out: &mut Vec<IdBinding>,
+    ) {
+        let s = self.resolve_node(&pattern.subject, binding);
+        let p = self.resolve_node(&pattern.predicate, binding);
+        let o = self.resolve_node(&pattern.object, binding);
+        if matches!(s, Resolved::Dead) || matches!(p, Resolved::Dead) || matches!(o, Resolved::Dead)
+        {
+            return;
+        }
+
+        // Graph scoping
+        let mut graph_var: Option<VarId> = None;
+        let graph = match ctx {
+            GraphCtx::Default => None,
+            GraphCtx::Fixed(id) => Some(id),
+            GraphCtx::Var(v) => match binding[v.0 as usize] {
+                Some(id) => {
+                    if !matches!(self.store.term(id), Term::Iri(_)) {
+                        return;
+                    }
+                    Some(id)
+                }
+                None => {
+                    graph_var = Some(v);
+                    None
+                }
+            },
+        };
+
+        let scan = EncodedPattern { subject: s.id(), predicate: p.id(), object: o.id(), graph };
+        let default_graph = self.store.default_graph_id();
+        for [qs, qp, qo, qg] in self.store.match_ids(&scan) {
+            let mut candidate = binding.clone();
+            if !self.unify_node(&pattern.subject, TermId(qs), &mut candidate) {
+                continue;
+            }
+            if !self.unify_node(&pattern.predicate, TermId(qp), &mut candidate) {
+                continue;
+            }
+            if !self.unify_node(&pattern.object, TermId(qo), &mut candidate) {
+                continue;
+            }
+            if let Some(v) = graph_var {
+                // GRAPH ?g ranges over named graphs only
+                if Some(TermId(qg)) == default_graph {
+                    continue;
+                }
+                candidate[v.0 as usize] = Some(TermId(qg));
+            }
+            out.push(candidate);
+        }
+    }
+
+    fn resolve_node(&self, node: &EncNode, binding: &IdBinding) -> Resolved {
+        match node {
+            EncNode::Const(id) => Resolved::Bound(*id),
+            EncNode::Var(v) => match binding[v.0 as usize] {
+                Some(id) => Resolved::Bound(id),
+                None => Resolved::Unbound,
+            },
+            EncNode::Quoted(q) => {
+                let s = self.resolve_node(&q.subject, binding);
+                let p = self.resolve_node(&q.predicate, binding);
+                let o = self.resolve_node(&q.object, binding);
+                match (s, p, o) {
+                    (Resolved::Dead, _, _)
+                    | (_, Resolved::Dead, _)
+                    | (_, _, Resolved::Dead) => Resolved::Dead,
+                    (Resolved::Bound(s), Resolved::Bound(p), Resolved::Bound(o)) => {
+                        // every constituent is known: the quoted term
+                        // matches iff it is itself interned
+                        let term = Term::quoted(
+                            self.store.term(s).clone(),
+                            self.store.term(p).clone(),
+                            self.store.term(o).clone(),
+                        );
+                        match self.store.id_of(&term) {
+                            Some(id) => Resolved::Bound(id),
+                            None => Resolved::Dead,
+                        }
+                    }
+                    _ => Resolved::Unbound,
+                }
             }
         }
     }
-    let score = |p: &TriplePattern, bound: &HashSet<VarId>| -> usize {
-        [&p.subject, &p.predicate, &p.object]
-            .iter()
-            .map(|n| match n {
-                NodePattern::Term(_) => 2,
-                NodePattern::Var(v) => usize::from(bound.contains(v)) * 2,
-                NodePattern::Quoted(_) => 1,
-            })
-            .sum()
-    };
-    let mut remaining: Vec<usize> = (0..patterns.len()).collect();
-    let mut order = Vec::with_capacity(patterns.len());
-    while !remaining.is_empty() {
-        let (pos, &best) = remaining
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &i)| score(&patterns[i], &bound))
-            .unwrap();
-        remaining.remove(pos);
-        order.push(best);
-        collect_vars(&patterns[best], &mut bound);
+
+    /// Unify a compiled node with a candidate quad position, purely by id.
+    fn unify_node(&self, node: &EncNode, id: TermId, binding: &mut IdBinding) -> bool {
+        match node {
+            EncNode::Const(c) => *c == id,
+            EncNode::Var(v) => {
+                let slot = &mut binding[v.0 as usize];
+                match slot {
+                    Some(existing) => *existing == id,
+                    None => {
+                        *slot = Some(id);
+                        true
+                    }
+                }
+            }
+            EncNode::Quoted(q) => match self.store.term(id) {
+                Term::Quoted(t) => self.unify_quoted(q, t, binding),
+                _ => false,
+            },
+        }
     }
-    order
+
+    fn unify_quoted(&self, pattern: &EncTriple, triple: &Triple, binding: &mut IdBinding) -> bool {
+        self.unify_term(&pattern.subject, &triple.subject, binding)
+            && self.unify_term(&pattern.predicate, &triple.predicate, binding)
+            && self.unify_term(&pattern.object, &triple.object, binding)
+    }
+
+    /// Unify an encoded node against a decoded term (the inside of a
+    /// stored quoted triple). The dictionary interns quoted constituents,
+    /// so variable bindings still land in the id domain.
+    fn unify_term(&self, node: &EncNode, term: &Term, binding: &mut IdBinding) -> bool {
+        match node {
+            EncNode::Const(c) => self.store.term(*c) == term,
+            EncNode::Var(v) => {
+                let Some(id) = self.store.id_of(term) else {
+                    return false;
+                };
+                let slot = &mut binding[v.0 as usize];
+                match slot {
+                    Some(existing) => *existing == id,
+                    None => {
+                        *slot = Some(id);
+                        true
+                    }
+                }
+            }
+            EncNode::Quoted(q) => match term {
+                Term::Quoted(t) => self.unify_quoted(q, t, binding),
+                _ => false,
+            },
+        }
+    }
+
+    // -------------------------------------------------------------- boundary
+
+    /// Lazy per-variable decoding for FILTER: only variables the
+    /// expression actually references are materialised.
+    fn filter_passes(&self, binding: &IdBinding, expr: &Expr) -> bool {
+        crate::expr::filter_passes(
+            &|v: VarId| binding[v.0 as usize].map(|id| self.store.term(id).clone()),
+            expr,
+        )
+    }
+
+    /// Decode id bindings into term rows for the solution modifiers. Only
+    /// variables the modifiers can observe are materialised; the rest stay
+    /// `None`.
+    fn decode_bindings(
+        &self,
+        query: &Query,
+        select: &SelectQuery,
+        bindings: Vec<IdBinding>,
+    ) -> Vec<Vec<Option<Term>>> {
+        let used = used_variables(query, select);
+        let decode_row = |b: &IdBinding| -> Vec<Option<Term>> {
+            b.iter()
+                .zip(&used)
+                .map(|(slot, &u)| {
+                    if u {
+                        slot.map(|id| self.store.term(id).clone())
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        if bindings.len() >= self.options.parallel_threshold {
+            parallel_map(&bindings, decode_row)
+        } else {
+            bindings.iter().map(decode_row).collect()
+        }
+    }
 }
 
-fn collect_vars(p: &TriplePattern, out: &mut HashSet<VarId>) {
-    for n in [&p.subject, &p.predicate, &p.object] {
+fn const_of(node: &EncNode) -> Option<TermId> {
+    match node {
+        EncNode::Const(id) => Some(*id),
+        _ => None,
+    }
+}
+
+fn collect_triple_vars(t: &EncTriple, out: &mut HashSet<VarId>) {
+    for n in [&t.subject, &t.predicate, &t.object] {
         collect_node_vars(n, out);
     }
 }
 
-fn collect_node_vars(n: &NodePattern, out: &mut HashSet<VarId>) {
+fn collect_node_vars(n: &EncNode, out: &mut HashSet<VarId>) {
     match n {
-        NodePattern::Var(v) => {
+        EncNode::Var(v) => {
             out.insert(*v);
         }
-        NodePattern::Quoted(q) => collect_vars(q, out),
-        NodePattern::Term(_) => {}
+        EncNode::Quoted(q) => collect_triple_vars(q, out),
+        EncNode::Const(_) => {}
     }
 }
 
-/// Resolve a node pattern against a binding: a concrete term, or None (free).
-fn resolve(node: &NodePattern, binding: &Binding) -> Option<Term> {
+/// The concrete term a ground node pattern denotes, or `None` if it
+/// contains a variable.
+fn ground_term(node: &NodePattern) -> Option<Term> {
     match node {
         NodePattern::Term(t) => Some(t.clone()),
-        NodePattern::Var(v) => binding[v.0 as usize].clone(),
-        NodePattern::Quoted(q) => {
-            let s = resolve(&q.subject, binding)?;
-            let p = resolve(&q.predicate, binding)?;
-            let o = resolve(&q.object, binding)?;
-            Some(Term::quoted(s, p, o))
-        }
-    }
-}
-
-fn match_one(
-    store: &QuadStore,
-    pattern: &TriplePattern,
-    binding: &Binding,
-    graph_ctx: Option<&NodePattern>,
-    out: &mut Vec<Binding>,
-) {
-    let s = resolve(&pattern.subject, binding);
-    let p = resolve(&pattern.predicate, binding);
-    let o = resolve(&pattern.object, binding);
-
-    let mut qp = QuadPattern::any();
-    if let Some(t) = &s {
-        qp = qp.with_subject(t.clone());
-    }
-    if let Some(t) = &p {
-        qp = qp.with_predicate(t.clone());
-    }
-    if let Some(t) = &o {
-        qp = qp.with_object(t.clone());
-    }
-
-    // Graph scoping
-    let mut graph_var: Option<VarId> = None;
-    match graph_ctx {
-        None => {}
-        Some(NodePattern::Term(Term::Iri(iri))) => {
-            qp = qp.with_graph(GraphName::named(iri.clone()));
-        }
-        Some(NodePattern::Var(v)) => match &binding[v.0 as usize] {
-            Some(Term::Iri(iri)) => qp = qp.with_graph(GraphName::named(iri.clone())),
-            Some(_) => return,
-            None => graph_var = Some(*v),
-        },
-        Some(_) => return,
-    }
-
-    for quad in store.match_pattern(&qp) {
-        let mut candidate = binding.clone();
-        if !unify(&pattern.subject, &quad.subject, &mut candidate) {
-            continue;
-        }
-        if !unify(&pattern.predicate, &quad.predicate, &mut candidate) {
-            continue;
-        }
-        if !unify(&pattern.object, &quad.object, &mut candidate) {
-            continue;
-        }
-        if let Some(v) = graph_var {
-            match &quad.graph {
-                GraphName::Named(iri) => candidate[v.0 as usize] = Some(Term::iri(iri.clone())),
-                // GRAPH ?g ranges over named graphs only
-                GraphName::Default => continue,
-            }
-        }
-        out.push(candidate);
-    }
-}
-
-/// Unify a node pattern with a concrete term under a binding.
-fn unify(node: &NodePattern, term: &Term, binding: &mut Binding) -> bool {
-    match node {
-        NodePattern::Term(t) => t == term,
-        NodePattern::Var(v) => {
-            let slot = &mut binding[v.0 as usize];
-            match slot {
-                Some(existing) => existing == term,
-                None => {
-                    *slot = Some(term.clone());
-                    true
-                }
-            }
-        }
-        NodePattern::Quoted(q) => match term {
-            Term::Quoted(t) => {
-                unify(&q.subject, &t.subject, binding)
-                    && unify(&q.predicate, &t.predicate, binding)
-                    && unify(&q.object, &t.object, binding)
-            }
-            _ => false,
-        },
-    }
-}
-
-// ------------------------------------------------------------- projection
-
-fn project(
-    query: &Query,
-    select: &SelectQuery,
-    bindings: Vec<Binding>,
-) -> Result<Solutions, SparqlError> {
-    let items: Vec<SelectItem> = match &select.projection {
-        Projection::Star => (0..query.variables.len())
-            .map(|i| SelectItem::Var(VarId(i as u16)))
-            .collect(),
-        Projection::Items(items) => items.clone(),
-    };
-    let has_aggregate = items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
-
-    let columns: Vec<String> = items
-        .iter()
-        .map(|i| match i {
-            SelectItem::Var(v) | SelectItem::Aggregate { alias: v, .. } => {
-                query.variables[v.0 as usize].clone()
-            }
-        })
-        .collect();
-
-    let mut rows: Vec<Vec<Option<Term>>> = if has_aggregate || !select.group_by.is_empty() {
-        aggregate_rows(select, &items, bindings)?
-    } else {
-        bindings
-            .iter()
-            .map(|b| {
-                items
-                    .iter()
-                    .map(|item| match item {
-                        SelectItem::Var(v) => b[v.0 as usize].clone(),
-                        SelectItem::Aggregate { .. } => unreachable!(),
-                    })
-                    .collect()
-            })
-            .collect()
-    };
-
-    // ORDER BY applies to projected rows; sort keys may reference any
-    // variable, so for the non-aggregate path we sort bindings first.
-    if !select.order_by.is_empty() {
-        let col_of_var: Vec<Option<usize>> = (0..query.variables.len())
-            .map(|vi| {
-                items.iter().position(|it| match it {
-                    SelectItem::Var(v) | SelectItem::Aggregate { alias: v, .. } => {
-                        v.0 as usize == vi
-                    }
-                })
-            })
-            .collect();
-        rows.sort_by(|a, b| {
-            for key in &select.order_by {
-                // Build a pseudo-binding view over the projected row.
-                let va = eval_expr_with(a, &col_of_var, &key.expr);
-                let vb = eval_expr_with(b, &col_of_var, &key.expr);
-                let ord = compare_terms(va.as_ref().ok(), vb.as_ref().ok());
-                let ord = if key.descending { ord.reverse() } else { ord };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
-        });
-    }
-
-    if select.distinct {
-        let mut seen = HashSet::new();
-        rows.retain(|r| seen.insert(format!("{r:?}")));
-    }
-
-    let offset = select.offset.unwrap_or(0);
-    if offset > 0 {
-        rows.drain(..offset.min(rows.len()));
-    }
-    if let Some(limit) = select.limit {
-        rows.truncate(limit);
-    }
-
-    Ok(Solutions { columns, rows, ask: None })
-}
-
-fn aggregate_rows(
-    select: &SelectQuery,
-    items: &[SelectItem],
-    bindings: Vec<Binding>,
-) -> Result<Vec<Vec<Option<Term>>>, SparqlError> {
-    use std::collections::BTreeMap;
-    // Group key: rendered group-by values (terms compare via Debug ordering;
-    // BTreeMap keeps output deterministic).
-    let mut groups: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
-    for b in bindings {
-        let key: String = select
-            .group_by
-            .iter()
-            .map(|v| format!("{:?}|", b[v.0 as usize]))
-            .collect();
-        groups
-            .entry(key)
-            .or_insert_with(|| (b.clone(), Vec::new()))
-            .1
-            .push(b);
-    }
-    // With no GROUP BY but an aggregate: a single group over everything.
-    if groups.is_empty() {
-        // no solutions: aggregates over the empty group (COUNT = 0)
-        let row = items
-            .iter()
-            .map(|item| match item {
-                SelectItem::Aggregate { agg: Aggregate::Count { .. }, .. } => {
-                    Some(Term::integer(0))
-                }
-                _ => None,
-            })
-            .collect();
-        return Ok(vec![row]);
-    }
-
-    let mut rows = Vec::with_capacity(groups.len());
-    for (_, (representative, members)) in groups {
-        let row = items
-            .iter()
-            .map(|item| match item {
-                SelectItem::Var(v) => representative[v.0 as usize].clone(),
-                SelectItem::Aggregate { agg, .. } => eval_aggregate(agg, &members),
-            })
-            .collect();
-        rows.push(row);
-    }
-    Ok(rows)
-}
-
-fn eval_aggregate(agg: &Aggregate, members: &[Binding]) -> Option<Term> {
-    match agg {
-        Aggregate::Count { distinct, var } => {
-            let n = match var {
-                None => members.len(),
-                Some(v) => {
-                    let iter = members.iter().filter_map(|b| b[v.0 as usize].as_ref());
-                    if *distinct {
-                        iter.collect::<HashSet<_>>().len()
-                    } else {
-                        iter.count()
-                    }
-                }
-            };
-            Some(Term::integer(n as i64))
-        }
-        Aggregate::Sum(v) | Aggregate::Avg(v) => {
-            let values: Vec<f64> = members
-                .iter()
-                .filter_map(|b| b[v.0 as usize].as_ref())
-                .filter_map(|t| t.as_literal().and_then(|l| l.as_f64()))
-                .collect();
-            if values.is_empty() {
-                return Some(Term::double(0.0));
-            }
-            let sum: f64 = values.iter().sum();
-            Some(Term::double(if matches!(agg, Aggregate::Avg(_)) {
-                sum / values.len() as f64
-            } else {
-                sum
-            }))
-        }
-        Aggregate::Min(v) | Aggregate::Max(v) => {
-            let mut best: Option<&Term> = None;
-            for b in members {
-                if let Some(t) = b[v.0 as usize].as_ref() {
-                    best = Some(match best {
-                        None => t,
-                        Some(cur) => {
-                            let ord = compare_terms(Some(&t.clone()), Some(&cur.clone()));
-                            let take = if matches!(agg, Aggregate::Min(_)) {
-                                ord == Ordering::Less
-                            } else {
-                                ord == Ordering::Greater
-                            };
-                            if take {
-                                t
-                            } else {
-                                cur
-                            }
-                        }
-                    });
-                }
-            }
-            best.cloned()
-        }
-    }
-}
-
-// ------------------------------------------------------------ expressions
-
-/// Evaluate an expression against a binding. `Err(())` models SPARQL's
-/// expression errors (unbound variables, type mismatches), which FILTER
-/// treats as false.
-fn eval_expr(binding: &Binding, expr: &Expr) -> Result<Term, ()> {
-    match expr {
-        Expr::Var(v) => binding[v.0 as usize].clone().ok_or(()),
-        Expr::Const(t) => Ok(t.clone()),
-        Expr::Not(e) => {
-            let b = effective_bool(Some(&eval_expr(binding, e)?)).ok_or(())?;
-            Ok(Term::boolean(!b))
-        }
-        Expr::Neg(e) => {
-            let v = numeric(&eval_expr(binding, e)?).ok_or(())?;
-            Ok(Term::double(-v))
-        }
-        Expr::Binary(op, l, r) => eval_binary(binding, *op, l, r),
-        Expr::Call(func, args) => eval_call(binding, *func, args),
-    }
-}
-
-/// Variant used for ORDER BY over projected rows: variables resolve through
-/// the projection's column mapping.
-fn eval_expr_with(
-    row: &[Option<Term>],
-    col_of_var: &[Option<usize>],
-    expr: &Expr,
-) -> Result<Term, ()> {
-    match expr {
-        Expr::Var(v) => col_of_var
-            .get(v.0 as usize)
-            .copied()
-            .flatten()
-            .and_then(|c| row[c].clone())
-            .ok_or(()),
-        Expr::Const(t) => Ok(t.clone()),
-        Expr::Not(e) => {
-            let b = effective_bool(Some(&eval_expr_with(row, col_of_var, e)?)).ok_or(())?;
-            Ok(Term::boolean(!b))
-        }
-        Expr::Neg(e) => {
-            let v = numeric(&eval_expr_with(row, col_of_var, e)?).ok_or(())?;
-            Ok(Term::double(-v))
-        }
-        Expr::Binary(op, l, r) => {
-            let lv = eval_expr_with(row, col_of_var, l);
-            let rv = eval_expr_with(row, col_of_var, r);
-            combine_binary(*op, lv, rv)
-        }
-        Expr::Call(..) => Err(()),
-    }
-}
-
-fn eval_binary(binding: &Binding, op: BinOp, l: &Expr, r: &Expr) -> Result<Term, ()> {
-    match op {
-        BinOp::And => {
-            let lv = effective_bool(eval_expr(binding, l).as_ref().ok()).ok_or(())?;
-            if !lv {
-                return Ok(Term::boolean(false));
-            }
-            let rv = effective_bool(eval_expr(binding, r).as_ref().ok()).ok_or(())?;
-            Ok(Term::boolean(rv))
-        }
-        BinOp::Or => {
-            let lv = effective_bool(eval_expr(binding, l).as_ref().ok());
-            if lv == Some(true) {
-                return Ok(Term::boolean(true));
-            }
-            let rv = effective_bool(eval_expr(binding, r).as_ref().ok());
-            match (lv, rv) {
-                (_, Some(true)) => Ok(Term::boolean(true)),
-                (Some(false), Some(false)) => Ok(Term::boolean(false)),
-                _ => Err(()),
-            }
-        }
-        _ => {
-            let lv = eval_expr(binding, l);
-            let rv = eval_expr(binding, r);
-            combine_binary(op, lv, rv)
-        }
-    }
-}
-
-fn combine_binary(op: BinOp, lv: Result<Term, ()>, rv: Result<Term, ()>) -> Result<Term, ()> {
-    let lv = lv?;
-    let rv = rv?;
-    match op {
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-            let a = numeric(&lv).ok_or(())?;
-            let b = numeric(&rv).ok_or(())?;
-            let out = match op {
-                BinOp::Add => a + b,
-                BinOp::Sub => a - b,
-                BinOp::Mul => a * b,
-                BinOp::Div => {
-                    if b == 0.0 {
-                        return Err(());
-                    }
-                    a / b
-                }
-                _ => unreachable!(),
-            };
-            Ok(Term::double(out))
-        }
-        BinOp::Eq => Ok(Term::boolean(terms_equal(&lv, &rv))),
-        BinOp::Ne => Ok(Term::boolean(!terms_equal(&lv, &rv))),
-        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-            let ord = compare_terms(Some(&lv), Some(&rv));
-            Ok(Term::boolean(match op {
-                BinOp::Lt => ord == Ordering::Less,
-                BinOp::Le => ord != Ordering::Greater,
-                BinOp::Gt => ord == Ordering::Greater,
-                BinOp::Ge => ord != Ordering::Less,
-                _ => unreachable!(),
-            }))
-        }
-        BinOp::And | BinOp::Or => unreachable!("handled by eval_binary"),
-    }
-}
-
-fn eval_call(binding: &Binding, func: Func, args: &[Expr]) -> Result<Term, ()> {
-    match func {
-        Func::Bound => match args.first() {
-            Some(Expr::Var(v)) => Ok(Term::boolean(binding[v.0 as usize].is_some())),
-            _ => Err(()),
-        },
-        Func::Str => {
-            let t = eval_expr(binding, args.first().ok_or(())?)?;
-            Ok(Term::string(term_text(&t)))
-        }
-        Func::LCase | Func::UCase => {
-            let t = eval_expr(binding, args.first().ok_or(())?)?;
-            let s = string_of(&t).ok_or(())?;
-            Ok(Term::string(if func == Func::LCase {
-                s.to_lowercase()
-            } else {
-                s.to_uppercase()
-            }))
-        }
-        Func::Contains | Func::StrStarts => {
-            if args.len() != 2 {
-                return Err(());
-            }
-            let hay = string_of(&eval_expr(binding, &args[0])?).ok_or(())?;
-            let needle = string_of(&eval_expr(binding, &args[1])?).ok_or(())?;
-            Ok(Term::boolean(if func == Func::Contains {
-                hay.contains(&needle)
-            } else {
-                hay.starts_with(&needle)
-            }))
-        }
-        Func::Regex => {
-            if args.len() != 2 {
-                return Err(());
-            }
-            let hay = string_of(&eval_expr(binding, &args[0])?).ok_or(())?;
-            let pat = string_of(&eval_expr(binding, &args[1])?).ok_or(())?;
-            Ok(Term::boolean(simple_regex(&hay, &pat)))
-        }
-    }
-}
-
-fn string_of(t: &Term) -> Option<String> {
-    match t {
-        Term::Literal(l) => Some(l.lexical.clone()),
-        Term::Iri(i) => Some(i.clone()),
-        _ => None,
-    }
-}
-
-fn numeric(t: &Term) -> Option<f64> {
-    t.as_literal().and_then(|l| l.as_f64())
-}
-
-fn terms_equal(a: &Term, b: &Term) -> bool {
-    if let (Some(x), Some(y)) = (numeric(a), numeric(b)) {
-        return x == y;
-    }
-    a == b
-}
-
-/// SPARQL-ish ordering: unbound < numbers < strings < IRIs < other.
-fn compare_terms(a: Option<&Term>, b: Option<&Term>) -> Ordering {
-    fn rank(t: Option<&Term>) -> u8 {
-        match t {
-            None => 0,
-            Some(t) => match t {
-                Term::Literal(l) if l.as_f64().is_some() => 1,
-                Term::Literal(_) => 2,
-                Term::Iri(_) => 3,
-                _ => 4,
-            },
-        }
-    }
-    let (ra, rb) = (rank(a), rank(b));
-    if ra != rb {
-        return ra.cmp(&rb);
-    }
-    match (a, b) {
-        (Some(x), Some(y)) => {
-            if let (Some(nx), Some(ny)) = (numeric(x), numeric(y)) {
-                nx.partial_cmp(&ny).unwrap_or(Ordering::Equal)
-            } else {
-                term_text(x).cmp(&term_text(y))
-            }
-        }
-        _ => Ordering::Equal,
-    }
-}
-
-/// SPARQL effective boolean value.
-fn effective_bool(t: Option<&Term>) -> Option<bool> {
-    match t? {
-        Term::Literal(l) => {
-            if let Some(b) = l.as_bool() {
-                Some(b)
-            } else if let Some(n) = l.as_f64() {
-                Some(n != 0.0)
-            } else {
-                Some(!l.lexical.is_empty())
-            }
-        }
-        _ => None,
-    }
-}
-
-/// Tiny regex: supports `.`, `*`, `+`, `?` (postfix on single atoms), `^`,
-/// `$`, and `\`-escaped literals. Enough for the label filters the KGLiDS
-/// interfaces issue; unanchored by default.
-pub fn simple_regex(text: &str, pattern: &str) -> bool {
-    let pat: Vec<char> = pattern.chars().collect();
-    let txt: Vec<char> = text.chars().collect();
-    let anchored_start = pat.first() == Some(&'^');
-    let p = if anchored_start { &pat[1..] } else { &pat[..] };
-    if anchored_start {
-        return match_here(p, &txt);
-    }
-    for start in 0..=txt.len() {
-        if match_here(p, &txt[start..]) {
-            return true;
-        }
-    }
-    false
-}
-
-fn match_here(pat: &[char], txt: &[char]) -> bool {
-    if pat.is_empty() {
-        return true;
-    }
-    if pat == ['$'] {
-        return txt.is_empty();
-    }
-    // atom (+ optional escape)
-    let (atom, alen): (Option<char>, usize) = if pat[0] == '\\' && pat.len() > 1 {
-        (Some(pat[1]), 2)
-    } else if pat[0] == '.' {
-        (None, 1)
-    } else {
-        (Some(pat[0]), 1)
-    };
-    let quant = pat.get(alen).copied();
-    let matches_atom = |c: char| atom.is_none_or(|a| a == c);
-    match quant {
-        Some('*') => {
-            let rest = &pat[alen + 1..];
-            let mut i = 0;
-            loop {
-                if match_here(rest, &txt[i..]) {
-                    return true;
-                }
-                if i < txt.len() && matches_atom(txt[i]) {
-                    i += 1;
-                } else {
-                    return false;
-                }
-            }
-        }
-        Some('+') => {
-            let rest = &pat[alen + 1..];
-            if txt.is_empty() || !matches_atom(txt[0]) {
-                return false;
-            }
-            let mut i = 1;
-            loop {
-                if match_here(rest, &txt[i..]) {
-                    return true;
-                }
-                if i < txt.len() && matches_atom(txt[i]) {
-                    i += 1;
-                } else {
-                    return false;
-                }
-            }
-        }
-        Some('?') => {
-            let rest = &pat[alen + 1..];
-            if !txt.is_empty() && matches_atom(txt[0]) && match_here(rest, &txt[1..]) {
-                return true;
-            }
-            match_here(rest, txt)
-        }
-        _ => {
-            if !txt.is_empty() && matches_atom(txt[0]) {
-                match_here(&pat[alen..], &txt[1..])
-            } else {
-                false
-            }
-        }
+        NodePattern::Var(_) => None,
+        NodePattern::Quoted(q) => Some(Term::quoted(
+            ground_term(&q.subject)?,
+            ground_term(&q.predicate)?,
+            ground_term(&q.object)?,
+        )),
     }
 }
 
@@ -992,24 +908,62 @@ mod tests {
     }
 
     #[test]
-    fn simple_regex_features() {
-        assert!(simple_regex("hello", "ell"));
-        assert!(simple_regex("hello", "^hel"));
-        assert!(simple_regex("hello", "o$"));
-        assert!(!simple_regex("hello", "^ello"));
-        assert!(simple_regex("aaab", "a+b"));
-        assert!(simple_regex("ab", "a.*b"));
-        assert!(simple_regex("ab", "ax?b"));
-        assert!(simple_regex("a.b", "a\\.b"));
-        assert!(!simple_regex("axb", "a\\.b"));
-    }
-
-    #[test]
     fn filter_error_is_false() {
         // comparing an unbound var: row dropped, not an error
         let s = run(
             "SELECT ?t WHERE { ?t <type> <Table> . OPTIONAL { ?t <hasColumn> ?c . } FILTER(?c = <c1>) }",
         );
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn unknown_constant_short_circuits() {
+        // <never-seen> is not in the dictionary: the BGP compiles to Empty
+        let s = run("SELECT ?x WHERE { ?x <type> <Table> . ?x <never-seen> ?y . }");
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential() {
+        let store = store();
+        let query = parse_query(
+            "SELECT ?t ?n ?r WHERE { ?t <type> <Table> . ?t <name> ?n . ?t <rows> ?r . }",
+        )
+        .unwrap();
+        let sequential = evaluate_with(
+            &store,
+            &query,
+            EvalOptions { reorder_joins: true, parallel_threshold: usize::MAX },
+        )
+        .unwrap();
+        // threshold 1: every join step takes the parallel path
+        let parallel = evaluate_with(
+            &store,
+            &query,
+            EvalOptions { reorder_joins: true, parallel_threshold: 1 },
+        )
+        .unwrap();
+        assert_eq!(sequential.rows, parallel.rows);
+    }
+
+    #[test]
+    fn matches_reference_on_fixture_queries() {
+        let store = store();
+        for q in [
+            "SELECT ?t ?n WHERE { ?t <type> <Table> . ?t <name> ?n . }",
+            "SELECT ?t ?c WHERE { ?t <type> <Table> . OPTIONAL { ?t <hasColumn> ?c . } }",
+            "SELECT ?a ?b ?v WHERE { << ?a <sim> ?b >> <score> ?v . }",
+            "SELECT ?g ?s WHERE { GRAPH ?g { ?s <calls> ?lib . } }",
+        ] {
+            let query = parse_query(q).unwrap();
+            let encoded = evaluate_with(
+                &store,
+                &query,
+                EvalOptions { reorder_joins: false, parallel_threshold: usize::MAX },
+            )
+            .unwrap();
+            let reference = crate::reference::evaluate(&store, &query).unwrap();
+            assert_eq!(encoded.rows, reference.rows, "query: {q}");
+        }
     }
 }

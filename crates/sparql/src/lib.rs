@@ -21,8 +21,11 @@
 
 pub mod ast;
 pub mod eval;
+pub mod expr;
 pub mod lexer;
 pub mod parser;
+mod project;
+pub mod reference;
 pub mod results;
 
 pub use ast::Query;

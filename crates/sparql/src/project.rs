@@ -1,0 +1,275 @@
+//! Solution modifiers shared by both evaluators: projection, GROUP BY /
+//! aggregates, ORDER BY, DISTINCT, OFFSET/LIMIT.
+//!
+//! Operates on fully decoded rows — this is the boundary where the encoded
+//! evaluator materialises [`Term`]s, and the only place the solution
+//! modifiers need lexical values.
+
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+use lids_rdf::Term;
+
+use crate::ast::*;
+use crate::expr::{compare_terms, eval_expr};
+use crate::results::{Solutions, SparqlError};
+
+/// A decoded partial solution: one optional term per query variable.
+pub(crate) type Binding = Vec<Option<Term>>;
+
+pub(crate) fn project(
+    query: &Query,
+    select: &SelectQuery,
+    bindings: Vec<Binding>,
+) -> Result<Solutions, SparqlError> {
+    let items: Vec<SelectItem> = match &select.projection {
+        Projection::Star => (0..query.variables.len())
+            .map(|i| SelectItem::Var(VarId(i as u16)))
+            .collect(),
+        Projection::Items(items) => items.clone(),
+    };
+    let has_aggregate = items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+
+    let columns: Vec<String> = items
+        .iter()
+        .map(|i| match i {
+            SelectItem::Var(v) | SelectItem::Aggregate { alias: v, .. } => {
+                query.variables[v.0 as usize].clone()
+            }
+        })
+        .collect();
+
+    let mut rows: Vec<Vec<Option<Term>>> = if has_aggregate || !select.group_by.is_empty() {
+        aggregate_rows(select, &items, bindings)?
+    } else {
+        bindings
+            .iter()
+            .map(|b| {
+                items
+                    .iter()
+                    .map(|item| match item {
+                        SelectItem::Var(v) => b[v.0 as usize].clone(),
+                        SelectItem::Aggregate { .. } => unreachable!(),
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    // ORDER BY applies to projected rows; sort keys resolve variables
+    // through the projection's column mapping.
+    if !select.order_by.is_empty() {
+        let col_of_var: Vec<Option<usize>> = (0..query.variables.len())
+            .map(|vi| {
+                items.iter().position(|it| match it {
+                    SelectItem::Var(v) | SelectItem::Aggregate { alias: v, .. } => {
+                        v.0 as usize == vi
+                    }
+                })
+            })
+            .collect();
+        fn resolver<'r>(
+            row: &'r [Option<Term>],
+            col_of_var: &'r [Option<usize>],
+        ) -> impl Fn(VarId) -> Option<Term> + 'r {
+            move |v: VarId| {
+                col_of_var
+                    .get(v.0 as usize)
+                    .copied()
+                    .flatten()
+                    .and_then(|c| row[c].clone())
+            }
+        }
+        rows.sort_by(|a, b| {
+            for key in &select.order_by {
+                let va = eval_expr(&resolver(a, &col_of_var), &key.expr);
+                let vb = eval_expr(&resolver(b, &col_of_var), &key.expr);
+                let ord = compare_terms(va.as_ref().ok(), vb.as_ref().ok());
+                let ord = if key.descending { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+
+    if select.distinct {
+        let mut seen = HashSet::new();
+        rows.retain(|r| seen.insert(format!("{r:?}")));
+    }
+
+    let offset = select.offset.unwrap_or(0);
+    if offset > 0 {
+        rows.drain(..offset.min(rows.len()));
+    }
+    if let Some(limit) = select.limit {
+        rows.truncate(limit);
+    }
+
+    Ok(Solutions { columns, rows, ask: None })
+}
+
+fn aggregate_rows(
+    select: &SelectQuery,
+    items: &[SelectItem],
+    bindings: Vec<Binding>,
+) -> Result<Vec<Vec<Option<Term>>>, SparqlError> {
+    use std::collections::BTreeMap;
+    // Group key: rendered group-by values (terms compare via Debug ordering;
+    // BTreeMap keeps output deterministic).
+    let mut groups: BTreeMap<String, (Binding, Vec<Binding>)> = BTreeMap::new();
+    for b in bindings {
+        let key: String = select
+            .group_by
+            .iter()
+            .map(|v| format!("{:?}|", b[v.0 as usize]))
+            .collect();
+        groups
+            .entry(key)
+            .or_insert_with(|| (b.clone(), Vec::new()))
+            .1
+            .push(b);
+    }
+    // With no GROUP BY but an aggregate: a single group over everything.
+    if groups.is_empty() {
+        // no solutions: aggregates over the empty group (COUNT = 0)
+        let row = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Aggregate { agg: Aggregate::Count { .. }, .. } => {
+                    Some(Term::integer(0))
+                }
+                _ => None,
+            })
+            .collect();
+        return Ok(vec![row]);
+    }
+
+    let mut rows = Vec::with_capacity(groups.len());
+    for (_, (representative, members)) in groups {
+        let row = items
+            .iter()
+            .map(|item| match item {
+                SelectItem::Var(v) => representative[v.0 as usize].clone(),
+                SelectItem::Aggregate { agg, .. } => eval_aggregate(agg, &members),
+            })
+            .collect();
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn eval_aggregate(agg: &Aggregate, members: &[Binding]) -> Option<Term> {
+    match agg {
+        Aggregate::Count { distinct, var } => {
+            let n = match var {
+                None => members.len(),
+                Some(v) => {
+                    let iter = members.iter().filter_map(|b| b[v.0 as usize].as_ref());
+                    if *distinct {
+                        iter.collect::<HashSet<_>>().len()
+                    } else {
+                        iter.count()
+                    }
+                }
+            };
+            Some(Term::integer(n as i64))
+        }
+        Aggregate::Sum(v) | Aggregate::Avg(v) => {
+            let values: Vec<f64> = members
+                .iter()
+                .filter_map(|b| b[v.0 as usize].as_ref())
+                .filter_map(|t| t.as_literal().and_then(|l| l.as_f64()))
+                .collect();
+            if values.is_empty() {
+                return Some(Term::double(0.0));
+            }
+            let sum: f64 = values.iter().sum();
+            Some(Term::double(if matches!(agg, Aggregate::Avg(_)) {
+                sum / values.len() as f64
+            } else {
+                sum
+            }))
+        }
+        Aggregate::Min(v) | Aggregate::Max(v) => {
+            let mut best: Option<&Term> = None;
+            for b in members {
+                if let Some(t) = b[v.0 as usize].as_ref() {
+                    best = Some(match best {
+                        None => t,
+                        Some(cur) => {
+                            let ord = compare_terms(Some(t), Some(cur));
+                            let take = if matches!(agg, Aggregate::Min(_)) {
+                                ord == Ordering::Less
+                            } else {
+                                ord == Ordering::Greater
+                            };
+                            if take {
+                                t
+                            } else {
+                                cur
+                            }
+                        }
+                    });
+                }
+            }
+            best.cloned()
+        }
+    }
+}
+
+/// Variables the solution modifiers can observe: projected variables,
+/// aggregate inputs, GROUP BY keys, and ORDER BY expression variables.
+/// The encoded evaluator decodes exactly these slots.
+pub(crate) fn used_variables(query: &Query, select: &SelectQuery) -> Vec<bool> {
+    let nvars = query.variables.len();
+    let mut used = vec![false; nvars];
+    match &select.projection {
+        Projection::Star => used.iter_mut().for_each(|u| *u = true),
+        Projection::Items(items) => {
+            for item in items {
+                match item {
+                    SelectItem::Var(v) => used[v.0 as usize] = true,
+                    SelectItem::Aggregate { agg, .. } => match agg {
+                        Aggregate::Count { var, .. } => {
+                            if let Some(v) = var {
+                                used[v.0 as usize] = true;
+                            }
+                        }
+                        Aggregate::Sum(v)
+                        | Aggregate::Avg(v)
+                        | Aggregate::Min(v)
+                        | Aggregate::Max(v) => used[v.0 as usize] = true,
+                    },
+                }
+            }
+        }
+    }
+    for v in &select.group_by {
+        used[v.0 as usize] = true;
+    }
+    for key in &select.order_by {
+        collect_expr_vars(&key.expr, &mut used);
+    }
+    used
+}
+
+fn collect_expr_vars(expr: &Expr, used: &mut [bool]) {
+    match expr {
+        Expr::Var(v) => used[v.0 as usize] = true,
+        Expr::Const(_) => {}
+        Expr::Not(e) | Expr::Neg(e) => collect_expr_vars(e, used),
+        Expr::Binary(_, l, r) => {
+            collect_expr_vars(l, used);
+            collect_expr_vars(r, used);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                collect_expr_vars(a, used);
+            }
+        }
+    }
+}

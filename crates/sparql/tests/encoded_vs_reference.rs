@@ -1,0 +1,218 @@
+//! Differential property tests: the encoded evaluator must agree with the
+//! naive decoded reference engine on randomly generated stores and queries.
+//!
+//! Two comparisons per case:
+//! - with join reordering off and parallelism disabled, the encoded engine
+//!   drives the same index scans in the same textual order as the
+//!   reference, so rows must match *in order*;
+//! - with reordering on and an aggressive parallel threshold, join order
+//!   (and thus row order) may differ, so rows must match as a multiset.
+//!
+//! Queries avoid DISTINCT/ORDER BY/LIMIT/OFFSET so the raw row stream is
+//! comparable; those modifiers run in code shared by both engines anyway.
+
+use proptest::prelude::*;
+
+use lids_rdf::{GraphName, Quad, QuadStore, Term};
+use lids_sparql::{evaluate_with, parse_query, reference, EvalOptions, Solutions};
+
+/// `(subject, predicate, object-kind, object-index, graph)` — rendered as
+/// `n{s} p{p} (n{oi} | int oi)` in the default graph or `g{g}`.
+type QuadSpec = (u8, u8, u8, u8, u8);
+
+/// `(a, b, score)` — rendered as `<< n{a} <sim> n{b} >> <score> {score}`.
+type EdgeSpec = (u8, u8, u8);
+
+/// `(subject, predicate, object)` node selectors for one triple pattern.
+#[derive(Debug, Clone, Copy)]
+struct TripleSpec {
+    s: (u8, u8),
+    p: (u8, u8),
+    o: (u8, u8),
+}
+
+#[derive(Debug, Clone)]
+enum ElemSpec {
+    Triple(TripleSpec),
+    /// Quoted-subject annotation pattern; `a`/`b` select const-or-var
+    /// inner nodes, the score is always a variable.
+    Quoted(u8, u8, u8),
+    Optional(TripleSpec),
+    /// `(kind, var, operand)`.
+    Filter(u8, u8, u8),
+    /// `(scope selector, inner pattern)`.
+    Graph(u8, TripleSpec),
+}
+
+fn build_store(quads: &[QuadSpec], edges: &[EdgeSpec]) -> QuadStore {
+    let mut store = QuadStore::new();
+    for &(s, p, okind, oidx, g) in quads {
+        let object = if okind == 0 {
+            Term::iri(format!("n{}", oidx % 6))
+        } else {
+            Term::integer(i64::from(oidx % 6))
+        };
+        let graph = match g % 3 {
+            0 => GraphName::Default,
+            gi => GraphName::named(format!("g{gi}")),
+        };
+        store.insert(&Quad::in_graph(
+            Term::iri(format!("n{}", s % 6)),
+            Term::iri(format!("p{}", p % 4)),
+            object,
+            graph,
+        ));
+    }
+    for &(a, b, v) in edges {
+        store.insert(&Quad::new(
+            Term::quoted(
+                Term::iri(format!("n{}", a % 6)),
+                Term::iri("sim"),
+                Term::iri(format!("n{}", b % 6)),
+            ),
+            Term::iri("score"),
+            Term::integer(i64::from(v % 8)),
+        ));
+    }
+    store
+}
+
+fn var(idx: u8) -> String {
+    format!("?v{}", idx % 4)
+}
+
+fn subject_node((kind, idx): (u8, u8)) -> String {
+    match kind % 3 {
+        0 | 1 => var(idx),
+        _ => format!("<n{}>", idx % 6),
+    }
+}
+
+fn predicate_node((kind, idx): (u8, u8)) -> String {
+    match kind % 3 {
+        0 | 1 => format!("<p{}>", idx % 4),
+        _ => var(idx),
+    }
+}
+
+fn object_node((kind, idx): (u8, u8)) -> String {
+    match kind % 4 {
+        0 | 1 => var(idx),
+        2 => format!("<n{}>", idx % 6),
+        _ => format!("{}", idx % 6),
+    }
+}
+
+/// Const-or-var selector for quoted inner nodes: 0..6 a constant, 6..12 a
+/// variable.
+fn inner_node(sel: u8) -> String {
+    let sel = sel % 12;
+    if sel < 6 {
+        format!("<n{sel}>")
+    } else {
+        var(sel)
+    }
+}
+
+fn render_triple(t: &TripleSpec) -> String {
+    format!(
+        "{} {} {} .",
+        subject_node(t.s),
+        predicate_node(t.p),
+        object_node(t.o)
+    )
+}
+
+fn render_query(elems: &[ElemSpec]) -> String {
+    let mut body = String::new();
+    for elem in elems {
+        let part = match elem {
+            ElemSpec::Triple(t) => render_triple(t),
+            ElemSpec::Quoted(a, b, v) => format!(
+                "<< {} <sim> {} >> <score> {} .",
+                inner_node(*a),
+                inner_node(*b),
+                var(*v)
+            ),
+            ElemSpec::Optional(t) => format!("OPTIONAL {{ {} }}", render_triple(t)),
+            ElemSpec::Filter(kind, x, k) => match kind % 4 {
+                0 => format!("FILTER({} = {})", var(*x), var(*k)),
+                1 => format!("FILTER({} > {})", var(*x), k % 8),
+                2 => format!("FILTER(BOUND({}))", var(*x)),
+                _ => format!("FILTER(CONTAINS(STR({}), \"{}\"))", var(*x), k % 6),
+            },
+            ElemSpec::Graph(sel, t) => {
+                let scope = match sel % 6 {
+                    0 => "<g1>".to_string(),
+                    1 => "<g2>".to_string(),
+                    2 => "<g9>".to_string(), // no such graph
+                    s => var(s - 3),
+                };
+                format!("GRAPH {} {{ {} }}", scope, render_triple(t))
+            }
+        };
+        body.push_str(&part);
+        body.push(' ');
+    }
+    format!("SELECT * WHERE {{ {body}}}")
+}
+
+fn triple_spec() -> impl Strategy<Value = TripleSpec> {
+    ((0..3u8, 0..8u8), (0..3u8, 0..8u8), (0..4u8, 0..8u8))
+        .prop_map(|(s, p, o)| TripleSpec { s, p, o })
+}
+
+fn elem_spec() -> impl Strategy<Value = ElemSpec> {
+    prop_oneof![
+        5 => triple_spec().prop_map(ElemSpec::Triple),
+        1 => (0..12u8, 0..12u8, 0..4u8).prop_map(|(a, b, v)| ElemSpec::Quoted(a, b, v)),
+        2 => triple_spec().prop_map(ElemSpec::Optional),
+        2 => (0..4u8, 0..4u8, 0..8u8).prop_map(|(kind, x, k)| ElemSpec::Filter(kind, x, k)),
+        1 => (0..6u8, triple_spec()).prop_map(|(sel, t)| ElemSpec::Graph(sel, t)),
+    ]
+}
+
+fn sorted_rows(solutions: &Solutions) -> Vec<String> {
+    let mut rows: Vec<String> = solutions.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn encoded_agrees_with_reference(
+        quads in proptest::collection::vec((0..6u8, 0..4u8, 0..2u8, 0..8u8, 0..3u8), 0..28),
+        edges in proptest::collection::vec((0..8u8, 0..8u8, 0..8u8), 0..4),
+        elems in proptest::collection::vec(elem_spec(), 1..5),
+    ) {
+        let store = build_store(&quads, &edges);
+        let text = render_query(&elems);
+        let query = parse_query(&text).unwrap();
+
+        let reference = reference::evaluate(&store, &query).unwrap();
+
+        // Textual join order, no parallelism: identical scans, identical rows.
+        let naive = evaluate_with(
+            &store,
+            &query,
+            EvalOptions { reorder_joins: false, parallel_threshold: usize::MAX },
+        )
+        .unwrap();
+        prop_assert_eq!(&naive.rows, &reference.rows, "textual-order rows differ for {}", &text);
+
+        // Cardinality ordering + parallel chunks: same multiset of rows.
+        let optimized = evaluate_with(
+            &store,
+            &query,
+            EvalOptions { reorder_joins: true, parallel_threshold: 2 },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            sorted_rows(&optimized),
+            sorted_rows(&reference),
+            "row multiset differs for {}",
+            &text
+        );
+    }
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, and lint-clean clippy.
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,54 @@
+//! Collection strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Size specification for [`vec`]: an exact length or a length range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// `Vec` strategy: `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize
+        };
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

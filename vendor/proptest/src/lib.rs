@@ -1,0 +1,259 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range and regex-ish
+//! string strategies, `collection::vec`, `prop_oneof!`, `Just`,
+//! `prop_map`/`prop_flat_map`, and the `prop_assert*` macros.
+//!
+//! Semantics: each test body runs `cases` times against values drawn from a
+//! deterministic RNG seeded per test. Failing cases report the generated
+//! inputs via `Debug`. Shrinking is not implemented — a failure reports the
+//! raw case instead of a minimal one, which is enough for CI.
+
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+    pub use crate::arbitrary::any;
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    #[allow(unused_imports)]
+    use crate::num;
+
+    /// Minimal `any::<T>()` support for primitives.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_one(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_one(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_one(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_one(rng: &mut TestRng) -> Self {
+            crate::num::f64::ANY.new_value(rng)
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary + std::fmt::Debug>() -> AnyStrategy<T> {
+        AnyStrategy(std::marker::PhantomData)
+    }
+
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary + std::fmt::Debug> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_one(rng)
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The test macro. Supported grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn name(a in strategy_a, b in strategy_b) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // with a config header
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::__run_proptest!($config, $name, ($($arg in $strat),+), $body);
+            }
+        )*
+    };
+    // default config
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                $crate::__run_proptest!(
+                    $crate::ProptestConfig::default(), $name, ($($arg in $strat),+), $body);
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __run_proptest {
+    ($config:expr, $name:ident, ($($arg:ident in $strat:expr),+), $body:block) => {{
+        use $crate::strategy::Strategy as _;
+        #[allow(unused_imports)]
+        use $crate::ProptestConfig;
+        let config = $config;
+        // stable per-test seed: test name hash
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in stringify!($name).bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+        for case in 0..config.cases {
+            $(let $arg = ($strat).new_value(&mut rng);)+
+            // capture inputs before the body (which may move them)
+            let __inputs =
+                [$(format!(concat!(stringify!($arg), " = {:?}"), &$arg)),+].join(", ");
+            let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (move || { $body Ok(()) })();
+            match result {
+                Ok(()) => {}
+                // prop_assume! rejection: skip this case, draw another
+                Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                Err(e) => panic!("proptest case {case} failed: {e}\n  inputs: {__inputs}"),
+            }
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — skip the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args...)`
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)*), a, b
+            )));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a), stringify!($b), a
+            )));
+        }
+    }};
+}
+
+/// Weighted or unweighted choice between strategies yielding the same type.
+///
+/// `prop_oneof![s1, s2]` or `prop_oneof![3 => s1, 1 => s2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

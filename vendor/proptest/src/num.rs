@@ -1,0 +1,44 @@
+//! Numeric strategies beyond plain ranges.
+
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Which f64 values a [`F64Strategy`] may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct F64Strategy {
+        allow_special: bool,
+    }
+
+    /// Normal (finite, non-subnormal, non-NaN) doubles of either sign.
+    pub const NORMAL: F64Strategy = F64Strategy { allow_special: false };
+
+    /// Any bit pattern that is a finite number.
+    pub const ANY: F64Strategy = F64Strategy { allow_special: true };
+
+    impl F64Strategy {
+        pub(crate) fn generate(&self, rng: &mut TestRng) -> f64 {
+            if self.allow_special {
+                // any finite double, including zero and subnormals
+                loop {
+                    let v = f64::from_bits(rng.next_u64());
+                    if v.is_finite() {
+                        return v;
+                    }
+                }
+            }
+            // normal: exponent in [1, 2046], random sign + mantissa
+            let sign = rng.next_u64() & (1 << 63);
+            let exp = 1 + rng.below(2046);
+            let mantissa = rng.next_u64() & ((1u64 << 52) - 1);
+            f64::from_bits(sign | (exp << 52) | mantissa)
+        }
+    }
+
+    impl Strategy for F64Strategy {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.generate(rng)
+        }
+    }
+}

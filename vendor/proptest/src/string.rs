@@ -1,0 +1,243 @@
+//! Regex-subset string generation.
+//!
+//! Proptest interprets `&str` strategies as regexes. This stand-in supports
+//! the subset the workspace's tests use: literal characters, escapes,
+//! character classes with ranges (`[a-zA-Z0-9_]`), the `\PC` ("any
+//! non-control character") shorthand, and the quantifiers `{m}`, `{m,n}`,
+//! `*`, `+`, `?` (starred forms capped at 8 repeats).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Choose uniformly from this pool.
+    OneOf(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize, // inclusive
+}
+
+/// Characters `\PC` may produce: printable ASCII plus a few multi-byte
+/// code points so UTF-8 handling gets exercised.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+    pool.extend(['é', 'ß', 'λ', '中', '✓']);
+    pool
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (pool, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::OneOf(pool)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars.get(i).unwrap_or_else(|| panic!("dangling \\ in {pattern}"));
+                i += 1;
+                match c {
+                    'P' | 'p' => {
+                        // \PC / \pC (optionally braced): treat as "printable"
+                        if chars.get(i) == Some(&'{') {
+                            while i < chars.len() && chars[i] != '}' {
+                                i += 1;
+                            }
+                            i += 1;
+                        } else {
+                            i += 1; // the category letter
+                        }
+                        Atom::OneOf(printable_pool())
+                    }
+                    'n' => Atom::OneOf(vec!['\n']),
+                    't' => Atom::OneOf(vec!['\t']),
+                    'r' => Atom::OneOf(vec!['\r']),
+                    'd' => Atom::OneOf(('0'..='9').collect()),
+                    'w' => {
+                        let mut pool: Vec<char> = ('a'..='z').collect();
+                        pool.extend('A'..='Z');
+                        pool.extend('0'..='9');
+                        pool.push('_');
+                        Atom::OneOf(pool)
+                    }
+                    other => Atom::OneOf(vec![other]),
+                }
+            }
+            '.' => {
+                i += 1;
+                Atom::OneOf(printable_pool())
+            }
+            c => {
+                i += 1;
+                Atom::OneOf(vec![c])
+            }
+        };
+        // quantifier
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in {pattern}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parse a `[...]` class starting after the `[`; returns the pool and the
+/// index just past the closing `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut pool = Vec::new();
+    // leading ^ (negation over printable ASCII)
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut members: Vec<char> = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = match chars[i] {
+            '\\' => {
+                i += 1;
+                match chars[i] {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                }
+            }
+            c => c,
+        };
+        i += 1;
+        // range `a-z` (a `-` that is not last in the class)
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            i += 1;
+            let hi = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    chars[i]
+                }
+                c => c,
+            };
+            i += 1;
+            members.extend((c as u32..=hi as u32).filter_map(char::from_u32));
+        } else {
+            members.push(c);
+        }
+    }
+    i += 1; // consume ']'
+    if negated {
+        pool.extend(printable_pool().into_iter().filter(|c| !members.contains(c)));
+    } else {
+        pool = members;
+    }
+    assert!(!pool.is_empty(), "empty character class");
+    (pool, i)
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let n = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+        };
+        let Atom::OneOf(pool) = &piece.atom;
+        for _ in 0..n {
+            out.push(pool[rng.below(pool.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-z]{1,8}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("\\PC{0,30}", &mut r);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literal_prefix_and_class() {
+        let mut r = rng();
+        let s = generate("[a-z][a-z0-9_]{0,8}", &mut r);
+        assert!(s.chars().next().unwrap().is_ascii_lowercase());
+    }
+
+    #[test]
+    fn class_with_escapes() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = generate("[a-zA-Z0-9,\"\\n ]{0,12}", &mut r);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ",\"\n ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn space_to_tilde_range() {
+        let mut r = rng();
+        let s = generate("[ -~\n]{0,200}", &mut r);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+    }
+}

@@ -1,0 +1,69 @@
+//! Deterministic RNG and failure reporting for generated cases.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore as _, SeedableRng as _};
+
+/// RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi)` over the i128 domain.
+    pub fn gen_range_int(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "strategy range is empty");
+        let span = (hi - lo) as u128;
+        let draw = ((self.next_u64() as u128) * span) >> 64;
+        lo + draw as i128
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Why a generated case did not pass: a genuine failure, or a
+/// `prop_assume!` rejection (case skipped, not failed).
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Placeholder for API compatibility (`TestRunner` appears in some
+/// signatures upstream); unused by the macro-driven runner here.
+#[derive(Debug, Default)]
+pub struct TestRunner;

@@ -1,0 +1,90 @@
+//! Slice sampling helpers.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// `amount` distinct elements, in random order. Returns fewer when the
+    /// slice is shorter than `amount`.
+    fn choose_multiple<'a, R: Rng>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a Self::Item>;
+
+    /// One uniformly chosen element, or `None` on an empty slice.
+    fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = crate::bounded_u64(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose_multiple<'a, R: Rng>(
+        &'a self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&'a T> {
+        // partial Fisher–Yates over an index table
+        let n = self.len();
+        let amount = amount.min(n);
+        let mut indices: Vec<usize> = (0..n).collect();
+        for i in 0..amount {
+            let j = i + crate::bounded_u64(rng, (n - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices[..amount]
+            .iter()
+            .map(|&i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[crate::bounded_u64(rng, self.len() as u64) as usize])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_multiple_distinct() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let v: Vec<u32> = (0..100).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 30).copied().collect();
+        assert_eq!(picked.len(), 30);
+        let set: std::collections::HashSet<u32> = picked.iter().copied().collect();
+        assert_eq!(set.len(), 30);
+        // over-asking caps at slice length
+        assert_eq!(v.choose_multiple(&mut rng, 1000).count(), 100);
+    }
+}

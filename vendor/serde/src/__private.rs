@@ -1,0 +1,85 @@
+//! Internal data model shared by the derive macro and `serde_json`.
+
+use std::fmt;
+
+/// Concrete serialized form — the whole data model of this mini-serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Error raised while building or destructuring [`Content`].
+#[derive(Debug, Clone)]
+pub struct ContentError(pub String);
+
+impl fmt::Display for ContentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ContentError {}
+
+impl crate::ser::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ContentError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ContentError(msg.to_string())
+    }
+}
+
+/// Serializer whose output *is* the content tree.
+pub struct ContentSerializer;
+
+impl crate::ser::Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = ContentError;
+
+    fn serialize_content(self, content: Content) -> Result<Content, ContentError> {
+        Ok(content)
+    }
+}
+
+/// Deserializer that surrenders a content tree.
+pub struct ContentDeserializer(pub Content);
+
+impl ContentDeserializer {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer(content)
+    }
+}
+
+impl<'de> crate::de::Deserializer<'de> for ContentDeserializer {
+    type Error = ContentError;
+
+    fn take_content(self) -> Result<Content, ContentError> {
+        Ok(self.0)
+    }
+}
+
+/// Serialize any value to a content tree.
+pub fn to_content<T: crate::ser::Serialize + ?Sized>(
+    value: &T,
+) -> Result<Content, ContentError> {
+    value.serialize(ContentSerializer)
+}
+
+/// Remove `key` from a derive-generated field map; absent keys read as null
+/// (so `Option` fields tolerate elision).
+pub fn take_field(map: &mut Vec<(String, Content)>, key: &str) -> Content {
+    match map.iter().position(|(k, _)| k == key) {
+        Some(i) => map.swap_remove(i).1,
+        None => Content::Null,
+    }
+}

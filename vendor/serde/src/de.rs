@@ -1,0 +1,137 @@
+//! Deserialization traits and implementations for std types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+use crate::__private::{Content, ContentDeserializer};
+
+/// Error constraint for deserializer errors.
+pub trait Error: Sized + Display {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// Surrenders a [`Content`] tree for a value to destructure.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from the content data model.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Content) -> E {
+    E::custom(format!("expected {expected}, got {got:?}"))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let content = deserializer.take_content()?;
+                let wide: i128 = match content {
+                    Content::I64(v) => v as i128,
+                    Content::U64(v) => v as i128,
+                    Content::F64(v) if v.fract() == 0.0 => v as i128,
+                    other => return Err(unexpected("integer", &other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| D::Error::custom(format!("integer out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            other => Err(unexpected("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            other => T::deserialize(ContentDeserializer(other))
+                .map(Some)
+                .map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|c| T::deserialize(ContentDeserializer(c)).map_err(D::Error::custom))
+                .collect(),
+            other => Err(unexpected("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Map(pairs) => pairs
+                .into_iter()
+                .map(|(k, c)| {
+                    V::deserialize(ContentDeserializer(c))
+                        .map(|v| (k, v))
+                        .map_err(D::Error::custom)
+                })
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Map(pairs) => pairs
+                .into_iter()
+                .map(|(k, c)| {
+                    V::deserialize(ContentDeserializer(c))
+                        .map(|v| (k, v))
+                        .map_err(D::Error::custom)
+                })
+                .collect(),
+            other => Err(unexpected("map", &other)),
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The data model is a concrete tree ([`__private::Content`]) rather than
+//! upstream serde's visitor architecture: serializers receive a fully built
+//! `Content`, deserializers surrender one. That is all `serde_json` (also
+//! vendored) and the derive macro need, and it keeps the trait surface tiny
+//! while remaining source-compatible with the `Serialize`/`Deserialize`/
+//! `Serializer`/`Deserializer` bounds this workspace's code writes.
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,164 @@
+//! Serialization traits and implementations for std types.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+
+use crate::__private::Content;
+
+/// Error constraint for serializer errors.
+pub trait Error: Sized + Display {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// Consumes a built [`Content`] tree. The convenience methods mirror the
+/// upstream `serialize_*` entry points used by hand-written impls
+/// (e.g. `#[serde(with = ...)]` modules).
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_string()))
+    }
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::I64(v))
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::U64(v))
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+}
+
+/// A value serializable into the content data model.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+
+ser_signed!(i8, i16, i32, i64, isize);
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self as f64)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => serializer.serialize_none(),
+            Some(v) => v.serialize(serializer),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(crate::__private::to_content(item).map_err(S::Error::custom)?);
+        }
+        serializer.serialize_content(Content::Seq(seq))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // deterministic key order
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut map = Vec::with_capacity(self.len());
+        for k in keys {
+            map.push((
+                k.clone(),
+                crate::__private::to_content(&self[k]).map_err(S::Error::custom)?,
+            ));
+        }
+        serializer.serialize_content(Content::Map(map))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            map.push((k.clone(), crate::__private::to_content(v).map_err(S::Error::custom)?));
+        }
+        serializer.serialize_content(Content::Map(map))
+    }
+}

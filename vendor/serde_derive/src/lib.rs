@@ -1,0 +1,309 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the two
+//! shapes this workspace uses, without syn/quote (unavailable offline):
+//!
+//! - structs with named fields, honouring `#[serde(with = "module")]`
+//! - fieldless enums (serialized as the variant name string)
+//!
+//! The generated code targets the vendored mini-serde's `Content` data
+//! model: structs become `Content::Map`, enum variants `Content::Str`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    /// Path given via `#[serde(with = "...")]`, if any.
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Parse the derive input far enough to know the type name and its
+/// fields/variants. Panics (= compile error) on unsupported shapes.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // skip attributes and visibility
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // #[...]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    // no generics support
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic types");
+        }
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => panic!("expected {{ ... }} body for {name}"),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct { name, fields: parse_fields(body.stream()) },
+        "enum" => Item::Enum { name, variants: parse_variants(body.stream()) },
+        other => panic!("cannot derive for {other}"),
+    }
+}
+
+/// Extract `with = "path"` from a `#[serde(...)]` attribute group, if present.
+fn serde_with_attr(group_tokens: Vec<TokenTree>) -> Option<String> {
+    // group_tokens are the tokens inside the outer [ ... ]
+    let mut iter = group_tokens.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let parts: Vec<TokenTree> = inner.into_iter().collect();
+    // looking for: with = "path"
+    for w in 0..parts.len() {
+        if let TokenTree::Ident(id) = &parts[w] {
+            if id.to_string() == "with" {
+                if let Some(TokenTree::Literal(lit)) = parts.get(w + 2) {
+                    let text = lit.to_string();
+                    return Some(text.trim_matches('"').to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut with = None;
+        // attributes
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(path) = serde_with_attr(g.stream().into_iter().collect()) {
+                    with = Some(path);
+                }
+            }
+            i += 2;
+        }
+        // visibility
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected : after field {name}, got {other:?}"),
+        }
+        // skip the type: consume until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // consume comma (or run off the end)
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // attributes
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                variants.push(id.to_string());
+                i += 1;
+            }
+            None => break,
+            other => panic!("expected enum variant, got {other:?}"),
+        }
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                panic!("vendored serde_derive supports only fieldless enum variants")
+            }
+            other => panic!("unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in &fields {
+                let value_expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::serialize(&self.{field}, serde::__private::ContentSerializer)",
+                        field = f.name
+                    ),
+                    None => format!("serde::__private::to_content(&self.{})", f.name),
+                };
+                pushes.push_str(&format!(
+                    "__map.push((\"{field}\".to_string(), {value_expr}\
+                     .map_err(<S::Error as serde::ser::Error>::custom)?));\n",
+                    field = f.name
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<S: serde::Serializer>(&self, serializer: S)\n\
+                         -> Result<S::Ok, S::Error> {{\n\
+                         let mut __map: Vec<(String, serde::__private::Content)> = Vec::new();\n\
+                         {pushes}\
+                         serializer.serialize_content(serde::__private::Content::Map(__map))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn serialize<S: serde::Serializer>(&self, serializer: S)\n\
+                         -> Result<S::Ok, S::Error> {{\n\
+                         let __label = match self {{ {arms} }};\n\
+                         serializer.serialize_str(__label)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive(Serialize) generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                let value_expr = match &f.with {
+                    Some(path) => format!(
+                        "{path}::deserialize(serde::__private::ContentDeserializer::new(\
+                         serde::__private::take_field(&mut __map, \"{field}\")))",
+                        field = f.name
+                    ),
+                    None => format!(
+                        "serde::Deserialize::deserialize(\
+                         serde::__private::ContentDeserializer::new(\
+                         serde::__private::take_field(&mut __map, \"{field}\")))",
+                        field = f.name
+                    ),
+                };
+                inits.push_str(&format!(
+                    "{field}: {value_expr}.map_err(<D::Error as serde::de::Error>::custom)?,\n",
+                    field = f.name
+                ));
+            }
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D)\n\
+                         -> Result<Self, D::Error> {{\n\
+                         let mut __map = match deserializer.take_content()? {{\n\
+                             serde::__private::Content::Map(m) => m,\n\
+                             other => return Err(<D::Error as serde::de::Error>::custom(\n\
+                                 format!(\"expected map for {name}, got {{other:?}}\"))),\n\
+                         }};\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D)\n\
+                         -> Result<Self, D::Error> {{\n\
+                         let __label = match deserializer.take_content()? {{\n\
+                             serde::__private::Content::Str(s) => s,\n\
+                             other => return Err(<D::Error as serde::de::Error>::custom(\n\
+                                 format!(\"expected string for {name}, got {{other:?}}\"))),\n\
+                         }};\n\
+                         match __label.as_str() {{\n\
+                             {arms}\n\
+                             other => Err(<D::Error as serde::de::Error>::custom(\n\
+                                 format!(\"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("derive(Deserialize) generated invalid Rust")
+}

@@ -1,0 +1,271 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Bridges JSON text to the vendored mini-serde's `Content` data model:
+//! `from_str` parses text into `Content` and hands it to `Deserialize`;
+//! `to_string` collects a value into `Content` and renders JSON text.
+//! `Value`/`Number`/`Map` mirror the upstream API surface this workspace
+//! uses (match on variants, `Map::keys`/`get`, by-value iteration,
+//! integer-preserving `Number` display).
+
+use std::fmt;
+
+use serde::__private::{Content, ContentDeserializer};
+use serde::{Deserialize, Serialize};
+
+mod parse;
+mod write;
+
+pub use parse::parse_content;
+
+/// JSON error (parse or data-shape mismatch).
+#[derive(Debug, Clone)]
+pub struct Error(pub(crate) String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// JSON number preserving its integer/float parse shape, so `30` renders
+/// back as `30` (not `30.0`) while `41.5` stays `41.5`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::I64(v) => Some(v as f64),
+            Number::U64(v) => Some(v as f64),
+            Number::F64(v) => Some(v),
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::I64(v) => Some(v),
+            Number::U64(v) => i64::try_from(v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::I64(v) => write!(f, "{v}"),
+            Number::U64(v) => write!(f, "{v}"),
+            Number::F64(v) => write!(f, "{}", write::format_f64(*v)),
+        }
+    }
+}
+
+/// Insertion-ordered JSON object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => Some(std::mem::replace(v, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = Box<dyn Iterator<Item = (&'a String, &'a Value)> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.entries.iter().map(|(k, v)| (k, v)))
+    }
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", write::write_content(&value_to_content(self)))
+    }
+}
+
+pub(crate) fn content_to_value(content: Content) -> Value {
+    match content {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(v) => Value::Number(Number::I64(v)),
+        Content::U64(v) => Value::Number(Number::U64(v)),
+        Content::F64(v) => Value::Number(Number::F64(v)),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(pairs) => {
+            let mut map = Map::new();
+            for (k, v) in pairs {
+                map.insert(k, content_to_value(v));
+            }
+            Value::Object(map)
+        }
+    }
+}
+
+pub(crate) fn value_to_content(value: &Value) -> Content {
+    match value {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(*b),
+        Value::Number(Number::I64(v)) => Content::I64(*v),
+        Value::Number(Number::U64(v)) => Content::U64(*v),
+        Value::Number(Number::F64(v)) => Content::F64(*v),
+        Value::String(s) => Content::Str(s.clone()),
+        Value::Array(items) => Content::Seq(items.iter().map(value_to_content).collect()),
+        Value::Object(map) => {
+            Content::Map(map.iter().map(|(k, v)| (k.clone(), value_to_content(v))).collect())
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(value_to_content(self))
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(content_to_value(deserializer.take_content()?))
+    }
+}
+
+/// Parse JSON text and deserialize into `T`.
+pub fn from_str<'de, T: Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let content = parse::parse_content(text).map_err(Error)?;
+    T::deserialize(ContentDeserializer::new(content)).map_err(|e| Error(e.to_string()))
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content =
+        serde::__private::to_content(value).map_err(|e| Error(e.to_string()))?;
+    Ok(write::write_content(&content))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        let v: Value =
+            from_str(r#"{"a": [1, 2.5, null], "b": "x\ny", "c": true}"#).unwrap();
+        let Value::Object(map) = &v else { panic!("expected object") };
+        assert_eq!(map.keys().collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(map.get("b"), Some(&Value::String("x\ny".into())));
+        let text = v.to_string();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn number_display_preserves_shape() {
+        let v: Value = from_str(r#"[30, 41.5, -7]"#).unwrap();
+        let Value::Array(items) = v else { panic!() };
+        let shown: Vec<String> = items
+            .iter()
+            .map(|v| match v {
+                Value::Number(n) => n.to_string(),
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(shown, ["30", "41.5", "-7"]);
+    }
+
+    #[test]
+    fn invalid_text_errors() {
+        assert!(from_str::<Value>("not json").is_err());
+        assert!(from_str::<Value>(r#"{"a": }"#).is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>(r#"{"a": 1} trailing"#).is_err());
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let v: Vec<Option<f64>> = from_str("[1, null, 2.5]").unwrap();
+        assert_eq!(v, vec![Some(1.0), None, Some(2.5)]);
+        let text = to_string(&v).unwrap();
+        let back: Vec<Option<f64>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let text = to_string("quote \" slash \\ tab \t").unwrap();
+        assert_eq!(text, r#""quote \" slash \\ tab \t""#);
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, "quote \" slash \\ tab \t");
+    }
+}

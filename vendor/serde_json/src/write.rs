@@ -1,0 +1,96 @@
+//! Compact JSON text writer for `Content` trees.
+
+use serde::__private::Content;
+
+/// Render a float the way JSON expects: finite values via Rust's shortest
+/// representation, non-finite values as `null` (JSON has no NaN/Infinity).
+pub(crate) fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        let mut s = format!("{v}");
+        // keep it recognisably a float so it reparses as F64
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+pub(crate) fn write_content(content: &Content) -> String {
+    let mut out = String::new();
+    write_into(content, &mut out);
+    out
+}
+
+fn write_into(content: &Content, out: &mut String) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&format_f64(*v)),
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_into(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_stay_floats() {
+        assert_eq!(format_f64(41.5), "41.5");
+        assert_eq!(format_f64(30.0), "30.0");
+        assert_eq!(format_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn renders_nested() {
+        let c = Content::Map(vec![
+            ("a".into(), Content::Seq(vec![Content::I64(1), Content::Null])),
+            ("b".into(), Content::Str("x\"y".into())),
+        ]);
+        assert_eq!(write_content(&c), r#"{"a":[1,null],"b":"x\"y"}"#);
+    }
+}
