@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn seeds_are_evaluated_first() {
         let seed_cfg = default_config(ModelKind::Knn);
-        let r = search(&frame(), ModelKind::Knn, &[seed_cfg.clone()], 1, 3);
+        let r = search(&frame(), ModelKind::Knn, std::slice::from_ref(&seed_cfg), 1, 3);
         assert_eq!(r.evaluations, 1);
         assert_eq!(r.best_config, seed_cfg);
     }

@@ -151,13 +151,10 @@ mod tests {
         );
         assert_eq!(rows.len(), 17);
         assert_eq!(rows[0].id, 14);
-        // at least one TO/OOM on the large half, none on the smallest
-        let large_failures = rows
-            .iter()
-            .filter(|r| r.id >= 24)
-            .filter(|r| r.autolearn != AutoLearnOutcome::Timeout || true)
-            .count();
-        assert!(large_failures > 0);
+        // the large half is present (TO/OOM outcomes, when the tight
+        // budget triggers them, land here like the paper's TO rows)
+        let large = rows.iter().filter(|r| r.id >= 24).count();
+        assert!(large > 0);
         for r in &rows {
             assert!(r.kglids_acc >= 0.0);
         }

@@ -240,14 +240,14 @@ impl KgLids {
                  }}",
                 lids_kg::ontology::res::library(est)
             );
-            let rows = self.query(&q).expect("well-formed internal query");
+            let rows = self.internal_query(&q);
             // group parameter rows per pipeline
             let mut per_pipeline: HashMap<String, PipelineParams> = HashMap::new();
             for i in 0..rows.len() {
-                let g = rows.get(i, "g").unwrap().to_string();
+                let g = rows.get(i, "g").unwrap_or_default().to_string();
                 let entry = per_pipeline.entry(g).or_insert_with(|| {
                     (
-                        dataset_name(rows.get(i, "ds").unwrap()),
+                        dataset_name(rows.get(i, "ds").unwrap_or_default()),
                         rows.get_f64(i, "votes").unwrap_or(0.0) as u32,
                         rows.get_f64(i, "score").unwrap_or(0.0),
                         Vec::new(),
@@ -298,9 +298,9 @@ impl KgLids {
                  }}",
                 lids_kg::ontology::res::library(lib_path)
             );
-            let rows = self.query(&q).expect("well-formed internal query");
+            let rows = self.internal_query(&q);
             for i in 0..rows.len() {
-                let ds = dataset_name(rows.get(i, "ds").unwrap());
+                let ds = dataset_name(rows.get(i, "ds").unwrap_or_default());
                 let embedding = if missing_aware {
                     self.dataset_embedding_missing(&ds)
                 } else {
@@ -327,9 +327,9 @@ impl KgLids {
                  }}",
                 lids_kg::ontology::res::library(lib_path)
             );
-            let rows = self.query(&q).expect("well-formed internal query");
+            let rows = self.internal_query(&q);
             for i in 0..rows.len() {
-                let col_iri = rows.get(i, "col").unwrap();
+                let col_iri = rows.get(i, "col").unwrap_or_default();
                 if let Some(profile) = self
                     .profiles
                     .iter()

@@ -35,17 +35,15 @@ impl KgLids {
         // One star join per table with the column labels pulled in through
         // OPTIONAL; ORDER BY keeps each table's rows contiguous so they can
         // be folded in a single pass.
-        let rows = self
-            .query(
-                "PREFIX k: <http://kglids.org/ontology/> \
-                 PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
-                 SELECT ?table ?name ?dataset ?col WHERE { \
-                    ?table a k:Table ; rdfs:label ?name ; k:isPartOf ?d . \
-                    ?d rdfs:label ?dataset . \
-                    OPTIONAL { ?table k:hasColumn ?c . ?c rdfs:label ?col . } \
-                 } ORDER BY ?table",
-            )
-            .expect("well-formed internal query");
+        let rows = self.internal_query(
+            "PREFIX k: <http://kglids.org/ontology/> \
+             PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
+             SELECT ?table ?name ?dataset ?col WHERE { \
+                ?table a k:Table ; rdfs:label ?name ; k:isPartOf ?d . \
+                ?d rdfs:label ?dataset . \
+                OPTIONAL { ?table k:hasColumn ?c . ?c rdfs:label ?col . } \
+             } ORDER BY ?table",
+        );
 
         let mut out = DataFrame::new(vec![
             "dataset".into(),
@@ -54,9 +52,9 @@ impl KgLids {
         ]);
         let mut i = 0;
         while i < rows.len() {
-            let iri = rows.get(i, "table").unwrap().to_string();
-            let name = rows.get(i, "name").unwrap().to_string();
-            let dataset = rows.get(i, "dataset").unwrap().to_string();
+            let iri = rows.get(i, "table").unwrap_or_default().to_string();
+            let name = rows.get(i, "name").unwrap_or_default().to_string();
+            let dataset = rows.get(i, "dataset").unwrap_or_default().to_string();
             let mut cols: Vec<String> = Vec::new();
             let mut j = i;
             while j < rows.len() && rows.get(j, "table") == Some(iri.as_str()) {
@@ -116,13 +114,13 @@ impl KgLids {
                     ?ca rdfs:label ?la . ?cb rdfs:label ?lb . \
                  }} ORDER BY DESC(?s)"
             );
-            let rows = self.query(&q).expect("well-formed internal query");
+            let rows = self.internal_query(&q);
             for i in 0..rows.len() {
                 out.push(vec![
-                    rows.get(i, "la").unwrap().to_string(),
-                    rows.get(i, "lb").unwrap().to_string(),
+                    rows.get(i, "la").unwrap_or_default().to_string(),
+                    rows.get(i, "lb").unwrap_or_default().to_string(),
                     kind.to_string(),
-                    rows.get(i, "s").unwrap().to_string(),
+                    rows.get(i, "s").unwrap_or_default().to_string(),
                 ]);
             }
         }
@@ -169,9 +167,9 @@ impl KgLids {
                     << ?ca k:{pred} ?cb >> k:withCertainty ?s . \
                  }}"
             );
-            let rows = self.query(&q).expect("well-formed internal query");
+            let rows = self.internal_query(&q);
             for i in 0..rows.len() {
-                let other = rows.get(i, "other").unwrap().to_string();
+                let other = rows.get(i, "other").unwrap_or_default().to_string();
                 if other == t_iri {
                     continue;
                 }
@@ -251,7 +249,8 @@ impl KgLids {
         let mut queue = VecDeque::from([vec![start.clone()]]);
         let mut visited: HashSet<String> = HashSet::from([start]);
         while let Some(path) = queue.pop_front() {
-            let node = path.last().unwrap();
+            // paths are seeded non-empty and only ever grow
+            let Some(node) = path.last() else { continue };
             if *node == goal {
                 return Some(path.iter().map(|iri| short_name(iri)).collect());
             }
@@ -296,19 +295,17 @@ impl KgLids {
 
     /// Adjacency over tables connected by content-similar columns.
     fn join_graph(&self) -> HashMap<String, Vec<String>> {
-        let rows = self
-            .query(
-                "PREFIX k: <http://kglids.org/ontology/> \
-                 SELECT DISTINCT ?ta ?tb WHERE { \
-                    ?ca k:hasContentSimilarity ?cb . \
-                    ?ca k:isPartOf ?ta . ?cb k:isPartOf ?tb . \
-                 }",
-            )
-            .expect("well-formed internal query");
+        let rows = self.internal_query(
+            "PREFIX k: <http://kglids.org/ontology/> \
+             SELECT DISTINCT ?ta ?tb WHERE { \
+                ?ca k:hasContentSimilarity ?cb . \
+                ?ca k:isPartOf ?ta . ?cb k:isPartOf ?tb . \
+             }",
+        );
         let mut adjacency: HashMap<String, Vec<String>> = HashMap::new();
         for i in 0..rows.len() {
-            let a = rows.get(i, "ta").unwrap().to_string();
-            let b = rows.get(i, "tb").unwrap().to_string();
+            let a = rows.get(i, "ta").unwrap_or_default().to_string();
+            let b = rows.get(i, "tb").unwrap_or_default().to_string();
             if a != b {
                 adjacency.entry(a).or_default().push(b);
             }

@@ -35,12 +35,12 @@ impl KgLids {
                      SELECT ?g ?f WHERE { GRAPH ?g { ?s k:callsFunction ?f . } }"
                 .to_string(),
         };
-        let rows = self.query(&q).expect("well-formed internal query");
+        let rows = self.internal_query(&q);
         // count DISTINCT pipelines per root library; total calls break ties
         let mut pipelines_per_lib: HashMap<String, (HashSet<String>, usize)> = HashMap::new();
         for i in 0..rows.len() {
-            let pipeline = rows.get(i, "g").unwrap().to_string();
-            let f = rows.get(i, "f").unwrap();
+            let pipeline = rows.get(i, "g").unwrap_or_default().to_string();
+            let f = rows.get(i, "f").unwrap_or_default();
             if let Some(root) = library_root(f) {
                 let entry = pipelines_per_lib.entry(root).or_default();
                 entry.0.insert(pipeline.clone());
@@ -89,14 +89,14 @@ impl KgLids {
                    k:hasVotes ?votes ; k:hasScore ?score . \
              }} ORDER BY DESC(?votes)"
         );
-        let rows = self.query(&q).expect("well-formed internal query");
+        let rows = self.internal_query(&q);
         for i in 0..rows.len() {
             df.push(vec![
-                rows.get(i, "g").unwrap().to_string(),
-                rows.get(i, "title").unwrap().to_string(),
-                rows.get(i, "author").unwrap().to_string(),
-                rows.get(i, "votes").unwrap().to_string(),
-                rows.get(i, "score").unwrap().to_string(),
+                rows.get(i, "g").unwrap_or_default().to_string(),
+                rows.get(i, "title").unwrap_or_default().to_string(),
+                rows.get(i, "author").unwrap_or_default().to_string(),
+                rows.get(i, "votes").unwrap_or_default().to_string(),
+                rows.get(i, "score").unwrap_or_default().to_string(),
             ]);
         }
         df

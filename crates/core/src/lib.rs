@@ -21,6 +21,8 @@
 //!   `add_pipeline` keep the KG in sync without a rebuild (§2.1).
 //! - Ad-hoc SPARQL via [`KgLids::query`].
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod automation;
 pub mod dataframe;
 pub mod discovery;
@@ -29,6 +31,9 @@ pub mod insights;
 pub mod maintenance;
 pub mod manager;
 pub mod platform;
+pub mod report;
 
 pub use dataframe::DataFrame;
-pub use platform::{BootstrapStats, KgLids, KgLidsBuilder, PipelineScript};
+pub use lids_exec::{ErrorKind, LidsError, LidsResult};
+pub use platform::{BootstrapStats, IngestOptions, KgLids, KgLidsBuilder, PipelineScript};
+pub use report::{ArtifactKind, BootstrapReport, QuarantineEntry};

@@ -1,22 +1,39 @@
 //! The platform façade: bootstrap (KG Governor) + storage + ad-hoc queries.
+//!
+//! Bootstrap is fault-tolerant end to end: raw artifacts are parsed in
+//! strict mode, every per-artifact stage (parsing, profiling, script
+//! analysis) runs under panic isolation with an optional soft budget,
+//! transient failures get bounded retry with exponential backoff over an
+//! injectable clock, and artifacts that still fail are quarantined into
+//! the [`BootstrapReport`] and recorded as provenance triples — bootstrap
+//! never aborts on a bad artifact.
 
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 use lids_embed::{table_embedding, ColrModels, FineGrainedType, WordEmbeddings};
-use lids_exec::{MemoryMeter, Stopwatch};
+use lids_exec::{
+    parallel_try_map_with, Clock, ErrorKind, IsolationConfig, LidsError, LidsResult, MemoryMeter,
+    RetryPolicy, Stopwatch, SystemClock,
+};
 use lids_kg::abstraction::{emit_pipeline, AbstractionStats, PipelineMetadata};
 use lids_kg::docs::LibraryDocs;
 use lids_kg::library_graph::build_library_graph;
 use lids_kg::linker::{link_pipelines, LinkStats};
+use lids_kg::provenance::{emit_quarantine, QuarantineRecord};
 use lids_kg::schema::{build_data_global_schema, SchemaConfig, SchemaStats};
 use lids_profiler::table::Dataset;
-use lids_profiler::{profile_table, ColumnProfile, ProfilerConfig, Table};
+use lids_profiler::{
+    parse_csv_bytes, profile_table, ColumnProfile, CsvMode, ProfilerConfig, RawDataset, Table,
+};
 use lids_py::analysis::AnalyzedScript;
 use lids_rdf::QuadStore;
 use lids_sparql::SparqlError;
 use lids_vector::{BruteForceIndex, Metric, VectorIndex};
 
 use crate::dataframe::DataFrame;
+use crate::report::{ArtifactKind, BootstrapReport, QuarantineEntry};
 
 /// A pipeline script plus its metadata (`S` and `MD` of Algorithm 1).
 #[derive(Debug, Clone)]
@@ -29,6 +46,7 @@ pub struct PipelineScript {
 /// Table 2 "preprocessing" column and Table 3's analysis time.
 #[derive(Debug, Clone, Default)]
 pub struct BootstrapStats {
+    pub ingestion_secs: f64,
     pub profiling_secs: f64,
     pub schema_secs: f64,
     pub abstraction_secs: f64,
@@ -40,6 +58,88 @@ pub struct BootstrapStats {
     pub schema: Option<SchemaStatsLite>,
     pub abstraction: AbstractionStats,
     pub links: LinkStats,
+    /// Which artifacts were quarantined, with typed errors and retry counts.
+    pub report: BootstrapReport,
+}
+
+/// Fault-tolerance knobs for bootstrap ingestion.
+#[derive(Clone)]
+pub struct IngestOptions {
+    /// CSV failure semantics for raw artifacts. Strict (the default)
+    /// quarantines damaged files; lenient applies documented coercions.
+    pub csv_mode: CsvMode,
+    /// Bounded retry with exponential backoff for transient failures
+    /// (worker panics, budget overruns). Permanent errors fail fast.
+    pub retry: RetryPolicy,
+    /// Soft per-artifact budget for profiling/analysis; overruns become
+    /// `ProfileTimeout` errors (and are retried per `retry`).
+    pub item_budget: Option<Duration>,
+    /// Delay source for backoff — injectable so tests run without sleeping.
+    pub clock: Arc<dyn Clock>,
+    /// Record quarantined artifacts as provenance triples in the dedicated
+    /// named graph (`lids_kg::provenance::QUARANTINE_GRAPH`).
+    pub record_provenance: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            csv_mode: CsvMode::Strict,
+            retry: RetryPolicy::default(),
+            item_budget: None,
+            clock: Arc::new(SystemClock),
+            record_provenance: true,
+        }
+    }
+}
+
+impl std::fmt::Debug for IngestOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestOptions")
+            .field("csv_mode", &self.csv_mode)
+            .field("retry", &self.retry)
+            .field("item_budget", &self.item_budget)
+            .field("record_provenance", &self.record_provenance)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Map `f` over `items` under panic isolation, retrying transient per-item
+/// failures per the ingest policy. Returns `(result, retries)` per item,
+/// in input order.
+fn quarantine_map<T, R>(
+    items: &[T],
+    opts: &IngestOptions,
+    f: impl Fn(&T) -> LidsResult<R> + Sync,
+) -> Vec<(LidsResult<R>, u32)>
+where
+    T: Sync,
+    R: Send,
+{
+    let config = IsolationConfig {
+        parallel: Default::default(),
+        item_budget: opts.item_budget,
+    };
+    let mut results: Vec<(LidsResult<R>, u32)> = parallel_try_map_with(config, items, &f)
+        .into_iter()
+        .map(|r| (r, 0))
+        .collect();
+    for (i, slot) in results.iter_mut().enumerate() {
+        while let Err(e) = &slot.0 {
+            if !e.is_transient() || slot.1 >= opts.retry.max_retries {
+                break;
+            }
+            opts.clock.sleep(opts.retry.delay(slot.1));
+            slot.1 += 1;
+            // re-run the single item, still under panic isolation
+            slot.0 = parallel_try_map_with(config, &items[i..=i], &f)
+                .pop()
+                .unwrap_or_else(|| {
+                    Err(LidsError::new(ErrorKind::Internal, "retry produced no result"))
+                });
+        }
+    }
+    results
 }
 
 /// Copyable subset of [`SchemaStats`].
@@ -63,9 +163,11 @@ impl From<&SchemaStats> for SchemaStatsLite {
 /// Builder for a [`KgLids`] platform instance.
 pub struct KgLidsBuilder {
     datasets: Vec<Dataset>,
+    raw_datasets: Vec<RawDataset>,
     pipelines: Vec<PipelineScript>,
     profiler_config: ProfilerConfig,
     schema_config: SchemaConfig,
+    ingest: IngestOptions,
     custom_profiles: Option<Vec<ColumnProfile>>,
 }
 
@@ -79,9 +181,11 @@ impl KgLidsBuilder {
     pub fn new() -> Self {
         KgLidsBuilder {
             datasets: Vec::new(),
+            raw_datasets: Vec::new(),
             pipelines: Vec::new(),
             profiler_config: ProfilerConfig::default(),
             schema_config: SchemaConfig::default(),
+            ingest: IngestOptions::default(),
             custom_profiles: None,
         }
     }
@@ -95,6 +199,26 @@ impl KgLidsBuilder {
     /// Add many datasets.
     pub fn with_datasets(mut self, datasets: impl IntoIterator<Item = Dataset>) -> Self {
         self.datasets.extend(datasets);
+        self
+    }
+
+    /// Add a dataset of raw (unparsed) table files, as read from a data
+    /// lake. Files are parsed during bootstrap under the fault-tolerance
+    /// policy of [`IngestOptions`]; damaged files are quarantined.
+    pub fn with_raw_dataset(mut self, raw: RawDataset) -> Self {
+        self.raw_datasets.push(raw);
+        self
+    }
+
+    /// Add many raw datasets.
+    pub fn with_raw_datasets(mut self, raws: impl IntoIterator<Item = RawDataset>) -> Self {
+        self.raw_datasets.extend(raws);
+        self
+    }
+
+    /// Override the fault-tolerance policy for ingestion.
+    pub fn with_ingest_options(mut self, ingest: IngestOptions) -> Self {
+        self.ingest = ingest;
         self
     }
 
@@ -124,32 +248,84 @@ impl KgLidsBuilder {
         self
     }
 
-    /// Run the KG Governor: profile → schema → library graph → abstract →
-    /// link. Returns the platform and bootstrap statistics.
+    /// Run the KG Governor: ingest → profile → schema → library graph →
+    /// abstract → link. Returns the platform and bootstrap statistics.
+    ///
+    /// Never aborts on a bad artifact: damaged tables and scripts are
+    /// quarantined into `stats.report` (and the provenance named graph)
+    /// while the rest of the lake bootstraps normally.
     pub fn bootstrap(self) -> (KgLids, BootstrapStats) {
+        let KgLidsBuilder {
+            datasets,
+            raw_datasets,
+            pipelines,
+            profiler_config,
+            schema_config,
+            ingest,
+            custom_profiles,
+        } = self;
         let mut stats = BootstrapStats::default();
+        let mut report = BootstrapReport::default();
         let mut store = QuadStore::new();
         let docs = LibraryDocs::builtin();
         let we = WordEmbeddings::new();
         let models = ColrModels::pretrained();
         let meter = MemoryMeter::new();
 
-        // ---- Algorithm 2: profile all datasets ----
+        // ---- ingestion: parse raw artifacts under the fault policy ----
         let mut sw = Stopwatch::started();
-        let profiles: Vec<ColumnProfile> = match self.custom_profiles {
+        let mut datasets = datasets;
+        for raw in &raw_datasets {
+            let outcomes = quarantine_map(&raw.tables, &ingest, |t| {
+                parse_csv_bytes(&t.name, &t.bytes, ingest.csv_mode)
+            });
+            let mut tables = Vec::new();
+            for (table, (result, retries)) in raw.tables.iter().zip(outcomes) {
+                match result {
+                    Ok(t) => tables.push(t),
+                    Err(error) => report.quarantined.push(QuarantineEntry {
+                        artifact: format!("{}/{}", raw.name, table.name),
+                        kind: ArtifactKind::Table,
+                        error,
+                        retries,
+                    }),
+                }
+            }
+            datasets.push(Dataset::new(raw.name.clone(), tables));
+        }
+        sw.stop();
+        stats.ingestion_secs = sw.secs();
+
+        // ---- Algorithm 2: profile all datasets (panic-isolated) ----
+        let mut sw = Stopwatch::started();
+        let profiles: Vec<ColumnProfile> = match custom_profiles {
             Some(profiles) => profiles,
             None => {
+                let units: Vec<(&str, &Table)> = datasets
+                    .iter()
+                    .flat_map(|d| d.tables.iter().map(move |t| (d.name.as_str(), t)))
+                    .collect();
+                let outcomes = quarantine_map(&units, &ingest, |unit| {
+                    let (dataset, table) = *unit;
+                    Ok(profile_table(
+                        dataset,
+                        table,
+                        models,
+                        &we,
+                        &profiler_config,
+                        Some(&meter),
+                    ))
+                });
                 let mut profiles = Vec::new();
-                for dataset in &self.datasets {
-                    for table in &dataset.tables {
-                        profiles.extend(profile_table(
-                            &dataset.name,
-                            table,
-                            models,
-                            &we,
-                            &self.profiler_config,
-                            Some(&meter),
-                        ));
+                for ((dataset, table), (result, retries)) in units.iter().zip(outcomes) {
+                    match result {
+                        Ok(p) => profiles.extend(p),
+                        Err(error) => report.quarantined.push(QuarantineEntry {
+                            artifact: format!("{dataset}/{}", table.name),
+                            kind: ArtifactKind::Table,
+                            error,
+                            retries,
+                        }),
                     }
                 }
                 profiles
@@ -161,8 +337,7 @@ impl KgLidsBuilder {
 
         // ---- Algorithm 3: data global schema ----
         let mut sw = Stopwatch::started();
-        let schema_stats =
-            build_data_global_schema(&mut store, &profiles, &self.schema_config, &we);
+        let schema_stats = build_data_global_schema(&mut store, &profiles, &schema_config, &we);
         sw.stop();
         stats.schema_secs = sw.secs();
         stats.schema = Some(SchemaStatsLite::from(&schema_stats));
@@ -171,18 +346,31 @@ impl KgLidsBuilder {
         let mut sw = Stopwatch::started();
         let mut abstraction = AbstractionStats::default();
         build_library_graph(&mut store, &docs, &mut abstraction);
-        // analysis is the parallel worker phase; emission is serial
-        let analyzed: Vec<Option<AnalyzedScript>> = lids_exec::parallel_map(
-            &self.pipelines,
-            |p| lids_py::analyze(&p.source).ok(),
-        );
-        for (pipeline, analysis) in self.pipelines.iter().zip(analyzed) {
+        // analysis is the parallel worker phase (panic-isolated); emission
+        // is serial
+        let analyzed: Vec<(LidsResult<AnalyzedScript>, u32)> =
+            quarantine_map(&pipelines, &ingest, |p| {
+                lids_py::analyze(&p.source).map_err(LidsError::from)
+            });
+        for (pipeline, (analysis, retries)) in pipelines.iter().zip(analyzed) {
             match analysis {
-                Some(a) => {
+                Ok(a) => {
                     emit_pipeline(&mut store, &mut abstraction, &docs, &pipeline.metadata, &a);
                     stats.pipelines_abstracted += 1;
                 }
-                None => stats.pipelines_failed += 1,
+                Err(error) => {
+                    stats.pipelines_failed += 1;
+                    // qualified by dataset: bare pipeline ids need not be
+                    // unique across datasets
+                    let artifact =
+                        format!("{}/{}", pipeline.metadata.dataset, pipeline.metadata.id);
+                    report.quarantined.push(QuarantineEntry {
+                        artifact: artifact.clone(),
+                        kind: ArtifactKind::Pipeline,
+                        error: error.with_artifact(artifact.clone()),
+                        retries,
+                    });
+                }
             }
         }
         sw.stop();
@@ -194,6 +382,22 @@ impl KgLidsBuilder {
         stats.links = link_pipelines(&mut store);
         sw.stop();
         stats.linking_secs = sw.secs();
+
+        // ---- quarantine provenance: record *why* artifacts are missing ----
+        if ingest.record_provenance {
+            for entry in &report.quarantined {
+                emit_quarantine(
+                    &mut store,
+                    &QuarantineRecord {
+                        artifact_id: &entry.artifact,
+                        artifact_kind: entry.kind.name(),
+                        error: &entry.error,
+                        retries: entry.retries,
+                    },
+                );
+            }
+        }
+        stats.report = report;
         stats.triples = store.len();
 
         // ---- embedding store ----
@@ -256,8 +460,8 @@ impl KgLidsBuilder {
             store,
             docs,
             we,
-            profiler_config: self.profiler_config,
-            schema_config: self.schema_config,
+            profiler_config,
+            schema_config,
             profiles,
             column_index,
             table_embeddings,
@@ -325,6 +529,14 @@ impl KgLids {
     pub fn query(&self, sparql: &str) -> Result<DataFrame, SparqlError> {
         let solutions = lids_sparql::query(&self.store, sparql)?;
         Ok(DataFrame::from_solutions(&solutions))
+    }
+
+    /// Run one of the platform's own discovery/insight queries. These are
+    /// compile-time constants (modulo IRI interpolation), so a parse error
+    /// is a platform bug, not an input error.
+    #[allow(clippy::expect_used)]
+    pub(crate) fn internal_query(&self, sparql: &str) -> DataFrame {
+        self.query(sparql).expect("well-formed internal query")
     }
 
     /// Ask query.

@@ -19,12 +19,18 @@
 //!   pathologies so the *choice* of cleaning/transformation operation
 //!   measurably changes downstream F1 (Tables 5–6, Figures 7–9).
 
+//! - [`faults`]: a seeded artifact corruptor for chaos-testing the
+//!   fault-tolerant bootstrap (truncation, unbalanced quotes, invalid
+//!   UTF-8, NUL bytes, ragged rows, broken Python syntax).
+
 pub mod domains;
+pub mod faults;
 pub mod lakes;
 pub mod pipelines;
 pub mod tasks;
 
 pub use domains::{Domain, DOMAINS};
+pub use faults::{Corruptor, FaultKind};
 pub use lakes::{Lake, LakeSpec};
 pub use pipelines::{generate_corpus, CorpusSpec, GeneratedPipeline};
 pub use tasks::{automl_datasets, cleaning_datasets, transform_datasets, TaskDataset};

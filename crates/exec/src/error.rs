@@ -1,0 +1,149 @@
+//! The structured error taxonomy shared by every ingestion stage.
+//!
+//! The KG Governor (Algorithm 1) consumes external artifacts — CSV files,
+//! JSON tables, Python scripts — that arrive malformed, truncated, or
+//! mis-encoded in practice. Every failure on the ingestion path is
+//! expressed as a [`LidsError`] carrying a machine-readable [`ErrorKind`],
+//! so the platform can decide *per kind* whether to retry (transient
+//! faults like a worker panic or a profiling-budget overrun) or to
+//! quarantine the artifact with provenance (permanent faults like a
+//! malformed file).
+
+/// Machine-readable classification of an ingestion failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// CSV structure violated: unterminated quote, ragged row, …
+    CsvMalformed,
+    /// Byte-level encoding problem: invalid UTF-8, embedded NUL bytes.
+    EncodingError,
+    /// JSON input that is not valid tabular JSON.
+    JsonMalformed,
+    /// Input contains no usable records (empty file, header-only CSV).
+    EmptyInput,
+    /// Python script failed lexing or parsing.
+    PyParseError,
+    /// A per-item processing budget was exceeded.
+    ProfileTimeout,
+    /// A worker panicked while processing the item.
+    WorkerPanic,
+    /// Invariant violation inside the platform itself.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable lower-level name recorded in provenance triples and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ErrorKind::CsvMalformed => "CsvMalformed",
+            ErrorKind::EncodingError => "EncodingError",
+            ErrorKind::JsonMalformed => "JsonMalformed",
+            ErrorKind::EmptyInput => "EmptyInput",
+            ErrorKind::PyParseError => "PyParseError",
+            ErrorKind::ProfileTimeout => "ProfileTimeout",
+            ErrorKind::WorkerPanic => "WorkerPanic",
+            ErrorKind::Internal => "Internal",
+        }
+    }
+
+    /// Whether failures of this kind may succeed on a retry. Malformed
+    /// input never fixes itself; a panic or budget overrun might have been
+    /// caused by transient conditions (memory pressure, scheduling).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ErrorKind::ProfileTimeout | ErrorKind::WorkerPanic)
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured ingestion error: kind + human-readable message + the
+/// artifact it concerns (when known at the point of failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LidsError {
+    kind: ErrorKind,
+    message: String,
+    artifact: Option<String>,
+}
+
+impl LidsError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        LidsError { kind, message: message.into(), artifact: None }
+    }
+
+    /// Attach (or replace) the artifact id the error concerns.
+    pub fn with_artifact(mut self, artifact: impl Into<String>) -> Self {
+        self.artifact = Some(artifact.into());
+        self
+    }
+
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    pub fn artifact(&self) -> Option<&str> {
+        self.artifact.as_deref()
+    }
+
+    /// Whether a retry could plausibly succeed (delegates to the kind).
+    pub fn is_transient(&self) -> bool {
+        self.kind.is_transient()
+    }
+}
+
+impl std::fmt::Display for LidsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.artifact {
+            Some(a) => write!(f, "[{}] {}: {}", self.kind, a, self.message),
+            None => write!(f, "[{}] {}", self.kind, self.message),
+        }
+    }
+}
+
+impl std::error::Error for LidsError {}
+
+/// Result alias used across the ingestion path.
+pub type LidsResult<T> = Result<T, LidsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_artifact() {
+        let e = LidsError::new(ErrorKind::CsvMalformed, "unterminated quote")
+            .with_artifact("lake/t1.csv");
+        let s = e.to_string();
+        assert!(s.contains("CsvMalformed"));
+        assert!(s.contains("lake/t1.csv"));
+        assert!(s.contains("unterminated quote"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(ErrorKind::WorkerPanic.is_transient());
+        assert!(ErrorKind::ProfileTimeout.is_transient());
+        for k in [
+            ErrorKind::CsvMalformed,
+            ErrorKind::EncodingError,
+            ErrorKind::JsonMalformed,
+            ErrorKind::EmptyInput,
+            ErrorKind::PyParseError,
+            ErrorKind::Internal,
+        ] {
+            assert!(!k.is_transient(), "{k} should be permanent");
+        }
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(ErrorKind::CsvMalformed.name(), "CsvMalformed");
+        assert_eq!(ErrorKind::WorkerPanic.to_string(), "WorkerPanic");
+    }
+}

@@ -8,11 +8,24 @@
 //! [`Stopwatch`] and a logical-bytes [`MemoryMeter`] with which each system
 //! reports the peak size of its resident data structures (the substitute for
 //! the paper's process-level RSS measurements; see DESIGN.md).
+//!
+//! It also hosts the fault-tolerance substrate for ingestion: the
+//! [`LidsError`] taxonomy, the panic-isolating [`parallel_try_map`], and
+//! bounded [`retry`] with exponential backoff over an injectable [`Clock`].
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod error;
 pub mod meter;
 pub mod pool;
+pub mod retry;
 pub mod timer;
 
+pub use error::{ErrorKind, LidsError, LidsResult};
 pub use meter::MemoryMeter;
-pub use pool::{parallel_map, parallel_map_with, ParallelConfig};
+pub use pool::{
+    parallel_map, parallel_map_with, parallel_try_map, parallel_try_map_with, IsolationConfig,
+    ParallelConfig,
+};
+pub use retry::{retry, Clock, RetryOutcome, RetryPolicy, SystemClock, TestClock};
 pub use timer::Stopwatch;

@@ -1,0 +1,204 @@
+//! Bounded retry with exponential backoff for transient ingestion faults.
+//!
+//! Only errors whose [`ErrorKind`](crate::ErrorKind) is transient (worker
+//! panic, budget overrun) are retried; malformed input fails fast. The
+//! delay source is an injectable [`Clock`] so tests and the fault-injection
+//! harness run deterministically with zero wall-clock sleeping.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::error::LidsResult;
+
+/// Source of delay used between retry attempts.
+pub trait Clock: Send + Sync {
+    /// Block the current thread for (approximately) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// Real wall-clock sleeping.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// Test clock: records requested sleeps, returns immediately.
+#[derive(Debug, Default)]
+pub struct TestClock {
+    sleeps: Mutex<Vec<Duration>>,
+}
+
+impl TestClock {
+    pub fn new() -> Arc<Self> {
+        Arc::new(TestClock::default())
+    }
+
+    /// All sleeps requested so far, in order.
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.sleeps.lock().map(|s| s.clone()).unwrap_or_default()
+    }
+}
+
+impl Clock for TestClock {
+    fn sleep(&self, d: Duration) {
+        if let Ok(mut sleeps) = self.sleeps.lock() {
+            sleeps.push(d);
+        }
+    }
+}
+
+/// Exponential-backoff policy: attempt `n` (0-based retry index) sleeps
+/// `base * multiplier^n`, capped at `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of *retries* (total attempts = retries + 1).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Growth factor between consecutive retries.
+    pub multiplier: f64,
+    /// Upper bound on any single delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0, ..Default::default() }
+    }
+
+    /// Backoff delay before retry `n` (0-based).
+    pub fn delay(&self, n: u32) -> Duration {
+        let factor = self.multiplier.powi(n as i32);
+        let raw = self.base_delay.as_secs_f64() * factor;
+        Duration::from_secs_f64(raw.min(self.max_delay.as_secs_f64()))
+    }
+}
+
+/// Result of [`retry`]: the final outcome plus how many retries were spent.
+#[derive(Debug, Clone)]
+pub struct RetryOutcome<T> {
+    pub result: LidsResult<T>,
+    /// Number of retries performed (0 = first attempt decided the outcome).
+    pub retries: u32,
+}
+
+/// Run `f`, retrying transient failures per `policy` with backoff delays
+/// drawn from `clock`. Permanent errors and successes return immediately.
+pub fn retry<T>(
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+    mut f: impl FnMut() -> LidsResult<T>,
+) -> RetryOutcome<T> {
+    let mut retries = 0u32;
+    loop {
+        match f() {
+            Ok(v) => return RetryOutcome { result: Ok(v), retries },
+            Err(e) if e.is_transient() && retries < policy.max_retries => {
+                clock.sleep(policy.delay(retries));
+                retries += 1;
+            }
+            Err(e) => return RetryOutcome { result: Err(e), retries },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::{ErrorKind, LidsError};
+
+    fn transient(msg: &str) -> LidsError {
+        LidsError::new(ErrorKind::WorkerPanic, msg)
+    }
+
+    fn permanent(msg: &str) -> LidsError {
+        LidsError::new(ErrorKind::CsvMalformed, msg)
+    }
+
+    #[test]
+    fn success_first_try_no_sleeps() {
+        let clock = TestClock::new();
+        let out = retry(&RetryPolicy::default(), &*clock, || Ok::<_, LidsError>(7));
+        assert_eq!(out.result.unwrap(), 7);
+        assert_eq!(out.retries, 0);
+        assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn permanent_error_fails_fast() {
+        let clock = TestClock::new();
+        let mut calls = 0;
+        let out = retry(&RetryPolicy::default(), &*clock, || {
+            calls += 1;
+            Err::<(), _>(permanent("bad csv"))
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.retries, 0);
+        assert_eq!(out.result.unwrap_err().kind(), ErrorKind::CsvMalformed);
+        assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn transient_error_retries_with_exponential_backoff() {
+        let clock = TestClock::new();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_delay: Duration::from_secs(1),
+        };
+        let out = retry(&policy, &*clock, || Err::<(), _>(transient("boom")));
+        assert_eq!(out.retries, 3);
+        assert_eq!(out.result.unwrap_err().kind(), ErrorKind::WorkerPanic);
+        assert_eq!(
+            clock.sleeps(),
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+            ]
+        );
+    }
+
+    #[test]
+    fn transient_then_success() {
+        let clock = TestClock::new();
+        let mut calls = 0;
+        let out = retry(&RetryPolicy::default(), &*clock, || {
+            calls += 1;
+            if calls < 3 { Err(transient("flaky")) } else { Ok(calls) }
+        });
+        assert_eq!(out.result.unwrap(), 3);
+        assert_eq!(out.retries, 2);
+        assert_eq!(clock.sleeps().len(), 2);
+    }
+
+    #[test]
+    fn delay_caps_at_max() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_millis(100),
+            multiplier: 10.0,
+            max_delay: Duration::from_millis(500),
+        };
+        assert_eq!(policy.delay(0), Duration::from_millis(100));
+        assert_eq!(policy.delay(1), Duration::from_millis(500));
+        assert_eq!(policy.delay(5), Duration::from_millis(500));
+    }
+}

@@ -13,6 +13,7 @@ pub mod docs;
 pub mod library_graph;
 pub mod linker;
 pub mod ontology;
+pub mod provenance;
 pub mod schema;
 
 pub use abstraction::{abstract_pipeline, AbstractionStats, Aspect, PipelineMetadata};

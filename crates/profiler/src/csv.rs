@@ -1,29 +1,150 @@
-//! Minimal RFC-4180-style CSV reader/writer.
+//! Minimal RFC-4180-style CSV reader/writer with strict and lenient modes.
+//!
+//! Real data lakes deliver CSVs that are truncated, mis-quoted, or
+//! mis-encoded. [`parse_csv_with`] makes the failure semantics explicit:
+//!
+//! - **Strict** ([`CsvMode::Strict`]) — structural damage is a typed
+//!   [`LidsError`]: unterminated quote at EOF, ragged rows, embedded NUL
+//!   bytes (`EncodingError`), and empty or header-only input
+//!   (`EmptyInput`). This is the mode the KG Governor's raw ingestion uses
+//!   so that damaged artifacts are quarantined instead of silently mangled.
+//! - **Lenient** ([`CsvMode::Lenient`]) — documented coercions: an
+//!   unterminated quote is closed at EOF (the partial field is kept), NUL
+//!   bytes are stripped, short rows are padded with empty strings, long
+//!   rows are truncated, and empty or header-only input yields an empty
+//!   [`Table`].
+//!
+//! [`parse_csv_bytes`] is the byte-level entry point: invalid UTF-8 is an
+//! `EncodingError` in strict mode and is replaced with U+FFFD in lenient
+//! mode.
+
+use lids_exec::{ErrorKind, LidsError, LidsResult};
 
 use crate::table::{Column, Table};
 
+/// Failure semantics for CSV parsing (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CsvMode {
+    /// Typed errors on structural or encoding damage.
+    Strict,
+    /// Documented coercions; parsing is effectively infallible.
+    #[default]
+    Lenient,
+}
+
+/// Raw bytes of one not-yet-parsed table file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawTable {
+    pub name: String,
+    pub bytes: Vec<u8>,
+}
+
+impl RawTable {
+    pub fn new(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        RawTable { name: name.into(), bytes }
+    }
+}
+
+/// A dataset of raw table files, the unit the KG Governor ingests from a
+/// data lake before profiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDataset {
+    pub name: String,
+    pub tables: Vec<RawTable>,
+}
+
+impl RawDataset {
+    pub fn new(name: impl Into<String>, tables: Vec<RawTable>) -> Self {
+        RawDataset { name: name.into(), tables }
+    }
+}
+
+/// Parse CSV text into a [`Table`] in lenient mode (see [`parse_csv_with`]).
+pub fn parse_csv(name: &str, text: &str) -> LidsResult<Table> {
+    parse_csv_with(name, text, CsvMode::Lenient)
+}
+
+/// Parse CSV bytes into a [`Table`]. Strict mode rejects invalid UTF-8 with
+/// an `EncodingError`; lenient mode substitutes U+FFFD.
+pub fn parse_csv_bytes(name: &str, bytes: &[u8], mode: CsvMode) -> LidsResult<Table> {
+    match mode {
+        CsvMode::Strict => match std::str::from_utf8(bytes) {
+            Ok(text) => parse_csv_with(name, text, mode),
+            Err(e) => Err(LidsError::new(
+                ErrorKind::EncodingError,
+                format!("invalid UTF-8 at byte {}", e.valid_up_to()),
+            )
+            .with_artifact(name)),
+        },
+        CsvMode::Lenient => parse_csv_with(name, &String::from_utf8_lossy(bytes), mode),
+    }
+}
+
 /// Parse CSV text into a [`Table`]. The first record is the header. Handles
 /// quoted fields, embedded commas, doubled quotes, and embedded newlines.
-/// Short rows are padded with empty strings; long rows are truncated.
-pub fn parse_csv(name: &str, text: &str) -> Table {
-    let records = parse_records(text);
-    let mut records = records.into_iter();
-    let header = records.next().unwrap_or_default();
+/// Structural-damage handling depends on `mode` (see module docs).
+pub fn parse_csv_with(name: &str, text: &str, mode: CsvMode) -> LidsResult<Table> {
+    let err = |kind, message: String| Err(LidsError::new(kind, message).with_artifact(name));
+
+    let text = if text.contains('\0') {
+        if mode == CsvMode::Strict {
+            return err(ErrorKind::EncodingError, "input contains NUL bytes".into());
+        }
+        std::borrow::Cow::Owned(text.replace('\0', ""))
+    } else {
+        std::borrow::Cow::Borrowed(text)
+    };
+
+    let parsed = parse_records(&text);
+    if mode == CsvMode::Strict && parsed.unterminated_quote {
+        return err(
+            ErrorKind::CsvMalformed,
+            "unterminated quoted field at end of input".into(),
+        );
+    }
+    let mut records = parsed.records.into_iter();
+    let Some(header) = records.next() else {
+        return match mode {
+            CsvMode::Strict => err(ErrorKind::EmptyInput, "no records in input".into()),
+            CsvMode::Lenient => Ok(Table::new(name.to_string(), Vec::new())),
+        };
+    };
     let ncols = header.len();
     let mut columns: Vec<Column> = header
         .into_iter()
         .map(|h| Column::new(h.trim().to_string(), Vec::new()))
         .collect();
-    for mut record in records {
+    let mut data_rows = 0usize;
+    for (i, mut record) in records.enumerate() {
+        if mode == CsvMode::Strict && record.len() != ncols {
+            return err(
+                ErrorKind::CsvMalformed,
+                format!(
+                    "record {} has {} fields, header has {ncols}",
+                    i + 1,
+                    record.len()
+                ),
+            );
+        }
         record.resize(ncols, String::new());
         for (col, value) in columns.iter_mut().zip(record) {
             col.values.push(value);
         }
+        data_rows += 1;
     }
-    Table::new(name.to_string(), columns)
+    if mode == CsvMode::Strict && data_rows == 0 {
+        return err(ErrorKind::EmptyInput, "header-only input, no data rows".into());
+    }
+    Ok(Table::new(name.to_string(), columns))
 }
 
-fn parse_records(text: &str) -> Vec<Vec<String>> {
+struct ParsedRecords {
+    records: Vec<Vec<String>>,
+    /// A quoted field was still open when the input ended.
+    unterminated_quote: bool,
+}
+
+fn parse_records(text: &str) -> ParsedRecords {
     let mut records = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
@@ -74,7 +195,7 @@ fn parse_records(text: &str) -> Vec<Vec<String>> {
         record.push(field);
         records.push(record);
     }
-    records
+    ParsedRecords { records, unterminated_quote: in_quotes }
 }
 
 /// Serialize a table to CSV (quoting only when needed).
@@ -119,7 +240,7 @@ mod tests {
 
     #[test]
     fn basic_parse() {
-        let t = parse_csv("t", "a,b\n1,x\n2,y\n");
+        let t = parse_csv("t", "a,b\n1,x\n2,y\n").unwrap();
         assert_eq!(t.columns.len(), 2);
         assert_eq!(t.rows(), 2);
         assert_eq!(t.column("a").unwrap().values, vec!["1", "2"]);
@@ -127,35 +248,106 @@ mod tests {
 
     #[test]
     fn quoted_fields() {
-        let t = parse_csv("t", "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+        let t = parse_csv("t", "a,b\n\"hello, world\",\"say \"\"hi\"\"\"\n").unwrap();
         assert_eq!(t.column("a").unwrap().values[0], "hello, world");
         assert_eq!(t.column("b").unwrap().values[0], "say \"hi\"");
     }
 
     #[test]
     fn embedded_newline() {
-        let t = parse_csv("t", "a\n\"line1\nline2\"\n");
+        let t = parse_csv("t", "a\n\"line1\nline2\"\n").unwrap();
         assert_eq!(t.column("a").unwrap().values[0], "line1\nline2");
     }
 
     #[test]
-    fn ragged_rows_padded_and_truncated() {
-        let t = parse_csv("t", "a,b\n1\n2,3,4\n");
+    fn ragged_rows_padded_and_truncated_lenient() {
+        let t = parse_csv("t", "a,b\n1\n2,3,4\n").unwrap();
         assert_eq!(t.column("a").unwrap().values, vec!["1", "2"]);
         assert_eq!(t.column("b").unwrap().values, vec!["", "3"]);
     }
 
     #[test]
+    fn ragged_rows_rejected_strict() {
+        let short = parse_csv_with("t", "a,b\n1\n", CsvMode::Strict).unwrap_err();
+        assert_eq!(short.kind(), ErrorKind::CsvMalformed);
+        assert!(short.message().contains("1 fields"), "{short}");
+        let long = parse_csv_with("t", "a,b\n1,2,3\n", CsvMode::Strict).unwrap_err();
+        assert_eq!(long.kind(), ErrorKind::CsvMalformed);
+        assert_eq!(long.artifact(), Some("t"));
+    }
+
+    #[test]
     fn crlf_line_endings() {
-        let t = parse_csv("t", "a,b\r\n1,2\r\n");
+        let t = parse_csv("t", "a,b\r\n1,2\r\n").unwrap();
         assert_eq!(t.rows(), 1);
         assert_eq!(t.column("b").unwrap().values[0], "2");
     }
 
     #[test]
     fn missing_final_newline() {
-        let t = parse_csv("t", "a\n1\n2");
+        let t = parse_csv("t", "a\n1\n2").unwrap();
         assert_eq!(t.rows(), 2);
+    }
+
+    #[test]
+    fn unterminated_quote_strict_vs_lenient() {
+        let input = "a,b\n1,\"oops\n";
+        let e = parse_csv_with("t", input, CsvMode::Strict).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::CsvMalformed);
+        assert!(e.message().contains("unterminated"), "{e}");
+        // lenient: the quote closes at EOF, the partial field is kept
+        let t = parse_csv_with("t", input, CsvMode::Lenient).unwrap();
+        assert_eq!(t.rows(), 1);
+        assert_eq!(t.column("b").unwrap().values[0], "oops\n");
+    }
+
+    #[test]
+    fn empty_input_strict_vs_lenient() {
+        let e = parse_csv_with("t", "", CsvMode::Strict).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::EmptyInput);
+        let t = parse_csv_with("t", "", CsvMode::Lenient).unwrap();
+        assert!(t.columns.is_empty());
+        assert_eq!(t.rows(), 0);
+    }
+
+    #[test]
+    fn header_only_strict_vs_lenient() {
+        let e = parse_csv_with("t", "a,b\n", CsvMode::Strict).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::EmptyInput);
+        assert!(e.message().contains("header-only"), "{e}");
+        let t = parse_csv_with("t", "a,b\n", CsvMode::Lenient).unwrap();
+        assert_eq!(t.columns.len(), 2);
+        assert_eq!(t.rows(), 0);
+    }
+
+    #[test]
+    fn nul_bytes_strict_vs_lenient() {
+        let input = "a,b\n1,x\u{0}y\n";
+        let e = parse_csv_with("t", input, CsvMode::Strict).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::EncodingError);
+        let t = parse_csv_with("t", input, CsvMode::Lenient).unwrap();
+        assert_eq!(t.column("b").unwrap().values[0], "xy");
+    }
+
+    #[test]
+    fn invalid_utf8_bytes_strict_vs_lenient() {
+        let mut bytes = b"a,b\n1,x".to_vec();
+        bytes.extend([0xFF, 0xFE]);
+        bytes.extend(b"y\n");
+        let e = parse_csv_bytes("t", &bytes, CsvMode::Strict).unwrap_err();
+        assert_eq!(e.kind(), ErrorKind::EncodingError);
+        assert!(e.message().contains("invalid UTF-8"), "{e}");
+        let t = parse_csv_bytes("t", &bytes, CsvMode::Lenient).unwrap();
+        assert!(t.column("b").unwrap().values[0].contains('\u{FFFD}'));
+    }
+
+    #[test]
+    fn valid_bytes_parse_in_both_modes() {
+        let bytes = b"a,b\n1,2\n";
+        for mode in [CsvMode::Strict, CsvMode::Lenient] {
+            let t = parse_csv_bytes("t", bytes, mode).unwrap();
+            assert_eq!(t.rows(), 1);
+        }
     }
 
     #[test]
@@ -167,7 +359,7 @@ mod tests {
                 Column::new("b", vec!["1,2".into(), "x\ny".into()]),
             ],
         );
-        let back = parse_csv("t", &write_csv(&t));
+        let back = parse_csv("t", &write_csv(&t)).unwrap();
         assert_eq!(back.columns, t.columns);
     }
 
@@ -177,7 +369,17 @@ mod tests {
             values in proptest::collection::vec("[a-zA-Z0-9,\"\\n ]{0,12}", 1..20)
         ) {
             let t = Table::new("t", vec![Column::new("col", values.clone())]);
-            let back = parse_csv("t", &write_csv(&t));
+            let back = parse_csv("t", &write_csv(&t)).unwrap();
+            prop_assert_eq!(back.column("col").unwrap().values.clone(), values);
+        }
+
+        /// A well-formed serialized table parses in strict mode too.
+        #[test]
+        fn prop_strict_accepts_written_tables(
+            values in proptest::collection::vec("[a-zA-Z0-9,\"\\n ]{0,12}", 1..20)
+        ) {
+            let t = Table::new("t", vec![Column::new("col", values.clone())]);
+            let back = parse_csv_with("t", &write_csv(&t), CsvMode::Strict).unwrap();
             prop_assert_eq!(back.column("col").unwrap().values.clone(), values);
         }
     }

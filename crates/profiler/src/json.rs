@@ -8,27 +8,20 @@
 //! Values normalise to the profiler's lexical forms (numbers, booleans,
 //! strings; `null` becomes the empty string = missing).
 
+use lids_exec::{ErrorKind, LidsError, LidsResult};
 use serde_json::Value;
 
 use crate::table::{Column, Table};
 
-/// Error for malformed tabular JSON.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonTableError(pub String);
-
-impl std::fmt::Display for JsonTableError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json table error: {}", self.0)
-    }
+fn json_err(name: &str, message: String) -> LidsError {
+    LidsError::new(ErrorKind::JsonMalformed, message).with_artifact(name)
 }
-
-impl std::error::Error for JsonTableError {}
 
 /// Parse tabular JSON into a [`Table`]. Column order follows first
 /// appearance; records missing a key get an empty (missing) cell.
-pub fn parse_json_table(name: &str, text: &str) -> Result<Table, JsonTableError> {
+pub fn parse_json_table(name: &str, text: &str) -> LidsResult<Table> {
     let value: Value =
-        serde_json::from_str(text).map_err(|e| JsonTableError(e.to_string()))?;
+        serde_json::from_str(text).map_err(|e| json_err(name, e.to_string()))?;
     match value {
         Value::Array(records) => from_records(name, &records),
         Value::Object(columns) => {
@@ -36,17 +29,15 @@ pub fn parse_json_table(name: &str, text: &str) -> Result<Table, JsonTableError>
             let mut rows: Option<usize> = None;
             for (key, cell) in columns {
                 let Value::Array(values) = cell else {
-                    return Err(JsonTableError(format!(
-                        "column {key} is not an array"
-                    )));
+                    return Err(json_err(name, format!("column {key} is not an array")));
                 };
                 match rows {
                     None => rows = Some(values.len()),
                     Some(n) if n != values.len() => {
-                        return Err(JsonTableError(format!(
-                            "column {key} has {} values, expected {n}",
-                            values.len()
-                        )))
+                        return Err(json_err(
+                            name,
+                            format!("column {key} has {} values, expected {n}", values.len()),
+                        ))
                     }
                     _ => {}
                 }
@@ -54,18 +45,19 @@ pub fn parse_json_table(name: &str, text: &str) -> Result<Table, JsonTableError>
             }
             Ok(Table::new(name, cols))
         }
-        other => Err(JsonTableError(format!(
-            "expected an array of records or an object of columns, got {other}"
-        ))),
+        other => Err(json_err(
+            name,
+            format!("expected an array of records or an object of columns, got {other}"),
+        )),
     }
 }
 
-fn from_records(name: &str, records: &[Value]) -> Result<Table, JsonTableError> {
+fn from_records(name: &str, records: &[Value]) -> LidsResult<Table> {
     // column order = first appearance across records
     let mut order: Vec<String> = Vec::new();
     for (i, record) in records.iter().enumerate() {
         let Value::Object(map) = record else {
-            return Err(JsonTableError(format!("record {i} is not an object")));
+            return Err(json_err(name, format!("record {i} is not an object")));
         };
         for key in map.keys() {
             if !order.contains(key) {

@@ -12,6 +12,8 @@
 //! rule — "predicted based on the existence of corresponding word
 //! embeddings for the tokens".
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod csv;
 pub mod json;
 pub mod ner;
@@ -20,8 +22,9 @@ pub mod stats;
 pub mod table;
 pub mod types;
 
-pub use csv::{parse_csv, write_csv};
+pub use csv::{parse_csv, parse_csv_bytes, parse_csv_with, write_csv, CsvMode, RawDataset, RawTable};
 pub use json::parse_json_table;
+pub use lids_exec::{ErrorKind, LidsError, LidsResult};
 pub use ner::{recognize_entity, EntityType};
 pub use profile::{profile_column, profile_table, ColumnMeta, ColumnProfile, ProfilerConfig};
 pub use stats::ColumnStats;

@@ -174,14 +174,12 @@ pub fn recognize_entity(value: &str) -> Option<EntityType> {
     if lower.ends_with('%') && lower[..lower.len() - 1].trim().parse::<f64>().is_ok() {
         return Some(EntityType::Percent);
     }
-    if (v.starts_with('$') || v.starts_with('€') || v.starts_with('£'))
-        && v[v.chars().next().unwrap().len_utf8()..]
-            .replace(',', "")
-            .trim()
-            .parse::<f64>()
-            .is_ok()
-    {
-        return Some(EntityType::Money);
+    if let Some(first) = v.chars().next() {
+        if matches!(first, '$' | '€' | '£')
+            && v[first.len_utf8()..].replace(',', "").trim().parse::<f64>().is_ok()
+        {
+            return Some(EntityType::Money);
+        }
     }
     if lids_embed::features::parse_date_parts(v).is_some() || MONTHS.contains(&lower.as_str()) {
         return Some(EntityType::Date);

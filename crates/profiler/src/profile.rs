@@ -158,6 +158,8 @@ impl ColumnProfile {
 
     /// Serialise to the JSON document Algorithm 2 dumps.
     pub fn to_json(&self) -> String {
+        // A plain struct of numbers/strings cannot fail to serialise.
+        #[allow(clippy::expect_used)]
         serde_json::to_string(self).expect("profile serialises")
     }
 

@@ -73,16 +73,18 @@ pub fn tokenize(source: &str) -> Result<Vec<Tok>, LexError> {
                 continue;
             }
             let indent = raw_line.len() - stripped.len();
-            let current = *indents.last().unwrap();
+            // The indent stack always holds the base level 0, which is
+            // never popped (no indent is < 0).
+            let current = indents.last().copied().unwrap_or(0);
             if indent > current {
                 indents.push(indent);
                 tokens.push(Tok { kind: TokKind::Indent, line: line_no });
             } else if indent < current {
-                while *indents.last().unwrap() > indent {
+                while indents.last().is_some_and(|&i| i > indent) {
                     indents.pop();
                     tokens.push(Tok { kind: TokKind::Dedent, line: line_no });
                 }
-                if *indents.last().unwrap() != indent {
+                if indents.last().copied().unwrap_or(0) != indent {
                     return Err(LexError {
                         line: line_no,
                         message: "inconsistent indentation".into(),
@@ -286,7 +288,8 @@ fn lex_line(
                 {
                     pos += 1;
                 }
-                let word = std::str::from_utf8(&bytes[start..pos]).unwrap();
+                // the span covers ASCII alphanumerics only, always valid UTF-8
+                let word = String::from_utf8_lossy(&bytes[start..pos]);
                 // string prefixes: f"", r"", b"" etc.
                 if pos < bytes.len()
                     && (bytes[pos] == b'"' || bytes[pos] == b'\'')
@@ -360,9 +363,8 @@ fn lex_number(bytes: &[u8], start: usize, line_no: usize) -> Result<(Tok, usize)
             _ => break,
         }
     }
-    let text: String = std::str::from_utf8(&bytes[start..pos])
-        .unwrap()
-        .replace('_', "");
+    // the span covers ASCII digits/signs/dots only, always valid UTF-8
+    let text: String = String::from_utf8_lossy(&bytes[start..pos]).replace('_', "");
     let kind = if saw_dot || saw_exp {
         TokKind::Float(text.parse().map_err(|_| LexError {
             line: line_no,
@@ -433,8 +435,8 @@ mod tests {
 
     #[test]
     fn numbers() {
-        let ts = kinds("a = 3.14\nb = 1e-3\nc = 10_000\n");
-        assert!(ts.contains(&TokKind::Float(3.14)));
+        let ts = kinds("a = 2.75\nb = 1e-3\nc = 10_000\n");
+        assert!(ts.contains(&TokKind::Float(2.75)));
         assert!(ts.contains(&TokKind::Float(1e-3)));
         assert!(ts.contains(&TokKind::Int(10000)));
     }

@@ -14,6 +14,8 @@
 //! variables, dotted call paths with arguments, dataset reads
 //! (`pd.read_csv("x.csv")`), and column accesses (`df["col"]`).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analysis;
 pub mod ast;
 pub mod lexer;

@@ -18,6 +18,12 @@ impl std::fmt::Display for PyParseError {
 
 impl std::error::Error for PyParseError {}
 
+impl From<PyParseError> for lids_exec::LidsError {
+    fn from(e: PyParseError) -> Self {
+        lids_exec::LidsError::new(lids_exec::ErrorKind::PyParseError, e.to_string())
+    }
+}
+
 /// Parse a Python script into a [`Module`].
 pub fn parse_module(source: &str) -> Result<Module, PyParseError> {
     let tokens = tokenize(source).map_err(|e| PyParseError { line: e.line, message: e.message })?;
@@ -319,7 +325,7 @@ impl Parser {
             targets.push(self.parse_postfix()?);
         }
         let target = if targets.len() == 1 {
-            targets.pop().unwrap()
+            targets.remove(0)
         } else {
             Expr::Tuple(targets)
         };

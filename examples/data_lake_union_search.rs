@@ -28,10 +28,11 @@ fn main() {
         .bootstrap();
     let schema = stats.schema.unwrap();
     println!(
-        "bootstrap: {:.2}s profiling + {:.2}s schema | {} column pairs compared, {} label + {} content edges\n",
+        "bootstrap: {:.2}s profiling + {:.2}s schema | {} column pairs compared, {} label + {} content edges",
         stats.profiling_secs, stats.schema_secs,
         schema.pairs_compared, schema.label_edges, schema.content_edges
     );
+    println!("{}\n", stats.report.summary());
 
     let k = lake.avg_unionable().max(1.0) as usize;
     for (label, mode) in [

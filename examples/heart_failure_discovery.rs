@@ -93,10 +93,11 @@ fn main() {
         })
         .collect();
 
-    let (mut platform, _) = KgLidsBuilder::new()
+    let (mut platform, stats) = KgLidsBuilder::new()
         .with_datasets([heart_failure_prediction, heart_failure_clinical, labs])
         .with_pipelines(pipelines)
         .bootstrap();
+    println!("{}\n", stats.report.summary());
 
     // --- Search Tables Based on Specific Columns ---
     // (heart AND failure) OR patients

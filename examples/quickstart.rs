@@ -72,6 +72,7 @@ print(accuracy_score(y_test, clf.predict(X_test)))
         "  linked: {} table reads, {} column reads; {} predictions dropped",
         stats.links.tables_linked, stats.links.columns_linked, stats.links.predictions_dropped
     );
+    println!("  {}", stats.report.summary());
     println!();
 
     // 4. Ad-hoc SPARQL: which columns does the pipeline read?

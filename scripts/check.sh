@@ -1,9 +1,23 @@
 #!/usr/bin/env bash
-# Full local gate: release build, tests, and lint-clean clippy.
+# Full local gate: release build, tests (incl. the chaos suite), lint-clean
+# clippy, and a guard against new unwrap/expect in fault-tolerant crates.
 # Run from anywhere; operates on the workspace root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --workspace
 cargo test -q --workspace
+cargo test -q --test chaos
 cargo clippy --workspace --all-targets -- -D warnings
+
+# The ingestion-path crates deny unwrap/expect outside tests; make sure the
+# crate-root opt-ins are still in place so clippy keeps enforcing it.
+for crate in exec profiler pyast core; do
+  lib="crates/${crate}/src/lib.rs"
+  if ! grep -q "deny(clippy::unwrap_used" "$lib"; then
+    echo "error: ${lib} dropped the unwrap_used/expect_used deny opt-in" >&2
+    exit 1
+  fi
+done
+
+echo "all checks passed"

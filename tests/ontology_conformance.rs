@@ -8,8 +8,10 @@ use std::collections::HashSet;
 
 use kglids_repro::datagen::pipelines::{generate_corpus, CorpusSpec};
 use kglids_repro::kg::ontology::{class, data_prop, object_prop, ONT, RDFS_LABEL, RDF_TYPE};
+use kglids_repro::kg::provenance;
 use kglids_repro::kglids::{KgLidsBuilder, PipelineScript};
 use kglids_repro::profiler::table::{Column, Dataset, Table};
+use kglids_repro::profiler::{RawDataset, RawTable};
 
 fn vocabulary() -> (HashSet<String>, HashSet<String>) {
     let mut predicates: HashSet<String> = HashSet::new();
@@ -21,7 +23,13 @@ fn vocabulary() -> (HashSet<String>, HashSet<String>) {
     for p in data_prop::ALL {
         predicates.insert(data_prop::iri(p));
     }
-    let classes: HashSet<String> = class::ALL.iter().map(|c| class::iri(c)).collect();
+    // quarantine provenance lives in its own namespace, outside the
+    // 13/19/22 LiDS ontology
+    for p in provenance::prop::ALL {
+        predicates.insert(provenance::iri(p));
+    }
+    let mut classes: HashSet<String> = class::ALL.iter().map(|c| class::iri(c)).collect();
+    classes.insert(provenance::iri(provenance::QUARANTINED_ARTIFACT));
     (predicates, classes)
 }
 
@@ -57,10 +65,17 @@ fn bootstrapped_graph_uses_only_declared_vocabulary() {
         .iter()
         .map(|p| PipelineScript { metadata: p.metadata.clone(), source: p.source.clone() })
         .collect();
-    let (platform, _) = KgLidsBuilder::new()
+    // a damaged raw table makes sure quarantine provenance is also
+    // covered by the conformance sweep
+    let (platform, stats) = KgLidsBuilder::new()
         .with_datasets(datasets)
+        .with_raw_dataset(RawDataset::new(
+            "damaged",
+            vec![RawTable::new("bad", b"a,b\n\"unterminated\n".to_vec())],
+        ))
         .with_pipelines(scripts)
         .bootstrap();
+    assert_eq!(stats.report.len(), 1, "damaged table quarantined");
 
     let (predicates, classes) = vocabulary();
     let mut seen_predicates: HashSet<String> = HashSet::new();
