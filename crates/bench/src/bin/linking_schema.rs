@@ -1,0 +1,151 @@
+//! `linking_schema` — Algorithm 3 pairwise-pass benchmark: exact
+//! exhaustive linking vs candidate-pruned linking over one generated
+//! profile lake, verifying equal output and reporting the content-pass
+//! speedup. Results land in `BENCH_linking.json`.
+//!
+//! Usage: `linking_schema [--columns N] [--out PATH] [--smoke]`
+//!
+//! `--smoke` shrinks the lake for CI: it checks the harness end to end
+//! (both modes run, edges match, JSON is well-formed) without the
+//! multi-second exact pass.
+
+use std::time::Instant;
+
+use lids_datagen::{synthetic_profiles, ProfileLakeSpec};
+use lids_embed::WordEmbeddings;
+use lids_kg::{build_data_global_schema, LinkingConfig, LinkingMode, SchemaConfig, SchemaStats};
+use lids_rdf::QuadStore;
+use serde_json::{Map, Number, Value};
+
+fn num(v: f64) -> Value {
+    Value::Number(Number::F64(v))
+}
+
+fn unum(v: usize) -> Value {
+    Value::Number(Number::U64(v as u64))
+}
+
+struct Args {
+    columns: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { columns: 24_000, out: "BENCH_linking.json".into(), smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--columns" => {
+                args.columns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--columns needs a number"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--smoke" => args.smoke = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.columns = args.columns.min(900);
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("linking_schema: {msg}");
+    std::process::exit(2);
+}
+
+fn run(
+    profiles: &[lids_profiler::ColumnProfile],
+    we: &WordEmbeddings,
+    linking: LinkingConfig,
+) -> (SchemaStats, f64, usize) {
+    let mut store = QuadStore::new();
+    let config = SchemaConfig { linking, ..Default::default() };
+    let start = Instant::now();
+    let stats = build_data_global_schema(&mut store, profiles, &config, we);
+    (stats, start.elapsed().as_secs_f64(), store.len())
+}
+
+fn stats_json(stats: &SchemaStats, total_secs: f64, triples: usize) -> Value {
+    let mut m = Map::new();
+    m.insert("total_secs".into(), num(total_secs));
+    m.insert("label_secs".into(), num(stats.label_secs));
+    m.insert("content_secs".into(), num(stats.content_secs));
+    m.insert("pairs_compared".into(), unum(stats.pairs_compared));
+    m.insert("candidates_generated".into(), unum(stats.candidates_generated));
+    m.insert("pairs_pruned".into(), unum(stats.pairs_pruned));
+    m.insert("label_edges".into(), unum(stats.label_edges));
+    m.insert("content_edges".into(), unum(stats.content_edges));
+    m.insert("triples".into(), unum(triples));
+    Value::Object(m)
+}
+
+fn main() {
+    let args = parse_args();
+    // a text-skewed lake, the shape of real data lakes: one dominant
+    // fine-grained-type bucket plus six smaller ones, tight embedding
+    // clusters (θ-edges) scattered among near-orthogonal ones
+    let columns_per_table = 6;
+    let spec = ProfileLakeSpec {
+        seed: 2024,
+        tables: args.columns / columns_per_table,
+        columns_per_table,
+        tables_per_dataset: 4,
+        embedding_dim: 300,
+        clusters: (args.columns / 8).max(1),
+        noise: 0.02,
+        dominant_share: 0.85,
+    };
+    eprintln!("generating {} columns…", args.columns);
+    let profiles = synthetic_profiles(&spec);
+    let we = WordEmbeddings::new();
+
+    let pruned_linking = LinkingConfig {
+        mode: LinkingMode::Pruned,
+        bucket_cutoff: if args.smoke { 32 } else { 512 },
+        hnsw_m: 8,
+        hnsw_ef_construction: 32,
+        hnsw_ef_search: 16,
+        shards: 1,
+        init_k: 16,
+        ..Default::default()
+    };
+
+    eprintln!("exact pass…");
+    let (exact, exact_total, exact_triples) =
+        run(&profiles, &we, LinkingConfig { mode: LinkingMode::Exact, ..Default::default() });
+    eprintln!(
+        "  content {:.3}s, label {:.3}s, {} content edges",
+        exact.content_secs, exact.label_secs, exact.content_edges
+    );
+    eprintln!("pruned pass…");
+    let (pruned, pruned_total, pruned_triples) = run(&profiles, &we, pruned_linking);
+    eprintln!(
+        "  content {:.3}s ({} candidates, {} pruned), {} content edges",
+        pruned.content_secs, pruned.candidates_generated, pruned.pairs_pruned, pruned.content_edges
+    );
+
+    // equal output is the contract — a fast wrong answer is worthless
+    assert_eq!(exact.label_edges, pruned.label_edges, "label edge sets diverged");
+    assert_eq!(exact.content_edges, pruned.content_edges, "content edge sets diverged");
+    assert_eq!(exact_triples, pruned_triples, "stores diverged");
+
+    let speedup = exact.content_secs / pruned.content_secs.max(1e-9);
+    let mut report = Map::new();
+    report.insert("bench".into(), Value::String("linking_schema".into()));
+    report.insert("columns".into(), unum(profiles.len()));
+    report.insert("smoke".into(), Value::Bool(args.smoke));
+    report.insert("exact".into(), stats_json(&exact, exact_total, exact_triples));
+    report.insert("pruned".into(), stats_json(&pruned, pruned_total, pruned_triples));
+    report.insert("content_speedup".into(), num(speedup));
+    let rendered = Value::Object(report).to_string();
+    std::fs::write(&args.out, &rendered).unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
+    println!("{rendered}");
+    eprintln!("content-pass speedup: {speedup:.1}x → {}", args.out);
+}

@@ -35,5 +35,8 @@ pub mod report;
 
 pub use dataframe::DataFrame;
 pub use lids_exec::{ErrorKind, LidsError, LidsResult};
-pub use platform::{BootstrapStats, IngestOptions, KgLids, KgLidsBuilder, PipelineScript};
+pub use lids_kg::{LinkingConfig, LinkingMode};
+pub use platform::{
+    BootstrapStats, IngestOptions, KgLids, KgLidsBuilder, PipelineScript, SchemaStatsLite,
+};
 pub use report::{ArtifactKind, BootstrapReport, QuarantineEntry};

@@ -194,22 +194,14 @@ impl KgLids {
             out
         });
         for edge in edges.into_iter().flatten() {
-            for (x, y) in [(&edge.a, &edge.b), (&edge.b, &edge.a)] {
-                self.store.insert(&Quad::new(
-                    Term::iri(x.clone()),
-                    Term::iri(object_prop::iri(edge.predicate)),
-                    Term::iri(y.clone()),
-                ));
-                self.store.insert(&Quad::new(
-                    Term::quoted(
-                        Term::iri(x.clone()),
-                        Term::iri(object_prop::iri(edge.predicate)),
-                        Term::iri(y.clone()),
-                    ),
-                    Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY)),
-                    Term::double(edge.score),
-                ));
-            }
+            // shared symmetric RDF-star emission with the bulk schema pass
+            lids_kg::insert_similarity_edge(
+                &mut self.store,
+                &edge.a,
+                &edge.b,
+                edge.predicate,
+                edge.score,
+            );
             match edge.predicate {
                 object_prop::HAS_LABEL_SIMILARITY => stats.label_edges += 1,
                 _ => stats.content_edges += 1,

@@ -22,7 +22,7 @@ use lids_kg::docs::LibraryDocs;
 use lids_kg::library_graph::build_library_graph;
 use lids_kg::linker::{link_pipelines, LinkStats};
 use lids_kg::provenance::{emit_quarantine, QuarantineRecord};
-use lids_kg::schema::{build_data_global_schema, SchemaConfig, SchemaStats};
+use lids_kg::schema::{build_data_global_schema, LinkingConfig, SchemaConfig, SchemaStats};
 use lids_profiler::table::Dataset;
 use lids_profiler::{
     parse_csv_bytes, profile_table, ColumnProfile, CsvMode, ProfilerConfig, RawDataset, Table,
@@ -146,6 +146,8 @@ where
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchemaStatsLite {
     pub pairs_compared: usize,
+    pub candidates_generated: usize,
+    pub pairs_pruned: usize,
     pub label_edges: usize,
     pub content_edges: usize,
 }
@@ -154,6 +156,8 @@ impl From<&SchemaStats> for SchemaStatsLite {
     fn from(s: &SchemaStats) -> Self {
         SchemaStatsLite {
             pairs_compared: s.pairs_compared,
+            candidates_generated: s.candidates_generated,
+            pairs_pruned: s.pairs_pruned,
             label_edges: s.label_edges,
             content_edges: s.content_edges,
         }
@@ -237,6 +241,13 @@ impl KgLidsBuilder {
     /// Override similarity thresholds (`α`, `β`, `θ`).
     pub fn with_schema_config(mut self, config: SchemaConfig) -> Self {
         self.schema_config = config;
+        self
+    }
+
+    /// Override only the candidate-generation strategy of the schema pass
+    /// (exact vs index-pruned linking and its tuning knobs).
+    pub fn with_linking_config(mut self, linking: LinkingConfig) -> Self {
+        self.schema_config.linking = linking;
         self
     }
 

@@ -27,10 +27,12 @@ pub mod domains;
 pub mod faults;
 pub mod lakes;
 pub mod pipelines;
+pub mod profiles;
 pub mod tasks;
 
 pub use domains::{Domain, DOMAINS};
 pub use faults::{Corruptor, FaultKind};
 pub use lakes::{Lake, LakeSpec};
 pub use pipelines::{generate_corpus, CorpusSpec, GeneratedPipeline};
+pub use profiles::{synthetic_profiles, ProfileLakeSpec};
 pub use tasks::{automl_datasets, cleaning_datasets, transform_datasets, TaskDataset};

@@ -1,0 +1,264 @@
+//! Synthetic column-profile lakes — pre-profiled input for the similarity
+//! linker, skipping Algorithm 2 entirely.
+//!
+//! The `linking_schema` bench and the exact-vs-pruned differential test
+//! need thousands of [`ColumnProfile`]s with controllable structure:
+//! clustered CoLR embeddings (so θ-edges exist *and* most pairs miss),
+//! repeated column labels (so the label cache has work to dedupe),
+//! boolean true-ratio clusters (so the sliding window prunes), and every
+//! fine-grained type represented. Profiling real generated tables at that
+//! scale would dominate the run; this module fabricates the profiles
+//! directly, deterministically from a seed.
+
+use lids_profiler::{ColumnMeta, ColumnProfile, ColumnStats, FineGrainedType};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic profile lake.
+#[derive(Debug, Clone)]
+pub struct ProfileLakeSpec {
+    /// RNG seed; same spec → same profiles.
+    pub seed: u64,
+    /// Number of tables.
+    pub tables: usize,
+    /// Columns per table.
+    pub columns_per_table: usize,
+    /// Tables grouped under one dataset name.
+    pub tables_per_dataset: usize,
+    /// CoLR embedding width (300 in production; tests shrink it).
+    pub embedding_dim: usize,
+    /// Embedding cluster centers per fine-grained type. Columns in the
+    /// same cluster land above θ, different clusters land far below.
+    pub clusters: usize,
+    /// Within-cluster perturbation amplitude.
+    pub noise: f32,
+    /// Probability a column is forced to [`FineGrainedType::NaturalLanguage`],
+    /// skewing bucket sizes the way real lakes skew toward text columns.
+    pub dominant_share: f64,
+}
+
+impl Default for ProfileLakeSpec {
+    fn default() -> Self {
+        ProfileLakeSpec {
+            seed: 7,
+            tables: 8,
+            columns_per_table: 4,
+            tables_per_dataset: 2,
+            embedding_dim: 64,
+            clusters: 4,
+            noise: 0.03,
+            dominant_share: 0.0,
+        }
+    }
+}
+
+/// Per-type label vocabulary; overlapping names across tables exercise the
+/// label cache and produce α-edges (including exact token matches).
+/// Within a pool the words are mutually non-synonymous (at most one word
+/// per word-embedding concept group): duplicate-label matches are the
+/// plentiful α-hit, synonym hits stay rare, and edge counts grow roughly
+/// linearly with the lake instead of quadratically — as in real lakes,
+/// where most column names do *not* resemble each other.
+fn label_pool(fgt: FineGrainedType) -> &'static [&'static str] {
+    match fgt {
+        FineGrainedType::Int => &["age", "votes", "attempts", "floors", "siblings", "wins"],
+        FineGrainedType::Float => &["price", "salary", "rating", "humidity", "speed", "lat"],
+        FineGrainedType::Boolean => &["active", "verified", "paid", "smoker", "insured"],
+        FineGrainedType::Date => &["date", "created", "updated", "expires", "birthday"],
+        FineGrainedType::NamedEntity => &["city", "country", "name", "company", "airline"],
+        FineGrainedType::NaturalLanguage => &["description", "summary", "overview", "feedback", "bio"],
+        FineGrainedType::String => &["code", "sku", "label", "category", "serial"],
+    }
+}
+
+/// Consonants for generated filler tokens: three-consonant tokens are
+/// outside the word-embedding concept table (every entry there of three or
+/// more letters has a vowel) and fail the common-English check, so two
+/// labels sharing only their base word embed at ≈0.5 cosine — well below
+/// α. Most labels should *not* link, as in a real lake.
+const CONSONANTS: &[char] = &[
+    'b', 'c', 'd', 'f', 'g', 'h', 'j', 'k', 'l', 'm', 'n', 'p', 'q', 'r', 's', 't', 'v', 'w',
+    'x', 'z',
+];
+
+/// Filler vocabulary sized to the lake: distinct-label count grows with
+/// the column count, so duplicate-label α-edges stay roughly *linear* in
+/// lake size instead of quadratic.
+fn filler_tokens(columns: usize) -> Vec<String> {
+    let n = (columns / 10).max(50);
+    (0..n)
+        .map(|i| {
+            let a = CONSONANTS[i % 20];
+            let b = CONSONANTS[(i / 20) % 20];
+            let c = CONSONANTS[(i / 400) % 20];
+            format!("{a}{b}{c}")
+        })
+        .collect()
+}
+
+const ALL_TYPES: [FineGrainedType; 7] = [
+    FineGrainedType::Int,
+    FineGrainedType::Float,
+    FineGrainedType::Boolean,
+    FineGrainedType::Date,
+    FineGrainedType::NamedEntity,
+    FineGrainedType::NaturalLanguage,
+    FineGrainedType::String,
+];
+
+/// Generate a lake of synthetic profiles. Deterministic in the spec.
+pub fn synthetic_profiles(spec: &ProfileLakeSpec) -> Vec<ColumnProfile> {
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    // one set of cluster centers per (type, cluster) pair, drawn up front
+    let types_with_embeddings: Vec<FineGrainedType> = ALL_TYPES
+        .iter()
+        .copied()
+        .filter(|t| *t != FineGrainedType::Boolean)
+        .collect();
+    // Cluster centers are drawn around a small set of per-type "parent"
+    // directions rather than fully isotropically. Real embedding spaces
+    // (CoLR included) are anisotropic — semantically related columns
+    // concentrate around shared directions — and that correlation is what
+    // makes them navigable for graph ANN indexes. Fully random centers at
+    // dim 300 are pairwise near-orthogonal, a flat landscape with no
+    // gradient for any search structure (and unlike anything profiled from
+    // real tables).
+    let mut centers: std::collections::HashMap<(FineGrainedType, usize), Vec<f32>> =
+        Default::default();
+    for &t in &types_with_embeddings {
+        let n_parents = (spec.clusters.max(1) as f64).sqrt().ceil() as usize;
+        let parents: Vec<Vec<f32>> = (0..n_parents)
+            .map(|_| {
+                (0..spec.embedding_dim)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect()
+            })
+            .collect();
+        for c in 0..spec.clusters.max(1) {
+            let parent = &parents[c % n_parents];
+            let v: Vec<f32> = parent
+                .iter()
+                .map(|p| 0.6 * p + 0.4 * rng.gen_range(-1.0f32..1.0))
+                .collect();
+            centers.insert((t, c), v);
+        }
+    }
+    // boolean true-ratio clusters: tight groups the window pass can split
+    let ratio_centers: Vec<f64> = (0..spec.clusters.max(1))
+        .map(|_| rng.gen_range(0.0..1.0))
+        .collect();
+
+    let fillers = filler_tokens(spec.tables * spec.columns_per_table);
+    let mut profiles = Vec::with_capacity(spec.tables * spec.columns_per_table);
+    for t in 0..spec.tables {
+        let dataset = format!("ds{}", t / spec.tables_per_dataset.max(1));
+        let table = format!("t{t}");
+        for _c in 0..spec.columns_per_table {
+            let fgt = if rng.gen_bool(spec.dominant_share) {
+                FineGrainedType::NaturalLanguage
+            } else {
+                ALL_TYPES[rng.gen_range(0..ALL_TYPES.len())]
+            };
+            let pool = label_pool(fgt);
+            let base = pool[rng.gen_range(0..pool.len())];
+            // ~2% bare duplicates (label-cache hits, exact α-edges); the
+            // rest get a filler token that drowns the shared base word
+            let column = if rng.gen_bool(0.02) {
+                base.to_string()
+            } else {
+                format!("{base}_{}", fillers[rng.gen_range(0..fillers.len())])
+            };
+            let cluster = rng.gen_range(0..spec.clusters.max(1));
+            let numeric = fgt.is_numeric();
+            let (embedding, true_ratio) = if fgt == FineGrainedType::Boolean {
+                // ~10% of booleans lack a ratio (all-null columns)
+                let ratio = if rng.gen_bool(0.9) {
+                    Some((ratio_centers[cluster] + rng.gen_range(-0.01..0.01)).clamp(0.0, 1.0))
+                } else {
+                    None
+                };
+                (Vec::new(), ratio)
+            } else if rng.gen_bool(0.05) {
+                // occasionally no embedding, as with quarantined columns
+                (Vec::new(), None)
+            } else {
+                let center = &centers[&(fgt, cluster)];
+                let e: Vec<f32> = center
+                    .iter()
+                    .map(|x| x + rng.gen_range(-spec.noise..spec.noise))
+                    .collect();
+                (e, None)
+            };
+            let count = rng.gen_range(50..500usize);
+            profiles.push(ColumnProfile {
+                meta: ColumnMeta {
+                    dataset: dataset.clone(),
+                    table: table.clone(),
+                    column,
+                },
+                fgt,
+                stats: ColumnStats {
+                    count,
+                    nulls: rng.gen_range(0..count / 10),
+                    distinct: rng.gen_range(1..count),
+                    min: numeric.then(|| rng.gen_range(-100.0..0.0)),
+                    max: numeric.then(|| rng.gen_range(0.0..100.0)),
+                    mean: numeric.then(|| rng.gen_range(-10.0..10.0)),
+                    std_dev: numeric.then(|| rng.gen_range(0.0..5.0)),
+                    true_ratio,
+                    avg_length: (!numeric && fgt != FineGrainedType::Boolean)
+                        .then(|| rng.gen_range(1.0..40.0)),
+                },
+                embedding,
+            });
+        }
+    }
+    profiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let spec = ProfileLakeSpec::default();
+        let a = synthetic_profiles(&spec);
+        let b = synthetic_profiles(&spec);
+        assert_eq!(a.len(), spec.tables * spec.columns_per_table);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn covers_all_types_at_scale() {
+        let spec = ProfileLakeSpec { tables: 40, seed: 3, ..Default::default() };
+        let ps = synthetic_profiles(&spec);
+        for t in ALL_TYPES {
+            assert!(ps.iter().any(|p| p.fgt == t), "missing {t:?}");
+        }
+        // booleans carry ratios, not embeddings
+        assert!(ps
+            .iter()
+            .filter(|p| p.fgt == FineGrainedType::Boolean)
+            .all(|p| p.embedding.is_empty()));
+        assert!(ps
+            .iter()
+            .any(|p| p.fgt == FineGrainedType::Boolean && p.stats.true_ratio.is_some()));
+    }
+
+    #[test]
+    fn dominant_share_skews_buckets() {
+        let spec = ProfileLakeSpec {
+            tables: 30,
+            dominant_share: 0.9,
+            seed: 11,
+            ..Default::default()
+        };
+        let ps = synthetic_profiles(&spec);
+        let nl = ps
+            .iter()
+            .filter(|p| p.fgt == FineGrainedType::NaturalLanguage)
+            .count();
+        assert!(nl * 2 > ps.len(), "{nl}/{}", ps.len());
+    }
+}

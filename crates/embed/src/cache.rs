@@ -1,0 +1,128 @@
+//! Embedding-preparation stage: each distinct column label embedded once.
+//!
+//! Algorithm 3 compares every same-type cross-table column pair by label,
+//! so a naive implementation re-tokenizes and re-embeds both labels for
+//! every pair — O(pairs) embedding work for O(distinct labels) distinct
+//! inputs, and real lakes repeat column names constantly (`id`, `name`,
+//! `date`). The cache interns each distinct label string to a dense
+//! [`LabelId`], computing its tokens and word-embedding exactly once;
+//! [`LabelEmbeddingCache::similarity`] then replays the exact
+//! [`label_similarity`] decision tree over the cached parts, so scores are
+//! bit-identical to recomputation (the embedding is deterministic).
+
+use std::collections::HashMap;
+
+use lids_vector::ops::{cosine_similarity, l2_norm};
+
+use crate::word::{label_similarity, tokenize_label, WordEmbeddings};
+
+/// Dense id of an interned label.
+pub type LabelId = u32;
+
+/// Interned label strings with their tokenizations and embeddings.
+#[derive(Debug, Default, Clone)]
+pub struct LabelEmbeddingCache {
+    ids: HashMap<String, LabelId>,
+    tokens: Vec<Vec<String>>,
+    vectors: Vec<Vec<f32>>,
+    /// Cached `l2_norm(vector) == 0` so `similarity` skips the norm pass.
+    zero: Vec<bool>,
+}
+
+impl LabelEmbeddingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `label`, embedding it on first sight.
+    pub fn intern(&mut self, we: &WordEmbeddings, label: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = self.tokens.len() as LabelId;
+        let vector = we.embed_label(label);
+        self.zero.push(l2_norm(&vector) == 0.0);
+        self.tokens.push(tokenize_label(label));
+        self.vectors.push(vector);
+        self.ids.insert(label.to_string(), id);
+        id
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when no labels are interned.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// [`label_similarity`] over cached parts — the same decision tree
+    /// (empty → 0, token-equal → 1, zero-norm → 0, else cosine), hence
+    /// bit-identical scores without re-tokenizing or re-embedding.
+    pub fn similarity(&self, a: LabelId, b: LabelId) -> f32 {
+        let (a, b) = (a as usize, b as usize);
+        let ta = &self.tokens[a];
+        let tb = &self.tokens[b];
+        if ta.is_empty() || tb.is_empty() {
+            return 0.0;
+        }
+        if ta == tb {
+            return 1.0;
+        }
+        if self.zero[a] || self.zero[b] {
+            return 0.0;
+        }
+        cosine_similarity(&self.vectors[a], &self.vectors[b])
+    }
+}
+
+/// Check the cache agrees with direct recomputation (used by tests).
+pub fn cache_matches_direct(we: &WordEmbeddings, labels: &[&str]) -> bool {
+    let mut cache = LabelEmbeddingCache::new();
+    let ids: Vec<LabelId> = labels.iter().map(|l| cache.intern(we, l)).collect();
+    labels.iter().enumerate().all(|(i, a)| {
+        labels.iter().enumerate().all(|(j, b)| {
+            cache.similarity(ids[i], ids[j]).to_bits() == label_similarity(we, a, b).to_bits()
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let we = WordEmbeddings::new();
+        let mut cache = LabelEmbeddingCache::new();
+        let a = cache.intern(&we, "passenger_age");
+        let b = cache.intern(&we, "passenger_age");
+        let c = cache.intern(&we, "fare");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn similarity_is_bit_identical_to_direct() {
+        let we = WordEmbeddings::new();
+        assert!(cache_matches_direct(
+            &we,
+            &[
+                "passenger_age",
+                "PassengerAge", // token-equal to the previous, different string
+                "area_sq_ft",
+                "area_sq_m",
+                "",     // empty tokens → 0.0 branch
+                "123",  // digits only → empty tokens
+                "price",
+                "cost",
+                "qz7x",
+            ],
+        ));
+    }
+}

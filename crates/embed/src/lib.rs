@@ -15,6 +15,7 @@
 //! concept table that supplies the synonym structure (`area_sq_ft` close to
 //! `area_sq_m`) that the paper gets from pre-trained embeddings.
 
+pub mod cache;
 pub mod coarse;
 pub mod colr;
 pub mod features;
@@ -23,6 +24,7 @@ pub mod train;
 pub mod types;
 pub mod word;
 
+pub use cache::{LabelEmbeddingCache, LabelId};
 pub use coarse::CoarseModels;
 pub use colr::{table_embedding, ColrModels, EMBEDDING_DIM, TABLE_EMBEDDING_DIM};
 pub use types::FineGrainedType;

@@ -24,8 +24,8 @@ pub mod timer;
 pub use error::{ErrorKind, LidsError, LidsResult};
 pub use meter::MemoryMeter;
 pub use pool::{
-    parallel_map, parallel_map_with, parallel_try_map, parallel_try_map_with, IsolationConfig,
-    ParallelConfig,
+    parallel_blocks, parallel_map, parallel_map_with, parallel_try_map, parallel_try_map_with,
+    IsolationConfig, ParallelConfig,
 };
 pub use retry::{retry, Clock, RetryOutcome, RetryPolicy, SystemClock, TestClock};
 pub use timer::Stopwatch;

@@ -102,6 +102,23 @@ where
 struct SendPtr<R>(*mut Option<R>);
 unsafe impl<R: Send> Sync for SendPtr<R> {}
 
+/// Map `f` over the block ranges `[0..block)`, `[block..2·block)`, … of an
+/// index space of `n` items, in parallel. Results come back in block order.
+///
+/// This is the shape of blocked kernels (e.g. the pairwise-similarity scan
+/// of Algorithm 3): the caller owns the data, workers each claim a
+/// contiguous block of row indices, and per-block results are concatenated
+/// by the caller. A zero `block` is treated as 1.
+pub fn parallel_blocks<R, F>(n: usize, block: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> R + Sync,
+{
+    let block = block.max(1);
+    let starts: Vec<usize> = (0..n).step_by(block).collect();
+    parallel_map(&starts, |&start| f(start..(start + block).min(n)))
+}
+
 /// Configuration for [`parallel_try_map_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IsolationConfig {
@@ -300,6 +317,16 @@ mod tests {
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(i, *x);
         }
+    }
+
+    #[test]
+    fn blocks_cover_index_space_in_order() {
+        let out = parallel_blocks(10, 3, |r| r.collect::<Vec<_>>());
+        assert_eq!(out.concat(), (0..10).collect::<Vec<_>>());
+        assert_eq!(out.len(), 4);
+        assert!(parallel_blocks(0, 4, |r| r.len()).is_empty());
+        // zero block size is clamped to 1
+        assert_eq!(parallel_blocks(3, 0, |r| r.len()), vec![1, 1, 1]);
     }
 
     #[test]

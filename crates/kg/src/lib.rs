@@ -20,4 +20,7 @@ pub use abstraction::{abstract_pipeline, AbstractionStats, Aspect, PipelineMetad
 pub use docs::{DocEntry, LibraryDocs};
 pub use library_graph::build_library_graph;
 pub use linker::link_pipelines;
-pub use schema::{build_data_global_schema, SchemaConfig, SchemaStats};
+pub use schema::{
+    build_data_global_schema, insert_similarity_edge, LinkingConfig, LinkingMode, SchemaConfig,
+    SchemaStats,
+};

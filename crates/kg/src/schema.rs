@@ -7,16 +7,115 @@
 //! threshold `α`; content similarity uses the *true ratio* for booleans
 //! (threshold `β`) and CoLR cosine for everything else (threshold `θ`).
 //! Similarity edges are RDF-star-annotated with their score.
+//!
+//! The pairwise pass is a staged similarity engine rather than a flat
+//! O(n²) loop over materialised pairs:
+//!
+//! 1. **Embedding preparation** — every distinct column label is embedded
+//!    exactly once ([`LabelEmbeddingCache`]) and each bucket's CoLR
+//!    vectors are pre-normalized into a [`RowMatrix`], so cosine reduces
+//!    to a dot product ([`dot_lanes`]).
+//! 2. **Candidate generation** — per fine-grained-type bucket. Buckets at
+//!    or below [`LinkingConfig::bucket_cutoff`] (and everything under
+//!    [`LinkingMode::Exact`]) take the exact blocked scan
+//!    ([`scan_pairs_above`]); larger buckets under
+//!    [`LinkingMode::Pruned`] query a sharded HNSW index
+//!    ([`ShardedHnsw`]) with a radius of `1 − θ` plus a safety margin,
+//!    group the hits into connected components, and bound component
+//!    pairs with the triangle inequality on centroids — pairs outside
+//!    the bound provably contain no θ-edge, so the filter is lossless
+//!    even though HNSW itself is approximate. Boolean buckets prune with
+//!    a sorted sliding window over the true ratio instead of an index.
+//! 3. **Exact scoring** — every surviving pair is scored with the same
+//!    [`dot_lanes`] kernel (or the same true-ratio formula) and the same
+//!    α/β/θ gates as the exact path, so pruning is *only* a candidate
+//!    filter: the emitted edge set and RDF-star scores are identical in
+//!    both modes, bit for bit.
+//!
+//! Label edges keep the exhaustive pass but computed over label
+//! *equivalence classes*: one cached similarity per distinct label pair,
+//! fanned out to the matching column pairs.
 
-use lids_embed::{label_similarity, FineGrainedType, WordEmbeddings};
-use lids_exec::parallel_map;
+use std::time::Instant;
+
+use lids_embed::{FineGrainedType, LabelEmbeddingCache, WordEmbeddings};
+use lids_exec::parallel_blocks;
 use lids_profiler::ColumnProfile;
 use lids_rdf::{Quad, QuadStore, Term};
-use lids_vector::cosine_similarity;
+use lids_vector::{dot_lanes, scan_pairs_above, HnswConfig, Metric, RowMatrix, ShardedHnsw};
 
 use crate::ontology::{class, data_prop, object_prop, res, RDFS_LABEL, RDF_TYPE};
 
-/// Similarity thresholds (`α`, `β`, `θ` in Algorithm 3).
+/// How content-similarity candidates are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkingMode {
+    /// Exhaustive blocked scan over every same-type cross-table pair.
+    Exact,
+    /// Index-pruned candidates, each verified by the exact kernel.
+    Pruned,
+}
+
+/// Tuning for the staged similarity engine.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkingConfig {
+    /// Candidate-generation strategy.
+    pub mode: LinkingMode,
+    /// Buckets with at most this many rows use the exact scan even under
+    /// [`LinkingMode::Pruned`] — below it the index build costs more than
+    /// the pairs it saves.
+    pub bucket_cutoff: usize,
+    /// Rows per worker task in the blocked passes.
+    pub block: usize,
+    /// HNSW `M` (max connections per node on upper layers).
+    pub hnsw_m: usize,
+    /// HNSW construction beam width.
+    pub hnsw_ef_construction: usize,
+    /// HNSW search beam width.
+    pub hnsw_ef_search: usize,
+    /// Independent HNSW shards built in parallel.
+    pub shards: usize,
+    /// Initial `k` for the adaptive radius search over-fetch.
+    pub init_k: usize,
+}
+
+impl Default for LinkingConfig {
+    /// ANN recall only shapes the candidate components (the
+    /// triangle-inequality bound makes the filter lossless regardless), so
+    /// the defaults favour a cheap index over a high-recall one.
+    fn default() -> Self {
+        LinkingConfig {
+            mode: LinkingMode::Pruned,
+            bucket_cutoff: 192,
+            block: 64,
+            hnsw_m: 8,
+            hnsw_ef_construction: 32,
+            hnsw_ef_search: 16,
+            shards: 4,
+            init_k: 16,
+        }
+    }
+}
+
+/// Widens the HNSW radius (`1 − θ`) so float noise between the index
+/// metric and the [`dot_lanes`] re-check cannot drop a true candidate;
+/// the exact gate then discards anything the margin let through.
+const RADIUS_MARGIN: f32 = 1e-3;
+
+/// Widens the boolean sliding window (`1 − β`) the same way; `β` is f64
+/// so a much smaller slack suffices.
+const WINDOW_MARGIN: f64 = 1e-9;
+
+/// Fixed level-assignment seed so pruned runs are reproducible.
+const HNSW_SEED: u64 = 0x11d5;
+
+/// Slack added to the Euclidean equivalent of the θ-ball (`√(2(1−θ))`) and
+/// to each component radius in the triangle-inequality bound, absorbing
+/// f32 rounding in centroid/radius computation. The bound only decides
+/// which component pairs are *enumerated*; the exact θ gate still decides
+/// every edge, so over-wide margins cost speed, never correctness.
+const GEOM_MARGIN: f32 = 1e-4;
+
+/// Similarity thresholds (`α`, `β`, `θ` in Algorithm 3) plus engine tuning.
 #[derive(Debug, Clone, Copy)]
 pub struct SchemaConfig {
     /// Label-similarity threshold.
@@ -25,11 +124,18 @@ pub struct SchemaConfig {
     pub beta: f64,
     /// Content (CoLR cosine) similarity threshold.
     pub theta: f32,
+    /// Candidate-generation strategy and tuning.
+    pub linking: LinkingConfig,
 }
 
 impl Default for SchemaConfig {
     fn default() -> Self {
-        SchemaConfig { alpha: 0.75, beta: 0.9, theta: 0.9 }
+        SchemaConfig {
+            alpha: 0.75,
+            beta: 0.9,
+            theta: 0.9,
+            linking: LinkingConfig::default(),
+        }
     }
 }
 
@@ -37,10 +143,19 @@ impl Default for SchemaConfig {
 #[derive(Debug, Clone, Default)]
 pub struct SchemaStats {
     pub columns: usize,
+    /// Logical same-type cross-table pairs (the exact pass's workload).
     pub pairs_compared: usize,
+    /// Content pairs that reached the exact scorer.
+    pub candidates_generated: usize,
+    /// Content pairs the candidate stage ruled out without scoring.
+    pub pairs_pruned: usize,
     pub label_edges: usize,
     pub content_edges: usize,
     pub metadata_triples: usize,
+    /// Wall-clock seconds of the label-similarity pass.
+    pub label_secs: f64,
+    /// Wall-clock seconds of the content-similarity pass.
+    pub content_secs: f64,
 }
 
 /// One similarity edge produced by a comparison worker.
@@ -131,111 +246,490 @@ pub fn build_data_global_schema(
     }
 
     // ---- pairwise similarity (Algorithm 3 lines 6–19) ----
-    // pairs with the same fine-grained type, from different tables
+
+    // Stage 1: embedding preparation. Column IRIs, dense table ids, and
+    // one cached label embedding per *distinct* label.
+    let col_iris: Vec<String> = profiles
+        .iter()
+        .map(|p| res::column(&p.meta.dataset, &p.meta.table, &p.meta.column))
+        .collect();
+    let mut table_ids: std::collections::HashMap<(&str, &str), u32> = Default::default();
+    let table_of: Vec<u32> = profiles
+        .iter()
+        .map(|p| {
+            let next = table_ids.len() as u32;
+            *table_ids
+                .entry((p.meta.dataset.as_str(), p.meta.table.as_str()))
+                .or_insert(next)
+        })
+        .collect();
+    let mut cache = LabelEmbeddingCache::new();
+    let label_of: Vec<lids_embed::LabelId> = profiles
+        .iter()
+        .map(|p| cache.intern(we, &p.meta.column))
+        .collect();
+
     let mut by_type: std::collections::HashMap<FineGrainedType, Vec<usize>> = Default::default();
     for (i, p) in profiles.iter().enumerate() {
         by_type.entry(p.fgt).or_default().push(i);
     }
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for members in by_type.values() {
-        for (pos, &i) in members.iter().enumerate() {
-            for &j in &members[pos + 1..] {
-                let (a, b) = (&profiles[i].meta, &profiles[j].meta);
-                if a.dataset == b.dataset && a.table == b.table {
-                    continue;
+        stats.pairs_compared += cross_table_pair_count(members, &table_of);
+    }
+
+    let lk = &config.linking;
+    let mut edges: Vec<Edge> = Vec::new();
+
+    // Label pass: exact and exhaustive (Algorithm 3 lines 11–12), computed
+    // over *equivalence classes*. Label similarity depends only on the two
+    // label strings, so columns are grouped by interned label id, each
+    // distinct label pair is scored once from the cache, and the score
+    // fans out to every cross-table column pair in the two groups. Same
+    // edge set and scores as the naive n² loop — a lake with n columns but
+    // d distinct labels pays O(d²) cosines instead of O(n²).
+    let label_start = Instant::now();
+    for members in by_type.values() {
+        let mut by_label: std::collections::HashMap<lids_embed::LabelId, Vec<usize>> =
+            Default::default();
+        for &i in members {
+            by_label.entry(label_of[i]).or_default().push(i);
+        }
+        let groups: Vec<(lids_embed::LabelId, Vec<usize>)> = by_label.into_iter().collect();
+        let found = parallel_blocks(groups.len(), 1.max(lk.block / 8), |range| {
+            let mut out = Vec::new();
+            for pos in range {
+                let (la, ga) = &groups[pos];
+                for (lb, gb) in groups[pos..].iter() {
+                    let sim = cache.similarity(*la, *lb);
+                    if sim < config.alpha {
+                        continue;
+                    }
+                    if la == lb {
+                        for (x, &i) in ga.iter().enumerate() {
+                            for &j in &ga[x + 1..] {
+                                if table_of[i] != table_of[j] {
+                                    out.push((i, j, sim));
+                                }
+                            }
+                        }
+                    } else {
+                        for &i in ga {
+                            for &j in gb {
+                                if table_of[i] != table_of[j] {
+                                    out.push((i, j, sim));
+                                }
+                            }
+                        }
+                    }
                 }
-                pairs.push((i, j));
             }
+            out
+        });
+        for (i, j, sim) in found.into_iter().flatten() {
+            edges.push(Edge {
+                a: col_iris[i].clone(),
+                b: col_iris[j].clone(),
+                predicate: object_prop::HAS_LABEL_SIMILARITY,
+                score: sim as f64,
+            });
         }
     }
-    stats.pairs_compared = pairs.len();
+    stats.label_secs = label_start.elapsed().as_secs_f64();
 
-    let edges: Vec<Vec<Edge>> = parallel_map(&pairs, |&(i, j)| {
-        compare_pair(&profiles[i], &profiles[j], config, we)
-    });
+    // Content pass: candidate generation + exact re-check (lines 13–18).
+    let content_start = Instant::now();
+    for (fgt, members) in &by_type {
+        if *fgt == FineGrainedType::Boolean {
+            boolean_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats);
+        } else {
+            embeddable_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats);
+        }
+    }
+    stats.content_secs = content_start.elapsed().as_secs_f64();
 
-    for edge in edges.into_iter().flatten() {
-        let annotate = |store: &mut QuadStore, a: &str, b: &str| {
-            let base = Quad::new(
-                Term::iri(a.to_string()),
-                Term::iri(object_prop::iri(edge.predicate)),
-                Term::iri(b.to_string()),
-            );
-            store.insert(&base);
-            // RDF-star score annotation
-            store.insert(&Quad::new(
-                Term::quoted(
-                    Term::iri(a.to_string()),
-                    Term::iri(object_prop::iri(edge.predicate)),
-                    Term::iri(b.to_string()),
-                ),
-                Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY)),
-                Term::double(edge.score),
-            ));
-        };
-        // symmetric: materialise both directions for cheap BGP queries
-        annotate(store, &edge.a, &edge.b);
-        annotate(store, &edge.b, &edge.a);
-        match edge.predicate {
-            object_prop::HAS_LABEL_SIMILARITY => stats.label_edges += 1,
-            _ => stats.content_edges += 1,
+    // Predicate and annotation terms are shared by every edge — build them
+    // once instead of re-formatting the IRIs per insertion.
+    let label_pred = Term::iri(object_prop::iri(object_prop::HAS_LABEL_SIMILARITY));
+    let content_pred = Term::iri(object_prop::iri(object_prop::HAS_CONTENT_SIMILARITY));
+    let certainty = Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY));
+    for edge in edges {
+        if edge.predicate == object_prop::HAS_LABEL_SIMILARITY {
+            stats.label_edges += 1;
+            insert_edge_with(store, &edge.a, &edge.b, &label_pred, &certainty, edge.score);
+        } else {
+            stats.content_edges += 1;
+            insert_edge_with(store, &edge.a, &edge.b, &content_pred, &certainty, edge.score);
         }
     }
     stats
 }
 
+/// Insert one similarity edge: both directions materialised (symmetric,
+/// for cheap BGP queries), each RDF-star-annotated with its score.
+/// `predicate` is the short object-property name, e.g.
+/// [`object_prop::HAS_CONTENT_SIMILARITY`].
+pub fn insert_similarity_edge(
+    store: &mut QuadStore,
+    a_iri: &str,
+    b_iri: &str,
+    predicate: &str,
+    score: f64,
+) {
+    let pred = Term::iri(object_prop::iri(predicate));
+    let certainty = Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY));
+    insert_edge_with(store, a_iri, b_iri, &pred, &certainty, score);
+}
+
+/// [`insert_similarity_edge`] with the shared terms pre-built: the subject
+/// and object terms are constructed once and the reverse direction reuses
+/// them via an in-place swap instead of fresh string allocations.
+fn insert_edge_with(
+    store: &mut QuadStore,
+    a_iri: &str,
+    b_iri: &str,
+    pred: &Term,
+    certainty: &Term,
+    score: f64,
+) {
+    let a = Term::iri(a_iri.to_string());
+    let b = Term::iri(b_iri.to_string());
+    let mut plain = Quad::new(a.clone(), pred.clone(), b.clone());
+    let mut star = Quad::new(
+        Term::quoted(a, pred.clone(), b),
+        certainty.clone(),
+        Term::double(score),
+    );
+    store.insert(&plain);
+    store.insert(&star);
+    std::mem::swap(&mut plain.subject, &mut plain.object);
+    if let Term::Quoted(t) = &mut star.subject {
+        std::mem::swap(&mut t.subject, &mut t.object);
+    }
+    store.insert(&plain);
+    store.insert(&star);
+}
+
+/// Euclidean distance between two raw f32 vectors.
+fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f32>()
+        .sqrt()
+}
+
+/// Connected components over `n` nodes and undirected `edges` (union-find
+/// with path halving). Every node appears in exactly one component;
+/// isolated nodes come back as singletons. Components are ordered by their
+/// smallest member so downstream iteration is deterministic.
+fn components(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for &(a, b) in edges {
+        let ra = find(&mut parent, a);
+        let rb = find(&mut parent, b);
+        if ra != rb {
+            parent[ra.max(rb) as usize] = ra.min(rb);
+        }
+    }
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = Default::default();
+    for i in 0..n as u32 {
+        groups.entry(find(&mut parent, i)).or_default().push(i);
+    }
+    let mut out: Vec<Vec<u32>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// Cross-table pairs among `rows`: all pairs minus the same-table ones,
+/// counted from per-table tallies in O(|rows|).
+fn cross_table_pair_count(rows: &[usize], table_of: &[u32]) -> usize {
+    let mut per_table: std::collections::HashMap<u32, usize> = Default::default();
+    for &i in rows {
+        *per_table.entry(table_of[i]).or_insert(0) += 1;
+    }
+    let total = rows.len() * rows.len().saturating_sub(1) / 2;
+    let same: usize = per_table.values().map(|&m| m * (m - 1) / 2).sum();
+    total - same
+}
+
+/// Content similarity for a boolean bucket: `1 − |true_ratio_a −
+/// true_ratio_b| ≥ β`. Pruned mode sorts by true ratio and slides a
+/// `1 − β` window (plus margin) as the candidate filter; candidates are
+/// re-checked with the exact original predicate, so both modes emit the
+/// same edges.
+#[allow(clippy::too_many_arguments)]
+fn boolean_content(
+    profiles: &[ColumnProfile],
+    members: &[usize],
+    col_iris: &[String],
+    table_of: &[u32],
+    config: &SchemaConfig,
+    edges: &mut Vec<Edge>,
+    stats: &mut SchemaStats,
+) {
+    let rows: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|&i| profiles[i].stats.true_ratio.is_some())
+        .collect();
+    if rows.len() < 2 {
+        return;
+    }
+    let ratio = |i: usize| profiles[i].stats.true_ratio.unwrap_or_default();
+    let eligible = cross_table_pair_count(&rows, table_of);
+    let lk = &config.linking;
+
+    let push = |out: &mut Vec<Edge>, i: usize, j: usize, score: f64| {
+        out.push(Edge {
+            a: col_iris[i].clone(),
+            b: col_iris[j].clone(),
+            predicate: object_prop::HAS_CONTENT_SIMILARITY,
+            score,
+        });
+    };
+
+    if lk.mode == LinkingMode::Exact || rows.len() <= lk.bucket_cutoff {
+        stats.candidates_generated += eligible;
+        let found = parallel_blocks(rows.len(), lk.block, |range| {
+            let mut out = Vec::new();
+            for pos in range {
+                let i = rows[pos];
+                for &j in &rows[pos + 1..] {
+                    if table_of[i] == table_of[j] {
+                        continue;
+                    }
+                    let sim = 1.0 - (ratio(i) - ratio(j)).abs();
+                    if sim >= config.beta {
+                        out.push((i, j, sim));
+                    }
+                }
+            }
+            out
+        });
+        for (i, j, sim) in found.into_iter().flatten() {
+            push(edges, i, j, sim);
+        }
+    } else {
+        let mut order = rows.clone();
+        order.sort_by(|&a, &b| ratio(a).total_cmp(&ratio(b)));
+        let window = (1.0 - config.beta) + WINDOW_MARGIN;
+        let found = parallel_blocks(order.len(), lk.block, |range| {
+            let mut out = Vec::new();
+            let mut cand = 0usize;
+            for pos in range {
+                let i = order[pos];
+                let ta = ratio(i);
+                for &j in &order[pos + 1..] {
+                    if ratio(j) - ta > window {
+                        break;
+                    }
+                    if table_of[i] == table_of[j] {
+                        continue;
+                    }
+                    cand += 1;
+                    // the exact original gate, not the windowed one
+                    let sim = 1.0 - (ta - ratio(j)).abs();
+                    if sim >= config.beta {
+                        out.push((i, j, sim));
+                    }
+                }
+            }
+            (out, cand)
+        });
+        let mut candidates = 0usize;
+        for (hits, cand) in found {
+            candidates += cand;
+            for (i, j, sim) in hits {
+                push(edges, i, j, sim);
+            }
+        }
+        stats.candidates_generated += candidates;
+        stats.pairs_pruned += eligible.saturating_sub(candidates);
+    }
+}
+
+/// Content similarity for an embeddable bucket: CoLR cosine `≥ θ` over
+/// pre-normalized vectors. Small buckets (or [`LinkingMode::Exact`]) take
+/// the exact blocked scan; large buckets under [`LinkingMode::Pruned`]
+/// generate candidates from a sharded HNSW radius query and re-check each
+/// with the same [`dot_lanes`] kernel the exact scan uses.
+#[allow(clippy::too_many_arguments)]
+fn embeddable_content(
+    profiles: &[ColumnProfile],
+    members: &[usize],
+    col_iris: &[String],
+    table_of: &[u32],
+    config: &SchemaConfig,
+    edges: &mut Vec<Edge>,
+    stats: &mut SchemaStats,
+) {
+    let rows: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|&i| !profiles[i].embedding.is_empty())
+        .collect();
+    if rows.len() < 2 {
+        return;
+    }
+    let dim = profiles[rows[0]].embedding.len();
+    let mut m = RowMatrix::with_capacity(dim, rows.len());
+    for &i in &rows {
+        m.push_normalized(&profiles[i].embedding);
+    }
+    let eligible = cross_table_pair_count(&rows, table_of);
+    let lk = &config.linking;
+
+    let hits: Vec<(u32, u32, f32)>;
+    if lk.mode == LinkingMode::Exact || rows.len() <= lk.bucket_cutoff {
+        stats.candidates_generated += eligible;
+        hits = scan_pairs_above(&m, config.theta, lk.block, |i, j| {
+            table_of[rows[i as usize]] != table_of[rows[j as usize]]
+        });
+    } else {
+        // Stage 2a: ANN seeding. Radius queries over the sharded HNSW
+        // surface nearly every θ-pair; each unordered pair has two chances
+        // to be seen (from either endpoint's query).
+        let index = ShardedHnsw::build(
+            &m,
+            HnswConfig {
+                m: lk.hnsw_m,
+                ef_construction: lk.hnsw_ef_construction,
+                ef_search: lk.hnsw_ef_search,
+                metric: Metric::Cosine,
+                seed: HNSW_SEED,
+            },
+            lk.shards,
+        );
+        let radius = (1.0 - config.theta) + RADIUS_MARGIN;
+        let seeds: Vec<(u32, u32)> = parallel_blocks(m.len(), lk.block, |range| {
+            let mut out = Vec::new();
+            for i in range {
+                for hit in index.search_radius(m.row(i), radius, lk.init_k) {
+                    let j = hit.id as usize;
+                    if j != i {
+                        out.push((i.min(j) as u32, i.max(j) as u32));
+                    }
+                }
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        // Stage 2b: group the seeds into connected components, then bound
+        // component pairs with the triangle inequality. On pre-normalized
+        // vectors `cos(a,b) ≥ θ ⇔ ‖a−b‖ ≤ √(2(1−θ))`, so for components
+        // A, B with centroids c_A, c_B and radii r_A, r_B, any cross pair
+        // satisfies `‖a−b‖ ≥ ‖c_A−c_B‖ − r_A − r_B`. Component pairs whose
+        // centroid distance exceeds `R + r_A + r_B` provably contain no
+        // θ-pair and are pruned; every other pair of columns is scored
+        // exactly. ANN recall therefore affects only *speed* (worse recall
+        // → more fragmented components → more cross-checks), never the
+        // emitted edge set.
+        let comps = components(m.len(), &seeds);
+        let r_max = ((2.0 * (1.0 - config.theta as f64)).sqrt() + GEOM_MARGIN as f64) as f32;
+        let dim = m.dim();
+        let mut centroids: Vec<f32> = vec![0.0; comps.len() * dim];
+        let mut radii: Vec<f32> = vec![0.0; comps.len()];
+        for (c, members) in comps.iter().enumerate() {
+            let centroid = &mut centroids[c * dim..(c + 1) * dim];
+            for &i in members {
+                for (acc, x) in centroid.iter_mut().zip(m.row(i as usize)) {
+                    *acc += x;
+                }
+            }
+            for x in centroid.iter_mut() {
+                *x /= members.len() as f32;
+            }
+            radii[c] = members
+                .iter()
+                .map(|&i| euclidean(&centroids[c * dim..(c + 1) * dim], m.row(i as usize)))
+                .fold(0.0f32, f32::max)
+                + GEOM_MARGIN;
+        }
+        // Squared centroid norms let the bound check below run on the
+        // lane-parallel dot kernel: ‖c_A−c_B‖² = ‖c_A‖² + ‖c_B‖² − 2·c_A·c_B,
+        // compared against the squared threshold so no sqrt is needed.
+        let norms_sq: Vec<f32> = (0..comps.len())
+            .map(|c| {
+                let v = &centroids[c * dim..(c + 1) * dim];
+                dot_lanes(v, v)
+            })
+            .collect();
+
+        let found = parallel_blocks(comps.len(), 1.max(lk.block / 8), |range| {
+            let mut out = Vec::new();
+            let mut cand = 0usize;
+            let score_pair = |out: &mut Vec<(u32, u32, f32)>, cand: &mut usize, i: u32, j: u32| {
+                if table_of[rows[i as usize]] == table_of[rows[j as usize]] {
+                    return;
+                }
+                *cand += 1;
+                // the scan's kernel: scores are bit-identical to the
+                // exact path by construction
+                let score = dot_lanes(m.row(i as usize), m.row(j as usize)).clamp(-1.0, 1.0);
+                if score >= config.theta {
+                    out.push((i.min(j), i.max(j), score));
+                }
+            };
+            for a in range {
+                let ca = &centroids[a * dim..(a + 1) * dim];
+                for (x, &i) in comps[a].iter().enumerate() {
+                    for &j in &comps[a][x + 1..] {
+                        score_pair(&mut out, &mut cand, i, j);
+                    }
+                }
+                for b in a + 1..comps.len() {
+                    let cb = &centroids[b * dim..(b + 1) * dim];
+                    let t = r_max + radii[a] + radii[b];
+                    let d2 = norms_sq[a] + norms_sq[b] - 2.0 * dot_lanes(ca, cb);
+                    if d2 > t * t {
+                        continue;
+                    }
+                    for &i in &comps[a] {
+                        for &j in &comps[b] {
+                            score_pair(&mut out, &mut cand, i, j);
+                        }
+                    }
+                }
+            }
+            (out, cand)
+        });
+        let mut candidates = 0usize;
+        let mut all = Vec::new();
+        for (block, cand) in found {
+            candidates += cand;
+            all.extend(block);
+        }
+        hits = all;
+        stats.candidates_generated += candidates;
+        stats.pairs_pruned += eligible.saturating_sub(candidates);
+    }
+
+    for (i, j, score) in hits {
+        edges.push(Edge {
+            a: col_iris[rows[i as usize]].clone(),
+            b: col_iris[rows[j as usize]].clone(),
+            predicate: object_prop::HAS_CONTENT_SIMILARITY,
+            score: score as f64,
+        });
+    }
+}
+
 fn emit(store: &mut QuadStore, stats: &mut SchemaStats, s: Term, p: &str, o: Term) {
     store.insert(&Quad::new(s, Term::iri(p.to_string()), o));
     stats.metadata_triples += 1;
-}
-
-/// Algorithm 3's `column_similarity_worker`.
-fn compare_pair(
-    a: &ColumnProfile,
-    b: &ColumnProfile,
-    config: &SchemaConfig,
-    we: &WordEmbeddings,
-) -> Vec<Edge> {
-    let mut edges = Vec::new();
-    let a_iri = res::column(&a.meta.dataset, &a.meta.table, &a.meta.column);
-    let b_iri = res::column(&b.meta.dataset, &b.meta.table, &b.meta.column);
-
-    // label similarity (lines 11–12)
-    let label_sim = label_similarity(we, &a.meta.column, &b.meta.column);
-    if label_sim >= config.alpha {
-        edges.push(Edge {
-            a: a_iri.clone(),
-            b: b_iri.clone(),
-            predicate: object_prop::HAS_LABEL_SIMILARITY,
-            score: label_sim as f64,
-        });
-    }
-
-    // content similarity (lines 13–18)
-    if a.fgt == FineGrainedType::Boolean {
-        if let (Some(ta), Some(tb)) = (a.stats.true_ratio, b.stats.true_ratio) {
-            let sim = 1.0 - (ta - tb).abs();
-            if sim >= config.beta {
-                edges.push(Edge {
-                    a: a_iri,
-                    b: b_iri,
-                    predicate: object_prop::HAS_CONTENT_SIMILARITY,
-                    score: sim,
-                });
-            }
-        }
-    } else if !a.embedding.is_empty() && !b.embedding.is_empty() {
-        let sim = cosine_similarity(&a.embedding, &b.embedding);
-        if sim >= config.theta {
-            edges.push(Edge {
-                a: a_iri,
-                b: b_iri,
-                predicate: object_prop::HAS_CONTENT_SIMILARITY,
-                score: sim as f64,
-            });
-        }
-    }
-    edges
 }
 
 #[cfg(test)]
@@ -389,9 +883,97 @@ mod tests {
         let stats = build_data_global_schema(
             &mut store,
             &profiles(),
-            &SchemaConfig { alpha: 1.1, beta: 1.1, theta: 1.1 },
+            &SchemaConfig { alpha: 1.1, beta: 1.1, theta: 1.1, ..Default::default() },
             &WordEmbeddings::new(),
         );
         assert_eq!(stats.label_edges + stats.content_edges, 0);
+    }
+
+    #[test]
+    fn exact_and_pruned_agree_on_sample() {
+        // tiny cutoff + pruned mode forces the HNSW and sliding-window
+        // candidate paths; the edge sets must match the exact mode
+        let ps = profiles();
+        let we = WordEmbeddings::new();
+        let mut exact_store = QuadStore::new();
+        let exact_cfg = SchemaConfig {
+            linking: LinkingConfig { mode: LinkingMode::Exact, ..Default::default() },
+            ..Default::default()
+        };
+        let exact_stats = build_data_global_schema(&mut exact_store, &ps, &exact_cfg, &we);
+
+        let mut pruned_store = QuadStore::new();
+        let pruned_cfg = SchemaConfig {
+            linking: LinkingConfig {
+                mode: LinkingMode::Pruned,
+                bucket_cutoff: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let pruned_stats = build_data_global_schema(&mut pruned_store, &ps, &pruned_cfg, &we);
+
+        assert_eq!(exact_stats.label_edges, pruned_stats.label_edges);
+        assert_eq!(exact_stats.content_edges, pruned_stats.content_edges);
+        assert_eq!(exact_stats.pairs_compared, pruned_stats.pairs_compared);
+        let mut a: Vec<String> = exact_store.iter().map(|q| q.to_string()).collect();
+        let mut b: Vec<String> = pruned_store.iter().map(|q| q.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruned_counters_account_for_all_pairs() {
+        let ps = profiles();
+        let mut store = QuadStore::new();
+        let cfg = SchemaConfig {
+            linking: LinkingConfig {
+                mode: LinkingMode::Pruned,
+                bucket_cutoff: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let stats = build_data_global_schema(&mut store, &ps, &cfg, &we_default());
+        assert!(stats.candidates_generated + stats.pairs_pruned <= stats.pairs_compared);
+        assert!(stats.content_edges >= 1);
+    }
+
+    fn we_default() -> WordEmbeddings {
+        WordEmbeddings::new()
+    }
+
+    #[test]
+    fn shared_edge_helper_inserts_both_directions() {
+        let mut store = QuadStore::new();
+        insert_similarity_edge(
+            &mut store,
+            "urn:a",
+            "urn:b",
+            object_prop::HAS_CONTENT_SIMILARITY,
+            0.95,
+        );
+        let pred = Term::iri(object_prop::iri(object_prop::HAS_CONTENT_SIMILARITY));
+        for (s, o) in [("urn:a", "urn:b"), ("urn:b", "urn:a")] {
+            let plain = store
+                .match_pattern(
+                    &QuadPattern::any()
+                        .with_subject(Term::iri(s))
+                        .with_predicate(pred.clone())
+                        .with_object(Term::iri(o)),
+                )
+                .count();
+            assert_eq!(plain, 1, "{s} → {o}");
+            let star = store
+                .match_pattern(&QuadPattern::any().with_subject(Term::quoted(
+                    Term::iri(s),
+                    pred.clone(),
+                    Term::iri(o),
+                )))
+                .next()
+                .unwrap();
+            assert_eq!(star.object.as_literal().unwrap().as_f64().unwrap(), 0.95);
+        }
     }
 }

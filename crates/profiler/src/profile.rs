@@ -29,7 +29,7 @@ impl ColumnMeta {
 }
 
 /// A column profile (`CP = {M, fgt, S, E}` in Algorithm 2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnProfile {
     pub meta: ColumnMeta,
     /// Fine-grained type, serialised as its stable label.

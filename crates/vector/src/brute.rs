@@ -15,12 +15,21 @@ pub struct BruteForceIndex {
     metric: Metric,
     ids: Vec<VecId>,
     data: Vec<f32>,
+    /// id → slot of its *first* insertion, so [`Self::get`] is O(1) with
+    /// the same first-match semantics the old linear scan had.
+    slot_of: std::collections::HashMap<VecId, usize>,
 }
 
 impl BruteForceIndex {
     /// An empty index for `dim`-dimensional vectors.
     pub fn new(dim: usize, metric: Metric) -> Self {
-        BruteForceIndex { dim, metric, ids: Vec::new(), data: Vec::new() }
+        BruteForceIndex {
+            dim,
+            metric,
+            ids: Vec::new(),
+            data: Vec::new(),
+            slot_of: Default::default(),
+        }
     }
 
     /// Vector dimensionality.
@@ -36,9 +45,11 @@ impl BruteForceIndex {
             .map(move |(i, &id)| (id, &self.data[i * self.dim..(i + 1) * self.dim]))
     }
 
-    /// The stored vector for `id`, if present (linear scan).
+    /// The stored vector for `id`, if present. O(1) via the id→slot map.
     pub fn get(&self, id: VecId) -> Option<&[f32]> {
-        self.iter().find(|(i, _)| *i == id).map(|(_, v)| v)
+        self.slot_of
+            .get(&id)
+            .map(|&slot| &self.data[slot * self.dim..(slot + 1) * self.dim])
     }
 
     /// Logical footprint in bytes.
@@ -73,6 +84,7 @@ impl Ord for HeapItem {
 impl VectorIndex for BruteForceIndex {
     fn add(&mut self, id: VecId, vector: &[f32]) {
         assert_eq!(vector.len(), self.dim, "dimension mismatch");
+        self.slot_of.entry(id).or_insert(self.ids.len());
         self.ids.push(id);
         self.data.extend_from_slice(vector);
     }
@@ -155,6 +167,24 @@ mod tests {
         assert_eq!(idx.get(3), Some([5.0f32, 5.0].as_slice()));
         assert_eq!(idx.get(99), None);
         assert_eq!(idx.iter().count(), 3);
+    }
+
+    #[test]
+    fn get_is_correct_after_interleaved_adds() {
+        let mut idx = BruteForceIndex::new(2, Metric::L2);
+        idx.add(10, &[1.0, 1.0]);
+        assert_eq!(idx.get(10), Some([1.0f32, 1.0].as_slice()));
+        assert_eq!(idx.get(20), None);
+        idx.add(20, &[2.0, 2.0]);
+        idx.add(5, &[3.0, 3.0]);
+        assert_eq!(idx.get(20), Some([2.0f32, 2.0].as_slice()));
+        idx.add(30, &[4.0, 4.0]);
+        // duplicate id: first insertion wins, as with the old linear scan
+        idx.add(20, &[9.0, 9.0]);
+        assert_eq!(idx.get(20), Some([2.0f32, 2.0].as_slice()));
+        assert_eq!(idx.get(5), Some([3.0f32, 3.0].as_slice()));
+        assert_eq!(idx.get(30), Some([4.0f32, 4.0].as_slice()));
+        assert_eq!(idx.len(), 5);
     }
 
     #[test]

@@ -12,11 +12,16 @@ pub mod brute;
 pub mod hnsw;
 pub mod metric;
 pub mod ops;
+pub mod sharded;
 
 pub use brute::BruteForceIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use metric::Metric;
-pub use ops::{cosine_similarity, dot, l2_distance, l2_norm, mean_vector, normalize};
+pub use ops::{
+    cosine_similarity, dot, dot_blocked, dot_lanes, l2_distance, l2_norm, mean_vector, normalize,
+    scan_pairs_above, RowMatrix,
+};
+pub use sharded::ShardedHnsw;
 
 /// Identifier of a vector within an index. Callers map these to columns,
 /// tables, or datasets.

@@ -42,6 +42,133 @@ pub fn normalize(a: &mut [f32]) {
     }
 }
 
+/// Dot product with four independent accumulators so the compiler can keep
+/// the multiply-adds in flight (plain `dot` is latency-bound on one chain).
+///
+/// This is the scoring kernel of the similarity engine: the exact blocked
+/// scan and the HNSW-candidate re-check both call it, so a pair's score is
+/// bit-identical no matter which path produced the candidate.
+pub fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0f32;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// A dense row-major matrix of equal-length vectors — the memory layout of
+/// one fine-grained-type bucket in the similarity engine.
+#[derive(Debug, Clone)]
+pub struct RowMatrix {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl RowMatrix {
+    /// An empty matrix of `dim`-wide rows.
+    pub fn new(dim: usize) -> Self {
+        RowMatrix { dim, data: Vec::new() }
+    }
+
+    /// An empty matrix with room for `rows` rows.
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        RowMatrix { dim, data: Vec::with_capacity(dim * rows) }
+    }
+
+    /// Append a row. Panics on dimension mismatch.
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "dimension mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Append a row scaled to unit L2 length (zero rows stay zero), so
+    /// cosine over stored rows reduces to [`dot_lanes`].
+    pub fn push_normalized(&mut self, row: &[f32]) {
+        let start = self.data.len();
+        self.push(row);
+        normalize(&mut self.data[start..]);
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dim).unwrap_or(0)
+    }
+
+    /// True when no rows are stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Dot products of `query` against rows `range` of `m`, appended to `out`
+/// as `(row, score)` — the batched building block of the exact scan.
+pub fn dot_blocked(
+    query: &[f32],
+    m: &RowMatrix,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<(u32, f32)>,
+) {
+    for j in range {
+        out.push((j as u32, dot_lanes(query, m.row(j))));
+    }
+}
+
+/// Exact all-pairs scan: every ordered pair `i < j` of rows of `m` whose
+/// [`dot_lanes`] score (clamped to `[-1, 1]`) is `>= theta` and that
+/// survives the `keep` filter. Rows are processed in blocks of `block`
+/// rows, each block on a worker thread (`lids_exec::parallel_blocks`).
+///
+/// Over unit-normalized rows this is the exhaustive content-similarity
+/// kernel of Algorithm 3; the pruned path re-checks its HNSW candidates
+/// with the same [`dot_lanes`] scores, so both paths emit identical edges.
+pub fn scan_pairs_above<F>(
+    m: &RowMatrix,
+    theta: f32,
+    block: usize,
+    keep: F,
+) -> Vec<(u32, u32, f32)>
+where
+    F: Fn(u32, u32) -> bool + Sync,
+{
+    let n = m.len();
+    let blocks = lids_exec::parallel_blocks(n, block, |range| {
+        let mut hits = Vec::new();
+        let mut dots: Vec<(u32, f32)> = Vec::new();
+        for i in range {
+            dots.clear();
+            dot_blocked(m.row(i), m, i + 1..n, &mut dots);
+            for &(j, raw) in &dots {
+                let score = raw.clamp(-1.0, 1.0);
+                if score >= theta && keep(i as u32, j) {
+                    hits.push((i as u32, j, score));
+                }
+            }
+        }
+        hits
+    });
+    blocks.concat()
+}
+
 /// Element-wise mean of a set of equal-length vectors.
 /// Returns a zero vector of `dim` when the set is empty.
 pub fn mean_vector<'a>(vectors: impl Iterator<Item = &'a [f32]>, dim: usize) -> Vec<f32> {
@@ -91,6 +218,90 @@ mod tests {
         let mut z = vec![0.0, 0.0];
         normalize(&mut z);
         assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_lanes_matches_dot() {
+        for len in [0usize, 1, 3, 4, 7, 8, 300] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos()).collect();
+            assert!((dot_lanes(&a, &b) - dot(&a, &b)).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn row_matrix_basics() {
+        let mut m = RowMatrix::with_capacity(2, 3);
+        assert!(m.is_empty());
+        m.push(&[1.0, 2.0]);
+        m.push_normalized(&[3.0, 4.0]);
+        m.push_normalized(&[0.0, 0.0]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert!((l2_norm(m.row(1)) - 1.0).abs() < 1e-6);
+        assert_eq!(m.row(2), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn row_matrix_rejects_wrong_dim() {
+        RowMatrix::new(3).push(&[1.0]);
+    }
+
+    #[test]
+    fn dot_blocked_scores_range() {
+        let mut m = RowMatrix::new(2);
+        m.push(&[1.0, 0.0]);
+        m.push(&[0.0, 1.0]);
+        m.push(&[1.0, 1.0]);
+        let mut out = Vec::new();
+        dot_blocked(&[2.0, 3.0], &m, 1..3, &mut out);
+        assert_eq!(out, vec![(1, 3.0), (2, 5.0)]);
+    }
+
+    #[test]
+    fn scan_finds_all_pairs_above_threshold() {
+        // three unit rows: 0 and 1 identical, 2 orthogonal
+        let mut m = RowMatrix::new(2);
+        m.push_normalized(&[2.0, 0.0]);
+        m.push_normalized(&[5.0, 0.0]);
+        m.push_normalized(&[0.0, 1.0]);
+        let hits = scan_pairs_above(&m, 0.9, 2, |_, _| true);
+        assert_eq!(hits.len(), 1);
+        let (i, j, s) = hits[0];
+        assert_eq!((i, j), (0, 1));
+        assert!((0.9..=1.0).contains(&s));
+        // keep filter removes the pair
+        assert!(scan_pairs_above(&m, 0.9, 2, |_, _| false).is_empty());
+    }
+
+    proptest! {
+        /// The blocked parallel scan agrees exactly with a serial
+        /// double loop using the same kernel, for any block size.
+        #[test]
+        fn prop_scan_matches_serial(
+            rows in proptest::collection::vec(
+                proptest::collection::vec(-1.0f32..1.0, 6), 0..24),
+            theta in 0.0f32..1.0,
+            block in 1usize..9,
+        ) {
+            let mut m = RowMatrix::new(6);
+            for r in &rows {
+                m.push_normalized(r);
+            }
+            let mut expected = Vec::new();
+            for i in 0..m.len() {
+                for j in i + 1..m.len() {
+                    let s = dot_lanes(m.row(i), m.row(j)).clamp(-1.0, 1.0);
+                    if s >= theta {
+                        expected.push((i as u32, j as u32, s));
+                    }
+                }
+            }
+            let got = scan_pairs_above(&m, theta, block, |_, _| true);
+            prop_assert_eq!(got, expected);
+        }
     }
 
     #[test]

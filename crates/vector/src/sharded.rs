@@ -1,0 +1,154 @@
+//! Sharded HNSW: independent shards built in parallel.
+//!
+//! HNSW insertion is inherently serial (each insert searches the graph
+//! built so far), which makes single-index construction the bottleneck the
+//! moment the rest of the pipeline is parallel. Dealing vectors round-robin
+//! across `S` independent shards cuts the serial depth by `S` — shards
+//! build concurrently under [`lids_exec::parallel_map`] — at the price of
+//! querying every shard. For the radius-candidate workload of the
+//! similarity linker (many queries, each parallelised anyway) that trade is
+//! a clear win, and it is the same recipe Faiss applies with its sharded
+//! `IndexShards` wrapper.
+
+use lids_exec::parallel_map;
+
+use crate::hnsw::{HnswConfig, HnswIndex};
+use crate::ops::RowMatrix;
+use crate::{Neighbor, VectorIndex};
+
+/// A set of independently-built HNSW shards searched together. Vector ids
+/// are the row indices of the matrix the index was built over.
+pub struct ShardedHnsw {
+    shards: Vec<HnswIndex>,
+}
+
+impl ShardedHnsw {
+    /// Build over the rows of `m` (id = row index), dealing rows
+    /// round-robin to `shards` shards and building the shards in parallel.
+    /// The deal is deterministic: results do not depend on thread count.
+    pub fn build(m: &RowMatrix, config: HnswConfig, shards: usize) -> Self {
+        let shards = shards.clamp(1, m.len().max(1));
+        let shard_ids: Vec<usize> = (0..shards).collect();
+        let built = parallel_map(&shard_ids, |&s| {
+            let mut idx = HnswIndex::new(m.dim(), config);
+            let mut i = s;
+            while i < m.len() {
+                idx.add(i as u64, m.row(i));
+                i += shards;
+            }
+            idx
+        });
+        ShardedHnsw { shards: built }
+    }
+
+    /// Total stored vectors across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True when no vectors are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All stored vectors within `radius` of `query`: the union of each
+    /// shard's [`HnswIndex::search_radius`] (unsorted; ids are unique by
+    /// construction since every row lives in exactly one shard).
+    pub fn search_radius(&self, query: &[f32], radius: f32, init_k: usize) -> Vec<Neighbor> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.search_radius(query, radius, init_k));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn cluster_matrix() -> RowMatrix {
+        // two tight cosine clusters plus noise rows
+        let mut rng = SmallRng::seed_from_u64(17);
+        let dim = 16;
+        let mut m = RowMatrix::new(dim);
+        let centers: Vec<Vec<f32>> = (0..2)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        for i in 0..60 {
+            let mut v: Vec<f32> = centers[i % 2].clone();
+            for x in v.iter_mut() {
+                *x += rng.gen_range(-0.01f32..0.01);
+            }
+            m.push_normalized(&v);
+        }
+        for _ in 0..20 {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            m.push_normalized(&v);
+        }
+        m
+    }
+
+    #[test]
+    fn shards_cover_all_rows() {
+        let m = cluster_matrix();
+        let idx = ShardedHnsw::build(&m, HnswConfig::default(), 4);
+        assert_eq!(idx.shard_count(), 4);
+        assert_eq!(idx.len(), m.len());
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn radius_union_matches_exhaustive_scan() {
+        let m = cluster_matrix();
+        let radius = 0.02;
+        let idx = ShardedHnsw::build(
+            &m,
+            HnswConfig { metric: Metric::Cosine, ..Default::default() },
+            4,
+        );
+        for probe in [0usize, 1, 33, 61] {
+            let query = m.row(probe).to_vec();
+            let got: std::collections::HashSet<u64> =
+                idx.search_radius(&query, radius, 8).into_iter().map(|h| h.id).collect();
+            let want: std::collections::HashSet<u64> = (0..m.len())
+                .filter(|&j| Metric::Cosine.distance(&query, m.row(j)) <= radius)
+                .map(|j| j as u64)
+                .collect();
+            assert_eq!(got, want, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn single_shard_equals_plain_hnsw() {
+        let m = cluster_matrix();
+        let sharded = ShardedHnsw::build(&m, HnswConfig::default(), 1);
+        let mut plain = crate::hnsw::HnswIndex::new(m.dim(), HnswConfig::default());
+        for i in 0..m.len() {
+            plain.add(i as u64, m.row(i));
+        }
+        let mut a: Vec<u64> =
+            sharded.search_radius(m.row(5), 0.05, 4).into_iter().map(|h| h.id).collect();
+        let mut b: Vec<u64> =
+            plain.search_radius(m.row(5), 0.05, 4).into_iter().map(|h| h.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = RowMatrix::new(4);
+        let idx = ShardedHnsw::build(&m, HnswConfig::default(), 8);
+        assert!(idx.is_empty());
+        assert!(idx.search_radius(&[0.0; 4], 1.0, 4).is_empty());
+    }
+}

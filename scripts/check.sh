@@ -8,7 +8,32 @@ cd "$(dirname "$0")/.."
 cargo build --release --workspace
 cargo test -q --workspace
 cargo test -q --test chaos
+# Exact-vs-pruned linking must agree edge for edge, score for score.
+cargo test -q --test linking_differential
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke-run the linking benchmark: both modes complete, edge sets match
+# (asserted inside the binary), and the report is well-formed JSON with the
+# fields EXPERIMENTS.md cites.
+smoke_out="$(mktemp)"
+target/release/linking_schema --smoke --out "$smoke_out" >/dev/null
+python3 - "$smoke_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "linking_schema", report
+assert report["smoke"] is True, report
+for mode in ("exact", "pruned"):
+    stats = report[mode]
+    for field in ("content_secs", "label_secs", "pairs_compared",
+                  "candidates_generated", "pairs_pruned", "content_edges",
+                  "label_edges", "triples"):
+        assert field in stats, (mode, field)
+assert report["exact"]["content_edges"] == report["pruned"]["content_edges"]
+assert report["content_speedup"] > 0
+print("linking_schema smoke report ok")
+EOF
+rm -f "$smoke_out"
 
 # The ingestion-path crates deny unwrap/expect outside tests; make sure the
 # crate-root opt-ins are still in place so clippy keeps enforcing it.
