@@ -1,0 +1,135 @@
+//! `obs_bench` — observability overhead benchmark: bootstrap a generated
+//! lake, run the discovery star query instrumented (`evaluate_explained`)
+//! and uninstrumented (`evaluate_with`) interleaved, and emit the
+//! platform's full `lids-obs/v1` snapshot plus the measured overhead
+//! ratio to `BENCH_obs.json`.
+//!
+//! Usage: `obs_bench [--scale F] [--iters N] [--out PATH] [--smoke]`
+//!
+//! `--smoke` shrinks the lake and iteration count for CI: it checks the
+//! harness end to end (both paths run, row counts match, the snapshot
+//! parses) without a multi-second measurement.
+
+use std::time::Instant;
+
+use kglids::{KgLidsBuilder, SEARCH_TABLES_QUERY};
+use lids_datagen::LakeSpec;
+use lids_profiler::table::Dataset;
+use lids_sparql::{evaluate_explained, evaluate_with, parse_query, EvalOptions};
+use serde_json::{Map, Number, Value};
+
+fn num(v: f64) -> Value {
+    Value::Number(Number::F64(v))
+}
+
+struct Args {
+    scale: f64,
+    iters: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { scale: 1.0, iters: 9, out: "BENCH_obs.json".into(), smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--iters" => {
+                args.iters = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--iters needs a number"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--smoke" => args.smoke = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.scale = args.scale.min(0.2);
+        args.iters = args.iters.min(3);
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("obs_bench: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    let lake = LakeSpec::tus_small().scaled(args.scale).generate();
+    eprintln!("bootstrapping lake '{}' ({} tables)…", lake.name, lake.tables.len());
+    let (platform, stats) = KgLidsBuilder::new()
+        .with_dataset(Dataset::new(lake.name.clone(), lake.tables.clone()))
+        .bootstrap();
+    eprintln!("{}", stats.trace.root("bootstrap").map(|r| r.render()).unwrap_or_default());
+
+    // feed the query metrics so the snapshot carries a populated histogram
+    platform
+        .query(SEARCH_TABLES_QUERY)
+        .unwrap_or_else(|e| die(&format!("star query failed: {e}")));
+
+    // Interleaved min-of-N: alternating the two paths inside one loop
+    // exposes both to the same cache/thermal drift, and min-of-N discards
+    // scheduler noise — the standard recipe for a tight overhead ratio.
+    let query = parse_query(SEARCH_TABLES_QUERY)
+        .unwrap_or_else(|e| die(&format!("parse star query: {e}")));
+    let store = platform.store();
+    let opts = EvalOptions::default();
+    let mut plain_min = f64::INFINITY;
+    let mut instr_min = f64::INFINITY;
+    let mut plain_rows = 0;
+    let mut instr_rows = 0;
+    for _ in 0..args.iters.max(1) {
+        let t = Instant::now();
+        let solutions = evaluate_with(store, &query, opts)
+            .unwrap_or_else(|e| die(&format!("evaluate: {e}")));
+        plain_min = plain_min.min(t.elapsed().as_secs_f64());
+        plain_rows = solutions.len();
+
+        let t = Instant::now();
+        let (solutions, report) = evaluate_explained(store, &query, opts)
+            .unwrap_or_else(|e| die(&format!("explain: {e}")));
+        instr_min = instr_min.min(t.elapsed().as_secs_f64());
+        instr_rows = solutions.len();
+        if report.patterns.iter().any(|p| p.satisfiable && p.actual_rows == 0) {
+            die("instrumented plan lost rows");
+        }
+    }
+    if plain_rows != instr_rows {
+        die(&format!("row mismatch: plain {plain_rows} vs instrumented {instr_rows}"));
+    }
+    let overhead = instr_min / plain_min.max(1e-9);
+    eprintln!(
+        "star query: {plain_rows} rows | plain {:.1}µs, instrumented {:.1}µs → {overhead:.3}x",
+        plain_min * 1e6,
+        instr_min * 1e6
+    );
+
+    let snapshot: Value = serde_json::from_str(&platform.obs_snapshot_json())
+        .unwrap_or_else(|e| die(&format!("obs snapshot is not valid JSON: {e}")));
+    let mut report = Map::new();
+    report.insert("bench".into(), Value::String("observability".into()));
+    report.insert("smoke".into(), Value::Bool(args.smoke));
+    report.insert("tables".into(), Value::Number(Number::U64(lake.tables.len() as u64)));
+    report.insert("rows".into(), Value::Number(Number::U64(plain_rows as u64)));
+    report.insert("uninstrumented_secs".into(), num(plain_min));
+    report.insert("instrumented_secs".into(), num(instr_min));
+    report.insert("overhead_ratio".into(), num(overhead));
+    report.insert("snapshot".into(), snapshot);
+    let rendered = Value::Object(report).to_string();
+    std::fs::write(&args.out, &rendered)
+        .unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
+    println!("{rendered}");
+    eprintln!("instrumentation overhead {overhead:.3}x → {}", args.out);
+}

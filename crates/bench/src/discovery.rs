@@ -85,7 +85,7 @@ pub fn run_discovery(lake: &Lake, ks: &[usize]) -> DiscoveryResult {
         platform
             .find_unionable_tables(&lake.name, &table.name, k, UnionMode::ContentAndLabel)
             .into_iter()
-            .map(|(name, _)| name)
+            .map(|h| h.table)
             .collect()
     });
     runs.push(SystemRun {
@@ -133,7 +133,7 @@ pub fn run_ablation(lake: &Lake, ks: &[usize]) -> Vec<SystemRun> {
                 platform
                     .find_unionable_tables(&lake.name, &table.name, k, mode)
                     .into_iter()
-                    .map(|(n, _)| n)
+                    .map(|h| h.table)
                     .collect()
             });
             runs.push(SystemRun {

@@ -25,6 +25,141 @@ pub enum UnionMode {
     LabelOnly,
 }
 
+/// The star query behind [`KgLids::search_tables`]: every table with its
+/// label, dataset, and (through OPTIONAL) column labels. Public so tests
+/// and benchmarks can run/explain the exact discovery workload.
+pub const SEARCH_TABLES_QUERY: &str =
+    "PREFIX k: <http://kglids.org/ontology/> \
+     PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
+     SELECT ?table ?name ?dataset ?col WHERE { \
+        ?table a k:Table ; rdfs:label ?name ; k:isPartOf ?d . \
+        ?d rdfs:label ?dataset . \
+        OPTIONAL { ?table k:hasColumn ?c . ?c rdfs:label ?col . } \
+     } ORDER BY ?table";
+
+/// One table returned by a discovery search, with its ranking score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableHit {
+    pub dataset: String,
+    pub table: String,
+    pub score: f64,
+}
+
+/// One matched (unionable) column pair between two tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnHit {
+    pub column_a: String,
+    pub column_b: String,
+    /// Which similarity produced the match: `"label"` or `"content"`.
+    pub kind: &'static str,
+    pub score: f64,
+}
+
+/// A join path: a chain of tables where consecutive tables share a
+/// content-similar (joinable) column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPath {
+    /// Table names along the path, endpoints included.
+    pub tables: Vec<String>,
+}
+
+impl JoinPath {
+    /// Number of joins along the path (tables minus one).
+    pub fn hops(&self) -> usize {
+        self.tables.len().saturating_sub(1)
+    }
+}
+
+impl std::fmt::Display for JoinPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.tables.join(" -> "))
+    }
+}
+
+/// Parse a `res/<dataset>/<table>` IRI into a scored [`TableHit`].
+fn table_hit(iri: &str, score: f64) -> TableHit {
+    let mut parts = iri.rsplit('/');
+    let table = parts.next().unwrap_or(iri).to_string();
+    let dataset = parts.next().unwrap_or("").to_string();
+    TableHit { dataset, table, score }
+}
+
+/// Fluent entry point for the §5 discovery operations
+/// ([`KgLids::discovery`]): shared options (`k`, `min_score`, similarity
+/// `mode`, path `hops`) set once, then applied to every search.
+#[derive(Clone, Copy)]
+pub struct Discovery<'a> {
+    platform: &'a KgLids,
+    k: usize,
+    min_score: f64,
+    mode: UnionMode,
+    hops: usize,
+}
+
+impl<'a> Discovery<'a> {
+    /// Keep at most `k` results per search (default 10).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Drop results scoring below `min_score` (default 0.0 — keep all).
+    pub fn min_score(mut self, min_score: f64) -> Self {
+        self.min_score = min_score;
+        self
+    }
+
+    /// Which similarity edges drive union search (default
+    /// [`UnionMode::ContentAndLabel`]).
+    pub fn mode(mut self, mode: UnionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Maximum intermediate joins for path discovery (default 2).
+    pub fn hops(mut self, hops: usize) -> Self {
+        self.hops = hops;
+        self
+    }
+
+    /// Tables unionable with `(dataset, table)`, best first.
+    pub fn unionable_tables(&self, dataset: &str, table: &str) -> Vec<TableHit> {
+        self.platform
+            .find_unionable_tables(dataset, table, self.k, self.mode)
+            .into_iter()
+            .filter(|h| h.score >= self.min_score)
+            .collect()
+    }
+
+    /// Tables joinable with `(dataset, table)` (content similarity only).
+    pub fn joinable_tables(&self, dataset: &str, table: &str) -> Vec<TableHit> {
+        self.platform
+            .find_joinable_tables(dataset, table, self.k)
+            .into_iter()
+            .filter(|h| h.score >= self.min_score)
+            .collect()
+    }
+
+    /// Matched column pairs between two tables.
+    pub fn unionable_columns(&self, a: (&str, &str), b: (&str, &str)) -> Vec<ColumnHit> {
+        self.platform
+            .find_unionable_columns(a, b)
+            .into_iter()
+            .filter(|h| h.score >= self.min_score)
+            .collect()
+    }
+
+    /// Join paths from `from` to `to` within the configured hop limit.
+    pub fn paths(&self, from: (&str, &str), to: (&str, &str)) -> Vec<JoinPath> {
+        self.platform.get_path_to_table(from, to, self.hops)
+    }
+
+    /// Shortest join path between two tables.
+    pub fn shortest_path(&self, from: (&str, &str), to: (&str, &str)) -> Option<JoinPath> {
+        self.platform.shortest_path_between_tables(from, to)
+    }
+}
+
 impl KgLids {
     /// §5 "Search Tables Based on Specific Columns": keyword search with
     /// conjunctive/disjunctive conditions expressed as nested lists — the
@@ -35,15 +170,7 @@ impl KgLids {
         // One star join per table with the column labels pulled in through
         // OPTIONAL; ORDER BY keeps each table's rows contiguous so they can
         // be folded in a single pass.
-        let rows = self.internal_query(
-            "PREFIX k: <http://kglids.org/ontology/> \
-             PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#> \
-             SELECT ?table ?name ?dataset ?col WHERE { \
-                ?table a k:Table ; rdfs:label ?name ; k:isPartOf ?d . \
-                ?d rdfs:label ?dataset . \
-                OPTIONAL { ?table k:hasColumn ?c . ?c rdfs:label ?col . } \
-             } ORDER BY ?table",
-        );
+        let rows = self.internal_query(SEARCH_TABLES_QUERY);
 
         let mut out = DataFrame::new(vec![
             "dataset".into(),
@@ -86,19 +213,10 @@ impl KgLids {
 
     /// §5 "Discover Unionable Columns": matched (unionable) column pairs
     /// between two tables, with similarity kind and score.
-    pub fn find_unionable_columns(
-        &self,
-        a: (&str, &str),
-        b: (&str, &str),
-    ) -> DataFrame {
+    pub fn find_unionable_columns(&self, a: (&str, &str), b: (&str, &str)) -> Vec<ColumnHit> {
         let a_iri = res::table(a.0, a.1);
         let b_iri = res::table(b.0, b.1);
-        let mut out = DataFrame::new(vec![
-            "column_a".into(),
-            "column_b".into(),
-            "kind".into(),
-            "score".into(),
-        ]);
+        let mut out = Vec::new();
         for (pred, kind) in [
             (object_prop::HAS_LABEL_SIMILARITY, "label"),
             (object_prop::HAS_CONTENT_SIMILARITY, "content"),
@@ -116,15 +234,27 @@ impl KgLids {
             );
             let rows = self.internal_query(&q);
             for i in 0..rows.len() {
-                out.push(vec![
-                    rows.get(i, "la").unwrap_or_default().to_string(),
-                    rows.get(i, "lb").unwrap_or_default().to_string(),
-                    kind.to_string(),
-                    rows.get(i, "s").unwrap_or_default().to_string(),
-                ]);
+                out.push(ColumnHit {
+                    column_a: rows.get(i, "la").unwrap_or_default().to_string(),
+                    column_b: rows.get(i, "lb").unwrap_or_default().to_string(),
+                    kind,
+                    score: rows.get_f64(i, "s").unwrap_or(0.0),
+                });
             }
         }
         out
+    }
+
+    /// Fluent discovery with shared options — `platform.discovery().k(5)
+    /// .min_score(0.5).unionable_tables("lake", "people")`.
+    pub fn discovery(&self) -> Discovery<'_> {
+        Discovery {
+            platform: self,
+            k: 10,
+            min_score: 0.0,
+            mode: UnionMode::default(),
+            hops: 2,
+        }
     }
 
     /// Union search over the LiDS graph: rank tables unionable with the
@@ -137,7 +267,7 @@ impl KgLids {
         table: &str,
         k: usize,
         mode: UnionMode,
-    ) -> Vec<(String, f64)> {
+    ) -> Vec<TableHit> {
         let t_iri = res::table(dataset, table);
         let preds: &[&str] = match mode {
             UnionMode::ContentAndLabel => {
@@ -180,23 +310,22 @@ impl KgLids {
                 entry.1 += sharpness;
             }
         }
-        let mut ranked: Vec<(String, f64)> = scores
+        let mut ranked: Vec<TableHit> = scores
             .into_iter()
             .map(|(iri, (n, total))| {
-                let name = iri.rsplit('/').next().unwrap_or("").to_string();
                 // "based on both the number of similar columns and the
                 // similarity scores between them"
-                (name, 0.25 * n as f64 + total)
+                table_hit(&iri, 0.25 * n as f64 + total)
             })
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
         ranked.truncate(k);
         ranked
     }
 
     /// Joinable-table discovery: tables sharing a high-content-similarity
     /// column ("joinable if … content similarity relationships").
-    pub fn find_joinable_tables(&self, dataset: &str, table: &str, k: usize) -> Vec<(String, f64)> {
+    pub fn find_joinable_tables(&self, dataset: &str, table: &str, k: usize) -> Vec<TableHit> {
         self.find_unionable_tables(dataset, table, k, UnionMode::ContentOnly)
     }
 
@@ -208,15 +337,17 @@ impl KgLids {
         from: (&str, &str),
         to: (&str, &str),
         hops: usize,
-    ) -> Vec<Vec<String>> {
+    ) -> Vec<JoinPath> {
         let adjacency = self.join_graph();
         let start = res::table(from.0, from.1);
         let goal = res::table(to.0, to.1);
-        let mut paths: Vec<Vec<String>> = Vec::new();
+        let mut paths: Vec<JoinPath> = Vec::new();
         let mut stack: Vec<(String, Vec<String>)> = vec![(start.clone(), vec![start.clone()])];
         while let Some((node, path)) = stack.pop() {
             if node == goal && path.len() > 1 {
-                paths.push(path.iter().map(|iri| short_name(iri)).collect());
+                paths.push(JoinPath {
+                    tables: path.iter().map(|iri| short_name(iri)).collect(),
+                });
                 continue;
             }
             if path.len() > hops + 1 {
@@ -232,7 +363,7 @@ impl KgLids {
                 }
             }
         }
-        paths.sort_by_key(|p| p.len());
+        paths.sort_by_key(|p| p.tables.len());
         paths
     }
 
@@ -242,7 +373,7 @@ impl KgLids {
         &self,
         from: (&str, &str),
         to: (&str, &str),
-    ) -> Option<Vec<String>> {
+    ) -> Option<JoinPath> {
         let adjacency = self.join_graph();
         let start = res::table(from.0, from.1);
         let goal = res::table(to.0, to.1);
@@ -252,7 +383,9 @@ impl KgLids {
             // paths are seeded non-empty and only ever grow
             let Some(node) = path.last() else { continue };
             if *node == goal {
-                return Some(path.iter().map(|iri| short_name(iri)).collect());
+                return Some(JoinPath {
+                    tables: path.iter().map(|iri| short_name(iri)).collect(),
+                });
             }
             if let Some(next) = adjacency.get(node) {
                 for n in next {
@@ -276,21 +409,25 @@ impl KgLids {
         df: &Table,
         to: (&str, &str),
         hops: usize,
-    ) -> Vec<Vec<String>> {
-        let Some((dataset, table, _)) = self.most_similar_table(df) else {
+    ) -> Vec<JoinPath> {
+        let Some(hit) = self.most_similar_table(df) else {
             return Vec::new();
         };
-        self.get_path_to_table((&dataset, &table), to, hops)
+        self.get_path_to_table((&hit.dataset, &hit.table), to, hops)
     }
 
     /// The most similar profiled table to an unseen one (by table-embedding
     /// cosine) — the first step of `get_path_to_table(df, …)` in §5.
-    pub fn most_similar_table(&self, table: &Table) -> Option<(String, String, f32)> {
+    pub fn most_similar_table(&self, table: &Table) -> Option<TableHit> {
         let probe = self.embed_table(table);
         self.table_embeddings
             .iter()
-            .map(|((d, t), e)| (d.clone(), t.clone(), cosine_similarity(&probe, e)))
-            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|((d, t), e)| TableHit {
+                dataset: d.clone(),
+                table: t.clone(),
+                score: cosine_similarity(&probe, e) as f64,
+            })
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// Adjacency over tables connected by content-similar columns.
@@ -375,12 +512,12 @@ mod tests {
     #[test]
     fn unionable_columns_between_tables() {
         let p = platform();
-        let df = p.find_unionable_columns(("health", "patients"), ("census", "people"));
-        assert!(!df.is_empty());
-        let pairs: Vec<(&str, &str)> = (0..df.len())
-            .map(|i| (df.get(i, "column_a").unwrap(), df.get(i, "column_b").unwrap()))
-            .collect();
-        assert!(pairs.contains(&("age", "age")));
+        let hits = p.find_unionable_columns(("health", "patients"), ("census", "people"));
+        assert!(!hits.is_empty());
+        assert!(hits
+            .iter()
+            .any(|h| h.column_a == "age" && h.column_b == "age" && h.score > 0.0));
+        assert!(hits.iter().all(|h| h.kind == "label" || h.kind == "content"));
     }
 
     #[test]
@@ -388,7 +525,9 @@ mod tests {
         let p = platform();
         let ranked = p.find_unionable_tables("health", "patients", 5, UnionMode::default());
         assert!(!ranked.is_empty());
-        assert_eq!(ranked[0].0, "people");
+        assert_eq!(ranked[0].table, "people");
+        assert_eq!(ranked[0].dataset, "census");
+        assert!(ranked[0].score > 0.0);
     }
 
     #[test]
@@ -397,11 +536,38 @@ mod tests {
         // patients —age— people —city— trips
         let paths = p.get_path_to_table(("health", "patients"), ("travel", "trips"), 2);
         assert!(!paths.is_empty(), "no join path found");
-        assert_eq!(paths[0], vec!["patients", "people", "trips"]);
+        assert_eq!(paths[0].tables, vec!["patients", "people", "trips"]);
+        assert_eq!(paths[0].hops(), 2);
+        assert_eq!(paths[0].to_string(), "patients -> people -> trips");
         let shortest = p
             .shortest_path_between_tables(("health", "patients"), ("travel", "trips"))
             .unwrap();
-        assert_eq!(shortest.len(), 3);
+        assert_eq!(shortest.tables.len(), 3);
+    }
+
+    #[test]
+    fn discovery_builder_applies_options() {
+        let p = platform();
+        let all = p.discovery().unionable_tables("health", "patients");
+        assert!(!all.is_empty());
+        // k=1 truncates
+        assert_eq!(p.discovery().k(1).unionable_tables("health", "patients").len(), 1);
+        // an impossible score floor filters everything
+        assert!(p
+            .discovery()
+            .min_score(f64::INFINITY)
+            .unionable_tables("health", "patients")
+            .is_empty());
+        // mode + hops thread through to the underlying searches
+        let joinable = p.discovery().mode(UnionMode::ContentOnly).joinable_tables("health", "patients");
+        assert!(joinable.iter().any(|h| h.table == "people"));
+        assert!(p.discovery().hops(0).paths(("health", "patients"), ("travel", "trips")).is_empty());
+        let paths = p.discovery().paths(("health", "patients"), ("travel", "trips"));
+        assert_eq!(paths[0].tables.last().map(String::as_str), Some("trips"));
+        let shortest = p.discovery().shortest_path(("health", "patients"), ("travel", "trips"));
+        assert_eq!(shortest.unwrap().hops(), 2);
+        let cols = p.discovery().unionable_columns(("health", "patients"), ("census", "people"));
+        assert!(cols.iter().any(|h| h.column_a == "age"));
     }
 
     #[test]
@@ -422,7 +588,7 @@ mod tests {
         );
         let paths = p.get_path_to_table_for(&probe, ("travel", "trips"), 2);
         assert!(!paths.is_empty(), "no join path from most-similar table");
-        assert_eq!(paths[0].last().map(|s| s.as_str()), Some("trips"));
+        assert_eq!(paths[0].tables.last().map(|s| s.as_str()), Some("trips"));
     }
 
     #[test]
@@ -432,15 +598,15 @@ mod tests {
             "probe",
             vec![Column::new("age", (25..55).map(|i| i.to_string()).collect())],
         );
-        let (d, _t, sim) = p.most_similar_table(&probe).unwrap();
-        assert!(sim > 0.5);
-        assert!(d == "health" || d == "census");
+        let hit = p.most_similar_table(&probe).unwrap();
+        assert!(hit.score > 0.5);
+        assert!(hit.dataset == "health" || hit.dataset == "census");
     }
 
     #[test]
     fn content_only_mode_still_finds_unionable() {
         let p = platform();
         let ranked = p.find_unionable_tables("health", "patients", 5, UnionMode::ContentOnly);
-        assert!(ranked.iter().any(|(t, _)| t == "people"));
+        assert!(ranked.iter().any(|h| h.table == "people"));
     }
 }

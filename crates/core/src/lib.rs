@@ -34,8 +34,11 @@ pub mod platform;
 pub mod report;
 
 pub use dataframe::DataFrame;
+pub use discovery::{ColumnHit, Discovery, JoinPath, TableHit, UnionMode, SEARCH_TABLES_QUERY};
 pub use lids_exec::{ErrorKind, LidsError, LidsResult};
 pub use lids_kg::{LinkingConfig, LinkingMode};
+pub use lids_obs::{Obs, ObsSnapshot};
+pub use lids_sparql::{EvalOptions, ExplainReport};
 pub use platform::{
     BootstrapStats, IngestOptions, KgLids, KgLidsBuilder, PipelineScript, SchemaStatsLite,
 };

@@ -318,7 +318,7 @@ mod tests {
 
         // discovery sees the new table immediately
         let ranked = platform.find_unionable_tables("base", "people", 5, UnionMode::default());
-        assert!(ranked.iter().any(|(t, _)| t == "patients"));
+        assert!(ranked.iter().any(|h| h.table == "patients"));
         // and so does keyword search
         let hits = platform.search_tables(&[&["newcomer"]]);
         assert_eq!(hits.len(), 1);

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lids_embed::{table_embedding, ColrModels, FineGrainedType, WordEmbeddings};
 use lids_exec::{
@@ -23,13 +23,14 @@ use lids_kg::library_graph::build_library_graph;
 use lids_kg::linker::{link_pipelines, LinkStats};
 use lids_kg::provenance::{emit_quarantine, QuarantineRecord};
 use lids_kg::schema::{build_data_global_schema, LinkingConfig, SchemaConfig, SchemaStats};
+use lids_obs::{Obs, TraceSnapshot};
 use lids_profiler::table::Dataset;
 use lids_profiler::{
     parse_csv_bytes, profile_table, ColumnProfile, CsvMode, ProfilerConfig, RawDataset, Table,
 };
 use lids_py::analysis::AnalyzedScript;
 use lids_rdf::QuadStore;
-use lids_sparql::SparqlError;
+use lids_sparql::{EvalOptions, ExplainReport, SparqlError};
 use lids_vector::{BruteForceIndex, Metric, VectorIndex};
 
 use crate::dataframe::DataFrame;
@@ -60,6 +61,9 @@ pub struct BootstrapStats {
     pub links: LinkStats,
     /// Which artifacts were quarantined, with typed errors and retry counts.
     pub report: BootstrapReport,
+    /// Span tree of the bootstrap run (`bootstrap` root with one child per
+    /// stage; the schema stage carries one child per linking bucket).
+    pub trace: TraceSnapshot,
 }
 
 /// Fault-tolerance knobs for bootstrap ingestion.
@@ -282,8 +286,11 @@ impl KgLidsBuilder {
         let we = WordEmbeddings::new();
         let models = ColrModels::pretrained();
         let meter = MemoryMeter::new();
+        let obs = Obs::new();
+        let root = obs.tracer.root("bootstrap");
 
         // ---- ingestion: parse raw artifacts under the fault policy ----
+        let span = obs.tracer.child(root, "parse");
         let mut sw = Stopwatch::started();
         let mut datasets = datasets;
         for raw in &raw_datasets {
@@ -306,8 +313,12 @@ impl KgLidsBuilder {
         }
         sw.stop();
         stats.ingestion_secs = sw.secs();
+        obs.tracer.set_attr(span, "raw_datasets", raw_datasets.len());
+        obs.tracer.add_count(span, "quarantined", report.quarantined.len() as u64);
+        let _ = obs.tracer.close(span);
 
         // ---- Algorithm 2: profile all datasets (panic-isolated) ----
+        let span = obs.tracer.child(root, "profile");
         let mut sw = Stopwatch::started();
         let profiles: Vec<ColumnProfile> = match custom_profiles {
             Some(profiles) => profiles,
@@ -345,15 +356,36 @@ impl KgLidsBuilder {
         sw.stop();
         stats.profiling_secs = sw.secs();
         stats.columns_profiled = profiles.len();
+        obs.tracer.set_attr(span, "columns", profiles.len());
+        let _ = obs.tracer.close(span);
 
         // ---- Algorithm 3: data global schema ----
+        let span = obs.tracer.child(root, "link.schema");
         let mut sw = Stopwatch::started();
         let schema_stats = build_data_global_schema(&mut store, &profiles, &schema_config, &we);
         sw.stop();
         stats.schema_secs = sw.secs();
+        obs.tracer.add_count(span, "label_edges", schema_stats.label_edges as u64);
+        obs.tracer.add_count(span, "content_edges", schema_stats.content_edges as u64);
+        obs.tracer.add_count(span, "pairs_pruned", schema_stats.pairs_pruned as u64);
+        for bucket in &schema_stats.buckets {
+            let b = obs.tracer.child(span, "bucket");
+            obs.tracer.set_attr(b, "fgt", bucket.fgt);
+            obs.tracer.set_attr(b, "strategy", bucket.strategy);
+            obs.tracer.set_attr(b, "rows", bucket.rows);
+            obs.tracer.add_count(b, "eligible_pairs", bucket.eligible_pairs as u64);
+            obs.tracer.add_count(b, "candidates", bucket.candidates as u64);
+            obs.tracer.add_count(b, "pruned", bucket.pruned as u64);
+            obs.tracer.add_count(b, "hnsw_hops", bucket.hnsw.hops);
+            obs.tracer.add_count(b, "hnsw_dist_evals", bucket.hnsw.dist_evals);
+            obs.tracer.add_count(b, "hnsw_searches", bucket.hnsw.searches);
+            let _ = obs.tracer.close(b);
+        }
+        let _ = obs.tracer.close(span);
         stats.schema = Some(SchemaStatsLite::from(&schema_stats));
 
         // ---- Algorithm 1: library graph + pipeline abstraction ----
+        let span = obs.tracer.child(root, "abstract");
         let mut sw = Stopwatch::started();
         let mut abstraction = AbstractionStats::default();
         build_library_graph(&mut store, &docs, &mut abstraction);
@@ -387,12 +419,20 @@ impl KgLidsBuilder {
         sw.stop();
         stats.abstraction_secs = sw.secs();
         stats.abstraction = abstraction;
+        obs.tracer.set_attr(span, "pipelines", pipelines.len());
+        obs.tracer.add_count(span, "abstracted", stats.pipelines_abstracted as u64);
+        obs.tracer.add_count(span, "failed", stats.pipelines_failed as u64);
+        let _ = obs.tracer.close(span);
 
         // ---- Graph Linker ----
+        let span = obs.tracer.child(root, "link.pipelines");
         let mut sw = Stopwatch::started();
         stats.links = link_pipelines(&mut store);
         sw.stop();
         stats.linking_secs = sw.secs();
+        obs.tracer.add_count(span, "tables_linked", stats.links.tables_linked as u64);
+        obs.tracer.add_count(span, "columns_linked", stats.links.columns_linked as u64);
+        let _ = obs.tracer.close(span);
 
         // ---- quarantine provenance: record *why* artifacts are missing ----
         if ingest.record_provenance {
@@ -412,6 +452,7 @@ impl KgLidsBuilder {
         stats.triples = store.len();
 
         // ---- embedding store ----
+        let span = obs.tracer.child(root, "embed");
         let mut column_index = BruteForceIndex::new(lids_embed::EMBEDDING_DIM, Metric::Cosine);
         for (i, p) in profiles.iter().enumerate() {
             if !p.embedding.is_empty() {
@@ -466,6 +507,25 @@ impl KgLidsBuilder {
             table_embeddings.values().map(|e| (e.len() * 4) as u64).sum::<u64>()
                 + column_index.approx_bytes(),
         );
+        obs.tracer.set_attr(span, "table_embeddings", table_embeddings.len());
+        obs.tracer.set_attr(span, "indexed_columns", column_index.len());
+        let _ = obs.tracer.close(span);
+
+        obs.tracer.set_attr(root, "triples", stats.triples);
+        let _ = obs.tracer.close(root);
+        obs.metrics.gauge_set("memory.peak_bytes", meter.peak() as f64);
+        obs.metrics.gauge_set("bootstrap.ingestion_secs", stats.ingestion_secs);
+        obs.metrics.gauge_set("bootstrap.profiling_secs", stats.profiling_secs);
+        obs.metrics.gauge_set("bootstrap.schema_secs", stats.schema_secs);
+        obs.metrics.gauge_set("bootstrap.abstraction_secs", stats.abstraction_secs);
+        obs.metrics.gauge_set("bootstrap.linking_secs", stats.linking_secs);
+        obs.metrics.counter_add("bootstrap.triples", stats.triples as u64);
+        obs.metrics.counter_add("bootstrap.columns_profiled", stats.columns_profiled as u64);
+        obs.metrics.counter_add("linking.label_edges", schema_stats.label_edges as u64);
+        obs.metrics.counter_add("linking.content_edges", schema_stats.content_edges as u64);
+        obs.metrics.counter_add("linking.pairs_pruned", schema_stats.pairs_pruned as u64);
+        obs.metrics.counter_add("linking.hnsw_dist_evals", schema_stats.hnsw.dist_evals);
+        stats.trace = obs.tracer.snapshot();
 
         let platform = KgLids {
             store,
@@ -479,6 +539,7 @@ impl KgLidsBuilder {
             dataset_embeddings,
             dataset_embeddings_missing,
             meter,
+            obs,
             cleaning_model: None,
             scaling_model: None,
             column_model: None,
@@ -505,6 +566,7 @@ pub struct KgLids {
     /// contain missing values (falls back to all columns when none do).
     pub(crate) dataset_embeddings_missing: HashMap<String, Vec<f32>>,
     pub(crate) meter: MemoryMeter,
+    pub(crate) obs: Obs,
     pub(crate) cleaning_model: Option<lids_gnn::CleaningModel>,
     pub(crate) scaling_model: Option<lids_gnn::ScalingModel>,
     pub(crate) column_model: Option<lids_gnn::ColumnTransformModel>,
@@ -537,9 +599,53 @@ impl KgLids {
     }
 
     /// Ad-hoc SPARQL query returning a [`DataFrame`] (§5, Ad-hoc Queries).
-    pub fn query(&self, sparql: &str) -> Result<DataFrame, SparqlError> {
-        let solutions = lids_sparql::query(&self.store, sparql)?;
+    /// Failures surface as the platform-wide [`LidsError`] taxonomy
+    /// (`ErrorKind::SparqlError`).
+    pub fn query(&self, sparql: &str) -> LidsResult<DataFrame> {
+        self.query_with(sparql, EvalOptions::default())
+    }
+
+    /// [`Self::query`] with explicit evaluation options, e.g.
+    /// `EvalOptions::builder().reorder_joins(false).build()`.
+    pub fn query_with(&self, sparql: &str, options: EvalOptions) -> LidsResult<DataFrame> {
+        let solutions = self.timed_query(|| {
+            let parsed = lids_sparql::parse_query(sparql)?;
+            lids_sparql::evaluate_with(&self.store, &parsed, options)
+        })?;
         Ok(DataFrame::from_solutions(&solutions))
+    }
+
+    /// Evaluate `sparql` with per-pattern instrumentation and return the
+    /// executed plan: join order, estimated vs actual rows per triple
+    /// pattern, decode counts, parallel-vs-serial join decisions.
+    pub fn explain(&self, sparql: &str) -> LidsResult<ExplainReport> {
+        let (_, report) = self.timed_query(|| {
+            let parsed = lids_sparql::parse_query(sparql)?;
+            lids_sparql::evaluate_explained(&self.store, &parsed, EvalOptions::default())
+        })?;
+        Ok(report)
+    }
+
+    /// Ask query.
+    pub fn ask(&self, sparql: &str) -> LidsResult<bool> {
+        let solutions = self.timed_query(|| lids_sparql::query(&self.store, sparql))?;
+        Ok(solutions.ask.unwrap_or(false))
+    }
+
+    /// Run a query closure under the `query.*` metrics: every call counts
+    /// and records wall time; failures also bump `query.errors`.
+    fn timed_query<T>(
+        &self,
+        run: impl FnOnce() -> Result<T, SparqlError>,
+    ) -> LidsResult<T> {
+        let start = Instant::now();
+        self.obs.metrics.counter_add("query.count", 1);
+        let result = run();
+        self.obs.metrics.observe_duration("query.wall_us", start.elapsed());
+        result.map_err(|e| {
+            self.obs.metrics.counter_add("query.errors", 1);
+            LidsError::from(e)
+        })
     }
 
     /// Run one of the platform's own discovery/insight queries. These are
@@ -550,10 +656,15 @@ impl KgLids {
         self.query(sparql).expect("well-formed internal query")
     }
 
-    /// Ask query.
-    pub fn ask(&self, sparql: &str) -> Result<bool, SparqlError> {
-        let solutions = lids_sparql::query(&self.store, sparql)?;
-        Ok(solutions.ask.unwrap_or(false))
+    /// The platform's observability handle: span tracer + metrics registry.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Current observability state serialized to the `lids-obs/v1` JSON
+    /// schema.
+    pub fn obs_snapshot_json(&self) -> String {
+        self.obs.snapshot().to_json()
     }
 
     /// Stored 1800-d embedding of a profiled table.
@@ -755,6 +866,57 @@ clf.fit(X, y)
         let hits = platform.similar_columns(&emb, 1);
         assert_eq!(hits[0].0, age_idx);
         assert!(hits[0].1 > 0.999);
+    }
+
+    #[test]
+    fn bootstrap_emits_span_tree_and_metrics() {
+        let (platform, stats) = KgLidsBuilder::new()
+            .with_dataset(titanic())
+            .with_pipelines([script()])
+            .bootstrap();
+        let root = stats.trace.root("bootstrap").expect("bootstrap root span");
+        assert!(root.closed);
+        for stage in ["parse", "profile", "link.schema", "abstract", "link.pipelines", "embed"] {
+            let span = root.child(stage).unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert!(span.closed, "{stage} left open");
+        }
+        // the schema stage carries one child per linking bucket
+        let schema = root.child("link.schema").expect("schema span");
+        assert!(!schema.children.is_empty(), "no bucket spans");
+        // the platform keeps the live obs handle; queries feed it
+        platform.internal_query(
+            "PREFIX k: <http://kglids.org/ontology/> SELECT ?t WHERE { ?t a k:Table . }",
+        );
+        let json = platform.obs_snapshot_json();
+        assert!(json.contains("\"lids-obs/v1\""));
+        assert!(json.contains("query.wall_us"));
+        assert!(json.contains("memory.peak_bytes"));
+        let metrics = platform.obs().metrics.snapshot();
+        assert!(metrics.counter("query.count").unwrap_or(0) >= 1);
+        assert!(metrics.counter("bootstrap.triples").unwrap_or(0) > 100);
+    }
+
+    #[test]
+    fn query_errors_are_lids_errors_and_counted() {
+        let platform = KgLids::empty();
+        let err = platform.query("SELECT broken {{{").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::SparqlError);
+        let metrics = platform.obs().metrics.snapshot();
+        assert_eq!(metrics.counter("query.errors"), Some(1));
+    }
+
+    #[test]
+    fn query_with_and_explain() {
+        let (platform, _) = KgLidsBuilder::new().with_dataset(titanic()).bootstrap();
+        let q = "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?c WHERE { ?t a k:Table . ?t k:hasColumn ?c . }";
+        let opts = EvalOptions::builder().reorder_joins(false).build();
+        let df = platform.query_with(q, opts).unwrap();
+        assert_eq!(df.len(), 3);
+        let report = platform.explain(q).unwrap();
+        assert_eq!(report.rows, 3);
+        assert_eq!(report.patterns.len(), 2);
+        assert!(report.patterns.iter().all(|p| p.satisfiable && p.order.is_some()));
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub enum ErrorKind {
     EmptyInput,
     /// Python script failed lexing or parsing.
     PyParseError,
+    /// A SPARQL query failed to parse or evaluate.
+    SparqlError,
     /// A per-item processing budget was exceeded.
     ProfileTimeout,
     /// A worker panicked while processing the item.
@@ -39,6 +41,7 @@ impl ErrorKind {
             ErrorKind::JsonMalformed => "JsonMalformed",
             ErrorKind::EmptyInput => "EmptyInput",
             ErrorKind::PyParseError => "PyParseError",
+            ErrorKind::SparqlError => "SparqlError",
             ErrorKind::ProfileTimeout => "ProfileTimeout",
             ErrorKind::WorkerPanic => "WorkerPanic",
             ErrorKind::Internal => "Internal",
@@ -135,6 +138,7 @@ mod tests {
             ErrorKind::JsonMalformed,
             ErrorKind::EmptyInput,
             ErrorKind::PyParseError,
+            ErrorKind::SparqlError,
             ErrorKind::Internal,
         ] {
             assert!(!k.is_transient(), "{k} should be permanent");

@@ -21,6 +21,6 @@ pub use docs::{DocEntry, LibraryDocs};
 pub use library_graph::build_library_graph;
 pub use linker::link_pipelines;
 pub use schema::{
-    build_data_global_schema, insert_similarity_edge, LinkingConfig, LinkingMode, SchemaConfig,
-    SchemaStats,
+    build_data_global_schema, insert_similarity_edge, BucketStats, LinkingConfig, LinkingMode,
+    SchemaConfig, SchemaStats,
 };

@@ -42,7 +42,9 @@ use lids_embed::{FineGrainedType, LabelEmbeddingCache, WordEmbeddings};
 use lids_exec::parallel_blocks;
 use lids_profiler::ColumnProfile;
 use lids_rdf::{Quad, QuadStore, Term};
-use lids_vector::{dot_lanes, scan_pairs_above, HnswConfig, Metric, RowMatrix, ShardedHnsw};
+use lids_vector::{
+    dot_lanes, scan_pairs_above, HnswConfig, Metric, RowMatrix, SearchStats, ShardedHnsw,
+};
 
 use crate::ontology::{class, data_prop, object_prop, res, RDFS_LABEL, RDF_TYPE};
 
@@ -156,6 +158,31 @@ pub struct SchemaStats {
     pub label_secs: f64,
     /// Wall-clock seconds of the content-similarity pass.
     pub content_secs: f64,
+    /// Per-fine-grained-type breakdown of the content pass, ordered by
+    /// type label (deterministic across runs and thread counts).
+    pub buckets: Vec<BucketStats>,
+    /// ANN work counters aggregated over every HNSW-pruned bucket.
+    pub hnsw: SearchStats,
+}
+
+/// Content-pass breakdown for one fine-grained-type bucket.
+#[derive(Debug, Clone, Default)]
+pub struct BucketStats {
+    /// Fine-grained type label (`"int"`, `"named_entity"`, …).
+    pub fgt: &'static str,
+    /// Columns in the bucket eligible for content comparison.
+    pub rows: usize,
+    /// Cross-table pairs the exact pass would score.
+    pub eligible_pairs: usize,
+    /// Pairs that reached the exact scorer.
+    pub candidates: usize,
+    /// Pairs the candidate stage ruled out without scoring.
+    pub pruned: usize,
+    /// Candidate-generation strategy taken: `"exact-scan"`,
+    /// `"true-ratio-window"`, or `"hnsw"`.
+    pub strategy: &'static str,
+    /// ANN work counters (all zero unless the strategy was `"hnsw"`).
+    pub hnsw: SearchStats,
 }
 
 /// One similarity edge produced by a comparison worker.
@@ -337,13 +364,20 @@ pub fn build_data_global_schema(
     stats.label_secs = label_start.elapsed().as_secs_f64();
 
     // Content pass: candidate generation + exact re-check (lines 13–18).
+    // Buckets run in type-label order so the per-bucket stats (and any
+    // tie-broken float accumulation) are reproducible run to run.
     let content_start = Instant::now();
-    for (fgt, members) in &by_type {
+    let mut bucket_order: Vec<(&FineGrainedType, &Vec<usize>)> = by_type.iter().collect();
+    bucket_order.sort_by_key(|(fgt, _)| fgt.label());
+    for (fgt, members) in bucket_order {
         if *fgt == FineGrainedType::Boolean {
-            boolean_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats);
+            boolean_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats, fgt.label());
         } else {
-            embeddable_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats);
+            embeddable_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats, fgt.label());
         }
+    }
+    for b in &stats.buckets {
+        stats.hnsw.merge(&b.hnsw);
     }
     stats.content_secs = content_start.elapsed().as_secs_f64();
 
@@ -476,6 +510,7 @@ fn boolean_content(
     config: &SchemaConfig,
     edges: &mut Vec<Edge>,
     stats: &mut SchemaStats,
+    fgt: &'static str,
 ) {
     let rows: Vec<usize> = members
         .iter()
@@ -500,6 +535,14 @@ fn boolean_content(
 
     if lk.mode == LinkingMode::Exact || rows.len() <= lk.bucket_cutoff {
         stats.candidates_generated += eligible;
+        stats.buckets.push(BucketStats {
+            fgt,
+            rows: rows.len(),
+            eligible_pairs: eligible,
+            candidates: eligible,
+            strategy: "exact-scan",
+            ..Default::default()
+        });
         let found = parallel_blocks(rows.len(), lk.block, |range| {
             let mut out = Vec::new();
             for pos in range {
@@ -555,6 +598,15 @@ fn boolean_content(
         }
         stats.candidates_generated += candidates;
         stats.pairs_pruned += eligible.saturating_sub(candidates);
+        stats.buckets.push(BucketStats {
+            fgt,
+            rows: rows.len(),
+            eligible_pairs: eligible,
+            candidates,
+            pruned: eligible.saturating_sub(candidates),
+            strategy: "true-ratio-window",
+            ..Default::default()
+        });
     }
 }
 
@@ -572,6 +624,7 @@ fn embeddable_content(
     config: &SchemaConfig,
     edges: &mut Vec<Edge>,
     stats: &mut SchemaStats,
+    fgt: &'static str,
 ) {
     let rows: Vec<usize> = members
         .iter()
@@ -592,6 +645,14 @@ fn embeddable_content(
     let hits: Vec<(u32, u32, f32)>;
     if lk.mode == LinkingMode::Exact || rows.len() <= lk.bucket_cutoff {
         stats.candidates_generated += eligible;
+        stats.buckets.push(BucketStats {
+            fgt,
+            rows: rows.len(),
+            eligible_pairs: eligible,
+            candidates: eligible,
+            strategy: "exact-scan",
+            ..Default::default()
+        });
         hits = scan_pairs_above(&m, config.theta, lk.block, |i, j| {
             table_of[rows[i as usize]] != table_of[rows[j as usize]]
         });
@@ -611,21 +672,25 @@ fn embeddable_content(
             lk.shards,
         );
         let radius = (1.0 - config.theta) + RADIUS_MARGIN;
-        let seeds: Vec<(u32, u32)> = parallel_blocks(m.len(), lk.block, |range| {
+        let seeded = parallel_blocks(m.len(), lk.block, |range| {
             let mut out = Vec::new();
+            let mut ann = SearchStats::default();
             for i in range {
-                for hit in index.search_radius(m.row(i), radius, lk.init_k) {
+                for hit in index.search_radius_with_stats(m.row(i), radius, lk.init_k, &mut ann) {
                     let j = hit.id as usize;
                     if j != i {
                         out.push((i.min(j) as u32, i.max(j) as u32));
                     }
                 }
             }
-            out
-        })
-        .into_iter()
-        .flatten()
-        .collect();
+            (out, ann)
+        });
+        let mut ann = SearchStats::default();
+        let mut seeds: Vec<(u32, u32)> = Vec::new();
+        for (block, block_ann) in seeded {
+            ann.merge(&block_ann);
+            seeds.extend(block);
+        }
 
         // Stage 2b: group the seeds into connected components, then bound
         // component pairs with the triangle inequality. On pre-normalized
@@ -715,6 +780,15 @@ fn embeddable_content(
         hits = all;
         stats.candidates_generated += candidates;
         stats.pairs_pruned += eligible.saturating_sub(candidates);
+        stats.buckets.push(BucketStats {
+            fgt,
+            rows: rows.len(),
+            eligible_pairs: eligible,
+            candidates,
+            pruned: eligible.saturating_sub(candidates),
+            strategy: "hnsw",
+            hnsw: ann,
+        });
     }
 
     for (i, j, score) in hits {
@@ -942,6 +1016,56 @@ mod tests {
 
     fn we_default() -> WordEmbeddings {
         WordEmbeddings::new()
+    }
+
+    #[test]
+    fn bucket_stats_cover_content_pass() {
+        let ps = profiles();
+        let mut store = QuadStore::new();
+        // default config: both buckets are tiny → exact scan everywhere
+        let stats =
+            build_data_global_schema(&mut store, &ps, &SchemaConfig::default(), &we_default());
+        assert_eq!(stats.buckets.len(), 2);
+        let labels: Vec<&str> = stats.buckets.iter().map(|b| b.fgt).collect();
+        let mut sorted = labels.clone();
+        sorted.sort_unstable();
+        assert_eq!(labels, sorted, "buckets ordered by type label");
+        for b in &stats.buckets {
+            assert_eq!(b.strategy, "exact-scan");
+            assert_eq!(b.rows, 2);
+            assert_eq!(b.eligible_pairs, 1);
+            assert_eq!(b.candidates, 1);
+            assert_eq!(b.pruned, 0);
+            assert_eq!(b.hnsw, SearchStats::default());
+        }
+        let eligible: usize = stats.buckets.iter().map(|b| b.eligible_pairs).sum();
+        assert_eq!(eligible, stats.pairs_compared);
+
+        // cutoff 0 forces the pruned strategies; the HNSW bucket must
+        // report ANN work and the per-bucket counters must reconcile with
+        // the aggregate candidate/pruned totals
+        let mut store2 = QuadStore::new();
+        let cfg = SchemaConfig {
+            linking: LinkingConfig {
+                mode: LinkingMode::Pruned,
+                bucket_cutoff: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let pruned = build_data_global_schema(&mut store2, &ps, &cfg, &we_default());
+        assert_eq!(pruned.buckets.len(), 2);
+        let strategies: Vec<&str> = pruned.buckets.iter().map(|b| b.strategy).collect();
+        assert!(strategies.contains(&"hnsw"), "int bucket should use hnsw: {strategies:?}");
+        assert!(strategies.contains(&"true-ratio-window"), "{strategies:?}");
+        let hnsw_bucket = pruned.buckets.iter().find(|b| b.strategy == "hnsw").unwrap();
+        assert!(hnsw_bucket.hnsw.searches > 0);
+        assert!(hnsw_bucket.hnsw.dist_evals > 0);
+        assert_eq!(pruned.hnsw, hnsw_bucket.hnsw, "aggregate sums the one hnsw bucket");
+        let cand: usize = pruned.buckets.iter().map(|b| b.candidates).sum();
+        let pru: usize = pruned.buckets.iter().map(|b| b.pruned).sum();
+        assert_eq!(cand, pruned.candidates_generated);
+        assert_eq!(pru, pruned.pairs_pruned);
     }
 
     #[test]

@@ -1,0 +1,40 @@
+//! Minimal JSON emission helpers. `lids-obs` carries no dependencies,
+//! so snapshots are serialized by hand; everything here exists to keep
+//! that output well-formed (escaping, number formatting) in one place.
+
+/// Append `s` to `buf` as a JSON string literal, quotes included.
+pub(crate) fn push_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Append a finite f64; NaN and infinities have no JSON encoding and
+/// degrade to `null` rather than corrupting the document.
+pub(crate) fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is valid JSON except that
+        // it may omit a fractional part, which is still a JSON number.
+        buf.push_str(&format!("{v}"));
+    } else {
+        buf.push_str("null");
+    }
+}
+
+/// Append `key:` (with trailing colon) for an object member.
+pub(crate) fn push_key(buf: &mut String, key: &str) {
+    push_str(buf, key);
+    buf.push(':');
+}

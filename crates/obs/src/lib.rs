@@ -1,0 +1,132 @@
+//! `lids-obs` — observability substrate for the KGLiDS reproduction.
+//!
+//! Two primitives, zero dependencies:
+//!
+//! - [`Tracer`]: a thread-safe hierarchical span tracer. Spans nest by
+//!   explicit parent id, carry wall time, counters, and key/value
+//!   attributes, and snapshot into a [`TraceSnapshot`] tree.
+//! - [`MetricsRegistry`]: named counters, gauges, and log₂-bucketed
+//!   [`Histogram`]s.
+//!
+//! [`Obs`] bundles both and serializes them to the stable
+//! `lids-obs/v1` JSON schema via [`ObsSnapshot::to_json`]:
+//!
+//! ```json
+//! {"schema":"lids-obs/v1","trace":[...spans...],
+//!  "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+//! ```
+//!
+//! Everything downstream — bootstrap stage timings, SPARQL explain
+//! counters, linking bucket stats, bench reports — flows through this
+//! schema so tooling (`scripts/check.sh`, bench JSON artifacts) can
+//! validate one shape.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod json;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, HIST_BUCKETS,
+};
+pub use span::{AttrValue, ObsError, SpanId, SpanSnapshot, Tracer, TraceSnapshot};
+
+/// Version tag embedded in every snapshot.
+pub const SCHEMA_VERSION: &str = "lids-obs/v1";
+
+/// One tracer plus one registry — the unit a platform instance owns.
+#[derive(Debug, Default)]
+pub struct Obs {
+    pub tracer: Tracer,
+    pub metrics: MetricsRegistry,
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot { trace: self.tracer.snapshot(), metrics: self.metrics.snapshot() }
+    }
+}
+
+/// Point-in-time copy of a whole [`Obs`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsSnapshot {
+    pub trace: TraceSnapshot,
+    pub metrics: MetricsSnapshot,
+}
+
+impl ObsSnapshot {
+    /// Serialize to the `lids-obs/v1` schema.
+    pub fn to_json(&self) -> String {
+        let mut buf = String::new();
+        buf.push('{');
+        json::push_key(&mut buf, "schema");
+        json::push_str(&mut buf, SCHEMA_VERSION);
+        buf.push(',');
+        json::push_key(&mut buf, "trace");
+        self.trace.write_json(&mut buf);
+        buf.push(',');
+        json::push_key(&mut buf, "metrics");
+        self.metrics.write_json(&mut buf);
+        buf.push('}');
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_schema() {
+        let obs = Obs::new();
+        let root = obs.tracer.root("bootstrap");
+        let parse = obs.tracer.child(root, "parse");
+        obs.tracer.set_attr(parse, "tables", 2usize);
+        obs.tracer.close(parse).unwrap();
+        obs.tracer.close(root).unwrap();
+        obs.metrics.counter_add("bootstrap.triples", 42);
+        obs.metrics.gauge_set("memory.peak_bytes", 4096.0);
+        obs.metrics.observe("query.wall_us", 17);
+
+        use serde_json::Value;
+        fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+            match v {
+                Value::Object(m) => m.get(key).unwrap_or(&Value::Null),
+                _ => panic!("expected object while reading `{key}`"),
+            }
+        }
+        fn item(v: &Value, i: usize) -> &Value {
+            match v {
+                Value::Array(a) => &a[i],
+                _ => panic!("expected array"),
+            }
+        }
+        fn as_int(v: &Value) -> i64 {
+            match v {
+                Value::Number(n) => n.as_i64().expect("integral number"),
+                other => panic!("not a number: {other:?}"),
+            }
+        }
+
+        let json = obs.snapshot().to_json();
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(field(&v, "schema"), &Value::String(SCHEMA_VERSION.into()));
+        let root = item(field(&v, "trace"), 0);
+        assert_eq!(field(root, "name"), &Value::String("bootstrap".into()));
+        let parse = item(field(root, "children"), 0);
+        assert_eq!(as_int(field(field(parse, "attrs"), "tables")), 2);
+        let metrics = field(&v, "metrics");
+        assert_eq!(as_int(field(field(metrics, "counters"), "bootstrap.triples")), 42);
+        assert_eq!(as_int(field(field(metrics, "gauges"), "memory.peak_bytes")), 4096);
+        assert_eq!(
+            as_int(field(field(field(metrics, "histograms"), "query.wall_us"), "count")),
+            1
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! Metrics registry: named counters, gauges, and histograms.
+//!
+//! Histograms use fixed log₂ buckets: value `v` lands in bucket
+//! `64 - v.leading_zeros()`, i.e. bucket 0 holds exactly `v == 0` and
+//! bucket `i ≥ 1` holds `2^(i-1) ..= 2^i - 1` (upper bound `2^i - 1`).
+//! Fixed buckets mean two snapshots are always mergeable and the JSON
+//! schema never depends on observed data.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json;
+
+/// Number of log₂ buckets: one for zero plus one per bit of u64.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Bucket index for a value: 0 for 0, else `1 + floor(log2 v)`.
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`, saturating at
+/// `u64::MAX` for the last bucket).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A log₂-bucketed histogram of u64 samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: vec![0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_upper_bound(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable histogram state; `buckets` holds `(le, count)` pairs for
+/// non-empty buckets only, with strictly increasing `le`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    fn write_json(&self, buf: &mut String) {
+        buf.push('{');
+        json::push_key(buf, "count");
+        buf.push_str(&self.count.to_string());
+        buf.push(',');
+        json::push_key(buf, "sum");
+        buf.push_str(&self.sum.to_string());
+        buf.push(',');
+        json::push_key(buf, "min");
+        buf.push_str(&self.min.to_string());
+        buf.push(',');
+        json::push_key(buf, "max");
+        buf.push_str(&self.max.to_string());
+        buf.push(',');
+        json::push_key(buf, "buckets");
+        buf.push('[');
+        for (i, (le, count)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            buf.push('{');
+            json::push_key(buf, "le");
+            buf.push_str(&le.to_string());
+            buf.push(',');
+            json::push_key(buf, "count");
+            buf.push_str(&count.to_string());
+            buf.push('}');
+        }
+        buf.push_str("]}");
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `delta` to a monotone counter (created at 0).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one sample into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        inner.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Record a duration, in microseconds, into the named histogram.
+    pub fn observe_duration(&self, name: &str, d: Duration) {
+        self.observe(name, d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Immutable registry state, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    pub(crate) fn write_json(&self, buf: &mut String) {
+        buf.push('{');
+        json::push_key(buf, "counters");
+        buf.push('{');
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            json::push_key(buf, k);
+            buf.push_str(&v.to_string());
+        }
+        buf.push_str("},");
+        json::push_key(buf, "gauges");
+        buf.push('{');
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            json::push_key(buf, k);
+            json::push_f64(buf, *v);
+        }
+        buf.push_str("},");
+        json::push_key(buf, "histograms");
+        buf.push('{');
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            json::push_key(buf, k);
+            h.write_json(buf);
+        }
+        buf.push_str("}}");
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut buf = String::new();
+        self.write_json(&mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // bucket 0: exactly zero
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_upper_bound(0), 0);
+        // bucket i (i >= 1) covers 2^(i-1) ..= 2^i - 1
+        for i in 1..=63usize {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+            assert_eq!(bucket_upper_bound(i), hi);
+            if hi < u64::MAX {
+                assert_eq!(bucket_index(hi + 1), i + 1, "first value past bucket {i}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // upper bounds are strictly monotone
+        for i in 1..HIST_BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_snapshot() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1034);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1024);
+        // buckets: 0 -> {0}, 1 -> {1}, 2 -> {2,3}, 3 -> {4}, 11 -> {1024}
+        assert_eq!(s.buckets, vec![(0, 1), (1, 1), (3, 2), (7, 1), (2047, 1)]);
+        let les: Vec<u64> = s.buckets.iter().map(|(le, _)| *le).collect();
+        let mut sorted = les.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(les, sorted, "le values strictly increasing");
+    }
+
+    #[test]
+    fn empty_histogram_snapshot() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let r = MetricsRegistry::new();
+        r.counter_add("query.count", 2);
+        r.counter_add("query.count", 3);
+        r.gauge_set("memory.peak_bytes", 1.5e6);
+        r.observe("query.wall_us", 100);
+        r.observe("query.wall_us", 200);
+        r.observe_duration("stage_us", Duration::from_micros(50));
+        let s = r.snapshot();
+        assert_eq!(s.counter("query.count"), Some(5));
+        assert_eq!(s.gauge("memory.peak_bytes"), Some(1.5e6));
+        assert_eq!(s.histogram("query.wall_us").unwrap().count, 2);
+        assert_eq!(s.histogram("stage_us").unwrap().sum, 50);
+
+        use serde_json::Value;
+        fn field<'a>(v: &'a Value, key: &str) -> &'a Value {
+            match v {
+                Value::Object(m) => m.get(key).unwrap_or(&Value::Null),
+                _ => panic!("expected object while reading `{key}`"),
+            }
+        }
+        fn as_int(v: &Value) -> i64 {
+            match v {
+                Value::Number(n) => n.as_i64().expect("integral number"),
+                other => panic!("not a number: {other:?}"),
+            }
+        }
+        let v: Value = serde_json::from_str(&s.to_json()).unwrap();
+        assert_eq!(as_int(field(field(&v, "counters"), "query.count")), 5);
+        // 1.5e6 renders as the integer literal 1500000; compare numerically
+        match field(field(&v, "gauges"), "memory.peak_bytes") {
+            Value::Number(n) => assert_eq!(n.as_f64(), Some(1.5e6)),
+            other => panic!("gauge is not a number: {other:?}"),
+        }
+        let hist = field(field(&v, "histograms"), "query.wall_us");
+        assert_eq!(as_int(field(hist, "count")), 2);
+        let Value::Array(buckets) = field(hist, "buckets") else { panic!("no buckets") };
+        assert!(!buckets.is_empty());
+        let les: Vec<i64> = buckets.iter().map(|b| as_int(field(b, "le"))).collect();
+        for pair in les.windows(2) {
+            assert!(pair[0] < pair[1], "le values must be strictly increasing");
+        }
+    }
+}

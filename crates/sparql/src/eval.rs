@@ -17,12 +17,16 @@
 //! The naive decoded engine survives as [`crate::reference`]; the
 //! `encoded_vs_reference` property tests hold this engine to its semantics.
 
+use std::cell::Cell;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::time::Instant;
 
 use lids_exec::parallel_map;
 use lids_rdf::{EncodedPattern, GraphName, QuadStore, Term, TermId, Triple};
 
 use crate::ast::*;
+use crate::explain::{ExplainReport, PatternPlan};
 use crate::project::{project, used_variables};
 use crate::results::{Solutions, SparqlError};
 
@@ -52,6 +56,37 @@ impl Default for EvalOptions {
     }
 }
 
+impl EvalOptions {
+    /// Fluent construction; the struct-literal form keeps working.
+    pub fn builder() -> EvalOptionsBuilder {
+        EvalOptionsBuilder { inner: EvalOptions::default() }
+    }
+}
+
+/// Builder for [`EvalOptions`] (`EvalOptions::builder()`).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptionsBuilder {
+    inner: EvalOptions,
+}
+
+impl EvalOptionsBuilder {
+    /// Enable/disable cardinality-based join reordering.
+    pub fn reorder_joins(mut self, on: bool) -> Self {
+        self.inner.reorder_joins = on;
+        self
+    }
+
+    /// Minimum intermediate binding-set size for parallel join/decode.
+    pub fn parallel_threshold(mut self, threshold: usize) -> Self {
+        self.inner.parallel_threshold = threshold;
+        self
+    }
+
+    pub fn build(self) -> EvalOptions {
+        self.inner
+    }
+}
+
 /// A partial solution: one optional term *id* per query variable.
 type IdBinding = Vec<Option<TermId>>;
 
@@ -61,13 +96,66 @@ pub fn evaluate_with(
     query: &Query,
     options: EvalOptions,
 ) -> Result<Solutions, SparqlError> {
-    let ev = Evaluator { store, options };
+    let mut compiler = Compiler::new(store, &query.variables, false);
+    let compiled = compiler.compile_query(query);
+    eval_compiled(store, query, options, &compiled, None)
+}
+
+/// Evaluate with per-pattern instrumentation, returning the solutions
+/// plus an [`ExplainReport`] of the executed plan.
+pub fn evaluate_explained(
+    store: &QuadStore,
+    query: &Query,
+    options: EvalOptions,
+) -> Result<(Solutions, ExplainReport), SparqlError> {
+    let start = Instant::now();
+    let mut compiler = Compiler::new(store, &query.variables, true);
+    let compiled = compiler.compile_query(query);
+    let metas = compiler.metas;
+    let instr = Instr::new(metas.len());
+    let solutions = eval_compiled(store, query, options, &compiled, Some(&instr))?;
+    let wall_secs = start.elapsed().as_secs_f64();
+    let patterns = metas
+        .into_iter()
+        .enumerate()
+        .map(|(i, meta)| {
+            let cell = &instr.cells[i];
+            let order = cell.order.load(Relaxed);
+            PatternPlan {
+                pattern: meta.text,
+                estimated_rows: meta.estimated,
+                actual_rows: cell.actual.load(Relaxed),
+                scans: cell.scans.load(Relaxed),
+                order: (order != usize::MAX).then_some(order),
+                satisfiable: meta.satisfiable,
+            }
+        })
+        .collect();
+    let report = ExplainReport {
+        reorder_joins: options.reorder_joins,
+        rows: solutions.len(),
+        wall_secs,
+        patterns,
+        decoded_terms: instr.decoded.load(Relaxed),
+        parallel_joins: instr.parallel_joins.load(Relaxed),
+        serial_joins: instr.serial_joins.load(Relaxed),
+    };
+    Ok((solutions, report))
+}
+
+fn eval_compiled(
+    store: &QuadStore,
+    query: &Query,
+    options: EvalOptions,
+    compiled: &EncGroup,
+    instr: Option<&Instr>,
+) -> Result<Solutions, SparqlError> {
+    let ev = Evaluator { store, options, instr };
     let nvars = query.variables.len();
     let root = vec![vec![None; nvars]];
     match &query.form {
-        QueryForm::Ask(pattern) => {
-            let compiled = ev.compile_group(pattern);
-            let bindings = ev.eval_group(&compiled, root, GraphCtx::Default)?;
+        QueryForm::Ask(_) => {
+            let bindings = ev.eval_group(compiled, root, GraphCtx::Default)?;
             Ok(Solutions {
                 columns: Vec::new(),
                 rows: Vec::new(),
@@ -75,12 +163,76 @@ pub fn evaluate_with(
             })
         }
         QueryForm::Select(select) => {
-            let compiled = ev.compile_group(&select.pattern);
-            let bindings = ev.eval_group(&compiled, root, GraphCtx::Default)?;
+            let bindings = ev.eval_group(compiled, root, GraphCtx::Default)?;
             let decoded = ev.decode_bindings(query, select, bindings);
             project(query, select, decoded)
         }
     }
+}
+
+// -------------------------------------------------------- instrumentation
+
+/// Per-pattern atomic counters, written on the evaluator's hot path
+/// with relaxed ordering: one add per `match_rows` *call* (never per
+/// row), so instrumented evaluation stays within a few percent of
+/// uninstrumented.
+struct Instr {
+    cells: Vec<InstrCell>,
+    decoded: AtomicU64,
+    parallel_joins: AtomicU64,
+    serial_joins: AtomicU64,
+}
+
+struct InstrCell {
+    /// Position in the executed join order; `usize::MAX` = never
+    /// joined. First recording wins — nested re-evaluations (OPTIONAL
+    /// per-row seeding) keep the plan of their first execution.
+    order: AtomicUsize,
+    actual: AtomicU64,
+    scans: AtomicU64,
+}
+
+impl Instr {
+    fn new(n: usize) -> Self {
+        Instr {
+            cells: (0..n)
+                .map(|_| InstrCell {
+                    order: AtomicUsize::new(usize::MAX),
+                    actual: AtomicU64::new(0),
+                    scans: AtomicU64::new(0),
+                })
+                .collect(),
+            decoded: AtomicU64::new(0),
+            parallel_joins: AtomicU64::new(0),
+            serial_joins: AtomicU64::new(0),
+        }
+    }
+
+    fn record_order(&self, pid: u32, position: usize) {
+        if let Some(cell) = self.cells.get(pid as usize) {
+            let _ = cell.order.compare_exchange(usize::MAX, position, Relaxed, Relaxed);
+        }
+    }
+
+    fn record_match(&self, pid: u32, produced: usize) {
+        if let Some(cell) = self.cells.get(pid as usize) {
+            cell.scans.fetch_add(1, Relaxed);
+            cell.actual.fetch_add(produced as u64, Relaxed);
+        }
+    }
+}
+
+/// Pattern id inside a compiled query, indexing [`Instr::cells`].
+/// Nested quoted-triple patterns are not scanned on their own and get
+/// [`NO_PID`].
+const NO_PID: u32 = u32::MAX;
+
+/// Compile-time record of one triple pattern, kept only in explain
+/// mode.
+struct PatternMeta {
+    text: String,
+    estimated: usize,
+    satisfiable: bool,
 }
 
 // ------------------------------------------------------------ compiled form
@@ -95,6 +247,9 @@ enum EncNode {
 }
 
 struct EncTriple {
+    /// Index into the explain-mode pattern table ([`NO_PID`] for
+    /// nested quoted patterns, which are never scanned directly).
+    pid: u32,
     subject: EncNode,
     predicate: EncNode,
     object: EncNode,
@@ -147,15 +302,33 @@ impl Resolved {
     }
 }
 
-struct Evaluator<'a> {
+// --------------------------------------------------------------- compile
+
+/// Compiles a query's patterns against the store, assigning each triple
+/// pattern a dense pattern id. In explain mode it additionally records
+/// per-pattern text and the constants-only `estimate_pattern` guess —
+/// the same number join ordering starts from.
+struct Compiler<'a> {
     store: &'a QuadStore,
-    options: EvalOptions,
+    vars: &'a [String],
+    collect: bool,
+    metas: Vec<PatternMeta>,
+    next_pid: u32,
 }
 
-impl<'a> Evaluator<'a> {
-    // -------------------------------------------------------------- compile
+impl<'a> Compiler<'a> {
+    fn new(store: &'a QuadStore, vars: &'a [String], collect: bool) -> Self {
+        Compiler { store, vars, collect, metas: Vec::new(), next_pid: 0 }
+    }
 
-    fn compile_group(&self, group: &GroupPattern) -> EncGroup {
+    fn compile_query(&mut self, query: &Query) -> EncGroup {
+        match &query.form {
+            QueryForm::Ask(pattern) => self.compile_group(pattern),
+            QueryForm::Select(select) => self.compile_group(&select.pattern),
+        }
+    }
+
+    fn compile_group(&mut self, group: &GroupPattern) -> EncGroup {
         let elements = group
             .elements
             .iter()
@@ -195,8 +368,44 @@ impl<'a> Evaluator<'a> {
         EncGroup { elements }
     }
 
-    fn compile_triple(&self, pattern: &TriplePattern) -> Option<EncTriple> {
+    fn compile_triple(&mut self, pattern: &TriplePattern) -> Option<EncTriple> {
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        if self.collect {
+            self.metas.push(PatternMeta {
+                text: triple_text(pattern, self.vars),
+                estimated: 0,
+                satisfiable: true,
+            });
+        }
+        let compiled = self.compile_node(&pattern.subject).and_then(|subject| {
+            let predicate = self.compile_node(&pattern.predicate)?;
+            let object = self.compile_node(&pattern.object)?;
+            Some(EncTriple { pid, subject, predicate, object })
+        });
+        if self.collect {
+            match &compiled {
+                Some(t) => {
+                    let enc = EncodedPattern {
+                        subject: const_of(&t.subject),
+                        predicate: const_of(&t.predicate),
+                        object: const_of(&t.object),
+                        graph: None,
+                    };
+                    self.metas[pid as usize].estimated = self.store.estimate_pattern(&enc);
+                }
+                None => self.metas[pid as usize].satisfiable = false,
+            }
+        }
+        compiled
+    }
+
+    /// Like [`Compiler::compile_triple`] for a pattern nested inside a
+    /// quoted triple: it is matched by unification, never scanned, so
+    /// it gets no pattern id or plan line of its own.
+    fn compile_quoted(&mut self, pattern: &TriplePattern) -> Option<EncTriple> {
         Some(EncTriple {
+            pid: NO_PID,
             subject: self.compile_node(&pattern.subject)?,
             predicate: self.compile_node(&pattern.predicate)?,
             object: self.compile_node(&pattern.object)?,
@@ -207,17 +416,49 @@ impl<'a> Evaluator<'a> {
     /// so the enclosing BGP can never match. (For constants inside quoted
     /// patterns this relies on the dictionary interning quoted
     /// constituents recursively.)
-    fn compile_node(&self, node: &NodePattern) -> Option<EncNode> {
+    fn compile_node(&mut self, node: &NodePattern) -> Option<EncNode> {
         match node {
             NodePattern::Term(t) => self.store.id_of(t).map(EncNode::Const),
             NodePattern::Var(v) => Some(EncNode::Var(*v)),
             NodePattern::Quoted(q) => match ground_term(node) {
                 Some(term) => self.store.id_of(&term).map(EncNode::Const),
-                None => Some(EncNode::Quoted(Box::new(self.compile_triple(q)?))),
+                None => Some(EncNode::Quoted(Box::new(self.compile_quoted(q)?))),
             },
         }
     }
+}
 
+/// Plan text of a node pattern: `?name` for variables, N-Triples
+/// rendering for constants.
+fn node_text(node: &NodePattern, vars: &[String]) -> String {
+    match node {
+        NodePattern::Var(v) => match vars.get(v.0 as usize) {
+            Some(name) => format!("?{name}"),
+            None => format!("?_{}", v.0),
+        },
+        NodePattern::Term(t) => t.to_string(),
+        NodePattern::Quoted(q) => format!("<< {} >>", triple_text(q, vars)),
+    }
+}
+
+fn triple_text(pattern: &TriplePattern, vars: &[String]) -> String {
+    format!(
+        "{} {} {}",
+        node_text(&pattern.subject, vars),
+        node_text(&pattern.predicate, vars),
+        node_text(&pattern.object, vars),
+    )
+}
+
+struct Evaluator<'a> {
+    store: &'a QuadStore,
+    options: EvalOptions,
+    /// Present only under [`evaluate_explained`]; `None` costs one
+    /// predictable branch per counter site.
+    instr: Option<&'a Instr>,
+}
+
+impl<'a> Evaluator<'a> {
     // ------------------------------------------------------------- evaluate
 
     fn eval_group(
@@ -385,6 +626,9 @@ impl<'a> Evaluator<'a> {
         ctx: GraphCtx,
     ) -> Vec<IdBinding> {
         if current.len() >= self.options.parallel_threshold {
+            if let Some(instr) = self.instr {
+                instr.parallel_joins.fetch_add(1, Relaxed);
+            }
             parallel_map(&current, |b| {
                 let mut out = Vec::new();
                 self.match_rows(pattern, b, ctx, &mut out);
@@ -394,6 +638,9 @@ impl<'a> Evaluator<'a> {
             .flatten()
             .collect()
         } else {
+            if let Some(instr) = self.instr {
+                instr.serial_joins.fetch_add(1, Relaxed);
+            }
             let mut next = Vec::new();
             for b in &current {
                 self.match_rows(pattern, b, ctx, &mut next);
@@ -419,7 +666,9 @@ impl<'a> Evaluator<'a> {
         ctx: GraphCtx,
     ) -> Vec<usize> {
         if !self.options.reorder_joins || patterns.len() <= 1 {
-            return (0..patterns.len()).collect();
+            let order: Vec<usize> = (0..patterns.len()).collect();
+            self.record_order(patterns, &order);
+            return order;
         }
         let mut bound: HashSet<VarId> = HashSet::new();
         if let Some(b) = first {
@@ -451,7 +700,18 @@ impl<'a> Evaluator<'a> {
             order.push(idx);
         }
         order.push(remaining[0]);
+        self.record_order(patterns, &order);
         order
+    }
+
+    /// Record each pattern's executed join position (first execution of
+    /// its BGP wins).
+    fn record_order(&self, patterns: &[EncTriple], order: &[usize]) {
+        if let Some(instr) = self.instr {
+            for (position, &idx) in order.iter().enumerate() {
+                instr.record_order(patterns[idx].pid, position);
+            }
+        }
     }
 
     fn pattern_cost(
@@ -526,6 +786,7 @@ impl<'a> Evaluator<'a> {
             },
         };
 
+        let produced_before = out.len();
         let scan = EncodedPattern { subject: s.id(), predicate: p.id(), object: o.id(), graph };
         let default_graph = self.store.default_graph_id();
         for [qs, qp, qo, qg] in self.store.match_ids(&scan) {
@@ -547,6 +808,9 @@ impl<'a> Evaluator<'a> {
                 candidate[v.0 as usize] = Some(TermId(qg));
             }
             out.push(candidate);
+        }
+        if let Some(instr) = self.instr {
+            instr.record_match(pattern.pid, out.len() - produced_before);
         }
     }
 
@@ -642,10 +906,26 @@ impl<'a> Evaluator<'a> {
     /// Lazy per-variable decoding for FILTER: only variables the
     /// expression actually references are materialised.
     fn filter_passes(&self, binding: &IdBinding, expr: &Expr) -> bool {
-        crate::expr::filter_passes(
-            &|v: VarId| binding[v.0 as usize].map(|id| self.store.term(id).clone()),
-            expr,
-        )
+        match self.instr {
+            None => crate::expr::filter_passes(
+                &|v: VarId| binding[v.0 as usize].map(|id| self.store.term(id).clone()),
+                expr,
+            ),
+            Some(instr) => {
+                let decoded = Cell::new(0u64);
+                let passes = crate::expr::filter_passes(
+                    &|v: VarId| {
+                        binding[v.0 as usize].map(|id| {
+                            decoded.set(decoded.get() + 1);
+                            self.store.term(id).clone()
+                        })
+                    },
+                    expr,
+                );
+                instr.decoded.fetch_add(decoded.get(), Relaxed);
+                passes
+            }
+        }
     }
 
     /// Decode id bindings into term rows for the solution modifiers. Only
@@ -670,11 +950,19 @@ impl<'a> Evaluator<'a> {
                 })
                 .collect()
         };
-        if bindings.len() >= self.options.parallel_threshold {
+        let decoded = if bindings.len() >= self.options.parallel_threshold {
             parallel_map(&bindings, decode_row)
         } else {
             bindings.iter().map(decode_row).collect()
+        };
+        if let Some(instr) = self.instr {
+            let terms: u64 = decoded
+                .iter()
+                .map(|row| row.iter().filter(|slot| slot.is_some()).count() as u64)
+                .sum();
+            instr.decoded.fetch_add(terms, Relaxed);
         }
+        decoded
     }
 }
 
@@ -944,6 +1232,77 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sequential.rows, parallel.rows);
+    }
+
+    #[test]
+    fn options_builder_matches_literal() {
+        let built = EvalOptions::builder().reorder_joins(false).parallel_threshold(7).build();
+        assert!(!built.reorder_joins);
+        assert_eq!(built.parallel_threshold, 7);
+        // defaults flow through untouched knobs
+        let default_built = EvalOptions::builder().build();
+        assert!(default_built.reorder_joins);
+        assert_eq!(default_built.parallel_threshold, EvalOptions::default().parallel_threshold);
+    }
+
+    #[test]
+    fn explain_reports_est_and_actual_per_pattern() {
+        let store = store();
+        let query = parse_query(
+            "SELECT ?t ?n ?r WHERE { ?t <type> <Table> . ?t <name> ?n . ?t <rows> ?r . }",
+        )
+        .unwrap();
+        let (sols, report) = evaluate_explained(&store, &query, EvalOptions::default()).unwrap();
+        assert_eq!(sols.len(), 2);
+        assert_eq!(report.rows, 2);
+        assert_eq!(report.patterns.len(), 3);
+        for p in &report.patterns {
+            assert!(p.satisfiable, "{}", p.pattern);
+            assert!(p.order.is_some(), "{} was never joined", p.pattern);
+            assert!(p.estimated_rows > 0, "{} has no estimate", p.pattern);
+            assert!(p.actual_rows > 0, "{} matched nothing", p.pattern);
+            assert!(p.scans > 0, "{} was never scanned", p.pattern);
+        }
+        // every join-order position 0..n assigned exactly once
+        let mut positions: Vec<usize> = report.patterns.iter().filter_map(|p| p.order).collect();
+        positions.sort_unstable();
+        assert_eq!(positions, vec![0, 1, 2]);
+        assert!(report.decoded_terms > 0);
+        assert_eq!(report.parallel_joins + report.serial_joins, 3);
+        // instrumentation must not change the answer
+        let plain = evaluate(&store, &query).unwrap();
+        assert_eq!(sols.rows, plain.rows);
+    }
+
+    #[test]
+    fn explain_marks_unsatisfiable_patterns() {
+        let store = store();
+        let query =
+            parse_query("SELECT ?x WHERE { ?x <type> <Table> . ?x <never-seen> ?y . }").unwrap();
+        let (sols, report) = evaluate_explained(&store, &query, EvalOptions::default()).unwrap();
+        assert_eq!(sols.len(), 0);
+        assert_eq!(report.patterns.len(), 2);
+        let dead: Vec<_> = report.patterns.iter().filter(|p| !p.satisfiable).collect();
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].pattern.contains("never-seen"));
+        assert_eq!(dead[0].order, None);
+        let text = report.to_string();
+        assert!(text.contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn explain_counts_optional_and_filter_decodes() {
+        let store = store();
+        let query = parse_query(
+            "SELECT ?t WHERE { ?t <type> <Table> . OPTIONAL { ?t <hasColumn> ?c . } \
+             FILTER(BOUND(?c)) }",
+        )
+        .unwrap();
+        let (sols, report) = evaluate_explained(&store, &query, EvalOptions::default()).unwrap();
+        assert_eq!(sols.len(), 1);
+        // both the outer and the OPTIONAL pattern appear in the plan
+        assert_eq!(report.patterns.len(), 2);
+        assert!(report.patterns.iter().all(|p| p.order.is_some()));
     }
 
     #[test]

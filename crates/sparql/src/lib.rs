@@ -21,6 +21,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod explain;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
@@ -29,7 +30,8 @@ pub mod reference;
 pub mod results;
 
 pub use ast::Query;
-pub use eval::{evaluate, evaluate_with, EvalOptions};
+pub use eval::{evaluate, evaluate_explained, evaluate_with, EvalOptions, EvalOptionsBuilder};
+pub use explain::{ExplainReport, PatternPlan};
 pub use parser::parse_query;
 pub use results::{Solutions, SparqlError};
 

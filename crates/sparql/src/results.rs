@@ -24,6 +24,15 @@ impl std::fmt::Display for SparqlError {
 
 impl std::error::Error for SparqlError {}
 
+/// Fold a query failure into the platform-wide error taxonomy, so
+/// `KgLids::query`/`ask` can speak [`lids_exec::LidsResult`] like every
+/// other public entry point.
+impl From<SparqlError> for lids_exec::LidsError {
+    fn from(e: SparqlError) -> Self {
+        lids_exec::LidsError::new(lids_exec::ErrorKind::SparqlError, e.to_string())
+    }
+}
+
 /// A solution sequence: named columns plus rows of optional terms
 /// (`None` = unbound, e.g. from OPTIONAL).
 #[derive(Debug, Clone, Default, PartialEq)]

@@ -12,7 +12,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::metric::Metric;
-use crate::{Neighbor, VecId, VectorIndex};
+use crate::{Neighbor, SearchStats, VecId, VectorIndex};
 
 /// HNSW construction and search parameters.
 #[derive(Debug, Clone, Copy)]
@@ -144,8 +144,16 @@ impl HnswIndex {
     }
 
     /// Beam search on one layer from `entry_points`, returning up to `ef`
-    /// nearest candidates (unsorted heap order).
-    fn search_layer(&self, query: &[f32], entry_points: &[u32], ef: usize, layer: usize) -> Vec<Far> {
+    /// nearest candidates (unsorted heap order). Work done — nodes
+    /// expanded, distances evaluated — accumulates into `stats`.
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entry_points: &[u32],
+        ef: usize,
+        layer: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Far> {
         let mut visited = vec![false; self.nodes.len()];
         let mut candidates: BinaryHeap<Near> = BinaryHeap::new();
         let mut results: BinaryHeap<Far> = BinaryHeap::new();
@@ -156,6 +164,7 @@ impl HnswIndex {
             }
             visited[ep as usize] = true;
             let d = self.distance(query, ep);
+            stats.dist_evals += 1;
             candidates.push(Near(d, ep));
             results.push(Far(d, ep));
         }
@@ -168,12 +177,14 @@ impl HnswIndex {
             if d > worst && results.len() >= ef {
                 break;
             }
+            stats.hops += 1;
             for &nb in &self.nodes[node as usize].neighbors[layer] {
                 if visited[nb as usize] {
                     continue;
                 }
                 visited[nb as usize] = true;
                 let dn = self.distance(query, nb);
+                stats.dist_evals += 1;
                 let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
                 if results.len() < ef || dn < worst {
                     candidates.push(Near(dn, nb));
@@ -255,9 +266,22 @@ impl HnswIndex {
     /// similarity-linking path: callers pass `radius = 1 − θ` plus a small
     /// margin and re-check every candidate with the exact kernel.
     pub fn search_radius(&self, query: &[f32], radius: f32, init_k: usize) -> Vec<Neighbor> {
+        let mut stats = SearchStats::default();
+        self.search_radius_with_stats(query, radius, init_k, &mut stats)
+    }
+
+    /// [`Self::search_radius`] with work counters accumulated into
+    /// `stats`.
+    pub fn search_radius_with_stats(
+        &self,
+        query: &[f32],
+        radius: f32,
+        init_k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
         let mut k = init_k.max(1);
         loop {
-            let hits = self.search(query, k);
+            let hits = self.search_with_stats(query, k, stats);
             let truncated = hits.len() == k
                 && hits.last().is_some_and(|h| h.distance <= radius)
                 && k < self.len();
@@ -267,6 +291,52 @@ impl HnswIndex {
             }
             return hits.into_iter().filter(|h| h.distance <= radius).collect();
         }
+    }
+
+    /// [`VectorIndex::search`] with work counters accumulated into
+    /// `stats`.
+    pub fn search_with_stats(
+        &self,
+        query: &[f32],
+        k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "dimension mismatch");
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        stats.searches += 1;
+        let query = &self.query_form(query)[..];
+        // Greedy descent to layer 1.
+        for layer in (1..=self.max_level).rev() {
+            let mut changed = true;
+            while changed {
+                changed = false;
+                let d_ep = self.distance(query, ep);
+                stats.dist_evals += 1;
+                for &nb in &self.nodes[ep as usize].neighbors[layer] {
+                    stats.dist_evals += 1;
+                    if self.distance(query, nb) < d_ep {
+                        ep = nb;
+                        stats.hops += 1;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let ef = self.config.ef_search.max(k);
+        let found = self.search_layer(query, &[ep], ef, 0, stats);
+        let mut hits: Vec<Neighbor> = found
+            .into_iter()
+            .map(|Far(d, n)| Neighbor { id: self.nodes[n as usize].id, distance: d })
+            .collect();
+        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(Ordering::Equal));
+        hits.truncate(k);
+        hits
     }
 }
 
@@ -311,8 +381,15 @@ impl VectorIndex for HnswIndex {
         // Insert at each layer from min(level, max_level) down to 0.
         let top = level.min(self.max_level);
         let mut entry_points = vec![ep];
+        let mut build_stats = SearchStats::default();
         for l in (0..=top).rev() {
-            let found = self.search_layer(&query, &entry_points, self.config.ef_construction, l);
+            let found = self.search_layer(
+                &query,
+                &entry_points,
+                self.config.ef_construction,
+                l,
+                &mut build_stats,
+            );
             let mut sorted: Vec<(f32, u32)> = found.iter().map(|f| (f.0, f.1)).collect();
             sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
             let m = self.config.m.min(sorted.len());
@@ -336,38 +413,8 @@ impl VectorIndex for HnswIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dim, "dimension mismatch");
-        let Some(mut ep) = self.entry else {
-            return Vec::new();
-        };
-        if k == 0 {
-            return Vec::new();
-        }
-        let query = &self.query_form(query)[..];
-        // Greedy descent to layer 1.
-        for layer in (1..=self.max_level).rev() {
-            let mut changed = true;
-            while changed {
-                changed = false;
-                let d_ep = self.distance(query, ep);
-                for &nb in &self.nodes[ep as usize].neighbors[layer] {
-                    if self.distance(query, nb) < d_ep {
-                        ep = nb;
-                        changed = true;
-                        break;
-                    }
-                }
-            }
-        }
-        let ef = self.config.ef_search.max(k);
-        let found = self.search_layer(query, &[ep], ef, 0);
-        let mut hits: Vec<Neighbor> = found
-            .into_iter()
-            .map(|Far(d, n)| Neighbor { id: self.nodes[n as usize].id, distance: d })
-            .collect();
-        hits.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(Ordering::Equal));
-        hits.truncate(k);
-        hits
+        let mut stats = SearchStats::default();
+        self.search_with_stats(query, k, &mut stats)
     }
 
     fn len(&self) -> usize {
@@ -470,6 +517,51 @@ mod tests {
         assert!(hits.iter().all(|h| h.distance <= 0.01));
         // a radius covering everything returns the whole index
         assert_eq!(idx.search_radius(&[1.0, 0.0], 2.5, 1).len(), 5);
+    }
+
+    #[test]
+    fn search_stats_count_work() {
+        let mut idx = HnswIndex::new(8, HnswConfig::default());
+        for (i, v) in random_vectors(300, 8, 21).iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        let query = [0.3f32; 8];
+        let mut stats = SearchStats::default();
+        let hits = idx.search_with_stats(&query, 5, &mut stats);
+        assert_eq!(hits.len(), 5);
+        assert_eq!(stats.searches, 1);
+        assert!(stats.hops > 0, "beam search must expand nodes");
+        assert!(
+            stats.dist_evals >= stats.hops,
+            "every expansion evaluates at least one distance"
+        );
+        // ANN means sublinear probing, but stats must still show real work
+        assert!(stats.dist_evals as usize >= 5);
+
+        // stats accumulate across calls, and never decrease
+        let before = stats;
+        idx.search_with_stats(&query, 5, &mut stats);
+        assert_eq!(stats.searches, 2);
+        assert!(stats.dist_evals >= before.dist_evals);
+
+        // the uninstrumented entry point returns the same hits
+        assert_eq!(idx.search(&query, 5), hits);
+    }
+
+    #[test]
+    fn radius_stats_count_doubling_searches() {
+        let mut idx = HnswIndex::new(2, HnswConfig::default());
+        idx.add(0, &[1.0, 0.0]);
+        idx.add(1, &[0.999, 0.01]);
+        idx.add(2, &[0.998, -0.02]);
+        idx.add(3, &[0.0, 1.0]);
+        idx.add(4, &[-1.0, 0.0]);
+        let mut stats = SearchStats::default();
+        // init_k=1 with three in-radius points forces at least one doubling
+        let hits = idx.search_radius_with_stats(&[1.0, 0.0], 0.01, 1, &mut stats);
+        assert_eq!(hits.len(), 3);
+        assert!(stats.searches >= 2, "adaptive k must have re-searched");
+        assert_eq!(hits, idx.search_radius(&[1.0, 0.0], 0.01, 1));
     }
 
     #[test]

@@ -35,6 +35,32 @@ pub struct Neighbor {
     pub distance: f32,
 }
 
+/// Work counters for ANN search, accumulated by the `*_with_stats`
+/// entry points ([`HnswIndex::search_with_stats`],
+/// [`HnswIndex::search_radius_with_stats`], and the [`ShardedHnsw`]
+/// equivalents). Plain-old-data: callers sum them across queries and
+/// feed the totals into observability (`lids-kg` folds them into its
+/// per-bucket linking stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Graph nodes expanded: beam-search pops plus greedy descent moves.
+    pub hops: u64,
+    /// Distance evaluations — the inner-loop unit of ANN work.
+    pub dist_evals: u64,
+    /// Layer-0 beam searches issued (radius search may issue several
+    /// per query while doubling `k`).
+    pub searches: u64,
+}
+
+impl SearchStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.hops += other.hops;
+        self.dist_evals += other.dist_evals;
+        self.searches += other.searches;
+    }
+}
+
 /// Common interface of the exact and approximate indexes.
 pub trait VectorIndex {
     /// Insert a vector under `id`. Panics on dimension mismatch.

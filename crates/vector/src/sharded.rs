@@ -14,7 +14,7 @@ use lids_exec::parallel_map;
 
 use crate::hnsw::{HnswConfig, HnswIndex};
 use crate::ops::RowMatrix;
-use crate::{Neighbor, VectorIndex};
+use crate::{Neighbor, SearchStats, VectorIndex};
 
 /// A set of independently-built HNSW shards searched together. Vector ids
 /// are the row indices of the matrix the index was built over.
@@ -60,9 +60,22 @@ impl ShardedHnsw {
     /// shard's [`HnswIndex::search_radius`] (unsorted; ids are unique by
     /// construction since every row lives in exactly one shard).
     pub fn search_radius(&self, query: &[f32], radius: f32, init_k: usize) -> Vec<Neighbor> {
+        let mut stats = SearchStats::default();
+        self.search_radius_with_stats(query, radius, init_k, &mut stats)
+    }
+
+    /// [`Self::search_radius`] with per-shard work counters summed into
+    /// `stats`.
+    pub fn search_radius_with_stats(
+        &self,
+        query: &[f32],
+        radius: f32,
+        init_k: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Neighbor> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.search_radius(query, radius, init_k));
+            out.extend(shard.search_radius_with_stats(query, radius, init_k, stats));
         }
         out
     }

@@ -46,7 +46,7 @@ fn main() {
             let retrieved: Vec<String> = platform
                 .find_unionable_tables(&lake.name, q, k, mode)
                 .into_iter()
-                .map(|(name, _)| name)
+                .map(|h| h.table)
                 .collect();
             let truth = &lake.unionable[q];
             let (p, r) = precision_recall_at_k(&retrieved, truth, k);
@@ -61,11 +61,16 @@ fn main() {
         );
     }
 
-    // drill into one query
+    // drill into one query, via the fluent discovery API
     let q = &lake.query_tables[0];
     println!("\ntop-5 unionable tables for '{q}':");
-    for (table, score) in platform.find_unionable_tables(&lake.name, q, 5, UnionMode::ContentAndLabel) {
-        let relevant = lake.unionable[q].contains(&table);
-        println!("  {table:<24} score {score:>7.2}  {}", if relevant { "(relevant)" } else { "" });
+    for hit in platform.discovery().k(5).unionable_tables(&lake.name, q) {
+        let relevant = lake.unionable[q].contains(&hit.table);
+        println!(
+            "  {:<24} score {:>7.2}  {}",
+            hit.table,
+            hit.score,
+            if relevant { "(relevant)" } else { "" }
+        );
     }
 }

@@ -107,20 +107,25 @@ fn main() {
 
     // --- Discover Unionable Columns ---
     println!("== find_unionable_columns(heart, clinical) ==");
-    let unionable = platform.find_unionable_columns(
+    for hit in platform.find_unionable_columns(
         ("heart-failure-prediction", "heart"),
         ("heart-failure-clinical-data", "clinical"),
-    );
-    println!("{}", unionable.to_text());
-
-    // --- Join Path Discovery (2 hops) ---
-    println!("== get_path_to_table(heart → labs, hops=2) ==");
-    for path in platform.get_path_to_table(
-        ("heart-failure-prediction", "heart"),
-        ("patient-labs", "labs"),
-        2,
     ) {
-        println!("  join path: {}", path.join(" -> "));
+        println!(
+            "  {} ~ {}  ({} similarity {:.3})",
+            hit.column_a, hit.column_b, hit.kind, hit.score
+        );
+    }
+    println!();
+
+    // --- Join Path Discovery (2 hops, via the fluent discovery API) ---
+    println!("== discovery().hops(2).paths(heart → labs) ==");
+    for path in platform
+        .discovery()
+        .hops(2)
+        .paths(("heart-failure-prediction", "heart"), ("patient-labs", "labs"))
+    {
+        println!("  join path: {path} ({} hops)", path.hops());
     }
     println!();
 

@@ -10,6 +10,8 @@ cargo test -q --workspace
 cargo test -q --test chaos
 # Exact-vs-pruned linking must agree edge for edge, score for score.
 cargo test -q --test linking_differential
+# Span tree, explain cardinalities, and the <10% instrumentation budget.
+cargo test -q --test observability
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the linking benchmark: both modes complete, edge sets match
@@ -34,6 +36,37 @@ assert report["content_speedup"] > 0
 print("linking_schema smoke report ok")
 EOF
 rm -f "$smoke_out"
+
+# Smoke-run the observability benchmark: the embedded metrics snapshot must
+# carry the lids-obs/v1 schema, the bootstrap counters, and histograms whose
+# bucket boundaries are strictly monotone.
+obs_out="$(mktemp)"
+target/release/obs_bench --smoke --out "$obs_out" >/dev/null
+python3 - "$obs_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "observability", report
+assert report["smoke"] is True, report
+assert report["overhead_ratio"] > 0, report
+snap = report["snapshot"]
+assert snap["schema"] == "lids-obs/v1", snap.get("schema")
+metrics = snap["metrics"]
+for section in ("counters", "gauges", "histograms"):
+    assert section in metrics, section
+counters = metrics["counters"]
+for key in ("bootstrap.triples", "bootstrap.columns_profiled", "query.count"):
+    assert key in counters and counters[key] > 0, key
+assert "memory.peak_bytes" in metrics["gauges"]
+histograms = metrics["histograms"]
+assert "query.wall_us" in histograms, sorted(histograms)
+for name, hist in histograms.items():
+    assert hist["count"] > 0, name
+    les = [b["le"] for b in hist["buckets"]]
+    assert les == sorted(set(les)), f"{name}: non-monotone buckets {les}"
+print("obs_bench smoke report ok")
+EOF
+rm -f "$obs_out"
 
 # The ingestion-path crates deny unwrap/expect outside tests; make sure the
 # crate-root opt-ins are still in place so clippy keeps enforcing it.

@@ -10,6 +10,7 @@ pub use lids_exec as exec;
 pub use lids_gnn as gnn;
 pub use lids_kg as kg;
 pub use lids_ml as ml;
+pub use lids_obs as obs;
 pub use lids_profiler as profiler;
 pub use lids_py as py;
 pub use lids_rdf as rdf;

@@ -31,7 +31,7 @@ fn union_search_beats_chance_on_generated_lake() {
         let retrieved: Vec<String> = platform
             .find_unionable_tables(&lake.name, q, k, UnionMode::ContentAndLabel)
             .into_iter()
-            .map(|(n, _)| n)
+            .map(|h| h.table)
             .collect();
         let (_, r) = precision_recall_at_k(&retrieved, &lake.unionable[q], k);
         recall_sum += r;

@@ -1,0 +1,150 @@
+//! Observability integration: the explain path reports a complete plan
+//! for the discovery star query, the bootstrap span tree reaches
+//! `BootstrapStats`, the `lids-obs/v1` snapshot is well-formed, and the
+//! instrumented evaluator stays within the overhead budget.
+
+use kglids_repro::kglids::{KgLidsBuilder, PipelineScript, SEARCH_TABLES_QUERY};
+use kglids_repro::kg::abstraction::PipelineMetadata;
+use kglids_repro::profiler::table::{Column, Dataset, Table};
+use kglids_repro::rdf::{Quad, QuadStore, Term};
+use kglids_repro::sparql::{evaluate_explained, evaluate_with, parse_query, EvalOptions};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn platform() -> kglids_repro::kglids::KgLids {
+    let ages: Vec<String> = (20..50).map(|i| i.to_string()).collect();
+    let cities: Vec<String> = (0..30)
+        .map(|i| ["London", "Paris", "Tokyo"][i % 3].to_string())
+        .collect();
+    let script = PipelineScript {
+        metadata: PipelineMetadata {
+            id: "p1".into(),
+            dataset: "health".into(),
+            title: "t".into(),
+            author: "a".into(),
+            votes: 1,
+            score: 0.5,
+            task: "classification".into(),
+        },
+        source: "import pandas as pd\ndf = pd.read_csv('health/patients.csv')\n".into(),
+    };
+    KgLidsBuilder::new()
+        .with_datasets([
+            Dataset::new(
+                "health",
+                vec![Table::new(
+                    "patients",
+                    vec![Column::new("age", ages.clone()), Column::new("city", cities.clone())],
+                )],
+            ),
+            Dataset::new(
+                "census",
+                vec![Table::new("people", vec![Column::new("age", ages)])],
+            ),
+        ])
+        .with_pipelines([script])
+        .bootstrap()
+        .0
+}
+
+#[test]
+fn explain_reports_est_and_actual_for_star_query() {
+    let platform = platform();
+    let report = platform.explain(SEARCH_TABLES_QUERY).unwrap();
+    assert!(!report.patterns.is_empty());
+    assert!(report.rows > 0, "star query matched nothing");
+    // every triple pattern of the discovery star join reports an estimated
+    // AND an actual cardinality, and was actually executed
+    for p in &report.patterns {
+        assert!(p.satisfiable, "{}", p.pattern);
+        assert!(p.order.is_some(), "{} never executed", p.pattern);
+        assert!(p.estimated_rows > 0, "{} missing estimate", p.pattern);
+        assert!(p.actual_rows > 0, "{} missing actual rows", p.pattern);
+    }
+    // executed positions are per-BGP, so each is within bounds and the
+    // star join's first pattern (position 0) exists
+    assert!(report.patterns.iter().any(|p| p.order == Some(0)));
+    for p in &report.patterns {
+        assert!(p.order.unwrap_or(0) < report.patterns.len());
+    }
+    // the rendering carries both cardinalities per pattern
+    let text = report.to_string();
+    assert!(text.contains("est "), "{text}");
+    assert!(text.contains("actual "), "{text}");
+    // and matches the plain evaluation
+    let rows = platform.query(SEARCH_TABLES_QUERY).unwrap().len();
+    assert_eq!(report.rows, rows);
+}
+
+#[test]
+fn bootstrap_trace_and_snapshot_schema() {
+    let ages: Vec<String> = (20..30).map(|i| i.to_string()).collect();
+    let (platform, stats) = KgLidsBuilder::new()
+        .with_dataset(Dataset::new(
+            "d",
+            vec![Table::new("t", vec![Column::new("age", ages)])],
+        ))
+        .bootstrap();
+    let root = stats.trace.root("bootstrap").expect("root span");
+    assert!(root.closed);
+    for stage in ["parse", "profile", "link.schema", "abstract", "link.pipelines", "embed"] {
+        assert!(root.child(stage).is_some(), "missing stage span {stage}");
+    }
+    let json = platform.obs_snapshot_json();
+    assert!(json.contains("\"lids-obs/v1\""));
+    assert!(json.contains("memory.peak_bytes"));
+}
+
+/// Conformance-style corpus: the instrumented evaluator must stay within
+/// 10% of the uninstrumented one. Interleaved min-of-N per attempt, with
+/// retries, so scheduler noise can't fail the build spuriously.
+#[test]
+fn instrumentation_overhead_within_budget() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut store = QuadStore::new();
+    for _ in 0..4000 {
+        store.insert(&Quad::new(
+            Term::iri(format!("s{}", rng.gen_range(0..40))),
+            Term::iri(format!("p{}", rng.gen_range(0..4))),
+            Term::iri(format!("o{}", rng.gen_range(0..40))),
+        ));
+    }
+    let query = parse_query(
+        "SELECT ?x ?y ?z WHERE { ?x <p0> ?y . ?y <p1> ?z . ?z <p2> ?w . }",
+    )
+    .unwrap();
+    let opts = EvalOptions::default();
+    // warm up both paths once
+    let plain_rows = evaluate_with(&store, &query, opts).unwrap().len();
+    let (instr, _) = evaluate_explained(&store, &query, opts).unwrap();
+    assert_eq!(plain_rows, instr.len());
+
+    let mut best = f64::INFINITY;
+    for _attempt in 0..10 {
+        let mut plain_min = f64::INFINITY;
+        let mut instr_min = f64::INFINITY;
+        for i in 0..8 {
+            // alternate which path runs first so cache/scheduler effects
+            // don't systematically favour one side
+            for leg in 0..2 {
+                if (i + leg) % 2 == 0 {
+                    let t = Instant::now();
+                    let s = evaluate_with(&store, &query, opts).unwrap();
+                    plain_min = plain_min.min(t.elapsed().as_secs_f64());
+                    assert_eq!(s.len(), plain_rows);
+                } else {
+                    let t = Instant::now();
+                    let (s, _) = evaluate_explained(&store, &query, opts).unwrap();
+                    instr_min = instr_min.min(t.elapsed().as_secs_f64());
+                    assert_eq!(s.len(), plain_rows);
+                }
+            }
+        }
+        best = best.min(instr_min / plain_min.max(1e-9));
+        if best < 1.10 {
+            return;
+        }
+    }
+    panic!("instrumentation overhead {best:.3}x exceeds 1.10x budget");
+}
