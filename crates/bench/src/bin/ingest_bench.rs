@@ -1,0 +1,279 @@
+//! `ingest_bench` — bulk-load benchmark for the LiDS graph ingest path:
+//! generate a synthetic lake batch shaped like real KG Governor output
+//! (metadata triples, RDF-star-annotated similarity edges, per-pipeline
+//! named graphs, duplicates), load it once through a sequential
+//! `QuadStore::insert` loop and once through the sort-based bulk loader
+//! (`QuadStore::extend_stats`), verify the two stores are bit-identical,
+//! and emit the measured speedup plus per-phase timings to
+//! `BENCH_ingest.json`.
+//!
+//! Usage: `ingest_bench [--quads N] [--out PATH] [--smoke]`
+//!
+//! `--smoke` shrinks the batch for CI: it checks the harness end to end
+//! (both loaders run, stores match, speedup ≥ 1) without the multi-second
+//! full-scale measurement.
+
+use std::time::Instant;
+
+use lids_rdf::{EncodedPattern, EncodedQuad, GraphName, IngestStats, Quad, QuadStore, Term};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{Map, Number, Value};
+
+fn num(v: f64) -> Value {
+    Value::Number(Number::F64(v))
+}
+
+struct Args {
+    quads: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { quads: 1_000_000, out: "BENCH_ingest.json".into(), smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quads" => {
+                args.quads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--quads needs a number"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--smoke" => args.smoke = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.quads = args.quads.min(200_000);
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ingest_bench: {msg}");
+    std::process::exit(2);
+}
+
+/// Generate `n` quads shaped like KG Governor output. Roughly 55% data
+/// global schema metadata (default graph), 15% RDF-star similarity edges
+/// (plain edge + quoted annotation), 20% pipeline statements spread over
+/// named graphs, and 10% exact duplicates of earlier quads — so the
+/// dedup and quoted-term interning paths both get exercised at scale.
+fn generate(n: usize) -> Vec<Quad> {
+    const ONT: &str = "http://kglids.org/ontology";
+    let mut rng = SmallRng::seed_from_u64(0x11D5);
+    let mut quads: Vec<Quad> = Vec::with_capacity(n);
+    let data_props: Vec<Term> = [
+        "hasDataType",
+        "hasTotalValueCount",
+        "hasMissingValueCount",
+        "hasDistinctValueCount",
+        "hasMeanValue",
+        "hasMinValue",
+        "hasMaxValue",
+    ]
+    .iter()
+    .map(|p| Term::iri(format!("{ONT}/data/{p}")))
+    .collect();
+    let rdf_type = Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+    let label = Term::iri("http://www.w3.org/2000/01/rdf-schema#label");
+    let column_class = Term::iri(format!("{ONT}/Column"));
+    let sim = Term::iri(format!("{ONT}/hasContentSimilarity"));
+    let certainty = Term::iri(format!("{ONT}/data/withCertainty"));
+    let statement_class = Term::iri(format!("{ONT}/Statement"));
+    let next = Term::iri(format!("{ONT}/nextStatement"));
+    let calls = Term::iri(format!("{ONT}/callsFunction"));
+    let columns = (n / 12).max(16);
+    let column = |i: usize| Term::iri(format!("http://kglids.org/resource/lake/t{}/c{i}", i % 97));
+    while quads.len() < n {
+        let roll = rng.gen_range(0..100);
+        if roll < 10 && quads.len() > 64 {
+            // duplicate an earlier quad verbatim
+            let i = rng.gen_range(0..quads.len());
+            let q = quads[i].clone();
+            quads.push(q);
+        } else if roll < 65 {
+            // metadata: column node with type/label/stat triples
+            let c = column(rng.gen_range(0..columns));
+            match rng.gen_range(0..4) {
+                0 => quads.push(Quad::new(c, rdf_type.clone(), column_class.clone())),
+                1 => quads.push(Quad::new(
+                    c,
+                    label.clone(),
+                    Term::string(format!("col_{}", rng.gen_range(0..columns))),
+                )),
+                2 => quads.push(Quad::new(
+                    c,
+                    data_props[rng.gen_range(0..data_props.len())].clone(),
+                    Term::integer(rng.gen_range(0..100_000)),
+                )),
+                _ => quads.push(Quad::new(
+                    c,
+                    data_props[rng.gen_range(0..data_props.len())].clone(),
+                    Term::double(f64::from(rng.gen_range(0u32..10_000)) / 100.0),
+                )),
+            }
+        } else if roll < 80 {
+            // similarity edge + RDF-star annotation, both directions
+            let a = column(rng.gen_range(0..columns));
+            let b = column(rng.gen_range(0..columns));
+            let score = f64::from(rng.gen_range(750u32..1000)) / 1000.0;
+            quads.push(Quad::new(a.clone(), sim.clone(), b.clone()));
+            quads.push(Quad::new(
+                Term::quoted(a, sim.clone(), b),
+                certainty.clone(),
+                Term::double(score),
+            ));
+        } else {
+            // pipeline statement in its pipeline's named graph
+            let g = GraphName::named(format!(
+                "http://kglids.org/resource/pipelines/p{}",
+                rng.gen_range(0..256)
+            ));
+            let s = Term::iri(format!(
+                "http://kglids.org/resource/pipelines/s{}",
+                rng.gen_range(0..(n / 24).max(16))
+            ));
+            match rng.gen_range(0..3) {
+                0 => quads.push(Quad::in_graph(s, rdf_type.clone(), statement_class.clone(), g)),
+                1 => quads.push(Quad::in_graph(
+                    s,
+                    next.clone(),
+                    Term::iri(format!(
+                        "http://kglids.org/resource/pipelines/s{}",
+                        rng.gen_range(0..(n / 24).max(16))
+                    )),
+                    g,
+                )),
+                _ => quads.push(Quad::in_graph(
+                    s,
+                    calls.clone(),
+                    Term::iri(format!(
+                        "http://kglids.org/resource/library/sklearn/f{}",
+                        rng.gen_range(0..400)
+                    )),
+                    g,
+                )),
+            }
+        }
+    }
+    quads.truncate(n);
+    quads
+}
+
+/// The two stores agree bit for bit: dictionary (ids and interning
+/// order), encoded quad set, and internally consistent indexes.
+fn assert_identical(seq: &QuadStore, bulk: &QuadStore) {
+    if seq.len() != bulk.len() || seq.term_count() != bulk.term_count() {
+        die("bulk store size diverged from sequential store");
+    }
+    for (id, term) in seq.dictionary().iter() {
+        if bulk.dictionary().term(id) != term {
+            die(&format!("TermId {} diverged between loaders", id.0));
+        }
+    }
+    let seq_ids: Vec<EncodedQuad> = seq.match_ids(&EncodedPattern::any()).collect();
+    let bulk_ids: Vec<EncodedQuad> = bulk.match_ids(&EncodedPattern::any()).collect();
+    if seq_ids != bulk_ids {
+        die("encoded quad sets diverged");
+    }
+    if !seq.validate_indexes() || !bulk.validate_indexes() {
+        die("index permutations inconsistent");
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!("generating {} quads…", args.quads);
+    let quads = generate(args.quads);
+
+    // Interleaved best-of-N: a sequential insert loop and a bulk extend
+    // per round, each into a fresh store, keeping the fastest time of
+    // each loader. Interleaving means scheduler noise and CPU-quota
+    // throttling hit both loaders alike instead of biasing whichever ran
+    // second; min-of-N is the standard estimator for the noise-free cost.
+    const ROUNDS: usize = 3;
+    let mut seq_secs = f64::INFINITY;
+    let mut bulk_secs = f64::INFINITY;
+    let mut seq = QuadStore::new();
+    let mut bulk = QuadStore::new();
+    let mut stats = IngestStats::default();
+    for round in 1..=ROUNDS {
+        let t = Instant::now();
+        let mut s = QuadStore::new();
+        for quad in &quads {
+            s.insert(quad);
+        }
+        let round_seq = t.elapsed().as_secs_f64();
+        seq_secs = seq_secs.min(round_seq);
+        seq = s;
+
+        let batch = quads.clone(); // clone outside the timer
+        let t = Instant::now();
+        let mut b = QuadStore::new();
+        let round_stats = b.extend_stats(batch);
+        let round_bulk = t.elapsed().as_secs_f64();
+        if round_bulk < bulk_secs {
+            bulk_secs = round_bulk;
+            stats = round_stats;
+        }
+        bulk = b;
+        eprintln!("round {round}/{ROUNDS}: sequential {round_seq:.3}s, bulk {round_bulk:.3}s");
+    }
+    eprintln!("sequential insert: {seq_secs:.3}s ({} distinct quads)", seq.len());
+    eprintln!(
+        "bulk extend: {bulk_secs:.3}s (extract {:.3}s, encode {:.3}s, index {:.3}s)",
+        stats.extract_secs, stats.encode_secs, stats.index_secs
+    );
+
+    assert_identical(&seq, &bulk);
+    let speedup = seq_secs / bulk_secs.max(1e-9);
+    eprintln!("stores bit-identical; speedup {speedup:.2}x");
+
+    // per-quad insert latency on a warm store: the hot path discovery
+    // updates take must not regress just because bulk loading exists
+    let probe: Vec<Quad> = (0..50_000)
+        .map(|i| {
+            Quad::new(
+                Term::iri(format!("http://kglids.org/resource/probe/s{i}")),
+                Term::iri("http://kglids.org/ontology/data/probe"),
+                Term::integer(i),
+            )
+        })
+        .collect();
+    let t = Instant::now();
+    for quad in &probe {
+        seq.insert(quad);
+    }
+    let insert_ns = t.elapsed().as_secs_f64() * 1e9 / probe.len() as f64;
+    eprintln!("warm per-quad insert: {insert_ns:.0}ns");
+
+    let mut phases = Map::new();
+    phases.insert("extract_secs".into(), num(stats.extract_secs));
+    phases.insert("encode_secs".into(), num(stats.encode_secs));
+    phases.insert("index_secs".into(), num(stats.index_secs));
+    let mut report = Map::new();
+    report.insert("bench".into(), Value::String("ingest".into()));
+    report.insert("smoke".into(), Value::Bool(args.smoke));
+    report.insert("quads".into(), Value::Number(Number::U64(args.quads as u64)));
+    report.insert("quads_added".into(), Value::Number(Number::U64(stats.quads_added as u64)));
+    report.insert("new_terms".into(), Value::Number(Number::U64(stats.new_terms as u64)));
+    report.insert("dedup_rate".into(), num(stats.dedup_rate()));
+    report.insert("seq_secs".into(), num(seq_secs));
+    report.insert("bulk_secs".into(), num(bulk_secs));
+    report.insert("speedup".into(), num(speedup));
+    report.insert("quads_per_sec".into(), num(args.quads as f64 / bulk_secs.max(1e-9)));
+    report.insert("insert_ns_per_quad".into(), num(insert_ns));
+    report.insert("identical".into(), Value::Bool(true));
+    report.insert("phases".into(), Value::Object(phases));
+    let rendered = Value::Object(report).to_string();
+    std::fs::write(&args.out, &rendered)
+        .unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
+    println!("{rendered}");
+    eprintln!("bulk-load speedup {speedup:.2}x → {}", args.out);
+}

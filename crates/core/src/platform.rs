@@ -17,19 +17,20 @@ use lids_exec::{
     parallel_try_map_with, Clock, ErrorKind, IsolationConfig, LidsError, LidsResult, MemoryMeter,
     RetryPolicy, Stopwatch, SystemClock,
 };
-use lids_kg::abstraction::{emit_pipeline, AbstractionStats, PipelineMetadata};
+use lids_kg::abstraction::{emit_pipeline_quads, AbstractionStats, PipelineMetadata};
 use lids_kg::docs::LibraryDocs;
-use lids_kg::library_graph::build_library_graph;
+use lids_kg::library_graph::library_graph_quads;
 use lids_kg::linker::{link_pipelines, LinkStats};
-use lids_kg::provenance::{emit_quarantine, QuarantineRecord};
-use lids_kg::schema::{build_data_global_schema, LinkingConfig, SchemaConfig, SchemaStats};
-use lids_obs::{Obs, TraceSnapshot};
+use lids_kg::ontology::Vocab;
+use lids_kg::provenance::{push_quarantine, QuarantineRecord};
+use lids_kg::schema::{data_global_schema_quads, LinkingConfig, SchemaConfig, SchemaStats};
+use lids_obs::{Obs, SpanId, TraceSnapshot};
 use lids_profiler::table::Dataset;
 use lids_profiler::{
     parse_csv_bytes, profile_table, ColumnProfile, CsvMode, ProfilerConfig, RawDataset, Table,
 };
 use lids_py::analysis::AnalyzedScript;
-use lids_rdf::QuadStore;
+use lids_rdf::{IngestStats, Quad, QuadStore};
 use lids_sparql::{EvalOptions, ExplainReport, SparqlError};
 use lids_vector::{BruteForceIndex, Metric, VectorIndex};
 
@@ -144,6 +145,30 @@ where
         }
     }
     results
+}
+
+/// Bulk-load a stage's accumulated quad batch and record the ingest
+/// telemetry as an `ingest` child span of the stage.
+fn ingest_batch(
+    store: &mut QuadStore,
+    obs: &Obs,
+    parent: SpanId,
+    stage: &str,
+    batch: Vec<Quad>,
+) -> IngestStats {
+    let stats = store.extend_stats(batch);
+    let span = obs.tracer.child(parent, "ingest");
+    obs.tracer.set_attr(span, "stage", stage);
+    obs.tracer.set_attr(span, "quads_in", stats.quads_in);
+    obs.tracer.add_count(span, "quads_added", stats.quads_added as u64);
+    obs.tracer.add_count(span, "new_terms", stats.new_terms as u64);
+    obs.tracer.set_attr(span, "dedup_rate", stats.dedup_rate());
+    obs.tracer.set_attr(span, "extract_secs", stats.extract_secs);
+    obs.tracer.set_attr(span, "encode_secs", stats.encode_secs);
+    obs.tracer.set_attr(span, "index_secs", stats.index_secs);
+    obs.tracer.set_attr(span, "quads_per_sec", stats.quads_per_sec());
+    let _ = obs.tracer.close(span);
+    stats
 }
 
 /// Copyable subset of [`SchemaStats`].
@@ -283,6 +308,7 @@ impl KgLidsBuilder {
         let mut report = BootstrapReport::default();
         let mut store = QuadStore::new();
         let docs = LibraryDocs::builtin();
+        let vocab = Vocab::new();
         let we = WordEmbeddings::new();
         let models = ColrModels::pretrained();
         let meter = MemoryMeter::new();
@@ -362,7 +388,9 @@ impl KgLidsBuilder {
         // ---- Algorithm 3: data global schema ----
         let span = obs.tracer.child(root, "link.schema");
         let mut sw = Stopwatch::started();
-        let schema_stats = build_data_global_schema(&mut store, &profiles, &schema_config, &we);
+        let mut batch: Vec<Quad> = Vec::new();
+        let schema_stats = data_global_schema_quads(&mut batch, &profiles, &schema_config, &we);
+        ingest_batch(&mut store, &obs, span, "link.schema", batch);
         sw.stop();
         stats.schema_secs = sw.secs();
         obs.tracer.add_count(span, "label_edges", schema_stats.label_edges as u64);
@@ -388,7 +416,10 @@ impl KgLidsBuilder {
         let span = obs.tracer.child(root, "abstract");
         let mut sw = Stopwatch::started();
         let mut abstraction = AbstractionStats::default();
-        build_library_graph(&mut store, &docs, &mut abstraction);
+        // the library graph and every abstracted pipeline accumulate into
+        // one batch, bulk-loaded once at the end of the stage
+        let mut batch: Vec<Quad> = Vec::new();
+        library_graph_quads(&mut batch, &docs, &mut abstraction, &vocab);
         // analysis is the parallel worker phase (panic-isolated); emission
         // is serial
         let analyzed: Vec<(LidsResult<AnalyzedScript>, u32)> =
@@ -398,7 +429,14 @@ impl KgLidsBuilder {
         for (pipeline, (analysis, retries)) in pipelines.iter().zip(analyzed) {
             match analysis {
                 Ok(a) => {
-                    emit_pipeline(&mut store, &mut abstraction, &docs, &pipeline.metadata, &a);
+                    emit_pipeline_quads(
+                        &mut batch,
+                        &mut abstraction,
+                        &docs,
+                        &pipeline.metadata,
+                        &a,
+                        &vocab,
+                    );
                     stats.pipelines_abstracted += 1;
                 }
                 Err(error) => {
@@ -416,6 +454,7 @@ impl KgLidsBuilder {
                 }
             }
         }
+        ingest_batch(&mut store, &obs, span, "abstract", batch);
         sw.stop();
         stats.abstraction_secs = sw.secs();
         stats.abstraction = abstraction;
@@ -435,10 +474,11 @@ impl KgLidsBuilder {
         let _ = obs.tracer.close(span);
 
         // ---- quarantine provenance: record *why* artifacts are missing ----
-        if ingest.record_provenance {
+        if ingest.record_provenance && !report.quarantined.is_empty() {
+            let mut batch: Vec<Quad> = Vec::with_capacity(report.quarantined.len() * 5);
             for entry in &report.quarantined {
-                emit_quarantine(
-                    &mut store,
+                push_quarantine(
+                    &mut batch,
                     &QuarantineRecord {
                         artifact_id: &entry.artifact,
                         artifact_kind: entry.kind.name(),
@@ -447,6 +487,7 @@ impl KgLidsBuilder {
                     },
                 );
             }
+            ingest_batch(&mut store, &obs, root, "quarantine", batch);
         }
         stats.report = report;
         stats.triples = store.len();

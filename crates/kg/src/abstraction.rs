@@ -12,7 +12,7 @@ use lids_py::{analyze, AnalyzedScript, PyParseError};
 use lids_rdf::{GraphName, Quad, QuadStore, Term};
 
 use crate::docs::LibraryDocs;
-use crate::ontology::{class, data_prop, object_prop, res, RDFS_LABEL, RDF_TYPE};
+use crate::ontology::{class, data_prop, object_prop, res, Vocab};
 
 /// The modelled aspects of Table 4 (KGLiDS column).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -133,7 +133,9 @@ pub fn abstract_pipeline(
     Ok(emit_pipeline(store, stats, docs, md, &analyzed))
 }
 
-/// Emit an already-analysed pipeline (lets callers parallelise analysis).
+/// Emit an already-analysed pipeline into the store.
+///
+/// Convenience wrapper over [`emit_pipeline_quads`] + [`QuadStore::extend`].
 pub fn emit_pipeline(
     store: &mut QuadStore,
     stats: &mut AbstractionStats,
@@ -141,43 +143,44 @@ pub fn emit_pipeline(
     md: &PipelineMetadata,
     analyzed: &AnalyzedScript,
 ) -> PipelineGraphInfo {
+    let mut batch = Vec::new();
+    let info = emit_pipeline_quads(&mut batch, stats, docs, md, analyzed, &Vocab::new());
+    store.extend(batch);
+    info
+}
+
+/// Append an already-analysed pipeline's quads to a batch (lets callers
+/// parallelise analysis and bulk-load many pipelines in one
+/// [`QuadStore::extend`] call).
+pub fn emit_pipeline_quads(
+    out: &mut Vec<Quad>,
+    stats: &mut AbstractionStats,
+    docs: &LibraryDocs,
+    md: &PipelineMetadata,
+    analyzed: &AnalyzedScript,
+    vocab: &Vocab,
+) -> PipelineGraphInfo {
     let pipe_iri = res::pipeline(&md.dataset, &md.id);
     let graph = GraphName::named(pipe_iri.clone());
     let mut libraries: Vec<String> = Vec::new();
 
     // --- pipeline metadata subgraph (default graph) ---
     let p = Term::iri(pipe_iri.clone());
-    store.insert(&Quad::new(
-        p.clone(),
-        Term::iri(RDF_TYPE),
-        Term::iri(class::iri(class::PIPELINE)),
-    ));
+    out.push(Quad::new(p.clone(), vocab.rdf_type.clone(), vocab.class(class::PIPELINE)));
     stats.add(Aspect::RdfNodeTypes, 1);
     let meta_triples = [
-        (Term::iri(RDFS_LABEL), Term::string(md.title.clone())),
+        (vocab.rdfs_label.clone(), Term::string(md.title.clone())),
+        (vocab.data(data_prop::HAS_AUTHOR), Term::string(md.author.clone())),
+        (vocab.data(data_prop::HAS_VOTES), Term::integer(md.votes as i64)),
+        (vocab.data(data_prop::HAS_SCORE), Term::double(md.score)),
+        (vocab.data(data_prop::HAS_NAME), Term::string(md.task.clone())),
         (
-            Term::iri(data_prop::iri(data_prop::HAS_AUTHOR)),
-            Term::string(md.author.clone()),
-        ),
-        (
-            Term::iri(data_prop::iri(data_prop::HAS_VOTES)),
-            Term::integer(md.votes as i64),
-        ),
-        (
-            Term::iri(data_prop::iri(data_prop::HAS_SCORE)),
-            Term::double(md.score),
-        ),
-        (
-            Term::iri(data_prop::iri(data_prop::HAS_NAME)),
-            Term::string(md.task.clone()),
-        ),
-        (
-            Term::iri(object_prop::iri(object_prop::ABOUT_DATASET)),
+            vocab.obj(object_prop::ABOUT_DATASET),
             Term::iri(res::dataset(&md.dataset)),
         ),
     ];
     for (pred, obj) in meta_triples {
-        store.insert(&Quad::new(p.clone(), pred, obj));
+        out.push(Quad::new(p.clone(), pred, obj));
         stats.add(Aspect::PipelineMetadata, 1);
     }
 
@@ -196,34 +199,30 @@ pub fn emit_pipeline(
             triples.push((pred, obj, aspect));
         };
 
+        quad(vocab.rdf_type.clone(), vocab.class(class::STATEMENT), Aspect::RdfNodeTypes);
         quad(
-            Term::iri(RDF_TYPE),
-            Term::iri(class::iri(class::STATEMENT)),
-            Aspect::RdfNodeTypes,
-        );
-        quad(
-            Term::iri(data_prop::iri(data_prop::HAS_TEXT)),
+            vocab.data(data_prop::HAS_TEXT),
             Term::string(info.text.clone()),
             Aspect::StatementText,
         );
         quad(
-            Term::iri(data_prop::iri(data_prop::HAS_CONTROL_FLOW)),
+            vocab.data(data_prop::HAS_CONTROL_FLOW),
             Term::string(info.control_flow.label()),
             Aspect::ControlFlowType,
         );
         if info.index + 1 < analyzed.statements.len() {
             let next = res::statement(&pipe_iri, info.index + 1);
             quad(
-                Term::iri(object_prop::iri(object_prop::NEXT_STATEMENT)),
+                vocab.obj(object_prop::NEXT_STATEMENT),
                 Term::iri(next),
                 Aspect::CodeFlow,
             );
         }
         for &from in &info.data_flow_from {
             let from_iri = res::statement(&pipe_iri, from);
-            store.insert(&Quad::in_graph(
+            out.push(Quad::in_graph(
                 Term::iri(from_iri),
-                Term::iri(object_prop::iri(object_prop::HAS_DATA_FLOW_TO)),
+                vocab.obj(object_prop::HAS_DATA_FLOW_TO),
                 s.clone(),
                 graph.clone(),
             ));
@@ -241,7 +240,7 @@ pub fn emit_pipeline(
             let entry = docs.resolve(&resolved);
 
             quad(
-                Term::iri(object_prop::iri(object_prop::CALLS_FUNCTION)),
+                vocab.obj(object_prop::CALLS_FUNCTION),
                 Term::iri(res::library(&resolved)),
                 Aspect::LibraryCalls,
             );
@@ -256,7 +255,7 @@ pub fn emit_pipeline(
                 let enriched = docs.enrich_parameters(entry, &call.args, &call.kwargs);
                 for (name, value, _explicit) in &enriched {
                     quad(
-                        Term::iri(data_prop::iri(data_prop::HAS_PARAMETER)),
+                        vocab.data(data_prop::HAS_PARAMETER),
                         Term::string(format!("{name}={value}")),
                         Aspect::FuncParameters,
                     );
@@ -272,14 +271,14 @@ pub fn emit_pipeline(
                 // undocumented call: keep the explicit arguments as written
                 for (i, value) in call.args.iter().enumerate() {
                     quad(
-                        Term::iri(data_prop::iri(data_prop::HAS_PARAMETER)),
+                        vocab.data(data_prop::HAS_PARAMETER),
                         Term::string(format!("arg{i}={value}")),
                         Aspect::FuncParameters,
                     );
                 }
                 for (name, value) in &call.kwargs {
                     quad(
-                        Term::iri(data_prop::iri(data_prop::HAS_PARAMETER)),
+                        vocab.data(data_prop::HAS_PARAMETER),
                         Term::string(format!("{name}={value}")),
                         Aspect::FuncParameters,
                     );
@@ -291,21 +290,21 @@ pub fn emit_pipeline(
         for path in &info.dataset_reads {
             let table = table_name_from_path(path);
             quad(
-                Term::iri(object_prop::iri(object_prop::PREDICTED_READ)),
+                vocab.obj(object_prop::PREDICTED_READ),
                 Term::string(format!("table:{table}")),
                 Aspect::DatasetReads,
             );
         }
         for (_receiver, column) in info.column_reads.iter().chain(&info.column_writes) {
             quad(
-                Term::iri(object_prop::iri(object_prop::PREDICTED_READ)),
+                vocab.obj(object_prop::PREDICTED_READ),
                 Term::string(format!("column:{column}")),
                 Aspect::ColumnReads,
             );
         }
 
         for (pred, obj, aspect) in triples {
-            store.insert(&Quad::in_graph(s.clone(), pred, obj, graph.clone()));
+            out.push(Quad::in_graph(s.clone(), pred, obj, graph.clone()));
             stats.add(aspect, 1);
         }
     }

@@ -16,11 +16,15 @@ pub mod ontology;
 pub mod provenance;
 pub mod schema;
 
-pub use abstraction::{abstract_pipeline, AbstractionStats, Aspect, PipelineMetadata};
+pub use abstraction::{
+    abstract_pipeline, emit_pipeline_quads, AbstractionStats, Aspect, PipelineMetadata,
+};
 pub use docs::{DocEntry, LibraryDocs};
-pub use library_graph::build_library_graph;
+pub use library_graph::{build_library_graph, library_graph_quads};
 pub use linker::link_pipelines;
+pub use ontology::Vocab;
+pub use provenance::{emit_quarantine, push_quarantine, QuarantineRecord};
 pub use schema::{
-    build_data_global_schema, insert_similarity_edge, BucketStats, LinkingConfig, LinkingMode,
-    SchemaConfig, SchemaStats,
+    build_data_global_schema, data_global_schema_quads, insert_similarity_edge, BucketStats,
+    LinkingConfig, LinkingMode, SchemaConfig, SchemaStats,
 };

@@ -8,17 +8,20 @@ use lids_rdf::{Quad, QuadStore, Term};
 
 use crate::abstraction::{AbstractionStats, Aspect};
 use crate::docs::{DocKind, LibraryDocs};
-use crate::ontology::{class, object_prop, res, RDFS_LABEL, RDF_TYPE};
+use crate::ontology::{class, object_prop, res, Vocab};
 
-/// Populate the store's default graph with the library hierarchy from the
-/// documentation KB. Returns the number of library elements created.
-pub fn build_library_graph(
-    store: &mut QuadStore,
+/// Append the library hierarchy quads from the documentation KB to a batch
+/// destined for the default graph. Returns the number of library elements
+/// created.
+pub fn library_graph_quads(
+    out: &mut Vec<Quad>,
     docs: &LibraryDocs,
     stats: &mut AbstractionStats,
+    vocab: &Vocab,
 ) -> usize {
     let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
     let mut created = 0usize;
+    let is_part_of = vocab.obj(object_prop::IS_PART_OF);
 
     let mut paths: Vec<&str> = docs.paths().filter(|p| !p.starts_with("__method__")).collect();
     paths.sort_unstable();
@@ -43,25 +46,21 @@ pub fn build_library_graph(
             } else {
                 class::LIBRARY_PACKAGE
             };
-            store.insert(&Quad::new(
+            out.push(Quad::new(
                 Term::iri(iri.clone()),
-                Term::iri(RDF_TYPE),
-                Term::iri(class::iri(kind)),
+                vocab.rdf_type.clone(),
+                vocab.class(kind),
             ));
             stats.add(Aspect::RdfNodeTypes, 1);
-            store.insert(&Quad::new(
+            out.push(Quad::new(
                 Term::iri(iri.clone()),
-                Term::iri(RDFS_LABEL),
+                vocab.rdfs_label.clone(),
                 Term::string(segments[depth - 1]),
             ));
             stats.add(Aspect::LibraryHierarchy, 1);
             if depth > 1 {
                 let parent = res::library(&segments[..depth - 1].join("."));
-                store.insert(&Quad::new(
-                    Term::iri(iri),
-                    Term::iri(object_prop::iri(object_prop::IS_PART_OF)),
-                    Term::iri(parent),
-                ));
+                out.push(Quad::new(Term::iri(iri), is_part_of.clone(), Term::iri(parent)));
                 stats.add(Aspect::LibraryHierarchy, 1);
             }
         }
@@ -69,9 +68,25 @@ pub fn build_library_graph(
     created
 }
 
+/// Populate the store's default graph with the library hierarchy from the
+/// documentation KB. Returns the number of library elements created.
+///
+/// Convenience wrapper over [`library_graph_quads`] + [`QuadStore::extend`].
+pub fn build_library_graph(
+    store: &mut QuadStore,
+    docs: &LibraryDocs,
+    stats: &mut AbstractionStats,
+) -> usize {
+    let mut batch = Vec::new();
+    let created = library_graph_quads(&mut batch, docs, stats, &Vocab::new());
+    store.extend(batch);
+    created
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ontology::RDF_TYPE;
     use lids_rdf::QuadPattern;
 
     #[test]

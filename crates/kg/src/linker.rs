@@ -24,6 +24,12 @@ pub struct LinkStats {
 
 /// Link every abstracted pipeline in the store against the data global
 /// schema. Idempotent: consumes all `predictedRead` literals.
+///
+/// Mutations are batched: verified edges accumulate in a `Vec<Quad>` that
+/// is bulk-loaded once at the end ([`QuadStore::extend`]), and consumed
+/// predictions are removed afterwards. The read side (schema index,
+/// pipeline metadata, per-graph predictions) only touches quads disjoint
+/// from both batches, so deferral preserves the per-quad semantics.
 pub fn link_pipelines(store: &mut QuadStore) -> LinkStats {
     let mut stats = LinkStats::default();
 
@@ -44,6 +50,10 @@ pub fn link_pipelines(store: &mut QuadStore) -> LinkStats {
         })
         .collect();
 
+    let reads_table = Term::iri(object_prop::iri(object_prop::READS_TABLE));
+    let reads_column = Term::iri(object_prop::iri(object_prop::READS_COLUMN));
+    let mut edges: Vec<Quad> = Vec::new();
+    let mut consumed: Vec<Quad> = Vec::new();
     for (pipe_iri, dataset_iri) in pipelines {
         let graph = GraphName::named(pipe_iri.clone());
         let schema = schema_index.get(&dataset_iri);
@@ -60,9 +70,9 @@ pub fn link_pipelines(store: &mut QuadStore) -> LinkStats {
             if let Some(schema) = schema {
                 if let Some(table) = lit.lexical.strip_prefix("table:") {
                     if let Some(table_iri) = schema.tables.get(table) {
-                        store.insert(&Quad::in_graph(
+                        edges.push(Quad::in_graph(
                             quad.subject.clone(),
-                            Term::iri(object_prop::iri(object_prop::READS_TABLE)),
+                            reads_table.clone(),
                             Term::iri(table_iri.clone()),
                             graph.clone(),
                         ));
@@ -72,9 +82,9 @@ pub fn link_pipelines(store: &mut QuadStore) -> LinkStats {
                 } else if let Some(column) = lit.lexical.strip_prefix("column:") {
                     if let Some(col_iris) = schema.columns.get(column) {
                         for col_iri in col_iris {
-                            store.insert(&Quad::in_graph(
+                            edges.push(Quad::in_graph(
                                 quad.subject.clone(),
-                                Term::iri(object_prop::iri(object_prop::READS_COLUMN)),
+                                reads_column.clone(),
                                 Term::iri(col_iri.clone()),
                                 graph.clone(),
                             ));
@@ -87,8 +97,12 @@ pub fn link_pipelines(store: &mut QuadStore) -> LinkStats {
             if !linked {
                 stats.predictions_dropped += 1;
             }
-            store.remove(&quad);
+            consumed.push(quad);
         }
+    }
+    store.extend(edges);
+    for quad in &consumed {
+        store.remove(quad);
     }
     stats
 }

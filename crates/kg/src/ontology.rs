@@ -220,6 +220,78 @@ pub fn a(class_name: &str) -> (Term, Term) {
     (Term::iri(RDF_TYPE), Term::iri(class::iri(class_name)))
 }
 
+/// Pre-built ontology terms for batch quad emission.
+///
+/// The IRI builders in [`class`]/[`object_prop`]/[`data_prop`] `format!` a
+/// fresh string per call, so emitters producing millions of quads pay an
+/// allocation-plus-formatting round per predicate. A `Vocab` materializes
+/// every ontology term once up front; emitters clone the finished term
+/// (one memcpy-style allocation, no formatting), and the bulk loader's
+/// phase-1 hash probe recognizes the repeats without re-interning.
+#[derive(Debug)]
+pub struct Vocab {
+    /// `rdf:type`.
+    pub rdf_type: Term,
+    /// `rdfs:label`.
+    pub rdfs_label: Term,
+    classes: std::collections::HashMap<&'static str, Term>,
+    object_props: std::collections::HashMap<&'static str, Term>,
+    data_props: std::collections::HashMap<&'static str, Term>,
+}
+
+impl Vocab {
+    pub fn new() -> Self {
+        Vocab {
+            rdf_type: Term::iri(RDF_TYPE),
+            rdfs_label: Term::iri(RDFS_LABEL),
+            classes: class::ALL.iter().map(|n| (*n, Term::iri(class::iri(n)))).collect(),
+            object_props: object_prop::ALL
+                .iter()
+                .map(|n| (*n, Term::iri(object_prop::iri(n))))
+                .collect(),
+            data_props: data_prop::ALL
+                .iter()
+                .map(|n| (*n, Term::iri(data_prop::iri(n))))
+                .collect(),
+        }
+    }
+
+    /// Class term, e.g. `Vocab::new().class(class::COLUMN)`.
+    pub fn class(&self, name: &str) -> Term {
+        self.classes
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Term::iri(class::iri(name)))
+    }
+
+    /// Object property term.
+    pub fn obj(&self, name: &str) -> Term {
+        self.object_props
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Term::iri(object_prop::iri(name)))
+    }
+
+    /// Data property term.
+    pub fn data(&self, name: &str) -> Term {
+        self.data_props
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Term::iri(data_prop::iri(name)))
+    }
+
+    /// `rdf:type` pair from pre-built terms (the [`a`] helper, allocation-light).
+    pub fn a(&self, class_name: &str) -> (Term, Term) {
+        (self.rdf_type.clone(), self.class(class_name))
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +325,23 @@ mod tests {
         );
         assert!(res::pipeline("titanic", "p1").ends_with("titanic/pipelines/p1"));
         assert!(res::statement("http://p", 3).ends_with("/s3"));
+    }
+
+    #[test]
+    fn vocab_terms_match_iri_builders() {
+        let v = Vocab::new();
+        assert_eq!(v.rdf_type, Term::iri(RDF_TYPE));
+        for name in class::ALL {
+            assert_eq!(v.class(name), Term::iri(class::iri(name)));
+        }
+        for name in object_prop::ALL {
+            assert_eq!(v.obj(name), Term::iri(object_prop::iri(name)));
+        }
+        for name in data_prop::ALL {
+            assert_eq!(v.data(name), Term::iri(data_prop::iri(name)));
+        }
+        // unknown names fall back to formatting, staying total
+        assert_eq!(v.class("NotAClass"), Term::iri(class::iri("NotAClass")));
     }
 
     #[test]

@@ -72,19 +72,33 @@ pub struct QuarantineRecord<'a> {
     pub retries: u32,
 }
 
-/// Emit the provenance triples of one quarantine record into the
-/// [`QUARANTINE_GRAPH`] named graph. Returns the artifact node IRI.
-pub fn emit_quarantine(store: &mut QuadStore, record: &QuarantineRecord<'_>) -> String {
+/// Append the provenance quads of one quarantine record to a batch,
+/// destined for the [`QUARANTINE_GRAPH`] named graph. Returns the artifact
+/// node IRI. The caller hands the accumulated batch to
+/// [`QuadStore::extend`] — the bootstrap path batches all quarantine
+/// records of a run into a single bulk load.
+pub fn push_quarantine(out: &mut Vec<Quad>, record: &QuarantineRecord<'_>) -> String {
     let node = artifact_iri(record.artifact_id);
     let graph = GraphName::named(QUARANTINE_GRAPH);
     let mut add = |p: String, o: Term| {
-        store.insert(&Quad::in_graph(Term::iri(node.clone()), Term::iri(p), o, graph.clone()));
+        out.push(Quad::in_graph(Term::iri(node.clone()), Term::iri(p), o, graph.clone()));
     };
     add(RDF_TYPE.to_string(), Term::iri(iri(QUARANTINED_ARTIFACT)));
     add(iri(prop::ARTIFACT_KIND), Term::string(record.artifact_kind));
     add(iri(prop::ERROR_KIND), Term::string(record.error.kind().name()));
     add(iri(prop::ERROR_MESSAGE), Term::string(record.error.message()));
     add(iri(prop::RETRY_COUNT), Term::integer(record.retries as i64));
+    node
+}
+
+/// Emit the provenance triples of one quarantine record into the
+/// [`QUARANTINE_GRAPH`] named graph. Returns the artifact node IRI.
+///
+/// Convenience wrapper over [`push_quarantine`] for single records.
+pub fn emit_quarantine(store: &mut QuadStore, record: &QuarantineRecord<'_>) -> String {
+    let mut batch = Vec::with_capacity(5);
+    let node = push_quarantine(&mut batch, record);
+    store.extend(batch);
     node
 }
 

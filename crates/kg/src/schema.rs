@@ -46,7 +46,7 @@ use lids_vector::{
     dot_lanes, scan_pairs_above, HnswConfig, Metric, RowMatrix, SearchStats, ShardedHnsw,
 };
 
-use crate::ontology::{class, data_prop, object_prop, res, RDFS_LABEL, RDF_TYPE};
+use crate::ontology::{class, data_prop, object_prop, res, Vocab};
 
 /// How content-similarity candidates are generated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,81 +194,101 @@ struct Edge {
 }
 
 /// Build the data global schema into the store's default graph.
+///
+/// Convenience wrapper over [`data_global_schema_quads`] +
+/// [`QuadStore::extend`].
 pub fn build_data_global_schema(
     store: &mut QuadStore,
     profiles: &[ColumnProfile],
     config: &SchemaConfig,
     we: &WordEmbeddings,
 ) -> SchemaStats {
+    let mut batch = Vec::new();
+    let stats = data_global_schema_quads(&mut batch, profiles, config, we);
+    store.extend(batch);
+    stats
+}
+
+/// Append the data global schema quads (default graph) to a batch.
+pub fn data_global_schema_quads(
+    out: &mut Vec<Quad>,
+    profiles: &[ColumnProfile],
+    config: &SchemaConfig,
+    we: &WordEmbeddings,
+) -> SchemaStats {
     let mut stats = SchemaStats { columns: profiles.len(), ..Default::default() };
+    let vocab = Vocab::new();
 
     // ---- metadata subgraph (Algorithm 3 lines 2–5) ----
+    let is_part_of = vocab.obj(object_prop::IS_PART_OF);
+    let has_table = vocab.obj(object_prop::HAS_TABLE);
+    let has_column = vocab.obj(object_prop::HAS_COLUMN);
     let mut seen_tables: std::collections::HashSet<(String, String)> = Default::default();
     let mut seen_datasets: std::collections::HashSet<String> = Default::default();
     for p in profiles {
         let d_iri = res::dataset(&p.meta.dataset);
         if seen_datasets.insert(p.meta.dataset.clone()) {
-            emit(store, &mut stats, Term::iri(d_iri.clone()), RDF_TYPE, Term::iri(class::iri(class::DATASET)));
-            emit(store, &mut stats, Term::iri(d_iri.clone()), RDFS_LABEL, Term::string(p.meta.dataset.clone()));
+            emit(out, &mut stats, Term::iri(d_iri.clone()), vocab.rdf_type.clone(), vocab.class(class::DATASET));
+            emit(out, &mut stats, Term::iri(d_iri.clone()), vocab.rdfs_label.clone(), Term::string(p.meta.dataset.clone()));
         }
         let t_iri = res::table(&p.meta.dataset, &p.meta.table);
         if seen_tables.insert((p.meta.dataset.clone(), p.meta.table.clone())) {
-            emit(store, &mut stats, Term::iri(t_iri.clone()), RDF_TYPE, Term::iri(class::iri(class::TABLE)));
-            emit(store, &mut stats, Term::iri(t_iri.clone()), RDFS_LABEL, Term::string(p.meta.table.clone()));
+            emit(out, &mut stats, Term::iri(t_iri.clone()), vocab.rdf_type.clone(), vocab.class(class::TABLE));
+            emit(out, &mut stats, Term::iri(t_iri.clone()), vocab.rdfs_label.clone(), Term::string(p.meta.table.clone()));
             emit(
-                store,
+                out,
                 &mut stats,
                 Term::iri(t_iri.clone()),
-                &object_prop::iri(object_prop::IS_PART_OF),
+                is_part_of.clone(),
                 Term::iri(d_iri.clone()),
             );
             emit(
-                store,
+                out,
                 &mut stats,
                 Term::iri(d_iri.clone()),
-                &object_prop::iri(object_prop::HAS_TABLE),
+                has_table.clone(),
                 Term::iri(t_iri.clone()),
             );
         }
         let c_iri = res::column(&p.meta.dataset, &p.meta.table, &p.meta.column);
         let c = Term::iri(c_iri.clone());
-        emit(store, &mut stats, c.clone(), RDF_TYPE, Term::iri(class::iri(class::COLUMN)));
-        emit(store, &mut stats, c.clone(), RDFS_LABEL, Term::string(p.meta.column.clone()));
-        emit(store, &mut stats, c.clone(), &object_prop::iri(object_prop::IS_PART_OF), Term::iri(t_iri.clone()));
-        emit(store, &mut stats, Term::iri(t_iri.clone()), &object_prop::iri(object_prop::HAS_COLUMN), c.clone());
-        emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_DATA_TYPE), Term::string(p.fgt.label()));
+        emit(out, &mut stats, c.clone(), vocab.rdf_type.clone(), vocab.class(class::COLUMN));
+        emit(out, &mut stats, c.clone(), vocab.rdfs_label.clone(), Term::string(p.meta.column.clone()));
+        emit(out, &mut stats, c.clone(), is_part_of.clone(), Term::iri(t_iri.clone()));
+        emit(out, &mut stats, Term::iri(t_iri.clone()), has_column.clone(), c.clone());
+        emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_DATA_TYPE), Term::string(p.fgt.label()));
         emit(
-            store,
+            out,
             &mut stats,
             c.clone(),
-            &data_prop::iri(data_prop::HAS_TOTAL_VALUE_COUNT),
+            vocab.data(data_prop::HAS_TOTAL_VALUE_COUNT),
             Term::integer(p.stats.count as i64),
         );
         emit(
-            store,
+            out,
             &mut stats,
             c.clone(),
-            &data_prop::iri(data_prop::HAS_MISSING_VALUE_COUNT),
+            vocab.data(data_prop::HAS_MISSING_VALUE_COUNT),
             Term::integer(p.stats.nulls as i64),
         );
         emit(
-            store,
+            out,
             &mut stats,
             c.clone(),
-            &data_prop::iri(data_prop::HAS_DISTINCT_VALUE_COUNT),
+            vocab.data(data_prop::HAS_DISTINCT_VALUE_COUNT),
             Term::integer(p.stats.distinct as i64),
         );
         if let Some(v) = p.stats.mean {
-            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_MEAN_VALUE), Term::double(v));
+            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_MEAN_VALUE), Term::double(v));
         }
         if let Some(v) = p.stats.min {
-            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_MIN_VALUE), Term::double(v));
+            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_MIN_VALUE), Term::double(v));
         }
         if let Some(v) = p.stats.max {
-            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_MAX_VALUE), Term::double(v));
+            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_MAX_VALUE), Term::double(v));
         }
         if let Some(v) = p.stats.true_ratio {
-            emit(store, &mut stats, c.clone(), &data_prop::iri(data_prop::HAS_TRUE_RATIO), Term::double(v));
+            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_TRUE_RATIO), Term::double(v));
         }
     }
 
@@ -389,10 +409,10 @@ pub fn build_data_global_schema(
     for edge in edges {
         if edge.predicate == object_prop::HAS_LABEL_SIMILARITY {
             stats.label_edges += 1;
-            insert_edge_with(store, &edge.a, &edge.b, &label_pred, &certainty, edge.score);
+            push_edge_with(out, &edge.a, &edge.b, &label_pred, &certainty, edge.score);
         } else {
             stats.content_edges += 1;
-            insert_edge_with(store, &edge.a, &edge.b, &content_pred, &certainty, edge.score);
+            push_edge_with(out, &edge.a, &edge.b, &content_pred, &certainty, edge.score);
         }
     }
     stats
@@ -411,14 +431,16 @@ pub fn insert_similarity_edge(
 ) {
     let pred = Term::iri(object_prop::iri(predicate));
     let certainty = Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY));
-    insert_edge_with(store, a_iri, b_iri, &pred, &certainty, score);
+    let mut batch = Vec::with_capacity(4);
+    push_edge_with(&mut batch, a_iri, b_iri, &pred, &certainty, score);
+    store.extend(batch);
 }
 
 /// [`insert_similarity_edge`] with the shared terms pre-built: the subject
 /// and object terms are constructed once and the reverse direction reuses
 /// them via an in-place swap instead of fresh string allocations.
-fn insert_edge_with(
-    store: &mut QuadStore,
+fn push_edge_with(
+    out: &mut Vec<Quad>,
     a_iri: &str,
     b_iri: &str,
     pred: &Term,
@@ -433,14 +455,14 @@ fn insert_edge_with(
         certainty.clone(),
         Term::double(score),
     );
-    store.insert(&plain);
-    store.insert(&star);
+    out.push(plain.clone());
+    out.push(star.clone());
     std::mem::swap(&mut plain.subject, &mut plain.object);
     if let Term::Quoted(t) = &mut star.subject {
         std::mem::swap(&mut t.subject, &mut t.object);
     }
-    store.insert(&plain);
-    store.insert(&star);
+    out.push(plain);
+    out.push(star);
 }
 
 /// Euclidean distance between two raw f32 vectors.
@@ -801,8 +823,8 @@ fn embeddable_content(
     }
 }
 
-fn emit(store: &mut QuadStore, stats: &mut SchemaStats, s: Term, p: &str, o: Term) {
-    store.insert(&Quad::new(s, Term::iri(p.to_string()), o));
+fn emit(out: &mut Vec<Quad>, stats: &mut SchemaStats, s: Term, p: Term, o: Term) {
+    out.push(Quad::new(s, p, o));
     stats.metadata_triples += 1;
 }
 

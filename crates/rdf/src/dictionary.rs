@@ -4,8 +4,18 @@
 //! time it is seen. Quads are then stored and joined purely over ids, which
 //! keeps the B-tree indexes compact and comparisons cheap — the standard
 //! dictionary-encoding design for RDF stores.
+//!
+//! Terms are stored **once**, in the id-indexed `terms` vector. The reverse
+//! map goes through the term's hash instead of a second owned copy of the
+//! term: `buckets` maps a 64-bit term hash to the (almost always one) ids
+//! whose stored term collides on that hash, and lookups confirm by comparing
+//! against `terms[id]`. This halves the dictionary's footprint relative to a
+//! `HashMap<Term, TermId>` and lets callers probe by borrowed content (see
+//! [`Dictionary::id_of_iri`]) without allocating a scratch `Term`.
 
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 
 use crate::term::Term;
 
@@ -20,11 +30,20 @@ impl TermId {
     }
 }
 
+/// Ids whose stored terms share one 64-bit hash. Genuine collisions are
+/// vanishingly rare, so the single-id case avoids a heap allocation.
+#[derive(Debug)]
+enum Bucket {
+    One(TermId),
+    Many(Vec<TermId>),
+}
+
 /// Bijective mapping between [`Term`]s and [`TermId`]s.
 #[derive(Debug, Default)]
 pub struct Dictionary {
     terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    buckets: HashMap<u64, Bucket>,
+    hasher: RandomState,
 }
 
 impl Dictionary {
@@ -40,23 +59,122 @@ impl Dictionary {
     /// encoded SPARQL evaluator relies on when a quoted pattern contains
     /// variables.
     pub fn intern(&mut self, term: &Term) -> TermId {
-        if let Some(&id) = self.ids.get(term) {
+        let hash = self.hash_term(term);
+        if let Some(id) = self.find(hash, |t| t == term) {
             return id;
         }
-        if let Term::Quoted(q) = term {
+        self.insert_new(hash, term.clone())
+    }
+
+    /// Intern an owned term without cloning it. Same semantics as
+    /// [`Dictionary::intern`], including inner-term interning for quoted
+    /// triples.
+    pub fn intern_owned(&mut self, term: Term) -> TermId {
+        let hash = self.hash_term(&term);
+        if let Some(id) = self.find(hash, |t| *t == term) {
+            return id;
+        }
+        self.insert_new(hash, term)
+    }
+
+    fn insert_new(&mut self, hash: u64, term: Term) -> TermId {
+        if let Term::Quoted(q) = &term {
             self.intern(&q.subject);
             self.intern(&q.predicate);
             self.intern(&q.object);
         }
         let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
-        self.terms.push(term.clone());
-        self.ids.insert(term.clone(), id);
+        self.terms.push(term);
+        match self.buckets.entry(hash) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Bucket::One(id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => match e.get_mut() {
+                Bucket::One(first) => {
+                    let first = *first;
+                    e.insert(Bucket::Many(vec![first, id]));
+                }
+                Bucket::Many(ids) => ids.push(id),
+            },
+        }
         id
+    }
+
+    /// Ids sharing `hash`, checked against `matches` on the stored term.
+    fn find(&self, hash: u64, matches: impl Fn(&Term) -> bool) -> Option<TermId> {
+        match self.buckets.get(&hash)? {
+            Bucket::One(id) => matches(&self.terms[id.index()]).then_some(*id),
+            Bucket::Many(ids) => ids
+                .iter()
+                .copied()
+                .find(|id| matches(&self.terms[id.index()])),
+        }
     }
 
     /// Look up an id without interning.
     pub fn id_of(&self, term: &Term) -> Option<TermId> {
-        self.ids.get(term).copied()
+        self.find(self.hash_term(term), |t| t == term)
+    }
+
+    /// Hash `term` with this dictionary's hasher — the key accepted by the
+    /// `*_hashed` entry points below. Hashes are only meaningful within
+    /// this dictionary instance.
+    pub fn hash_of(&self, term: &Term) -> u64 {
+        self.hash_term(term)
+    }
+
+    /// Hash `Term::Iri(iri)` without allocating the term; equal to
+    /// `hash_of(&Term::iri(iri))`.
+    pub fn hash_of_iri(&self, iri: &str) -> u64 {
+        let mut h = self.hasher.build_hasher();
+        write_iri(&mut h, iri);
+        h.finish()
+    }
+
+    /// [`Dictionary::id_of`] with a hash precomputed by
+    /// [`Dictionary::hash_of`]. The bulk loader hashes every term
+    /// occurrence exactly once and groups them by hash, so each distinct
+    /// term costs one dictionary probe instead of one per occurrence.
+    pub fn id_by_hash(&self, hash: u64, term: &Term) -> Option<TermId> {
+        self.find(hash, |t| t == term)
+    }
+
+    /// [`Dictionary::id_of_iri`] with a precomputed hash.
+    pub fn id_by_hash_iri(&self, hash: u64, iri: &str) -> Option<TermId> {
+        self.find(hash, |t| matches!(t, Term::Iri(s) if s == iri))
+    }
+
+    /// [`Dictionary::intern`] with a precomputed hash.
+    pub fn intern_hashed(&mut self, hash: u64, term: &Term) -> TermId {
+        if let Some(id) = self.find(hash, |t| t == term) {
+            return id;
+        }
+        self.insert_new(hash, term.clone())
+    }
+
+    /// Intern `Term::Iri(iri)` with a precomputed hash, allocating the
+    /// term only when it is actually new.
+    pub fn intern_iri_hashed(&mut self, hash: u64, iri: &str) -> TermId {
+        if let Some(id) = self.id_by_hash_iri(hash, iri) {
+            return id;
+        }
+        self.insert_new(hash, Term::iri(iri))
+    }
+
+    /// Look up the id of `Term::Iri(iri)` without allocating the term.
+    ///
+    /// Hot on the bulk-load path, where every quad resolves its graph slot
+    /// from a borrowed graph IRI.
+    pub fn id_of_iri(&self, iri: &str) -> Option<TermId> {
+        let mut h = self.hasher.build_hasher();
+        write_iri(&mut h, iri);
+        self.find(h.finish(), |t| matches!(t, Term::Iri(s) if s == iri))
+    }
+
+    fn hash_term(&self, term: &Term) -> u64 {
+        let mut h = self.hasher.build_hasher();
+        write_term(&mut h, term);
+        h.finish()
     }
 
     /// Resolve an id back to its term. Panics on a foreign id.
@@ -83,14 +201,66 @@ impl Dictionary {
     }
 
     /// Approximate heap footprint in bytes (for the memory meter).
+    ///
+    /// Terms are stored once; the reverse map holds only `(u64, Bucket)`
+    /// entries, so its cost is per-slot bookkeeping rather than a second
+    /// copy of every term.
     pub fn approx_bytes(&self) -> u64 {
-        let mut total = (self.terms.len() * std::mem::size_of::<Term>()) as u64;
+        let mut total = (self.terms.capacity() * std::mem::size_of::<Term>()) as u64;
         for t in &self.terms {
             total += term_payload_bytes(t);
         }
-        // HashMap side: key clone + id
-        total * 2
+        // Reverse map: allocated slots carry key + bucket + 1 control byte
+        // (SwissTable layout); Many-buckets add their spilled id vectors.
+        let slot = (std::mem::size_of::<u64>() + std::mem::size_of::<Bucket>() + 1) as u64;
+        total += self.buckets.capacity() as u64 * slot;
+        for bucket in self.buckets.values() {
+            if let Bucket::Many(ids) = bucket {
+                total += (ids.capacity() * std::mem::size_of::<TermId>()) as u64;
+            }
+        }
+        total
     }
+}
+
+/// Feed a term's content to a hasher with variant tags and terminators, so
+/// prefix-sharing values of different shapes cannot alias.
+fn write_term<H: Hasher>(h: &mut H, term: &Term) {
+    match term {
+        Term::Iri(s) => write_iri(h, s),
+        Term::BNode(s) => {
+            h.write_u8(1);
+            h.write(s.as_bytes());
+            h.write_u8(0xff);
+        }
+        Term::Literal(l) => {
+            h.write_u8(2);
+            h.write(l.lexical.as_bytes());
+            h.write_u8(0xff);
+            h.write(l.datatype.as_bytes());
+            h.write_u8(0xff);
+            match &l.language {
+                Some(lang) => {
+                    h.write_u8(1);
+                    h.write(lang.as_bytes());
+                    h.write_u8(0xff);
+                }
+                None => h.write_u8(0),
+            }
+        }
+        Term::Quoted(q) => {
+            h.write_u8(3);
+            write_term(h, &q.subject);
+            write_term(h, &q.predicate);
+            write_term(h, &q.object);
+        }
+    }
+}
+
+fn write_iri<H: Hasher>(h: &mut H, iri: &str) {
+    h.write_u8(0);
+    h.write(iri.as_bytes());
+    h.write_u8(0xff);
 }
 
 fn term_payload_bytes(t: &Term) -> u64 {
@@ -152,6 +322,39 @@ mod tests {
         assert_eq!(collected, vec![0, 1]);
     }
 
+    #[test]
+    fn intern_owned_matches_intern() {
+        let mut d = Dictionary::new();
+        let a = d.intern(&Term::iri("a"));
+        assert_eq!(d.intern_owned(Term::iri("a")), a);
+        let q = Term::quoted(Term::iri("x"), Term::iri("p"), Term::iri("y"));
+        let qid = d.intern_owned(q.clone());
+        // inner terms were interned first, in s/p/o order
+        assert!(d.id_of(&Term::iri("x")).unwrap() < qid);
+        assert!(d.id_of(&Term::iri("p")).unwrap() < qid);
+        assert!(d.id_of(&Term::iri("y")).unwrap() < qid);
+        assert_eq!(d.id_of(&q), Some(qid));
+    }
+
+    #[test]
+    fn id_of_iri_matches_id_of() {
+        let mut d = Dictionary::new();
+        let id = d.intern(&Term::iri("http://kglids.org/resource/x"));
+        d.intern(&Term::string("http://kglids.org/resource/x"));
+        assert_eq!(d.id_of_iri("http://kglids.org/resource/x"), Some(id));
+        assert_eq!(d.id_of_iri("missing"), None);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_growth() {
+        let mut d = Dictionary::new();
+        let empty = d.approx_bytes();
+        for i in 0..100 {
+            d.intern(&Term::iri(format!("http://example.org/term/{i}")));
+        }
+        assert!(d.approx_bytes() > empty);
+    }
+
     proptest! {
         #[test]
         fn prop_intern_bijection(strings in proptest::collection::vec("[a-z]{1,8}", 1..50)) {
@@ -160,6 +363,7 @@ mod tests {
             for (s, id) in strings.iter().zip(&ids) {
                 prop_assert_eq!(d.term(*id).as_iri(), Some(s.as_str()));
                 prop_assert_eq!(d.id_of(&Term::iri(s.clone())), Some(*id));
+                prop_assert_eq!(d.id_of_iri(s), Some(*id));
             }
             let unique: std::collections::HashSet<_> = strings.iter().collect();
             prop_assert_eq!(d.len(), unique.len());

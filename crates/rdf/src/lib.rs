@@ -20,5 +20,5 @@ pub mod term;
 
 pub use dictionary::{Dictionary, TermId};
 pub use pattern::QuadPattern;
-pub use store::{EncodedPattern, EncodedQuad, QuadStore};
+pub use store::{EncodedPattern, EncodedQuad, IngestStats, QuadStore};
 pub use term::{GraphName, Literal, Quad, Term, Triple};

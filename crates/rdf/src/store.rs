@@ -1,10 +1,61 @@
 //! Dictionary-encoded quad store with multiple B-tree orderings.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
+
+use lids_exec::{parallel_map_with, ParallelConfig};
 
 use crate::dictionary::{Dictionary, TermId};
 use crate::pattern::QuadPattern;
 use crate::term::{GraphName, Quad, Term};
+
+/// Per-phase timings and counts for one [`QuadStore::extend_stats`] call.
+///
+/// `lids-rdf` deliberately has no observability dependency; callers that
+/// trace ingestion (the platform's `ingest` spans) translate these numbers
+/// into span attributes themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestStats {
+    /// Quads offered to the batch, duplicates included.
+    pub quads_in: usize,
+    /// Quads that were not already present and landed in the indexes.
+    pub quads_added: usize,
+    /// Terms newly interned by this batch.
+    pub new_terms: usize,
+    /// Phase 1: parallel occurrence hashing + sort into term groups.
+    pub extract_secs: f64,
+    /// Phase 2: per-group dictionary resolution, interning, id scatter.
+    pub encode_secs: f64,
+    /// Phase 3: sorted-run construction / merge of the four indexes.
+    pub index_secs: f64,
+}
+
+impl IngestStats {
+    /// Fraction of offered quads that were duplicates (batch-internal or
+    /// already stored). Zero for an empty batch.
+    pub fn dedup_rate(&self) -> f64 {
+        if self.quads_in == 0 {
+            0.0
+        } else {
+            1.0 - self.quads_added as f64 / self.quads_in as f64
+        }
+    }
+
+    /// Total wall-clock seconds across the three phases.
+    pub fn total_secs(&self) -> f64 {
+        self.extract_secs + self.encode_secs + self.index_secs
+    }
+
+    /// Offered quads per second over the three phases.
+    pub fn quads_per_sec(&self) -> f64 {
+        let secs = self.total_secs();
+        if secs > 0.0 {
+            self.quads_in as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
 
 /// A quad encoded as four term ids: `[subject, predicate, object, graph]`.
 ///
@@ -136,6 +187,269 @@ impl QuadStore {
         self.insert(&Quad::new(subject, predicate, object))
     }
 
+    /// Bulk-insert a batch of quads, returning how many were new.
+    ///
+    /// Equivalent to calling [`QuadStore::insert`] on each quad in order —
+    /// including the insert-order-dense [`TermId`] assignment — but runs
+    /// the sort-based parallel pipeline described on
+    /// [`QuadStore::extend_stats`].
+    pub fn extend(&mut self, quads: impl IntoIterator<Item = Quad>) -> usize {
+        self.extend_stats(quads).quads_added
+    }
+
+    /// Bulk-insert a batch of quads, returning per-phase statistics.
+    ///
+    /// Three phases, all sort-based:
+    /// 1. **Extract** — every term occurrence (4 slots per quad) is hashed
+    ///    with the dictionary's hasher, in parallel, exactly once; the
+    ///    `(hash, position)` pairs are then sorted so occurrences of the
+    ///    same term become one contiguous group.
+    /// 2. **Encode** — each group is resolved against the dictionary with
+    ///    a *single* probe (a sequential insert loop probes once per
+    ///    occurrence), fresh terms are interned in order of their first
+    ///    occurrence — reproducing the insert-order-dense [`TermId`]
+    ///    assignment of a sequential loop — and the resolved ids are
+    ///    scattered into `[s, p, o, g]` tuples.
+    /// 3. **Index** — the four index permutations are built as sorted,
+    ///    deduplicated runs in parallel, then bulk-built
+    ///    (`BTreeSet::from_iter` over a sorted run, empty store) or merged
+    ///    into the existing trees (incremental).
+    ///
+    /// Small batches run the same phases serially, so semantics never
+    /// depend on batch size.
+    pub fn extend_stats(&mut self, quads: impl IntoIterator<Item = Quad>) -> IngestStats {
+        let quads: Vec<Quad> = quads.into_iter().collect();
+        let mut stats = IngestStats { quads_in: quads.len(), ..IngestStats::default() };
+        if quads.is_empty() {
+            return stats;
+        }
+        assert!(quads.len() <= (u32::MAX / 4) as usize, "extend: batch too large");
+        let terms_before = self.dict.len();
+        let quads_before = self.spog.len();
+        let threads = Self::ingest_threads(quads.len());
+
+        // Phase 1: hash every occurrence once (parallel), then sort the
+        // (hash, flat position) pairs to group occurrences by term.
+        let t = Instant::now();
+        let dict = &self.dict;
+        let hashes: Vec<[u64; 4]> = parallel_map_with(
+            ParallelConfig { threads, chunk: 1024 },
+            &quads,
+            |quad| {
+                [
+                    dict.hash_of(&quad.subject),
+                    dict.hash_of(&quad.predicate),
+                    dict.hash_of(&quad.object),
+                    match &quad.graph {
+                        GraphName::Default => dict.hash_of_iri(DEFAULT_GRAPH_IRI),
+                        GraphName::Named(iri) => dict.hash_of_iri(iri),
+                    },
+                ]
+            },
+        );
+        let mut occ: Vec<(u64, u32)> = Vec::with_capacity(quads.len() * 4);
+        for (i, h4) in hashes.iter().enumerate() {
+            for (slot, &h) in h4.iter().enumerate() {
+                occ.push((h, (i * 4 + slot) as u32));
+            }
+        }
+        drop(hashes);
+        occ.sort_unstable();
+        stats.extract_secs = t.elapsed().as_secs_f64();
+
+        // Phase 2: resolve each group with one dictionary probe, intern
+        // fresh terms in first-occurrence order, scatter ids.
+        let t = Instant::now();
+        let slot_at = |flat: u32| -> SlotRef<'_> {
+            let quad = &quads[(flat / 4) as usize];
+            match flat % 4 {
+                0 => SlotRef::Term(&quad.subject),
+                1 => SlotRef::Term(&quad.predicate),
+                2 => SlotRef::Term(&quad.object),
+                _ => match &quad.graph {
+                    GraphName::Default => SlotRef::Graph(DEFAULT_GRAPH_IRI),
+                    GraphName::Named(iri) => SlotRef::Graph(iri),
+                },
+            }
+        };
+        let mut encoded: Vec<EncodedQuad> = vec![[0u32; 4]; quads.len()];
+        // Groups absent from the dictionary, interned later in
+        // first-occurrence order. Members are usually the whole hash
+        // group; hash collisions (distinct terms, equal hash) fall back to
+        // explicit member lists.
+        let mut pending: Vec<PendingGroup> = Vec::new();
+        let mut i = 0usize;
+        while i < occ.len() {
+            let hash = occ[i].0;
+            let mut j = i + 1;
+            while j < occ.len() && occ[j].0 == hash {
+                j += 1;
+            }
+            let first = slot_at(occ[i].1);
+            let uniform = occ[i + 1..j].iter().all(|&(_, f)| first.matches(&slot_at(f)));
+            if uniform {
+                // the common case: one distinct term per hash group
+                match first.resolve(&self.dict, hash) {
+                    Some(id) => {
+                        for &(_, f) in &occ[i..j] {
+                            write(&mut encoded, f, id.0);
+                        }
+                    }
+                    None => pending.push(PendingGroup {
+                        first: occ[i].1,
+                        hash,
+                        members: PendingMembers::Run(i as u32, j as u32),
+                    }),
+                }
+            } else {
+                // hash collision: partition the group by real equality
+                let mut reps: Vec<(SlotRef<'_>, Option<TermId>, usize)> = Vec::new();
+                for &(_, f) in &occ[i..j] {
+                    let slot = slot_at(f);
+                    match reps.iter().find(|(r, ..)| r.matches(&slot)) {
+                        Some(&(_, Some(id), _)) => write(&mut encoded, f, id.0),
+                        Some(&(_, None, p)) => match &mut pending[p].members {
+                            PendingMembers::List(list) => list.push(f),
+                            PendingMembers::Run(..) => unreachable!("collision groups use lists"),
+                        },
+                        None => {
+                            let resolved = slot.resolve(&self.dict, hash);
+                            match resolved {
+                                Some(id) => write(&mut encoded, f, id.0),
+                                None => pending.push(PendingGroup {
+                                    first: f,
+                                    hash,
+                                    members: PendingMembers::List(vec![f]),
+                                }),
+                            }
+                            reps.push((slot, resolved, pending.len().saturating_sub(1)));
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        // First-occurrence order makes the ids of fresh terms identical to
+        // a sequential insert loop's. Quoted triples intern their inner
+        // terms first (also matching the sequential order), so a pending
+        // term may already exist by the time its turn comes —
+        // `intern_hashed` re-probes and is a no-op then.
+        pending.sort_unstable_by_key(|g| g.first);
+        for group in &pending {
+            let id = match slot_at(group.first) {
+                SlotRef::Term(term) => self.dict.intern_hashed(group.hash, term),
+                SlotRef::Graph(iri) => self.dict.intern_iri_hashed(group.hash, iri),
+            };
+            match &group.members {
+                PendingMembers::Run(a, b) => {
+                    for &(_, f) in &occ[*a as usize..*b as usize] {
+                        write(&mut encoded, f, id.0);
+                    }
+                }
+                PendingMembers::List(list) => {
+                    for &f in list {
+                        write(&mut encoded, f, id.0);
+                    }
+                }
+            }
+        }
+        stats.new_terms = self.dict.len() - terms_before;
+        stats.encode_secs = t.elapsed().as_secs_f64();
+
+        // Phase 3: sorted-run construction / merge of the four indexes.
+        let t = Instant::now();
+        self.merge_encoded(&encoded, threads);
+        stats.index_secs = t.elapsed().as_secs_f64();
+        stats.quads_added = self.spog.len() - quads_before;
+        stats
+    }
+
+    /// Bulk-insert already-encoded quads: the phase-3 fast path.
+    ///
+    /// Every id must come from **this** store's dictionary and the graph
+    /// slot must hold a graph IRI id — i.e. tuples shaped like the output
+    /// of [`QuadStore::match_ids`] on this same store. Returns how many
+    /// quads were new.
+    pub fn extend_encoded(&mut self, quads: impl IntoIterator<Item = EncodedQuad>) -> usize {
+        let encoded: Vec<EncodedQuad> = quads.into_iter().collect();
+        if encoded.is_empty() {
+            return 0;
+        }
+        let terms = self.dict.len() as u32;
+        assert!(
+            encoded.iter().all(|q| q.iter().all(|&id| id < terms)),
+            "extend_encoded: id outside this store's dictionary"
+        );
+        let before = self.spog.len();
+        self.merge_encoded(&encoded, Self::ingest_threads(encoded.len()));
+        self.spog.len() - before
+    }
+
+    /// Worker count for a batch of `n` quads: one thread per ~2k quads,
+    /// capped at available parallelism. Small batches get 1 (fully serial —
+    /// `parallel_map_with` spawns nothing for a single thread).
+    fn ingest_threads(n: usize) -> usize {
+        const SHARD_MIN: usize = 2048;
+        ParallelConfig::default().threads.min(n / SHARD_MIN).max(1)
+    }
+
+    /// Phase 3: permute the batch into the four index orders, sort and
+    /// dedup each run in parallel, then bulk-build or merge per index.
+    fn merge_encoded(&mut self, encoded: &[EncodedQuad], threads: usize) {
+        // Sort + dedup the batch once in spog order; the other three
+        // permutations sort the already-deduplicated run, not the raw
+        // batch, so batch-internal duplicates are paid for only once.
+        let mut spog_run: Vec<[u32; 4]> = encoded.to_vec();
+        spog_run.sort_unstable();
+        spog_run.dedup();
+        let perms: [fn(EncodedQuad) -> [u32; 4]; 3] = [
+            |[s, p, o, g]| [p, o, s, g],
+            |[s, p, o, g]| [o, s, p, g],
+            |[s, p, o, g]| [g, s, p, o],
+        ];
+        let perm_ids: [usize; 3] = [0, 1, 2];
+        let deduped = &spog_run;
+        let mut runs: Vec<Vec<[u32; 4]>> = parallel_map_with(
+            ParallelConfig { threads: threads.min(3), chunk: 1 },
+            &perm_ids,
+            |&i| {
+                let mut run: Vec<[u32; 4]> = deduped.iter().map(|&q| perms[i](q)).collect();
+                run.sort_unstable();
+                run
+            },
+        );
+        let gspo_run = runs.pop().unwrap();
+        let ospg_run = runs.pop().unwrap();
+        let posg_run = runs.pop().unwrap();
+        if threads > 1 {
+            std::thread::scope(|scope| {
+                scope.spawn(|| merge_sorted_run(&mut self.posg, posg_run));
+                scope.spawn(|| merge_sorted_run(&mut self.ospg, ospg_run));
+                scope.spawn(|| merge_sorted_run(&mut self.gspo, gspo_run));
+                merge_sorted_run(&mut self.spog, spog_run);
+            });
+        } else {
+            merge_sorted_run(&mut self.spog, spog_run);
+            merge_sorted_run(&mut self.posg, posg_run);
+            merge_sorted_run(&mut self.ospg, ospg_run);
+            merge_sorted_run(&mut self.gspo, gspo_run);
+        }
+        debug_assert!(self.validate_indexes());
+    }
+
+    /// Check that the four orderings agree: equal sizes, and every spog
+    /// entry present (permuted) in posg/ospg/gspo. Test and debug aid.
+    pub fn validate_indexes(&self) -> bool {
+        self.posg.len() == self.spog.len()
+            && self.ospg.len() == self.spog.len()
+            && self.gspo.len() == self.spog.len()
+            && self.spog.iter().all(|&[s, p, o, g]| {
+                self.posg.contains(&[p, o, s, g])
+                    && self.ospg.contains(&[o, s, p, g])
+                    && self.gspo.contains(&[g, s, p, o])
+            })
+    }
+
     /// Remove a quad. Returns `true` when it was present.
     pub fn remove(&mut self, quad: &Quad) -> bool {
         let (Some(s), Some(p), Some(o)) = (
@@ -216,6 +530,12 @@ impl QuadStore {
     /// `[s, p, o, g]` order) and compute its range bounds.
     ///
     /// Orderings: spog=(s,p,o,g) posg=(p,o,s,g) ospg=(o,s,p,g) gspo=(g,s,p,o)
+    ///
+    /// Equal-length prefixes (e.g. a `(p, g)` pattern reaches prefix 1 in
+    /// both posg and gspo) are tie-broken by estimated range size: each
+    /// contender's range is probed up to [`TIE_SCAN_CAP`] entries and the
+    /// smallest wins, so a selective object bound beats an unselective
+    /// subject bound instead of falling back to declaration order.
     fn plan(&self, [s, p, o, g]: [Option<u32>; 4]) -> ScanPlan<'_> {
         type IndexCandidate<'i> =
             (&'i BTreeSet<[u32; 4]>, [Option<u32>; 4], fn([u32; 4]) -> EncodedQuad);
@@ -225,21 +545,47 @@ impl QuadStore {
             (&self.ospg, [o, s, p, g], |k| [k[1], k[2], k[0], k[3]]),
             (&self.gspo, [g, s, p, o], |k| [k[1], k[2], k[3], k[0]]),
         ];
-        let best = candidates
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, (_, key, _))| key.iter().take_while(|b| b.is_some()).count())
-            .map(|(i, _)| i)
-            .unwrap();
+        let prefix = |key: &[Option<u32>; 4]| key.iter().take_while(|b| b.is_some()).count();
+        let lens = [
+            prefix(&candidates[0].1),
+            prefix(&candidates[1].1),
+            prefix(&candidates[2].1),
+            prefix(&candidates[3].1),
+        ];
+        let best_len = *lens.iter().max().unwrap();
+        let mut best = lens.iter().position(|&l| l == best_len).unwrap();
+        let contenders = lens.iter().filter(|&&l| l == best_len).count();
+        // With 0 bound positions every index is a full scan, and with all 4
+        // bound every range is a membership probe — only partial prefixes
+        // are worth the comparison.
+        if contenders > 1 && best_len > 0 && best_len < 4 {
+            const TIE_SCAN_CAP: usize = 64;
+            let mut best_count = usize::MAX;
+            for (i, (index, key, _)) in candidates.iter().enumerate() {
+                if lens[i] != best_len {
+                    continue;
+                }
+                let (lo, hi) = Self::range_bounds(key, best_len);
+                let count = index.range(lo..=hi).take(TIE_SCAN_CAP).count();
+                if count < best_count {
+                    best_count = count;
+                    best = i;
+                }
+            }
+        }
         let (index, key, decode) = candidates[best];
-        let prefix_len = key.iter().take_while(|b| b.is_some()).count();
+        let (lo, hi) = Self::range_bounds(&key, best_len);
+        ScanPlan { index, lo, hi, prefix_len: best_len, residual: key, decode }
+    }
+
+    fn range_bounds(key: &[Option<u32>; 4], prefix_len: usize) -> ([u32; 4], [u32; 4]) {
         let mut lo = [0u32; 4];
         let mut hi = [u32::MAX; 4];
         for i in 0..prefix_len {
             lo[i] = key[i].unwrap();
             hi[i] = key[i].unwrap();
         }
-        ScanPlan { index, lo, hi, prefix_len, residual: key, decode }
+        (lo, hi)
     }
 
     /// Match an id-level pattern, returning encoded quads `[s, p, o, g]`.
@@ -315,17 +661,22 @@ impl QuadStore {
     }
 
     /// Distinct named graphs in the store.
+    ///
+    /// Skip-scans gspo: after reading one graph id it range-jumps to the
+    /// first key of the next graph, so the cost is O(#graphs · log n)
+    /// rather than a walk over every index entry.
     pub fn named_graphs(&self) -> Vec<String> {
         let mut graphs: Vec<String> = Vec::new();
-        let mut last: Option<u32> = None;
-        for k in &self.gspo {
-            if last == Some(k[0]) {
-                continue;
-            }
-            last = Some(k[0]);
-            if let GraphName::Named(g) = self.graph_of(TermId(k[0])) {
+        let mut cursor = self.gspo.iter().next();
+        while let Some(k) = cursor {
+            let gid = k[0];
+            if let GraphName::Named(g) = self.graph_of(TermId(gid)) {
                 graphs.push(g);
             }
+            let Some(next) = gid.checked_add(1) else {
+                break;
+            };
+            cursor = self.gspo.range([next, 0, 0, 0]..).next();
         }
         graphs
     }
@@ -334,6 +685,117 @@ impl QuadStore {
     pub fn approx_bytes(&self) -> u64 {
         let per_quad = std::mem::size_of::<[u32; 4]>() as u64;
         self.spog.len() as u64 * per_quad * 4 + self.dict.approx_bytes()
+    }
+}
+
+/// One term occurrence viewed without allocating: either a borrowed term
+/// or a graph IRI (the graph slot interns as [`Term::Iri`], so a graph
+/// occurrence and an IRI term occurrence of the same string are the same
+/// dictionary entry — and hash identically).
+enum SlotRef<'a> {
+    Term(&'a Term),
+    Graph(&'a str),
+}
+
+impl SlotRef<'_> {
+    /// Equality across the two views: a graph slot equals an IRI term
+    /// with the same string.
+    fn matches(&self, other: &SlotRef<'_>) -> bool {
+        match (self, other) {
+            (SlotRef::Term(a), SlotRef::Term(b)) => a == b,
+            (SlotRef::Graph(a), SlotRef::Graph(b)) => a == b,
+            (SlotRef::Term(t), SlotRef::Graph(g)) | (SlotRef::Graph(g), SlotRef::Term(t)) => {
+                matches!(t, Term::Iri(s) if s.as_str() == *g)
+            }
+        }
+    }
+
+    /// Probe the dictionary for this occurrence's id, if interned.
+    fn resolve(&self, dict: &Dictionary, hash: u64) -> Option<TermId> {
+        match self {
+            SlotRef::Term(term) => dict.id_by_hash(hash, term),
+            SlotRef::Graph(iri) => dict.id_by_hash_iri(hash, iri),
+        }
+    }
+}
+
+/// A hash group whose term is not yet interned, resolved after the scan
+/// in first-occurrence order.
+struct PendingGroup {
+    /// Smallest flat position of the term in the batch — the sort key
+    /// that reproduces sequential [`TermId`] assignment.
+    first: u32,
+    hash: u64,
+    members: PendingMembers,
+}
+
+/// Occurrences a pending group covers: a contiguous range of the sorted
+/// occurrence vector (the no-collision common case) or an explicit list
+/// (hash collisions split a group between distinct terms).
+enum PendingMembers {
+    Run(u32, u32),
+    List(Vec<u32>),
+}
+
+/// Scatter a resolved id back into its quad's encoded slot.
+fn write(enc: &mut [EncodedQuad], flat: u32, id: u32) {
+    enc[(flat / 4) as usize][(flat % 4) as usize] = id;
+}
+
+/// Merge a sorted, deduplicated run of index keys into one index tree.
+///
+/// Empty tree: bulk-build straight from the run (`BTreeSet`'s
+/// `FromIterator` detects the sorted input and packs leaves directly).
+/// Sizeable run vs. existing tree: rebuild from the merge of the two
+/// sorted streams, which stays O(n) per element instead of paying a
+/// root-to-leaf walk per key. Small run: plain inserts.
+fn merge_sorted_run(set: &mut BTreeSet<[u32; 4]>, run: Vec<[u32; 4]>) {
+    if run.is_empty() {
+        return;
+    }
+    if set.is_empty() {
+        *set = run.into_iter().collect();
+        return;
+    }
+    if run.len() >= set.len() / 8 {
+        let old = std::mem::take(set);
+        *set = MergeSorted { a: old.into_iter().peekable(), b: run.into_iter().peekable() }
+            .collect();
+        return;
+    }
+    for key in run {
+        set.insert(key);
+    }
+}
+
+/// Deduplicating merge of two sorted streams of index keys.
+struct MergeSorted<A: Iterator, B: Iterator> {
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<A, B> Iterator for MergeSorted<A, B>
+where
+    A: Iterator<Item = [u32; 4]>,
+    B: Iterator<Item = [u32; 4]>,
+{
+    type Item = [u32; 4];
+
+    fn next(&mut self) -> Option<[u32; 4]> {
+        match (self.a.peek(), self.b.peek()) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    self.a.next()
+                } else if y < x {
+                    self.b.next()
+                } else {
+                    self.a.next();
+                    self.b.next()
+                }
+            }
+            (Some(_), None) => self.a.next(),
+            (None, _) => self.b.next(),
+        }
     }
 }
 
@@ -541,6 +1003,136 @@ mod tests {
         assert!(store.id_of(&Term::iri("colA")).is_some());
         assert!(store.id_of(&Term::iri("similar")).is_some());
         assert!(store.id_of(&Term::iri("colB")).is_some());
+    }
+
+    #[test]
+    fn extend_matches_sequential_insert() {
+        let mut quads: Vec<Quad> = Vec::new();
+        for i in 0..40 {
+            quads.push(q(&format!("s{}", i % 7), &format!("p{}", i % 3), &format!("o{i}")));
+        }
+        // duplicates, a named graph, and a quoted annotation
+        quads.push(q("s0", "p0", "o0"));
+        quads.push(quads[0].clone());
+        quads.push(Quad::in_graph(
+            Term::iri("s9"),
+            Term::iri("p9"),
+            Term::iri("o9"),
+            GraphName::named("g"),
+        ));
+        quads.push(Quad::new(
+            Term::quoted(Term::iri("a"), Term::iri("sim"), Term::iri("b")),
+            Term::iri("score"),
+            Term::double(0.5),
+        ));
+
+        let mut seq = QuadStore::new();
+        let mut fresh = 0;
+        for quad in &quads {
+            fresh += usize::from(seq.insert(quad));
+        }
+        let mut bulk = QuadStore::new();
+        let stats = bulk.extend_stats(quads.clone());
+
+        assert_eq!(stats.quads_in, quads.len());
+        assert_eq!(stats.quads_added, fresh);
+        assert_eq!(bulk.len(), seq.len());
+        assert_eq!(bulk.term_count(), seq.term_count());
+        for (id, term) in seq.dictionary().iter() {
+            assert_eq!(bulk.dictionary().term(id), term, "TermId {} diverged", id.0);
+        }
+        let seq_ids: Vec<EncodedQuad> = seq.match_ids(&EncodedPattern::any()).collect();
+        let bulk_ids: Vec<EncodedQuad> = bulk.match_ids(&EncodedPattern::any()).collect();
+        assert_eq!(seq_ids, bulk_ids);
+        assert!(bulk.validate_indexes());
+    }
+
+    #[test]
+    fn extend_is_incremental() {
+        let mut seq = QuadStore::new();
+        let mut bulk = QuadStore::new();
+        let first: Vec<Quad> = (0..10).map(|i| q(&format!("s{i}"), "p", "o")).collect();
+        let second: Vec<Quad> = (5..15).map(|i| q(&format!("s{i}"), "p", "o")).collect();
+        for quad in first.iter().chain(&second) {
+            seq.insert(quad);
+        }
+        assert_eq!(bulk.extend(first), 10);
+        assert_eq!(bulk.extend(second), 5);
+        assert_eq!(bulk.len(), seq.len());
+        for (id, term) in seq.dictionary().iter() {
+            assert_eq!(bulk.dictionary().term(id), term);
+        }
+        assert!(bulk.validate_indexes());
+    }
+
+    #[test]
+    fn extend_empty_batch_is_noop() {
+        let mut store = estimate_store();
+        let before = store.len();
+        let stats = store.extend_stats(Vec::new());
+        assert_eq!(stats.quads_in, 0);
+        assert_eq!(stats.quads_added, 0);
+        assert_eq!(stats.dedup_rate(), 0.0);
+        assert_eq!(store.len(), before);
+    }
+
+    #[test]
+    fn extend_encoded_fast_path_roundtrips() {
+        let src = estimate_store();
+        let encoded: Vec<EncodedQuad> = src.match_ids(&EncodedPattern::any()).collect();
+        // re-adding the store's own quads: all duplicates
+        let mut again = estimate_store();
+        assert_eq!(again.extend_encoded(encoded.clone()), 0);
+        assert_eq!(again.len(), src.len());
+        assert!(again.validate_indexes());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside this store's dictionary")]
+    fn extend_encoded_rejects_foreign_ids() {
+        let mut store = estimate_store();
+        store.extend_encoded([[0, 1, 2, 9999]]);
+    }
+
+    #[test]
+    fn plan_tie_break_prefers_selective_index() {
+        // (p, g) bound reaches prefix 1 in both posg and gspo; make the
+        // graph side far more selective and check the estimate follows it.
+        let mut store = QuadStore::new();
+        for i in 0..50 {
+            store.insert(&q(&format!("s{i}"), "p", &format!("o{i}")));
+        }
+        store.insert(&Quad::in_graph(
+            Term::iri("s"),
+            Term::iri("p"),
+            Term::iri("o"),
+            GraphName::named("g"),
+        ));
+        let p = store.id_of(&Term::iri("p")).unwrap();
+        let g = store.graph_id(&GraphName::named("g")).unwrap();
+        let pattern =
+            EncodedPattern { predicate: Some(p), graph: Some(g), ..EncodedPattern::any() };
+        // gspo's graph range holds 1 entry, posg's predicate range 51
+        assert_eq!(store.estimate_pattern(&pattern), 1);
+        assert_eq!(store.match_ids(&pattern).count(), 1);
+    }
+
+    #[test]
+    fn named_graphs_skip_scan_finds_all_graphs() {
+        let mut store = QuadStore::new();
+        for i in 0..20 {
+            store.insert(&q(&format!("s{i}"), "p", "o"));
+            store.insert(&Quad::in_graph(
+                Term::iri(format!("s{i}")),
+                Term::iri("p"),
+                Term::iri("o"),
+                GraphName::named(format!("g{i:02}")),
+            ));
+        }
+        let mut graphs = store.named_graphs();
+        graphs.sort();
+        let expected: Vec<String> = (0..20).map(|i| format!("g{i:02}")).collect();
+        assert_eq!(graphs, expected);
     }
 
     #[test]

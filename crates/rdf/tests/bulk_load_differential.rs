@@ -1,0 +1,141 @@
+//! Differential property test for the bulk loader: `QuadStore::extend`
+//! must be **bit-identical** to a sequential `insert` loop — same quads,
+//! same four index permutations, and the same insert-order-dense `TermId`
+//! for every term, since the SPARQL evaluator joins purely over ids.
+//!
+//! Batches are drawn from a small alphabet so duplicates (batch-internal
+//! and cross-batch) are common, and include quoted triples and named
+//! graphs — the two term shapes with non-trivial interning order.
+
+use lids_rdf::{EncodedPattern, EncodedQuad, GraphName, Quad, QuadStore, Term};
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+fn leaf_strategy() -> BoxedStrategy<Term> {
+    let iri = (0u8..12).prop_map(|i| Term::iri(format!("http://x/{i}")));
+    let literal = prop_oneof![
+        (0u8..6).prop_map(|i| Term::string(format!("v{i}"))),
+        (0u8..6).prop_map(|i| Term::double(f64::from(i) / 4.0)),
+    ];
+    let bnode = (0u8..4).prop_map(|i| Term::BNode(format!("b{i}")));
+    prop_oneof![4 => iri.boxed(), 2 => literal.boxed(), 1 => bnode.boxed()].boxed()
+}
+
+fn term_strategy() -> BoxedStrategy<Term> {
+    let quoted = (leaf_strategy(), leaf_strategy(), leaf_strategy())
+        .prop_map(|(s, p, o)| Term::quoted(s, p, o));
+    prop_oneof![6 => leaf_strategy(), 1 => quoted.boxed()].boxed()
+}
+
+fn graph_strategy() -> impl Strategy<Value = GraphName> {
+    prop_oneof![
+        3 => Just(GraphName::Default),
+        2 => (0u8..3).prop_map(|i| GraphName::named(format!("http://g/{i}"))),
+    ]
+}
+
+fn quad_strategy() -> impl Strategy<Value = Quad> {
+    (term_strategy(), term_strategy(), term_strategy(), graph_strategy())
+        .prop_map(|(s, p, o, g)| Quad::in_graph(s, p, o, g))
+}
+
+/// The two stores agree bit for bit: dictionary (ids AND interning order),
+/// quad set in encoded form, and internally consistent secondary indexes.
+fn assert_identical(seq: &QuadStore, bulk: &QuadStore) {
+    assert_eq!(bulk.len(), seq.len(), "quad count diverged");
+    assert_eq!(bulk.term_count(), seq.term_count(), "term count diverged");
+    for (id, term) in seq.dictionary().iter() {
+        assert_eq!(bulk.dictionary().term(id), term, "TermId {} diverged", id.0);
+    }
+    let seq_ids: Vec<EncodedQuad> = seq.match_ids(&EncodedPattern::any()).collect();
+    let bulk_ids: Vec<EncodedQuad> = bulk.match_ids(&EncodedPattern::any()).collect();
+    assert_eq!(seq_ids, bulk_ids, "encoded quad sets diverged");
+    assert!(seq.validate_indexes(), "sequential store indexes inconsistent");
+    assert!(bulk.validate_indexes(), "bulk store indexes inconsistent");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn extend_matches_sequential_insert(quads in proptest::collection::vec(quad_strategy(), 0..120)) {
+        let mut seq = QuadStore::new();
+        let mut fresh = 0usize;
+        for quad in &quads {
+            fresh += usize::from(seq.insert(quad));
+        }
+        let mut bulk = QuadStore::new();
+        let stats = bulk.extend_stats(quads.clone());
+        prop_assert_eq!(stats.quads_in, quads.len());
+        prop_assert_eq!(stats.quads_added, fresh);
+        assert_identical(&seq, &bulk);
+    }
+
+    #[test]
+    fn split_batches_match_one_batch(
+        quads in proptest::collection::vec(quad_strategy(), 1..120),
+        split_at in 0usize..120,
+    ) {
+        let split = split_at.min(quads.len());
+        let mut seq = QuadStore::new();
+        for quad in &quads {
+            seq.insert(quad);
+        }
+        // incremental path: first batch bulk-builds, second merges into
+        // the populated trees and an already-warm dictionary
+        let mut bulk = QuadStore::new();
+        bulk.extend(quads[..split].to_vec());
+        bulk.extend(quads[split..].to_vec());
+        assert_identical(&seq, &bulk);
+    }
+
+    #[test]
+    fn extend_encoded_reinserts_are_noops(quads in proptest::collection::vec(quad_strategy(), 1..60)) {
+        let mut store = QuadStore::new();
+        store.extend(quads);
+        let before = store.len();
+        let encoded: Vec<EncodedQuad> = store.match_ids(&EncodedPattern::any()).collect();
+        prop_assert_eq!(store.extend_encoded(encoded), 0);
+        prop_assert_eq!(store.len(), before);
+        prop_assert!(store.validate_indexes());
+    }
+}
+
+/// One deterministic large-ish batch that crosses the parallel threshold,
+/// so the sharded extract / threaded index merge paths run in CI even
+/// though proptest batches stay small.
+#[test]
+fn parallel_path_matches_sequential_insert() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut quads: Vec<Quad> = Vec::new();
+    for _ in 0..30_000 {
+        let s = Term::iri(format!("http://x/s{}", rng.gen_range(0..2000)));
+        let p = Term::iri(format!("http://x/p{}", rng.gen_range(0..20)));
+        let o = match rng.gen_range(0..3) {
+            0 => Term::iri(format!("http://x/o{}", rng.gen_range(0..2000))),
+            1 => Term::string(format!("v{}", rng.gen_range(0..500))),
+            _ => Term::quoted(
+                Term::iri(format!("http://x/a{}", rng.gen_range(0..100))),
+                Term::iri("http://x/sim"),
+                Term::iri(format!("http://x/b{}", rng.gen_range(0..100))),
+            ),
+        };
+        let g = if rng.gen_bool(0.3) {
+            GraphName::named(format!("http://g/{}", rng.gen_range(0..50)))
+        } else {
+            GraphName::Default
+        };
+        quads.push(Quad::in_graph(s, p, o, g));
+    }
+    let mut seq = QuadStore::new();
+    for quad in &quads {
+        seq.insert(quad);
+    }
+    let mut bulk = QuadStore::new();
+    let stats = bulk.extend_stats(quads);
+    assert!(stats.quads_added > 0);
+    assert!(stats.dedup_rate() >= 0.0);
+    assert_identical(&seq, &bulk);
+}

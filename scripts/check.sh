@@ -10,6 +10,9 @@ cargo test -q --workspace
 cargo test -q --test chaos
 # Exact-vs-pruned linking must agree edge for edge, score for score.
 cargo test -q --test linking_differential
+# Bulk loading must be indistinguishable from sequential insertion:
+# identical quad sets, identical insert-order-dense TermId assignment.
+cargo test -q -p lids-rdf --test bulk_load_differential
 # Span tree, explain cardinalities, and the <10% instrumentation budget.
 cargo test -q --test observability
 cargo clippy --workspace --all-targets -- -D warnings
@@ -67,6 +70,27 @@ for name, hist in histograms.items():
 print("obs_bench smoke report ok")
 EOF
 rm -f "$obs_out"
+
+# Smoke-run the ingest benchmark: sequential and bulk loaders both complete
+# on the synthetic lake batch, the stores are bit-identical (asserted inside
+# the binary), and bulk loading is at least as fast as sequential insertion.
+ingest_out="$(mktemp)"
+target/release/ingest_bench --smoke --out "$ingest_out" >/dev/null
+python3 - "$ingest_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "ingest", report
+assert report["smoke"] is True, report
+assert report["quads"] > 0, report
+assert report["quads_added"] > 0, report
+assert report["identical"] is True, report
+assert report["speedup"] >= 1.0, report["speedup"]
+for field in ("extract_secs", "encode_secs", "index_secs"):
+    assert field in report["phases"], field
+print("ingest_bench smoke report ok (speedup %.2fx)" % report["speedup"])
+EOF
+rm -f "$ingest_out"
 
 # The ingestion-path crates deny unwrap/expect outside tests; make sure the
 # crate-root opt-ins are still in place so clippy keeps enforcing it.

@@ -10,12 +10,12 @@ use std::collections::{HashMap, HashSet};
 use kglids_repro::datagen::faults::{Corruptor, FaultKind};
 use kglids_repro::datagen::pipelines::{generate_corpus, CorpusSpec};
 use kglids_repro::datagen::LakeSpec;
-use kglids_repro::kg::provenance::QUARANTINE_GRAPH;
+use kglids_repro::kg::provenance::{push_quarantine, QuarantineRecord, QUARANTINE_GRAPH};
 use kglids_repro::kglids::{
     ArtifactKind, IngestOptions, KgLids, KgLidsBuilder, PipelineScript,
 };
 use kglids_repro::profiler::{write_csv, RawDataset, RawTable};
-use kglids_repro::rdf::GraphName;
+use kglids_repro::rdf::{GraphName, Quad, QuadStore};
 
 const SEED: u64 = 2024;
 
@@ -143,6 +143,54 @@ fn corrupted_lake_quarantines_exactly_the_damaged_artifacts() {
             "PyParseError".to_string(),
         ])
     );
+}
+
+/// The bootstrap path accumulates all quarantine records into one batch
+/// and bulk-loads it; the provenance that lands in the store must be
+/// exactly what per-record emission would have produced.
+#[test]
+fn quarantine_provenance_lands_batched_and_complete() {
+    let (lake, clean_tables, clean_scripts) = artifacts();
+    let mut corruptor = Corruptor::new(SEED + 2);
+    let mut tables = clean_tables.clone();
+    for (slot, kind) in FaultKind::CSV.into_iter().enumerate() {
+        tables[slot].bytes = corruptor.corrupt_csv(&tables[slot].bytes, kind);
+    }
+    let mut scripts = clean_scripts.clone();
+    scripts[0].source = corruptor.corrupt_py(&scripts[0].source);
+
+    let (platform, stats) = bootstrap(&lake, tables, scripts);
+    assert!(!stats.report.quarantined.is_empty());
+
+    // reference: one push_quarantine batch over the report, bulk-loaded
+    // into a fresh store — the same call sequence bootstrap uses
+    let mut batch: Vec<Quad> = Vec::new();
+    for entry in &stats.report.quarantined {
+        push_quarantine(
+            &mut batch,
+            &QuarantineRecord {
+                artifact_id: &entry.artifact,
+                artifact_kind: entry.kind.name(),
+                error: &entry.error,
+                retries: entry.retries,
+            },
+        );
+    }
+    assert_eq!(batch.len(), stats.report.quarantined.len() * 5);
+    let mut reference = QuadStore::new();
+    reference.extend(batch);
+
+    let quarantine = GraphName::named(QUARANTINE_GRAPH);
+    let mut stored: Vec<String> = platform
+        .store()
+        .iter()
+        .filter(|q| q.graph == quarantine)
+        .map(|q| q.to_string())
+        .collect();
+    stored.sort();
+    let mut expected: Vec<String> = reference.iter().map(|q| q.to_string()).collect();
+    expected.sort();
+    assert_eq!(stored, expected);
 }
 
 #[test]
