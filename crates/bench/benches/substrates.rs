@@ -182,19 +182,35 @@ fn bench_discovery_star_join(c: &mut Criterion) {
             ));
         }
     }
-    let query = lids_sparql::parse_query(
-        "SELECT ?c ?n ?tbl ?d WHERE { \
+    let query_text = "SELECT ?c ?n ?tbl ?d WHERE { \
            ?c <http://kglids/type> <http://kglids/Column> . \
            ?c <http://kglids/name> ?n . \
            ?c <http://kglids/dtype> <http://kglids/dt/2> . \
            ?c <http://kglids/table> ?tbl . \
            ?tbl <http://kglids/dataset> ?d . \
-           ?c <http://kglids/distinct> ?dc . FILTER(?dc > 900) }",
-    )
-    .unwrap();
+           ?c <http://kglids/distinct> ?dc . FILTER(?dc > 900) }";
+    let query = lids_sparql::parse_query(query_text).unwrap();
     let mut group = c.benchmark_group("sparql_discovery_star_join");
-    group.bench_function("encoded", |b| {
+    // PR 1 row-at-a-time engine on the pre-parsed query
+    group.bench_function("encoded_rows", |b| {
+        let opts = lids_sparql::EvalOptions { vectorize: false, ..Default::default() };
+        b.iter(|| {
+            black_box(lids_sparql::evaluate_with(&store, &query, opts).unwrap().len())
+        })
+    });
+    // vectorized operators (merge/probe/leapfrog) on the pre-parsed query
+    group.bench_function("vectorized", |b| {
         b.iter(|| black_box(lids_sparql::evaluate(&store, &query).unwrap().len()))
+    });
+    // full end-to-end path through the plan cache: text hit, compiled
+    // plan reused, vectorized execution
+    group.bench_function("cached_plan", |b| {
+        let cache = lids_sparql::PlanCache::new();
+        cache.prepare(query_text).unwrap();
+        b.iter(|| {
+            let prepared = cache.prepare(query_text).unwrap();
+            black_box(prepared.execute(&store).unwrap().len())
+        })
     });
     group.bench_function("reference_decoded", |b| {
         b.iter(|| {

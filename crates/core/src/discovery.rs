@@ -510,6 +510,20 @@ mod tests {
     }
 
     #[test]
+    fn discovery_queries_parse_once_per_shape() {
+        let p = platform();
+        p.search_tables(&[&["age"]]);
+        let first = p.plan_cache_stats();
+        assert!(first.parses >= 1, "first call must parse the discovery query");
+        p.search_tables(&[&["city"]]);
+        p.search_tables(&[&["age", "city"], &["travel"]]);
+        let after = p.plan_cache_stats();
+        assert_eq!(after.parses, first.parses, "repeat discovery calls must not re-parse");
+        assert_eq!(after.compiles, first.compiles, "unchanged store must not re-plan");
+        assert_eq!(after.hits(), first.hits() + 2);
+    }
+
+    #[test]
     fn unionable_columns_between_tables() {
         let p = platform();
         let hits = p.find_unionable_columns(("health", "patients"), ("census", "people"));

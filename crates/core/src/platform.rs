@@ -31,7 +31,7 @@ use lids_profiler::{
 };
 use lids_py::analysis::AnalyzedScript;
 use lids_rdf::{IngestStats, Quad, QuadStore};
-use lids_sparql::{EvalOptions, ExplainReport, SparqlError};
+use lids_sparql::{EvalOptions, ExecStats, ExplainReport, PlanCache, PlanCacheStats, SparqlError};
 use lids_vector::{BruteForceIndex, Metric, VectorIndex};
 
 use crate::dataframe::DataFrame;
@@ -581,6 +581,7 @@ impl KgLidsBuilder {
             dataset_embeddings_missing,
             meter,
             obs,
+            plan_cache: PlanCache::new(),
             cleaning_model: None,
             scaling_model: None,
             column_model: None,
@@ -608,6 +609,9 @@ pub struct KgLids {
     pub(crate) dataset_embeddings_missing: HashMap<String, Vec<f32>>,
     pub(crate) meter: MemoryMeter,
     pub(crate) obs: Obs,
+    /// Prepared-query cache: every API/discovery query text is lexed,
+    /// parsed, and planned at most once per shape and store snapshot.
+    pub(crate) plan_cache: PlanCache,
     pub(crate) cleaning_model: Option<lids_gnn::CleaningModel>,
     pub(crate) scaling_model: Option<lids_gnn::ScalingModel>,
     pub(crate) column_model: Option<lids_gnn::ColumnTransformModel>,
@@ -650,8 +654,11 @@ impl KgLids {
     /// `EvalOptions::builder().reorder_joins(false).build()`.
     pub fn query_with(&self, sparql: &str, options: EvalOptions) -> LidsResult<DataFrame> {
         let solutions = self.timed_query(|| {
-            let parsed = lids_sparql::parse_query(sparql)?;
-            lids_sparql::evaluate_with(&self.store, &parsed, options)
+            let prepared = self.plan_cache.prepare(sparql)?;
+            let stats = ExecStats::default();
+            let result = prepared.execute_with_stats(&self.store, options, &stats);
+            self.record_query_obs(&stats);
+            result
         })?;
         Ok(DataFrame::from_solutions(&solutions))
     }
@@ -669,8 +676,35 @@ impl KgLids {
 
     /// Ask query.
     pub fn ask(&self, sparql: &str) -> LidsResult<bool> {
-        let solutions = self.timed_query(|| lids_sparql::query(&self.store, sparql))?;
+        let solutions = self.timed_query(|| {
+            let prepared = self.plan_cache.prepare(sparql)?;
+            let stats = ExecStats::default();
+            let result = prepared.execute_with_stats(&self.store, EvalOptions::default(), &stats);
+            self.record_query_obs(&stats);
+            result
+        })?;
         Ok(solutions.ask.unwrap_or(false))
+    }
+
+    /// Prepared-query cache counters (hits, misses, parses, compiles).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Fold per-query operator counts and the current plan-cache
+    /// counters into the obs registry: `query.ops.*` counters accumulate
+    /// operator executions, `sparql.plan_cache.*` gauges carry the
+    /// cache's monotonic totals.
+    fn record_query_obs(&self, stats: &ExecStats) {
+        let metrics = &self.obs.metrics;
+        metrics.counter_add("query.ops.merge", stats.merge_joins());
+        metrics.counter_add("query.ops.probe", stats.probe_joins());
+        metrics.counter_add("query.ops.leapfrog", stats.leapfrog_joins());
+        let cache = self.plan_cache.stats();
+        metrics.gauge_set("sparql.plan_cache.hits", cache.hits() as f64);
+        metrics.gauge_set("sparql.plan_cache.misses", cache.misses as f64);
+        metrics.gauge_set("sparql.plan_cache.parses", cache.parses as f64);
+        metrics.gauge_set("sparql.plan_cache.compiles", cache.compiles as f64);
     }
 
     /// Run a query closure under the `query.*` metrics: every call counts

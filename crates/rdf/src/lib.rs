@@ -20,5 +20,7 @@ pub mod term;
 
 pub use dictionary::{Dictionary, TermId};
 pub use pattern::QuadPattern;
-pub use store::{EncodedPattern, EncodedQuad, IngestStats, QuadStore};
+pub use store::{
+    EncodedPattern, EncodedQuad, IndexOrder, IngestStats, QuadStore, RunCursor, ScanSpec,
+};
 pub use term::{GraphName, Literal, Quad, Term, Triple};

@@ -1,6 +1,7 @@
 //! Dictionary-encoded quad store with multiple B-tree orderings.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use lids_exec::{parallel_map_with, ParallelConfig};
@@ -94,6 +95,10 @@ impl EncodedPattern {
     }
 }
 
+/// One (index, permuted pattern, ordering) contender for an encoded
+/// pattern's scan.
+type IndexCandidate<'a> = (&'a BTreeSet<[u32; 4]>, [Option<u32>; 4], IndexOrder);
+
 /// A chosen index plus the range bounds for one encoded pattern.
 struct ScanPlan<'a> {
     index: &'a BTreeSet<[u32; 4]>,
@@ -102,8 +107,154 @@ struct ScanPlan<'a> {
     prefix_len: usize,
     /// Bound positions in index key order, for filtering past the prefix.
     residual: [Option<u32>; 4],
-    /// Permutes an index key back to `[s, p, o, g]`.
-    decode: fn([u32; 4]) -> EncodedQuad,
+    /// Which of the four orderings was chosen.
+    order: IndexOrder,
+}
+
+/// One of the four index orderings a [`QuadStore`] maintains.
+///
+/// Names spell the key order: `Spog` keys are `[s, p, o, g]`, `Posg`
+/// keys `[p, o, s, g]`, `Ospg` keys `[o, s, p, g]`, `Gspo` keys
+/// `[g, s, p, o]`. [`IndexOrder::key`]/[`IndexOrder::decode`] convert a
+/// quad between `[s, p, o, g]` form and the ordering's key form, and
+/// [`IndexOrder::positions`] exposes the permutation itself so callers
+/// (the vectorized join operators) can place a join key into an index
+/// prefix generically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexOrder {
+    Spog,
+    Posg,
+    Ospg,
+    Gspo,
+}
+
+impl IndexOrder {
+    /// All four orderings, in declaration order.
+    pub const ALL: [IndexOrder; 4] = [
+        IndexOrder::Spog,
+        IndexOrder::Posg,
+        IndexOrder::Ospg,
+        IndexOrder::Gspo,
+    ];
+
+    /// `positions()[i]` is the `[s, p, o, g]` slot stored at key
+    /// position `i` of this ordering.
+    pub const fn positions(self) -> [usize; 4] {
+        match self {
+            IndexOrder::Spog => [0, 1, 2, 3],
+            IndexOrder::Posg => [1, 2, 0, 3],
+            IndexOrder::Ospg => [2, 0, 1, 3],
+            IndexOrder::Gspo => [3, 0, 1, 2],
+        }
+    }
+
+    /// Permute a quad `[s, p, o, g]` into this ordering's key form.
+    pub fn key(self, quad: EncodedQuad) -> [u32; 4] {
+        let pos = self.positions();
+        [quad[pos[0]], quad[pos[1]], quad[pos[2]], quad[pos[3]]]
+    }
+
+    /// Permute an index key back to `[s, p, o, g]`.
+    pub fn decode(self, key: [u32; 4]) -> EncodedQuad {
+        let pos = self.positions();
+        let mut quad = [0u32; 4];
+        for (i, &p) in pos.iter().enumerate() {
+            quad[p] = key[i];
+        }
+        quad
+    }
+}
+
+/// How far [`RunCursor::seek_ge`] gallops linearly before falling back
+/// to a logarithmic B-tree re-range. Nearby targets (the common case in
+/// merge joins over correlated runs) are reached without paying a
+/// root-to-leaf descent.
+const GALLOP_STEPS: usize = 8;
+
+/// Ceiling on index entries walked per cardinality estimate — bounds
+/// planner cost on huge ranges; see [`QuadStore::estimate_pattern_exact`].
+const ESTIMATE_WALK_CAP: usize = 4096;
+
+/// A forward-only, seekable cursor over one sorted index run.
+///
+/// Obtained from [`QuadStore::run_cursor`]; yields raw index keys in the
+/// chosen [`IndexOrder`] (use [`IndexOrder::decode`] to recover
+/// `[s, p, o, g]`). [`RunCursor::seek_ge`] skips ahead with a bounded
+/// linear gallop first and a `BTreeSet::range` re-anchor only when the
+/// target is far, so sort-merge consumers pay O(1) amortised per nearby
+/// key and O(log n) only on long skips. Seeking backwards is a no-op:
+/// the cursor never moves left.
+pub struct RunCursor<'a> {
+    set: &'a BTreeSet<[u32; 4]>,
+    iter: std::collections::btree_set::Range<'a, [u32; 4]>,
+    current: Option<[u32; 4]>,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(set: &'a BTreeSet<[u32; 4]>) -> Self {
+        let mut iter = set.range([0, 0, 0, 0]..);
+        let current = iter.next().copied();
+        RunCursor { set, iter, current }
+    }
+
+    /// The key the cursor is positioned on, or `None` once exhausted.
+    pub fn current(&self) -> Option<[u32; 4]> {
+        self.current
+    }
+
+    /// Move to the next key in the run.
+    pub fn advance(&mut self) {
+        self.current = self.iter.next().copied();
+    }
+
+    /// Position the cursor on the first key `>= target` at or after the
+    /// current position (never moves backwards).
+    pub fn seek_ge(&mut self, target: [u32; 4]) {
+        match self.current {
+            None => return,
+            Some(cur) if cur >= target => return,
+            Some(_) => {}
+        }
+        // bounded linear gallop: nearby targets avoid the tree descent
+        for _ in 0..GALLOP_STEPS {
+            match self.iter.next() {
+                Some(&key) => {
+                    if key >= target {
+                        self.current = Some(key);
+                        return;
+                    }
+                }
+                None => {
+                    self.current = None;
+                    return;
+                }
+            }
+        }
+        // far target: re-anchor with a logarithmic range query
+        self.iter = self.set.range(target..);
+        self.current = self.iter.next().copied();
+    }
+}
+
+/// The index scan [`QuadStore`] would run for an encoded pattern: the
+/// chosen ordering, the bound-prefix range, and any bound positions that
+/// fall outside the prefix (which a scan must residual-filter).
+///
+/// Public mirror of the store's internal planner, so the vectorized
+/// query engine can reason about (and report) index selection without
+/// re-deriving the permutation logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanSpec {
+    /// The ordering whose key prefix covers the most bound positions.
+    pub order: IndexOrder,
+    /// Inclusive range bounds in the chosen ordering's key form.
+    pub lo: [u32; 4],
+    pub hi: [u32; 4],
+    /// How many leading key positions are pinned by the range.
+    pub prefix_len: usize,
+    /// Bound positions in index key order; entries past `prefix_len`
+    /// must be filtered per key.
+    pub residual: [Option<u32>; 4],
 }
 
 /// Index orderings maintained by the store.
@@ -114,13 +265,34 @@ struct ScanPlan<'a> {
 /// - `posg`: predicate(+object)-bound scans — the workhorse for `?x rdf:type C`
 /// - `ospg`: object-bound scans — reverse traversal
 /// - `gspo`: graph-scoped scans — per-pipeline named-graph queries
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QuadStore {
     dict: Dictionary,
     spog: BTreeSet<[u32; 4]>,
     posg: BTreeSet<[u32; 4]>,
     ospg: BTreeSet<[u32; 4]>,
     gspo: BTreeSet<[u32; 4]>,
+    /// Process-unique identity, so caches keyed on a store never confuse
+    /// two stores that happen to share an address.
+    id: u64,
+    /// Bumped on every mutation; `(id, generation)` validates any state
+    /// derived from a snapshot of this store (compiled query plans).
+    generation: u64,
+}
+
+impl Default for QuadStore {
+    fn default() -> Self {
+        static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
+        QuadStore {
+            dict: Dictionary::default(),
+            spog: BTreeSet::new(),
+            posg: BTreeSet::new(),
+            ospg: BTreeSet::new(),
+            gspo: BTreeSet::new(),
+            id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+            generation: 0,
+        }
+    }
 }
 
 /// Sentinel graph IRI used internally for the default graph.
@@ -151,6 +323,18 @@ impl QuadStore {
         &self.dict
     }
 
+    /// Process-unique store identity (stable for the store's lifetime).
+    pub fn store_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Mutation counter: any insert/remove/bulk-load bumps it, so
+    /// `(store_id, generation)` keys cached state derived from the store
+    /// — a compiled query plan is valid exactly while the pair matches.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     fn graph_term(graph: &GraphName) -> Term {
         match graph {
             GraphName::Default => Term::iri(DEFAULT_GRAPH_IRI),
@@ -178,6 +362,7 @@ impl QuadStore {
             self.posg.insert([p, o, s, g]);
             self.ospg.insert([o, s, p, g]);
             self.gspo.insert([g, s, p, o]);
+            self.generation += 1;
         }
         fresh
     }
@@ -396,6 +581,9 @@ impl QuadStore {
     /// Phase 3: permute the batch into the four index orders, sort and
     /// dedup each run in parallel, then bulk-build or merge per index.
     fn merge_encoded(&mut self, encoded: &[EncodedQuad], threads: usize) {
+        // bulk loads may intern terms even when every quad is a duplicate
+        // of a pending batch member, so invalidate unconditionally
+        self.generation += 1;
         // Sort + dedup the batch once in spog order; the other three
         // permutations sort the already-deduplicated run, not the raw
         // batch, so batch-internal duplicates are paid for only once.
@@ -468,6 +656,7 @@ impl QuadStore {
             self.posg.remove(&[p, o, s, g]);
             self.ospg.remove(&[o, s, p, g]);
             self.gspo.remove(&[g, s, p, o]);
+            self.generation += 1;
         }
         removed
     }
@@ -536,15 +725,19 @@ impl QuadStore {
     /// contender's range is probed up to [`TIE_SCAN_CAP`] entries and the
     /// smallest wins, so a selective object bound beats an unselective
     /// subject bound instead of falling back to declaration order.
-    fn plan(&self, [s, p, o, g]: [Option<u32>; 4]) -> ScanPlan<'_> {
-        type IndexCandidate<'i> =
-            (&'i BTreeSet<[u32; 4]>, [Option<u32>; 4], fn([u32; 4]) -> EncodedQuad);
-        let candidates: [IndexCandidate; 4] = [
-            (&self.spog, [s, p, o, g], |k| [k[0], k[1], k[2], k[3]]),
-            (&self.posg, [p, o, s, g], |k| [k[2], k[0], k[1], k[3]]),
-            (&self.ospg, [o, s, p, g], |k| [k[1], k[2], k[0], k[3]]),
-            (&self.gspo, [g, s, p, o], |k| [k[1], k[2], k[3], k[0]]),
-        ];
+    /// The four (index, permuted pattern, ordering) candidates for a
+    /// pattern's ids in `[s, p, o, g]` order.
+    fn candidates(&self, [s, p, o, g]: [Option<u32>; 4]) -> [IndexCandidate<'_>; 4] {
+        [
+            (&self.spog, [s, p, o, g], IndexOrder::Spog),
+            (&self.posg, [p, o, s, g], IndexOrder::Posg),
+            (&self.ospg, [o, s, p, g], IndexOrder::Ospg),
+            (&self.gspo, [g, s, p, o], IndexOrder::Gspo),
+        ]
+    }
+
+    fn plan(&self, ids: [Option<u32>; 4]) -> ScanPlan<'_> {
+        let candidates = self.candidates(ids);
         let prefix = |key: &[Option<u32>; 4]| key.iter().take_while(|b| b.is_some()).count();
         let lens = [
             prefix(&candidates[0].1),
@@ -573,9 +766,30 @@ impl QuadStore {
                 }
             }
         }
-        let (index, key, decode) = candidates[best];
+        let (index, key, order) = candidates[best];
         let (lo, hi) = Self::range_bounds(&key, best_len);
-        ScanPlan { index, lo, hi, prefix_len: best_len, residual: key, decode }
+        ScanPlan { index, lo, hi, prefix_len: best_len, residual: key, order }
+    }
+
+    /// The scan the store's planner would run for `pattern`: chosen
+    /// [`IndexOrder`], prefix range, and residual-filter positions.
+    pub fn scan_spec(&self, pattern: &EncodedPattern) -> ScanSpec {
+        let ScanPlan { lo, hi, prefix_len, residual, order, .. } = self.plan(pattern.ids());
+        ScanSpec { order, lo, hi, prefix_len, residual }
+    }
+
+    /// A seekable forward cursor over one index ordering's sorted run.
+    pub fn run_cursor(&self, order: IndexOrder) -> RunCursor<'_> {
+        RunCursor::new(self.index_set(order))
+    }
+
+    fn index_set(&self, order: IndexOrder) -> &BTreeSet<[u32; 4]> {
+        match order {
+            IndexOrder::Spog => &self.spog,
+            IndexOrder::Posg => &self.posg,
+            IndexOrder::Ospg => &self.ospg,
+            IndexOrder::Gspo => &self.gspo,
+        }
     }
 
     fn range_bounds(key: &[Option<u32>; 4], prefix_len: usize) -> ([u32; 4], [u32; 4]) {
@@ -597,7 +811,7 @@ impl QuadStore {
         &'a self,
         pattern: &EncodedPattern,
     ) -> impl Iterator<Item = EncodedQuad> + 'a {
-        let ScanPlan { index, lo, hi, prefix_len, residual, decode } = self.plan(pattern.ids());
+        let ScanPlan { index, lo, hi, prefix_len, residual, order } = self.plan(pattern.ids());
         index
             .range(lo..=hi)
             .filter(move |k| {
@@ -607,25 +821,68 @@ impl QuadStore {
                     .skip(prefix_len)
                     .all(|(i, b)| b.is_none_or(|v| k[i] == v))
             })
-            .map(move |&k| decode(k))
+            .map(move |&k| order.decode(k))
     }
 
     /// Cardinality estimate for an id-level pattern: the number of index
-    /// entries inside the chosen B-tree range.
-    ///
-    /// Exact when every bound position lands in the range prefix (which the
-    /// four orderings guarantee for any single bound position, any bound
-    /// `(p,o)`/`(s,p)`/`(o,s)`/`(g,s)` pair, and all fully-bound patterns);
-    /// otherwise an upper bound, since residual positions are not filtered.
-    /// Cost is proportional to the range size, not the store size, except
-    /// for the all-wildcard pattern which answers from `len()` directly.
+    /// entries inside the best B-tree range. See
+    /// [`QuadStore::estimate_pattern_exact`] for the exactness contract.
     pub fn estimate_pattern(&self, pattern: &EncodedPattern) -> usize {
+        self.estimate_pattern_exact(pattern).0
+    }
+
+    /// Cardinality estimate plus whether it is exact.
+    ///
+    /// When some index ordering's key prefix covers *every* bound
+    /// position, the range size counts exactly the matching quads — the
+    /// sorted runs are duplicate-free, so the count is returned with
+    /// `exact = true`. The four orderings guarantee this for any single
+    /// bound position, any bound `(p,o)`/`(s,p)`/`(o,s)`/`(g,s)` pair,
+    /// `(s,p,o)` triples, and fully-bound patterns.
+    ///
+    /// Otherwise every ordering leaves some bound position outside its
+    /// prefix; the estimate is the *minimum* range size over the
+    /// longest-prefix contenders — an upper bound (`exact = false`),
+    /// since residual positions are not filtered. Taking the minimum
+    /// over range counts replaces the previous single-range count,
+    /// whose capped tie-break probe could settle on a far larger range.
+    ///
+    /// Range walks are capped at [`ESTIMATE_WALK_CAP`] entries so the
+    /// planner never pays more than a bounded probe per estimate: a
+    /// range at least that large reports the cap with `exact = false` —
+    /// at that magnitude the join orderer only needs "huge", not the
+    /// digits. The all-wildcard pattern answers from `len()` directly.
+    pub fn estimate_pattern_exact(&self, pattern: &EncodedPattern) -> (usize, bool) {
         let ids = pattern.ids();
-        if ids.iter().all(Option::is_none) {
-            return self.len();
+        let bound = ids.iter().filter(|b| b.is_some()).count();
+        if bound == 0 {
+            return (self.len(), true);
         }
-        let ScanPlan { index, lo, hi, .. } = self.plan(ids);
-        index.range(lo..=hi).count()
+        let capped_count = |index: &BTreeSet<[u32; 4]>, lo, hi| {
+            index.range(lo..=hi).take(ESTIMATE_WALK_CAP).count()
+        };
+        let candidates = self.candidates(ids);
+        let prefix = |key: &[Option<u32>; 4]| key.iter().take_while(|b| b.is_some()).count();
+        // exact pass: a prefix covering all bound positions counts the
+        // true cardinality (any covering ordering gives the same number)
+        for (index, key, _) in &candidates {
+            if prefix(key) == bound {
+                let (lo, hi) = Self::range_bounds(key, bound);
+                let count = capped_count(index, lo, hi);
+                return (count, count < ESTIMATE_WALK_CAP);
+            }
+        }
+        // no covering prefix: tightest upper bound among the contenders
+        let best_len = candidates.iter().map(|(_, key, _)| prefix(key)).max().unwrap_or(0);
+        let mut best = usize::MAX;
+        for (index, key, _) in &candidates {
+            if prefix(key) != best_len {
+                continue;
+            }
+            let (lo, hi) = Self::range_bounds(key, best_len);
+            best = best.min(capped_count(index, lo, hi));
+        }
+        (best, false)
     }
 
     /// Match a pattern, returning encoded quads `[s, p, o, g]`.
@@ -1133,6 +1390,150 @@ mod tests {
         graphs.sort();
         let expected: Vec<String> = (0..20).map(|i| format!("g{i:02}")).collect();
         assert_eq!(graphs, expected);
+    }
+
+    #[test]
+    fn index_order_key_decode_roundtrip() {
+        let quad: EncodedQuad = [7, 11, 13, 17];
+        for order in IndexOrder::ALL {
+            assert_eq!(order.decode(order.key(quad)), quad, "{order:?}");
+        }
+        // the documented permutations hold
+        assert_eq!(IndexOrder::Posg.key(quad), [11, 13, 7, 17]);
+        assert_eq!(IndexOrder::Ospg.key(quad), [13, 7, 11, 17]);
+        assert_eq!(IndexOrder::Gspo.key(quad), [17, 7, 11, 13]);
+    }
+
+    #[test]
+    fn run_cursor_walks_and_seeks() {
+        let mut store = QuadStore::new();
+        for i in 0..100u32 {
+            store.insert(&q(&format!("s{i:03}"), "p", &format!("o{i:03}")));
+        }
+        let mut cursor = store.run_cursor(IndexOrder::Spog);
+        // full walk agrees with a plain scan
+        let mut walked = 0usize;
+        let mut check = store.run_cursor(IndexOrder::Spog);
+        while check.current().is_some() {
+            walked += 1;
+            check.advance();
+        }
+        assert_eq!(walked, store.len());
+        // seek lands on the first key >= target, both for near targets
+        // (gallop) and far targets (re-range)
+        let keys: Vec<[u32; 4]> = store.match_ids(&EncodedPattern::any()).collect();
+        let near = keys[2];
+        cursor.seek_ge(near);
+        assert_eq!(cursor.current(), Some(near));
+        let far = keys[90];
+        cursor.seek_ge(far);
+        assert_eq!(cursor.current(), Some(far));
+        // seeking backwards never rewinds
+        cursor.seek_ge(keys[5]);
+        assert_eq!(cursor.current(), Some(far));
+        // between-keys target lands on the next key
+        let mut between = keys[40];
+        between[3] += 1;
+        cursor.seek_ge([0, 0, 0, 0]); // no-op (backwards)
+        assert_eq!(cursor.current(), Some(far));
+        let mut fresh = store.run_cursor(IndexOrder::Spog);
+        fresh.seek_ge(between);
+        assert_eq!(fresh.current(), Some(keys[41]));
+        // past-the-end exhausts
+        fresh.seek_ge([u32::MAX, u32::MAX, u32::MAX, u32::MAX]);
+        assert_eq!(fresh.current(), None);
+    }
+
+    #[test]
+    fn scan_spec_matches_planner_choice() {
+        let store = estimate_store();
+        let spec = store.scan_spec(&enc(&store, None, Some("p1"), Some("o1")));
+        assert_eq!(spec.order, IndexOrder::Posg);
+        assert_eq!(spec.prefix_len, 2);
+        // the spec's range enumerates exactly the matches
+        let mut cursor = store.run_cursor(spec.order);
+        cursor.seek_ge(spec.lo);
+        let mut hits = 0;
+        while let Some(k) = cursor.current() {
+            if k > spec.hi {
+                break;
+            }
+            hits += 1;
+            cursor.advance();
+        }
+        assert_eq!(hits, 3);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation_path() {
+        let mut store = QuadStore::new();
+        let g0 = store.generation();
+        store.insert(&q("s", "p", "o"));
+        let g1 = store.generation();
+        assert!(g1 > g0);
+        // duplicate insert: no index change, generation stays
+        store.insert(&q("s", "p", "o"));
+        assert_eq!(store.generation(), g1);
+        store.extend(vec![q("s2", "p", "o")]);
+        let g2 = store.generation();
+        assert!(g2 > g1);
+        store.remove(&q("s", "p", "o"));
+        assert!(store.generation() > g2);
+        // distinct stores never share an identity
+        assert_ne!(QuadStore::new().store_id(), QuadStore::new().store_id());
+    }
+
+    #[test]
+    fn estimate_exact_flag_tracks_prefix_coverage() {
+        let store = estimate_store();
+        // covered combinations are exact
+        assert_eq!(store.estimate_pattern_exact(&enc(&store, Some("s1"), None, None)), (2, true));
+        assert_eq!(
+            store.estimate_pattern_exact(&enc(&store, None, Some("p1"), Some("o1"))),
+            (3, true)
+        );
+        assert_eq!(store.estimate_pattern_exact(&EncodedPattern::any()), (4, true));
+        // (s, o) is covered by ospg's (o, s) prefix
+        assert_eq!(
+            store.estimate_pattern_exact(&enc(&store, Some("s2"), None, Some("o1"))),
+            (1, true)
+        );
+        // (p, g) is covered by no ordering: upper bound, not exact
+        let p1 = store.id_of(&Term::iri("p1")).unwrap();
+        let g = store.graph_id(&GraphName::named("g")).unwrap();
+        let pg = EncodedPattern { predicate: Some(p1), graph: Some(g), ..EncodedPattern::any() };
+        let (est, exact) = store.estimate_pattern_exact(&pg);
+        assert!(!exact);
+        assert!(est >= store.match_ids(&pg).count());
+    }
+
+    #[test]
+    fn estimate_uncovered_pattern_takes_tightest_contender() {
+        // (p, g) bound: posg and gspo both reach prefix 1. Make both
+        // ranges larger than any probe cap so only full counting can
+        // tell them apart, with the graph side far more selective.
+        let mut store = QuadStore::new();
+        for i in 0..200 {
+            store.insert(&q(&format!("s{i}"), "p", &format!("o{i}")));
+        }
+        for i in 0..70 {
+            store.insert(&Quad::in_graph(
+                Term::iri(format!("s{i}")),
+                Term::iri("p"),
+                Term::iri("o"),
+                GraphName::named("g"),
+            ));
+        }
+        let p = store.id_of(&Term::iri("p")).unwrap();
+        let g = store.graph_id(&GraphName::named("g")).unwrap();
+        let pattern =
+            EncodedPattern { predicate: Some(p), graph: Some(g), ..EncodedPattern::any() };
+        // posg's p-range holds 270 entries, gspo's g-range 70: the
+        // estimate must follow the tighter contender
+        let (est, exact) = store.estimate_pattern_exact(&pattern);
+        assert!(!exact);
+        assert_eq!(est, 70);
+        assert_eq!(store.match_ids(&pattern).count(), 70);
     }
 
     #[test]

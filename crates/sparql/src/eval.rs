@@ -19,7 +19,7 @@
 
 use std::cell::Cell;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering::Relaxed};
 use std::time::Instant;
 
 use lids_exec::parallel_map;
@@ -48,11 +48,18 @@ pub struct EvalOptions {
     /// Intermediate binding sets at least this large are joined in
     /// parallel chunks. `usize::MAX` disables parallelism.
     pub parallel_threshold: usize,
+    /// Vectorized execution: batched columnar joins over sorted index
+    /// runs (sort-merge, leapfrog star intersection) where the BGP shape
+    /// allows, with the row-at-a-time nested loop as the fallback.
+    /// Disabling it forces the PR 1 row engine everywhere — the ablation
+    /// arm of the `sparql` bench, and the mode whose row order matches
+    /// [`crate::reference`] exactly.
+    pub vectorize: bool,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_joins: true, parallel_threshold: 1024 }
+        EvalOptions { reorder_joins: true, parallel_threshold: 1024, vectorize: true }
     }
 }
 
@@ -82,13 +89,100 @@ impl EvalOptionsBuilder {
         self
     }
 
+    /// Enable/disable vectorized (batched columnar) join execution.
+    pub fn vectorize(mut self, on: bool) -> Self {
+        self.inner.vectorize = on;
+        self
+    }
+
     pub fn build(self) -> EvalOptions {
         self.inner
     }
 }
 
 /// A partial solution: one optional term *id* per query variable.
-type IdBinding = Vec<Option<TermId>>;
+pub(crate) type IdBinding = Vec<Option<TermId>>;
+
+/// Always-on per-evaluation operator counters (relaxed atomics, added
+/// once per operator execution — never per row). [`evaluate_with_stats`]
+/// and the prepared-query path fill one in so callers (the platform's
+/// obs registry) can attribute work to merge / probe / leapfrog
+/// operators without paying for full explain instrumentation.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    merge_joins: AtomicU64,
+    probe_joins: AtomicU64,
+    leapfrog_joins: AtomicU64,
+}
+
+impl ExecStats {
+    /// Sort-merge join executions.
+    pub fn merge_joins(&self) -> u64 {
+        self.merge_joins.load(Relaxed)
+    }
+
+    /// Per-row probe join executions.
+    pub fn probe_joins(&self) -> u64 {
+        self.probe_joins.load(Relaxed)
+    }
+
+    /// Leapfrog star-intersection executions.
+    pub fn leapfrog_joins(&self) -> u64 {
+        self.leapfrog_joins.load(Relaxed)
+    }
+
+    pub(crate) fn count(&self, op: Operator) {
+        match op {
+            // the row engine is visible through explain's per-pattern
+            // operator labels; these counters track vectorized ops only
+            Operator::NestedLoop => return,
+            Operator::Probe => &self.probe_joins,
+            Operator::Merge => &self.merge_joins,
+            Operator::Leapfrog => &self.leapfrog_joins,
+        }
+        .fetch_add(1, Relaxed);
+    }
+}
+
+/// Which join operator executed a pattern. `NestedLoop` is the row
+/// engine; the rest are the vectorized operators in [`crate::batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Operator {
+    NestedLoop,
+    Probe,
+    Merge,
+    Leapfrog,
+}
+
+impl Operator {
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            Operator::NestedLoop => "nested-loop",
+            Operator::Probe => "probe",
+            Operator::Merge => "merge",
+            Operator::Leapfrog => "leapfrog",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            Operator::NestedLoop => 1,
+            Operator::Probe => 2,
+            Operator::Merge => 3,
+            Operator::Leapfrog => 4,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Operator> {
+        match code {
+            1 => Some(Operator::NestedLoop),
+            2 => Some(Operator::Probe),
+            3 => Some(Operator::Merge),
+            4 => Some(Operator::Leapfrog),
+            _ => None,
+        }
+    }
+}
 
 /// Evaluate with explicit options.
 pub fn evaluate_with(
@@ -98,7 +192,20 @@ pub fn evaluate_with(
 ) -> Result<Solutions, SparqlError> {
     let mut compiler = Compiler::new(store, &query.variables, false);
     let compiled = compiler.compile_query(query);
-    eval_compiled(store, query, options, &compiled, None)
+    eval_compiled(store, query, options, &compiled, None, None)
+}
+
+/// Evaluate with explicit options, filling `stats` with per-operator
+/// execution counts.
+pub fn evaluate_with_stats(
+    store: &QuadStore,
+    query: &Query,
+    options: EvalOptions,
+    stats: &ExecStats,
+) -> Result<Solutions, SparqlError> {
+    let mut compiler = Compiler::new(store, &query.variables, false);
+    let compiled = compiler.compile_query(query);
+    eval_compiled(store, query, options, &compiled, None, Some(stats))
 }
 
 /// Evaluate with per-pattern instrumentation, returning the solutions
@@ -113,7 +220,8 @@ pub fn evaluate_explained(
     let compiled = compiler.compile_query(query);
     let metas = compiler.metas;
     let instr = Instr::new(metas.len());
-    let solutions = eval_compiled(store, query, options, &compiled, Some(&instr))?;
+    let stats = ExecStats::default();
+    let solutions = eval_compiled(store, query, options, &compiled, Some(&instr), Some(&stats))?;
     let wall_secs = start.elapsed().as_secs_f64();
     let patterns = metas
         .into_iter()
@@ -128,6 +236,7 @@ pub fn evaluate_explained(
                 scans: cell.scans.load(Relaxed),
                 order: (order != usize::MAX).then_some(order),
                 satisfiable: meta.satisfiable,
+                operator: Operator::from_code(cell.operator.load(Relaxed)).map(Operator::label),
             }
         })
         .collect();
@@ -139,18 +248,22 @@ pub fn evaluate_explained(
         decoded_terms: instr.decoded.load(Relaxed),
         parallel_joins: instr.parallel_joins.load(Relaxed),
         serial_joins: instr.serial_joins.load(Relaxed),
+        merge_joins: stats.merge_joins(),
+        probe_joins: stats.probe_joins(),
+        leapfrog_joins: stats.leapfrog_joins(),
     };
     Ok((solutions, report))
 }
 
-fn eval_compiled(
+pub(crate) fn eval_compiled(
     store: &QuadStore,
     query: &Query,
     options: EvalOptions,
     compiled: &EncGroup,
     instr: Option<&Instr>,
+    stats: Option<&ExecStats>,
 ) -> Result<Solutions, SparqlError> {
-    let ev = Evaluator { store, options, instr };
+    let ev = Evaluator { store, options, instr, stats };
     let nvars = query.variables.len();
     let root = vec![vec![None; nvars]];
     match &query.form {
@@ -176,7 +289,7 @@ fn eval_compiled(
 /// with relaxed ordering: one add per `match_rows` *call* (never per
 /// row), so instrumented evaluation stays within a few percent of
 /// uninstrumented.
-struct Instr {
+pub(crate) struct Instr {
     cells: Vec<InstrCell>,
     decoded: AtomicU64,
     parallel_joins: AtomicU64,
@@ -190,6 +303,9 @@ struct InstrCell {
     order: AtomicUsize,
     actual: AtomicU64,
     scans: AtomicU64,
+    /// [`Operator::code`] of the operator that joined this pattern
+    /// (first execution wins); 0 = never executed.
+    operator: AtomicU8,
 }
 
 impl Instr {
@@ -200,6 +316,7 @@ impl Instr {
                     order: AtomicUsize::new(usize::MAX),
                     actual: AtomicU64::new(0),
                     scans: AtomicU64::new(0),
+                    operator: AtomicU8::new(0),
                 })
                 .collect(),
             decoded: AtomicU64::new(0),
@@ -208,16 +325,22 @@ impl Instr {
         }
     }
 
-    fn record_order(&self, pid: u32, position: usize) {
+    pub(crate) fn record_order(&self, pid: u32, position: usize) {
         if let Some(cell) = self.cells.get(pid as usize) {
             let _ = cell.order.compare_exchange(usize::MAX, position, Relaxed, Relaxed);
         }
     }
 
-    fn record_match(&self, pid: u32, produced: usize) {
+    pub(crate) fn record_match(&self, pid: u32, produced: usize) {
         if let Some(cell) = self.cells.get(pid as usize) {
             cell.scans.fetch_add(1, Relaxed);
             cell.actual.fetch_add(produced as u64, Relaxed);
+        }
+    }
+
+    pub(crate) fn record_operator(&self, pid: u32, op: Operator) {
+        if let Some(cell) = self.cells.get(pid as usize) {
+            let _ = cell.operator.compare_exchange(0, op.code(), Relaxed, Relaxed);
         }
     }
 }
@@ -238,7 +361,7 @@ struct PatternMeta {
 // ------------------------------------------------------------ compiled form
 
 /// A node pattern with constants already resolved to ids.
-enum EncNode {
+pub(crate) enum EncNode {
     Const(TermId),
     Var(VarId),
     /// Quoted pattern containing at least one variable (ground quoted
@@ -246,21 +369,21 @@ enum EncNode {
     Quoted(Box<EncTriple>),
 }
 
-struct EncTriple {
+pub(crate) struct EncTriple {
     /// Index into the explain-mode pattern table ([`NO_PID`] for
     /// nested quoted patterns, which are never scanned directly).
-    pid: u32,
-    subject: EncNode,
-    predicate: EncNode,
-    object: EncNode,
+    pub(crate) pid: u32,
+    pub(crate) subject: EncNode,
+    pub(crate) predicate: EncNode,
+    pub(crate) object: EncNode,
 }
 
-enum GraphSpec {
+pub(crate) enum GraphSpec {
     Fixed(TermId),
     Var(VarId),
 }
 
-enum EncElement {
+pub(crate) enum EncElement {
     Triples(Vec<EncTriple>),
     /// A pattern that cannot match anything in this store (it references a
     /// constant the dictionary has never interned).
@@ -271,15 +394,15 @@ enum EncElement {
     Union(Vec<EncGroup>),
 }
 
-struct EncGroup {
-    elements: Vec<EncElement>,
+pub(crate) struct EncGroup {
+    pub(crate) elements: Vec<EncElement>,
 }
 
 /// Graph scope during evaluation. The default scope spans all graphs;
 /// `GRAPH` narrows it to one fixed graph id or a variable ranging over
 /// named graphs.
 #[derive(Clone, Copy)]
-enum GraphCtx {
+pub(crate) enum GraphCtx {
     Default,
     Fixed(TermId),
     Var(VarId),
@@ -308,7 +431,7 @@ impl Resolved {
 /// pattern a dense pattern id. In explain mode it additionally records
 /// per-pattern text and the constants-only `estimate_pattern` guess —
 /// the same number join ordering starts from.
-struct Compiler<'a> {
+pub(crate) struct Compiler<'a> {
     store: &'a QuadStore,
     vars: &'a [String],
     collect: bool,
@@ -317,11 +440,11 @@ struct Compiler<'a> {
 }
 
 impl<'a> Compiler<'a> {
-    fn new(store: &'a QuadStore, vars: &'a [String], collect: bool) -> Self {
+    pub(crate) fn new(store: &'a QuadStore, vars: &'a [String], collect: bool) -> Self {
         Compiler { store, vars, collect, metas: Vec::new(), next_pid: 0 }
     }
 
-    fn compile_query(&mut self, query: &Query) -> EncGroup {
+    pub(crate) fn compile_query(&mut self, query: &Query) -> EncGroup {
         match &query.form {
             QueryForm::Ask(pattern) => self.compile_group(pattern),
             QueryForm::Select(select) => self.compile_group(&select.pattern),
@@ -450,12 +573,14 @@ fn triple_text(pattern: &TriplePattern, vars: &[String]) -> String {
     )
 }
 
-struct Evaluator<'a> {
-    store: &'a QuadStore,
-    options: EvalOptions,
+pub(crate) struct Evaluator<'a> {
+    pub(crate) store: &'a QuadStore,
+    pub(crate) options: EvalOptions,
     /// Present only under [`evaluate_explained`]; `None` costs one
     /// predictable branch per counter site.
-    instr: Option<&'a Instr>,
+    pub(crate) instr: Option<&'a Instr>,
+    /// Per-operator execution counters, when the caller asked for them.
+    pub(crate) stats: Option<&'a ExecStats>,
 }
 
 impl<'a> Evaluator<'a> {
@@ -491,6 +616,13 @@ impl<'a> Evaluator<'a> {
                 bindings
             }
             EncElement::Optional(inner) => {
+                if self.options.vectorize {
+                    if let Some(done) = crate::batch::try_vectorized_optional(
+                        self, inner, &bindings, ctx,
+                    ) {
+                        return Ok(done);
+                    }
+                }
                 let mut next = Vec::new();
                 for binding in bindings {
                     let extended = self.eval_group_seeded(inner, &binding, ctx)?;
@@ -584,6 +716,11 @@ impl<'a> Evaluator<'a> {
         bindings: Vec<IdBinding>,
         ctx: GraphCtx,
     ) -> Vec<IdBinding> {
+        if self.options.vectorize {
+            if let Some(result) = crate::batch::try_vectorized(self, patterns, &bindings, ctx) {
+                return result;
+            }
+        }
         let order = self.join_order(patterns, bindings.first(), ctx);
         let mut current = bindings;
         for &idx in &order {
@@ -705,16 +842,17 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Record each pattern's executed join position (first execution of
-    /// its BGP wins).
+    /// its BGP wins). Row-engine call sites; also marks the operator.
     fn record_order(&self, patterns: &[EncTriple], order: &[usize]) {
         if let Some(instr) = self.instr {
             for (position, &idx) in order.iter().enumerate() {
                 instr.record_order(patterns[idx].pid, position);
+                instr.record_operator(patterns[idx].pid, Operator::NestedLoop);
             }
         }
     }
 
-    fn pattern_cost(
+    pub(crate) fn pattern_cost(
         &self,
         pattern: &EncTriple,
         bound: &HashSet<VarId>,
@@ -966,14 +1104,14 @@ impl<'a> Evaluator<'a> {
     }
 }
 
-fn const_of(node: &EncNode) -> Option<TermId> {
+pub(crate) fn const_of(node: &EncNode) -> Option<TermId> {
     match node {
         EncNode::Const(id) => Some(*id),
         _ => None,
     }
 }
 
-fn collect_triple_vars(t: &EncTriple, out: &mut HashSet<VarId>) {
+pub(crate) fn collect_triple_vars(t: &EncTriple, out: &mut HashSet<VarId>) {
     for n in [&t.subject, &t.predicate, &t.object] {
         collect_node_vars(n, out);
     }
@@ -1221,14 +1359,18 @@ mod tests {
         let sequential = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: true, parallel_threshold: usize::MAX },
+            EvalOptions {
+                reorder_joins: true,
+                parallel_threshold: usize::MAX,
+                vectorize: false,
+            },
         )
         .unwrap();
         // threshold 1: every join step takes the parallel path
         let parallel = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: true, parallel_threshold: 1 },
+            EvalOptions { reorder_joins: true, parallel_threshold: 1, vectorize: false },
         )
         .unwrap();
         assert_eq!(sequential.rows, parallel.rows);
@@ -1252,7 +1394,10 @@ mod tests {
             "SELECT ?t ?n ?r WHERE { ?t <type> <Table> . ?t <name> ?n . ?t <rows> ?r . }",
         )
         .unwrap();
-        let (sols, report) = evaluate_explained(&store, &query, EvalOptions::default()).unwrap();
+        // row engine: the parallel/serial join counters below only move
+        // on the per-row path
+        let options = EvalOptions { vectorize: false, ..EvalOptions::default() };
+        let (sols, report) = evaluate_explained(&store, &query, options).unwrap();
         assert_eq!(sols.len(), 2);
         assert_eq!(report.rows, 2);
         assert_eq!(report.patterns.len(), 3);
@@ -1272,6 +1417,36 @@ mod tests {
         // instrumentation must not change the answer
         let plain = evaluate(&store, &query).unwrap();
         assert_eq!(sols.rows, plain.rows);
+    }
+
+    #[test]
+    fn explain_labels_vectorized_operators() {
+        let store = store();
+        let query = parse_query(
+            "SELECT ?t ?n ?r WHERE { ?t <type> <Table> . ?t <name> ?n . ?t <rows> ?r . }",
+        )
+        .unwrap();
+        let (sols, report) = evaluate_explained(&store, &query, EvalOptions::default()).unwrap();
+        assert_eq!(sols.len(), 2);
+        // a root star over ?t with constant predicates runs leapfrog
+        assert_eq!(report.leapfrog_joins, 1);
+        for p in &report.patterns {
+            assert_eq!(p.operator, Some("leapfrog"), "{}", p.pattern);
+            assert!(p.actual_rows > 0, "{} matched nothing", p.pattern);
+        }
+        // same answer as the row engine
+        let row = evaluate_with(
+            &store,
+            &query,
+            EvalOptions { vectorize: false, ..EvalOptions::default() },
+        )
+        .unwrap();
+        let norm = |s: &Solutions| {
+            let mut rows: Vec<String> = s.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(norm(&sols), norm(&row));
     }
 
     #[test]
@@ -1318,7 +1493,11 @@ mod tests {
             let encoded = evaluate_with(
                 &store,
                 &query,
-                EvalOptions { reorder_joins: false, parallel_threshold: usize::MAX },
+                EvalOptions {
+                    reorder_joins: false,
+                    parallel_threshold: usize::MAX,
+                    vectorize: false,
+                },
             )
             .unwrap();
             let reference = crate::reference::evaluate(&store, &query).unwrap();

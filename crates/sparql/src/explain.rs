@@ -27,6 +27,9 @@ pub struct PatternPlan {
     /// Position in the executed join order of its BGP, if the pattern
     /// was ever joined (`None` for patterns in branches never reached).
     pub order: Option<usize>,
+    /// Join operator that executed the pattern (`"nested-loop"`,
+    /// `"probe"`, `"merge"`, or `"leapfrog"`); `None` if never joined.
+    pub operator: Option<&'static str>,
     /// `false` when the pattern references a constant the dictionary
     /// has never interned — its whole BGP compiled to empty.
     pub satisfiable: bool,
@@ -49,6 +52,12 @@ pub struct ExplainReport {
     pub parallel_joins: u64,
     /// Join steps that ran serially.
     pub serial_joins: u64,
+    /// Vectorized sort-merge join steps executed.
+    pub merge_joins: u64,
+    /// Vectorized per-row probe join steps executed.
+    pub probe_joins: u64,
+    /// Leapfrog star-intersection steps executed.
+    pub leapfrog_joins: u64,
 }
 
 impl fmt::Display for ExplainReport {
@@ -74,8 +83,12 @@ impl fmt::Display for ExplainReport {
             if p.satisfiable {
                 writeln!(
                     f,
-                    "  {order:>4}  {:width$}  est {:>8}  actual {:>8}  scans {:>6}",
-                    p.pattern, p.estimated_rows, p.actual_rows, p.scans,
+                    "  {order:>4}  {:width$}  est {:>8}  actual {:>8}  scans {:>6}  via {}",
+                    p.pattern,
+                    p.estimated_rows,
+                    p.actual_rows,
+                    p.scans,
+                    p.operator.unwrap_or("--"),
                 )?;
             } else {
                 writeln!(
@@ -87,8 +100,13 @@ impl fmt::Display for ExplainReport {
         }
         write!(
             f,
-            "  decoded terms {} | joins: {} parallel, {} serial",
-            self.decoded_terms, self.parallel_joins, self.serial_joins
+            "  decoded terms {} | joins: {} parallel, {} serial | ops: {} merge, {} probe, {} leapfrog",
+            self.decoded_terms,
+            self.parallel_joins,
+            self.serial_joins,
+            self.merge_joins,
+            self.probe_joins,
+            self.leapfrog_joins,
         )
     }
 }
@@ -110,6 +128,7 @@ mod tests {
                     actual_rows: 2,
                     scans: 1,
                     order: Some(0),
+                    operator: Some("probe"),
                     satisfiable: true,
                 },
                 PatternPlan {
@@ -118,12 +137,16 @@ mod tests {
                     actual_rows: 0,
                     scans: 0,
                     order: None,
+                    operator: None,
                     satisfiable: false,
                 },
             ],
             decoded_terms: 4,
             parallel_joins: 0,
             serial_joins: 1,
+            merge_joins: 0,
+            probe_joins: 1,
+            leapfrog_joins: 0,
         };
         let text = report.to_string();
         assert!(text.contains("est"));

@@ -20,19 +20,25 @@
 //! them). `GRAPH ?g` ranges over named graphs only, per the SPARQL spec.
 
 pub mod ast;
+mod batch;
 pub mod eval;
 pub mod explain;
 pub mod expr;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 mod project;
 pub mod reference;
 pub mod results;
 
 pub use ast::Query;
-pub use eval::{evaluate, evaluate_explained, evaluate_with, EvalOptions, EvalOptionsBuilder};
+pub use eval::{
+    evaluate, evaluate_explained, evaluate_with, evaluate_with_stats, EvalOptions,
+    EvalOptionsBuilder, ExecStats,
+};
 pub use explain::{ExplainReport, PatternPlan};
 pub use parser::parse_query;
+pub use plan::{PlanCache, PlanCacheStats, PreparedQuery};
 pub use results::{Solutions, SparqlError};
 
 use lids_rdf::QuadStore;

@@ -1,0 +1,435 @@
+//! Prepared queries and the plan cache.
+//!
+//! The discovery interfaces in `lids-core` issue the same handful of
+//! SPARQL texts over and over (`SEARCH_TABLES_QUERY` and friends), and
+//! until now every call re-lexed, re-parsed, and re-compiled the query
+//! against the store dictionary. [`PlanCache`] memoizes that work in
+//! two tiers:
+//!
+//! 1. **text tier** — exact query string → [`PreparedQuery`]. A repeat
+//!    call with byte-identical text does zero lexing, parsing, or
+//!    planning.
+//! 2. **shape tier** — on a text miss, the query is lexed once and
+//!    normalized to a *shape*: the token stream with every constant
+//!    (IRI, prefixed name, string, number) parameterized to a slot,
+//!    plus the vector of slot values. Texts that differ only in
+//!    whitespace, comments, or formatting share a shape and value
+//!    vector and reuse the cached parse; texts that differ in constants
+//!    share the shape but parse once per distinct value vector.
+//!
+//! A [`PreparedQuery`] additionally caches its *compiled* form (the
+//! dictionary-encoded pattern tree) keyed on the store's
+//! `(store_id, generation)` pair, so repeat executions against an
+//! unchanged store skip term interning and join-estimate lookups too.
+//! Any store mutation bumps the generation and transparently triggers
+//! a recompile on next use.
+//!
+//! Cache-effectiveness counters ([`PlanCacheStats`]) are exported
+//! through the `lids-obs` registry by `lids-core`, and back the
+//! "second execution of an identical query does zero parse/plan work"
+//! regression tests.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use lids_rdf::QuadStore;
+
+use crate::ast::Query;
+use crate::eval::{eval_compiled, Compiler, EncGroup, EvalOptions, ExecStats};
+use crate::lexer::{tokenize, TokenKind};
+use crate::parser::parse_query;
+use crate::results::{Solutions, SparqlError};
+
+/// Maximum distinct query texts remembered before the cache is cleared.
+const MAX_TEXTS: usize = 512;
+/// Maximum distinct shapes remembered before the cache is cleared.
+const MAX_SHAPES: usize = 256;
+/// Maximum constant-vector variants kept per shape.
+const MAX_VARIANTS: usize = 8;
+
+// --------------------------------------------------------------- prepared
+
+/// Plan compiled against one store snapshot.
+struct CachedPlan {
+    store_id: u64,
+    generation: u64,
+    group: Arc<EncGroup>,
+}
+
+struct PreparedInner {
+    query: Query,
+    plan: Mutex<Option<CachedPlan>>,
+    /// Shared with the owning [`PlanCache`] so compiles are observable.
+    compiles: Arc<AtomicU64>,
+}
+
+/// A parsed query whose compiled plan is cached per store snapshot.
+///
+/// Cheap to clone (shared behind an `Arc`); safe to hold across store
+/// mutations — the plan recompiles automatically when the store's
+/// generation moves.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    inner: Arc<PreparedInner>,
+}
+
+impl PreparedQuery {
+    /// Parse `text` into a standalone prepared query (not cached — use
+    /// [`PlanCache::prepare`] to share parses across calls).
+    pub fn parse(text: &str) -> Result<PreparedQuery, SparqlError> {
+        Ok(PreparedQuery::from_query(parse_query(text)?, Arc::new(AtomicU64::new(0))))
+    }
+
+    fn from_query(query: Query, compiles: Arc<AtomicU64>) -> PreparedQuery {
+        PreparedQuery {
+            inner: Arc::new(PreparedInner { query, plan: Mutex::new(None), compiles }),
+        }
+    }
+
+    /// The parsed form.
+    pub fn query(&self) -> &Query {
+        &self.inner.query
+    }
+
+    /// Execute against `store` with default options.
+    pub fn execute(&self, store: &QuadStore) -> Result<Solutions, SparqlError> {
+        self.execute_with(store, EvalOptions::default())
+    }
+
+    /// Execute against `store` with explicit options.
+    pub fn execute_with(
+        &self,
+        store: &QuadStore,
+        options: EvalOptions,
+    ) -> Result<Solutions, SparqlError> {
+        let group = self.plan_for(store);
+        eval_compiled(store, &self.inner.query, options, &group, None, None)
+    }
+
+    /// Execute, filling `stats` with per-operator execution counts.
+    pub fn execute_with_stats(
+        &self,
+        store: &QuadStore,
+        options: EvalOptions,
+        stats: &ExecStats,
+    ) -> Result<Solutions, SparqlError> {
+        let group = self.plan_for(store);
+        eval_compiled(store, &self.inner.query, options, &group, None, Some(stats))
+    }
+
+    /// Compiled plan for this store snapshot, reusing the cached one
+    /// when `(store_id, generation)` still matches.
+    fn plan_for(&self, store: &QuadStore) -> Arc<EncGroup> {
+        let mut slot = self.inner.plan.lock().unwrap();
+        if let Some(plan) = slot.as_ref() {
+            if plan.store_id == store.store_id() && plan.generation == store.generation() {
+                return Arc::clone(&plan.group);
+            }
+        }
+        let mut compiler = Compiler::new(store, &self.inner.query.variables, false);
+        let group = Arc::new(compiler.compile_query(&self.inner.query));
+        self.inner.compiles.fetch_add(1, Relaxed);
+        *slot = Some(CachedPlan {
+            store_id: store.store_id(),
+            generation: store.generation(),
+            group: Arc::clone(&group),
+        });
+        group
+    }
+}
+
+// ------------------------------------------------------------ shape keys
+
+/// Normalized token-stream shape plus the constants it parameterized
+/// out, in token order.
+struct Shape {
+    key: String,
+    values: Vec<String>,
+}
+
+/// Lex `text` and split it into a constant-free shape string and the
+/// slot-value vector. Errors propagate (the caller would fail the same
+/// way parsing).
+fn shape_of(text: &str) -> Result<Shape, SparqlError> {
+    let tokens = tokenize(text)?;
+    let mut key = String::with_capacity(text.len() / 2);
+    let mut values = Vec::new();
+    for token in &tokens {
+        match &token.kind {
+            // constants → slots (the value participates in the variant
+            // key, so any classification here is correctness-neutral)
+            TokenKind::Iri(iri) => {
+                key.push_str("<>·");
+                values.push(format!("<{iri}>"));
+            }
+            TokenKind::PName(prefix, local) => {
+                key.push_str("pn·");
+                values.push(format!("{prefix}:{local}"));
+            }
+            TokenKind::String(s) => {
+                key.push_str("\"\"·");
+                values.push(s.clone());
+            }
+            TokenKind::Number(n) => {
+                key.push_str("#·");
+                values.push(n.clone());
+            }
+            // structure → verbatim
+            TokenKind::Var(v) => {
+                let _ = write!(key, "?{v}·");
+            }
+            TokenKind::Word(w) => {
+                // keywords are case-insensitive; normalize
+                let _ = write!(key, "{}·", w.to_ascii_lowercase());
+            }
+            TokenKind::LangTag(l) => {
+                let _ = write!(key, "@{l}·");
+            }
+            TokenKind::BNode(b) => {
+                let _ = write!(key, "_:{b}·");
+            }
+            other => {
+                let _ = write!(key, "{other:?}·");
+            }
+        }
+    }
+    Ok(Shape { key, values })
+}
+
+// ------------------------------------------------------------- the cache
+
+#[derive(Default)]
+struct CacheMaps {
+    by_text: HashMap<String, PreparedQuery>,
+    by_shape: HashMap<String, Vec<(Vec<String>, PreparedQuery)>>,
+}
+
+/// Cache-effectiveness counters, snapshot by [`PlanCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Exact-text hits (no lexing at all).
+    pub hits_text: u64,
+    /// Shape-tier hits (lexed once, parse reused).
+    pub hits_shape: u64,
+    /// Full misses.
+    pub misses: u64,
+    /// Queries actually parsed.
+    pub parses: u64,
+    /// Plans compiled against a store snapshot.
+    pub compiles: u64,
+}
+
+impl PlanCacheStats {
+    /// Total cache hits across both tiers.
+    pub fn hits(&self) -> u64 {
+        self.hits_text + self.hits_shape
+    }
+}
+
+/// Two-tier prepared-query cache. Thread-safe; share one per platform.
+pub struct PlanCache {
+    maps: Mutex<CacheMaps>,
+    hits_text: AtomicU64,
+    hits_shape: AtomicU64,
+    misses: AtomicU64,
+    parses: AtomicU64,
+    compiles: Arc<AtomicU64>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            maps: Mutex::new(CacheMaps::default()),
+            hits_text: AtomicU64::new(0),
+            hits_shape: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            parses: AtomicU64::new(0),
+            compiles: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl PlanCache {
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Prepared query for `text`, parsing at most once per distinct
+    /// normalized shape + constant vector.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, SparqlError> {
+        let mut maps = self.maps.lock().unwrap();
+        if let Some(prepared) = maps.by_text.get(text) {
+            self.hits_text.fetch_add(1, Relaxed);
+            return Ok(prepared.clone());
+        }
+        let shape = shape_of(text)?;
+        if let Some(variants) = maps.by_shape.get(&shape.key) {
+            if let Some((_, prepared)) = variants.iter().find(|(vals, _)| *vals == shape.values) {
+                self.hits_shape.fetch_add(1, Relaxed);
+                let prepared = prepared.clone();
+                Self::remember_text(&mut maps, text, &prepared);
+                return Ok(prepared);
+            }
+        }
+        // full miss: parse once and remember under both tiers
+        self.misses.fetch_add(1, Relaxed);
+        let query = parse_query(text)?;
+        self.parses.fetch_add(1, Relaxed);
+        let prepared = PreparedQuery::from_query(query, Arc::clone(&self.compiles));
+        if maps.by_shape.len() >= MAX_SHAPES {
+            maps.by_shape.clear();
+            maps.by_text.clear();
+        }
+        let variants = maps.by_shape.entry(shape.key).or_default();
+        if variants.len() >= MAX_VARIANTS {
+            variants.remove(0);
+        }
+        variants.push((shape.values, prepared.clone()));
+        Self::remember_text(&mut maps, text, &prepared);
+        Ok(prepared)
+    }
+
+    fn remember_text(maps: &mut CacheMaps, text: &str, prepared: &PreparedQuery) {
+        if maps.by_text.len() >= MAX_TEXTS {
+            maps.by_text.clear();
+        }
+        maps.by_text.insert(text.to_string(), prepared.clone());
+    }
+
+    /// Prepare and execute in one call (the drop-in replacement for
+    /// [`crate::query`]).
+    pub fn query(&self, store: &QuadStore, text: &str) -> Result<Solutions, SparqlError> {
+        self.prepare(text)?.execute(store)
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits_text: self.hits_text.load(Relaxed),
+            hits_shape: self.hits_shape.load(Relaxed),
+            misses: self.misses.load(Relaxed),
+            parses: self.parses.load(Relaxed),
+            compiles: self.compiles.load(Relaxed),
+        }
+    }
+
+    /// Number of distinct prepared shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.maps.lock().unwrap().by_shape.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached entries (counters are preserved).
+    pub fn clear(&self) {
+        let mut maps = self.maps.lock().unwrap();
+        maps.by_text.clear();
+        maps.by_shape.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_rdf::{Quad, Term};
+
+    fn store() -> QuadStore {
+        let mut store = QuadStore::default();
+        for i in 0..5 {
+            store.insert(&Quad::new(
+                Term::iri(format!("urn:t{i}")),
+                Term::iri("urn:type"),
+                Term::iri("urn:Table"),
+            ));
+            store.insert(&Quad::new(
+                Term::iri(format!("urn:t{i}")),
+                Term::iri("urn:name"),
+                Term::string(format!("table-{i}")),
+            ));
+        }
+        store
+    }
+
+    const Q: &str = "SELECT ?t ?n WHERE { ?t <urn:type> <urn:Table> . ?t <urn:name> ?n }";
+
+    #[test]
+    fn identical_text_parses_once() {
+        let cache = PlanCache::new();
+        let store = store();
+        let a = cache.query(&store, Q).unwrap();
+        let b = cache.query(&store, Q).unwrap();
+        assert_eq!(a.rows.len(), 5);
+        assert_eq!(a.rows.len(), b.rows.len());
+        let stats = cache.stats();
+        assert_eq!(stats.parses, 1);
+        assert_eq!(stats.hits_text, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn whitespace_and_case_variants_share_a_shape() {
+        let cache = PlanCache::new();
+        let variant = "select ?t ?n\nwhere {\n  ?t <urn:type> <urn:Table> .\n  # lookup\n  ?t <urn:name> ?n\n}";
+        cache.prepare(Q).unwrap();
+        cache.prepare(variant).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.parses, 1, "formatting variant must not re-parse");
+        assert_eq!(stats.hits_shape, 1);
+    }
+
+    #[test]
+    fn different_constants_parse_separately_then_hit() {
+        let cache = PlanCache::new();
+        let other = Q.replace("urn:Table", "urn:Column");
+        cache.prepare(Q).unwrap();
+        cache.prepare(&other).unwrap();
+        cache.prepare(&other).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.parses, 2);
+        assert_eq!(stats.hits_text, 1);
+    }
+
+    #[test]
+    fn compiled_plan_survives_until_store_mutates() {
+        let cache = PlanCache::new();
+        let mut store = store();
+        let prepared = cache.prepare(Q).unwrap();
+        prepared.execute(&store).unwrap();
+        prepared.execute(&store).unwrap();
+        assert_eq!(cache.stats().compiles, 1, "unchanged store must reuse the plan");
+        store.insert(&Quad::new(
+            Term::iri("urn:t9"),
+            Term::iri("urn:type"),
+            Term::iri("urn:Table"),
+        ));
+        let rows = prepared.execute(&store).unwrap();
+        assert_eq!(cache.stats().compiles, 2, "generation bump must recompile");
+        // the new row is only visible with a fresh compile
+        assert!(rows.rows.len() >= 5);
+    }
+
+    #[test]
+    fn prepared_results_match_direct_query() {
+        let cache = PlanCache::new();
+        let store = store();
+        let direct = crate::query(&store, Q).unwrap();
+        let prepared = cache.query(&store, Q).unwrap();
+        let norm = |s: &Solutions| {
+            let mut rows: Vec<String> = s.rows.iter().map(|r| format!("{r:?}")).collect();
+            rows.sort();
+            rows
+        };
+        assert_eq!(norm(&direct), norm(&prepared));
+    }
+
+    #[test]
+    fn standalone_prepared_query_works() {
+        let store = store();
+        let prepared = PreparedQuery::parse(Q).unwrap();
+        assert_eq!(prepared.execute(&store).unwrap().rows.len(), 5);
+    }
+}

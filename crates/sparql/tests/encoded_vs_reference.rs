@@ -192,26 +192,116 @@ proptest! {
 
         let reference = reference::evaluate(&store, &query).unwrap();
 
-        // Textual join order, no parallelism: identical scans, identical rows.
+        // Textual join order, no parallelism, no vectorization: identical
+        // scans, identical rows.
         let naive = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: false, parallel_threshold: usize::MAX },
+            EvalOptions { reorder_joins: false, parallel_threshold: usize::MAX, vectorize: false },
         )
         .unwrap();
         prop_assert_eq!(&naive.rows, &reference.rows, "textual-order rows differ for {}", &text);
 
-        // Cardinality ordering + parallel chunks: same multiset of rows.
+        // Cardinality ordering + parallel chunks + vectorized operators:
+        // same multiset of rows.
         let optimized = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: true, parallel_threshold: 2 },
+            EvalOptions { reorder_joins: true, parallel_threshold: 2, vectorize: true },
         )
         .unwrap();
         prop_assert_eq!(
             sorted_rows(&optimized),
             sorted_rows(&reference),
             "row multiset differs for {}",
+            &text
+        );
+    }
+}
+
+// ---------------------------------------------------------------- stars
+//
+// The vectorized engine special-cases multi-pattern star shapes
+// (leapfrog intersection) and large batches (sort-merge), so this
+// second suite biases generation toward exactly those: star BGPs over a
+// shared subject variable, duplicate-heavy stores (every quad inserted
+// in several named graphs so subjects carry many quads per predicate),
+// and OPTIONAL blocks layered over the star.
+
+/// One star leg: `?s <p{p}> (const | ?var)`.
+type LegSpec = (u8, u8, u8);
+
+fn render_star(legs: &[LegSpec], tail: &Option<TripleSpec>, optional: &Option<LegSpec>) -> String {
+    let mut body = String::new();
+    for &(p, okind, oidx) in legs {
+        let object = if okind % 3 == 0 {
+            format!("<n{}>", oidx % 6)
+        } else {
+            // distinct object variables per predicate keep the star
+            // leapfrog-eligible; colliding ones exercise the fallback
+            var(oidx)
+        };
+        body.push_str(&format!("?s <p{}> {} . ", p % 4, object));
+    }
+    if let Some(t) = tail {
+        body.push_str(&render_triple(t));
+        body.push(' ');
+    }
+    if let Some(&(p, okind, oidx)) = optional.as_ref() {
+        let object = if okind % 2 == 0 {
+            format!("<n{}>", oidx % 6)
+        } else {
+            var(oidx)
+        };
+        body.push_str(&format!("OPTIONAL {{ ?s <p{}> {} }} ", p % 4, object));
+    }
+    format!("SELECT * WHERE {{ {body}}}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+    #[test]
+    fn vectorized_star_shapes_agree_with_reference(
+        quads in proptest::collection::vec((0..6u8, 0..4u8, 0..2u8, 0..8u8, 0..3u8), 4..40),
+        dup_graphs in 1..4u8,
+        legs in proptest::collection::vec((0..4u8, 0..3u8, 0..8u8), 2..5),
+        tail_sel in (0..2u8, triple_spec()),
+        opt_sel in (0..2u8, (0..4u8, 0..2u8, 0..8u8)),
+    ) {
+        let tail = (tail_sel.0 == 1).then_some(tail_sel.1);
+        let optional = (opt_sel.0 == 1).then_some(opt_sel.1);
+        // duplicate-heavy store: the same triples across several named
+        // graphs, so each subject holds runs of quads per predicate
+        let mut store = build_store(&quads, &[]);
+        for g in 0..dup_graphs {
+            for &(s, p, okind, oidx, _) in &quads {
+                let object = if okind == 0 {
+                    Term::iri(format!("n{}", oidx % 6))
+                } else {
+                    Term::integer(i64::from(oidx % 6))
+                };
+                store.insert(&Quad::in_graph(
+                    Term::iri(format!("n{}", s % 6)),
+                    Term::iri(format!("p{}", p % 4)),
+                    object,
+                    GraphName::named(format!("dup{g}")),
+                ));
+            }
+        }
+        let text = render_star(&legs, &tail, &optional);
+        let query = parse_query(&text).unwrap();
+
+        let reference = reference::evaluate(&store, &query).unwrap();
+        let vectorized = evaluate_with(
+            &store,
+            &query,
+            EvalOptions { reorder_joins: true, parallel_threshold: usize::MAX, vectorize: true },
+        )
+        .unwrap();
+        prop_assert_eq!(
+            sorted_rows(&vectorized),
+            sorted_rows(&reference),
+            "star row multiset differs for {}",
             &text
         );
     }

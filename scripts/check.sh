@@ -15,6 +15,11 @@ cargo test -q --test linking_differential
 cargo test -q -p lids-rdf --test bulk_load_differential
 # Span tree, explain cardinalities, and the <10% instrumentation budget.
 cargo test -q --test observability
+# Vectorized operators (probe/merge/leapfrog) and the plan cache must agree
+# with the reference evaluator row for row, including star shapes and
+# OPTIONAL, and identical query shapes must parse exactly once.
+cargo test -q -p lids-sparql --test encoded_vs_reference
+cargo test -q -p lids-sparql plan::
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the linking benchmark: both modes complete, edge sets match
@@ -91,6 +96,31 @@ for field in ("extract_secs", "encode_secs", "index_secs"):
 print("ingest_bench smoke report ok (speedup %.2fx)" % report["speedup"])
 EOF
 rm -f "$ingest_out"
+
+# Smoke-run the SPARQL execution benchmark: all three legs (row-at-a-time,
+# vectorized, cached plan) complete with exact row parity (asserted inside
+# the binary), the vectorized and cached paths are at least as fast as the
+# row engine, and the plan cache parsed the query exactly once.
+sparql_out="$(mktemp)"
+target/release/sparql_bench --smoke --out "$sparql_out" >/dev/null
+python3 - "$sparql_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "sparql", report
+assert report["smoke"] is True, report
+assert report["rows"] > 0, report
+assert report["parity"] is True, report
+for field in ("row_secs", "vectorized_secs", "cached_secs"):
+    assert report[field] > 0, field
+assert report["speedup_vectorized"] >= 1.0, report["speedup_vectorized"]
+assert report["speedup_cached"] >= 1.0, report["speedup_cached"]
+assert report["plan_cache_parses"] == 1, report["plan_cache_parses"]
+assert report["plan_cache_hits"] >= report["iters"], report
+print("sparql_bench smoke report ok (vectorized %.2fx, cached %.2fx)"
+      % (report["speedup_vectorized"], report["speedup_cached"]))
+EOF
+rm -f "$sparql_out"
 
 # The ingestion-path crates deny unwrap/expect outside tests; make sure the
 # crate-root opt-ins are still in place so clippy keeps enforcing it.
