@@ -13,12 +13,15 @@ use lids_sparql::Solutions;
 pub struct DataFrame {
     pub columns: Vec<String>,
     pub rows: Vec<Vec<String>>,
+    /// True when graceful degradation truncated the result: the rows are
+    /// a valid subset of the exact answer, not the whole of it.
+    pub truncated: bool,
 }
 
 impl DataFrame {
     /// An empty frame with the given column names.
     pub fn new(columns: Vec<String>) -> Self {
-        DataFrame { columns, rows: Vec::new() }
+        DataFrame { columns, rows: Vec::new(), truncated: false }
     }
 
     /// Number of rows.
@@ -71,6 +74,7 @@ impl DataFrame {
     }
 
     /// Build from SPARQL solutions (IRIs and literals rendered as text).
+    /// A truncated (gracefully degraded) result keeps its marker.
     pub fn from_solutions(solutions: &Solutions) -> Self {
         DataFrame {
             columns: solutions.columns.clone(),
@@ -83,6 +87,7 @@ impl DataFrame {
                         .collect()
                 })
                 .collect(),
+            truncated: solutions.truncated,
         }
     }
 
@@ -146,6 +151,7 @@ mod tests {
             columns: vec!["x".into()],
             rows: vec![vec![Some(Term::iri("http://a"))], vec![None]],
             ask: None,
+            truncated: false,
         };
         let df = DataFrame::from_solutions(&s);
         assert_eq!(df.get(0, "x"), Some("http://a"));

@@ -4,6 +4,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use lids_exec::{ErrorKind, LidsError, LidsResult};
 use lids_kg::ontology::{object_prop, res};
 use lids_profiler::Table;
 use lids_vector::cosine_similarity;
@@ -122,41 +123,78 @@ impl<'a> Discovery<'a> {
         self
     }
 
+    /// Reject out-of-domain options with a typed
+    /// [`ErrorKind::InvalidArgument`] instead of silently returning
+    /// nothing: `k == 0` can never return a result, and a NaN `min_score`
+    /// makes every comparison false. `min_score = ∞` stays valid (an
+    /// intentionally impossible floor).
+    fn validate(&self) -> LidsResult<()> {
+        if self.k == 0 {
+            return Err(LidsError::new(
+                ErrorKind::InvalidArgument,
+                "discovery k must be at least 1 (k = 0 can never match)",
+            ));
+        }
+        if self.min_score.is_nan() {
+            return Err(LidsError::new(
+                ErrorKind::InvalidArgument,
+                "discovery min_score must not be NaN",
+            ));
+        }
+        Ok(())
+    }
+
     /// Tables unionable with `(dataset, table)`, best first.
-    pub fn unionable_tables(&self, dataset: &str, table: &str) -> Vec<TableHit> {
-        self.platform
+    pub fn unionable_tables(&self, dataset: &str, table: &str) -> LidsResult<Vec<TableHit>> {
+        self.validate()?;
+        Ok(self
+            .platform
             .find_unionable_tables(dataset, table, self.k, self.mode)
             .into_iter()
             .filter(|h| h.score >= self.min_score)
-            .collect()
+            .collect())
     }
 
     /// Tables joinable with `(dataset, table)` (content similarity only).
-    pub fn joinable_tables(&self, dataset: &str, table: &str) -> Vec<TableHit> {
-        self.platform
+    pub fn joinable_tables(&self, dataset: &str, table: &str) -> LidsResult<Vec<TableHit>> {
+        self.validate()?;
+        Ok(self
+            .platform
             .find_joinable_tables(dataset, table, self.k)
             .into_iter()
             .filter(|h| h.score >= self.min_score)
-            .collect()
+            .collect())
     }
 
     /// Matched column pairs between two tables.
-    pub fn unionable_columns(&self, a: (&str, &str), b: (&str, &str)) -> Vec<ColumnHit> {
-        self.platform
+    pub fn unionable_columns(
+        &self,
+        a: (&str, &str),
+        b: (&str, &str),
+    ) -> LidsResult<Vec<ColumnHit>> {
+        self.validate()?;
+        Ok(self
+            .platform
             .find_unionable_columns(a, b)
             .into_iter()
             .filter(|h| h.score >= self.min_score)
-            .collect()
+            .collect())
     }
 
     /// Join paths from `from` to `to` within the configured hop limit.
-    pub fn paths(&self, from: (&str, &str), to: (&str, &str)) -> Vec<JoinPath> {
-        self.platform.get_path_to_table(from, to, self.hops)
+    pub fn paths(&self, from: (&str, &str), to: (&str, &str)) -> LidsResult<Vec<JoinPath>> {
+        self.validate()?;
+        Ok(self.platform.get_path_to_table(from, to, self.hops))
     }
 
     /// Shortest join path between two tables.
-    pub fn shortest_path(&self, from: (&str, &str), to: (&str, &str)) -> Option<JoinPath> {
-        self.platform.shortest_path_between_tables(from, to)
+    pub fn shortest_path(
+        &self,
+        from: (&str, &str),
+        to: (&str, &str),
+    ) -> LidsResult<Option<JoinPath>> {
+        self.validate()?;
+        Ok(self.platform.shortest_path_between_tables(from, to))
     }
 }
 
@@ -562,26 +600,74 @@ mod tests {
     #[test]
     fn discovery_builder_applies_options() {
         let p = platform();
-        let all = p.discovery().unionable_tables("health", "patients");
+        let all = p.discovery().unionable_tables("health", "patients").unwrap();
         assert!(!all.is_empty());
         // k=1 truncates
-        assert_eq!(p.discovery().k(1).unionable_tables("health", "patients").len(), 1);
-        // an impossible score floor filters everything
+        assert_eq!(
+            p.discovery().k(1).unionable_tables("health", "patients").unwrap().len(),
+            1
+        );
+        // an impossible score floor filters everything (∞ is valid input)
         assert!(p
             .discovery()
             .min_score(f64::INFINITY)
             .unionable_tables("health", "patients")
+            .unwrap()
             .is_empty());
         // mode + hops thread through to the underlying searches
-        let joinable = p.discovery().mode(UnionMode::ContentOnly).joinable_tables("health", "patients");
+        let joinable = p
+            .discovery()
+            .mode(UnionMode::ContentOnly)
+            .joinable_tables("health", "patients")
+            .unwrap();
         assert!(joinable.iter().any(|h| h.table == "people"));
-        assert!(p.discovery().hops(0).paths(("health", "patients"), ("travel", "trips")).is_empty());
-        let paths = p.discovery().paths(("health", "patients"), ("travel", "trips"));
+        assert!(p
+            .discovery()
+            .hops(0)
+            .paths(("health", "patients"), ("travel", "trips"))
+            .unwrap()
+            .is_empty());
+        let paths = p.discovery().paths(("health", "patients"), ("travel", "trips")).unwrap();
         assert_eq!(paths[0].tables.last().map(String::as_str), Some("trips"));
-        let shortest = p.discovery().shortest_path(("health", "patients"), ("travel", "trips"));
+        let shortest =
+            p.discovery().shortest_path(("health", "patients"), ("travel", "trips")).unwrap();
         assert_eq!(shortest.unwrap().hops(), 2);
-        let cols = p.discovery().unionable_columns(("health", "patients"), ("census", "people"));
+        let cols = p
+            .discovery()
+            .unionable_columns(("health", "patients"), ("census", "people"))
+            .unwrap();
         assert!(cols.iter().any(|h| h.column_a == "age"));
+    }
+
+    #[test]
+    fn out_of_domain_options_are_typed_errors() {
+        let p = platform();
+        // k = 0 can never return a result → typed argument error
+        let err = p.discovery().k(0).unionable_tables("health", "patients").unwrap_err();
+        assert_eq!(err.kind(), lids_exec::ErrorKind::InvalidArgument);
+        // NaN min_score poisons every comparison → typed argument error
+        let err = p
+            .discovery()
+            .min_score(f64::NAN)
+            .joinable_tables("health", "patients")
+            .unwrap_err();
+        assert_eq!(err.kind(), lids_exec::ErrorKind::InvalidArgument);
+        let err = p
+            .discovery()
+            .min_score(f64::NAN)
+            .unionable_columns(("health", "patients"), ("census", "people"))
+            .unwrap_err();
+        assert_eq!(err.kind(), lids_exec::ErrorKind::InvalidArgument);
+        let err =
+            p.discovery().k(0).paths(("health", "patients"), ("travel", "trips")).unwrap_err();
+        assert_eq!(err.kind(), lids_exec::ErrorKind::InvalidArgument);
+        // boundary cases that must stay valid
+        assert!(p.discovery().k(1).min_score(0.0).unionable_tables("health", "patients").is_ok());
+        assert!(p
+            .discovery()
+            .min_score(f64::INFINITY)
+            .shortest_path(("health", "patients"), ("travel", "trips"))
+            .is_ok());
     }
 
     #[test]

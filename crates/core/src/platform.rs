@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use lids_embed::{table_embedding, ColrModels, FineGrainedType, WordEmbeddings};
 use lids_exec::{
     parallel_try_map_with, Clock, ErrorKind, IsolationConfig, LidsError, LidsResult, MemoryMeter,
-    RetryPolicy, Stopwatch, SystemClock,
+    RetryPolicy, Stopwatch, SystemClock, TripReason,
 };
 use lids_kg::abstraction::{emit_pipeline_quads, AbstractionStats, PipelineMetadata};
 use lids_kg::docs::LibraryDocs;
@@ -31,7 +31,9 @@ use lids_profiler::{
 };
 use lids_py::analysis::AnalyzedScript;
 use lids_rdf::{IngestStats, Quad, QuadStore};
-use lids_sparql::{EvalOptions, ExecStats, ExplainReport, PlanCache, PlanCacheStats, SparqlError};
+use lids_sparql::{
+    EvalOptions, ExecStats, ExplainReport, PlanCache, PlanCacheStats, Solutions, SparqlError,
+};
 use lids_vector::{BruteForceIndex, Metric, VectorIndex};
 
 use crate::dataframe::DataFrame;
@@ -171,6 +173,40 @@ fn ingest_batch(
     stats
 }
 
+/// Platform-wide resource-governance defaults for the query path.
+///
+/// Per-call [`EvalOptions`] win when set; these fill the gaps so every
+/// ad-hoc and discovery query runs under the same deadline/budget policy
+/// without callers having to thread options everywhere. Shapes that keep
+/// tripping the governor are quarantined in the plan cache and fail fast
+/// (typed `QueryBudgetExceeded`) until their TTL expires.
+#[derive(Debug, Clone)]
+pub struct QueryGuardrails {
+    /// Default wall-clock deadline per query (`None` = unlimited).
+    pub deadline: Option<Duration>,
+    /// Default logical memory budget per query in bytes (`None` = unlimited).
+    pub memory_budget: Option<u64>,
+    /// Row cap applied when a budget trip degrades a query to the
+    /// streaming row engine; the partial result is marked truncated.
+    pub degraded_row_cap: usize,
+    /// Governor trips of the same query shape before it is quarantined.
+    pub poison_threshold: u32,
+    /// How long a quarantined shape keeps failing fast.
+    pub poison_ttl: Duration,
+}
+
+impl Default for QueryGuardrails {
+    fn default() -> Self {
+        QueryGuardrails {
+            deadline: None,
+            memory_budget: None,
+            degraded_row_cap: 100_000,
+            poison_threshold: 3,
+            poison_ttl: Duration::from_secs(60),
+        }
+    }
+}
+
 /// Copyable subset of [`SchemaStats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchemaStatsLite {
@@ -202,6 +238,7 @@ pub struct KgLidsBuilder {
     schema_config: SchemaConfig,
     ingest: IngestOptions,
     custom_profiles: Option<Vec<ColumnProfile>>,
+    guardrails: QueryGuardrails,
 }
 
 impl Default for KgLidsBuilder {
@@ -220,7 +257,14 @@ impl KgLidsBuilder {
             schema_config: SchemaConfig::default(),
             ingest: IngestOptions::default(),
             custom_profiles: None,
+            guardrails: QueryGuardrails::default(),
         }
+    }
+
+    /// Override the platform-wide query resource-governance defaults.
+    pub fn with_query_guardrails(mut self, guardrails: QueryGuardrails) -> Self {
+        self.guardrails = guardrails;
+        self
     }
 
     /// Add a dataset (one or more tables) to be profiled.
@@ -303,6 +347,7 @@ impl KgLidsBuilder {
             schema_config,
             ingest,
             custom_profiles,
+            guardrails,
         } = self;
         let mut stats = BootstrapStats::default();
         let mut report = BootstrapReport::default();
@@ -582,6 +627,7 @@ impl KgLidsBuilder {
             meter,
             obs,
             plan_cache: PlanCache::new(),
+            guardrails,
             cleaning_model: None,
             scaling_model: None,
             column_model: None,
@@ -612,6 +658,8 @@ pub struct KgLids {
     /// Prepared-query cache: every API/discovery query text is lexed,
     /// parsed, and planned at most once per shape and store snapshot.
     pub(crate) plan_cache: PlanCache,
+    /// Resource-governance defaults for every query through the platform.
+    pub(crate) guardrails: QueryGuardrails,
     pub(crate) cleaning_model: Option<lids_gnn::CleaningModel>,
     pub(crate) scaling_model: Option<lids_gnn::ScalingModel>,
     pub(crate) column_model: Option<lids_gnn::ColumnTransformModel>,
@@ -651,16 +699,93 @@ impl KgLids {
     }
 
     /// [`Self::query`] with explicit evaluation options, e.g.
-    /// `EvalOptions::builder().reorder_joins(false).build()`.
+    /// `EvalOptions::builder().deadline(..).memory_budget(..).build()`.
+    ///
+    /// Runs under the platform's [`QueryGuardrails`]: per-call options
+    /// win, guardrails fill unset limits. On a budget trip the query is
+    /// retried once on the streaming row engine under a row cap and the
+    /// partial result is surfaced with [`DataFrame::truncated`] set;
+    /// shapes that keep tripping are quarantined and fail fast.
     pub fn query_with(&self, sparql: &str, options: EvalOptions) -> LidsResult<DataFrame> {
-        let solutions = self.timed_query(|| {
+        let solutions = self.governed_query(sparql, options)?;
+        Ok(DataFrame::from_solutions(&solutions))
+    }
+
+    /// The governed query path shared by [`Self::query`],
+    /// [`Self::query_with`], and [`Self::ask`]: quarantine fail-fast →
+    /// governed (vectorized) execution → graceful degradation on budget
+    /// pressure, with `query.*` governance counters throughout.
+    pub(crate) fn governed_query(
+        &self,
+        sparql: &str,
+        options: EvalOptions,
+    ) -> LidsResult<Solutions> {
+        let g = &self.guardrails;
+        let metrics = &self.obs.metrics;
+        if self.plan_cache.is_poisoned(sparql) {
+            metrics.counter_add("query.quarantine_denials", 1);
+            return Err(LidsError::new(
+                ErrorKind::QueryBudgetExceeded,
+                "query shape quarantined after repeated resource-limit violations",
+            ));
+        }
+        // per-call options win; guardrails fill unset limits
+        let mut effective = options;
+        if effective.deadline.is_none() {
+            effective.deadline = g.deadline;
+        }
+        if effective.memory_budget.is_none() {
+            effective.memory_budget = g.memory_budget;
+        }
+        self.timed_query(|| {
             let prepared = self.plan_cache.prepare(sparql)?;
             let stats = ExecStats::default();
-            let result = prepared.execute_with_stats(&self.store, options, &stats);
+            let governor = effective.limits().arm();
+            let mut result =
+                prepared.execute_governed(&self.store, effective, governor.as_ref(), Some(&stats));
+            if let Some(gov) = &governor {
+                if let Some(headroom) = gov.headroom_bytes() {
+                    metrics.gauge_set("query.budget_headroom_bytes", headroom as f64);
+                }
+            }
+            if let Err(SparqlError::Governed(trip)) = &result {
+                match trip.reason {
+                    TripReason::Timeout => metrics.counter_add("query.timeouts", 1),
+                    TripReason::Cancelled => metrics.counter_add("query.cancelled", 1),
+                    TripReason::BudgetExceeded => metrics.counter_add("query.budget_denials", 1),
+                }
+                if self.plan_cache.record_offense(sparql, g.poison_threshold, g.poison_ttl) {
+                    metrics.counter_add("query.shapes_poisoned", 1);
+                }
+                // graceful degradation: budget pressure → streaming row
+                // engine where the row cap replaces the byte budget as
+                // the memory bound (the deadline still applies); partial
+                // results beat no results
+                if trip.reason == TripReason::BudgetExceeded {
+                    metrics.counter_add("query.degraded", 1);
+                    let degraded = EvalOptions {
+                        vectorize: false,
+                        memory_budget: None,
+                        row_cap: Some(effective.row_cap.unwrap_or(g.degraded_row_cap)),
+                        ..effective
+                    };
+                    let retry_governor = degraded.limits().arm();
+                    result = prepared.execute_governed(
+                        &self.store,
+                        degraded,
+                        retry_governor.as_ref(),
+                        Some(&stats),
+                    );
+                }
+            }
             self.record_query_obs(&stats);
+            if let Ok(solutions) = &result {
+                if solutions.truncated {
+                    metrics.counter_add("query.truncated", 1);
+                }
+            }
             result
-        })?;
-        Ok(DataFrame::from_solutions(&solutions))
+        })
     }
 
     /// Evaluate `sparql` with per-pattern instrumentation and return the
@@ -674,15 +799,9 @@ impl KgLids {
         Ok(report)
     }
 
-    /// Ask query.
+    /// Ask query (governed like [`Self::query`]).
     pub fn ask(&self, sparql: &str) -> LidsResult<bool> {
-        let solutions = self.timed_query(|| {
-            let prepared = self.plan_cache.prepare(sparql)?;
-            let stats = ExecStats::default();
-            let result = prepared.execute_with_stats(&self.store, EvalOptions::default(), &stats);
-            self.record_query_obs(&stats);
-            result
-        })?;
+        let solutions = self.governed_query(sparql, EvalOptions::default())?;
         Ok(solutions.ask.unwrap_or(false))
     }
 
@@ -705,6 +824,9 @@ impl KgLids {
         metrics.gauge_set("sparql.plan_cache.misses", cache.misses as f64);
         metrics.gauge_set("sparql.plan_cache.parses", cache.parses as f64);
         metrics.gauge_set("sparql.plan_cache.compiles", cache.compiles as f64);
+        metrics.gauge_set("sparql.plan_cache.evictions", cache.evictions as f64);
+        metrics.gauge_set("sparql.plan_cache.texts", cache.texts_len as f64);
+        metrics.gauge_set("sparql.plan_cache.shapes", cache.shapes_len as f64);
     }
 
     /// Run a query closure under the `query.*` metrics: every call counts
@@ -992,6 +1114,103 @@ clf.fit(X, y)
         assert_eq!(report.rows, 3);
         assert_eq!(report.patterns.len(), 2);
         assert!(report.patterns.iter().all(|p| p.satisfiable && p.order.is_some()));
+    }
+
+    #[test]
+    fn deadline_guardrail_times_out_queries() {
+        let (platform, _) = KgLidsBuilder::new()
+            .with_dataset(titanic())
+            .with_query_guardrails(QueryGuardrails {
+                deadline: Some(Duration::ZERO),
+                ..QueryGuardrails::default()
+            })
+            .bootstrap();
+        let err = platform
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?c WHERE { ?t a k:Table . ?t k:hasColumn ?c . }",
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::QueryTimeout);
+        let metrics = platform.obs().metrics.snapshot();
+        assert!(metrics.counter("query.timeouts").unwrap_or(0) >= 1);
+        assert!(metrics.counter("query.errors").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn budget_trip_degrades_to_truncated_partial_result() {
+        let (platform, _) = KgLidsBuilder::new()
+            .with_dataset(titanic())
+            .with_query_guardrails(QueryGuardrails {
+                memory_budget: Some(64),
+                degraded_row_cap: 1,
+                ..QueryGuardrails::default()
+            })
+            .bootstrap();
+        let df = platform
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?c WHERE { ?t a k:Table . ?t k:hasColumn ?c . }",
+            )
+            .unwrap();
+        assert!(df.truncated, "degraded result must be marked truncated");
+        assert!(df.len() <= 1, "degraded result must respect the row cap");
+        let metrics = platform.obs().metrics.snapshot();
+        assert!(metrics.counter("query.budget_denials").unwrap_or(0) >= 1);
+        assert!(metrics.counter("query.degraded").unwrap_or(0) >= 1);
+        assert!(metrics.counter("query.truncated").unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn repeat_offender_shapes_fail_fast() {
+        let (platform, _) = KgLidsBuilder::new()
+            .with_dataset(titanic())
+            .with_query_guardrails(QueryGuardrails {
+                deadline: Some(Duration::ZERO),
+                poison_threshold: 2,
+                poison_ttl: Duration::from_secs(3600),
+                ..QueryGuardrails::default()
+            })
+            .bootstrap();
+        let q = "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?c WHERE { ?t a k:Table . ?t k:hasColumn ?c . }";
+        assert_eq!(platform.query(q).unwrap_err().kind(), ErrorKind::QueryTimeout);
+        assert_eq!(platform.query(q).unwrap_err().kind(), ErrorKind::QueryTimeout);
+        // two trips crossed the threshold: the shape now fails fast
+        let err = platform.query(q).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::QueryBudgetExceeded);
+        assert!(err.to_string().contains("quarantined"), "err: {err}");
+        let metrics = platform.obs().metrics.snapshot();
+        assert!(metrics.counter("query.shapes_poisoned").unwrap_or(0) >= 1);
+        assert!(metrics.counter("query.quarantine_denials").unwrap_or(0) >= 1);
+        // a different, well-behaved shape still runs normally
+        assert!(platform
+            .query("PREFIX k: <http://kglids.org/ontology/> SELECT ?t WHERE { ?t a k:Table . }")
+            .is_err()); // (deadline 0 still times it out, but NOT as a quarantine)
+    }
+
+    #[test]
+    fn generous_guardrails_leave_queries_exact() {
+        let (platform, _) = KgLidsBuilder::new()
+            .with_dataset(titanic())
+            .with_query_guardrails(QueryGuardrails {
+                deadline: Some(Duration::from_secs(60)),
+                memory_budget: Some(256 << 20),
+                ..QueryGuardrails::default()
+            })
+            .bootstrap();
+        let df = platform
+            .query(
+                "PREFIX k: <http://kglids.org/ontology/> \
+                 SELECT ?c WHERE { ?t a k:Table . ?t k:hasColumn ?c . }",
+            )
+            .unwrap();
+        assert_eq!(df.len(), 3);
+        assert!(!df.truncated);
+        let metrics = platform.obs().metrics.snapshot();
+        assert_eq!(metrics.counter("query.degraded").unwrap_or(0), 0);
+        // headroom gauge was exported for the governed run
+        assert!(metrics.gauge("query.budget_headroom_bytes").is_some());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Seeded adversarial SPARQL workload generator for resource-governance
+//! chaos tests.
+//!
+//! Every generated query is *semantically valid* but pathological for a
+//! naive evaluator: disconnected cross-product stars whose result size is
+//! the product of whole-store scans, unbound-everything scans that touch
+//! every quad (chained so intermediates blow up), and deeply nested
+//! `OPTIONAL` towers that multiply bindings level by level. The chaos
+//! suite (`tests/query_chaos.rs`) runs these against a governed platform
+//! and asserts each one terminates within its deadline with a typed error
+//! or a truncated partial result — never a panic, abort, or hang.
+//!
+//! Like [`crate::faults::Corruptor`], generation is fully seeded: the same
+//! seed and call sequence always yields the same workload.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The adversarial query families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AdversarialKind {
+    /// Disconnected triple patterns: the result is the cartesian product
+    /// of full scans (`n^k` rows for `k` star arms over `n` quads).
+    CrossProductStar,
+    /// Variable-only patterns chained through shared variables: every
+    /// quad matches every pattern position.
+    UnboundScan,
+    /// `OPTIONAL` towers: each nesting level multiplies the surviving
+    /// bindings by another full scan.
+    DeepOptional,
+}
+
+impl AdversarialKind {
+    /// Every family, in declaration order.
+    pub const ALL: [AdversarialKind; 3] = [
+        AdversarialKind::CrossProductStar,
+        AdversarialKind::UnboundScan,
+        AdversarialKind::DeepOptional,
+    ];
+}
+
+impl std::fmt::Display for AdversarialKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One generated adversarial query.
+#[derive(Debug, Clone)]
+pub struct AdversarialQuery {
+    /// Stable label (`cross_product_star#2` etc.) for reports.
+    pub name: String,
+    pub kind: AdversarialKind,
+    /// The SPARQL text.
+    pub text: String,
+}
+
+/// Seeded generator of adversarial queries plus the companion quads that
+/// make them expensive.
+#[derive(Debug)]
+pub struct AdversarialSuite {
+    rng: SmallRng,
+}
+
+impl AdversarialSuite {
+    pub fn new(seed: u64) -> Self {
+        AdversarialSuite { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// `n` queries cycling through the three families, parameters drawn
+    /// from the seeded rng.
+    pub fn generate(&mut self, n: usize) -> Vec<AdversarialQuery> {
+        (0..n)
+            .map(|i| {
+                let kind = AdversarialKind::ALL[i % AdversarialKind::ALL.len()];
+                let text = match kind {
+                    AdversarialKind::CrossProductStar => {
+                        let arms = self.rand_range(3, 5);
+                        self.cross_product_star(arms)
+                    }
+                    AdversarialKind::UnboundScan => {
+                        let hops = self.rand_range(2, 4);
+                        self.unbound_scan(hops)
+                    }
+                    AdversarialKind::DeepOptional => {
+                        let depth = self.rand_range(3, 6);
+                        self.deep_optional(depth)
+                    }
+                };
+                AdversarialQuery { name: format!("{kind}#{i}"), kind, text }
+            })
+            .collect()
+    }
+
+    fn rand_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// `k` disconnected full-scan patterns: `n^k` result rows.
+    fn cross_product_star(&mut self, arms: usize) -> String {
+        let mut body = String::new();
+        for a in 0..arms {
+            body.push_str(&format!("?s{a} ?p{a} ?o{a} . "));
+        }
+        format!("SELECT * WHERE {{ {body}}}")
+    }
+
+    /// Variable-only patterns chained object→subject so every hop fans
+    /// out over the whole store again.
+    fn unbound_scan(&mut self, hops: usize) -> String {
+        let mut body = String::from("?s0 ?p0 ?s1 . ");
+        for h in 1..hops {
+            body.push_str(&format!("?s{h} ?p{h} ?s{} . ", h + 1));
+        }
+        format!("SELECT * WHERE {{ {body}}}")
+    }
+
+    /// An `OPTIONAL` tower `depth` levels deep, each level a fresh full
+    /// scan: surviving bindings multiply at every level.
+    fn deep_optional(&mut self, depth: usize) -> String {
+        let mut body = format!("?s0 ?p0 ?o0 . {}", self.optional_tower(1, depth));
+        body = format!("SELECT * WHERE {{ {body} }}");
+        body
+    }
+
+    fn optional_tower(&mut self, level: usize, depth: usize) -> String {
+        if level > depth {
+            return String::new();
+        }
+        let inner = self.optional_tower(level + 1, depth);
+        format!("OPTIONAL {{ ?s{level} ?p{level} ?o{level} . {inner}}}")
+    }
+
+    /// Companion data: `(subject, predicate, object)` IRI triples forming
+    /// a dense bipartite-ish graph so full scans are non-trivially large
+    /// and cross products explode. Returns IRI strings (the caller owns
+    /// term construction — this crate stays store-agnostic).
+    pub fn dense_triples(&mut self, subjects: usize, fanout: usize) -> Vec<(String, String, String)> {
+        let mut out = Vec::with_capacity(subjects * fanout);
+        for s in 0..subjects {
+            for _ in 0..fanout {
+                let p = self.rng.gen_range(0..8u32);
+                let o = self.rng.gen_range(0..subjects.max(1) as u32);
+                out.push((
+                    format!("urn:adv:s{s}"),
+                    format!("urn:adv:p{p}"),
+                    format!("urn:adv:s{o}"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a: Vec<String> = AdversarialSuite::new(7).generate(9).into_iter().map(|q| q.text).collect();
+        let b: Vec<String> = AdversarialSuite::new(7).generate(9).into_iter().map(|q| q.text).collect();
+        let c: Vec<String> = AdversarialSuite::new(8).generate(9).into_iter().map(|q| q.text).collect();
+        assert_eq!(a, b, "same seed must reproduce the workload");
+        assert_ne!(a, c, "different seeds must vary parameters");
+    }
+
+    #[test]
+    fn all_families_are_covered() {
+        let queries = AdversarialSuite::new(1).generate(9);
+        for kind in AdversarialKind::ALL {
+            assert!(queries.iter().any(|q| q.kind == kind), "missing {kind}");
+        }
+        // structural spot checks
+        assert!(queries
+            .iter()
+            .filter(|q| q.kind == AdversarialKind::DeepOptional)
+            .all(|q| q.text.matches("OPTIONAL").count() >= 3));
+        assert!(queries
+            .iter()
+            .filter(|q| q.kind == AdversarialKind::CrossProductStar)
+            .all(|q| q.text.matches(" . ").count() >= 3));
+    }
+
+    #[test]
+    fn dense_triples_have_requested_shape() {
+        let triples = AdversarialSuite::new(3).dense_triples(10, 4);
+        assert_eq!(triples.len(), 40);
+        assert!(triples.iter().all(|(s, p, o)| {
+            s.starts_with("urn:adv:s") && p.starts_with("urn:adv:p") && o.starts_with("urn:adv:s")
+        }));
+    }
+}

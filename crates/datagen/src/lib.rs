@@ -22,7 +22,11 @@
 //! - [`faults`]: a seeded artifact corruptor for chaos-testing the
 //!   fault-tolerant bootstrap (truncation, unbalanced quotes, invalid
 //!   UTF-8, NUL bytes, ragged rows, broken Python syntax).
+//! - [`adversarial`]: a seeded generator of resource-hostile SPARQL
+//!   queries (cross-product stars, unbound scans, deep OPTIONAL towers)
+//!   for chaos-testing the query governor.
 
+pub mod adversarial;
 pub mod domains;
 pub mod faults;
 pub mod lakes;
@@ -30,6 +34,7 @@ pub mod pipelines;
 pub mod profiles;
 pub mod tasks;
 
+pub use adversarial::{AdversarialKind, AdversarialQuery, AdversarialSuite};
 pub use domains::{Domain, DOMAINS};
 pub use faults::{Corruptor, FaultKind};
 pub use lakes::{Lake, LakeSpec};

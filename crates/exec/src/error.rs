@@ -24,6 +24,15 @@ pub enum ErrorKind {
     PyParseError,
     /// A SPARQL query failed to parse or evaluate.
     SparqlError,
+    /// A governed query ran past its deadline.
+    QueryTimeout,
+    /// A governed query was cancelled by its caller.
+    QueryCancelled,
+    /// A governed query exceeded its memory budget (or its shape is
+    /// quarantined for repeatedly doing so).
+    QueryBudgetExceeded,
+    /// A caller-supplied argument was out of domain (NaN score, zero k).
+    InvalidArgument,
     /// A per-item processing budget was exceeded.
     ProfileTimeout,
     /// A worker panicked while processing the item.
@@ -42,6 +51,10 @@ impl ErrorKind {
             ErrorKind::EmptyInput => "EmptyInput",
             ErrorKind::PyParseError => "PyParseError",
             ErrorKind::SparqlError => "SparqlError",
+            ErrorKind::QueryTimeout => "QueryTimeout",
+            ErrorKind::QueryCancelled => "QueryCancelled",
+            ErrorKind::QueryBudgetExceeded => "QueryBudgetExceeded",
+            ErrorKind::InvalidArgument => "InvalidArgument",
             ErrorKind::ProfileTimeout => "ProfileTimeout",
             ErrorKind::WorkerPanic => "WorkerPanic",
             ErrorKind::Internal => "Internal",
@@ -50,9 +63,15 @@ impl ErrorKind {
 
     /// Whether failures of this kind may succeed on a retry. Malformed
     /// input never fixes itself; a panic or budget overrun might have been
-    /// caused by transient conditions (memory pressure, scheduling).
+    /// caused by transient conditions (memory pressure, scheduling). A
+    /// query timeout may clear once contention passes, but a cancelled
+    /// query was stopped on purpose and a budget-exceeded query will
+    /// exceed the same budget again.
     pub fn is_transient(&self) -> bool {
-        matches!(self, ErrorKind::ProfileTimeout | ErrorKind::WorkerPanic)
+        matches!(
+            self,
+            ErrorKind::ProfileTimeout | ErrorKind::WorkerPanic | ErrorKind::QueryTimeout
+        )
     }
 }
 
@@ -132,6 +151,7 @@ mod tests {
     fn transience_classification() {
         assert!(ErrorKind::WorkerPanic.is_transient());
         assert!(ErrorKind::ProfileTimeout.is_transient());
+        assert!(ErrorKind::QueryTimeout.is_transient());
         for k in [
             ErrorKind::CsvMalformed,
             ErrorKind::EncodingError,
@@ -139,6 +159,9 @@ mod tests {
             ErrorKind::EmptyInput,
             ErrorKind::PyParseError,
             ErrorKind::SparqlError,
+            ErrorKind::QueryCancelled,
+            ErrorKind::QueryBudgetExceeded,
+            ErrorKind::InvalidArgument,
             ErrorKind::Internal,
         ] {
             assert!(!k.is_transient(), "{k} should be permanent");

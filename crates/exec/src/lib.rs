@@ -16,12 +16,14 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod error;
+pub mod governor;
 pub mod meter;
 pub mod pool;
 pub mod retry;
 pub mod timer;
 
 pub use error::{ErrorKind, LidsError, LidsResult};
+pub use governor::{CancelToken, GovernorTrip, QueryGovernor, QueryLimits, TripReason};
 pub use meter::MemoryMeter;
 pub use pool::{
     parallel_blocks, parallel_map, parallel_map_with, parallel_try_map, parallel_try_map_with,

@@ -6,14 +6,20 @@
 //! harness run deterministically with zero wall-clock sleeping.
 
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::LidsResult;
 
-/// Source of delay used between retry attempts.
+/// Source of time used between retry attempts and by query deadlines.
 pub trait Clock: Send + Sync {
     /// Block the current thread for (approximately) `d`.
     fn sleep(&self, d: Duration);
+
+    /// The current instant. Query governors read deadlines through this,
+    /// so an injected clock makes timeout behaviour deterministic.
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
 }
 
 /// Real wall-clock sleeping.
@@ -26,10 +32,24 @@ impl Clock for SystemClock {
     }
 }
 
-/// Test clock: records requested sleeps, returns immediately.
-#[derive(Debug, Default)]
+/// Test clock: records requested sleeps and keeps a virtual `now` that
+/// only moves when a sleep is requested or [`advance`](TestClock::advance)
+/// is called — no wall-clock waiting, fully deterministic.
+#[derive(Debug)]
 pub struct TestClock {
     sleeps: Mutex<Vec<Duration>>,
+    base: Instant,
+    offset: Mutex<Duration>,
+}
+
+impl Default for TestClock {
+    fn default() -> Self {
+        TestClock {
+            sleeps: Mutex::new(Vec::new()),
+            base: Instant::now(),
+            offset: Mutex::new(Duration::ZERO),
+        }
+    }
 }
 
 impl TestClock {
@@ -41,6 +61,13 @@ impl TestClock {
     pub fn sleeps(&self) -> Vec<Duration> {
         self.sleeps.lock().map(|s| s.clone()).unwrap_or_default()
     }
+
+    /// Move virtual time forward by `d`.
+    pub fn advance(&self, d: Duration) {
+        if let Ok(mut offset) = self.offset.lock() {
+            *offset += d;
+        }
+    }
 }
 
 impl Clock for TestClock {
@@ -48,6 +75,14 @@ impl Clock for TestClock {
         if let Ok(mut sleeps) = self.sleeps.lock() {
             sleeps.push(d);
         }
+        // Sleeping advances virtual time, so backoff delays and query
+        // deadlines interact consistently under test.
+        self.advance(d);
+    }
+
+    fn now(&self) -> Instant {
+        let offset = self.offset.lock().map(|o| *o).unwrap_or_default();
+        self.base + offset
     }
 }
 
@@ -187,6 +222,17 @@ mod tests {
         assert_eq!(out.result.unwrap(), 3);
         assert_eq!(out.retries, 2);
         assert_eq!(clock.sleeps().len(), 2);
+    }
+
+    #[test]
+    fn test_clock_virtual_time_advances_on_sleep_and_advance() {
+        let clock = TestClock::new();
+        let start = clock.now();
+        clock.advance(Duration::from_millis(250));
+        assert_eq!(clock.now() - start, Duration::from_millis(250));
+        clock.sleep(Duration::from_millis(50));
+        assert_eq!(clock.now() - start, Duration::from_millis(300));
+        assert_eq!(clock.sleeps(), vec![Duration::from_millis(50)]);
     }
 
     #[test]

@@ -83,7 +83,12 @@ impl Dictionary {
             self.intern(&q.predicate);
             self.intern(&q.object);
         }
-        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
+        let Ok(raw) = u32::try_from(self.terms.len()) else {
+            // ids are dense u32s by design; 2^32 interned terms is beyond
+            // any supported store size
+            panic!("dictionary overflow: more than u32::MAX interned terms")
+        };
+        let id = TermId(raw);
         self.terms.push(term);
         match self.buckets.entry(hash) {
             std::collections::hash_map::Entry::Vacant(e) => {

@@ -12,6 +12,8 @@
 //! `OSPG`, `GSPO`). Pattern scans pick the index with the longest bound
 //! prefix, which is what makes the discovery queries in Section 5 cheap.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod dictionary;
 pub mod nquads;
 pub mod pattern;

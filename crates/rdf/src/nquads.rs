@@ -152,9 +152,9 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return Err(self.err("empty blank node label".into()));
         }
-        Ok(Term::BNode(
-            std::str::from_utf8(&self.input[start..self.pos]).unwrap().to_string(),
-        ))
+        let label = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in blank node label".into()))?;
+        Ok(Term::BNode(label.to_string()))
     }
 
     fn parse_literal(&mut self) -> Result<Term, ParseError> {
@@ -186,7 +186,10 @@ impl<'a> Cursor<'a> {
                     // consume one UTF-8 scalar
                     let rest = std::str::from_utf8(&self.input[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8 in literal".into()))?;
-                    let ch = rest.chars().next().unwrap();
+                    let ch = rest
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated literal".into()))?;
                     lexical.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -219,7 +222,8 @@ impl<'a> Cursor<'a> {
                 if self.pos == start {
                     return Err(self.err("empty language tag".into()));
                 }
-                let lang = std::str::from_utf8(&self.input[start..self.pos]).unwrap();
+                let lang = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in language tag".into()))?;
                 Ok(Term::Literal(Literal {
                     lexical,
                     datatype: xsd::STRING.to_string(),

@@ -1,7 +1,8 @@
 //! Dictionary-encoded quad store with multiple B-tree orderings.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use lids_exec::{parallel_map_with, ParallelConfig};
@@ -171,6 +172,11 @@ impl IndexOrder {
 /// root-to-leaf descent.
 const GALLOP_STEPS: usize = 8;
 
+/// How many cursor operations pass between loads of an attached
+/// interrupt flag — cheap enough to leave on, responsive enough that a
+/// cancelled query stops scanning within a few dozen keys.
+const INTERRUPT_STRIDE: u32 = 64;
+
 /// Ceiling on index entries walked per cardinality estimate — bounds
 /// planner cost on huge ranges; see [`QuadStore::estimate_pattern_exact`].
 const ESTIMATE_WALK_CAP: usize = 4096;
@@ -184,17 +190,45 @@ const ESTIMATE_WALK_CAP: usize = 4096;
 /// target is far, so sort-merge consumers pay O(1) amortised per nearby
 /// key and O(log n) only on long skips. Seeking backwards is a no-op:
 /// the cursor never moves left.
+///
+/// A cursor may carry an interrupt flag
+/// ([`RunCursor::with_interrupt`]): once the flag flips, the cursor
+/// reports itself exhausted within [`INTERRUPT_STRIDE`] operations, so a
+/// cancelled or over-deadline query stops galloping without the caller
+/// reaching a batch-boundary check first. The caller is responsible for
+/// turning the early exhaustion into a typed error.
 pub struct RunCursor<'a> {
     set: &'a BTreeSet<[u32; 4]>,
     iter: std::collections::btree_set::Range<'a, [u32; 4]>,
     current: Option<[u32; 4]>,
+    interrupt: Option<Arc<AtomicBool>>,
+    ops: u32,
 }
 
 impl<'a> RunCursor<'a> {
     fn new(set: &'a BTreeSet<[u32; 4]>) -> Self {
         let mut iter = set.range([0, 0, 0, 0]..);
         let current = iter.next().copied();
-        RunCursor { set, iter, current }
+        RunCursor { set, iter, current, interrupt: None, ops: 0 }
+    }
+
+    /// Attach a cooperative interrupt flag (see the type docs).
+    pub fn with_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// Strided interrupt probe; exhausts the cursor when the flag is set.
+    fn interrupted(&mut self) -> bool {
+        let Some(flag) = &self.interrupt else {
+            return false;
+        };
+        self.ops = self.ops.wrapping_add(1);
+        if self.ops.is_multiple_of(INTERRUPT_STRIDE) && flag.load(Ordering::Relaxed) {
+            self.current = None;
+            return true;
+        }
+        false
     }
 
     /// The key the cursor is positioned on, or `None` once exhausted.
@@ -204,12 +238,18 @@ impl<'a> RunCursor<'a> {
 
     /// Move to the next key in the run.
     pub fn advance(&mut self) {
+        if self.interrupted() {
+            return;
+        }
         self.current = self.iter.next().copied();
     }
 
     /// Position the cursor on the first key `>= target` at or after the
     /// current position (never moves backwards).
     pub fn seek_ge(&mut self, target: [u32; 4]) {
+        if self.interrupted() {
+            return;
+        }
         match self.current {
             None => return,
             Some(cur) if cur >= target => return,
@@ -606,9 +646,11 @@ impl QuadStore {
                 run
             },
         );
-        let gspo_run = runs.pop().unwrap();
-        let ospg_run = runs.pop().unwrap();
-        let posg_run = runs.pop().unwrap();
+        let (Some(gspo_run), Some(ospg_run), Some(posg_run)) =
+            (runs.pop(), runs.pop(), runs.pop())
+        else {
+            unreachable!("parallel_map_with returns one run per permutation")
+        };
         if threads > 1 {
             std::thread::scope(|scope| {
                 scope.spawn(|| merge_sorted_run(&mut self.posg, posg_run));
@@ -745,8 +787,8 @@ impl QuadStore {
             prefix(&candidates[2].1),
             prefix(&candidates[3].1),
         ];
-        let best_len = *lens.iter().max().unwrap();
-        let mut best = lens.iter().position(|&l| l == best_len).unwrap();
+        let best_len = lens.iter().copied().max().unwrap_or(0);
+        let mut best = lens.iter().position(|&l| l == best_len).unwrap_or(0);
         let contenders = lens.iter().filter(|&&l| l == best_len).count();
         // With 0 bound positions every index is a full scan, and with all 4
         // bound every range is a membership probe — only partial prefixes
@@ -795,9 +837,13 @@ impl QuadStore {
     fn range_bounds(key: &[Option<u32>; 4], prefix_len: usize) -> ([u32; 4], [u32; 4]) {
         let mut lo = [0u32; 4];
         let mut hi = [u32::MAX; 4];
-        for i in 0..prefix_len {
-            lo[i] = key[i].unwrap();
-            hi[i] = key[i].unwrap();
+        // prefix_len counts the leading bound positions, so the take()'d
+        // entries are all Some
+        for (i, bound) in key.iter().take(prefix_len).enumerate() {
+            if let Some(v) = bound {
+                lo[i] = *v;
+                hi[i] = *v;
+            }
         }
         (lo, hi)
     }
@@ -1442,6 +1488,32 @@ mod tests {
         // past-the-end exhausts
         fresh.seek_ge([u32::MAX, u32::MAX, u32::MAX, u32::MAX]);
         assert_eq!(fresh.current(), None);
+    }
+
+    #[test]
+    fn run_cursor_interrupt_flag_exhausts_within_stride() {
+        let mut store = QuadStore::new();
+        for i in 0..500u32 {
+            store.insert(&q(&format!("s{i:03}"), "p", &format!("o{i:03}")));
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut cursor =
+            store.run_cursor(IndexOrder::Spog).with_interrupt(Arc::clone(&flag));
+        // flag clear: behaves like a plain cursor
+        for _ in 0..10 {
+            assert!(cursor.current().is_some());
+            cursor.advance();
+        }
+        flag.store(true, Ordering::Relaxed);
+        let mut steps = 0usize;
+        while cursor.current().is_some() {
+            cursor.advance();
+            steps += 1;
+            assert!(steps <= INTERRUPT_STRIDE as usize + 1, "cursor ignored interrupt");
+        }
+        // seeks on an interrupted cursor stay exhausted
+        cursor.seek_ge([0, 0, 0, 0]);
+        assert_eq!(cursor.current(), None);
     }
 
     #[test]

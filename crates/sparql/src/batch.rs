@@ -31,13 +31,14 @@
 
 use std::collections::HashSet;
 
-use lids_rdf::{EncodedPattern, IndexOrder, QuadStore, TermId};
+use lids_rdf::{EncodedPattern, IndexOrder, QuadStore, RunCursor, TermId};
 
 use crate::ast::VarId;
 use crate::eval::{
     collect_triple_vars, const_of, EncElement, EncGroup, EncNode, EncTriple, Evaluator, GraphCtx,
-    IdBinding, Operator,
+    IdBinding, Operator, GOVERNOR_ROW_INTERVAL,
 };
+use crate::results::SparqlError;
 
 /// Sentinel marking an unbound variable slot in a batch column.
 pub(crate) const UNBOUND: u32 = u32::MAX;
@@ -133,6 +134,66 @@ impl Batch {
     fn fully_bound(&self, var: VarId) -> bool {
         self.cols[var.0 as usize].iter().all(|&v| v != UNBOUND)
     }
+
+    /// Logical bytes of this batch's binding table: one `u32` per
+    /// column slot plus the provenance column.
+    fn logical_bytes(&self) -> u64 {
+        ((self.cols.len() as u64) + 1) * (self.len as u64) * 4
+    }
+
+    /// Keep only the first `cap` rows (graceful-degradation row cap).
+    fn truncate(&mut self, cap: usize) {
+        if self.len <= cap {
+            return;
+        }
+        for col in &mut self.cols {
+            col.truncate(cap);
+        }
+        if let Some(prov) = &mut self.prov {
+            prov.truncate(cap);
+        }
+        self.len = cap;
+    }
+}
+
+/// Streaming governance over a growing output batch: every
+/// [`GOVERNOR_ROW_INTERVAL`] produced rows, charge the bytes accrued
+/// since the last checkpoint and run a boundary check — so a cartesian
+/// blowup trips the budget/deadline *while* it materializes, not after.
+/// Returns `true` when the row cap is exceeded and the producer should
+/// stop emitting (the caller truncates and latches the flag).
+fn governed_progress(
+    ev: &Evaluator<'_>,
+    out: &Batch,
+    since_check: &mut usize,
+    charged: &mut u64,
+) -> Result<bool, SparqlError> {
+    if let Some(cap) = ev.options.row_cap {
+        if out.len() > cap {
+            return Ok(true);
+        }
+    }
+    if ev.governor.is_some() {
+        *since_check += 1;
+        if *since_check >= GOVERNOR_ROW_INTERVAL {
+            *since_check = 0;
+            let bytes = out.logical_bytes();
+            ev.charge(bytes.saturating_sub(*charged))?;
+            *charged = bytes;
+            ev.guard()?;
+        }
+    }
+    Ok(false)
+}
+
+/// A run cursor wired to the governor's interrupt flag when governed,
+/// so mid-gallop scans wind down as soon as a trip or cancel lands.
+fn governed_cursor<'s>(ev: &Evaluator<'s>, order: IndexOrder) -> RunCursor<'s> {
+    let cursor = ev.store.run_cursor(order);
+    match ev.governor {
+        Some(gov) => cursor.with_interrupt(gov.interrupt_flag()),
+        None => cursor,
+    }
 }
 
 // ------------------------------------------------------------ entry points
@@ -157,9 +218,9 @@ pub(crate) fn try_vectorized(
     patterns: &[EncTriple],
     bindings: &[IdBinding],
     ctx: GraphCtx,
-) -> Option<Vec<IdBinding>> {
+) -> Result<Option<Vec<IdBinding>>, SparqlError> {
     if patterns.is_empty() || bindings.is_empty() || !vectorizable(patterns, ctx) {
-        return None;
+        return Ok(None);
     }
     let mut batch = Batch::from_rows(bindings, false);
     let mut done = vec![false; patterns.len()];
@@ -168,7 +229,7 @@ pub(crate) fn try_vectorized(
     // worst-case-optimal star intersection at the query root
     if batch.is_root() && matches!(ctx, GraphCtx::Default) {
         if let Some(star) = detect_star(patterns) {
-            batch = leapfrog_star(ev, patterns, &star, &batch);
+            batch = leapfrog_star(ev, patterns, &star, &batch)?;
             for &idx in &star.patterns {
                 done[idx] = true;
                 record(ev, &patterns[idx], position, Operator::Leapfrog);
@@ -180,8 +241,8 @@ pub(crate) fn try_vectorized(
         }
     }
 
-    batch = join_pipeline(ev, patterns, &mut done, batch, ctx, &mut position);
-    Some(batch.to_rows())
+    batch = join_pipeline(ev, patterns, &mut done, batch, ctx, &mut position)?;
+    Ok(Some(batch.to_rows()))
 }
 
 /// Vectorized left-outer join for `OPTIONAL { <single BGP> }`: joins
@@ -194,17 +255,17 @@ pub(crate) fn try_vectorized_optional(
     inner: &EncGroup,
     bindings: &[IdBinding],
     ctx: GraphCtx,
-) -> Option<Vec<IdBinding>> {
+) -> Result<Option<Vec<IdBinding>>, SparqlError> {
     let [EncElement::Triples(patterns)] = inner.elements.as_slice() else {
-        return None;
+        return Ok(None);
     };
     if bindings.len() < 2 || patterns.is_empty() || !vectorizable(patterns, ctx) {
-        return None;
+        return Ok(None);
     }
     let mut done = vec![false; patterns.len()];
     let mut position = 0usize;
     let batch = Batch::from_rows(bindings, true);
-    let joined = join_pipeline(ev, patterns, &mut done, batch, ctx, &mut position);
+    let joined = join_pipeline(ev, patterns, &mut done, batch, ctx, &mut position)?;
     // left-outer semantics: an input row with no extension survives as-is
     let mut matched = vec![false; bindings.len()];
     if let Some(prov) = &joined.prov {
@@ -218,7 +279,7 @@ pub(crate) fn try_vectorized_optional(
             rows.push(row.clone());
         }
     }
-    Some(rows)
+    Ok(Some(rows))
 }
 
 /// Join every not-yet-done pattern into the batch, cheapest first
@@ -231,7 +292,7 @@ fn join_pipeline(
     mut batch: Batch,
     ctx: GraphCtx,
     position: &mut usize,
-) -> Batch {
+) -> Result<Batch, SparqlError> {
     let graph_slot = match ctx {
         GraphCtx::Fixed(id) => Some(id),
         _ => None,
@@ -272,7 +333,18 @@ fn join_pipeline(
         done[idx] = true;
         let pattern = &patterns[idx];
         if batch.len() > 0 {
-            let (next, op) = execute_pattern(ev, pattern, &batch, ctx);
+            ev.guard()?;
+            let (mut next, op, precharged) = execute_pattern(ev, pattern, &batch, ctx)?;
+            // budget: the new binding table's logical bytes, charged
+            // before the old batch is dropped (cumulative accounting);
+            // the operator already charged `precharged` while producing
+            ev.charge(next.logical_bytes().saturating_sub(precharged))?;
+            if let Some(cap) = ev.options.row_cap {
+                if next.len() > cap {
+                    next.truncate(cap);
+                    ev.truncated.store(true, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
             record(ev, pattern, *position, op);
             if let Some(stats) = ev.stats {
                 stats.count(op);
@@ -285,7 +357,8 @@ fn join_pipeline(
         *position += 1;
         collect_triple_vars(pattern, &mut bound);
     }
-    batch
+    ev.guard()?;
+    Ok(batch)
 }
 
 fn record(ev: &Evaluator<'_>, pattern: &EncTriple, position: usize, op: Operator) {
@@ -301,13 +374,15 @@ fn execute_pattern(
     pattern: &EncTriple,
     batch: &Batch,
     ctx: GraphCtx,
-) -> (Batch, Operator) {
+) -> Result<(Batch, Operator, u64), SparqlError> {
     if batch.len() >= MERGE_MIN {
         if let Some(plan) = merge_plan(ev.store, pattern, batch, ctx) {
-            return (merge_join(ev.store, pattern, batch, ctx, &plan), Operator::Merge);
+            let (out, charged) = merge_join(ev, pattern, batch, ctx, &plan)?;
+            return Ok((out, Operator::Merge, charged));
         }
     }
-    (probe_join(ev.store, pattern, batch, ctx), Operator::Probe)
+    let (out, charged) = probe_join(ev, pattern, batch, ctx)?;
+    Ok((out, Operator::Probe, charged))
 }
 
 // ------------------------------------------------------------- unification
@@ -360,7 +435,13 @@ fn bind_updates(
 
 /// Per-row index probe, emitting matches into fresh columns. Same scan
 /// the row engine runs, minus the per-candidate binding clone.
-fn probe_join(store: &QuadStore, pattern: &EncTriple, batch: &Batch, ctx: GraphCtx) -> Batch {
+fn probe_join(
+    ev: &Evaluator<'_>,
+    pattern: &EncTriple,
+    batch: &Batch,
+    ctx: GraphCtx,
+) -> Result<(Batch, u64), SparqlError> {
+    let store = ev.store;
     let graph = match ctx {
         GraphCtx::Fixed(id) => Some(id),
         _ => None,
@@ -376,7 +457,16 @@ fn probe_join(store: &QuadStore, pattern: &EncTriple, batch: &Batch, ctx: GraphC
         }
     };
     let mut out = batch.empty_like();
-    for i in 0..batch.len() {
+    let mut since_check = 0usize;
+    let mut charged = 0u64;
+    'rows: for i in 0..batch.len() {
+        if ev.governor.is_some() {
+            since_check += 1;
+            if since_check >= GOVERNOR_ROW_INTERVAL {
+                since_check = 0;
+                ev.guard()?;
+            }
+        }
         let scan = EncodedPattern {
             subject: resolve(&pattern.subject, i),
             predicate: resolve(&pattern.predicate, i),
@@ -386,10 +476,16 @@ fn probe_join(store: &QuadStore, pattern: &EncTriple, batch: &Batch, ctx: GraphC
         for quad in store.match_ids(&scan) {
             if let Some(updates) = bind_updates(pattern, batch, i, quad) {
                 out.push_row(batch, i, &updates);
+                // a low-selectivity pattern (worst case: a cartesian
+                // product) explodes in this inner loop — govern the
+                // *output* as it grows, not just the outer sweep
+                if governed_progress(ev, &out, &mut since_check, &mut charged)? {
+                    break 'rows;
+                }
             }
         }
     }
-    out
+    Ok((out, charged))
 }
 
 // ------------------------------------------------------------------- merge
@@ -493,18 +589,18 @@ fn merge_plan(
 /// forward cursor over the chosen index run, scanning each distinct
 /// key's range once and cross-joining it with the key's row group.
 fn merge_join(
-    store: &QuadStore,
+    ev: &Evaluator<'_>,
     pattern: &EncTriple,
     batch: &Batch,
     ctx: GraphCtx,
     plan: &MergePlan,
-) -> Batch {
+) -> Result<(Batch, u64), SparqlError> {
     let key_col = &batch.cols[plan.key.0 as usize];
     let mut rows: Vec<u32> = (0..batch.len() as u32).collect();
     rows.sort_unstable_by_key(|&i| key_col[i as usize]);
 
     let mut out = batch.empty_like();
-    let mut cursor = store.run_cursor(plan.order);
+    let mut cursor = governed_cursor(ev, plan.order);
     let mut scratch: Vec<[u32; 4]> = Vec::new();
     let graph = match ctx {
         GraphCtx::Fixed(id) => Some(id.0),
@@ -512,7 +608,16 @@ fn merge_join(
     };
     let _ = graph; // graph constant already folded into plan.consts
     let mut g = 0usize;
-    while g < rows.len() {
+    let mut groups_since_check = 0usize;
+    let mut charged = 0u64;
+    'sweep: while g < rows.len() {
+        if ev.governor.is_some() {
+            groups_since_check += 1;
+            if groups_since_check >= GOVERNOR_ROW_INTERVAL {
+                groups_since_check = 0;
+                ev.guard()?;
+            }
+        }
         let key_val = key_col[rows[g] as usize];
         let mut g_end = g + 1;
         while g_end < rows.len() && key_col[rows[g_end] as usize] == key_val {
@@ -545,13 +650,21 @@ fn merge_join(
                 for &quad in &scratch {
                     if let Some(updates) = bind_updates(pattern, batch, row as usize, quad) {
                         out.push_row(batch, row as usize, &updates);
+                        // many-to-many keys explode here: govern the
+                        // output as it grows
+                        if governed_progress(ev, &out, &mut groups_since_check, &mut charged)? {
+                            break 'sweep;
+                        }
                     }
                 }
             }
         }
         g = g_end;
     }
-    out
+    // a tripped governor exhausts the interrupt-wired cursor mid-sweep;
+    // surface the typed error instead of a silently partial batch
+    ev.guard()?;
+    Ok((out, charged))
 }
 
 // ---------------------------------------------------------------- leapfrog
@@ -706,8 +819,7 @@ fn leapfrog_star(
     patterns: &[EncTriple],
     star: &Star,
     batch: &Batch,
-) -> Batch {
-    let store = ev.store;
+) -> Result<Batch, SparqlError> {
     let mut iters: Vec<StarIter<'_>> = star
         .patterns
         .iter()
@@ -717,7 +829,7 @@ fn leapfrog_star(
             match &pattern.object {
                 EncNode::Const(o) => StarIter {
                     leg: StarLeg::ConstObj { p, o: o.0 },
-                    cursor: store.run_cursor(IndexOrder::Posg),
+                    cursor: governed_cursor(ev, IndexOrder::Posg),
                 },
                 _ => {
                     let var = match &pattern.object {
@@ -726,7 +838,7 @@ fn leapfrog_star(
                     };
                     StarIter {
                         leg: StarLeg::VarObj { p, var },
-                        cursor: store.run_cursor(IndexOrder::Spog),
+                        cursor: governed_cursor(ev, IndexOrder::Spog),
                     }
                 }
             }
@@ -735,7 +847,16 @@ fn leapfrog_star(
 
     let mut out = batch.empty_like();
     let mut t = 0u32;
+    let mut subjects_since_check = 0usize;
+    let mut charged = 0u64;
     'leapfrog: loop {
+        if ev.governor.is_some() {
+            subjects_since_check += 1;
+            if subjects_since_check >= GOVERNOR_ROW_INTERVAL {
+                subjects_since_check = 0;
+                ev.guard()?;
+            }
+        }
         // advance all legs to agreement on t
         loop {
             let mut agreed = true;
@@ -762,12 +883,27 @@ fn leapfrog_star(
         }
         let mut updates: Vec<(VarId, u32)> = vec![(star.subject, t)];
         emit_cross(&mut out, &iters, &legs, 0, &mut updates);
+        // govern the accumulated output (per-subject granularity); a
+        // row-cap hit truncates here because this batch does not pass
+        // through the pipeline's cap site
+        if governed_progress(ev, &out, &mut subjects_since_check, &mut charged)? {
+            if let Some(cap) = ev.options.row_cap {
+                out.truncate(cap);
+                ev.truncated.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            break 'leapfrog;
+        }
         match t.checked_add(1) {
             Some(next) => t = next,
             None => break,
         }
     }
-    out
+    // interrupted cursors exhaust silently; convert to the typed trip
+    ev.guard()?;
+    // the star result enters the pipeline as its base batch, so charge
+    // the un-precharged remainder here
+    ev.charge(out.logical_bytes().saturating_sub(charged))?;
+    Ok(out)
 }
 
 /// Recursive odometer over per-leg quad lists, pushing one fresh row

@@ -19,10 +19,10 @@
 
 use std::cell::Cell;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering::Relaxed};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::Relaxed};
+use std::time::{Duration, Instant};
 
-use lids_exec::parallel_map;
+use lids_exec::{parallel_map, QueryGovernor, QueryLimits};
 use lids_rdf::{EncodedPattern, GraphName, QuadStore, Term, TermId, Triple};
 
 use crate::ast::*;
@@ -55,11 +55,31 @@ pub struct EvalOptions {
     /// arm of the `sparql` bench, and the mode whose row order matches
     /// [`crate::reference`] exactly.
     pub vectorize: bool,
+    /// Wall-clock ceiling for one evaluation. When set (and no external
+    /// governor is supplied) a local [`QueryGovernor`] is armed; past
+    /// the deadline the query returns [`SparqlError::Governed`] with
+    /// [`TripReason::Timeout`](lids_exec::TripReason::Timeout).
+    pub deadline: Option<Duration>,
+    /// Ceiling on cumulative binding-table / decode allocations in
+    /// logical bytes. Exceeding it returns [`SparqlError::Governed`]
+    /// instead of allocating without bound.
+    pub memory_budget: Option<u64>,
+    /// Graceful-degradation row cap: intermediate binding sets larger
+    /// than this are truncated (and the result marked
+    /// [`Solutions::truncated`]) rather than failed. `None` = exact.
+    pub row_cap: Option<usize>,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { reorder_joins: true, parallel_threshold: 1024, vectorize: true }
+        EvalOptions {
+            reorder_joins: true,
+            parallel_threshold: 1024,
+            vectorize: true,
+            deadline: None,
+            memory_budget: None,
+            row_cap: None,
+        }
     }
 }
 
@@ -67,6 +87,16 @@ impl EvalOptions {
     /// Fluent construction; the struct-literal form keeps working.
     pub fn builder() -> EvalOptionsBuilder {
         EvalOptionsBuilder { inner: EvalOptions::default() }
+    }
+
+    /// The [`QueryLimits`] these options imply (deadline and memory
+    /// budget; cancellation comes only from an external governor).
+    pub fn limits(&self) -> QueryLimits {
+        QueryLimits {
+            deadline: self.deadline,
+            memory_budget_bytes: self.memory_budget,
+            ..QueryLimits::default()
+        }
     }
 }
 
@@ -92,6 +122,25 @@ impl EvalOptionsBuilder {
     /// Enable/disable vectorized (batched columnar) join execution.
     pub fn vectorize(mut self, on: bool) -> Self {
         self.inner.vectorize = on;
+        self
+    }
+
+    /// Wall-clock ceiling for the evaluation.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.inner.deadline = Some(limit);
+        self
+    }
+
+    /// Ceiling on cumulative binding-table / decode allocation bytes.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.inner.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Truncate intermediate binding sets to this many rows, marking
+    /// the result [`Solutions::truncated`] when the cap bites.
+    pub fn row_cap(mut self, rows: usize) -> Self {
+        self.inner.row_cap = Some(rows);
         self
     }
 
@@ -190,9 +239,21 @@ pub fn evaluate_with(
     query: &Query,
     options: EvalOptions,
 ) -> Result<Solutions, SparqlError> {
+    evaluate_governed(store, query, options, None)
+}
+
+/// Evaluate under an externally armed [`QueryGovernor`] (shared
+/// cancellation, cross-engine budgets). With `governor: None`, a local
+/// governor is armed from the options' deadline/budget fields when set.
+pub fn evaluate_governed(
+    store: &QuadStore,
+    query: &Query,
+    options: EvalOptions,
+    governor: Option<&QueryGovernor>,
+) -> Result<Solutions, SparqlError> {
     let mut compiler = Compiler::new(store, &query.variables, false);
     let compiled = compiler.compile_query(query);
-    eval_compiled(store, query, options, &compiled, None, None)
+    eval_compiled(store, query, options, &compiled, None, None, governor)
 }
 
 /// Evaluate with explicit options, filling `stats` with per-operator
@@ -205,7 +266,7 @@ pub fn evaluate_with_stats(
 ) -> Result<Solutions, SparqlError> {
     let mut compiler = Compiler::new(store, &query.variables, false);
     let compiled = compiler.compile_query(query);
-    eval_compiled(store, query, options, &compiled, None, Some(stats))
+    eval_compiled(store, query, options, &compiled, None, Some(stats), None)
 }
 
 /// Evaluate with per-pattern instrumentation, returning the solutions
@@ -221,7 +282,8 @@ pub fn evaluate_explained(
     let metas = compiler.metas;
     let instr = Instr::new(metas.len());
     let stats = ExecStats::default();
-    let solutions = eval_compiled(store, query, options, &compiled, Some(&instr), Some(&stats))?;
+    let solutions =
+        eval_compiled(store, query, options, &compiled, Some(&instr), Some(&stats), None)?;
     let wall_secs = start.elapsed().as_secs_f64();
     let patterns = metas
         .into_iter()
@@ -251,6 +313,7 @@ pub fn evaluate_explained(
         merge_joins: stats.merge_joins(),
         probe_joins: stats.probe_joins(),
         leapfrog_joins: stats.leapfrog_joins(),
+        truncated: solutions.truncated,
     };
     Ok((solutions, report))
 }
@@ -262,8 +325,17 @@ pub(crate) fn eval_compiled(
     compiled: &EncGroup,
     instr: Option<&Instr>,
     stats: Option<&ExecStats>,
+    governor: Option<&QueryGovernor>,
 ) -> Result<Solutions, SparqlError> {
-    let ev = Evaluator { store, options, instr, stats };
+    // With no external governor, arm a local one from the options'
+    // deadline/budget. All-`None` limits arm nothing: the ungoverned
+    // fast path pays a single never-taken branch per checkpoint site.
+    let local = match governor {
+        Some(_) => None,
+        None => options.limits().arm(),
+    };
+    let governor = governor.or(local.as_ref());
+    let ev = Evaluator { store, options, instr, stats, governor, truncated: AtomicBool::new(false) };
     let nvars = query.variables.len();
     let root = vec![vec![None; nvars]];
     match &query.form {
@@ -273,12 +345,15 @@ pub(crate) fn eval_compiled(
                 columns: Vec::new(),
                 rows: Vec::new(),
                 ask: Some(!bindings.is_empty()),
+                truncated: ev.truncated.load(Relaxed),
             })
         }
         QueryForm::Select(select) => {
             let bindings = ev.eval_group(compiled, root, GraphCtx::Default)?;
-            let decoded = ev.decode_bindings(query, select, bindings);
-            project(query, select, decoded)
+            let decoded = ev.decode_bindings(query, select, bindings)?;
+            let mut solutions = project(query, select, decoded)?;
+            solutions.truncated = ev.truncated.load(Relaxed);
+            Ok(solutions)
         }
     }
 }
@@ -581,9 +656,60 @@ pub(crate) struct Evaluator<'a> {
     pub(crate) instr: Option<&'a Instr>,
     /// Per-operator execution counters, when the caller asked for them.
     pub(crate) stats: Option<&'a ExecStats>,
+    /// Resource governor for this evaluation; `None` skips every
+    /// checkpoint with one predictable branch.
+    pub(crate) governor: Option<&'a QueryGovernor>,
+    /// Latched when a row cap truncated an intermediate binding set.
+    pub(crate) truncated: AtomicBool,
 }
 
+/// Logical bytes of an encoded binding row: one `Option<TermId>` slot
+/// per variable (8 bytes with niche-free accounting).
+const ID_SLOT_BYTES: u64 = 8;
+
+/// Governed row loops run a boundary check every this many input rows,
+/// bounding the window between a trip and the loop observing it without
+/// paying an atomic read per row.
+pub(crate) const GOVERNOR_ROW_INTERVAL: usize = 1024;
+
 impl<'a> Evaluator<'a> {
+    // ----------------------------------------------------------- governance
+
+    /// Batch-boundary checkpoint; no-op when ungoverned.
+    pub(crate) fn guard(&self) -> Result<(), SparqlError> {
+        match self.governor {
+            Some(gov) => gov.check().map_err(SparqlError::Governed),
+            None => Ok(()),
+        }
+    }
+
+    /// Charge binding-table bytes against the budget; no-op when
+    /// ungoverned.
+    pub(crate) fn charge(&self, bytes: u64) -> Result<(), SparqlError> {
+        match self.governor {
+            Some(gov) => gov.charge(bytes).map_err(SparqlError::Governed),
+            None => Ok(()),
+        }
+    }
+
+    fn charge_rows(&self, rows: &[IdBinding]) -> Result<(), SparqlError> {
+        if self.governor.is_some() && !rows.is_empty() {
+            self.charge(rows.len() as u64 * rows[0].len() as u64 * ID_SLOT_BYTES)?;
+        }
+        Ok(())
+    }
+
+    /// Apply the graceful-degradation row cap, latching the truncated
+    /// flag when it bites.
+    pub(crate) fn cap_rows(&self, rows: &mut Vec<IdBinding>) {
+        if let Some(cap) = self.options.row_cap {
+            if rows.len() > cap {
+                rows.truncate(cap);
+                self.truncated.store(true, Relaxed);
+            }
+        }
+    }
+
     // ------------------------------------------------------------- evaluate
 
     fn eval_group(
@@ -596,7 +722,9 @@ impl<'a> Evaluator<'a> {
             if bindings.is_empty() {
                 return Ok(bindings);
             }
+            self.guard()?;
             bindings = self.apply_element(element, bindings, ctx)?;
+            self.cap_rows(&mut bindings);
         }
         Ok(bindings)
     }
@@ -608,7 +736,7 @@ impl<'a> Evaluator<'a> {
         ctx: GraphCtx,
     ) -> Result<Vec<IdBinding>, SparqlError> {
         Ok(match element {
-            EncElement::Triples(patterns) => self.eval_triples(patterns, bindings, ctx),
+            EncElement::Triples(patterns) => self.eval_triples(patterns, bindings, ctx)?,
             EncElement::Empty => Vec::new(),
             EncElement::Filter(expr) => {
                 let mut bindings = bindings;
@@ -619,12 +747,13 @@ impl<'a> Evaluator<'a> {
                 if self.options.vectorize {
                     if let Some(done) = crate::batch::try_vectorized_optional(
                         self, inner, &bindings, ctx,
-                    ) {
+                    )? {
                         return Ok(done);
                     }
                 }
                 let mut next = Vec::new();
                 for binding in bindings {
+                    self.guard()?;
                     let extended = self.eval_group_seeded(inner, &binding, ctx)?;
                     if extended.is_empty() {
                         // inner group matched nothing: the row survives
@@ -669,7 +798,7 @@ impl<'a> Evaluator<'a> {
             return Ok(vec![seed.clone()]);
         };
         let mut bindings = match first {
-            EncElement::Triples(patterns) => self.eval_triples_seeded(patterns, seed, ctx),
+            EncElement::Triples(patterns) => self.eval_triples_seeded(patterns, seed, ctx)?,
             EncElement::Empty => Vec::new(),
             EncElement::Filter(expr) => {
                 if self.filter_passes(seed, expr) {
@@ -715,21 +844,22 @@ impl<'a> Evaluator<'a> {
         patterns: &[EncTriple],
         bindings: Vec<IdBinding>,
         ctx: GraphCtx,
-    ) -> Vec<IdBinding> {
+    ) -> Result<Vec<IdBinding>, SparqlError> {
         if self.options.vectorize {
-            if let Some(result) = crate::batch::try_vectorized(self, patterns, &bindings, ctx) {
-                return result;
+            if let Some(result) = crate::batch::try_vectorized(self, patterns, &bindings, ctx)? {
+                return Ok(result);
             }
         }
         let order = self.join_order(patterns, bindings.first(), ctx);
         let mut current = bindings;
         for &idx in &order {
-            current = self.join_step(&patterns[idx], current, ctx);
+            current = self.join_step(&patterns[idx], current, ctx)?;
+            self.cap_rows(&mut current);
             if current.is_empty() {
                 break;
             }
         }
-        current
+        Ok(current)
     }
 
     /// Like [`Evaluator::eval_triples`] for a single borrowed input row.
@@ -738,10 +868,10 @@ impl<'a> Evaluator<'a> {
         patterns: &[EncTriple],
         seed: &IdBinding,
         ctx: GraphCtx,
-    ) -> Vec<IdBinding> {
+    ) -> Result<Vec<IdBinding>, SparqlError> {
         let order = self.join_order(patterns, Some(seed), ctx);
         let Some((&head, tail)) = order.split_first() else {
-            return vec![seed.clone()];
+            return Ok(vec![seed.clone()]);
         };
         let mut current = Vec::new();
         self.match_rows(&patterns[head], seed, ctx, &mut current);
@@ -749,20 +879,23 @@ impl<'a> Evaluator<'a> {
             if current.is_empty() {
                 break;
             }
-            current = self.join_step(&patterns[idx], current, ctx);
+            current = self.join_step(&patterns[idx], current, ctx)?;
+            self.cap_rows(&mut current);
         }
-        current
+        Ok(current)
     }
 
     /// Extend every binding in `current` with matches of `pattern`,
-    /// parallelising over rows when the set is large enough.
+    /// parallelising over rows when the set is large enough. Governed:
+    /// one checkpoint at entry, binding-table bytes charged on exit.
     fn join_step(
         &self,
         pattern: &EncTriple,
         current: Vec<IdBinding>,
         ctx: GraphCtx,
-    ) -> Vec<IdBinding> {
-        if current.len() >= self.options.parallel_threshold {
+    ) -> Result<Vec<IdBinding>, SparqlError> {
+        self.guard()?;
+        let next = if current.len() >= self.options.parallel_threshold {
             if let Some(instr) = self.instr {
                 instr.parallel_joins.fetch_add(1, Relaxed);
             }
@@ -779,11 +912,17 @@ impl<'a> Evaluator<'a> {
                 instr.serial_joins.fetch_add(1, Relaxed);
             }
             let mut next = Vec::new();
-            for b in &current {
+            for (i, b) in current.iter().enumerate() {
+                if self.governor.is_some() && i % GOVERNOR_ROW_INTERVAL == GOVERNOR_ROW_INTERVAL - 1
+                {
+                    self.guard()?;
+                }
                 self.match_rows(pattern, b, ctx, &mut next);
             }
             next
-        }
+        };
+        self.charge_rows(&next)?;
+        Ok(next)
     }
 
     // --------------------------------------------------------- join ordering
@@ -1068,14 +1207,20 @@ impl<'a> Evaluator<'a> {
 
     /// Decode id bindings into term rows for the solution modifiers. Only
     /// variables the modifiers can observe are materialised; the rest stay
-    /// `None`.
+    /// `None`. Governed: decoded terms are charged against the memory
+    /// budget (48 logical bytes per materialised term) before decoding.
     fn decode_bindings(
         &self,
         query: &Query,
         select: &SelectQuery,
         bindings: Vec<IdBinding>,
-    ) -> Vec<Vec<Option<Term>>> {
+    ) -> Result<Vec<Vec<Option<Term>>>, SparqlError> {
         let used = used_variables(query, select);
+        if self.governor.is_some() {
+            self.guard()?;
+            let used_count = used.iter().filter(|&&u| u).count() as u64;
+            self.charge(bindings.len() as u64 * used_count * 48)?;
+        }
         let decode_row = |b: &IdBinding| -> Vec<Option<Term>> {
             b.iter()
                 .zip(&used)
@@ -1100,7 +1245,7 @@ impl<'a> Evaluator<'a> {
                 .sum();
             instr.decoded.fetch_add(terms, Relaxed);
         }
-        decoded
+        Ok(decoded)
     }
 }
 
@@ -1363,6 +1508,7 @@ mod tests {
                 reorder_joins: true,
                 parallel_threshold: usize::MAX,
                 vectorize: false,
+                ..EvalOptions::default()
             },
         )
         .unwrap();
@@ -1370,7 +1516,12 @@ mod tests {
         let parallel = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: true, parallel_threshold: 1, vectorize: false },
+            EvalOptions {
+                reorder_joins: true,
+                parallel_threshold: 1,
+                vectorize: false,
+                ..EvalOptions::default()
+            },
         )
         .unwrap();
         assert_eq!(sequential.rows, parallel.rows);
@@ -1497,6 +1648,7 @@ mod tests {
                     reorder_joins: false,
                     parallel_threshold: usize::MAX,
                     vectorize: false,
+                    ..EvalOptions::default()
                 },
             )
             .unwrap();
@@ -1504,4 +1656,113 @@ mod tests {
             assert_eq!(encoded.rows, reference.rows, "query: {q}");
         }
     }
+
+    // ----------------------------------------------------- governance
+
+    use lids_exec::{CancelToken, ErrorKind, LidsError, QueryLimits, TestClock, TripReason};
+    use std::sync::Arc as StdArc;
+
+    fn trip_of(err: SparqlError) -> TripReason {
+        match err {
+            SparqlError::Governed(trip) => trip.reason,
+            other => panic!("expected governed error, got {other}"),
+        }
+    }
+
+    const JOIN_Q: &str = "SELECT ?t ?n WHERE { ?t <type> <Table> . ?t <name> ?n . }";
+
+    #[test]
+    fn expired_deadline_trips_timeout() {
+        let store = store();
+        let query = parse_query(JOIN_Q).unwrap();
+        let clock = TestClock::new();
+        let limits = QueryLimits {
+            deadline: Some(Duration::from_millis(50)),
+            clock: Some(StdArc::clone(&clock) as StdArc<dyn lids_exec::Clock>),
+            ..QueryLimits::default()
+        };
+        let governor = limits.arm().unwrap();
+        clock.advance(Duration::from_millis(51));
+        for vectorize in [false, true] {
+            let opts = EvalOptions { vectorize, ..EvalOptions::default() };
+            let err = evaluate_governed(&store, &query, opts, Some(&governor)).unwrap_err();
+            assert_eq!(trip_of(err), TripReason::Timeout);
+        }
+    }
+
+    #[test]
+    fn tiny_memory_budget_trips_budget_exceeded() {
+        let store = store();
+        let query = parse_query(JOIN_Q).unwrap();
+        for vectorize in [false, true] {
+            let opts = EvalOptions::builder().memory_budget(8).vectorize(vectorize).build();
+            let err = evaluate_with(&store, &query, opts).unwrap_err();
+            assert_eq!(trip_of(err), TripReason::BudgetExceeded);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_trips_cancelled() {
+        let store = store();
+        let query = parse_query(JOIN_Q).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let limits = QueryLimits { cancel: Some(token), ..QueryLimits::default() };
+        let governor = limits.arm().unwrap();
+        let err = evaluate_governed(&store, &query, EvalOptions::default(), Some(&governor))
+            .unwrap_err();
+        assert_eq!(trip_of(err), TripReason::Cancelled);
+    }
+
+    #[test]
+    fn governed_error_converts_to_typed_lids_error() {
+        let store = store();
+        let query = parse_query(JOIN_Q).unwrap();
+        let opts = EvalOptions::builder().memory_budget(8).build();
+        let err: LidsError = evaluate_with(&store, &query, opts).unwrap_err().into();
+        assert_eq!(err.kind(), ErrorKind::QueryBudgetExceeded);
+    }
+
+    #[test]
+    fn row_cap_truncates_and_flags() {
+        let store = store();
+        let query = parse_query(JOIN_Q).unwrap();
+        for vectorize in [false, true] {
+            let opts = EvalOptions::builder().row_cap(1).vectorize(vectorize).build();
+            let sols = evaluate_with(&store, &query, opts).unwrap();
+            assert!(sols.truncated, "cap must latch the truncated flag");
+            assert!(sols.len() <= 1, "capped run must not exceed the cap");
+        }
+        // uncapped control: exact result, flag clear
+        let sols = evaluate_with(&store, &query, EvalOptions::default()).unwrap();
+        assert!(!sols.truncated);
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn cancel_after_checks_fault_injection_trips() {
+        let store = store();
+        let query = parse_query(JOIN_Q).unwrap();
+        let limits =
+            QueryLimits { cancel_after_checks: Some(1), ..QueryLimits::default() };
+        let governor = limits.arm().unwrap();
+        let err = evaluate_governed(&store, &query, EvalOptions::default(), Some(&governor))
+            .unwrap_err();
+        assert_eq!(trip_of(err), TripReason::Cancelled);
+    }
+
+    #[test]
+    fn generous_limits_leave_results_exact() {
+        let store = store();
+        let query = parse_query(JOIN_Q).unwrap();
+        let opts = EvalOptions::builder()
+            .deadline(Duration::from_secs(60))
+            .memory_budget(64 << 20)
+            .build();
+        let governed = evaluate_with(&store, &query, opts).unwrap();
+        let plain = evaluate(&store, &query).unwrap();
+        assert_eq!(governed.rows, plain.rows);
+        assert!(!governed.truncated);
+    }
 }
+

@@ -58,6 +58,10 @@ pub struct ExplainReport {
     pub probe_joins: u64,
     /// Leapfrog star-intersection steps executed.
     pub leapfrog_joins: u64,
+    /// True when a graceful-degradation row cap truncated intermediate
+    /// binding sets: the reported rows are a valid subset of the exact
+    /// answer.
+    pub truncated: bool,
 }
 
 impl fmt::Display for ExplainReport {
@@ -147,6 +151,7 @@ mod tests {
             merge_joins: 0,
             probe_joins: 1,
             leapfrog_joins: 0,
+            truncated: false,
         };
         let text = report.to_string();
         assert!(text.contains("est"));

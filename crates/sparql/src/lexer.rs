@@ -64,6 +64,14 @@ impl TokenKind {
     }
 }
 
+/// Owned string from a byte range the scanner already verified to be
+/// ASCII (alphanumerics plus `_`/`-`/`.`); lossy conversion can never
+/// actually replace anything here, it just avoids an unreachable panic
+/// path.
+fn ascii_str(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
 /// Tokenize a query string.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
     let bytes = input.as_bytes();
@@ -217,9 +225,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                     return Err(err(pos, "empty variable name".into()));
                 }
                 tokens.push(Token {
-                    kind: TokenKind::Var(
-                        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
-                    ),
+                    kind: TokenKind::Var(ascii_str(&bytes[start..end])),
                     offset: pos,
                 });
                 pos = end;
@@ -255,7 +261,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                     } else {
                         let rest = std::str::from_utf8(&bytes[pos..])
                             .map_err(|_| err(pos, "invalid UTF-8".into()))?;
-                        let ch = rest.chars().next().unwrap();
+                        let ch = rest
+                            .chars()
+                            .next()
+                            .ok_or_else(|| err(start, "unterminated string".into()))?;
                         s.push(ch);
                         pos += ch.len_utf8();
                     }
@@ -273,9 +282,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                     return Err(err(pos, "empty language tag".into()));
                 }
                 tokens.push(Token {
-                    kind: TokenKind::LangTag(
-                        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
-                    ),
+                    kind: TokenKind::LangTag(ascii_str(&bytes[start..end])),
                     offset: pos,
                 });
                 pos = end;
@@ -289,9 +296,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                     end += 1;
                 }
                 tokens.push(Token {
-                    kind: TokenKind::BNode(
-                        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
-                    ),
+                    kind: TokenKind::BNode(ascii_str(&bytes[start..end])),
                     offset: pos,
                 });
                 pos = end;
@@ -329,7 +334,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                 }
                 // prefixed name?  word ':' local
                 if bytes.get(end) == Some(&b':') {
-                    let prefix = std::str::from_utf8(&bytes[start..end]).unwrap().to_string();
+                    let prefix = ascii_str(&bytes[start..end]);
                     let lstart = end + 1;
                     let mut lend = lstart;
                     while lend < bytes.len()
@@ -344,14 +349,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                     while lend > lstart && bytes[lend - 1] == b'.' {
                         lend -= 1;
                     }
-                    let local = std::str::from_utf8(&bytes[lstart..lend]).unwrap().to_string();
+                    let local = ascii_str(&bytes[lstart..lend]);
                     tokens.push(Token {
                         kind: TokenKind::PName(prefix, local),
                         offset: start,
                     });
                     pos = lend;
                 } else {
-                    let word = std::str::from_utf8(&bytes[start..end]).unwrap().to_string();
+                    let word = ascii_str(&bytes[start..end]);
                     tokens.push(Token { kind: TokenKind::Word(word), offset: start });
                     pos = end;
                 }
@@ -372,10 +377,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SparqlError> {
                     lend -= 1;
                 }
                 tokens.push(Token {
-                    kind: TokenKind::PName(
-                        String::new(),
-                        std::str::from_utf8(&bytes[lstart..lend]).unwrap().to_string(),
-                    ),
+                    kind: TokenKind::PName(String::new(), ascii_str(&bytes[lstart..lend])),
                     offset: pos,
                 });
                 pos = lend;
@@ -416,10 +418,7 @@ fn lex_number(bytes: &[u8], start: usize) -> (String, usize) {
             }
         }
     }
-    (
-        std::str::from_utf8(&bytes[start..end]).unwrap().to_string(),
-        end,
-    )
+    (ascii_str(&bytes[start..end]), end)
 }
 
 #[cfg(test)]

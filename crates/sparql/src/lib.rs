@@ -19,6 +19,8 @@
 //! pipeline lives in its own named graph but discovery queries span all of
 //! them). `GRAPH ?g` ranges over named graphs only, per the SPARQL spec.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod ast;
 mod batch;
 pub mod eval;
@@ -33,8 +35,8 @@ pub mod results;
 
 pub use ast::Query;
 pub use eval::{
-    evaluate, evaluate_explained, evaluate_with, evaluate_with_stats, EvalOptions,
-    EvalOptionsBuilder, ExecStats,
+    evaluate, evaluate_explained, evaluate_governed, evaluate_with, evaluate_with_stats,
+    EvalOptions, EvalOptionsBuilder, ExecStats,
 };
 pub use explain::{ExplainReport, PatternPlan};
 pub use parser::parse_query;

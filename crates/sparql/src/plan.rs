@@ -32,8 +32,10 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
+use lids_exec::{Clock, QueryGovernor, SystemClock};
 use lids_rdf::QuadStore;
 
 use crate::ast::Query;
@@ -42,12 +44,19 @@ use crate::lexer::{tokenize, TokenKind};
 use crate::parser::parse_query;
 use crate::results::{Solutions, SparqlError};
 
-/// Maximum distinct query texts remembered before the cache is cleared.
+/// Default maximum distinct query texts kept (LRU-evicted beyond this).
 const MAX_TEXTS: usize = 512;
-/// Maximum distinct shapes remembered before the cache is cleared.
+/// Default maximum distinct shapes kept (LRU-evicted beyond this).
 const MAX_SHAPES: usize = 256;
 /// Maximum constant-vector variants kept per shape.
 const MAX_VARIANTS: usize = 8;
+
+/// Recover a mutex guard even if a panicking holder poisoned it — the
+/// caches hold plain data, so the worst a mid-panic writer leaves behind
+/// is a stale-but-consistent entry.
+fn relock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 // --------------------------------------------------------------- prepared
 
@@ -105,7 +114,7 @@ impl PreparedQuery {
         options: EvalOptions,
     ) -> Result<Solutions, SparqlError> {
         let group = self.plan_for(store);
-        eval_compiled(store, &self.inner.query, options, &group, None, None)
+        eval_compiled(store, &self.inner.query, options, &group, None, None, None)
     }
 
     /// Execute, filling `stats` with per-operator execution counts.
@@ -116,13 +125,28 @@ impl PreparedQuery {
         stats: &ExecStats,
     ) -> Result<Solutions, SparqlError> {
         let group = self.plan_for(store);
-        eval_compiled(store, &self.inner.query, options, &group, None, Some(stats))
+        eval_compiled(store, &self.inner.query, options, &group, None, Some(stats), None)
+    }
+
+    /// Execute under an externally armed [`QueryGovernor`]: deadline,
+    /// cancellation, and memory budget are enforced at batch/row
+    /// boundaries, sharing the governor's accounting with any other
+    /// work charged against it.
+    pub fn execute_governed(
+        &self,
+        store: &QuadStore,
+        options: EvalOptions,
+        governor: Option<&QueryGovernor>,
+        stats: Option<&ExecStats>,
+    ) -> Result<Solutions, SparqlError> {
+        let group = self.plan_for(store);
+        eval_compiled(store, &self.inner.query, options, &group, None, stats, governor)
     }
 
     /// Compiled plan for this store snapshot, reusing the cached one
     /// when `(store_id, generation)` still matches.
     fn plan_for(&self, store: &QuadStore) -> Arc<EncGroup> {
-        let mut slot = self.inner.plan.lock().unwrap();
+        let mut slot = relock(&self.inner.plan);
         if let Some(plan) = slot.as_ref() {
             if plan.store_id == store.store_id() && plan.generation == store.generation() {
                 return Arc::clone(&plan.group);
@@ -200,10 +224,55 @@ fn shape_of(text: &str) -> Result<Shape, SparqlError> {
 
 // ------------------------------------------------------------- the cache
 
+/// One cached entry plus its last-touch tick for LRU eviction.
+struct Stamped<T> {
+    tick: u64,
+    value: T,
+}
+
+/// Constant-vector variants cached under one shape key.
+type ShapeVariants = Vec<(Vec<String>, PreparedQuery)>;
+
 #[derive(Default)]
 struct CacheMaps {
-    by_text: HashMap<String, PreparedQuery>,
-    by_shape: HashMap<String, Vec<(Vec<String>, PreparedQuery)>>,
+    by_text: HashMap<String, Stamped<PreparedQuery>>,
+    by_shape: HashMap<String, Stamped<ShapeVariants>>,
+    /// Monotonic touch counter; bumped on every hit or insert.
+    tick: u64,
+}
+
+impl CacheMaps {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Evict the least-recently-touched entry from `map` if it is at or
+/// over `capacity`. O(len) scan — capacities are small (hundreds) and
+/// eviction only runs on insert past capacity.
+fn evict_lru<T>(map: &mut HashMap<String, Stamped<T>>, capacity: usize, evictions: &AtomicU64) {
+    while map.len() >= capacity.max(1) {
+        let oldest = map
+            .iter()
+            .min_by_key(|(_, stamped)| stamped.tick)
+            .map(|(key, _)| key.clone());
+        match oldest {
+            Some(key) => {
+                map.remove(&key);
+                evictions.fetch_add(1, Relaxed);
+            }
+            None => break,
+        }
+    }
+}
+
+/// A query shape with a bad resource-governance record. Shapes whose
+/// queries repeatedly trip the governor get quarantined: the platform
+/// can fail them fast instead of burning a full deadline every time.
+struct PoisonEntry {
+    offenses: u32,
+    poisoned_until: Option<Instant>,
 }
 
 /// Cache-effectiveness counters, snapshot by [`PlanCache::stats`].
@@ -219,6 +288,12 @@ pub struct PlanCacheStats {
     pub parses: u64,
     /// Plans compiled against a store snapshot.
     pub compiles: u64,
+    /// Entries dropped by LRU eviction (text + shape tiers combined).
+    pub evictions: u64,
+    /// Distinct query texts currently cached.
+    pub texts_len: usize,
+    /// Distinct query shapes currently cached.
+    pub shapes_len: usize,
 }
 
 impl PlanCacheStats {
@@ -229,25 +304,30 @@ impl PlanCacheStats {
 }
 
 /// Two-tier prepared-query cache. Thread-safe; share one per platform.
+///
+/// Both tiers are bounded: inserts past capacity evict the
+/// least-recently-used entry (exact LRU via per-entry touch ticks), and
+/// the eviction count is exported through [`PlanCacheStats`]. The cache
+/// also tracks *poisoned shapes* — query shapes whose executions keep
+/// tripping the resource governor — so callers can fail repeat
+/// offenders fast instead of re-burning a deadline on every arrival.
 pub struct PlanCache {
     maps: Mutex<CacheMaps>,
+    max_texts: usize,
+    max_shapes: usize,
+    poisoned: Mutex<HashMap<String, PoisonEntry>>,
+    clock: Arc<dyn Clock>,
     hits_text: AtomicU64,
     hits_shape: AtomicU64,
     misses: AtomicU64,
     parses: AtomicU64,
     compiles: Arc<AtomicU64>,
+    evictions: AtomicU64,
 }
 
 impl Default for PlanCache {
     fn default() -> Self {
-        PlanCache {
-            maps: Mutex::new(CacheMaps::default()),
-            hits_text: AtomicU64::new(0),
-            hits_shape: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            parses: AtomicU64::new(0),
-            compiles: Arc::new(AtomicU64::new(0)),
-        }
+        PlanCache::with_capacity(MAX_TEXTS, MAX_SHAPES)
     }
 }
 
@@ -256,20 +336,50 @@ impl PlanCache {
         PlanCache::default()
     }
 
+    /// Cache bounded to `max_texts` exact-text entries and `max_shapes`
+    /// shape entries (each clamped to at least 1).
+    pub fn with_capacity(max_texts: usize, max_shapes: usize) -> PlanCache {
+        PlanCache {
+            maps: Mutex::new(CacheMaps::default()),
+            max_texts: max_texts.max(1),
+            max_shapes: max_shapes.max(1),
+            poisoned: Mutex::new(HashMap::new()),
+            clock: Arc::new(SystemClock),
+            hits_text: AtomicU64::new(0),
+            hits_shape: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            parses: AtomicU64::new(0),
+            compiles: Arc::new(AtomicU64::new(0)),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Replace the clock used for poison TTLs (tests inject a virtual
+    /// clock so quarantine expiry is deterministic).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> PlanCache {
+        self.clock = clock;
+        self
+    }
+
     /// Prepared query for `text`, parsing at most once per distinct
     /// normalized shape + constant vector.
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery, SparqlError> {
-        let mut maps = self.maps.lock().unwrap();
-        if let Some(prepared) = maps.by_text.get(text) {
+        let mut maps = relock(&self.maps);
+        let tick = maps.next_tick();
+        if let Some(entry) = maps.by_text.get_mut(text) {
+            entry.tick = tick;
             self.hits_text.fetch_add(1, Relaxed);
-            return Ok(prepared.clone());
+            return Ok(entry.value.clone());
         }
         let shape = shape_of(text)?;
-        if let Some(variants) = maps.by_shape.get(&shape.key) {
-            if let Some((_, prepared)) = variants.iter().find(|(vals, _)| *vals == shape.values) {
+        if let Some(entry) = maps.by_shape.get_mut(&shape.key) {
+            entry.tick = tick;
+            if let Some((_, prepared)) =
+                entry.value.iter().find(|(vals, _)| *vals == shape.values)
+            {
                 self.hits_shape.fetch_add(1, Relaxed);
                 let prepared = prepared.clone();
-                Self::remember_text(&mut maps, text, &prepared);
+                self.remember_text(&mut maps, tick, text, &prepared);
                 return Ok(prepared);
             }
         }
@@ -278,24 +388,28 @@ impl PlanCache {
         let query = parse_query(text)?;
         self.parses.fetch_add(1, Relaxed);
         let prepared = PreparedQuery::from_query(query, Arc::clone(&self.compiles));
-        if maps.by_shape.len() >= MAX_SHAPES {
-            maps.by_shape.clear();
-            maps.by_text.clear();
+        if !maps.by_shape.contains_key(&shape.key) {
+            evict_lru(&mut maps.by_shape, self.max_shapes, &self.evictions);
         }
-        let variants = maps.by_shape.entry(shape.key).or_default();
-        if variants.len() >= MAX_VARIANTS {
-            variants.remove(0);
+        let entry = maps
+            .by_shape
+            .entry(shape.key)
+            .or_insert_with(|| Stamped { tick, value: Vec::new() });
+        entry.tick = tick;
+        if entry.value.len() >= MAX_VARIANTS {
+            entry.value.remove(0);
         }
-        variants.push((shape.values, prepared.clone()));
-        Self::remember_text(&mut maps, text, &prepared);
+        entry.value.push((shape.values, prepared.clone()));
+        self.remember_text(&mut maps, tick, text, &prepared);
         Ok(prepared)
     }
 
-    fn remember_text(maps: &mut CacheMaps, text: &str, prepared: &PreparedQuery) {
-        if maps.by_text.len() >= MAX_TEXTS {
-            maps.by_text.clear();
+    fn remember_text(&self, maps: &mut CacheMaps, tick: u64, text: &str, prepared: &PreparedQuery) {
+        if !maps.by_text.contains_key(text) {
+            evict_lru(&mut maps.by_text, self.max_texts, &self.evictions);
         }
-        maps.by_text.insert(text.to_string(), prepared.clone());
+        maps.by_text
+            .insert(text.to_string(), Stamped { tick, value: prepared.clone() });
     }
 
     /// Prepare and execute in one call (the drop-in replacement for
@@ -306,29 +420,80 @@ impl PlanCache {
 
     /// Current counter snapshot.
     pub fn stats(&self) -> PlanCacheStats {
+        let (texts_len, shapes_len) = {
+            let maps = relock(&self.maps);
+            (maps.by_text.len(), maps.by_shape.len())
+        };
         PlanCacheStats {
             hits_text: self.hits_text.load(Relaxed),
             hits_shape: self.hits_shape.load(Relaxed),
             misses: self.misses.load(Relaxed),
             parses: self.parses.load(Relaxed),
             compiles: self.compiles.load(Relaxed),
+            evictions: self.evictions.load(Relaxed),
+            texts_len,
+            shapes_len,
         }
     }
 
     /// Number of distinct prepared shapes currently cached.
     pub fn len(&self) -> usize {
-        self.maps.lock().unwrap().by_shape.len()
+        relock(&self.maps).by_shape.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drop all cached entries (counters are preserved).
+    /// Drop all cached entries and quarantine records (counters are
+    /// preserved).
     pub fn clear(&self) {
-        let mut maps = self.maps.lock().unwrap();
+        let mut maps = relock(&self.maps);
         maps.by_text.clear();
         maps.by_shape.clear();
+        relock(&self.poisoned).clear();
+    }
+
+    // ------------------------------------------------- shape quarantine
+
+    /// Record that a query of this text's shape tripped the resource
+    /// governor. After `threshold` offenses the shape is quarantined for
+    /// `ttl`; returns `true` when this call crossed the threshold.
+    /// Unlexable texts are never quarantined (they fail at parse anyway).
+    pub fn record_offense(&self, text: &str, threshold: u32, ttl: Duration) -> bool {
+        let Ok(shape) = shape_of(text) else { return false };
+        let mut poisoned = relock(&self.poisoned);
+        let entry = poisoned
+            .entry(shape.key)
+            .or_insert(PoisonEntry { offenses: 0, poisoned_until: None });
+        entry.offenses = entry.offenses.saturating_add(1);
+        if entry.offenses >= threshold.max(1) {
+            entry.poisoned_until = Some(self.clock.now() + ttl);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is this text's shape currently quarantined? Expired quarantines
+    /// are cleared on observation (offense count resets — the shape gets
+    /// a clean slate after serving its TTL).
+    pub fn is_poisoned(&self, text: &str) -> bool {
+        let Ok(shape) = shape_of(text) else { return false };
+        let mut poisoned = relock(&self.poisoned);
+        match poisoned.get(&shape.key).and_then(|e| e.poisoned_until) {
+            Some(until) if self.clock.now() < until => true,
+            Some(_) => {
+                poisoned.remove(&shape.key);
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Number of shapes with at least one recorded offense.
+    pub fn poisoned_len(&self) -> usize {
+        relock(&self.poisoned).len()
     }
 }
 
@@ -431,5 +596,59 @@ mod tests {
         let store = store();
         let prepared = PreparedQuery::parse(Q).unwrap();
         assert_eq!(prepared.execute(&store).unwrap().rows.len(), 5);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_shape() {
+        let cache = PlanCache::with_capacity(2, 2);
+        let q = |n: usize| format!("SELECT ?s{n} WHERE {{ ?s{n} <urn:p{n}> ?o{n} }}");
+        cache.prepare(&q(0)).unwrap();
+        cache.prepare(&q(1)).unwrap();
+        // touch q0 so q1 is now the LRU shape
+        cache.prepare(&q(0)).unwrap();
+        cache.prepare(&q(2)).unwrap();
+        let stats = cache.stats();
+        assert!(stats.evictions >= 1, "over-capacity insert must evict");
+        assert_eq!(stats.shapes_len, 2);
+        assert!(stats.texts_len <= 2);
+        // q0 was kept: preparing it again is a hit, not a parse
+        let parses_before = cache.stats().parses;
+        cache.prepare(&q(0)).unwrap();
+        assert_eq!(cache.stats().parses, parses_before, "retained entry must hit");
+    }
+
+    #[test]
+    fn capacity_bound_holds_under_churn() {
+        let cache = PlanCache::with_capacity(4, 4);
+        for i in 0..64 {
+            let text = format!("SELECT ?a WHERE {{ ?a <urn:churn{i}> ?b{i} }}");
+            cache.prepare(&text).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.texts_len <= 4);
+        assert!(stats.shapes_len <= 4);
+        assert!(stats.evictions >= 60);
+    }
+
+    #[test]
+    fn repeat_offender_shape_is_quarantined_until_ttl() {
+        use lids_exec::TestClock;
+        let clock = TestClock::new();
+        let cache =
+            PlanCache::with_capacity(8, 8).with_clock(Arc::clone(&clock) as Arc<dyn Clock>);
+        let ttl = Duration::from_secs(30);
+        assert!(!cache.record_offense(Q, 3, ttl));
+        assert!(!cache.is_poisoned(Q), "below threshold: not quarantined");
+        assert!(!cache.record_offense(Q, 3, ttl));
+        assert!(cache.record_offense(Q, 3, ttl), "third offense crosses threshold");
+        assert!(cache.is_poisoned(Q));
+        // formatting variant shares the shape, so it is quarantined too
+        let variant = Q.to_lowercase().replace(' ', "  ");
+        assert!(cache.is_poisoned(&variant));
+        // a different shape is unaffected
+        assert!(!cache.is_poisoned("SELECT ?x WHERE { ?x <urn:other> ?y }"));
+        clock.advance(Duration::from_secs(31));
+        assert!(!cache.is_poisoned(Q), "quarantine expires after TTL");
+        assert!(!cache.is_poisoned(Q), "expiry clears the record");
     }
 }

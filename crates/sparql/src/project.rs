@@ -109,7 +109,7 @@ pub(crate) fn project(
         rows.truncate(limit);
     }
 
-    Ok(Solutions { columns, rows, ask: None })
+    Ok(Solutions { columns, rows, ask: None, truncated: false })
 }
 
 fn aggregate_rows(

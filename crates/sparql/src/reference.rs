@@ -7,7 +7,13 @@
 //! kept as the semantic oracle for the encoded evaluator — the
 //! `encoded_vs_reference` property tests require the two to produce
 //! identical solutions — and as the baseline arm of the query benchmarks.
+//!
+//! Like the encoded engine, it honours an optional [`QueryGovernor`]:
+//! the row loops call a boundary check per element and per scanned
+//! binding row, so even this worst-case engine terminates within a
+//! deadline or budget.
 
+use lids_exec::QueryGovernor;
 use lids_rdf::{GraphName, QuadPattern, QuadStore, Term};
 
 use crate::ast::*;
@@ -15,23 +21,49 @@ use crate::expr::filter_passes;
 use crate::project::{project, Binding};
 use crate::results::{Solutions, SparqlError};
 
-/// Evaluate a parsed query with the reference engine.
+/// Evaluate a parsed query with the reference engine, ungoverned.
 pub fn evaluate(store: &QuadStore, query: &Query) -> Result<Solutions, SparqlError> {
+    evaluate_governed(store, query, None)
+}
+
+/// Evaluate under an optional resource governor: row loops observe
+/// deadlines, cancellation, and memory budgets at binding granularity.
+pub fn evaluate_governed(
+    store: &QuadStore,
+    query: &Query,
+    governor: Option<&QueryGovernor>,
+) -> Result<Solutions, SparqlError> {
     let nvars = query.variables.len();
     match &query.form {
         QueryForm::Ask(pattern) => {
-            let bindings = eval_group(store, pattern, vec![vec![None; nvars]], None)?;
+            let bindings = eval_group(store, pattern, vec![vec![None; nvars]], None, governor)?;
             Ok(Solutions {
                 columns: Vec::new(),
                 rows: Vec::new(),
                 ask: Some(!bindings.is_empty()),
+                truncated: false,
             })
         }
         QueryForm::Select(select) => {
-            let bindings = eval_group(store, &select.pattern, vec![vec![None; nvars]], None)?;
+            let bindings =
+                eval_group(store, &select.pattern, vec![vec![None; nvars]], None, governor)?;
             project(query, select, bindings)
         }
     }
+}
+
+/// Boundary check: a no-op when ungoverned.
+fn guard(governor: Option<&QueryGovernor>) -> Result<(), SparqlError> {
+    match governor {
+        Some(gov) => gov.check().map_err(SparqlError::Governed),
+        None => Ok(()),
+    }
+}
+
+/// Logical bytes of one decoded binding row (terms are heap-heavy;
+/// this deliberately over-counts relative to the encoded engine).
+fn row_bytes(nvars: usize) -> u64 {
+    (nvars as u64) * 48
 }
 
 fn eval_group(
@@ -39,18 +71,26 @@ fn eval_group(
     group: &GroupPattern,
     mut bindings: Vec<Binding>,
     graph_ctx: Option<&NodePattern>,
+    governor: Option<&QueryGovernor>,
 ) -> Result<Vec<Binding>, SparqlError> {
     for element in &group.elements {
         if bindings.is_empty() {
             return Ok(bindings);
         }
+        guard(governor)?;
         bindings = match element {
             PatternElement::Triples(patterns) => {
                 let mut current = bindings;
                 for pattern in patterns {
                     let mut next = Vec::new();
                     for binding in &current {
+                        guard(governor)?;
                         match_one(store, pattern, binding, graph_ctx, &mut next);
+                    }
+                    if let Some(gov) = governor {
+                        let produced = next.len() as u64;
+                        gov.charge(produced * row_bytes(next.first().map_or(0, Vec::len)))
+                            .map_err(SparqlError::Governed)?;
                     }
                     current = next;
                     if current.is_empty() {
@@ -66,7 +106,9 @@ fn eval_group(
             PatternElement::Optional(inner) => {
                 let mut next = Vec::new();
                 for binding in bindings {
-                    let extended = eval_group(store, inner, vec![binding.clone()], graph_ctx)?;
+                    guard(governor)?;
+                    let extended =
+                        eval_group(store, inner, vec![binding.clone()], graph_ctx, governor)?;
                     if extended.is_empty() {
                         next.push(binding);
                     } else {
@@ -75,11 +117,13 @@ fn eval_group(
                 }
                 next
             }
-            PatternElement::Graph(node, inner) => eval_group(store, inner, bindings, Some(node))?,
+            PatternElement::Graph(node, inner) => {
+                eval_group(store, inner, bindings, Some(node), governor)?
+            }
             PatternElement::Union(branches) => {
                 let mut next = Vec::new();
                 for branch in branches {
-                    next.extend(eval_group(store, branch, bindings.clone(), graph_ctx)?);
+                    next.extend(eval_group(store, branch, bindings.clone(), graph_ctx, governor)?);
                 }
                 next
             }

@@ -1,5 +1,6 @@
 //! Query results and error types.
 
+use lids_exec::GovernorTrip;
 use lids_rdf::Term;
 
 /// Errors from parsing or evaluating a query.
@@ -9,6 +10,19 @@ pub enum SparqlError {
     Parse { offset: usize, message: String },
     /// Semantic error during evaluation.
     Eval(String),
+    /// The resource governor stopped the query (deadline, cancellation,
+    /// or memory budget) before it completed.
+    Governed(GovernorTrip),
+}
+
+impl SparqlError {
+    /// The governor trip behind this error, if it is a governed stop.
+    pub fn governor_trip(&self) -> Option<&GovernorTrip> {
+        match self {
+            SparqlError::Governed(trip) => Some(trip),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SparqlError {
@@ -18,6 +32,7 @@ impl std::fmt::Display for SparqlError {
                 write!(f, "parse error at byte {offset}: {message}")
             }
             SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SparqlError::Governed(trip) => write!(f, "{trip}"),
         }
     }
 }
@@ -26,10 +41,17 @@ impl std::error::Error for SparqlError {}
 
 /// Fold a query failure into the platform-wide error taxonomy, so
 /// `KgLids::query`/`ask` can speak [`lids_exec::LidsResult`] like every
-/// other public entry point.
+/// other public entry point. Governed stops keep their typed kind
+/// (`QueryTimeout` / `QueryCancelled` / `QueryBudgetExceeded`); parse and
+/// evaluation failures stay `SparqlError`.
 impl From<SparqlError> for lids_exec::LidsError {
     fn from(e: SparqlError) -> Self {
-        lids_exec::LidsError::new(lids_exec::ErrorKind::SparqlError, e.to_string())
+        match e {
+            SparqlError::Governed(trip) => trip.into(),
+            other => {
+                lids_exec::LidsError::new(lids_exec::ErrorKind::SparqlError, other.to_string())
+            }
+        }
     }
 }
 
@@ -43,6 +65,10 @@ pub struct Solutions {
     pub rows: Vec<Vec<Option<Term>>>,
     /// For ASK queries: the boolean result. SELECTs leave this `None`.
     pub ask: Option<bool>,
+    /// True when a row cap truncated the intermediate binding sets: the
+    /// rows present are valid solutions, but more may exist. Set only by
+    /// governed evaluation running in degraded (row-capped) mode.
+    pub truncated: bool,
 }
 
 impl Solutions {
@@ -118,6 +144,7 @@ mod tests {
                 vec![Some(Term::iri("b")), None],
             ],
             ask: None,
+            truncated: false,
         };
         assert_eq!(s.len(), 2);
         assert_eq!(s.get_str(0, "x").as_deref(), Some("a"));

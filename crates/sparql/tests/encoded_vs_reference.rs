@@ -197,7 +197,7 @@ proptest! {
         let naive = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: false, parallel_threshold: usize::MAX, vectorize: false },
+            EvalOptions { reorder_joins: false, parallel_threshold: usize::MAX, vectorize: false, ..EvalOptions::default() },
         )
         .unwrap();
         prop_assert_eq!(&naive.rows, &reference.rows, "textual-order rows differ for {}", &text);
@@ -207,7 +207,7 @@ proptest! {
         let optimized = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: true, parallel_threshold: 2, vectorize: true },
+            EvalOptions { reorder_joins: true, parallel_threshold: 2, vectorize: true, ..EvalOptions::default() },
         )
         .unwrap();
         prop_assert_eq!(
@@ -295,7 +295,7 @@ proptest! {
         let vectorized = evaluate_with(
             &store,
             &query,
-            EvalOptions { reorder_joins: true, parallel_threshold: usize::MAX, vectorize: true },
+            EvalOptions { reorder_joins: true, parallel_threshold: usize::MAX, vectorize: true, ..EvalOptions::default() },
         )
         .unwrap();
         prop_assert_eq!(

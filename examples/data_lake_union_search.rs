@@ -64,7 +64,12 @@ fn main() {
     // drill into one query, via the fluent discovery API
     let q = &lake.query_tables[0];
     println!("\ntop-5 unionable tables for '{q}':");
-    for hit in platform.discovery().k(5).unionable_tables(&lake.name, q) {
+    let hits = platform
+        .discovery()
+        .k(5)
+        .unionable_tables(&lake.name, q)
+        .expect("in-domain discovery options");
+    for hit in hits {
         let relevant = lake.unionable[q].contains(&hit.table);
         println!(
             "  {:<24} score {:>7.2}  {}",

@@ -124,6 +124,7 @@ fn main() {
         .discovery()
         .hops(2)
         .paths(("heart-failure-prediction", "heart"), ("patient-labs", "labs"))
+        .expect("in-domain discovery options")
     {
         println!("  join path: {path} ({} hops)", path.hops());
     }

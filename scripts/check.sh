@@ -20,6 +20,10 @@ cargo test -q --test observability
 # OPTIONAL, and identical query shapes must parse exactly once.
 cargo test -q -p lids-sparql --test encoded_vs_reference
 cargo test -q -p lids-sparql plan::
+# Query-governance chaos suite under a hard external bound: adversarial
+# workloads must terminate with typed errors or truncated partials; a hang
+# here is a governance regression and the timeout turns it into a failure.
+timeout 600 cargo test -q --release --test query_chaos
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the linking benchmark: both modes complete, edge sets match
@@ -122,9 +126,35 @@ print("sparql_bench smoke report ok (vectorized %.2fx, cached %.2fx)"
 EOF
 rm -f "$sparql_out"
 
-# The ingestion-path crates deny unwrap/expect outside tests; make sure the
-# crate-root opt-ins are still in place so clippy keeps enforcing it.
-for crate in exec profiler pyast core; do
+# Smoke-run the governor benchmark: every adversarial case must terminate
+# (typed governed error, truncated partial, or completion) with zero panics
+# and zero hard-wall breaches, and the armed-but-generous governor must not
+# meaningfully slow the representative discovery query.
+governor_out="$(mktemp)"
+target/release/governor_bench --smoke --out "$governor_out" >/dev/null
+python3 - "$governor_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "governor", report
+assert report["smoke"] is True, report
+assert report["cases"] > 0, report
+assert report["terminated"] == report["cases"], report
+assert report["aborts"] == 0, report
+assert report["typed_errors"] + report["completed"] == report["cases"], report
+assert report["max_case_secs"] < 10.0, report["max_case_secs"]
+# smoke runs are noisy; this is a sanity bound, the tight 5% acceptance
+# bound is checked on the full-scale run
+assert report["overhead_ratio"] < 1.5, report["overhead_ratio"]
+print("governor smoke report ok (%d/%d terminated, overhead %.2fx)"
+      % (report["terminated"], report["cases"], report["overhead_ratio"]))
+EOF
+rm -f "$governor_out"
+
+# The ingestion-path and query-path crates deny unwrap/expect outside tests;
+# make sure the crate-root opt-ins are still in place so clippy keeps
+# enforcing it.
+for crate in exec profiler pyast core sparql rdf; do
   lib="crates/${crate}/src/lib.rs"
   if ! grep -q "deny(clippy::unwrap_used" "$lib"; then
     echo "error: ${lib} dropped the unwrap_used/expect_used deny opt-in" >&2
