@@ -1,0 +1,399 @@
+//! `serving_bench` — many-client serving benchmark for the snapshot-
+//! isolated store (ISSUE 8): N reader threads run the discovery star
+//! query at a fixed aggregate QPS through `StoreReader` snapshots while
+//! a writer thread streams `lids-datagen` profile batches into the
+//! store. Per-config reader latency lands in a `lids-obs` histogram;
+//! the report carries p50/p99 and achieved QPS for every (threads ×
+//! writer on/off) cell, a single-threaded oracle parity check (the
+//! final snapshot must be bit-identical to a store built sequentially
+//! from the same batches), and a torn-read counter that must stay zero.
+//!
+//! Usage: `serving_bench [--tables N] [--qps N] [--duration-ms N]
+//!                       [--out PATH] [--smoke]`
+//!
+//! `--smoke` shrinks the fixture, thread matrix, and measurement window
+//! for CI: it checks the harness end to end (readers run under a live
+//! writer, parity holds, report shape is right) without the full-scale
+//! measurement.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use lids_datagen::{synthetic_profiles, ProfileLakeSpec};
+use lids_obs::{HistogramSnapshot, MetricsRegistry};
+use lids_profiler::ColumnProfile;
+use lids_rdf::{Quad, QuadStore, Term};
+use lids_sparql::{PlanCache, Solutions};
+use serde_json::{Map, Number, Value};
+
+fn num(v: f64) -> Value {
+    Value::Number(Number::F64(v))
+}
+
+struct Args {
+    tables: usize,
+    qps: usize,
+    duration_ms: u64,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        tables: 300,
+        qps: 2_000,
+        duration_ms: 1_500,
+        out: "BENCH_serving.json".into(),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tables" => {
+                args.tables = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tables needs a number"));
+            }
+            "--qps" => {
+                args.qps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--qps needs a number"));
+            }
+            "--duration-ms" => {
+                args.duration_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--duration-ms needs a number"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--smoke" => args.smoke = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.tables = args.tables.min(60);
+        args.duration_ms = args.duration_ms.min(250);
+        args.qps = args.qps.min(400);
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serving_bench: {msg}");
+    std::process::exit(2);
+}
+
+/// The discovery star over profile-derived quads: hub column variable,
+/// dtype selection, join up to the dataset, numeric filter on the
+/// distinct-count statistic (synthetic distinct counts land in 1..500).
+const QUERY: &str = "SELECT ?c ?n ?tbl ?d WHERE { \
+     ?c <http://kglids/type> <http://kglids/Column> . \
+     ?c <http://kglids/name> ?n . \
+     ?c <http://kglids/dtype> <http://kglids/dt/Int> . \
+     ?c <http://kglids/table> ?tbl . \
+     ?tbl <http://kglids/dataset> ?d . \
+     ?c <http://kglids/distinct> ?dc . FILTER(?dc > 250) }";
+
+/// Quads for one `lids-datagen` profile batch, in the data-global-schema
+/// shape the discovery query scans. `prefix` keeps IRIs from different
+/// batches disjoint; indexes (not labels) identify columns because the
+/// synthetic label pools repeat.
+fn profile_quads(prefix: &str, profiles: &[ColumnProfile]) -> Vec<Quad> {
+    let pred = |p: &str| Term::iri(format!("http://kglids/{p}"));
+    let mut quads = Vec::with_capacity(profiles.len() * 5 + 16);
+    let mut last_table: Option<&str> = None;
+    for (i, p) in profiles.iter().enumerate() {
+        let table = Term::iri(format!("http://kglids/{prefix}/{}", p.meta.table));
+        if last_table != Some(p.meta.table.as_str()) {
+            quads.push(Quad::new(
+                table.clone(),
+                pred("dataset"),
+                Term::iri(format!("http://kglids/{prefix}/{}", p.meta.dataset)),
+            ));
+            last_table = Some(p.meta.table.as_str());
+        }
+        let column = Term::iri(format!("http://kglids/{prefix}/c{i}"));
+        quads.push(Quad::new(column.clone(), pred("type"), pred("Column")));
+        quads.push(Quad::new(column.clone(), pred("name"), Term::string(p.meta.column.clone())));
+        quads.push(Quad::new(column.clone(), pred("dtype"), Term::iri(format!("http://kglids/dt/{:?}", p.fgt))));
+        quads.push(Quad::new(column.clone(), pred("table"), table));
+        quads.push(Quad::new(column, pred("distinct"), Term::integer(p.stats.distinct as i64)));
+    }
+    quads
+}
+
+fn base_quads(tables: usize) -> Vec<Quad> {
+    let profiles = synthetic_profiles(&ProfileLakeSpec {
+        seed: 7,
+        tables,
+        columns_per_table: 12,
+        tables_per_dataset: 8,
+        embedding_dim: 4, // embeddings are irrelevant to the quad shape
+        ..ProfileLakeSpec::default()
+    });
+    profile_quads("base", &profiles)
+}
+
+/// The writer's ingest stream: deterministic batches, so the oracle can
+/// replay exactly the prefix that got committed.
+fn writer_batches(n: usize) -> Vec<Vec<Quad>> {
+    (0..n)
+        .map(|b| {
+            let profiles = synthetic_profiles(&ProfileLakeSpec {
+                seed: 1_000 + b as u64,
+                tables: 4,
+                columns_per_table: 12,
+                tables_per_dataset: 4,
+                embedding_dim: 4,
+                ..ProfileLakeSpec::default()
+            });
+            profile_quads(&format!("b{b}"), &profiles)
+        })
+        .collect()
+}
+
+fn sorted_rows(solutions: &Solutions) -> Vec<String> {
+    let mut rows: Vec<String> = solutions.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// Approximate percentile from the log₂-bucketed histogram: the upper
+/// bound of the first bucket whose cumulative count reaches the target.
+fn percentile_us(hist: &HistogramSnapshot, q: f64) -> u64 {
+    if hist.count == 0 {
+        return 0;
+    }
+    let target = ((q * hist.count as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for &(le, c) in &hist.buckets {
+        cum += c;
+        if cum >= target {
+            return le;
+        }
+    }
+    hist.max
+}
+
+struct ConfigResult {
+    threads: usize,
+    writer: bool,
+    ops: usize,
+    qps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    batches_committed: usize,
+    parity: bool,
+    torn_reads: usize,
+}
+
+/// Run one (threads × writer on/off) cell on a fresh base store.
+fn run_config(
+    args: &Args,
+    threads: usize,
+    writer_on: bool,
+    base: &[Quad],
+    batches: &[Vec<Quad>],
+    metrics: &MetricsRegistry,
+    cache: &PlanCache,
+) -> ConfigResult {
+    let mut store = QuadStore::new();
+    store.extend(base.iter().cloned());
+    let reader = store.reader();
+    let duration = Duration::from_millis(args.duration_ms);
+    // fixed aggregate rate, split evenly across the reader pool
+    let interval = Duration::from_secs_f64(threads as f64 / args.qps as f64);
+    let metric = format!("serve.lat_us.t{threads}.w{}", u8::from(writer_on));
+    let torn = AtomicUsize::new(0);
+    let mut committed = 0usize;
+
+    let wall = Instant::now();
+    let total_ops: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let handle = reader.clone();
+                let metric = metric.as_str();
+                let torn = &torn;
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mut ops = 0usize;
+                    let mut last_rows = 0usize;
+                    let mut last_gen = 0u64;
+                    while start.elapsed() < duration {
+                        let next = interval.mul_f64(ops as f64);
+                        if let Some(sleep) = next.checked_sub(start.elapsed()) {
+                            std::thread::sleep(sleep);
+                        }
+                        let t0 = Instant::now();
+                        let snap = handle.snapshot();
+                        let prepared =
+                            cache.prepare(QUERY).unwrap_or_else(|e| die(&format!("prepare: {e}")));
+                        let sols = prepared
+                            .execute(&snap)
+                            .unwrap_or_else(|e| die(&format!("execute: {e}")));
+                        metrics.observe_duration(metric, t0.elapsed());
+                        // torn-state checks: the store only grows, so both
+                        // the generation and the result set are monotone,
+                        // and the indexes must always agree
+                        if snap.generation() < last_gen || sols.rows.len() < last_rows {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        last_gen = snap.generation();
+                        last_rows = sols.rows.len();
+                        if ops.is_multiple_of(64) && !snap.validate_indexes() {
+                            torn.fetch_add(1, Ordering::Relaxed);
+                        }
+                        ops += 1;
+                    }
+                    ops
+                })
+            })
+            .collect();
+
+        if writer_on {
+            // the writer owns `&mut store` for the whole window; readers
+            // only ever touch published snapshots through their handles
+            let start = Instant::now();
+            let write_interval = Duration::from_millis(5);
+            for batch in batches {
+                let next = write_interval * committed as u32;
+                if let Some(sleep) = next.checked_sub(start.elapsed()) {
+                    std::thread::sleep(sleep);
+                }
+                if start.elapsed() >= duration {
+                    break;
+                }
+                store.extend(batch.iter().cloned());
+                committed += 1;
+            }
+        }
+
+        handles.into_iter().map(|h| h.join().expect("reader panicked")).sum()
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    // single-threaded oracle: replay base + the committed batch prefix
+    // into a fresh store; the served snapshot must be bit-identical
+    let mut oracle = QuadStore::new();
+    oracle.extend(base.iter().cloned());
+    for batch in &batches[..committed] {
+        oracle.extend(batch.iter().cloned());
+    }
+    let prepared = cache.prepare(QUERY).unwrap_or_else(|e| die(&format!("prepare: {e}")));
+    let served = prepared
+        .execute(&reader.snapshot())
+        .unwrap_or_else(|e| die(&format!("oracle leg: {e}")));
+    let expected = prepared
+        .execute(&oracle.snapshot())
+        .unwrap_or_else(|e| die(&format!("oracle leg: {e}")));
+    let parity = sorted_rows(&served) == sorted_rows(&expected) && !expected.rows.is_empty();
+
+    let hist = metrics
+        .snapshot()
+        .histogram(&metric)
+        .cloned()
+        .unwrap_or_else(|| die("latency histogram missing"));
+    ConfigResult {
+        threads,
+        writer: writer_on,
+        ops: total_ops,
+        qps: total_ops as f64 / elapsed.max(1e-9),
+        p50_us: percentile_us(&hist, 0.50),
+        p99_us: percentile_us(&hist, 0.99),
+        batches_committed: committed,
+        parity,
+        torn_reads: torn.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let thread_counts: &[usize] = if args.smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    eprintln!("building base store ({} tables × 12 columns)…", args.tables);
+    let base = base_quads(args.tables);
+    let max_batches = (args.duration_ms / 5 + 2) as usize;
+    let batches = writer_batches(max_batches);
+    eprintln!(
+        "{} base quads, {} writer batches staged, {cores} cores",
+        base.len(),
+        batches.len()
+    );
+
+    let metrics = MetricsRegistry::new();
+    let cache = PlanCache::new();
+    let mut results = Vec::new();
+    for &threads in thread_counts {
+        for writer_on in [false, true] {
+            let r = run_config(&args, threads, writer_on, &base, &batches, &metrics, &cache);
+            eprintln!(
+                "t={} writer={}: {} ops, {:.0} qps, p50 {}µs, p99 {}µs, {} batches, parity={}, torn={}",
+                r.threads, r.writer, r.ops, r.qps, r.p50_us, r.p99_us, r.batches_committed,
+                r.parity, r.torn_reads
+            );
+            results.push(r);
+        }
+    }
+
+    let parity = results.iter().all(|r| r.parity);
+    let torn_reads: usize = results.iter().map(|r| r.torn_reads).sum();
+    let qps_at = |threads: usize| {
+        results
+            .iter()
+            .find(|r| r.threads == threads && !r.writer)
+            .map(|r| r.qps)
+            .unwrap_or(0.0)
+    };
+    let max_threads = *thread_counts.last().unwrap_or(&1);
+    let scaling = qps_at(max_threads) / qps_at(1).max(1e-9);
+    if !parity {
+        die("oracle parity failed: served rows diverged from sequential replay");
+    }
+    if torn_reads > 0 {
+        die(&format!("{torn_reads} torn reads observed"));
+    }
+
+    let mut report = Map::new();
+    report.insert("bench".into(), Value::String("serving".into()));
+    report.insert("smoke".into(), Value::Bool(args.smoke));
+    report.insert("cores".into(), Value::Number(Number::U64(cores as u64)));
+    report.insert("tables".into(), Value::Number(Number::U64(args.tables as u64)));
+    report.insert("base_quads".into(), Value::Number(Number::U64(base.len() as u64)));
+    report.insert("target_qps".into(), Value::Number(Number::U64(args.qps as u64)));
+    report.insert("duration_ms".into(), Value::Number(Number::U64(args.duration_ms)));
+    report.insert("parity".into(), Value::Bool(parity));
+    report.insert("torn_reads".into(), Value::Number(Number::U64(torn_reads as u64)));
+    report.insert("qps_scaling_max_over_1".into(), num(scaling));
+    let configs: Vec<Value> = results
+        .iter()
+        .map(|r| {
+            let mut c = Map::new();
+            c.insert("threads".into(), Value::Number(Number::U64(r.threads as u64)));
+            c.insert("writer".into(), Value::Bool(r.writer));
+            c.insert("ops".into(), Value::Number(Number::U64(r.ops as u64)));
+            c.insert("qps".into(), num(r.qps));
+            c.insert("p50_us".into(), Value::Number(Number::U64(r.p50_us)));
+            c.insert("p99_us".into(), Value::Number(Number::U64(r.p99_us)));
+            c.insert(
+                "batches_committed".into(),
+                Value::Number(Number::U64(r.batches_committed as u64)),
+            );
+            c.insert("parity".into(), Value::Bool(r.parity));
+            Value::Object(c)
+        })
+        .collect();
+    report.insert("configs".into(), Value::Array(configs));
+    let rendered = Value::Object(report).to_string();
+    std::fs::write(&args.out, &rendered)
+        .unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
+    println!("{rendered}");
+    eprintln!(
+        "parity ok, 0 torn reads, {max_threads}-thread/1-thread qps ratio {scaling:.2} → {}",
+        args.out
+    );
+}

@@ -40,7 +40,7 @@ pub use lids_kg::{LinkingConfig, LinkingMode};
 pub use lids_obs::{Obs, ObsSnapshot};
 pub use lids_sparql::{EvalOptions, ExplainReport};
 pub use platform::{
-    BootstrapStats, IngestOptions, KgLids, KgLidsBuilder, PipelineScript, QueryGuardrails,
-    SchemaStatsLite,
+    BootstrapStats, IngestOptions, KgLids, KgLidsBuilder, LidsReader, PipelineScript,
+    QueryGuardrails, SchemaStatsLite,
 };
 pub use report::{ArtifactKind, BootstrapReport, QuarantineEntry};

@@ -30,7 +30,7 @@ use lids_profiler::{
     parse_csv_bytes, profile_table, ColumnProfile, CsvMode, ProfilerConfig, RawDataset, Table,
 };
 use lids_py::analysis::AnalyzedScript;
-use lids_rdf::{IngestStats, Quad, QuadStore};
+use lids_rdf::{IngestStats, Quad, QuadStore, StoreReader, StoreSnapshot};
 use lids_sparql::{
     EvalOptions, ExecStats, ExplainReport, PlanCache, PlanCacheStats, Solutions, SparqlError,
 };
@@ -626,7 +626,7 @@ impl KgLidsBuilder {
             dataset_embeddings_missing,
             meter,
             obs,
-            plan_cache: PlanCache::new(),
+            plan_cache: Arc::new(PlanCache::new()),
             guardrails,
             cleaning_model: None,
             scaling_model: None,
@@ -657,7 +657,9 @@ pub struct KgLids {
     pub(crate) obs: Obs,
     /// Prepared-query cache: every API/discovery query text is lexed,
     /// parsed, and planned at most once per shape and store snapshot.
-    pub(crate) plan_cache: PlanCache,
+    /// Behind an `Arc` so detached [`LidsReader`] handles share parses
+    /// (and cache counters) with the platform.
+    pub(crate) plan_cache: Arc<PlanCache>,
     /// Resource-governance defaults for every query through the platform.
     pub(crate) guardrails: QueryGuardrails,
     pub(crate) cleaning_model: Option<lids_gnn::CleaningModel>,
@@ -674,6 +676,29 @@ impl KgLids {
     /// The LiDS graph (read-only).
     pub fn store(&self) -> &QuadStore {
         &self.store
+    }
+
+    /// The LiDS graph's current state as an immutable snapshot: O(1),
+    /// no index copy. Queries executed against the snapshot see a
+    /// consistent view even if the platform's store mutates afterwards.
+    pub fn store_snapshot(&self) -> Arc<StoreSnapshot> {
+        self.store.snapshot()
+    }
+
+    /// A detached query handle over the LiDS graph, safe to move to
+    /// other threads while a writer keeps mutating the platform's
+    /// store. The handle shares the platform's plan cache, so repeated
+    /// query texts parse once across all readers and the platform
+    /// itself.
+    ///
+    /// Use this when one thread owns the `KgLids` mutably (live
+    /// ingest); for a read-only platform, sharing `Arc<KgLids>` across
+    /// threads and calling [`KgLids::query`] directly works too.
+    pub fn reader(&self) -> LidsReader {
+        LidsReader {
+            store: self.store.reader(),
+            plan_cache: Arc::clone(&self.plan_cache),
+        }
     }
 
     /// All column profiles.
@@ -956,6 +981,66 @@ impl KgLids {
     }
 }
 
+/// A detached, thread-safe query handle over the LiDS graph.
+///
+/// Obtained from [`KgLids::reader`]. Each call to [`Self::snapshot`]
+/// observes the store's latest *published* state — the store publishes
+/// after every committed mutation, so a reader sees whole batches or
+/// nothing, never a torn intermediate. Query texts are parsed and
+/// planned through the platform's shared [`PlanCache`], so a query
+/// shape parses once across every reader and the platform itself.
+///
+/// The handle is `Clone + Send + Sync`: clone it once per serving
+/// thread.
+#[derive(Debug, Clone)]
+pub struct LidsReader {
+    store: StoreReader,
+    plan_cache: Arc<PlanCache>,
+}
+
+impl LidsReader {
+    /// The latest published store snapshot: O(1), no index copy.
+    ///
+    /// Hold the returned `Arc` to pin a consistent view across several
+    /// queries; call again to observe newer writes.
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        self.store.snapshot()
+    }
+
+    /// Ad-hoc SPARQL query against the latest published snapshot.
+    pub fn query(&self, sparql: &str) -> LidsResult<DataFrame> {
+        self.query_with(sparql, EvalOptions::default())
+    }
+
+    /// [`Self::query`] with explicit evaluation options.
+    pub fn query_with(&self, sparql: &str, options: EvalOptions) -> LidsResult<DataFrame> {
+        let snapshot = self.store.snapshot();
+        self.query_at(&snapshot, sparql, options)
+    }
+
+    /// Run `sparql` against a pinned snapshot (from [`Self::snapshot`]).
+    /// The query runs to completion on that consistent view even while
+    /// the writer publishes newer generations.
+    pub fn query_at(
+        &self,
+        snapshot: &StoreSnapshot,
+        sparql: &str,
+        options: EvalOptions,
+    ) -> LidsResult<DataFrame> {
+        let prepared = self.plan_cache.prepare(sparql).map_err(LidsError::from)?;
+        let governor = options.limits().arm();
+        let solutions = prepared
+            .execute_governed(snapshot, options, governor.as_ref(), None)
+            .map_err(LidsError::from)?;
+        Ok(DataFrame::from_solutions(&solutions))
+    }
+
+    /// Shared plan-cache counters (hits, misses, parses, compiles).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1227,5 +1312,66 @@ clf.fit(X, y)
             .unwrap()
             .is_empty());
         assert!(platform.triple_count() > 0);
+    }
+
+    #[test]
+    fn platform_and_reader_are_thread_safe() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KgLids>();
+        assert_send_sync::<LidsReader>();
+        assert_send_sync::<Arc<KgLids>>();
+    }
+
+    #[test]
+    fn shared_platform_queries_from_many_threads() {
+        let platform = Arc::new(KgLids::empty());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&platform);
+                std::thread::spawn(move || {
+                    let df = p
+                        .query(
+                            "PREFIX k: <http://kglids.org/ontology/> \
+                             SELECT ?t WHERE { ?t a k:Table . }",
+                        )
+                        .unwrap();
+                    df.len()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 0);
+        }
+        // all four queries hit the same cache: one parse, three text hits
+        let stats = platform.plan_cache_stats();
+        assert_eq!(stats.parses, 1);
+    }
+
+    #[test]
+    fn reader_sees_writes_published_after_acquisition() {
+        use lids_rdf::{Quad, Term};
+        let mut platform = KgLids::empty();
+        let reader = platform.reader();
+        let before = reader.snapshot().len();
+        platform.store.insert(&Quad::new(
+            Term::iri("urn:ex:s"),
+            Term::iri("urn:ex:p"),
+            Term::iri("urn:ex:o"),
+        ));
+        // a fresh snapshot observes the committed write...
+        assert_eq!(reader.snapshot().len(), before + 1);
+        let df = reader
+            .query("SELECT ?o WHERE { <urn:ex:s> <urn:ex:p> ?o . }")
+            .unwrap();
+        assert_eq!(df.len(), 1);
+        // ...while a snapshot pinned before the write stays frozen
+        let pinned = reader.snapshot();
+        platform.store.insert(&Quad::new(
+            Term::iri("urn:ex:s2"),
+            Term::iri("urn:ex:p"),
+            Term::iri("urn:ex:o"),
+        ));
+        assert_eq!(pinned.len(), before + 1);
+        assert_eq!(reader.snapshot().len(), before + 2);
     }
 }

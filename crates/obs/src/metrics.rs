@@ -7,10 +7,16 @@
 //! schema never depends on observed data.
 
 use std::collections::BTreeMap;
+use std::hash::{BuildHasher, RandomState};
 use std::sync::Mutex;
 use std::time::Duration;
 
 use crate::json;
+
+/// Number of independently locked registry shards. Metric names are
+/// spread across shards by hash, so concurrent reader threads updating
+/// different metrics rarely contend on the same lock.
+const REGISTRY_SHARDS: usize = 8;
 
 /// Number of log₂ buckets: one for zero plus one per bit of u64.
 pub const HIST_BUCKETS: usize = 65;
@@ -132,9 +138,27 @@ struct RegistryInner {
 }
 
 /// Thread-safe registry of named metrics.
-#[derive(Debug, Default)]
+///
+/// Internally sharded: each metric name hashes to one of
+/// [`REGISTRY_SHARDS`] independently locked shards, so concurrent
+/// threads recording different metrics (the serving-bench reader pool,
+/// for instance) don't serialize on a single registry lock.
+/// [`Self::snapshot`] takes all shard locks *simultaneously* before
+/// reading any of them, so a snapshot is a consistent point-in-time
+/// view — never a mix of states from different moments.
+#[derive(Debug)]
 pub struct MetricsRegistry {
-    inner: Mutex<RegistryInner>,
+    shards: Vec<Mutex<RegistryInner>>,
+    hasher: RandomState,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            shards: (0..REGISTRY_SHARDS).map(|_| Mutex::new(RegistryInner::default())).collect(),
+            hasher: RandomState::new(),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -142,25 +166,26 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn shard(&self, name: &str) -> std::sync::MutexGuard<'_, RegistryInner> {
+        let idx = self.hasher.hash_one(name) as usize % self.shards.len();
+        self.shards[idx].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Add `delta` to a monotone counter (created at 0).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut inner = self.lock();
+        let mut inner = self.shard(name);
         *inner.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
     /// Set a gauge to its latest value.
     pub fn gauge_set(&self, name: &str, value: f64) {
-        let mut inner = self.lock();
+        let mut inner = self.shard(name);
         inner.gauges.insert(name.to_string(), value);
     }
 
     /// Record one sample into the named histogram.
     pub fn observe(&self, name: &str, value: u64) {
-        let mut inner = self.lock();
+        let mut inner = self.shard(name);
         inner.histograms.entry(name.to_string()).or_default().record(value);
     }
 
@@ -169,16 +194,33 @@ impl MetricsRegistry {
         self.observe(name, d.as_micros().min(u128::from(u64::MAX)) as u64);
     }
 
+    /// Consistent point-in-time view: all shard locks are held at once
+    /// while the state is copied out (shards are always acquired in
+    /// index order, which also makes the multi-lock deadlock-free).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let inner = self.lock();
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()))
+            .collect();
+        let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        for inner in &guards {
+            for (k, &v) in &inner.counters {
+                counters.insert(k.clone(), v);
+            }
+            for (k, &v) in &inner.gauges {
+                gauges.insert(k.clone(), v);
+            }
+            for (k, h) in &inner.histograms {
+                histograms.insert(k.clone(), h.snapshot());
+            }
+        }
         MetricsSnapshot {
-            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
-            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
-            histograms: inner
-                .histograms
-                .iter()
-                .map(|(k, h)| (k.clone(), h.snapshot()))
-                .collect(),
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
         }
     }
 }
@@ -300,6 +342,73 @@ mod tests {
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 0);
         assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn concurrent_increments_are_all_counted() {
+        use std::sync::Arc;
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 1_000;
+        let r = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    // a shared metric (all threads contend) plus a
+                    // per-thread one (lands on different shards)
+                    for i in 0..PER_THREAD {
+                        r.counter_add("shared.count", 1);
+                        r.counter_add(&format!("thread.{t}.count"), 1);
+                        r.observe("shared.lat_us", i);
+                        r.gauge_set(&format!("thread.{t}.gauge"), i as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("shared.count"), Some(THREADS as u64 * PER_THREAD));
+        let hist = s.histogram("shared.lat_us").unwrap();
+        assert_eq!(hist.count, THREADS as u64 * PER_THREAD);
+        let per_bucket: u64 = hist.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(per_bucket, hist.count, "bucket counts must add up");
+        for t in 0..THREADS {
+            assert_eq!(s.counter(&format!("thread.{t}.count")), Some(PER_THREAD));
+            assert_eq!(s.gauge(&format!("thread.{t}.gauge")), Some((PER_THREAD - 1) as f64));
+        }
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_writers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let r = Arc::new(MetricsRegistry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        // writer keeps two counters in lockstep; they live on whatever
+        // shards their names hash to, so a snapshot that didn't hold all
+        // shard locks at once could observe them out of sync
+        let writer = {
+            let r = Arc::clone(&r);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    r.counter_add("pair.a", 1);
+                    r.counter_add("pair.b", 1);
+                }
+            })
+        };
+        for _ in 0..200 {
+            let s = r.snapshot();
+            let a = s.counter("pair.a").unwrap_or(0);
+            let b = s.counter("pair.b").unwrap_or(0);
+            // `a` is incremented first, so a consistent view allows
+            // a == b or a == b + 1, never anything else
+            assert!(a == b || a == b + 1, "torn snapshot: a={a} b={b}");
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 
     #[test]

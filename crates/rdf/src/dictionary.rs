@@ -32,14 +32,19 @@ impl TermId {
 
 /// Ids whose stored terms share one 64-bit hash. Genuine collisions are
 /// vanishingly rare, so the single-id case avoids a heap allocation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Bucket {
     One(TermId),
     Many(Vec<TermId>),
 }
 
 /// Bijective mapping between [`Term`]s and [`TermId`]s.
-#[derive(Debug, Default)]
+///
+/// `Clone` is required by the store's copy-on-write snapshot machinery:
+/// cloning copies the term vector and hash buckets but *shares* the
+/// hasher state, so hashes computed against a clone stay valid against
+/// the original (and vice versa).
+#[derive(Debug, Default, Clone)]
 pub struct Dictionary {
     terms: Vec<Term>,
     buckets: HashMap<u64, Bucket>,

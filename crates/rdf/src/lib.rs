@@ -24,5 +24,6 @@ pub use dictionary::{Dictionary, TermId};
 pub use pattern::QuadPattern;
 pub use store::{
     EncodedPattern, EncodedQuad, IndexOrder, IngestStats, QuadStore, RunCursor, ScanSpec,
+    StoreReader, StoreSnapshot,
 };
 pub use term::{GraphName, Literal, Quad, Term, Triple};

@@ -1,8 +1,37 @@
 //! Dictionary-encoded quad store with multiple B-tree orderings.
+//!
+//! # Snapshot isolation
+//!
+//! All store data — the dictionary and the four index permutations —
+//! lives in an immutable [`StoreSnapshot`] behind an `Arc`. The
+//! [`QuadStore`] is a thin *writer handle* over that `Arc`:
+//!
+//! - Reads go through `Deref<Target = StoreSnapshot>`, so every read
+//!   method is callable on both a live store and a detached snapshot.
+//! - [`QuadStore::snapshot`] is one `Arc` clone: O(1), no index copy.
+//! - Writes go through `Arc::make_mut`: with no snapshot outstanding
+//!   (refcount 1) they mutate in place and cost exactly what they did
+//!   before; with a snapshot held, the *first* write clones the whole
+//!   store once (copy-on-write) and then mutates the private copy, so
+//!   snapshot holders keep reading the frozen version.
+//! - Concurrent serving uses detached [`StoreReader`] handles
+//!   ([`QuadStore::reader`]): the writer *publishes* each committed
+//!   version into a shared [`SnapshotCell`] slot at the end of every
+//!   mutating call, and readers on other threads pick up the latest
+//!   published snapshot with one mutex-guarded `Arc` clone — no lock is
+//!   held during query execution. Publication only happens while
+//!   readers exist, so single-threaded use never pays copy-on-write.
+//!
+//! Writers serving live readers should batch their mutations
+//! ([`QuadStore::extend`] / [`QuadStore::extend_encoded`]): each
+//! mutating call that follows a publication pays one store clone, so
+//! per-quad insert loops under live readers cost a clone per quad while
+//! batches amortize it to a clone per batch.
 
 use std::collections::BTreeSet;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use lids_exec::{parallel_map_with, ParallelConfig};
@@ -305,32 +334,103 @@ pub struct ScanSpec {
 /// - `posg`: predicate(+object)-bound scans — the workhorse for `?x rdf:type C`
 /// - `ospg`: object-bound scans — reverse traversal
 /// - `gspo`: graph-scoped scans — per-pipeline named-graph queries
-#[derive(Debug)]
-pub struct QuadStore {
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
     dict: Dictionary,
     spog: BTreeSet<[u32; 4]>,
     posg: BTreeSet<[u32; 4]>,
     ospg: BTreeSet<[u32; 4]>,
     gspo: BTreeSet<[u32; 4]>,
     /// Process-unique identity, so caches keyed on a store never confuse
-    /// two stores that happen to share an address.
+    /// two stores that happen to share an address. Shared by every
+    /// snapshot of one store lineage.
     id: u64,
     /// Bumped on every mutation; `(id, generation)` validates any state
     /// derived from a snapshot of this store (compiled query plans).
     generation: u64,
 }
 
+/// Mutex-guarded slot the writer publishes committed snapshots into and
+/// detached [`StoreReader`]s load from. The lock is held only for the
+/// duration of one `Arc` clone or store — never across query execution.
+///
+/// The slot is empty whenever no reader handle exists: the writer skips
+/// publication then, which both reclaims superseded snapshots promptly
+/// and keeps the copy-on-write path cold for single-threaded use.
+#[derive(Debug)]
+struct SnapshotCell {
+    slot: Mutex<Option<Arc<StoreSnapshot>>>,
+}
+
+impl SnapshotCell {
+    fn load(&self) -> Option<Arc<StoreSnapshot>> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn store(&self, snap: Option<Arc<StoreSnapshot>>) {
+        *self.slot.lock().unwrap_or_else(|e| e.into_inner()) = snap;
+    }
+}
+
+/// A detached read handle onto a [`QuadStore`], safe to move to other
+/// threads while the owning store keeps mutating.
+///
+/// [`StoreReader::snapshot`] returns the latest snapshot the writer
+/// *published* — every mutating [`QuadStore`] call publishes its result
+/// before returning, so a reader observes exactly the sequence of
+/// committed store states, never a half-applied batch. Cloning a reader
+/// is cheap and yields an equivalent handle.
+#[derive(Debug, Clone)]
+pub struct StoreReader {
+    cell: Arc<SnapshotCell>,
+}
+
+impl StoreReader {
+    /// The latest published snapshot: one mutex-guarded `Arc` clone.
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        match self.cell.load() {
+            Some(snap) => snap,
+            // The writer only empties the cell when no reader handle
+            // exists, and `QuadStore::reader` fills it before handing
+            // the cell out.
+            None => unreachable!("snapshot cell empty while a StoreReader exists"),
+        }
+    }
+}
+
+/// Writer handle over the store's current [`StoreSnapshot`].
+///
+/// Derefs to [`StoreSnapshot`], so all read methods are available
+/// directly; mutating methods copy-on-write when a snapshot is shared
+/// (see the module docs for the full protocol).
+#[derive(Debug)]
+pub struct QuadStore {
+    snap: Arc<StoreSnapshot>,
+    published: Arc<SnapshotCell>,
+}
+
+impl Deref for QuadStore {
+    type Target = StoreSnapshot;
+
+    fn deref(&self) -> &StoreSnapshot {
+        &self.snap
+    }
+}
+
 impl Default for QuadStore {
     fn default() -> Self {
         static NEXT_STORE_ID: AtomicU64 = AtomicU64::new(1);
         QuadStore {
-            dict: Dictionary::default(),
-            spog: BTreeSet::new(),
-            posg: BTreeSet::new(),
-            ospg: BTreeSet::new(),
-            gspo: BTreeSet::new(),
-            id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
-            generation: 0,
+            snap: Arc::new(StoreSnapshot {
+                dict: Dictionary::default(),
+                spog: BTreeSet::new(),
+                posg: BTreeSet::new(),
+                ospg: BTreeSet::new(),
+                gspo: BTreeSet::new(),
+                id: NEXT_STORE_ID.fetch_add(1, Ordering::Relaxed),
+                generation: 0,
+            }),
+            published: Arc::new(SnapshotCell { slot: Mutex::new(None) }),
         }
     }
 }
@@ -338,11 +438,7 @@ impl Default for QuadStore {
 /// Sentinel graph IRI used internally for the default graph.
 const DEFAULT_GRAPH_IRI: &str = "urn:lids:default-graph";
 
-impl QuadStore {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
+impl StoreSnapshot {
     /// Number of quads in the store.
     pub fn len(&self) -> usize {
         self.spog.len()
@@ -390,8 +486,8 @@ impl QuadStore {
         }
     }
 
-    /// Insert a quad. Returns `true` when it was not already present.
-    pub fn insert(&mut self, quad: &Quad) -> bool {
+    /// In-place insert on the private copy; see [`QuadStore::insert`].
+    fn insert_quad(&mut self, quad: &Quad) -> bool {
         let s = self.dict.intern(&quad.subject).0;
         let p = self.dict.intern(&quad.predicate).0;
         let o = self.dict.intern(&quad.object).0;
@@ -407,22 +503,8 @@ impl QuadStore {
         fresh
     }
 
-    /// Insert a triple into the default graph.
-    pub fn insert_triple(&mut self, subject: Term, predicate: Term, object: Term) -> bool {
-        self.insert(&Quad::new(subject, predicate, object))
-    }
-
-    /// Bulk-insert a batch of quads, returning how many were new.
-    ///
-    /// Equivalent to calling [`QuadStore::insert`] on each quad in order —
-    /// including the insert-order-dense [`TermId`] assignment — but runs
-    /// the sort-based parallel pipeline described on
+    /// In-place bulk insert on the private copy; see
     /// [`QuadStore::extend_stats`].
-    pub fn extend(&mut self, quads: impl IntoIterator<Item = Quad>) -> usize {
-        self.extend_stats(quads).quads_added
-    }
-
-    /// Bulk-insert a batch of quads, returning per-phase statistics.
     ///
     /// Three phases, all sort-based:
     /// 1. **Extract** — every term occurrence (4 slots per quad) is hashed
@@ -442,12 +524,8 @@ impl QuadStore {
     ///
     /// Small batches run the same phases serially, so semantics never
     /// depend on batch size.
-    pub fn extend_stats(&mut self, quads: impl IntoIterator<Item = Quad>) -> IngestStats {
-        let quads: Vec<Quad> = quads.into_iter().collect();
+    fn extend_batch(&mut self, quads: Vec<Quad>) -> IngestStats {
         let mut stats = IngestStats { quads_in: quads.len(), ..IngestStats::default() };
-        if quads.is_empty() {
-            return stats;
-        }
         assert!(quads.len() <= (u32::MAX / 4) as usize, "extend: batch too large");
         let terms_before = self.dict.len();
         let quads_before = self.spog.len();
@@ -589,24 +667,16 @@ impl QuadStore {
         stats
     }
 
-    /// Bulk-insert already-encoded quads: the phase-3 fast path.
-    ///
-    /// Every id must come from **this** store's dictionary and the graph
-    /// slot must hold a graph IRI id — i.e. tuples shaped like the output
-    /// of [`QuadStore::match_ids`] on this same store. Returns how many
-    /// quads were new.
-    pub fn extend_encoded(&mut self, quads: impl IntoIterator<Item = EncodedQuad>) -> usize {
-        let encoded: Vec<EncodedQuad> = quads.into_iter().collect();
-        if encoded.is_empty() {
-            return 0;
-        }
+    /// In-place encoded bulk insert on the private copy; see
+    /// [`QuadStore::extend_encoded`].
+    fn extend_encoded_batch(&mut self, encoded: &[EncodedQuad]) -> usize {
         let terms = self.dict.len() as u32;
         assert!(
             encoded.iter().all(|q| q.iter().all(|&id| id < terms)),
             "extend_encoded: id outside this store's dictionary"
         );
         let before = self.spog.len();
-        self.merge_encoded(&encoded, Self::ingest_threads(encoded.len()));
+        self.merge_encoded(encoded, Self::ingest_threads(encoded.len()));
         self.spog.len() - before
     }
 
@@ -680,8 +750,8 @@ impl QuadStore {
             })
     }
 
-    /// Remove a quad. Returns `true` when it was present.
-    pub fn remove(&mut self, quad: &Quad) -> bool {
+    /// In-place remove on the private copy; see [`QuadStore::remove`].
+    fn remove_quad(&mut self, quad: &Quad) -> bool {
         let (Some(s), Some(p), Some(o)) = (
             self.dict.id_of(&quad.subject),
             self.dict.id_of(&quad.predicate),
@@ -988,6 +1058,105 @@ impl QuadStore {
     pub fn approx_bytes(&self) -> u64 {
         let per_quad = std::mem::size_of::<[u32; 4]>() as u64;
         self.spog.len() as u64 * per_quad * 4 + self.dict.approx_bytes()
+    }
+}
+
+impl QuadStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The store's current state as an immutable snapshot: one `Arc`
+    /// clone, no index copy. The snapshot stays frozen while the store
+    /// keeps mutating (the first write after acquisition pays one
+    /// copy-on-write store clone; see the module docs).
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        Arc::clone(&self.snap)
+    }
+
+    /// A detached read handle that tracks this store across future
+    /// mutations, safe to hand to other threads. Creating (or keeping)
+    /// a reader switches the writer into publish mode: every mutating
+    /// call ends by publishing its committed snapshot, and each write
+    /// after a publication clones the store once — batch writes while
+    /// readers are attached.
+    pub fn reader(&self) -> StoreReader {
+        self.published.store(Some(Arc::clone(&self.snap)));
+        StoreReader { cell: Arc::clone(&self.published) }
+    }
+
+    /// Publish the current snapshot for detached readers. With no
+    /// reader handle alive, empties the slot instead — superseded
+    /// snapshots are reclaimed and the next write stays copy-free.
+    fn publish(&self) {
+        if Arc::strong_count(&self.published) > 1 {
+            self.published.store(Some(Arc::clone(&self.snap)));
+        } else {
+            self.published.store(None);
+        }
+    }
+
+    /// Insert a quad. Returns `true` when it was not already present.
+    pub fn insert(&mut self, quad: &Quad) -> bool {
+        let fresh = Arc::make_mut(&mut self.snap).insert_quad(quad);
+        if fresh {
+            self.publish();
+        }
+        fresh
+    }
+
+    /// Insert a triple into the default graph.
+    pub fn insert_triple(&mut self, subject: Term, predicate: Term, object: Term) -> bool {
+        self.insert(&Quad::new(subject, predicate, object))
+    }
+
+    /// Bulk-insert a batch of quads, returning how many were new.
+    ///
+    /// Equivalent to calling [`QuadStore::insert`] on each quad in order —
+    /// including the insert-order-dense [`TermId`] assignment — but runs
+    /// the sort-based parallel pipeline described on
+    /// [`QuadStore::extend_stats`].
+    pub fn extend(&mut self, quads: impl IntoIterator<Item = Quad>) -> usize {
+        self.extend_stats(quads).quads_added
+    }
+
+    /// Bulk-insert a batch of quads, returning per-phase statistics.
+    /// See [`StoreSnapshot::extend_batch`] for the phase breakdown; the
+    /// batch is built on the writer's private copy and published as one
+    /// new snapshot, so concurrent readers never observe it half-applied.
+    pub fn extend_stats(&mut self, quads: impl IntoIterator<Item = Quad>) -> IngestStats {
+        let quads: Vec<Quad> = quads.into_iter().collect();
+        if quads.is_empty() {
+            return IngestStats::default();
+        }
+        let stats = Arc::make_mut(&mut self.snap).extend_batch(quads);
+        self.publish();
+        stats
+    }
+
+    /// Bulk-insert already-encoded quads: the phase-3 fast path.
+    ///
+    /// Every id must come from **this** store's dictionary and the graph
+    /// slot must hold a graph IRI id — i.e. tuples shaped like the output
+    /// of [`StoreSnapshot::match_ids`] on this same store. Returns how
+    /// many quads were new.
+    pub fn extend_encoded(&mut self, quads: impl IntoIterator<Item = EncodedQuad>) -> usize {
+        let encoded: Vec<EncodedQuad> = quads.into_iter().collect();
+        if encoded.is_empty() {
+            return 0;
+        }
+        let added = Arc::make_mut(&mut self.snap).extend_encoded_batch(&encoded);
+        self.publish();
+        added
+    }
+
+    /// Remove a quad. Returns `true` when it was present.
+    pub fn remove(&mut self, quad: &Quad) -> bool {
+        let removed = Arc::make_mut(&mut self.snap).remove_quad(quad);
+        if removed {
+            self.publish();
+        }
+        removed
     }
 }
 
@@ -1620,5 +1789,73 @@ mod tests {
         store.insert(&quad);
         let got: Vec<Quad> = store.iter().collect();
         assert_eq!(got, vec![quad]);
+    }
+
+    #[test]
+    fn snapshot_is_frozen_at_acquisition() {
+        let mut store = QuadStore::new();
+        store.insert(&q("s1", "p", "o1"));
+        let snap = store.snapshot();
+        store.insert(&q("s2", "p", "o2"));
+        store.remove(&q("s1", "p", "o1"));
+        // the pinned snapshot still sees exactly the state at acquisition
+        assert_eq!(snap.len(), 1);
+        assert!(snap.contains(&q("s1", "p", "o1")));
+        assert!(!snap.contains(&q("s2", "p", "o2")));
+        assert!(snap.validate_indexes());
+        // the live store moved on
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&q("s2", "p", "o2")));
+        assert!(store.generation() > snap.generation());
+    }
+
+    #[test]
+    fn snapshot_matches_live_store_without_writes() {
+        let mut store = QuadStore::new();
+        store.extend([q("a", "p", "b"), q("c", "p", "d")]);
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), store.len());
+        assert_eq!(snap.generation(), store.generation());
+        let snap_quads: Vec<Quad> = snap.iter().collect();
+        let live_quads: Vec<Quad> = store.iter().collect();
+        assert_eq!(snap_quads, live_quads);
+    }
+
+    #[test]
+    fn reader_observes_committed_batches() {
+        let mut store = QuadStore::new();
+        let reader = store.reader();
+        assert_eq!(reader.snapshot().len(), 0);
+        store.extend([q("a", "p", "b"), q("c", "p", "d")]);
+        // a fresh snapshot through the handle sees the committed batch
+        assert_eq!(reader.snapshot().len(), 2);
+        store.insert(&q("e", "p", "f"));
+        assert_eq!(reader.snapshot().len(), 3);
+        store.remove(&q("a", "p", "b"));
+        assert_eq!(reader.snapshot().len(), 2);
+        // clones of the handle share the same publication cell
+        let other = reader.clone();
+        store.insert(&q("g", "p", "h"));
+        assert_eq!(other.snapshot().len(), 3);
+    }
+
+    #[test]
+    fn snapshot_acquisition_does_not_copy_indexes() {
+        let mut store = QuadStore::new();
+        for i in 0..500 {
+            store.insert(&q(&format!("s{i}"), "p", "o"));
+        }
+        // O(1) acquisition: both Arcs point at the same allocation
+        let a = store.snapshot();
+        let b = store.snapshot();
+        assert!(std::ptr::eq(a.as_ref(), b.as_ref()));
+        // and no copy happens on *write* either until a snapshot is held
+        drop((a, b));
+        let before = store.snapshot();
+        store.insert(&q("x", "p", "y"));
+        // `before` was outstanding, so the write went to a new version
+        assert!(!std::ptr::eq(before.as_ref(), store.snapshot().as_ref()));
+        assert_eq!(before.len(), 500);
+        assert_eq!(store.len(), 501);
     }
 }

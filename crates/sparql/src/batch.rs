@@ -31,7 +31,7 @@
 
 use std::collections::HashSet;
 
-use lids_rdf::{EncodedPattern, IndexOrder, QuadStore, RunCursor, TermId};
+use lids_rdf::{EncodedPattern, IndexOrder, RunCursor, StoreSnapshot, TermId};
 
 use crate::ast::VarId;
 use crate::eval::{
@@ -508,7 +508,7 @@ struct MergePlan {
 /// `None` when no pattern variable is fully bound across the batch (or
 /// a candidate key repeats inside the pattern) — probe territory.
 fn merge_plan(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     pattern: &EncTriple,
     batch: &Batch,
     ctx: GraphCtx,

@@ -1,4 +1,4 @@
-//! Encoded query evaluation over a [`QuadStore`].
+//! Encoded query evaluation over a [`StoreSnapshot`].
 //!
 //! The engine never joins over decoded [`Term`]s. A query is *compiled*
 //! once against the store — every constant node is resolved to its
@@ -10,7 +10,7 @@
 //! Terms are materialised only at the solution-modifier boundary
 //! ([`crate::project`]) and, lazily per referenced variable, inside FILTER
 //! expressions. Join ordering is cardinality-based: each candidate pattern
-//! is costed with [`QuadStore::estimate_pattern`], which answers from the
+//! is costed with [`StoreSnapshot::estimate_pattern`], which answers from the
 //! store's B-tree range bounds. Large intermediate binding sets are joined
 //! in parallel chunks via [`lids_exec::parallel_map`].
 //!
@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering::
 use std::time::{Duration, Instant};
 
 use lids_exec::{parallel_map, QueryGovernor, QueryLimits};
-use lids_rdf::{EncodedPattern, GraphName, QuadStore, Term, TermId, Triple};
+use lids_rdf::{EncodedPattern, GraphName, StoreSnapshot, Term, TermId, Triple};
 
 use crate::ast::*;
 use crate::explain::{ExplainReport, PatternPlan};
@@ -33,7 +33,7 @@ use crate::results::{Solutions, SparqlError};
 pub use crate::expr::simple_regex;
 
 /// Evaluate a parsed query against the store.
-pub fn evaluate(store: &QuadStore, query: &Query) -> Result<Solutions, SparqlError> {
+pub fn evaluate(store: &StoreSnapshot, query: &Query) -> Result<Solutions, SparqlError> {
     evaluate_with(store, query, EvalOptions::default())
 }
 
@@ -235,7 +235,7 @@ impl Operator {
 
 /// Evaluate with explicit options.
 pub fn evaluate_with(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     query: &Query,
     options: EvalOptions,
 ) -> Result<Solutions, SparqlError> {
@@ -246,7 +246,7 @@ pub fn evaluate_with(
 /// cancellation, cross-engine budgets). With `governor: None`, a local
 /// governor is armed from the options' deadline/budget fields when set.
 pub fn evaluate_governed(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     query: &Query,
     options: EvalOptions,
     governor: Option<&QueryGovernor>,
@@ -259,7 +259,7 @@ pub fn evaluate_governed(
 /// Evaluate with explicit options, filling `stats` with per-operator
 /// execution counts.
 pub fn evaluate_with_stats(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     query: &Query,
     options: EvalOptions,
     stats: &ExecStats,
@@ -272,7 +272,7 @@ pub fn evaluate_with_stats(
 /// Evaluate with per-pattern instrumentation, returning the solutions
 /// plus an [`ExplainReport`] of the executed plan.
 pub fn evaluate_explained(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     query: &Query,
     options: EvalOptions,
 ) -> Result<(Solutions, ExplainReport), SparqlError> {
@@ -319,7 +319,7 @@ pub fn evaluate_explained(
 }
 
 pub(crate) fn eval_compiled(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     query: &Query,
     options: EvalOptions,
     compiled: &EncGroup,
@@ -507,7 +507,7 @@ impl Resolved {
 /// per-pattern text and the constants-only `estimate_pattern` guess —
 /// the same number join ordering starts from.
 pub(crate) struct Compiler<'a> {
-    store: &'a QuadStore,
+    store: &'a StoreSnapshot,
     vars: &'a [String],
     collect: bool,
     metas: Vec<PatternMeta>,
@@ -515,7 +515,7 @@ pub(crate) struct Compiler<'a> {
 }
 
 impl<'a> Compiler<'a> {
-    pub(crate) fn new(store: &'a QuadStore, vars: &'a [String], collect: bool) -> Self {
+    pub(crate) fn new(store: &'a StoreSnapshot, vars: &'a [String], collect: bool) -> Self {
         Compiler { store, vars, collect, metas: Vec::new(), next_pid: 0 }
     }
 
@@ -649,7 +649,7 @@ fn triple_text(pattern: &TriplePattern, vars: &[String]) -> String {
 }
 
 pub(crate) struct Evaluator<'a> {
-    pub(crate) store: &'a QuadStore,
+    pub(crate) store: &'a StoreSnapshot,
     pub(crate) options: EvalOptions,
     /// Present only under [`evaluate_explained`]; `None` costs one
     /// predictable branch per counter site.
@@ -1292,8 +1292,8 @@ mod tests {
     use crate::parser::parse_query;
     use lids_rdf::Quad;
 
-    fn store() -> QuadStore {
-        let mut s = QuadStore::new();
+    fn store() -> lids_rdf::QuadStore {
+        let mut s = lids_rdf::QuadStore::new();
         let tr = |a: &str, p: &str, b: &str| Quad::new(Term::iri(a), Term::iri(p), Term::iri(b));
         s.insert(&tr("t1", "type", "Table"));
         s.insert(&tr("t2", "type", "Table"));

@@ -43,10 +43,10 @@ pub use parser::parse_query;
 pub use plan::{PlanCache, PlanCacheStats, PreparedQuery};
 pub use results::{Solutions, SparqlError};
 
-use lids_rdf::QuadStore;
+use lids_rdf::StoreSnapshot;
 
 /// Parse and evaluate `query` against `store` in one call.
-pub fn query(store: &QuadStore, query: &str) -> Result<Solutions, SparqlError> {
+pub fn query(store: &StoreSnapshot, query: &str) -> Result<Solutions, SparqlError> {
     let parsed = parse_query(query)?;
     evaluate(store, &parsed)
 }

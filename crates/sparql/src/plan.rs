@@ -36,7 +36,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use lids_exec::{Clock, QueryGovernor, SystemClock};
-use lids_rdf::QuadStore;
+use lids_rdf::StoreSnapshot;
 
 use crate::ast::Query;
 use crate::eval::{eval_compiled, Compiler, EncGroup, EvalOptions, ExecStats};
@@ -103,14 +103,14 @@ impl PreparedQuery {
     }
 
     /// Execute against `store` with default options.
-    pub fn execute(&self, store: &QuadStore) -> Result<Solutions, SparqlError> {
+    pub fn execute(&self, store: &StoreSnapshot) -> Result<Solutions, SparqlError> {
         self.execute_with(store, EvalOptions::default())
     }
 
     /// Execute against `store` with explicit options.
     pub fn execute_with(
         &self,
-        store: &QuadStore,
+        store: &StoreSnapshot,
         options: EvalOptions,
     ) -> Result<Solutions, SparqlError> {
         let group = self.plan_for(store);
@@ -120,7 +120,7 @@ impl PreparedQuery {
     /// Execute, filling `stats` with per-operator execution counts.
     pub fn execute_with_stats(
         &self,
-        store: &QuadStore,
+        store: &StoreSnapshot,
         options: EvalOptions,
         stats: &ExecStats,
     ) -> Result<Solutions, SparqlError> {
@@ -134,7 +134,7 @@ impl PreparedQuery {
     /// work charged against it.
     pub fn execute_governed(
         &self,
-        store: &QuadStore,
+        store: &StoreSnapshot,
         options: EvalOptions,
         governor: Option<&QueryGovernor>,
         stats: Option<&ExecStats>,
@@ -145,7 +145,7 @@ impl PreparedQuery {
 
     /// Compiled plan for this store snapshot, reusing the cached one
     /// when `(store_id, generation)` still matches.
-    fn plan_for(&self, store: &QuadStore) -> Arc<EncGroup> {
+    fn plan_for(&self, store: &StoreSnapshot) -> Arc<EncGroup> {
         let mut slot = relock(&self.inner.plan);
         if let Some(plan) = slot.as_ref() {
             if plan.store_id == store.store_id() && plan.generation == store.generation() {
@@ -325,6 +325,16 @@ pub struct PlanCache {
     evictions: AtomicU64,
 }
 
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("max_texts", &self.max_texts)
+            .field("max_shapes", &self.max_shapes)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Default for PlanCache {
     fn default() -> Self {
         PlanCache::with_capacity(MAX_TEXTS, MAX_SHAPES)
@@ -414,7 +424,7 @@ impl PlanCache {
 
     /// Prepare and execute in one call (the drop-in replacement for
     /// [`crate::query`]).
-    pub fn query(&self, store: &QuadStore, text: &str) -> Result<Solutions, SparqlError> {
+    pub fn query(&self, store: &StoreSnapshot, text: &str) -> Result<Solutions, SparqlError> {
         self.prepare(text)?.execute(store)
     }
 
@@ -502,8 +512,8 @@ mod tests {
     use super::*;
     use lids_rdf::{Quad, Term};
 
-    fn store() -> QuadStore {
-        let mut store = QuadStore::default();
+    fn store() -> lids_rdf::QuadStore {
+        let mut store = lids_rdf::QuadStore::default();
         for i in 0..5 {
             store.insert(&Quad::new(
                 Term::iri(format!("urn:t{i}")),

@@ -2,7 +2,7 @@
 //!
 //! This is the original binding-at-a-time engine: every intermediate
 //! binding holds cloned [`Term`]s, patterns are matched through the store's
-//! decoding [`QuadStore::match_pattern`] scan, and BGPs are evaluated in
+//! decoding [`StoreSnapshot::match_pattern`] scan, and BGPs are evaluated in
 //! textual order with no join reordering. It is deliberately simple and
 //! kept as the semantic oracle for the encoded evaluator — the
 //! `encoded_vs_reference` property tests require the two to produce
@@ -14,7 +14,7 @@
 //! deadline or budget.
 
 use lids_exec::QueryGovernor;
-use lids_rdf::{GraphName, QuadPattern, QuadStore, Term};
+use lids_rdf::{GraphName, QuadPattern, StoreSnapshot, Term};
 
 use crate::ast::*;
 use crate::expr::filter_passes;
@@ -22,14 +22,14 @@ use crate::project::{project, Binding};
 use crate::results::{Solutions, SparqlError};
 
 /// Evaluate a parsed query with the reference engine, ungoverned.
-pub fn evaluate(store: &QuadStore, query: &Query) -> Result<Solutions, SparqlError> {
+pub fn evaluate(store: &StoreSnapshot, query: &Query) -> Result<Solutions, SparqlError> {
     evaluate_governed(store, query, None)
 }
 
 /// Evaluate under an optional resource governor: row loops observe
 /// deadlines, cancellation, and memory budgets at binding granularity.
 pub fn evaluate_governed(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     query: &Query,
     governor: Option<&QueryGovernor>,
 ) -> Result<Solutions, SparqlError> {
@@ -67,7 +67,7 @@ fn row_bytes(nvars: usize) -> u64 {
 }
 
 fn eval_group(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     group: &GroupPattern,
     mut bindings: Vec<Binding>,
     graph_ctx: Option<&NodePattern>,
@@ -147,7 +147,7 @@ fn resolve(node: &NodePattern, binding: &Binding) -> Option<Term> {
 }
 
 fn match_one(
-    store: &QuadStore,
+    store: &StoreSnapshot,
     pattern: &TriplePattern,
     binding: &Binding,
     graph_ctx: Option<&NodePattern>,

@@ -24,6 +24,11 @@ cargo test -q -p lids-sparql plan::
 # workloads must terminate with typed errors or truncated partials; a hang
 # here is a governance regression and the timeout turns it into a failure.
 timeout 600 cargo test -q --release --test query_chaos
+# Snapshot-isolation suite under a hard external bound: frozen-snapshot
+# proptests, the concurrent reader/writer stress loop (a deadlock or a
+# reader spinning on torn state would hang, which the timeout turns into
+# a failure), and the stale-generation plan-cache regression.
+timeout 300 cargo test -q --release --test snapshot_isolation
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the linking benchmark: both modes complete, edge sets match
@@ -150,6 +155,44 @@ print("governor smoke report ok (%d/%d terminated, overhead %.2fx)"
       % (report["terminated"], report["cases"], report["overhead_ratio"]))
 EOF
 rm -f "$governor_out"
+
+# Smoke-run the serving benchmark: reader threads answer through store
+# snapshots while a writer streams batches; the report must carry a p99
+# per config cell, exact parity against the single-threaded oracle, and
+# zero torn reads (the binary itself exits non-zero on either failure).
+serving_out="$(mktemp)"
+target/release/serving_bench --smoke --out "$serving_out" >/dev/null
+python3 - "$serving_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "serving", report
+assert report["smoke"] is True, report
+assert report["parity"] is True, report
+assert report["torn_reads"] == 0, report
+assert report["base_quads"] > 0, report
+assert report["configs"], "no configs measured"
+writer_cells = 0
+for cfg in report["configs"]:
+    for field in ("threads", "writer", "ops", "qps", "p50_us", "p99_us"):
+        assert field in cfg, (field, cfg)
+    assert cfg["ops"] > 0, cfg
+    assert cfg["p99_us"] >= cfg["p50_us"], cfg
+    assert cfg["parity"] is True, cfg
+    if cfg["writer"]:
+        writer_cells += 1
+        assert cfg["batches_committed"] > 0, cfg
+assert writer_cells > 0, "no writer-on cells measured"
+print("serving_bench smoke report ok (%d configs, parity, 0 torn reads)"
+      % len(report["configs"]))
+EOF
+rm -f "$serving_out"
+
+# Refresh the committed serving report from the smoke run if the full-scale
+# file is missing (full-scale runs overwrite it directly).
+if [ ! -f BENCH_serving.json ]; then
+  target/release/serving_bench --smoke >/dev/null
+fi
 
 # The ingestion-path and query-path crates deny unwrap/expect outside tests;
 # make sure the crate-root opt-ins are still in place so clippy keeps

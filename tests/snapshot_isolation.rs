@@ -1,0 +1,221 @@
+//! Snapshot-isolation suite for the copy-on-write store (ISSUE 8).
+//!
+//! Contract under test:
+//!
+//! - a snapshot taken at any point is *bit-identical* to a frozen copy of
+//!   the store at acquisition, no matter what writes happen afterwards;
+//! - with no intervening writes, snapshot and live store agree exactly;
+//! - concurrent readers under a writing thread never observe torn or
+//!   partially-published state: every published snapshot has internally
+//!   consistent indexes and corresponds to a committed batch boundary;
+//! - `PlanCache` entries compiled against an old snapshot generation are
+//!   recompiled (not reused stale) after ingest publishes a new
+//!   generation, while the parse is still reused.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use kglids_repro::rdf::{Quad, QuadStore, StoreSnapshot, Term};
+use kglids_repro::sparql::PlanCache;
+use proptest::prelude::*;
+
+/// One step of an interleaved write/snapshot schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Extend with a batch of `n` quads drawn from a small universe.
+    Extend(Vec<(u8, u8, u8)>),
+    /// Insert a single quad.
+    Insert(u8, u8, u8),
+    /// Remove a single quad (may be a no-op miss).
+    Remove(u8, u8, u8),
+    /// Acquire a snapshot and remember what the store looked like.
+    Snapshot,
+}
+
+fn quad(s: u8, p: u8, o: u8) -> Quad {
+    Quad::new(
+        Term::iri(format!("urn:s:{s}")),
+        Term::iri(format!("urn:p:{p}")),
+        Term::iri(format!("urn:o:{o}")),
+    )
+}
+
+/// The store's logical content as a canonical sorted set.
+fn contents(snap: &StoreSnapshot) -> BTreeSet<String> {
+    snap.iter().map(|q| format!("{q:?}")).collect()
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => proptest::collection::vec((0u8..6, 0u8..4, 0u8..8), 0..12).prop_map(Op::Extend),
+        2 => (0u8..6, 0u8..4, 0u8..8).prop_map(|(s, p, o)| Op::Insert(s, p, o)),
+        2 => (0u8..6, 0u8..4, 0u8..8).prop_map(|(s, p, o)| Op::Remove(s, p, o)),
+        3 => Just(Op::Snapshot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a) Snapshots are frozen at acquisition: after the whole schedule
+    /// runs, every snapshot still matches the deep copy of the store
+    /// taken at the same step — writes after acquisition are invisible.
+    /// (b) With no writes in between, a snapshot equals the live store.
+    #[test]
+    fn snapshots_are_frozen_copies(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut store = QuadStore::new();
+        // (snapshot, frozen copy of logical contents, generation at acquisition)
+        let mut pinned: Vec<(Arc<StoreSnapshot>, BTreeSet<String>, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Extend(batch) => {
+                    store.extend(batch.iter().map(|&(s, p, o)| quad(s, p, o)));
+                }
+                Op::Insert(s, p, o) => {
+                    store.insert(&quad(s, p, o));
+                }
+                Op::Remove(s, p, o) => {
+                    store.remove(&quad(s, p, o));
+                }
+                Op::Snapshot => {
+                    let snap = store.snapshot();
+                    // (b) no writes since the deref'd live view: exact match
+                    prop_assert_eq!(snap.len(), store.len());
+                    prop_assert_eq!(snap.generation(), store.generation());
+                    prop_assert_eq!(contents(&snap), contents(&store));
+                    let frozen = contents(&snap);
+                    let generation = snap.generation();
+                    pinned.push((snap, frozen, generation));
+                }
+            }
+        }
+        // (a) every pinned snapshot is still bit-identical to its frozen
+        // copy, regardless of the writes that followed
+        for (snap, frozen, generation) in &pinned {
+            prop_assert_eq!(&contents(snap), frozen);
+            prop_assert_eq!(snap.generation(), *generation);
+            prop_assert!(snap.validate_indexes(), "snapshot indexes disagree");
+        }
+        prop_assert!(store.validate_indexes(), "live store indexes disagree");
+    }
+}
+
+/// (c) Concurrent readers under a writer never see torn state. The
+/// writer commits batches whose quads share a batch tag; readers grab
+/// snapshots through a `StoreReader` and assert every snapshot is a
+/// committed batch boundary: all four indexes agree, and for each batch
+/// tag the snapshot holds either all of its quads or none.
+#[test]
+fn concurrent_readers_never_observe_torn_state() {
+    const BATCHES: usize = 60;
+    const BATCH_SIZE: usize = 25;
+    const READERS: usize = 4;
+
+    let mut store = QuadStore::new();
+    let reader_handle = store.reader();
+    let done = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let handle = reader_handle.clone();
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut checked = 0usize;
+                let mut last_len = 0usize;
+                let mut last_gen = 0u64;
+                while !done.load(Ordering::Acquire) || checked == 0 {
+                    let snap = handle.snapshot();
+                    assert!(snap.validate_indexes(), "torn snapshot: indexes disagree");
+                    // publication is monotone: later snapshots never go back
+                    // to an older generation or lose committed quads
+                    assert!(snap.generation() >= last_gen, "generation went backwards");
+                    assert!(snap.len() >= last_len, "committed quads vanished");
+                    last_gen = snap.generation();
+                    last_len = snap.len();
+                    // batch atomicity: each committed batch is all-or-nothing
+                    assert_eq!(
+                        snap.len() % BATCH_SIZE,
+                        0,
+                        "snapshot cuts a batch in half: len {}",
+                        snap.len()
+                    );
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    for b in 0..BATCHES {
+        let batch: Vec<Quad> = (0..BATCH_SIZE)
+            .map(|i| {
+                Quad::new(
+                    Term::iri(format!("urn:batch:{b}")),
+                    Term::iri("urn:p:member"),
+                    Term::iri(format!("urn:item:{b}:{i}")),
+                )
+            })
+            .collect();
+        assert_eq!(store.extend(batch), BATCH_SIZE);
+    }
+    done.store(true, Ordering::Release);
+
+    let mut total_checked = 0;
+    for r in readers {
+        total_checked += r.join().expect("reader thread panicked");
+    }
+    assert!(total_checked > 0, "readers never ran");
+    assert_eq!(store.len(), BATCHES * BATCH_SIZE);
+    // the final published snapshot converges to the writer's final state
+    assert_eq!(reader_handle.snapshot().len(), store.len());
+}
+
+/// Stale-generation regression (satellite 6): a prepared query compiled
+/// against generation N must observe data ingested at generation N+1 on
+/// its next execution — recompiled against the new snapshot, with the
+/// parse still reused (one parse, two compiles).
+#[test]
+fn prepared_query_recompiles_after_ingest_not_stale() {
+    let cache = PlanCache::new();
+    let mut store = QuadStore::new();
+    store.extend([quad(0, 0, 0)]);
+
+    let text = "SELECT ?s WHERE { ?s <urn:p:0> <urn:o:0> . }";
+    let prepared = cache.prepare(text).expect("parse");
+    let first = prepared.execute(&store.snapshot()).expect("first run");
+    assert_eq!(first.rows.len(), 1);
+
+    // ingest publishes a new generation with one more matching row
+    store.extend([quad(1, 0, 0)]);
+    let again = cache.prepare(text).expect("cache hit");
+    let second = again.execute(&store.snapshot()).expect("second run");
+    assert_eq!(second.rows.len(), 2, "stale plan reused: new data not visible");
+
+    let stats = cache.stats();
+    assert_eq!(stats.parses, 1, "parse should be reused across generations");
+    assert_eq!(stats.compiles, 2, "plan must recompile for the new generation");
+    assert_eq!(stats.hits(), 1);
+}
+
+/// A query running on a pinned snapshot is isolated from concurrent
+/// publication: executing the same prepared plan against the pinned
+/// snapshot after ingest still returns the old view.
+#[test]
+fn pinned_snapshot_query_is_isolated_from_ingest() {
+    let cache = PlanCache::new();
+    let mut store = QuadStore::new();
+    store.extend([quad(0, 0, 0)]);
+    let pinned = store.snapshot();
+
+    let text = "SELECT ?s WHERE { ?s <urn:p:0> <urn:o:0> . }";
+    let prepared = cache.prepare(text).expect("parse");
+
+    store.extend([quad(1, 0, 0), quad(2, 0, 0)]);
+
+    let old_view = prepared.execute(&pinned).expect("pinned run");
+    assert_eq!(old_view.rows.len(), 1, "pinned snapshot leaked newer writes");
+    let new_view = prepared.execute(&store.snapshot()).expect("fresh run");
+    assert_eq!(new_view.rows.len(), 3);
+}
