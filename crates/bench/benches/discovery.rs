@@ -60,12 +60,14 @@ fn bench_query(c: &mut Criterion) {
 
     group.bench_function("kglids", |b| {
         b.iter(|| {
-            black_box(platform.find_unionable_tables(
-                &lake.name,
-                &query.name,
-                10,
-                UnionMode::ContentAndLabel,
-            ))
+            black_box(
+                platform
+                    .discovery()
+                    .k(10)
+                    .mode(UnionMode::ContentAndLabel)
+                    .unionable_tables(&lake.name, &query.name)
+                    .unwrap(),
+            )
         })
     });
     group.bench_function("starmie", |b| b.iter(|| black_box(starmie.query(&query, 10))));

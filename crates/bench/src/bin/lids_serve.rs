@@ -1,0 +1,87 @@
+//! `lids_serve` — stand up a `lids-server` over a demo platform.
+//!
+//! The serving entry point for smoke tests and by-hand exploration: it
+//! bootstraps a small in-memory lake (three tables with unionable and
+//! joinable structure), binds the HTTP server, prints the address, and
+//! serves until the duration elapses (or forever with `--duration-ms 0`).
+//!
+//! Usage: `lids_serve [--addr HOST:PORT] [--duration-ms N]`
+//!
+//! `--addr 127.0.0.1:0` (the default) picks an ephemeral port; the
+//! chosen address is printed as `lids-server listening on HOST:PORT` so
+//! a harness can scrape it.
+
+use kglids::KgLidsBuilder;
+use lids_profiler::table::{Column, Dataset, Table};
+use lids_server::{Backend, LidsServer, ServerConfig};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn die(msg: &str) -> ! {
+    eprintln!("lids_serve: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut duration_ms: u64 = 0;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => addr = it.next().unwrap_or_else(|| die("--addr needs HOST:PORT")),
+            "--duration-ms" => {
+                duration_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--duration-ms needs a number"));
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+
+    // patients/people share `age`, people/trips share `city` — enough
+    // structure for every discovery endpoint to answer non-trivially
+    let ages: Vec<String> = (20..60).map(|i| i.to_string()).collect();
+    let cities: Vec<String> = (0..40)
+        .map(|i| ["London", "Paris", "Tokyo", "Cairo"][i % 4].to_string())
+        .collect();
+    let salaries: Vec<String> = (0..40).map(|i| (30_000 + i * 500).to_string()).collect();
+    let ds = |name: &str, table: &str, cols: Vec<Column>| {
+        Dataset::new(name, vec![Table::new(table, cols)])
+    };
+    let (platform, stats) = KgLidsBuilder::new()
+        .with_datasets([
+            ds(
+                "health",
+                "patients",
+                vec![Column::new("age", ages.clone()), Column::new("salary", salaries)],
+            ),
+            ds(
+                "census",
+                "people",
+                vec![Column::new("age", ages), Column::new("city", cities.clone())],
+            ),
+            ds("travel", "trips", vec![Column::new("city", cities)]),
+        ])
+        .bootstrap();
+    eprintln!("demo platform: {} triples", stats.triples);
+
+    let server = LidsServer::start(
+        Backend::Platform(Arc::new(platform)),
+        &addr,
+        ServerConfig::default(),
+    )
+    .unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    println!("lids-server listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+
+    if duration_ms == 0 {
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    server.shutdown();
+    eprintln!("lids_serve: drained and shut down");
+}

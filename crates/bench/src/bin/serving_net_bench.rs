@@ -1,28 +1,33 @@
-//! `serving_bench` — many-client serving benchmark for the snapshot-
-//! isolated store (ISSUE 8): N reader threads run the discovery star
-//! query at a fixed aggregate QPS through `StoreReader` snapshots while
-//! a writer thread streams `lids-datagen` profile batches into the
-//! store. Per-config reader latency lands in a `lids-obs` histogram;
-//! the report carries p50/p99 and achieved QPS for every (threads ×
-//! writer on/off) cell, a single-threaded oracle parity check (the
-//! final snapshot must be bit-identical to a store built sequentially
-//! from the same batches), and a torn-read counter that must stay zero.
+//! `serving_net_bench` — the network edition of `serving_bench`
+//! (ISSUE 9): N client threads drive the discovery star query through
+//! `lids-server` over real TCP at a fixed aggregate QPS while a writer
+//! thread streams `lids-datagen` profile batches into the served store.
+//! Same workload, same store, same query as the in-process bench — the
+//! delta between the two reports is the cost of the HTTP edge.
 //!
-//! Usage: `serving_bench [--tables N] [--qps N] [--duration-ms N]
-//!                       [--out PATH] [--smoke]`
+//! Each cell reports client-observed p50/p99 latency and achieved QPS,
+//! plus two correctness verdicts that must hold under the live writer:
 //!
-//! `--smoke` shrinks the fixture, thread matrix, and measurement window
-//! for CI: it checks the harness end to end (readers run under a live
-//! writer, parity holds, report shape is right) without the full-scale
-//! measurement.
+//! - **parity** — the rows served over HTTP are bit-identical to an
+//!   in-process read of the same store AND to a sequential oracle
+//!   replay of base + the committed batch prefix;
+//! - **torn reads** — per-connection, response generations and row
+//!   counts must be monotone (the store only grows); any regression is
+//!   a snapshot-isolation violation.
+//!
+//! Usage: `serving_net_bench [--tables N] [--qps N] [--duration-ms N]
+//!                           [--out PATH] [--smoke]`
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use lids_bench::serving::{base_quads, percentile_us, sorted_rows, writer_batches, SERVING_QUERY};
+use lids_bench::serving::{
+    base_quads, percentile_us, sorted_wire_rows, writer_batches, SERVING_QUERY,
+};
 use lids_obs::MetricsRegistry;
 use lids_rdf::{Quad, QuadStore};
-use lids_sparql::PlanCache;
+use lids_server::{Backend, Client, LidsServer, ServerConfig};
 use serde_json::{Map, Number, Value};
 
 fn num(v: f64) -> Value {
@@ -40,9 +45,9 @@ struct Args {
 fn parse_args() -> Args {
     let mut args = Args {
         tables: 300,
-        qps: 2_000,
+        qps: 600,
         duration_ms: 1_500,
-        out: "BENCH_serving.json".into(),
+        out: "BENCH_net.json".into(),
         smoke: false,
     };
     let mut it = std::env::args().skip(1);
@@ -76,19 +81,18 @@ fn parse_args() -> Args {
     if args.smoke {
         args.tables = args.tables.min(60);
         args.duration_ms = args.duration_ms.min(250);
-        args.qps = args.qps.min(400);
+        args.qps = args.qps.min(200);
     }
     args
 }
 
 fn die(msg: &str) -> ! {
-    eprintln!("serving_bench: {msg}");
+    eprintln!("serving_net_bench: {msg}");
     std::process::exit(2);
 }
 
-struct ConfigResult {
+struct CellResult {
     threads: usize,
-    writer: bool,
     ops: usize,
     qps: f64,
     p50_us: u64,
@@ -98,23 +102,30 @@ struct ConfigResult {
     torn_reads: usize,
 }
 
-/// Run one (threads × writer on/off) cell on a fresh base store.
-fn run_config(
+/// Run one client-thread-count cell: fresh store + fresh server, a live
+/// writer for the whole window, then the three-way parity check.
+fn run_cell(
     args: &Args,
     threads: usize,
-    writer_on: bool,
     base: &[Quad],
     batches: &[Vec<Quad>],
     metrics: &MetricsRegistry,
-    cache: &PlanCache,
-) -> ConfigResult {
+) -> CellResult {
     let mut store = QuadStore::new();
     store.extend(base.iter().cloned());
-    let reader = store.reader();
+    let reader = kglids::LidsReader::for_store(&store);
+    let server = LidsServer::start(
+        Backend::Reader(reader.clone()),
+        "127.0.0.1:0",
+        ServerConfig { workers: threads.max(2), ..ServerConfig::default() },
+    )
+    .unwrap_or_else(|e| die(&format!("server start: {e}")));
+    let addr = server.addr().to_string();
+
     let duration = Duration::from_millis(args.duration_ms);
-    // fixed aggregate rate, split evenly across the reader pool
+    // fixed aggregate rate, split evenly across the client pool
     let interval = Duration::from_secs_f64(threads as f64 / args.qps as f64);
-    let metric = format!("serve.lat_us.t{threads}.w{}", u8::from(writer_on));
+    let metric = format!("net.lat_us.t{threads}");
     let torn = AtomicUsize::new(0);
     let mut committed = 0usize;
 
@@ -122,10 +133,11 @@ fn run_config(
     let total_ops: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                let handle = reader.clone();
+                let addr = addr.clone();
                 let metric = metric.as_str();
                 let torn = &torn;
                 scope.spawn(move || {
+                    let mut client = Client::connect(addr);
                     let start = Instant::now();
                     let mut ops = 0usize;
                     let mut last_rows = 0usize;
@@ -136,24 +148,18 @@ fn run_config(
                             std::thread::sleep(sleep);
                         }
                         let t0 = Instant::now();
-                        let snap = handle.snapshot();
-                        let prepared =
-                            cache.prepare(SERVING_QUERY).unwrap_or_else(|e| die(&format!("prepare: {e}")));
-                        let sols = prepared
-                            .execute(&snap)
-                            .unwrap_or_else(|e| die(&format!("execute: {e}")));
+                        let resp = client
+                            .query(SERVING_QUERY, None)
+                            .unwrap_or_else(|e| die(&format!("client query: {e}")));
                         metrics.observe_duration(metric, t0.elapsed());
-                        // torn-state checks: the store only grows, so both
-                        // the generation and the result set are monotone,
-                        // and the indexes must always agree
-                        if snap.generation() < last_gen || sols.rows.len() < last_rows {
+                        // snapshot-isolation checks over the wire: the
+                        // store only grows, so generation and result size
+                        // are monotone per connection
+                        if resp.generation < last_gen || resp.rows.len() < last_rows {
                             torn.fetch_add(1, Ordering::Relaxed);
                         }
-                        last_gen = snap.generation();
-                        last_rows = sols.rows.len();
-                        if ops.is_multiple_of(64) && !snap.validate_indexes() {
-                            torn.fetch_add(1, Ordering::Relaxed);
-                        }
+                        last_gen = resp.generation;
+                        last_rows = resp.rows.len();
                         ops += 1;
                     }
                     ops
@@ -161,52 +167,57 @@ fn run_config(
             })
             .collect();
 
-        if writer_on {
-            // the writer owns `&mut store` for the whole window; readers
-            // only ever touch published snapshots through their handles
-            let start = Instant::now();
-            let write_interval = Duration::from_millis(5);
-            for batch in batches {
-                let next = write_interval * committed as u32;
-                if let Some(sleep) = next.checked_sub(start.elapsed()) {
-                    std::thread::sleep(sleep);
-                }
-                if start.elapsed() >= duration {
-                    break;
-                }
-                store.extend(batch.iter().cloned());
-                committed += 1;
+        // the writer owns `&mut store` for the whole window; the server
+        // only ever touches published snapshots through its reader
+        let start = Instant::now();
+        let write_interval = Duration::from_millis(5);
+        for batch in batches {
+            let next = write_interval * committed as u32;
+            if let Some(sleep) = next.checked_sub(start.elapsed()) {
+                std::thread::sleep(sleep);
             }
+            if start.elapsed() >= duration {
+                break;
+            }
+            store.extend(batch.iter().cloned());
+            committed += 1;
         }
 
-        handles.into_iter().map(|h| h.join().expect("reader panicked")).sum()
+        handles.into_iter().map(|h| h.join().expect("client panicked")).sum()
     });
     let elapsed = wall.elapsed().as_secs_f64();
 
-    // single-threaded oracle: replay base + the committed batch prefix
-    // into a fresh store; the served snapshot must be bit-identical
+    // three-way parity on the quiesced store: HTTP vs in-process vs a
+    // sequential oracle replay of exactly the committed prefix
+    let mut client = Client::connect(addr);
+    let over_http = client
+        .query(SERVING_QUERY, None)
+        .unwrap_or_else(|e| die(&format!("parity query: {e}")));
+    let in_process = reader
+        .query(SERVING_QUERY)
+        .unwrap_or_else(|e| die(&format!("in-process leg: {e}")));
     let mut oracle = QuadStore::new();
     oracle.extend(base.iter().cloned());
     for batch in &batches[..committed] {
         oracle.extend(batch.iter().cloned());
     }
-    let prepared = cache.prepare(SERVING_QUERY).unwrap_or_else(|e| die(&format!("prepare: {e}")));
-    let served = prepared
-        .execute(&reader.snapshot())
+    let expected = kglids::LidsReader::for_store(&oracle)
+        .query(SERVING_QUERY)
         .unwrap_or_else(|e| die(&format!("oracle leg: {e}")));
-    let expected = prepared
-        .execute(&oracle.snapshot())
-        .unwrap_or_else(|e| die(&format!("oracle leg: {e}")));
-    let parity = sorted_rows(&served) == sorted_rows(&expected) && !expected.rows.is_empty();
+    let http_rows = sorted_wire_rows(&over_http.rows);
+    let parity = http_rows == sorted_wire_rows(&in_process.rows)
+        && http_rows == sorted_wire_rows(&expected.rows)
+        && !http_rows.is_empty();
+
+    server.shutdown();
 
     let hist = metrics
         .snapshot()
         .histogram(&metric)
         .cloned()
         .unwrap_or_else(|| die("latency histogram missing"));
-    ConfigResult {
+    CellResult {
         threads,
-        writer: writer_on,
         ops: total_ops,
         qps: total_ops as f64 / elapsed.max(1e-9),
         p50_us: percentile_us(&hist, 0.50),
@@ -232,41 +243,29 @@ fn main() {
         batches.len()
     );
 
-    let metrics = MetricsRegistry::new();
-    let cache = PlanCache::new();
+    let metrics = Arc::new(MetricsRegistry::new());
     let mut results = Vec::new();
     for &threads in thread_counts {
-        for writer_on in [false, true] {
-            let r = run_config(&args, threads, writer_on, &base, &batches, &metrics, &cache);
-            eprintln!(
-                "t={} writer={}: {} ops, {:.0} qps, p50 {}µs, p99 {}µs, {} batches, parity={}, torn={}",
-                r.threads, r.writer, r.ops, r.qps, r.p50_us, r.p99_us, r.batches_committed,
-                r.parity, r.torn_reads
-            );
-            results.push(r);
-        }
+        let r = run_cell(&args, threads, &base, &batches, &metrics);
+        eprintln!(
+            "t={}: {} ops, {:.0} qps, p50 {}µs, p99 {}µs, {} batches, parity={}, torn={}",
+            r.threads, r.ops, r.qps, r.p50_us, r.p99_us, r.batches_committed, r.parity,
+            r.torn_reads
+        );
+        results.push(r);
     }
 
     let parity = results.iter().all(|r| r.parity);
     let torn_reads: usize = results.iter().map(|r| r.torn_reads).sum();
-    let qps_at = |threads: usize| {
-        results
-            .iter()
-            .find(|r| r.threads == threads && !r.writer)
-            .map(|r| r.qps)
-            .unwrap_or(0.0)
-    };
-    let max_threads = *thread_counts.last().unwrap_or(&1);
-    let scaling = qps_at(max_threads) / qps_at(1).max(1e-9);
     if !parity {
-        die("oracle parity failed: served rows diverged from sequential replay");
+        die("parity failed: HTTP rows diverged from in-process/oracle rows");
     }
     if torn_reads > 0 {
-        die(&format!("{torn_reads} torn reads observed"));
+        die(&format!("{torn_reads} torn reads observed over the wire"));
     }
 
     let mut report = Map::new();
-    report.insert("bench".into(), Value::String("serving".into()));
+    report.insert("bench".into(), Value::String("serving_net".into()));
     report.insert("smoke".into(), Value::Bool(args.smoke));
     report.insert("cores".into(), Value::Number(Number::U64(cores as u64)));
     report.insert("tables".into(), Value::Number(Number::U64(args.tables as u64)));
@@ -275,13 +274,11 @@ fn main() {
     report.insert("duration_ms".into(), Value::Number(Number::U64(args.duration_ms)));
     report.insert("parity".into(), Value::Bool(parity));
     report.insert("torn_reads".into(), Value::Number(Number::U64(torn_reads as u64)));
-    report.insert("qps_scaling_max_over_1".into(), num(scaling));
     let configs: Vec<Value> = results
         .iter()
         .map(|r| {
             let mut c = Map::new();
             c.insert("threads".into(), Value::Number(Number::U64(r.threads as u64)));
-            c.insert("writer".into(), Value::Bool(r.writer));
             c.insert("ops".into(), Value::Number(Number::U64(r.ops as u64)));
             c.insert("qps".into(), num(r.qps));
             c.insert("p50_us".into(), Value::Number(Number::U64(r.p50_us)));
@@ -299,8 +296,5 @@ fn main() {
     std::fs::write(&args.out, &rendered)
         .unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
     println!("{rendered}");
-    eprintln!(
-        "parity ok, 0 torn reads, {max_threads}-thread/1-thread qps ratio {scaling:.2} → {}",
-        args.out
-    );
+    eprintln!("parity ok, 0 torn reads over the wire → {}", args.out);
 }

@@ -83,7 +83,11 @@ pub fn run_discovery(lake: &Lake, ks: &[usize]) -> DiscoveryResult {
     let preprocess = sw.secs();
     let (curve, avg_query) = pr_curve(lake, ks, |table, k| {
         platform
-            .find_unionable_tables(&lake.name, &table.name, k, UnionMode::ContentAndLabel)
+            .discovery()
+            .k(k)
+            .mode(UnionMode::ContentAndLabel)
+            .unionable_tables(&lake.name, &table.name)
+            .unwrap_or_default()
             .into_iter()
             .map(|h| h.table)
             .collect()
@@ -131,7 +135,11 @@ pub fn run_ablation(lake: &Lake, ks: &[usize]) -> Vec<SystemRun> {
         |name: &str, platform: &KgLids, mode: UnionMode, runs: &mut Vec<SystemRun>| {
             let (curve, avg_query) = pr_curve(lake, ks, |table, k| {
                 platform
-                    .find_unionable_tables(&lake.name, &table.name, k, mode)
+                    .discovery()
+                    .k(k)
+                    .mode(mode)
+                    .unionable_tables(&lake.name, &table.name)
+                    .unwrap_or_default()
                     .into_iter()
                     .map(|h| h.table)
                     .collect()

@@ -21,6 +21,7 @@ pub mod automl_exp;
 pub mod cleaning;
 pub mod corpus;
 pub mod discovery;
+pub mod serving;
 pub mod transform;
 
 /// Render a row-major text table with a header.

@@ -1,0 +1,156 @@
+//! Shared fixtures for the serving benchmarks (`serving_bench` and
+//! `serving_net_bench`): the discovery star query, deterministic
+//! profile-quad generators, and histogram percentile helpers. Both
+//! benches must serve *the same workload* so their numbers compare —
+//! the network bench's overhead is the delta over the in-process bench,
+//! which only means something if everything else is held fixed.
+
+use lids_datagen::{synthetic_profiles, ProfileLakeSpec};
+use lids_obs::HistogramSnapshot;
+use lids_profiler::ColumnProfile;
+use lids_rdf::{Quad, Term};
+use lids_sparql::Solutions;
+
+/// The discovery star over profile-derived quads: hub column variable,
+/// dtype selection, join up to the dataset, numeric filter on the
+/// distinct-count statistic (synthetic distinct counts land in 1..500).
+pub const SERVING_QUERY: &str = "SELECT ?c ?n ?tbl ?d WHERE { \
+     ?c <http://kglids/type> <http://kglids/Column> . \
+     ?c <http://kglids/name> ?n . \
+     ?c <http://kglids/dtype> <http://kglids/dt/Int> . \
+     ?c <http://kglids/table> ?tbl . \
+     ?tbl <http://kglids/dataset> ?d . \
+     ?c <http://kglids/distinct> ?dc . FILTER(?dc > 250) }";
+
+/// Quads for one `lids-datagen` profile batch, in the data-global-schema
+/// shape the discovery query scans. `prefix` keeps IRIs from different
+/// batches disjoint; indexes (not labels) identify columns because the
+/// synthetic label pools repeat.
+pub fn profile_quads(prefix: &str, profiles: &[ColumnProfile]) -> Vec<Quad> {
+    let pred = |p: &str| Term::iri(format!("http://kglids/{p}"));
+    let mut quads = Vec::with_capacity(profiles.len() * 5 + 16);
+    let mut last_table: Option<&str> = None;
+    for (i, p) in profiles.iter().enumerate() {
+        let table = Term::iri(format!("http://kglids/{prefix}/{}", p.meta.table));
+        if last_table != Some(p.meta.table.as_str()) {
+            quads.push(Quad::new(
+                table.clone(),
+                pred("dataset"),
+                Term::iri(format!("http://kglids/{prefix}/{}", p.meta.dataset)),
+            ));
+            last_table = Some(p.meta.table.as_str());
+        }
+        let column = Term::iri(format!("http://kglids/{prefix}/c{i}"));
+        quads.push(Quad::new(column.clone(), pred("type"), pred("Column")));
+        quads.push(Quad::new(column.clone(), pred("name"), Term::string(p.meta.column.clone())));
+        quads.push(Quad::new(
+            column.clone(),
+            pred("dtype"),
+            Term::iri(format!("http://kglids/dt/{:?}", p.fgt)),
+        ));
+        quads.push(Quad::new(column.clone(), pred("table"), table));
+        quads.push(Quad::new(column, pred("distinct"), Term::integer(p.stats.distinct as i64)));
+    }
+    quads
+}
+
+/// The pre-loaded lake every serving cell starts from.
+pub fn base_quads(tables: usize) -> Vec<Quad> {
+    let profiles = synthetic_profiles(&ProfileLakeSpec {
+        seed: 7,
+        tables,
+        columns_per_table: 12,
+        tables_per_dataset: 8,
+        embedding_dim: 4, // embeddings are irrelevant to the quad shape
+        ..ProfileLakeSpec::default()
+    });
+    profile_quads("base", &profiles)
+}
+
+/// The writer's ingest stream: deterministic batches, so the oracle can
+/// replay exactly the prefix that got committed.
+pub fn writer_batches(n: usize) -> Vec<Vec<Quad>> {
+    (0..n)
+        .map(|b| {
+            let profiles = synthetic_profiles(&ProfileLakeSpec {
+                seed: 1_000 + b as u64,
+                tables: 4,
+                columns_per_table: 12,
+                tables_per_dataset: 4,
+                embedding_dim: 4,
+                ..ProfileLakeSpec::default()
+            });
+            profile_quads(&format!("b{b}"), &profiles)
+        })
+        .collect()
+}
+
+/// Canonical row order for parity comparison of in-process solutions.
+pub fn sorted_rows(solutions: &Solutions) -> Vec<String> {
+    let mut rows: Vec<String> = solutions.rows.iter().map(|r| format!("{r:?}")).collect();
+    rows.sort();
+    rows
+}
+
+/// Canonical row order for parity comparison of wire rows.
+pub fn sorted_wire_rows(rows: &[Vec<String>]) -> Vec<Vec<String>> {
+    let mut rows = rows.to_vec();
+    rows.sort();
+    rows
+}
+
+/// Approximate percentile from the log₂-bucketed histogram: the upper
+/// bound of the first bucket whose cumulative count reaches the target.
+pub fn percentile_us(hist: &HistogramSnapshot, q: f64) -> u64 {
+    if hist.count == 0 {
+        return 0;
+    }
+    let target = ((q * hist.count as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for &(le, c) in &hist.buckets {
+        cum += c;
+        if cum >= target {
+            return le;
+        }
+    }
+    hist.max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lids_rdf::QuadStore;
+    use lids_sparql::PlanCache;
+
+    #[test]
+    fn fixtures_are_deterministic_and_query_matches() {
+        let a = base_quads(20);
+        let b = base_quads(20);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let batches = writer_batches(3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0], writer_batches(3)[0]);
+
+        let mut store = QuadStore::new();
+        store.extend(a);
+        let cache = PlanCache::new();
+        let prepared = cache.prepare(SERVING_QUERY).expect("query parses");
+        let sols = prepared.execute(&store.snapshot()).expect("query runs");
+        assert!(!sols.rows.is_empty(), "base lake must satisfy the serving query");
+        assert_eq!(sorted_rows(&sols), sorted_rows(&sols));
+    }
+
+    #[test]
+    fn percentiles_come_from_buckets() {
+        let metrics = lids_obs::MetricsRegistry::new();
+        for v in [1u64, 2, 4, 100, 10_000] {
+            metrics.observe("x", v);
+        }
+        let snap = metrics.snapshot();
+        let hist = snap.histogram("x").expect("histogram exists").clone();
+        assert!(percentile_us(&hist, 0.5) >= 4);
+        assert!(percentile_us(&hist, 0.99) >= 10_000);
+        assert_eq!(percentile_us(&HistogramSnapshot::default(), 0.99), 0);
+    }
+}

@@ -1,10 +1,17 @@
 //! Data-discovery interfaces (§5): keyword search, unionable/joinable
 //! discovery, and join-path discovery. The discovery queries run as SPARQL
 //! against the LiDS graph, leveraging the store's indexes (§6.1.2).
+//!
+//! The [`Discovery`] builder ([`KgLids::discovery`]) is the one entry
+//! point: shared options (`k`, `min_score`, similarity `mode`, path
+//! `hops`) plus per-call resource governance ([`Discovery::limits`]) set
+//! once and applied to every search, with every result surfaced as a
+//! typed [`LidsResult`]. The old free-standing `KgLids::find_*` methods
+//! survive as thin deprecated wrappers over the same implementations.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use lids_exec::{ErrorKind, LidsError, LidsResult};
+use lids_exec::{ErrorKind, LidsError, LidsResult, QueryLimits};
 use lids_kg::ontology::{object_prop, res};
 use lids_profiler::Table;
 use lids_vector::cosine_similarity;
@@ -26,7 +33,28 @@ pub enum UnionMode {
     LabelOnly,
 }
 
-/// The star query behind [`KgLids::search_tables`]: every table with its
+impl UnionMode {
+    /// Stable lower-case label (the `lids-api/v1` wire encoding).
+    pub fn label(&self) -> &'static str {
+        match self {
+            UnionMode::ContentAndLabel => "content-and-label",
+            UnionMode::ContentOnly => "content-only",
+            UnionMode::LabelOnly => "label-only",
+        }
+    }
+
+    /// Parse a wire label back into a mode.
+    pub fn parse(label: &str) -> Option<UnionMode> {
+        match label {
+            "content-and-label" => Some(UnionMode::ContentAndLabel),
+            "content-only" => Some(UnionMode::ContentOnly),
+            "label-only" => Some(UnionMode::LabelOnly),
+            _ => None,
+        }
+    }
+}
+
+/// The star query behind table search: every table with its
 /// label, dataset, and (through OPTIONAL) column labels. Public so tests
 /// and benchmarks can run/explain the exact discovery workload.
 pub const SEARCH_TABLES_QUERY: &str =
@@ -87,14 +115,19 @@ fn table_hit(iri: &str, score: f64) -> TableHit {
 
 /// Fluent entry point for the §5 discovery operations
 /// ([`KgLids::discovery`]): shared options (`k`, `min_score`, similarity
-/// `mode`, path `hops`) set once, then applied to every search.
-#[derive(Clone, Copy)]
+/// `mode`, path `hops`) set once, then applied to every search. Resource
+/// governance rides along the same way — [`Self::limits`] threads a
+/// [`QueryLimits`] (deadline, memory budget, cancellation) through every
+/// SPARQL query a search runs, exactly like `query_with` takes
+/// [`EvalOptions`](lids_sparql::EvalOptions) on the ad-hoc path.
+#[derive(Clone)]
 pub struct Discovery<'a> {
     platform: &'a KgLids,
     k: usize,
     min_score: f64,
     mode: UnionMode,
     hops: usize,
+    limits: QueryLimits,
 }
 
 impl<'a> Discovery<'a> {
@@ -120,6 +153,15 @@ impl<'a> Discovery<'a> {
     /// Maximum intermediate joins for path discovery (default 2).
     pub fn hops(mut self, hops: usize) -> Self {
         self.hops = hops;
+        self
+    }
+
+    /// Resource-governance limits (deadline, memory budget, cancellation)
+    /// applied to every SPARQL query this discovery runs. Defaults to
+    /// unlimited; the platform's [`QueryGuardrails`]
+    /// (crate::platform::QueryGuardrails) still fill unset limits.
+    pub fn limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
         self
     }
 
@@ -149,7 +191,7 @@ impl<'a> Discovery<'a> {
         self.validate()?;
         Ok(self
             .platform
-            .find_unionable_tables(dataset, table, self.k, self.mode)
+            .unionable_tables_impl(dataset, table, self.k, self.mode, &self.limits)?
             .into_iter()
             .filter(|h| h.score >= self.min_score)
             .collect())
@@ -160,7 +202,7 @@ impl<'a> Discovery<'a> {
         self.validate()?;
         Ok(self
             .platform
-            .find_joinable_tables(dataset, table, self.k)
+            .unionable_tables_impl(dataset, table, self.k, UnionMode::ContentOnly, &self.limits)?
             .into_iter()
             .filter(|h| h.score >= self.min_score)
             .collect())
@@ -175,7 +217,7 @@ impl<'a> Discovery<'a> {
         self.validate()?;
         Ok(self
             .platform
-            .find_unionable_columns(a, b)
+            .unionable_columns_impl(a, b, &self.limits)?
             .into_iter()
             .filter(|h| h.score >= self.min_score)
             .collect())
@@ -184,7 +226,23 @@ impl<'a> Discovery<'a> {
     /// Join paths from `from` to `to` within the configured hop limit.
     pub fn paths(&self, from: (&str, &str), to: (&str, &str)) -> LidsResult<Vec<JoinPath>> {
         self.validate()?;
-        Ok(self.platform.get_path_to_table(from, to, self.hops))
+        self.platform.join_paths_impl(from, to, self.hops, &self.limits)
+    }
+
+    /// Join paths from an *unseen* DataFrame to `to`: embed the frame,
+    /// find its most similar profiled table, and search paths from there
+    /// (§5 `get_path_to_table(df, hops)`).
+    pub fn paths_for(&self, df: &Table, to: (&str, &str)) -> LidsResult<Vec<JoinPath>> {
+        self.validate()?;
+        let Some(hit) = self.platform.most_similar_table_impl(df) else {
+            return Ok(Vec::new());
+        };
+        self.platform.join_paths_impl(
+            (&hit.dataset, &hit.table),
+            to,
+            self.hops,
+            &self.limits,
+        )
     }
 
     /// Shortest join path between two tables.
@@ -194,21 +252,59 @@ impl<'a> Discovery<'a> {
         to: (&str, &str),
     ) -> LidsResult<Option<JoinPath>> {
         self.validate()?;
-        Ok(self.platform.shortest_path_between_tables(from, to))
+        self.platform.shortest_path_impl(from, to, &self.limits)
     }
-}
 
-impl KgLids {
+    /// The most similar profiled table to an unseen one (by
+    /// table-embedding cosine) — the first step of path discovery for
+    /// unseen DataFrames.
+    pub fn most_similar_table(&self, table: &Table) -> LidsResult<Option<TableHit>> {
+        self.validate()?;
+        Ok(self.platform.most_similar_table_impl(table))
+    }
+
     /// §5 "Search Tables Based on Specific Columns": keyword search with
     /// conjunctive/disjunctive conditions expressed as nested lists — the
     /// outer list is a disjunction of conjunctive groups, e.g.
     /// `[["heart", "disease"], ["patients"]]` = (heart AND disease) OR
     /// patients. Conditions match table, dataset, and column labels.
-    pub fn search_tables(&self, conditions: &[&[&str]]) -> DataFrame {
+    pub fn search(&self, conditions: &[&[&str]]) -> LidsResult<DataFrame> {
+        self.validate()?;
+        self.platform.search_tables_impl(conditions, &self.limits)
+    }
+}
+
+impl KgLids {
+    /// Fluent discovery with shared options — `platform.discovery().k(5)
+    /// .min_score(0.5).unionable_tables("lake", "people")`.
+    pub fn discovery(&self) -> Discovery<'_> {
+        Discovery {
+            platform: self,
+            k: 10,
+            min_score: 0.0,
+            mode: UnionMode::default(),
+            hops: 2,
+            limits: QueryLimits::default(),
+        }
+    }
+
+    /// §5 keyword table search (see [`Discovery::search`] for the
+    /// condition semantics). Returns a typed [`LidsResult`] like every
+    /// other query path; a governed stop (deadline, budget) surfaces as
+    /// its `ErrorKind`, never a panic.
+    pub fn search_tables(&self, conditions: &[&[&str]]) -> LidsResult<DataFrame> {
+        self.search_tables_impl(conditions, &QueryLimits::default())
+    }
+
+    pub(crate) fn search_tables_impl(
+        &self,
+        conditions: &[&[&str]],
+        limits: &QueryLimits,
+    ) -> LidsResult<DataFrame> {
         // One star join per table with the column labels pulled in through
         // OPTIONAL; ORDER BY keeps each table's rows contiguous so they can
         // be folded in a single pass.
-        let rows = self.internal_query(SEARCH_TABLES_QUERY);
+        let rows = self.governed_frame(SEARCH_TABLES_QUERY, limits)?;
 
         let mut out = DataFrame::new(vec![
             "dataset".into(),
@@ -246,12 +342,22 @@ impl KgLids {
             }
             i = j;
         }
-        out
+        Ok(out)
     }
 
     /// §5 "Discover Unionable Columns": matched (unionable) column pairs
     /// between two tables, with similarity kind and score.
     pub fn find_unionable_columns(&self, a: (&str, &str), b: (&str, &str)) -> Vec<ColumnHit> {
+        self.unionable_columns_impl(a, b, &QueryLimits::default())
+            .unwrap_or_default()
+    }
+
+    pub(crate) fn unionable_columns_impl(
+        &self,
+        a: (&str, &str),
+        b: (&str, &str),
+        limits: &QueryLimits,
+    ) -> LidsResult<Vec<ColumnHit>> {
         let a_iri = res::table(a.0, a.1);
         let b_iri = res::table(b.0, b.1);
         let mut out = Vec::new();
@@ -270,7 +376,7 @@ impl KgLids {
                     ?ca rdfs:label ?la . ?cb rdfs:label ?lb . \
                  }} ORDER BY DESC(?s)"
             );
-            let rows = self.internal_query(&q);
+            let rows = self.governed_frame(&q, limits)?;
             for i in 0..rows.len() {
                 out.push(ColumnHit {
                     column_a: rows.get(i, "la").unwrap_or_default().to_string(),
@@ -280,25 +386,15 @@ impl KgLids {
                 });
             }
         }
-        out
+        Ok(out)
     }
 
-    /// Fluent discovery with shared options — `platform.discovery().k(5)
-    /// .min_score(0.5).unionable_tables("lake", "people")`.
-    pub fn discovery(&self) -> Discovery<'_> {
-        Discovery {
-            platform: self,
-            k: 10,
-            min_score: 0.0,
-            mode: UnionMode::default(),
-            hops: 2,
-        }
-    }
-
-    /// Union search over the LiDS graph: rank tables unionable with the
-    /// given (profiled) table. "The similarity score between two tables is
-    /// based on both the number of similar columns and the similarity
-    /// scores between them."
+    /// Union search over the LiDS graph (§5). Deprecated free-standing
+    /// form — the fluent [`Discovery`] entry point is the surface.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `platform.discovery().k(k).mode(mode).unionable_tables(dataset, table)`"
+    )]
     pub fn find_unionable_tables(
         &self,
         dataset: &str,
@@ -306,6 +402,22 @@ impl KgLids {
         k: usize,
         mode: UnionMode,
     ) -> Vec<TableHit> {
+        self.unionable_tables_impl(dataset, table, k, mode, &QueryLimits::default())
+            .unwrap_or_default()
+    }
+
+    /// Union search over the LiDS graph: rank tables unionable with the
+    /// given (profiled) table. "The similarity score between two tables is
+    /// based on both the number of similar columns and the similarity
+    /// scores between them."
+    pub(crate) fn unionable_tables_impl(
+        &self,
+        dataset: &str,
+        table: &str,
+        k: usize,
+        mode: UnionMode,
+        limits: &QueryLimits,
+    ) -> LidsResult<Vec<TableHit>> {
         let t_iri = res::table(dataset, table);
         let preds: &[&str] = match mode {
             UnionMode::ContentAndLabel => {
@@ -335,7 +447,7 @@ impl KgLids {
                     << ?ca k:{pred} ?cb >> k:withCertainty ?s . \
                  }}"
             );
-            let rows = self.internal_query(&q);
+            let rows = self.governed_frame(&q, limits)?;
             for i in 0..rows.len() {
                 let other = rows.get(i, "other").unwrap_or_default().to_string();
                 if other == t_iri {
@@ -358,25 +470,44 @@ impl KgLids {
             .collect();
         ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
         ranked.truncate(k);
-        ranked
+        Ok(ranked)
     }
 
-    /// Joinable-table discovery: tables sharing a high-content-similarity
-    /// column ("joinable if … content similarity relationships").
+    /// Joinable-table discovery. Deprecated free-standing form.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `platform.discovery().k(k).joinable_tables(dataset, table)`"
+    )]
     pub fn find_joinable_tables(&self, dataset: &str, table: &str, k: usize) -> Vec<TableHit> {
-        self.find_unionable_tables(dataset, table, k, UnionMode::ContentOnly)
+        self.unionable_tables_impl(dataset, table, k, UnionMode::ContentOnly, &QueryLimits::default())
+            .unwrap_or_default()
     }
 
-    /// §5 "Join Path Discovery": paths of content-similar (joinable) tables
-    /// from `from` to `to`, up to `hops` intermediate joins. Each path is a
-    /// list of table names.
+    /// §5 "Join Path Discovery". Deprecated free-standing form.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `platform.discovery().hops(hops).paths(from, to)`"
+    )]
     pub fn get_path_to_table(
         &self,
         from: (&str, &str),
         to: (&str, &str),
         hops: usize,
     ) -> Vec<JoinPath> {
-        let adjacency = self.join_graph();
+        self.join_paths_impl(from, to, hops, &QueryLimits::default())
+            .unwrap_or_default()
+    }
+
+    /// Paths of content-similar (joinable) tables from `from` to `to`, up
+    /// to `hops` intermediate joins. Each path is a list of table names.
+    pub(crate) fn join_paths_impl(
+        &self,
+        from: (&str, &str),
+        to: (&str, &str),
+        hops: usize,
+        limits: &QueryLimits,
+    ) -> LidsResult<Vec<JoinPath>> {
+        let adjacency = self.join_graph(limits)?;
         let start = res::table(from.0, from.1);
         let goal = res::table(to.0, to.1);
         let mut paths: Vec<JoinPath> = Vec::new();
@@ -402,17 +533,32 @@ impl KgLids {
             }
         }
         paths.sort_by_key(|p| p.tables.len());
-        paths
+        Ok(paths)
     }
 
-    /// §5 "shortest path between two given tables" (BFS over the join
-    /// graph).
+    /// §5 "shortest path between two given tables". Deprecated
+    /// free-standing form.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `platform.discovery().shortest_path(from, to)`"
+    )]
     pub fn shortest_path_between_tables(
         &self,
         from: (&str, &str),
         to: (&str, &str),
     ) -> Option<JoinPath> {
-        let adjacency = self.join_graph();
+        self.shortest_path_impl(from, to, &QueryLimits::default())
+            .unwrap_or_default()
+    }
+
+    /// BFS over the join graph.
+    pub(crate) fn shortest_path_impl(
+        &self,
+        from: (&str, &str),
+        to: (&str, &str),
+        limits: &QueryLimits,
+    ) -> LidsResult<Option<JoinPath>> {
+        let adjacency = self.join_graph(limits)?;
         let start = res::table(from.0, from.1);
         let goal = res::table(to.0, to.1);
         let mut queue = VecDeque::from([vec![start.clone()]]);
@@ -421,9 +567,9 @@ impl KgLids {
             // paths are seeded non-empty and only ever grow
             let Some(node) = path.last() else { continue };
             if *node == goal {
-                return Some(JoinPath {
+                return Ok(Some(JoinPath {
                     tables: path.iter().map(|iri| short_name(iri)).collect(),
-                });
+                }));
             }
             if let Some(next) = adjacency.get(node) {
                 for n in next {
@@ -435,28 +581,41 @@ impl KgLids {
                 }
             }
         }
-        None
+        Ok(None)
     }
 
-    /// §5 `get_path_to_table(df, hops)` for an *unseen* DataFrame: "done by
-    /// computing an embedding of the given DataFrame, finding the most
-    /// similar table in the LiDS graph, and determining potential join
-    /// paths to the given target table."
+    /// §5 `get_path_to_table(df, hops)` for an *unseen* DataFrame.
+    /// Deprecated free-standing form.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `platform.discovery().hops(hops).paths_for(df, to)`"
+    )]
     pub fn get_path_to_table_for(
         &self,
         df: &Table,
         to: (&str, &str),
         hops: usize,
     ) -> Vec<JoinPath> {
-        let Some(hit) = self.most_similar_table(df) else {
+        let Some(hit) = self.most_similar_table_impl(df) else {
             return Vec::new();
         };
-        self.get_path_to_table((&hit.dataset, &hit.table), to, hops)
+        self.join_paths_impl((&hit.dataset, &hit.table), to, hops, &QueryLimits::default())
+            .unwrap_or_default()
     }
 
-    /// The most similar profiled table to an unseen one (by table-embedding
-    /// cosine) — the first step of `get_path_to_table(df, …)` in §5.
+    /// The most similar profiled table to an unseen one. Deprecated
+    /// free-standing form.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `platform.discovery().most_similar_table(table)`"
+    )]
     pub fn most_similar_table(&self, table: &Table) -> Option<TableHit> {
+        self.most_similar_table_impl(table)
+    }
+
+    /// Most similar table by table-embedding cosine — the first step of
+    /// `get_path_to_table(df, …)` in §5.
+    pub(crate) fn most_similar_table_impl(&self, table: &Table) -> Option<TableHit> {
         let probe = self.embed_table(table);
         self.table_embeddings
             .iter()
@@ -469,14 +628,15 @@ impl KgLids {
     }
 
     /// Adjacency over tables connected by content-similar columns.
-    fn join_graph(&self) -> HashMap<String, Vec<String>> {
-        let rows = self.internal_query(
+    fn join_graph(&self, limits: &QueryLimits) -> LidsResult<HashMap<String, Vec<String>>> {
+        let rows = self.governed_frame(
             "PREFIX k: <http://kglids.org/ontology/> \
              SELECT DISTINCT ?ta ?tb WHERE { \
                 ?ca k:hasContentSimilarity ?cb . \
                 ?ca k:isPartOf ?ta . ?cb k:isPartOf ?tb . \
              }",
-        );
+            limits,
+        )?;
         let mut adjacency: HashMap<String, Vec<String>> = HashMap::new();
         for i in 0..rows.len() {
             let a = rows.get(i, "ta").unwrap_or_default().to_string();
@@ -485,7 +645,7 @@ impl KgLids {
                 adjacency.entry(a).or_default().push(b);
             }
         }
-        adjacency
+        Ok(adjacency)
     }
 }
 
@@ -498,6 +658,7 @@ mod tests {
     use super::*;
     use crate::platform::KgLidsBuilder;
     use lids_profiler::table::{Column, Dataset};
+    use std::time::Duration;
 
     /// Three tables: A and B share an `age` column (same values → content
     /// + label similar); B and C share a `city` column.
@@ -537,24 +698,25 @@ mod tests {
     #[test]
     fn keyword_search_with_and_or() {
         let p = platform();
-        // (age AND city) OR travel
-        let hits = p.search_tables(&[&["age", "city"], &["travel"]]);
+        // (age AND city) OR travel — through the fluent entry point
+        let hits = p.discovery().search(&[&["age", "city"], &["travel"]]).unwrap();
         let tables: Vec<&str> = hits.column("table");
         assert!(tables.contains(&"people"));
         assert!(tables.contains(&"trips"));
         assert!(!tables.contains(&"patients"));
-        // empty conditions return everything
-        assert_eq!(p.search_tables(&[]).len(), 3);
+        // empty conditions return everything; the non-fluent form is the
+        // same code path and now speaks LidsResult too
+        assert_eq!(p.search_tables(&[]).unwrap().len(), 3);
     }
 
     #[test]
     fn discovery_queries_parse_once_per_shape() {
         let p = platform();
-        p.search_tables(&[&["age"]]);
+        p.search_tables(&[&["age"]]).unwrap();
         let first = p.plan_cache_stats();
         assert!(first.parses >= 1, "first call must parse the discovery query");
-        p.search_tables(&[&["city"]]);
-        p.search_tables(&[&["age", "city"], &["travel"]]);
+        p.search_tables(&[&["city"]]).unwrap();
+        p.discovery().search(&[&["age", "city"], &["travel"]]).unwrap();
         let after = p.plan_cache_stats();
         assert_eq!(after.parses, first.parses, "repeat discovery calls must not re-parse");
         assert_eq!(after.compiles, first.compiles, "unchanged store must not re-plan");
@@ -575,7 +737,7 @@ mod tests {
     #[test]
     fn unionable_tables_ranked() {
         let p = platform();
-        let ranked = p.find_unionable_tables("health", "patients", 5, UnionMode::default());
+        let ranked = p.discovery().k(5).unionable_tables("health", "patients").unwrap();
         assert!(!ranked.is_empty());
         assert_eq!(ranked[0].table, "people");
         assert_eq!(ranked[0].dataset, "census");
@@ -586,13 +748,19 @@ mod tests {
     fn join_path_two_hops() {
         let p = platform();
         // patients —age— people —city— trips
-        let paths = p.get_path_to_table(("health", "patients"), ("travel", "trips"), 2);
+        let paths = p
+            .discovery()
+            .hops(2)
+            .paths(("health", "patients"), ("travel", "trips"))
+            .unwrap();
         assert!(!paths.is_empty(), "no join path found");
         assert_eq!(paths[0].tables, vec!["patients", "people", "trips"]);
         assert_eq!(paths[0].hops(), 2);
         assert_eq!(paths[0].to_string(), "patients -> people -> trips");
         let shortest = p
-            .shortest_path_between_tables(("health", "patients"), ("travel", "trips"))
+            .discovery()
+            .shortest_path(("health", "patients"), ("travel", "trips"))
+            .unwrap()
             .unwrap();
         assert_eq!(shortest.tables.len(), 3);
     }
@@ -640,6 +808,51 @@ mod tests {
     }
 
     #[test]
+    fn discovery_limits_govern_searches() {
+        let p = platform();
+        // an already-expired deadline trips every SPARQL the search runs
+        let err = p
+            .discovery()
+            .limits(QueryLimits {
+                deadline: Some(Duration::ZERO),
+                ..QueryLimits::default()
+            })
+            .unionable_tables("health", "patients")
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::QueryTimeout);
+        let err = p
+            .discovery()
+            .limits(QueryLimits {
+                deadline: Some(Duration::ZERO),
+                ..QueryLimits::default()
+            })
+            .search(&[&["age"]])
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::QueryTimeout);
+        // a cancelled token stops path discovery with the typed kind
+        let cancel = lids_exec::CancelToken::new();
+        cancel.cancel();
+        let err = p
+            .discovery()
+            .limits(QueryLimits { cancel: Some(cancel), ..QueryLimits::default() })
+            .paths(("health", "patients"), ("travel", "trips"))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::QueryCancelled);
+        // generous limits leave results identical to ungoverned runs
+        let governed = p
+            .discovery()
+            .limits(QueryLimits {
+                deadline: Some(Duration::from_secs(60)),
+                memory_budget_bytes: Some(256 << 20),
+                ..QueryLimits::default()
+            })
+            .unionable_tables("health", "patients")
+            .unwrap();
+        let plain = p.discovery().unionable_tables("health", "patients").unwrap();
+        assert_eq!(governed, plain);
+    }
+
+    #[test]
     fn out_of_domain_options_are_typed_errors() {
         let p = platform();
         // k = 0 can never return a result → typed argument error
@@ -674,7 +887,9 @@ mod tests {
     fn no_path_when_disconnected() {
         let p = platform();
         assert!(p
-            .shortest_path_between_tables(("health", "patients"), ("nope", "missing"))
+            .discovery()
+            .shortest_path(("health", "patients"), ("nope", "missing"))
+            .unwrap()
             .is_none());
     }
 
@@ -686,7 +901,7 @@ mod tests {
             "probe",
             vec![Column::new("age", (22..58).map(|i| i.to_string()).collect())],
         );
-        let paths = p.get_path_to_table_for(&probe, ("travel", "trips"), 2);
+        let paths = p.discovery().hops(2).paths_for(&probe, ("travel", "trips")).unwrap();
         assert!(!paths.is_empty(), "no join path from most-similar table");
         assert_eq!(paths[0].tables.last().map(|s| s.as_str()), Some("trips"));
     }
@@ -698,7 +913,7 @@ mod tests {
             "probe",
             vec![Column::new("age", (25..55).map(|i| i.to_string()).collect())],
         );
-        let hit = p.most_similar_table(&probe).unwrap();
+        let hit = p.discovery().most_similar_table(&probe).unwrap().unwrap();
         assert!(hit.score > 0.5);
         assert!(hit.dataset == "health" || hit.dataset == "census");
     }
@@ -706,7 +921,53 @@ mod tests {
     #[test]
     fn content_only_mode_still_finds_unionable() {
         let p = platform();
-        let ranked = p.find_unionable_tables("health", "patients", 5, UnionMode::ContentOnly);
+        let ranked = p
+            .discovery()
+            .k(5)
+            .mode(UnionMode::ContentOnly)
+            .unionable_tables("health", "patients")
+            .unwrap();
         assert!(ranked.iter().any(|h| h.table == "people"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer() {
+        // the legacy free-standing methods stay source-compatible: same
+        // signatures, same results, now thin shims over Discovery
+        let p = platform();
+        let ranked = p.find_unionable_tables("health", "patients", 5, UnionMode::default());
+        assert_eq!(ranked, p.discovery().k(5).unionable_tables("health", "patients").unwrap());
+        let joinable = p.find_joinable_tables("health", "patients", 5);
+        assert_eq!(
+            joinable,
+            p.discovery().k(5).joinable_tables("health", "patients").unwrap()
+        );
+        let paths = p.get_path_to_table(("health", "patients"), ("travel", "trips"), 2);
+        assert_eq!(
+            paths,
+            p.discovery().hops(2).paths(("health", "patients"), ("travel", "trips")).unwrap()
+        );
+        let shortest = p.shortest_path_between_tables(("health", "patients"), ("travel", "trips"));
+        assert_eq!(
+            shortest,
+            p.discovery().shortest_path(("health", "patients"), ("travel", "trips")).unwrap()
+        );
+        let probe = lids_profiler::Table::new(
+            "probe",
+            vec![Column::new("age", (25..55).map(|i| i.to_string()).collect())],
+        );
+        assert_eq!(
+            p.most_similar_table(&probe),
+            p.discovery().most_similar_table(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn union_mode_wire_labels_round_trip() {
+        for mode in [UnionMode::ContentAndLabel, UnionMode::ContentOnly, UnionMode::LabelOnly] {
+            assert_eq!(UnionMode::parse(mode.label()), Some(mode));
+        }
+        assert_eq!(UnionMode::parse("bogus"), None);
     }
 }

@@ -35,7 +35,7 @@ pub mod report;
 
 pub use dataframe::DataFrame;
 pub use discovery::{ColumnHit, Discovery, JoinPath, TableHit, UnionMode, SEARCH_TABLES_QUERY};
-pub use lids_exec::{ErrorKind, LidsError, LidsResult};
+pub use lids_exec::{CancelToken, ErrorKind, LidsError, LidsResult, QueryLimits};
 pub use lids_kg::{LinkingConfig, LinkingMode};
 pub use lids_obs::{Obs, ObsSnapshot};
 pub use lids_sparql::{EvalOptions, ExplainReport};

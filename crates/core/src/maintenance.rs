@@ -288,7 +288,6 @@ impl KgLids {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::discovery::UnionMode;
     use crate::platform::KgLidsBuilder;
     use lids_profiler::table::{Column, Table};
 
@@ -317,10 +316,10 @@ mod tests {
         assert_eq!(platform.profiles().len(), before_cols + 1);
 
         // discovery sees the new table immediately
-        let ranked = platform.find_unionable_tables("base", "people", 5, UnionMode::default());
+        let ranked = platform.discovery().k(5).unionable_tables("base", "people").unwrap();
         assert!(ranked.iter().any(|h| h.table == "patients"));
         // and so does keyword search
-        let hits = platform.search_tables(&[&["newcomer"]]);
+        let hits = platform.search_tables(&[&["newcomer"]]).unwrap();
         assert_eq!(hits.len(), 1);
     }
 

@@ -15,7 +15,7 @@ use std::time::{Duration, Instant};
 use lids_embed::{table_embedding, ColrModels, FineGrainedType, WordEmbeddings};
 use lids_exec::{
     parallel_try_map_with, Clock, ErrorKind, IsolationConfig, LidsError, LidsResult, MemoryMeter,
-    RetryPolicy, Stopwatch, SystemClock, TripReason,
+    QueryLimits, RetryPolicy, Stopwatch, SystemClock, TripReason,
 };
 use lids_kg::abstraction::{emit_pipeline_quads, AbstractionStats, PipelineMetadata};
 use lids_kg::docs::LibraryDocs;
@@ -745,6 +745,32 @@ impl KgLids {
         sparql: &str,
         options: EvalOptions,
     ) -> LidsResult<Solutions> {
+        self.governed_query_limited(sparql, options, None)
+    }
+
+    /// [`Self::governed_query`] with an extra [`QueryLimits`] layered in —
+    /// the plumbing behind [`Discovery::limits`](crate::Discovery::limits)
+    /// and the server's per-request limits. Precedence: per-call
+    /// [`EvalOptions`] win, then `extra` fills deadline/budget, then the
+    /// platform [`QueryGuardrails`] fill whatever is still unset. The
+    /// extra limits also contribute cancellation (token, fault-injection
+    /// checkpoint, clock) to the armed governor, which plain
+    /// `EvalOptions` cannot carry.
+    pub(crate) fn governed_query_limited(
+        &self,
+        sparql: &str,
+        options: EvalOptions,
+        extra: Option<&QueryLimits>,
+    ) -> LidsResult<Solutions> {
+        // an empty query can never be meant: fail typed (→ HTTP 400)
+        // before touching the plan cache, whose tokenizer would otherwise
+        // report it as a bare parse failure
+        if sparql.trim().is_empty() {
+            return Err(LidsError::new(
+                ErrorKind::InvalidArgument,
+                "empty SPARQL query (no patterns to evaluate)",
+            ));
+        }
         let g = &self.guardrails;
         let metrics = &self.obs.metrics;
         if self.plan_cache.is_poisoned(sparql) {
@@ -754,8 +780,16 @@ impl KgLids {
                 "query shape quarantined after repeated resource-limit violations",
             ));
         }
-        // per-call options win; guardrails fill unset limits
+        // per-call options win; extra limits next; guardrails fill the rest
         let mut effective = options;
+        if let Some(extra) = extra {
+            if effective.deadline.is_none() {
+                effective.deadline = extra.deadline;
+            }
+            if effective.memory_budget.is_none() {
+                effective.memory_budget = extra.memory_budget_bytes;
+            }
+        }
         if effective.deadline.is_none() {
             effective.deadline = g.deadline;
         }
@@ -765,7 +799,7 @@ impl KgLids {
         self.timed_query(|| {
             let prepared = self.plan_cache.prepare(sparql)?;
             let stats = ExecStats::default();
-            let governor = effective.limits().arm();
+            let governor = merged_limits(&effective, extra).arm();
             let mut result =
                 prepared.execute_governed(&self.store, effective, governor.as_ref(), Some(&stats));
             if let Some(gov) = &governor {
@@ -794,7 +828,7 @@ impl KgLids {
                         row_cap: Some(effective.row_cap.unwrap_or(g.degraded_row_cap)),
                         ..effective
                     };
-                    let retry_governor = degraded.limits().arm();
+                    let retry_governor = merged_limits(&degraded, extra).arm();
                     result = prepared.execute_governed(
                         &self.store,
                         degraded,
@@ -876,6 +910,21 @@ impl KgLids {
     #[allow(clippy::expect_used)]
     pub(crate) fn internal_query(&self, sparql: &str) -> DataFrame {
         self.query(sparql).expect("well-formed internal query")
+    }
+
+    /// The discovery query path: a platform-authored SPARQL query run
+    /// under caller-supplied [`QueryLimits`], with every failure — parse,
+    /// evaluation, or governed stop — surfaced as a typed [`LidsError`]
+    /// rather than a panic. This is what lets a network front end map a
+    /// discovery failure to the right HTTP status.
+    pub(crate) fn governed_frame(
+        &self,
+        sparql: &str,
+        limits: &QueryLimits,
+    ) -> LidsResult<DataFrame> {
+        let solutions =
+            self.governed_query_limited(sparql, EvalOptions::default(), Some(limits))?;
+        Ok(DataFrame::from_solutions(&solutions))
     }
 
     /// The platform's observability handle: span tracer + metrics registry.
@@ -981,6 +1030,20 @@ impl KgLids {
     }
 }
 
+/// The [`QueryLimits`] to arm for one governed execution: deadline and
+/// budget come from the (already-merged) [`EvalOptions`]; the extra limits
+/// contribute what options cannot carry — the cancellation token, the
+/// fault-injection checkpoint, and the clock.
+fn merged_limits(options: &EvalOptions, extra: Option<&QueryLimits>) -> QueryLimits {
+    let mut limits = options.limits();
+    if let Some(extra) = extra {
+        limits.cancel = extra.cancel.clone();
+        limits.cancel_after_checks = extra.cancel_after_checks;
+        limits.clock = extra.clock.clone();
+    }
+    limits
+}
+
 /// A detached, thread-safe query handle over the LiDS graph.
 ///
 /// Obtained from [`KgLids::reader`]. Each call to [`Self::snapshot`]
@@ -999,6 +1062,16 @@ pub struct LidsReader {
 }
 
 impl LidsReader {
+    /// A reader over a bare [`QuadStore`] (no platform), with its own
+    /// plan cache. For serving a store that is being written by a
+    /// non-platform writer — benches, tests, replication receivers.
+    pub fn for_store(store: &QuadStore) -> LidsReader {
+        LidsReader {
+            store: store.reader(),
+            plan_cache: Arc::new(PlanCache::new()),
+        }
+    }
+
     /// The latest published store snapshot: O(1), no index copy.
     ///
     /// Hold the returned `Arc` to pin a consistent view across several
@@ -1027,12 +1100,70 @@ impl LidsReader {
         sparql: &str,
         options: EvalOptions,
     ) -> LidsResult<DataFrame> {
+        self.query_limited(snapshot, sparql, options, None)
+    }
+
+    /// [`Self::query_at`] with an extra [`QueryLimits`] layered in (the
+    /// server's per-request governance path): options win for
+    /// deadline/budget, the limits contribute the cancellation handle and
+    /// clock that options cannot carry.
+    pub fn query_limited(
+        &self,
+        snapshot: &StoreSnapshot,
+        sparql: &str,
+        options: EvalOptions,
+        extra: Option<&QueryLimits>,
+    ) -> LidsResult<DataFrame> {
+        // typed pre-flight (→ HTTP 400), same as the platform path: an
+        // empty query is a caller mistake, not a platform invariant
+        // violation
+        if sparql.trim().is_empty() {
+            return Err(LidsError::new(
+                ErrorKind::InvalidArgument,
+                "empty SPARQL query (no patterns to evaluate)",
+            ));
+        }
+        let mut effective = options;
+        if let Some(extra) = extra {
+            if effective.deadline.is_none() {
+                effective.deadline = extra.deadline;
+            }
+            if effective.memory_budget.is_none() {
+                effective.memory_budget = extra.memory_budget_bytes;
+            }
+        }
         let prepared = self.plan_cache.prepare(sparql).map_err(LidsError::from)?;
-        let governor = options.limits().arm();
+        let governor = merged_limits(&effective, extra).arm();
         let solutions = prepared
-            .execute_governed(snapshot, options, governor.as_ref(), None)
+            .execute_governed(snapshot, effective, governor.as_ref(), None)
             .map_err(LidsError::from)?;
         Ok(DataFrame::from_solutions(&solutions))
+    }
+
+    /// Evaluate `sparql` against the latest published snapshot with
+    /// per-pattern instrumentation (the reader-side [`KgLids::explain`]).
+    pub fn explain(&self, sparql: &str) -> LidsResult<ExplainReport> {
+        let snapshot = self.store.snapshot();
+        self.explain_at(&snapshot, sparql)
+    }
+
+    /// [`Self::explain`] against a pinned snapshot.
+    pub fn explain_at(
+        &self,
+        snapshot: &StoreSnapshot,
+        sparql: &str,
+    ) -> LidsResult<ExplainReport> {
+        if sparql.trim().is_empty() {
+            return Err(LidsError::new(
+                ErrorKind::InvalidArgument,
+                "empty SPARQL query (no patterns to evaluate)",
+            ));
+        }
+        let parsed = lids_sparql::parse_query(sparql).map_err(LidsError::from)?;
+        let (_, report) =
+            lids_sparql::evaluate_explained(snapshot, &parsed, EvalOptions::default())
+                .map_err(LidsError::from)?;
+        Ok(report)
     }
 
     /// Shared plan-cache counters (hits, misses, parses, compiles).

@@ -73,6 +73,29 @@ impl ErrorKind {
             ErrorKind::ProfileTimeout | ErrorKind::WorkerPanic | ErrorKind::QueryTimeout
         )
     }
+
+    /// The HTTP status a network front end should answer with when a
+    /// request fails with this kind. The split is by *who can fix it*:
+    /// malformed input and out-of-domain arguments are the caller's
+    /// problem (400), resource-governance stops are load conditions the
+    /// caller may retry against (503, typically with `Retry-After`), and
+    /// platform invariant violations are ours (500).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ErrorKind::CsvMalformed
+            | ErrorKind::EncodingError
+            | ErrorKind::JsonMalformed
+            | ErrorKind::EmptyInput
+            | ErrorKind::PyParseError
+            | ErrorKind::SparqlError
+            | ErrorKind::InvalidArgument => 400,
+            ErrorKind::QueryTimeout
+            | ErrorKind::QueryCancelled
+            | ErrorKind::QueryBudgetExceeded
+            | ErrorKind::ProfileTimeout => 503,
+            ErrorKind::WorkerPanic | ErrorKind::Internal => 500,
+        }
+    }
 }
 
 impl std::fmt::Display for ErrorKind {
@@ -172,5 +195,33 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(ErrorKind::CsvMalformed.name(), "CsvMalformed");
         assert_eq!(ErrorKind::WorkerPanic.to_string(), "WorkerPanic");
+    }
+
+    #[test]
+    fn http_status_taxonomy() {
+        // caller-fixable input problems → 400
+        for k in [
+            ErrorKind::CsvMalformed,
+            ErrorKind::EncodingError,
+            ErrorKind::JsonMalformed,
+            ErrorKind::EmptyInput,
+            ErrorKind::PyParseError,
+            ErrorKind::SparqlError,
+            ErrorKind::InvalidArgument,
+        ] {
+            assert_eq!(k.http_status(), 400, "{k}");
+        }
+        // resource-governance stops → 503 (retryable against load)
+        for k in [
+            ErrorKind::QueryTimeout,
+            ErrorKind::QueryCancelled,
+            ErrorKind::QueryBudgetExceeded,
+            ErrorKind::ProfileTimeout,
+        ] {
+            assert_eq!(k.http_status(), 503, "{k}");
+        }
+        // platform bugs → 500
+        assert_eq!(ErrorKind::WorkerPanic.http_status(), 500);
+        assert_eq!(ErrorKind::Internal.http_status(), 500);
     }
 }

@@ -1,0 +1,342 @@
+//! Minimal, bounded HTTP/1.1 framing over `std` streams.
+//!
+//! Just enough of the protocol for a JSON API: request line, headers,
+//! `Content-Length` bodies, keep-alive. Everything is bounded — header
+//! bytes by [`MAX_HEADER_BYTES`], bodies by the server's configured cap —
+//! and every framing failure is a *typed* [`HttpReadError`] so the
+//! connection loop can answer 400 or 413 instead of hanging or dying.
+//!
+//! Reads tolerate `WouldBlock`/`TimedOut` from a socket read timeout: a
+//! timeout **before any request bytes** surfaces as
+//! [`HttpReadError::Idle`] (the keep-alive poll point where the worker
+//! checks the shutdown flag), while a timeout **mid-request** keeps
+//! reading — a slow client is not a dead client.
+
+use std::io::{self, BufRead, ErrorKind, Write};
+
+/// Cap on request-line + header bytes; past it the request is rejected
+/// with 413 before any allocation proportional to attacker input.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    pub method: String,
+    /// Request target (path only; this API uses no query strings).
+    pub target: String,
+    pub body: Vec<u8>,
+    /// False when the client sent `Connection: close`.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpReadError {
+    /// Clean EOF before any request bytes: the peer closed a keep-alive
+    /// connection. Not an error worth answering.
+    Closed,
+    /// Read timeout before any request bytes: the keep-alive poll point.
+    Idle,
+    /// The bytes are not a well-formed HTTP/1.1 request (→ 400).
+    Malformed(String),
+    /// Headers or body exceed their cap (→ 413).
+    TooLarge { what: &'static str, limit: usize },
+    /// Transport failure (connection reset, broken pipe).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for HttpReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpReadError::Closed => write!(f, "connection closed"),
+            HttpReadError::Idle => write!(f, "idle (read timeout before request)"),
+            HttpReadError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpReadError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds {limit} bytes")
+            }
+            HttpReadError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Read one `\r\n`- (or `\n`-) terminated line, retrying read timeouts
+/// once any byte of the request has arrived. `started` reports whether
+/// any request byte was consumed before (for the Idle-vs-retry call).
+fn read_line_bounded(
+    r: &mut impl BufRead,
+    started: bool,
+    budget: &mut usize,
+) -> Result<String, HttpReadError> {
+    let mut line = String::new();
+    loop {
+        match r.read_line(&mut line) {
+            Ok(0) => {
+                return Err(if line.is_empty() && !started {
+                    HttpReadError::Closed
+                } else {
+                    HttpReadError::Malformed("eof mid-request".into())
+                });
+            }
+            Ok(n) => {
+                *budget = budget.checked_sub(n).ok_or(HttpReadError::TooLarge {
+                    what: "headers",
+                    limit: MAX_HEADER_BYTES,
+                })?;
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                return Ok(line);
+            }
+            Err(e) if is_timeout(&e) => {
+                if line.is_empty() && !started {
+                    return Err(HttpReadError::Idle);
+                }
+                // mid-request stall: keep reading (bytes read so far are
+                // already in `line`)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpReadError::Io(e)),
+        }
+    }
+}
+
+/// Read and parse one request. `max_body` bounds the `Content-Length`.
+pub fn read_request(
+    r: &mut impl BufRead,
+    max_body: usize,
+) -> Result<HttpRequest, HttpReadError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let request_line = read_line_bounded(r, false, &mut budget)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpReadError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpReadError::Malformed("request line missing target".into()))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpReadError::Malformed("not an HTTP/1.x request".into())),
+    }
+
+    let mut content_length: usize = 0;
+    let mut keep_alive = true;
+    loop {
+        let line = read_line_bounded(r, true, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpReadError::Malformed(format!("header without colon: {line}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value.parse().map_err(|_| {
+                    HttpReadError::Malformed(format!("bad content-length: {value}"))
+                })?;
+            }
+            "connection" if value.eq_ignore_ascii_case("close") => keep_alive = false,
+            _ => {}
+        }
+    }
+
+    if content_length > max_body {
+        return Err(HttpReadError::TooLarge { what: "body", limit: max_body });
+    }
+    let mut body = vec![0u8; content_length];
+    let mut read = 0;
+    while read < body.len() {
+        match r.read(&mut body[read..]) {
+            Ok(0) => return Err(HttpReadError::Malformed("eof mid-body".into())),
+            Ok(n) => read += n,
+            Err(e) if is_timeout(&e) || e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpReadError::Io(e)),
+        }
+    }
+    Ok(HttpRequest { method, target, body, keep_alive })
+}
+
+/// Standard reason phrase for the statuses this API answers with.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one JSON response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    // one buffer, one write: interacts badly with Nagle + delayed ACK
+    // otherwise (a head write followed by a tiny body write can stall
+    // ~40ms waiting for the peer's ACK)
+    let message = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        status,
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    w.write_all(message.as_bytes())?;
+    w.flush()
+}
+
+/// Parse one response off a client connection: `(status, body)`.
+/// Blocks until the full response arrives (retrying read timeouts);
+/// `keep_alive` reports whether the server will keep the connection.
+pub fn read_response(
+    r: &mut impl BufRead,
+) -> Result<(u16, String, bool), HttpReadError> {
+    let mut budget = MAX_HEADER_BYTES;
+    let status_line = read_line_bounded(r, true, &mut budget)?;
+    let mut parts = status_line.split_whitespace();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpReadError::Malformed("not an HTTP/1.x response".into())),
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpReadError::Malformed("bad status code".into()))?;
+    let mut content_length: usize = 0;
+    let mut keep_alive = true;
+    loop {
+        let line = read_line_bounded(r, true, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    HttpReadError::Malformed(format!("bad content-length: {value}"))
+                })?;
+            } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    let mut read = 0;
+    while read < body.len() {
+        match r.read(&mut body[read..]) {
+            Ok(0) => return Err(HttpReadError::Malformed("eof mid-body".into())),
+            Ok(n) => read += n,
+            Err(e) if is_timeout(&e) || e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpReadError::Io(e)),
+        }
+    }
+    let body = String::from_utf8(body)
+        .map_err(|_| HttpReadError::Malformed("response body not UTF-8".into()))?;
+    Ok((status, body, keep_alive))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<HttpRequest, HttpReadError> {
+        read_request(&mut Cursor::new(text.as_bytes().to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            "POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/query");
+        assert_eq!(req.body, b"body");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn parses_get_without_body_and_connection_close() {
+        let req = parse("GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_requests_are_typed() {
+        assert!(matches!(parse("garbage\r\n\r\n"), Err(HttpReadError::Malformed(_))));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nno-colon-header\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpReadError::Malformed(_))
+        ));
+        // clean EOF before any bytes = peer closed
+        assert!(matches!(parse(""), Err(HttpReadError::Closed)));
+        // EOF mid-request
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(HttpReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let err = parse("POST /x HTTP/1.1\r\nContent-Length: 99999\r\n\r\n").unwrap_err();
+        match err {
+            HttpReadError::TooLarge { what, limit } => {
+                assert_eq!(what, "body");
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected() {
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert!(matches!(
+            parse(&huge),
+            Err(HttpReadError::TooLarge { what: "headers", .. })
+        ));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, "{\"ok\":true}", true).unwrap();
+        let (status, body, keep_alive) =
+            read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+        assert!(keep_alive);
+
+        let mut wire = Vec::new();
+        write_response(&mut wire, 503, "{}", false).unwrap();
+        let (status, _, keep_alive) = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(status, 503);
+        assert!(!keep_alive);
+    }
+}

@@ -44,7 +44,11 @@ fn main() {
         let mut r_sum = 0.0;
         for q in &lake.query_tables {
             let retrieved: Vec<String> = platform
-                .find_unionable_tables(&lake.name, q, k, mode)
+                .discovery()
+                .k(k)
+                .mode(mode)
+                .unionable_tables(&lake.name, q)
+                .expect("in-domain discovery options")
                 .into_iter()
                 .map(|h| h.table)
                 .collect();

@@ -102,7 +102,10 @@ fn main() {
     // --- Search Tables Based on Specific Columns ---
     // (heart AND failure) OR patients
     println!("== search_tables([['heart','failure'], ['patients']]) ==");
-    let tables = platform.search_tables(&[&["heart", "failure"], &["patients"]]);
+    let tables = platform
+        .discovery()
+        .search(&[&["heart", "failure"], &["patients"]])
+        .expect("search query runs");
     println!("{}", tables.to_text());
 
     // --- Discover Unionable Columns ---

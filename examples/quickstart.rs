@@ -95,8 +95,8 @@ print(accuracy_score(y_test, clf.predict(X_test)))
     println!("hyperparameters harvested for RandomForestClassifier:");
     println!("{}", hp.to_text());
 
-    // 6. Keyword table search (§5).
-    let hits = platform.search_tables(&[&["titanic"]]);
+    // 6. Keyword table search (§5) — typed result like every query path.
+    let hits = platform.search_tables(&[&["titanic"]]).expect("search query runs");
     println!("search_tables(titanic):");
     println!("{}", hits.to_text());
 }

@@ -29,6 +29,12 @@ timeout 600 cargo test -q --release --test query_chaos
 # reader spinning on torn state would hang, which the timeout turns into
 # a failure), and the stale-generation plan-cache regression.
 timeout 300 cargo test -q --release --test snapshot_isolation
+# Server end-to-end suite on real ephemeral-port sockets: HTTP answers
+# byte-equal the in-process API, every failure is a typed 4xx/5xx JSON
+# error, shutdown drains, and live-ingest clients see whole batches. A
+# hung connection would hang the suite; the timeout turns it into a
+# failure.
+timeout 300 cargo test -q --release --test server_e2e
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the linking benchmark: both modes complete, edge sets match
@@ -194,10 +200,96 @@ if [ ! -f BENCH_serving.json ]; then
   target/release/serving_bench --smoke >/dev/null
 fi
 
+# Smoke-run the network serving benchmark: client threads drive the HTTP
+# server over real sockets while a writer streams batches; every cell must
+# report a p99 and parity (HTTP rows == in-process == oracle replay, all
+# asserted inside the binary) with zero torn reads over the wire.
+net_out="$(mktemp)"
+timeout 120 target/release/serving_net_bench --smoke --out "$net_out" >/dev/null
+python3 - "$net_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "serving_net", report
+assert report["smoke"] is True, report
+assert report["parity"] is True, report
+assert report["torn_reads"] == 0, report
+assert report["configs"], "no configs measured"
+for cfg in report["configs"]:
+    for field in ("threads", "ops", "qps", "p50_us", "p99_us", "batches_committed"):
+        assert field in cfg, (field, cfg)
+    assert cfg["ops"] > 0, cfg
+    assert cfg["p99_us"] >= cfg["p50_us"], cfg
+    assert cfg["parity"] is True, cfg
+    assert cfg["batches_committed"] > 0, cfg
+print("serving_net_bench smoke report ok (%d cells, parity, 0 torn reads)"
+      % len(report["configs"]))
+EOF
+rm -f "$net_out"
+
+# Refresh the committed network serving report if the full-scale file is
+# missing (full-scale runs overwrite it directly).
+if [ ! -f BENCH_net.json ]; then
+  timeout 120 target/release/serving_net_bench --smoke >/dev/null
+fi
+
+# Validate the committed BENCH_net.json: p99 per cell, parity, 0 torn reads.
+python3 - BENCH_net.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "serving_net", report
+assert report["parity"] is True, report
+assert report["torn_reads"] == 0, report
+for cfg in report["configs"]:
+    assert "p99_us" in cfg and cfg["p99_us"] > 0, cfg
+    assert cfg["parity"] is True, cfg
+print("BENCH_net.json ok (%d cells)" % len(report["configs"]))
+EOF
+
+# Server smoke over a real socket: start the demo server on an ephemeral
+# port under a hard timeout, then drive healthz + one query + metrics from
+# an independent HTTP client (python3 http.client; curl is not in the
+# container). The request counter in /metrics proves the server-side obs
+# registry saw the same requests.
+serve_log="$(mktemp)"
+timeout 90 target/release/lids_serve --duration-ms 30000 >"$serve_log" 2>/dev/null &
+serve_pid=$!
+addr=""
+for _ in $(seq 100); do
+  addr="$(sed -n 's/^lids-server listening on //p' "$serve_log" | head -1)"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "error: lids_serve never reported its address" >&2; exit 1; }
+python3 - "$addr" <<'EOF'
+import json, sys, http.client
+conn = http.client.HTTPConnection(sys.argv[1], timeout=15)
+conn.request("GET", "/healthz")
+r = conn.getresponse(); health = json.loads(r.read())
+assert r.status == 200 and health["status"] == "ok", health
+assert health["api"] == "lids-api/v1" and health["triples"] > 0, health
+body = json.dumps({"query":
+    "PREFIX k: <http://kglids.org/ontology/> SELECT ?t WHERE { ?t a k:Table . }"})
+conn.request("POST", "/v1/query", body, {"Content-Type": "application/json"})
+r = conn.getresponse(); q = json.loads(r.read())
+assert r.status == 200 and q["api"] == "lids-api/v1", q
+assert len(q["rows"]) > 0 and q["generation"] > 0, q
+conn.request("GET", "/metrics")
+r = conn.getresponse(); m = json.loads(r.read())
+assert r.status == 200 and m["schema"] == "lids-obs/v1", m
+assert m["metrics"]["counters"]["server.requests"] >= 2, m["metrics"]["counters"]
+print("server socket smoke ok (%d triples, %d rows)"
+      % (health["triples"], len(q["rows"])))
+EOF
+kill "$serve_pid" 2>/dev/null || true
+wait "$serve_pid" 2>/dev/null || true
+rm -f "$serve_log"
+
 # The ingestion-path and query-path crates deny unwrap/expect outside tests;
 # make sure the crate-root opt-ins are still in place so clippy keeps
 # enforcing it.
-for crate in exec profiler pyast core sparql rdf; do
+for crate in exec profiler pyast core sparql rdf server; do
   lib="crates/${crate}/src/lib.rs"
   if ! grep -q "deny(clippy::unwrap_used" "$lib"; then
     echo "error: ${lib} dropped the unwrap_used/expect_used deny opt-in" >&2

@@ -29,7 +29,11 @@ fn union_search_beats_chance_on_generated_lake() {
     let mut recall_sum = 0.0;
     for q in &lake.query_tables {
         let retrieved: Vec<String> = platform
-            .find_unionable_tables(&lake.name, q, k, UnionMode::ContentAndLabel)
+            .discovery()
+            .k(k)
+            .mode(UnionMode::ContentAndLabel)
+            .unionable_tables(&lake.name, q)
+            .unwrap()
             .into_iter()
             .map(|h| h.table)
             .collect();

@@ -25,8 +25,11 @@ use proptest::prelude::*;
 
 const SEED: u64 = 41;
 /// Wall-clock ceiling per adversarial query: guardrail deadline (250ms)
-/// plus generous slack for checkpoint granularity and CI jitter.
-const HARD_WALL: Duration = Duration::from_secs(10);
+/// plus generous slack for checkpoint granularity and CI jitter. This
+/// guards against *hangs*, not latency — on a loaded 1-core container
+/// the worst adversarial shape has been observed needing >10s of wall
+/// time to reach its next checkpoint, so the ceiling is generous.
+const HARD_WALL: Duration = Duration::from_secs(60);
 
 fn governed_platform() -> KgLids {
     let lake = LakeSpec::tus_small().scaled(0.15).generate();

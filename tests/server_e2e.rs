@@ -1,0 +1,396 @@
+//! End-to-end tests for `lids-server`: a real socket on an ephemeral
+//! port, the typed blocking client, and the platform underneath.
+//!
+//! The contract under test, per endpoint family:
+//! - answers over HTTP are *identical* to the in-process API on the same
+//!   store (parity);
+//! - every failure is a typed JSON error with the platform's own
+//!   `ErrorKind` name and the right 4xx/5xx status — malformed bytes,
+//!   oversized bodies, bad SPARQL, and mid-shutdown requests never hang
+//!   a connection;
+//! - under a live writer, clients observe whole ingest batches or
+//!   nothing (snapshot isolation over the wire).
+
+use kglids::{KgLids, KgLidsBuilder};
+use lids_profiler::table::{Column, Dataset, Table};
+use lids_rdf::{Quad, QuadStore, Term};
+use lids_server::{
+    Backend, Client, ClientError, LidsServer, PathsRequest, SearchRequest, ServerConfig,
+    TableHitsRequest, API_VERSION,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Three tables: patients/people share `age`, people/trips share `city`
+/// — the same shape the in-process discovery tests use, so the HTTP
+/// answers can be checked against known structure.
+fn platform() -> Arc<KgLids> {
+    let ages: Vec<String> = (20..60).map(|i| i.to_string()).collect();
+    let cities: Vec<String> = (0..40)
+        .map(|i| ["London", "Paris", "Tokyo", "Cairo"][i % 4].to_string())
+        .collect();
+    let salaries: Vec<String> = (0..40).map(|i| (30_000 + i * 500).to_string()).collect();
+    let ds = |name: &str, table: &str, cols: Vec<Column>| {
+        Dataset::new(name, vec![Table::new(table, cols)])
+    };
+    Arc::new(
+        KgLidsBuilder::new()
+            .with_datasets([
+                ds(
+                    "health",
+                    "patients",
+                    vec![Column::new("age", ages.clone()), Column::new("salary", salaries)],
+                ),
+                ds(
+                    "census",
+                    "people",
+                    vec![Column::new("age", ages), Column::new("city", cities.clone())],
+                ),
+                ds("travel", "trips", vec![Column::new("city", cities)]),
+            ])
+            .bootstrap()
+            .0,
+    )
+}
+
+fn start(platform: &Arc<KgLids>) -> LidsServer {
+    LidsServer::start(
+        Backend::Platform(Arc::clone(platform)),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("server binds an ephemeral port")
+}
+
+const TABLES_QUERY: &str = "PREFIX k: <http://kglids.org/ontology/> \
+    SELECT ?t ?c WHERE { ?t a k:Table . ?t k:hasColumn ?c . }";
+
+fn sorted(mut rows: Vec<Vec<String>>) -> Vec<Vec<String>> {
+    rows.sort();
+    rows
+}
+
+#[test]
+fn query_over_http_matches_in_process() {
+    let p = platform();
+    let server = start(&p);
+    let mut client = Client::connect(server.addr().to_string());
+
+    let wire = client.query(TABLES_QUERY, None).expect("query over http");
+    let local = p.query(TABLES_QUERY).expect("query in process");
+    assert_eq!(wire.api, API_VERSION);
+    assert!(wire.request_id.starts_with("req-"));
+    let df = wire.to_dataframe();
+    assert_eq!(df.columns, local.columns);
+    assert_eq!(sorted(df.rows), sorted(local.rows), "wire rows must be byte-equal");
+    assert!(!wire.truncated);
+    assert!(wire.generation > 0);
+
+    // explain rides the same socket and reports the same result size
+    let explain = client.explain(TABLES_QUERY).expect("explain over http");
+    assert_eq!(explain.rows as usize, wire.rows.len());
+    assert!(!explain.patterns.is_empty());
+}
+
+#[test]
+fn discovery_over_http_matches_in_process() {
+    let p = platform();
+    let server = start(&p);
+    let mut client = Client::connect(server.addr().to_string());
+
+    // unionable tables
+    let wire = client
+        .unionable_tables(&TableHitsRequest {
+            dataset: "health".into(),
+            table: "patients".into(),
+            k: Some(5),
+            ..TableHitsRequest::default()
+        })
+        .expect("unionable over http");
+    let local = p.discovery().k(5).unionable_tables("health", "patients").expect("in process");
+    assert_eq!(wire.hits.len(), local.len());
+    for (w, l) in wire.hits.iter().zip(&local) {
+        assert_eq!((w.dataset.as_str(), w.table.as_str()), (l.dataset.as_str(), l.table.as_str()));
+        assert!((w.score - l.score).abs() < 1e-12);
+    }
+    assert_eq!(wire.hits[0].table, "people");
+
+    // join paths, plain and shortest
+    let req = PathsRequest {
+        from_dataset: "health".into(),
+        from_table: "patients".into(),
+        to_dataset: "travel".into(),
+        to_table: "trips".into(),
+        hops: Some(2),
+        ..PathsRequest::default()
+    };
+    let wire_paths = client.paths(&req).expect("paths over http");
+    let local_paths = p
+        .discovery()
+        .hops(2)
+        .paths(("health", "patients"), ("travel", "trips"))
+        .expect("in process");
+    assert_eq!(
+        wire_paths.paths.iter().map(|p| p.tables.clone()).collect::<Vec<_>>(),
+        local_paths.iter().map(|p| p.tables.clone()).collect::<Vec<_>>()
+    );
+    let shortest = client
+        .paths(&PathsRequest { shortest: Some(true), ..req })
+        .expect("shortest over http");
+    assert_eq!(shortest.paths.len(), 1);
+    assert_eq!(shortest.paths[0].tables, vec!["patients", "people", "trips"]);
+
+    // keyword search answers the DataFrame shape
+    let search = client
+        .search(&SearchRequest {
+            conditions: vec![vec!["age".into(), "city".into()], vec!["travel".into()]],
+            limits: None,
+        })
+        .expect("search over http");
+    let local = p
+        .discovery()
+        .search(&[&["age", "city"], &["travel"]])
+        .expect("in process search");
+    assert_eq!(sorted(search.to_dataframe().rows), sorted(local.rows));
+}
+
+#[test]
+fn health_and_metrics_report_the_server() {
+    let p = platform();
+    let server = start(&p);
+    let mut client = Client::connect(server.addr().to_string());
+
+    let health = client.healthz().expect("healthz");
+    assert_eq!(health.status, "ok");
+    assert!(health.triples > 0);
+    assert_eq!(health.generation, p.store().generation());
+
+    client.query(TABLES_QUERY, None).expect("query");
+    let metrics = client.metrics_json().expect("metrics");
+    let v: serde_json::Value = serde_json::from_str(&metrics).expect("metrics is JSON");
+    fn field<'a>(v: &'a serde_json::Value, key: &str) -> &'a serde_json::Value {
+        match v {
+            serde_json::Value::Object(m) => {
+                m.get(key).unwrap_or_else(|| panic!("missing field `{key}`"))
+            }
+            other => panic!("expected object at `{key}`, got {other:?}"),
+        }
+    }
+    fn as_i64(v: &serde_json::Value) -> i64 {
+        match v {
+            serde_json::Value::Number(n) => n.as_i64().expect("integral number"),
+            other => panic!("not a number: {other:?}"),
+        }
+    }
+    assert_eq!(field(&v, "schema"), &serde_json::Value::String("lids-obs/v1".into()));
+    let counters = field(field(&v, "metrics"), "counters");
+    assert!(
+        as_i64(field(counters, "server.requests")) >= 2,
+        "healthz + query must be counted: {counters:?}"
+    );
+    let latency = field(
+        field(field(&v, "metrics"), "histograms"),
+        "server.latency_us.query",
+    );
+    assert!(as_i64(field(latency, "count")) >= 1, "query latency histogram missing");
+}
+
+/// Satellite regression: error taxonomy over the wire. Bad requests are
+/// 400s with the platform's `ErrorKind` name — including the empty-query
+/// case, which used to panic deep in the platform as an internal error.
+#[test]
+fn typed_errors_over_the_wire() {
+    let p = platform();
+    let server = start(&p);
+    let mut client = Client::connect(server.addr().to_string());
+
+    // malformed JSON body → 400 JsonMalformed
+    let (status, body) = client
+        .request_raw("POST", "/v1/query", "{not json")
+        .expect("request completes");
+    assert_eq!(status, 400);
+    assert!(body.contains("JsonMalformed"), "{body}");
+
+    // schema-violating body (no `query` field) → 400 JsonMalformed
+    let (status, body) = client.request_raw("POST", "/v1/query", "{}").expect("completes");
+    assert_eq!(status, 400);
+    assert!(body.contains("JsonMalformed"), "{body}");
+
+    // unparseable SPARQL → 400 SparqlError
+    match client.query("SELEKT nonsense", None) {
+        Err(ClientError::Api(e)) => {
+            assert_eq!(e.status, 400);
+            assert_eq!(e.error, "SparqlError");
+        }
+        other => panic!("expected typed API error, got {other:?}"),
+    }
+
+    // empty SPARQL → 400 InvalidArgument (not a 500): the regression
+    match client.query("   ", None) {
+        Err(ClientError::Api(e)) => {
+            assert_eq!(e.status, 400, "empty query must be a client error: {e:?}");
+            assert_eq!(e.error, "InvalidArgument");
+        }
+        other => panic!("expected typed API error, got {other:?}"),
+    }
+
+    // out-of-domain discovery options → 400 InvalidArgument
+    match client.unionable_tables(&TableHitsRequest {
+        dataset: "health".into(),
+        table: "patients".into(),
+        mode: Some("psychic".into()),
+        ..TableHitsRequest::default()
+    }) {
+        Err(ClientError::Api(e)) => {
+            assert_eq!(e.status, 400);
+            assert_eq!(e.error, "InvalidArgument");
+        }
+        other => panic!("expected typed API error, got {other:?}"),
+    }
+
+    // impossible deadline → 503 QueryTimeout (governance, not failure)
+    match client.query(
+        TABLES_QUERY,
+        Some(lids_server::WireLimits { deadline_ms: Some(0), ..Default::default() }),
+    ) {
+        Err(ClientError::Api(e)) => {
+            assert_eq!(e.status, 503);
+            assert_eq!(e.error, "QueryTimeout");
+        }
+        other => panic!("expected typed API error, got {other:?}"),
+    }
+
+    // unknown route → 404 NotFound
+    let (status, body) = client.request_raw("POST", "/v1/nope", "{}").expect("completes");
+    assert_eq!(status, 404);
+    assert!(body.contains("NotFound"), "{body}");
+
+    // the connection survived every typed error above
+    client.healthz().expect("keep-alive connection still healthy");
+}
+
+#[test]
+fn oversized_and_malformed_requests_close_without_hanging() {
+    let p = platform();
+    let server = LidsServer::start(
+        Backend::Platform(Arc::clone(&p)),
+        "127.0.0.1:0",
+        ServerConfig { max_body_bytes: 512, ..ServerConfig::default() },
+    )
+    .expect("server binds");
+    let addr = server.addr().to_string();
+
+    // a body over the cap → 413, connection closed by the server
+    let mut client = Client::connect(addr.clone());
+    let big = format!("{{\"query\": \"{}\"}}", "x".repeat(2048));
+    let (status, body) = client.request_raw("POST", "/v1/query", &big).expect("413 answered");
+    assert_eq!(status, 413);
+    assert!(body.contains("PayloadTooLarge"), "{body}");
+
+    // raw garbage that is not HTTP → 400, then the server closes; the
+    // whole exchange must finish quickly rather than hang
+    use std::io::{BufReader, Write};
+    let start = Instant::now();
+    let mut raw = std::net::TcpStream::connect(&addr).expect("connect");
+    raw.write_all(b"this is not http\r\n\r\n").expect("write");
+    let mut reader = BufReader::new(raw);
+    let (status, body, keep_alive) =
+        lids_server::http::read_response(&mut reader).expect("400 answered");
+    assert_eq!(status, 400);
+    assert!(body.contains("Malformed"), "{body}");
+    assert!(!keep_alive, "framing errors must close the connection");
+    assert!(start.elapsed() < Duration::from_secs(5), "malformed request hung");
+}
+
+#[test]
+fn shutdown_drains_and_refuses_new_connections() {
+    let p = platform();
+    let server = start(&p);
+    let addr = server.addr().to_string();
+
+    let mut client = Client::connect(addr.clone());
+    client.query(TABLES_QUERY, None).expect("pre-shutdown query");
+
+    let start = Instant::now();
+    server.shutdown();
+    assert!(start.elapsed() < Duration::from_secs(10), "shutdown must not hang");
+
+    // new work is refused once the server is gone — as a fast error,
+    // never a hang
+    let mut late = Client::connect(addr);
+    match late.query(TABLES_QUERY, None) {
+        Err(ClientError::Io(_)) | Err(ClientError::Protocol(_)) => {}
+        Ok(_) => panic!("query succeeded after shutdown"),
+        Err(ClientError::Api(e)) => panic!("unexpected typed answer after shutdown: {e:?}"),
+    }
+}
+
+/// Snapshot isolation over the wire: while a writer commits fixed-size
+/// batches, every HTTP response must reflect a whole number of batches —
+/// and per connection, generations and results only move forward.
+#[test]
+fn concurrent_clients_observe_whole_batches_during_ingest() {
+    const BATCH: usize = 5;
+    const BATCHES: usize = 12;
+    const BASE: usize = 8;
+
+    let pred = || Term::iri("http://x/p");
+    let mut store = QuadStore::new();
+    store.extend((0..BASE).map(|i| {
+        Quad::new(Term::iri(format!("http://x/base{i}")), pred(), Term::integer(i as i64))
+    }));
+    let reader = kglids::LidsReader::for_store(&store);
+    let server = LidsServer::start(
+        Backend::Reader(reader),
+        "127.0.0.1:0",
+        ServerConfig { workers: 2, ..ServerConfig::default() },
+    )
+    .expect("server binds");
+    let addr = server.addr().to_string();
+
+    let query = "SELECT ?s ?o WHERE { ?s <http://x/p> ?o }";
+    std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..2)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut last_rows = 0usize;
+                    let mut last_gen = 0u64;
+                    loop {
+                        let resp = client.query(query, None).expect("query during ingest");
+                        let rows = resp.rows.len();
+                        assert!(
+                            rows >= BASE && (rows - BASE).is_multiple_of(BATCH),
+                            "torn read: {rows} rows is not base + whole batches"
+                        );
+                        assert!(rows >= last_rows, "result set went backwards");
+                        assert!(resp.generation >= last_gen, "generation went backwards");
+                        last_rows = rows;
+                        last_gen = resp.generation;
+                        if rows == BASE + BATCHES * BATCH {
+                            return;
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // one extend() call per batch = one atomic publish per batch
+        for b in 0..BATCHES {
+            store.extend((0..BATCH).map(|i| {
+                Quad::new(
+                    Term::iri(format!("http://x/b{b}c{i}")),
+                    pred(),
+                    Term::integer((1000 + b * BATCH + i) as i64),
+                )
+            }));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        for c in clients {
+            c.join().expect("client thread");
+        }
+    });
+    server.shutdown();
+}
