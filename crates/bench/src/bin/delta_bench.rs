@@ -1,0 +1,175 @@
+//! `delta_bench` — incremental-maintenance benchmark: one-dataset delta
+//! into an already-bootstrapped lake vs a from-scratch full rebuild, and
+//! batch retraction back to the never-ingested baseline. The speedup is
+//! only meaningful because the outputs are *identical* — the delta'd
+//! store is compared quad-for-quad against the full rebuild, and the
+//! retracted store against the pre-delta baseline. Results land in
+//! `BENCH_delta.json`.
+//!
+//! Usage: `delta_bench [--columns N] [--out PATH] [--smoke]`
+//!
+//! `--smoke` shrinks the lake for CI: it checks the harness end to end
+//! (delta applied, stores identical, retraction clean, JSON well-formed)
+//! without the multi-second full passes.
+
+use std::time::Instant;
+
+use kglids::{DeltaBatch, KgLids, KgLidsBuilder};
+use lids_datagen::{synthetic_profiles, ProfileLakeSpec};
+use serde_json::{Map, Number, Value};
+
+fn num(v: f64) -> Value {
+    Value::Number(Number::F64(v))
+}
+
+fn unum(v: usize) -> Value {
+    Value::Number(Number::U64(v as u64))
+}
+
+struct Args {
+    columns: usize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { columns: 24_000, out: "BENCH_delta.json".into(), smoke: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--columns" => {
+                args.columns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--columns needs a number"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+            }
+            "--smoke" => args.smoke = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if args.smoke {
+        args.columns = args.columns.min(900);
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("delta_bench: {msg}");
+    std::process::exit(2);
+}
+
+/// Sorted decoded quad strings — the dictionary-independent fingerprint.
+fn dump(platform: &KgLids) -> Vec<String> {
+    let mut quads: Vec<String> = platform.store().iter().map(|q| q.to_string()).collect();
+    quads.sort();
+    quads
+}
+
+fn main() {
+    let args = parse_args();
+    // same lake shape as `linking_schema`: one dominant fine-grained-type
+    // bucket plus smaller ones, tight embedding clusters among
+    // near-orthogonal ones — the worst case for incremental linking,
+    // since the delta's columns must be scored against the big bucket
+    let columns_per_table = 6;
+    let spec = ProfileLakeSpec {
+        seed: 2024,
+        tables: args.columns / columns_per_table,
+        columns_per_table,
+        tables_per_dataset: 4,
+        embedding_dim: 300,
+        clusters: (args.columns / 8).max(1),
+        noise: 0.02,
+        dominant_share: 0.85,
+    };
+    eprintln!("generating {} columns…", args.columns);
+    let profiles = synthetic_profiles(&spec);
+    let delta_dataset = profiles
+        .last()
+        .map(|p| p.meta.dataset.clone())
+        .unwrap_or_else(|| die("empty lake"));
+    let (base, delta): (Vec<_>, Vec<_>) =
+        profiles.iter().cloned().partition(|p| p.meta.dataset != delta_dataset);
+    eprintln!(
+        "lake: {} base columns + {} delta columns in dataset {delta_dataset}",
+        base.len(),
+        delta.len()
+    );
+
+    // full rebuild: bootstrap the entire lake from scratch — what a
+    // non-incremental platform pays for every new dataset
+    eprintln!("full rebuild…");
+    let t = Instant::now();
+    let (full, full_stats) =
+        KgLidsBuilder::new().with_custom_profiles(profiles.clone()).bootstrap();
+    let full_rebuild_secs = t.elapsed().as_secs_f64();
+    eprintln!("  {full_rebuild_secs:.3}s, {} quads", full.store().len());
+
+    // incremental: bootstrap the base lake once, then pay only for the
+    // one new dataset
+    eprintln!("base bootstrap…");
+    let (mut platform, _) = KgLidsBuilder::new().with_custom_profiles(base).bootstrap();
+    let baseline = dump(&platform);
+
+    eprintln!("delta ingest…");
+    let t = Instant::now();
+    let delta_stats =
+        platform.apply_delta(DeltaBatch::new().add_profiles(delta.clone()));
+    let delta_secs = t.elapsed().as_secs_f64();
+    let identical = dump(&platform) == dump(&full);
+    eprintln!(
+        "  {delta_secs:.3}s, {} candidates, {} label + {} content edges, identical={identical}",
+        delta_stats.relink_candidates, delta_stats.label_edges, delta_stats.content_edges
+    );
+
+    // retraction: remove the dataset again — the store must return to the
+    // never-ingested baseline
+    eprintln!("retraction…");
+    let t = Instant::now();
+    let retract_stats =
+        platform.apply_delta(DeltaBatch::new().remove_dataset(&delta_dataset));
+    let retraction_secs = t.elapsed().as_secs_f64();
+    let retraction_identical = dump(&platform) == baseline;
+    let retraction_throughput =
+        retract_stats.quads_retracted as f64 / retraction_secs.max(1e-9);
+    eprintln!(
+        "  {retraction_secs:.3}s, {} quads retracted ({retraction_throughput:.0}/s), identical={retraction_identical}",
+        retract_stats.quads_retracted
+    );
+
+    // identical output is the contract — a fast wrong answer is worthless
+    assert!(identical, "delta'd store diverged from full rebuild");
+    assert!(retraction_identical, "retracted store diverged from baseline");
+
+    let speedup = full_rebuild_secs / delta_secs.max(1e-9);
+    let mut retraction = Map::new();
+    retraction.insert("secs".into(), num(retraction_secs));
+    retraction.insert("quads_retracted".into(), unum(retract_stats.quads_retracted));
+    retraction.insert("throughput_quads_per_sec".into(), num(retraction_throughput));
+    retraction.insert("identical".into(), Value::Bool(retraction_identical));
+
+    let mut report = Map::new();
+    report.insert("bench".into(), Value::String("delta_bench".into()));
+    report.insert("columns".into(), unum(profiles.len()));
+    report.insert("delta_columns".into(), unum(delta.len()));
+    report.insert("smoke".into(), Value::Bool(args.smoke));
+    report.insert("full_rebuild_secs".into(), num(full_rebuild_secs));
+    report.insert("full_quads".into(), unum(full.store().len()));
+    report.insert(
+        "full_content_edges".into(),
+        unum(full_stats.schema.map(|s| s.content_edges).unwrap_or(0)),
+    );
+    report.insert("delta_secs".into(), num(delta_secs));
+    report.insert("delta_speedup".into(), num(speedup));
+    report.insert("identical".into(), Value::Bool(identical));
+    report.insert("relink_candidates".into(), unum(delta_stats.relink_candidates));
+    report.insert("retraction".into(), Value::Object(retraction));
+    let rendered = Value::Object(report).to_string();
+    std::fs::write(&args.out, &rendered)
+        .unwrap_or_else(|e| die(&format!("write {}: {e}", args.out)));
+    println!("{rendered}");
+    eprintln!("delta speedup: {speedup:.1}x → {}", args.out);
+}

@@ -39,8 +39,9 @@ pub use lids_exec::{CancelToken, ErrorKind, LidsError, LidsResult, QueryLimits};
 pub use lids_kg::{LinkingConfig, LinkingMode};
 pub use lids_obs::{Obs, ObsSnapshot};
 pub use lids_sparql::{EvalOptions, ExplainReport};
+pub use maintenance::IncrementStats;
 pub use platform::{
-    BootstrapStats, IngestOptions, KgLids, KgLidsBuilder, LidsReader, PipelineScript,
-    QueryGuardrails, SchemaStatsLite,
+    BootstrapStats, DeltaBatch, DeltaStats, IngestOptions, KgLids, KgLidsBuilder, LidsReader,
+    PipelineScript, QueryGuardrails, SchemaStatsLite,
 };
 pub use report::{ArtifactKind, BootstrapReport, QuarantineEntry};

@@ -2,23 +2,18 @@
 //! more datasets and pipelines are added, KGLiDS continuously and
 //! incrementally maintains our KG."
 //!
-//! [`KgLids::add_dataset`] profiles only the new tables and compares their
-//! columns against the existing profiles (new×old plus new×new pairs — not
-//! a full rebuild); [`KgLids::add_pipeline`] abstracts and links one script
-//! against the current data global schema. Materialised similarity edges
-//! keep their prediction scores, so downstream queries need no re-runs.
+//! [`KgLids::add_dataset`] and [`KgLids::add_pipeline`] are convenience
+//! wrappers over [`KgLids::apply_delta`] — the single incremental path.
+//! New columns link against the persisted [`lids_kg::LinkIndex`] (the
+//! bootstrap pass's own structures, kept alive), so an incremental
+//! addition produces *exactly* the graph a from-scratch bootstrap of the
+//! enlarged lake would, including the full metadata/statistics subgraph.
 
-use lids_embed::{table_embedding, ColrModels, FineGrainedType, WordEmbeddings};
-use lids_exec::parallel_map;
-use lids_kg::abstraction::{AbstractionStats, PipelineMetadata};
-use lids_kg::linker::{link_pipelines, LinkStats};
-use lids_kg::ontology::{class, data_prop, object_prop, res, RDFS_LABEL, RDF_TYPE};
+use lids_kg::abstraction::PipelineMetadata;
+use lids_kg::linker::LinkStats;
 use lids_profiler::table::Dataset;
-use lids_profiler::{profile_table, ColumnProfile};
-use lids_rdf::{Quad, Term};
-use lids_vector::{cosine_similarity, VectorIndex};
 
-use crate::platform::KgLids;
+use crate::platform::{DeltaBatch, KgLids, PipelineScript};
 
 /// What an incremental dataset addition did.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -30,258 +25,36 @@ pub struct IncrementStats {
 }
 
 impl KgLids {
-    /// Incrementally add a dataset: profile its tables, extend the data
-    /// global schema (comparing only new×existing and new×new column
-    /// pairs), and refresh the embedding store.
+    /// Incrementally add a dataset: profile its tables, link its columns
+    /// against the persisted index (new×existing and new×new pairs only),
+    /// and refresh the embedding store. Sugar for a one-dataset
+    /// [`KgLids::apply_delta`].
     pub fn add_dataset(&mut self, dataset: &Dataset) -> IncrementStats {
-        let models = ColrModels::pretrained();
-        let we = WordEmbeddings::new();
-        let mut stats = IncrementStats::default();
-
-        // ---- profile the new tables ----
-        let mut new_profiles: Vec<ColumnProfile> = Vec::new();
-        for table in &dataset.tables {
-            new_profiles.extend(profile_table(
-                &dataset.name,
-                table,
-                models,
-                &we,
-                &self.profiler_config,
-                Some(&self.meter),
-            ));
+        let delta = self.apply_delta(DeltaBatch::new().add_dataset(dataset.clone()));
+        IncrementStats {
+            columns_added: delta.columns_profiled,
+            pairs_compared: delta.relink_candidates,
+            label_edges: delta.label_edges,
+            content_edges: delta.content_edges,
         }
-        stats.columns_added = new_profiles.len();
-
-        // ---- metadata subgraph for the new entities ----
-        let d_iri = res::dataset(&dataset.name);
-        self.store.insert(&Quad::new(
-            Term::iri(d_iri.clone()),
-            Term::iri(RDF_TYPE),
-            Term::iri(class::iri(class::DATASET)),
-        ));
-        self.store.insert(&Quad::new(
-            Term::iri(d_iri.clone()),
-            Term::iri(RDFS_LABEL),
-            Term::string(dataset.name.clone()),
-        ));
-        let mut seen_tables: std::collections::HashSet<String> = Default::default();
-        for p in &new_profiles {
-            let t_iri = res::table(&p.meta.dataset, &p.meta.table);
-            if seen_tables.insert(t_iri.clone()) {
-                for (pred, obj) in [
-                    (RDF_TYPE.to_string(), Term::iri(class::iri(class::TABLE))),
-                    (RDFS_LABEL.to_string(), Term::string(p.meta.table.clone())),
-                    (
-                        object_prop::iri(object_prop::IS_PART_OF),
-                        Term::iri(d_iri.clone()),
-                    ),
-                ] {
-                    self.store.insert(&Quad::new(
-                        Term::iri(t_iri.clone()),
-                        Term::iri(pred),
-                        obj,
-                    ));
-                }
-                self.store.insert(&Quad::new(
-                    Term::iri(d_iri.clone()),
-                    Term::iri(object_prop::iri(object_prop::HAS_TABLE)),
-                    Term::iri(t_iri.clone()),
-                ));
-            }
-            let c_iri = res::column(&p.meta.dataset, &p.meta.table, &p.meta.column);
-            for (pred, obj) in [
-                (RDF_TYPE.to_string(), Term::iri(class::iri(class::COLUMN))),
-                (RDFS_LABEL.to_string(), Term::string(p.meta.column.clone())),
-                (
-                    object_prop::iri(object_prop::IS_PART_OF),
-                    Term::iri(t_iri.clone()),
-                ),
-                (
-                    data_prop::iri(data_prop::HAS_DATA_TYPE),
-                    Term::string(p.fgt.label()),
-                ),
-                (
-                    data_prop::iri(data_prop::HAS_TOTAL_VALUE_COUNT),
-                    Term::integer(p.stats.count as i64),
-                ),
-                (
-                    data_prop::iri(data_prop::HAS_MISSING_VALUE_COUNT),
-                    Term::integer(p.stats.nulls as i64),
-                ),
-            ] {
-                self.store.insert(&Quad::new(
-                    Term::iri(c_iri.clone()),
-                    Term::iri(pred),
-                    obj,
-                ));
-            }
-            self.store.insert(&Quad::new(
-                Term::iri(t_iri),
-                Term::iri(object_prop::iri(object_prop::HAS_COLUMN)),
-                Term::iri(c_iri),
-            ));
-        }
-
-        // ---- incremental similarity: new×(existing ∪ new), same type,
-        // different table ----
-        let existing = self.profiles.len();
-        let all: Vec<&ColumnProfile> =
-            self.profiles.iter().chain(new_profiles.iter()).collect();
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
-        for (offset, a) in new_profiles.iter().enumerate() {
-            let i = existing + offset;
-            for (j, b) in all.iter().enumerate() {
-                if j >= i {
-                    break;
-                }
-                if a.fgt != b.fgt {
-                    continue;
-                }
-                if a.meta.dataset == b.meta.dataset && a.meta.table == b.meta.table {
-                    continue;
-                }
-                pairs.push((i, j));
-            }
-        }
-        stats.pairs_compared = pairs.len();
-
-        struct Edge {
-            a: String,
-            b: String,
-            predicate: &'static str,
-            score: f64,
-        }
-        let alpha = self.schema_config.alpha;
-        let beta = self.schema_config.beta;
-        let theta = self.schema_config.theta;
-        let edges: Vec<Vec<Edge>> = parallel_map(&pairs, |&(i, j)| {
-            let (a, b) = (all[i], all[j]);
-            let a_iri = res::column(&a.meta.dataset, &a.meta.table, &a.meta.column);
-            let b_iri = res::column(&b.meta.dataset, &b.meta.table, &b.meta.column);
-            let mut out = Vec::new();
-            let label_sim = lids_embed::label_similarity(&we, &a.meta.column, &b.meta.column);
-            if label_sim >= alpha {
-                out.push(Edge {
-                    a: a_iri.clone(),
-                    b: b_iri.clone(),
-                    predicate: object_prop::HAS_LABEL_SIMILARITY,
-                    score: label_sim as f64,
-                });
-            }
-            if a.fgt == FineGrainedType::Boolean {
-                if let (Some(ta), Some(tb)) = (a.stats.true_ratio, b.stats.true_ratio) {
-                    let sim = 1.0 - (ta - tb).abs();
-                    if sim >= beta {
-                        out.push(Edge {
-                            a: a_iri,
-                            b: b_iri,
-                            predicate: object_prop::HAS_CONTENT_SIMILARITY,
-                            score: sim,
-                        });
-                    }
-                }
-            } else if !a.embedding.is_empty() && !b.embedding.is_empty() {
-                let sim = cosine_similarity(&a.embedding, &b.embedding);
-                if sim >= theta {
-                    out.push(Edge {
-                        a: a_iri,
-                        b: b_iri,
-                        predicate: object_prop::HAS_CONTENT_SIMILARITY,
-                        score: sim as f64,
-                    });
-                }
-            }
-            out
-        });
-        for edge in edges.into_iter().flatten() {
-            // shared symmetric RDF-star emission with the bulk schema pass
-            lids_kg::insert_similarity_edge(
-                &mut self.store,
-                &edge.a,
-                &edge.b,
-                edge.predicate,
-                edge.score,
-            );
-            match edge.predicate {
-                object_prop::HAS_LABEL_SIMILARITY => stats.label_edges += 1,
-                _ => stats.content_edges += 1,
-            }
-        }
-
-        // ---- embedding store + table/dataset embeddings ----
-        for p in new_profiles {
-            if !p.embedding.is_empty() {
-                self.column_index.add(self.profiles.len() as u64, &p.embedding);
-            }
-            self.profiles.push(p);
-        }
-        self.refresh_embeddings_for(&dataset.name);
-        stats
     }
 
     /// Incrementally abstract and link one pipeline script. Returns `None`
-    /// when the script fails to parse.
+    /// when the script fails to parse — the script is then quarantined
+    /// (typed error in [`KgLids::quarantine_report`], provenance quad in
+    /// the quarantine graph) rather than silently dropped.
     pub fn add_pipeline(
         &mut self,
         metadata: &PipelineMetadata,
         source: &str,
     ) -> Option<LinkStats> {
-        let mut ab_stats = AbstractionStats::default();
-        lids_kg::abstraction::abstract_pipeline(
-            &mut self.store,
-            &mut ab_stats,
-            &self.docs,
-            metadata,
-            source,
-        )
-        .ok()?;
-        // linking is idempotent: only the fresh predictions remain
-        Some(link_pipelines(&mut self.store))
-    }
-
-    /// Recompute table/dataset embeddings for one dataset from the profile
-    /// registry (called after incremental additions).
-    fn refresh_embeddings_for(&mut self, dataset: &str) {
-        let mut by_table: std::collections::HashMap<String, Vec<(FineGrainedType, Vec<f32>, bool)>> =
-            Default::default();
-        for p in self.profiles.iter().filter(|p| p.meta.dataset == dataset) {
-            if !p.embedding.is_empty() {
-                by_table.entry(p.meta.table.clone()).or_default().push((
-                    p.fgt,
-                    p.embedding.clone(),
-                    p.stats.nulls > 0,
-                ));
-            }
+        let script =
+            PipelineScript { metadata: metadata.clone(), source: source.to_string() };
+        let delta = self.apply_delta(DeltaBatch::new().add_pipelines([script]));
+        if delta.pipelines_failed > 0 {
+            return None;
         }
-        let mut all_tables = Vec::new();
-        let mut missing_tables = Vec::new();
-        for (table, cols) in by_table {
-            let all: Vec<(FineGrainedType, Vec<f32>)> =
-                cols.iter().map(|(t, e, _)| (*t, e.clone())).collect();
-            let with_missing: Vec<(FineGrainedType, Vec<f32>)> = cols
-                .iter()
-                .filter(|(_, _, m)| *m)
-                .map(|(t, e, _)| (*t, e.clone()))
-                .collect();
-            let table_emb = table_embedding(&all);
-            let missing_emb =
-                table_embedding(if with_missing.is_empty() { &all } else { &with_missing });
-            all_tables.push(table_emb.clone());
-            missing_tables.push(missing_emb.clone());
-            self.table_embeddings
-                .insert((dataset.to_string(), table.clone()), table_emb);
-        }
-        if !all_tables.is_empty() {
-            let dim = all_tables[0].len();
-            self.dataset_embeddings.insert(
-                dataset.to_string(),
-                lids_vector::mean_vector(all_tables.iter().map(|e| e.as_slice()), dim),
-            );
-            self.dataset_embeddings_missing.insert(
-                dataset.to_string(),
-                lids_vector::mean_vector(missing_tables.iter().map(|e| e.as_slice()), dim),
-            );
-        }
+        Some(delta.links)
     }
 }
 
@@ -356,7 +129,7 @@ mod tests {
     }
 
     #[test]
-    fn broken_pipeline_returns_none() {
+    fn broken_pipeline_is_quarantined_not_dropped() {
         let (mut platform, _) = KgLidsBuilder::new().bootstrap();
         let md = PipelineMetadata {
             id: "bad".into(),
@@ -368,6 +141,21 @@ mod tests {
             task: "eda".into(),
         };
         assert!(platform.add_pipeline(&md, "def broken(:\n").is_none());
+        // the failure is recorded, typed, and visible as provenance
+        let report = platform.quarantine_report();
+        assert_eq!(report.len(), 1);
+        assert_eq!(report.quarantined[0].artifact, "d/bad");
+        assert_eq!(
+            report.quarantined[0].error.kind(),
+            lids_exec::ErrorKind::PyParseError
+        );
+        assert!(platform
+            .ask(
+                "PREFIX p: <http://kglids.org/provenance/> \
+                 ASK { GRAPH <http://kglids.org/provenance/quarantine> \
+                 { ?a a p:QuarantinedArtifact . } }"
+            )
+            .unwrap());
     }
 
     #[test]
@@ -389,5 +177,29 @@ mod tests {
         let stats = platform.add_dataset(&text);
         assert_eq!(stats.pairs_compared, 0); // different fine-grained type
         assert_eq!(stats.content_edges, 0);
+    }
+
+    #[test]
+    fn remove_dataset_restores_prior_graph() {
+        let (mut platform, _) = KgLidsBuilder::new()
+            .with_dataset(dataset("base", "people", true))
+            .bootstrap();
+        let mut before: Vec<String> =
+            platform.store().iter().map(|q| q.to_string()).collect();
+        before.sort();
+
+        platform.add_dataset(&dataset("guest", "visitors", true));
+        assert!(platform.table_embedding("guest", "visitors").is_some());
+        let delta =
+            platform.apply_delta(DeltaBatch::new().remove_dataset("guest"));
+        assert_eq!(delta.datasets_removed, 1);
+        assert!(delta.quads_retracted > 0);
+
+        let mut after: Vec<String> =
+            platform.store().iter().map(|q| q.to_string()).collect();
+        after.sort();
+        assert_eq!(before, after, "retraction must restore the prior graph");
+        assert!(platform.table_embedding("guest", "visitors").is_none());
+        assert!(platform.dataset_embedding("guest").is_none());
     }
 }

@@ -19,11 +19,12 @@ use lids_exec::{
 };
 use lids_kg::abstraction::{emit_pipeline_quads, AbstractionStats, PipelineMetadata};
 use lids_kg::docs::LibraryDocs;
+use lids_kg::incremental::{retraction_quads, DeltaLinkStats, LinkIndex};
 use lids_kg::library_graph::library_graph_quads;
 use lids_kg::linker::{link_pipelines, LinkStats};
 use lids_kg::ontology::Vocab;
 use lids_kg::provenance::{push_quarantine, QuarantineRecord};
-use lids_kg::schema::{data_global_schema_quads, LinkingConfig, SchemaConfig, SchemaStats};
+use lids_kg::schema::{data_global_schema_quads_seeded, LinkingConfig, SchemaConfig, SchemaStats};
 use lids_obs::{Obs, SpanId, TraceSnapshot};
 use lids_profiler::table::Dataset;
 use lids_profiler::{
@@ -171,6 +172,73 @@ fn ingest_batch(
     obs.tracer.set_attr(span, "quads_per_sec", stats.quads_per_sec());
     let _ = obs.tracer.close(span);
     stats
+}
+
+/// The derived embedding stores: the Faiss-substitute column index plus
+/// the table/dataset aggregate embeddings. Rebuilt from the current
+/// profile set after bootstrap and after every delta (aggregation is
+/// linear in the number of columns — noise next to profiling/linking).
+struct EmbeddingStore {
+    column_index: BruteForceIndex,
+    table_embeddings: HashMap<(String, String), Vec<f32>>,
+    dataset_embeddings: HashMap<String, Vec<f32>>,
+    dataset_embeddings_missing: HashMap<String, Vec<f32>>,
+}
+
+fn build_embedding_store(profiles: &[ColumnProfile]) -> EmbeddingStore {
+    let mut column_index = BruteForceIndex::new(lids_embed::EMBEDDING_DIM, Metric::Cosine);
+    for (i, p) in profiles.iter().enumerate() {
+        if !p.embedding.is_empty() {
+            column_index.add(i as u64, &p.embedding);
+        }
+    }
+    let mut table_embeddings: HashMap<(String, String), Vec<f32>> = HashMap::new();
+    let mut missing_table_embeddings: HashMap<(String, String), Vec<f32>> = HashMap::new();
+    // (type, embedding, has-nulls) per column, grouped by table
+    type ColumnEntry = (FineGrainedType, Vec<f32>, bool);
+    let mut by_table: HashMap<(String, String), Vec<ColumnEntry>> = HashMap::new();
+    for p in profiles {
+        if !p.embedding.is_empty() {
+            by_table
+                .entry((p.meta.dataset.clone(), p.meta.table.clone()))
+                .or_default()
+                .push((p.fgt, p.embedding.clone(), p.stats.nulls > 0));
+        }
+    }
+    for (key, cols) in by_table {
+        let all: Vec<(FineGrainedType, Vec<f32>)> =
+            cols.iter().map(|(t, e, _)| (*t, e.clone())).collect();
+        let with_missing: Vec<(FineGrainedType, Vec<f32>)> = cols
+            .iter()
+            .filter(|(_, _, has_nulls)| *has_nulls)
+            .map(|(t, e, _)| (*t, e.clone()))
+            .collect();
+        table_embeddings.insert(key.clone(), table_embedding(&all));
+        // §4.2: average only the columns containing missing values
+        let source = if with_missing.is_empty() { &all } else { &with_missing };
+        missing_table_embeddings.insert(key, table_embedding(source));
+    }
+    let mut dataset_embeddings: HashMap<String, Vec<f32>> = HashMap::new();
+    let mut dataset_embeddings_missing: HashMap<String, Vec<f32>> = HashMap::new();
+    for (map, out) in [
+        (&table_embeddings, &mut dataset_embeddings),
+        (&missing_table_embeddings, &mut dataset_embeddings_missing),
+    ] {
+        let mut by_dataset: HashMap<String, Vec<Vec<f32>>> = HashMap::new();
+        for ((d, _), e) in map {
+            by_dataset.entry(d.clone()).or_default().push(e.clone());
+        }
+        for (d, embs) in by_dataset {
+            let dim = embs[0].len();
+            out.insert(d, lids_vector::mean_vector(embs.iter().map(|e| e.as_slice()), dim));
+        }
+    }
+    EmbeddingStore {
+        column_index,
+        table_embeddings,
+        dataset_embeddings,
+        dataset_embeddings_missing,
+    }
 }
 
 /// Platform-wide resource-governance defaults for the query path.
@@ -434,7 +502,8 @@ impl KgLidsBuilder {
         let span = obs.tracer.child(root, "link.schema");
         let mut sw = Stopwatch::started();
         let mut batch: Vec<Quad> = Vec::new();
-        let schema_stats = data_global_schema_quads(&mut batch, &profiles, &schema_config, &we);
+        let (schema_stats, link_seed) =
+            data_global_schema_quads_seeded(&mut batch, &profiles, &schema_config, &we);
         ingest_batch(&mut store, &obs, span, "link.schema", batch);
         sw.stop();
         stats.schema_secs = sw.secs();
@@ -539,62 +608,13 @@ impl KgLidsBuilder {
 
         // ---- embedding store ----
         let span = obs.tracer.child(root, "embed");
-        let mut column_index = BruteForceIndex::new(lids_embed::EMBEDDING_DIM, Metric::Cosine);
-        for (i, p) in profiles.iter().enumerate() {
-            if !p.embedding.is_empty() {
-                column_index.add(i as u64, &p.embedding);
-            }
-        }
-        let mut table_embeddings: HashMap<(String, String), Vec<f32>> = HashMap::new();
-        let mut missing_table_embeddings: HashMap<(String, String), Vec<f32>> = HashMap::new();
-        // (type, embedding, has-nulls) per column, grouped by table
-        type ColumnEntry = (FineGrainedType, Vec<f32>, bool);
-        let mut by_table: HashMap<(String, String), Vec<ColumnEntry>> = HashMap::new();
-        for p in &profiles {
-            if !p.embedding.is_empty() {
-                by_table
-                    .entry((p.meta.dataset.clone(), p.meta.table.clone()))
-                    .or_default()
-                    .push((p.fgt, p.embedding.clone(), p.stats.nulls > 0));
-            }
-        }
-        for (key, cols) in by_table {
-            let all: Vec<(FineGrainedType, Vec<f32>)> =
-                cols.iter().map(|(t, e, _)| (*t, e.clone())).collect();
-            let with_missing: Vec<(FineGrainedType, Vec<f32>)> = cols
-                .iter()
-                .filter(|(_, _, has_nulls)| *has_nulls)
-                .map(|(t, e, _)| (*t, e.clone()))
-                .collect();
-            table_embeddings.insert(key.clone(), table_embedding(&all));
-            // §4.2: average only the columns containing missing values
-            let source = if with_missing.is_empty() { &all } else { &with_missing };
-            missing_table_embeddings.insert(key, table_embedding(source));
-        }
-        let mut dataset_embeddings: HashMap<String, Vec<f32>> = HashMap::new();
-        let mut dataset_embeddings_missing: HashMap<String, Vec<f32>> = HashMap::new();
-        for (map, out) in [
-            (&table_embeddings, &mut dataset_embeddings),
-            (&missing_table_embeddings, &mut dataset_embeddings_missing),
-        ] {
-            let mut by_dataset: HashMap<String, Vec<Vec<f32>>> = HashMap::new();
-            for ((d, _), e) in map {
-                by_dataset.entry(d.clone()).or_default().push(e.clone());
-            }
-            for (d, embs) in by_dataset {
-                let dim = embs[0].len();
-                out.insert(
-                    d,
-                    lids_vector::mean_vector(embs.iter().map(|e| e.as_slice()), dim),
-                );
-            }
-        }
+        let embeddings = build_embedding_store(&profiles);
         meter.alloc(
-            table_embeddings.values().map(|e| (e.len() * 4) as u64).sum::<u64>()
-                + column_index.approx_bytes(),
+            embeddings.table_embeddings.values().map(|e| (e.len() * 4) as u64).sum::<u64>()
+                + embeddings.column_index.approx_bytes(),
         );
-        obs.tracer.set_attr(span, "table_embeddings", table_embeddings.len());
-        obs.tracer.set_attr(span, "indexed_columns", column_index.len());
+        obs.tracer.set_attr(span, "table_embeddings", embeddings.table_embeddings.len());
+        obs.tracer.set_attr(span, "indexed_columns", embeddings.column_index.len());
         let _ = obs.tracer.close(span);
 
         obs.tracer.set_attr(root, "triples", stats.triples);
@@ -611,7 +631,11 @@ impl KgLidsBuilder {
         obs.metrics.counter_add("linking.content_edges", schema_stats.content_edges as u64);
         obs.metrics.counter_add("linking.pairs_pruned", schema_stats.pairs_pruned as u64);
         obs.metrics.counter_add("linking.hnsw_dist_evals", schema_stats.hnsw.dist_evals);
+        obs.metrics.gauge_set("ingest.quarantine.artifacts", stats.report.len() as f64);
         stats.trace = obs.tracer.snapshot();
+
+        // keep the stage-2 linking structures alive for incremental deltas
+        let link_index = LinkIndex::from_seed(link_seed, &profiles, schema_config);
 
         let platform = KgLids {
             store,
@@ -619,11 +643,14 @@ impl KgLidsBuilder {
             we,
             profiler_config,
             schema_config,
+            ingest,
             profiles,
-            column_index,
-            table_embeddings,
-            dataset_embeddings,
-            dataset_embeddings_missing,
+            link_index,
+            report: stats.report.clone(),
+            column_index: embeddings.column_index,
+            table_embeddings: embeddings.table_embeddings,
+            dataset_embeddings: embeddings.dataset_embeddings,
+            dataset_embeddings_missing: embeddings.dataset_embeddings_missing,
             meter,
             obs,
             plan_cache: Arc::new(PlanCache::new()),
@@ -644,7 +671,16 @@ pub struct KgLids {
     pub(crate) profiler_config: ProfilerConfig,
     #[allow(dead_code)]
     pub(crate) schema_config: SchemaConfig,
+    /// Fault-tolerance policy bootstrap ran under; deltas reuse it.
+    pub(crate) ingest: IngestOptions,
     pub(crate) profiles: Vec<ColumnProfile>,
+    /// The persistent stage-2 linking structures (label cache, per-bucket
+    /// matrices, sharded HNSW, cell geometry) kept alive after bootstrap
+    /// so deltas link new columns without touching old-old pairs.
+    pub(crate) link_index: LinkIndex,
+    /// Cumulative quarantine ledger: bootstrap's report plus every
+    /// delta's, minus entries withdrawn by dataset retraction.
+    pub(crate) report: BootstrapReport,
     /// Faiss-substitute embedding store over column embeddings; vector ids
     /// index into `profiles`.
     pub(crate) column_index: BruteForceIndex,
@@ -1028,6 +1064,334 @@ impl KgLids {
     pub fn docs(&self) -> &LibraryDocs {
         &self.docs
     }
+
+    /// The cumulative quarantine ledger: bootstrap's entries plus every
+    /// delta's, minus artifacts withdrawn by dataset retraction.
+    pub fn quarantine_report(&self) -> &BootstrapReport {
+        &self.report
+    }
+
+    /// Apply one incremental change to the lake — the "pay for what
+    /// changed" path. Removals run first, then additions, all inside one
+    /// store delta: live [`LidsReader`]s observe the whole delta or
+    /// nothing, and the plan-cache generation bumps exactly once.
+    ///
+    /// Additions profile only the new artifacts (under the same
+    /// fault-tolerance policy as bootstrap) and link them against the
+    /// persisted [`LinkIndex`] with the batch pass's exact kernels and a
+    /// lossless triangle-inequality candidate bound — the resulting graph
+    /// is identical to a from-scratch bootstrap of the final lake.
+    /// Removals withdraw the dataset's metadata subgraph, its similarity
+    /// edges (both directions plus RDF-star annotations), its pipelines'
+    /// graphs, and its quarantine provenance via one batch
+    /// [`QuadStore::retract`].
+    ///
+    /// Re-adding a dataset name that is still present (and not in
+    /// `remove_datasets` of the same batch) is a caller error: the store
+    /// deduplicates quads, so metadata merges silently, but columns would
+    /// be linked twice.
+    pub fn apply_delta(&mut self, delta: DeltaBatch) -> DeltaStats {
+        let DeltaBatch {
+            add_datasets,
+            add_raw_datasets,
+            add_profiles,
+            add_pipelines,
+            remove_datasets,
+        } = delta;
+        let mut stats = DeltaStats::default();
+        let mut delta_report = BootstrapReport::default();
+        let root = self.obs.tracer.root("delta");
+        self.store.begin_delta();
+
+        // ---- retraction: withdraw removed datasets first ----
+        let span = self.obs.tracer.child(root, "retract");
+        let mut sw = Stopwatch::started();
+        for ds in &remove_datasets {
+            let ds_profiles: Vec<ColumnProfile> =
+                self.profiles.iter().filter(|p| &p.meta.dataset == ds).cloned().collect();
+            let victims = retraction_quads(&self.store, ds, &ds_profiles);
+            let r = self.store.retract(victims);
+            stats.quads_retracted += r.quads_removed;
+            stats.columns_retracted += self.link_index.remove_dataset(ds);
+            self.profiles.retain(|p| &p.meta.dataset != ds);
+            // ghost-free ledger: drop the dataset's quarantine entries
+            let prefix = format!("{ds}/");
+            self.report.quarantined.retain(|e| !e.artifact.starts_with(&prefix));
+        }
+        stats.datasets_removed = remove_datasets.len();
+        sw.stop();
+        stats.retraction_secs = sw.secs();
+        self.obs.tracer.set_attr(span, "datasets", remove_datasets.len());
+        self.obs.tracer.add_count(span, "quads_retracted", stats.quads_retracted as u64);
+        self.obs.tracer.add_count(span, "columns_retracted", stats.columns_retracted as u64);
+        let _ = self.obs.tracer.close(span);
+
+        // ---- parse raw artifacts under the fault policy ----
+        let span = self.obs.tracer.child(root, "parse");
+        let mut datasets = add_datasets;
+        for raw in &add_raw_datasets {
+            let outcomes = quarantine_map(&raw.tables, &self.ingest, |t| {
+                parse_csv_bytes(&t.name, &t.bytes, self.ingest.csv_mode)
+            });
+            let mut tables = Vec::new();
+            for (table, (result, retries)) in raw.tables.iter().zip(outcomes) {
+                match result {
+                    Ok(t) => tables.push(t),
+                    Err(error) => delta_report.quarantined.push(QuarantineEntry {
+                        artifact: format!("{}/{}", raw.name, table.name),
+                        kind: ArtifactKind::Table,
+                        error,
+                        retries,
+                    }),
+                }
+            }
+            datasets.push(Dataset::new(raw.name.clone(), tables));
+        }
+        stats.datasets_added = datasets.len();
+        self.obs.tracer.set_attr(span, "raw_datasets", add_raw_datasets.len());
+        let _ = self.obs.tracer.close(span);
+
+        // ---- profile only the new artifacts (panic-isolated) ----
+        let span = self.obs.tracer.child(root, "profile");
+        let mut sw = Stopwatch::started();
+        let models = ColrModels::pretrained();
+        let units: Vec<(&str, &Table)> = datasets
+            .iter()
+            .flat_map(|d| d.tables.iter().map(move |t| (d.name.as_str(), t)))
+            .collect();
+        let outcomes = quarantine_map(&units, &self.ingest, |unit| {
+            let (dataset, table) = *unit;
+            Ok(profile_table(
+                dataset,
+                table,
+                models,
+                &self.we,
+                &self.profiler_config,
+                Some(&self.meter),
+            ))
+        });
+        let mut new_profiles: Vec<ColumnProfile> = Vec::new();
+        for ((dataset, table), (result, retries)) in units.iter().zip(outcomes) {
+            match result {
+                Ok(p) => new_profiles.extend(p),
+                Err(error) => delta_report.quarantined.push(QuarantineEntry {
+                    artifact: format!("{dataset}/{}", table.name),
+                    kind: ArtifactKind::Table,
+                    error,
+                    retries,
+                }),
+            }
+        }
+        new_profiles.extend(add_profiles);
+        sw.stop();
+        stats.profiling_secs = sw.secs();
+        stats.columns_profiled = new_profiles.len();
+        self.obs.tracer.set_attr(span, "columns", new_profiles.len());
+        let _ = self.obs.tracer.close(span);
+
+        // ---- link new columns against the persisted index ----
+        let span = self.obs.tracer.child(root, "link.schema");
+        let mut sw = Stopwatch::started();
+        let mut batch: Vec<Quad> = Vec::new();
+        let link: DeltaLinkStats = self.link_index.add_columns(&mut batch, &new_profiles, &self.we);
+        let ingested = ingest_batch(&mut self.store, &self.obs, span, "link.schema", batch);
+        stats.quads_added += ingested.quads_added;
+        sw.stop();
+        stats.linking_secs = sw.secs();
+        stats.relink_candidates = link.candidates;
+        stats.label_edges = link.label_edges;
+        stats.content_edges = link.content_edges;
+        self.obs.tracer.add_count(span, "label_edges", link.label_edges as u64);
+        self.obs.tracer.add_count(span, "content_edges", link.content_edges as u64);
+        self.obs.tracer.add_count(span, "candidates", link.candidates as u64);
+        self.obs.tracer.add_count(span, "cell_rebuilds", link.cell_rebuilds as u64);
+        let _ = self.obs.tracer.close(span);
+
+        // ---- abstract new pipelines (panic-isolated, quarantining) ----
+        let span = self.obs.tracer.child(root, "abstract");
+        let mut sw = Stopwatch::started();
+        let mut abstraction = AbstractionStats::default();
+        let mut batch: Vec<Quad> = Vec::new();
+        let vocab = Vocab::new();
+        let analyzed: Vec<(LidsResult<AnalyzedScript>, u32)> =
+            quarantine_map(&add_pipelines, &self.ingest, |p| {
+                lids_py::analyze(&p.source).map_err(LidsError::from)
+            });
+        for (pipeline, (analysis, retries)) in add_pipelines.iter().zip(analyzed) {
+            match analysis {
+                Ok(a) => {
+                    emit_pipeline_quads(
+                        &mut batch,
+                        &mut abstraction,
+                        &self.docs,
+                        &pipeline.metadata,
+                        &a,
+                        &vocab,
+                    );
+                    stats.pipelines_abstracted += 1;
+                }
+                Err(error) => {
+                    stats.pipelines_failed += 1;
+                    let artifact =
+                        format!("{}/{}", pipeline.metadata.dataset, pipeline.metadata.id);
+                    delta_report.quarantined.push(QuarantineEntry {
+                        artifact: artifact.clone(),
+                        kind: ArtifactKind::Pipeline,
+                        error: error.with_artifact(artifact.clone()),
+                        retries,
+                    });
+                }
+            }
+        }
+        let ingested = ingest_batch(&mut self.store, &self.obs, span, "abstract", batch);
+        stats.quads_added += ingested.quads_added;
+        sw.stop();
+        stats.abstraction_secs = sw.secs();
+        self.obs.tracer.set_attr(span, "pipelines", add_pipelines.len());
+        self.obs.tracer.add_count(span, "abstracted", stats.pipelines_abstracted as u64);
+        self.obs.tracer.add_count(span, "failed", stats.pipelines_failed as u64);
+        let _ = self.obs.tracer.close(span);
+
+        // ---- Graph Linker over the new pipelines' predictions ----
+        let span = self.obs.tracer.child(root, "link.pipelines");
+        stats.links = link_pipelines(&mut self.store);
+        self.obs.tracer.add_count(span, "tables_linked", stats.links.tables_linked as u64);
+        self.obs.tracer.add_count(span, "columns_linked", stats.links.columns_linked as u64);
+        let _ = self.obs.tracer.close(span);
+
+        // ---- quarantine provenance for this delta's failures ----
+        if self.ingest.record_provenance && !delta_report.quarantined.is_empty() {
+            let mut batch: Vec<Quad> = Vec::with_capacity(delta_report.quarantined.len() * 5);
+            for entry in &delta_report.quarantined {
+                push_quarantine(
+                    &mut batch,
+                    &QuarantineRecord {
+                        artifact_id: &entry.artifact,
+                        artifact_kind: entry.kind.name(),
+                        error: &entry.error,
+                        retries: entry.retries,
+                    },
+                );
+            }
+            let ingested = ingest_batch(&mut self.store, &self.obs, root, "quarantine", batch);
+            stats.quads_added += ingested.quads_added;
+        }
+
+        // ---- refresh derived state, commit, publish once ----
+        self.profiles.extend(new_profiles);
+        let embeddings = build_embedding_store(&self.profiles);
+        self.column_index = embeddings.column_index;
+        self.table_embeddings = embeddings.table_embeddings;
+        self.dataset_embeddings = embeddings.dataset_embeddings;
+        self.dataset_embeddings_missing = embeddings.dataset_embeddings_missing;
+        self.report.quarantined.extend(delta_report.quarantined.iter().cloned());
+        self.store.commit_delta();
+
+        let metrics = &self.obs.metrics;
+        metrics.counter_add("ingest.delta.datasets_added", stats.datasets_added as u64);
+        metrics.counter_add("ingest.delta.datasets_removed", stats.datasets_removed as u64);
+        metrics.counter_add("ingest.delta.quads_retracted", stats.quads_retracted as u64);
+        metrics.counter_add("ingest.delta.relink_candidates", stats.relink_candidates as u64);
+        metrics.gauge_set("ingest.quarantine.artifacts", self.report.len() as f64);
+        self.obs.tracer.set_attr(root, "generation", self.store.generation());
+        let _ = self.obs.tracer.close(root);
+        stats.generation = self.store.generation();
+        stats.report = delta_report;
+        stats.trace = self.obs.tracer.snapshot();
+        stats
+    }
+}
+
+/// One incremental change to the lake: datasets and pipelines to add,
+/// dataset names to remove. Removals are applied before additions, so a
+/// batch may replace a dataset by naming it in both.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    pub add_datasets: Vec<Dataset>,
+    pub add_raw_datasets: Vec<RawDataset>,
+    /// Pre-computed column profiles to ingest as-is, skipping the
+    /// profiler (the delta-side mirror of
+    /// [`KgLidsBuilder::with_custom_profiles`] — ablations and benches).
+    pub add_profiles: Vec<ColumnProfile>,
+    pub add_pipelines: Vec<PipelineScript>,
+    pub remove_datasets: Vec<String>,
+}
+
+impl DeltaBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.add_datasets.is_empty()
+            && self.add_raw_datasets.is_empty()
+            && self.add_profiles.is_empty()
+            && self.add_pipelines.is_empty()
+            && self.remove_datasets.is_empty()
+    }
+
+    /// Add a parsed dataset.
+    pub fn add_dataset(mut self, dataset: Dataset) -> Self {
+        self.add_datasets.push(dataset);
+        self
+    }
+
+    /// Add a raw (unparsed) dataset; files parse under the fault policy.
+    pub fn add_raw_dataset(mut self, raw: RawDataset) -> Self {
+        self.add_raw_datasets.push(raw);
+        self
+    }
+
+    /// Add pre-computed column profiles (skips the profiler).
+    pub fn add_profiles(mut self, profiles: impl IntoIterator<Item = ColumnProfile>) -> Self {
+        self.add_profiles.extend(profiles);
+        self
+    }
+
+    /// Add pipeline scripts.
+    pub fn add_pipelines(mut self, pipelines: impl IntoIterator<Item = PipelineScript>) -> Self {
+        self.add_pipelines.extend(pipelines);
+        self
+    }
+
+    /// Remove a dataset (its quads, similarity edges, pipelines, and
+    /// quarantine provenance).
+    pub fn remove_dataset(mut self, name: impl Into<String>) -> Self {
+        self.remove_datasets.push(name.into());
+        self
+    }
+}
+
+/// What one [`KgLids::apply_delta`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaStats {
+    pub datasets_added: usize,
+    pub datasets_removed: usize,
+    pub columns_profiled: usize,
+    pub columns_retracted: usize,
+    pub pipelines_abstracted: usize,
+    pub pipelines_failed: usize,
+    pub quads_added: usize,
+    pub quads_retracted: usize,
+    /// Column pairs the incremental linker exact-scored.
+    pub relink_candidates: usize,
+    pub label_edges: usize,
+    pub content_edges: usize,
+    pub retraction_secs: f64,
+    pub profiling_secs: f64,
+    pub linking_secs: f64,
+    pub abstraction_secs: f64,
+    /// Store generation after the delta committed (exactly base + 1 when
+    /// the delta mutated anything).
+    pub generation: u64,
+    /// Graph-linker outcome over the delta's pipelines.
+    pub links: LinkStats,
+    /// This delta's quarantined artifacts (the cumulative ledger lives on
+    /// the platform: [`KgLids::quarantine_report`]).
+    pub report: BootstrapReport,
+    /// Span tree including the `delta` root of this call.
+    pub trace: TraceSnapshot,
 }
 
 /// The [`QueryLimits`] to arm for one governed execution: deadline and

@@ -1,0 +1,575 @@
+//! Incremental maintenance of the data global schema.
+//!
+//! [`LinkIndex`] keeps the batch schema pass's stage-1/2 structures alive
+//! after bootstrap — the interned label cache, the dense table-id
+//! assignment, and each embeddable bucket's pre-normalized [`RowMatrix`],
+//! sharded HNSW, and candidate-component geometry (adopted verbatim via
+//! [`crate::schema::data_global_schema_quads_seeded`]) — so a delta of new
+//! columns links against the existing lake without re-scoring old-old
+//! pairs.
+//!
+//! # Exactness
+//!
+//! Incremental linking emits *exactly* the edges a from-scratch rebuild
+//! over the final profile set would emit, because both sides of the PR 3
+//! guarantee carry over:
+//!
+//! 1. **The kernels are identical and symmetric.** Label similarity is
+//!    the cached decision tree of [`LabelEmbeddingCache::similarity`]
+//!    (depends only on the two label strings); boolean content is
+//!    `1 − |ratio_a − ratio_b|`; embeddable content is
+//!    [`dot_lanes`]` (a, b).clamp(-1, 1)` over vectors normalized once by
+//!    [`RowMatrix::push_normalized`]. None depends on insertion order or
+//!    on which endpoint plays "query".
+//! 2. **The candidate filter is lossless.** A new column `q` is scored
+//!    against every live column its fine-grained-type bucket could pair
+//!    it with: small buckets scan exhaustively; large buckets use the
+//!    cell bound — for cosine `≥ θ` on unit vectors, `‖q − r‖ ≤
+//!    √(2(1−θ))`, and any covered row `r` lives in a cell with centroid
+//!    `c` and radius `ρ ≥ ‖r − c‖`, so `‖q − c‖ ≤ √(2(1−θ)) + ρ` by the
+//!    triangle inequality. Cells outside that bound (with the same float
+//!    margins the batch pass uses) provably hold no θ-partner; rows not
+//!    yet covered by cells are scored unconditionally. HNSW recall
+//!    therefore affects cell *shape* (speed), never the edge set.
+//!
+//! Since [`crate::schema::push_edge_with`] materialises each edge
+//! symmetrically (both directions plus both RDF-star annotations), the
+//! emitted quad set is independent of pair orientation, and the store
+//! deduplicates re-emitted metadata — so `apply_delta` and full rebuild
+//! converge on bit-identical decoded quad sets (pinned by the
+//! `incremental_differential` suite).
+//!
+//! Retraction runs the other way: [`retraction_quads`] regenerates a
+//! removed dataset's metadata quads, collects its similarity edges and
+//! RDF-star annotations, its pipelines' named graphs and default-graph
+//! metadata, and its quarantine provenance records, producing the batch a
+//! single [`lids_rdf::QuadStore::retract`] withdraws.
+
+// This module sits on the always-on ingestion path: a panic here would
+// take down delta ingest for every live reader, so recoverable paths may
+// not unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::collections::{HashMap, HashSet};
+
+use lids_embed::{FineGrainedType, LabelEmbeddingCache, LabelId, WordEmbeddings};
+use lids_profiler::ColumnProfile;
+use lids_rdf::{GraphName, Quad, QuadPattern, StoreSnapshot, Term};
+use lids_vector::{dot_lanes, HnswConfig, Metric, RowMatrix, SearchStats, ShardedHnsw};
+
+use crate::ontology::{data_prop, object_prop, res, Vocab};
+use crate::provenance::{artifact_iri, QUARANTINE_GRAPH};
+use crate::schema::{
+    components, euclidean, push_edge_with, push_profile_metadata, CellSet, LinkSeed, SchemaConfig,
+    GEOM_MARGIN, HNSW_SEED, RADIUS_MARGIN,
+};
+
+/// Identity of one column the index has ever seen (dead ones stay, so row
+/// and column ids remain stable).
+struct ColRef {
+    dataset: String,
+    iri: String,
+    table: u32,
+    label: LabelId,
+    fgt: FineGrainedType,
+    true_ratio: Option<f64>,
+    /// Row index inside its type's [`EmbedBucket`], when the column has a
+    /// content embedding.
+    row: Option<u32>,
+}
+
+/// One embeddable fine-grained-type bucket's persistent structures.
+struct EmbedBucket {
+    /// Pre-normalized vectors, append-only; dead rows keep their slot.
+    matrix: RowMatrix,
+    /// Row → global column id.
+    cols: Vec<u32>,
+    row_alive: Vec<bool>,
+    /// Sharded HNSW over the rows, incrementally extended and
+    /// tombstone-filtered. Built lazily once the bucket outgrows the
+    /// exact-scan cutoff.
+    hnsw: Option<ShardedHnsw>,
+    /// Cell geometry covering rows `< cell_rows`; rows at or past
+    /// `cell_rows` are *pending* and always scored exactly.
+    cells: Option<CellSet>,
+    cell_rows: usize,
+}
+
+impl EmbedBucket {
+    fn new(dim: usize) -> Self {
+        EmbedBucket {
+            matrix: RowMatrix::new(dim),
+            cols: Vec::new(),
+            row_alive: Vec::new(),
+            hnsw: None,
+            cells: None,
+            cell_rows: 0,
+        }
+    }
+}
+
+/// Work counters for one [`LinkIndex::add_columns`] call.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaLinkStats {
+    pub columns_added: usize,
+    pub metadata_triples: usize,
+    pub label_edges: usize,
+    pub content_edges: usize,
+    /// Column pairs that reached the exact scorer (the delta's
+    /// `relink_candidates`).
+    pub candidates: usize,
+    /// Buckets whose cell geometry was recomputed this call.
+    pub cell_rebuilds: usize,
+    /// ANN work spent on cell rebuilds.
+    pub hnsw: SearchStats,
+}
+
+/// The persistent linking index: everything stage 2 needs to link a new
+/// column against the current lake, kept alive across deltas.
+pub struct LinkIndex {
+    config: SchemaConfig,
+    cache: LabelEmbeddingCache,
+    table_ids: HashMap<(String, String), u32>,
+    cols: Vec<ColRef>,
+    alive: Vec<bool>,
+    /// Live columns grouped by interned label, per fine-grained type —
+    /// the label pass's equivalence classes.
+    label_groups: HashMap<FineGrainedType, HashMap<LabelId, Vec<u32>>>,
+    embed: HashMap<FineGrainedType, EmbedBucket>,
+}
+
+impl LinkIndex {
+    /// Adopt the structures a batch schema pass built over `profiles`
+    /// (the same slice, in the same order, that produced `seed`).
+    pub fn from_seed(seed: LinkSeed, profiles: &[ColumnProfile], config: SchemaConfig) -> Self {
+        let mut cols: Vec<ColRef> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ColRef {
+                dataset: p.meta.dataset.clone(),
+                iri: res::column(&p.meta.dataset, &p.meta.table, &p.meta.column),
+                table: seed.table_of[i],
+                label: seed.label_of[i],
+                fgt: p.fgt,
+                true_ratio: p.stats.true_ratio,
+                row: None,
+            })
+            .collect();
+        let mut label_groups: HashMap<FineGrainedType, HashMap<LabelId, Vec<u32>>> =
+            HashMap::new();
+        for (i, col) in cols.iter().enumerate() {
+            label_groups
+                .entry(col.fgt)
+                .or_default()
+                .entry(col.label)
+                .or_default()
+                .push(i as u32);
+        }
+        let mut embed: HashMap<FineGrainedType, EmbedBucket> = HashMap::new();
+        for capture in seed.buckets {
+            let cell_rows = if capture.cells.is_some() { capture.matrix.len() } else { 0 };
+            let mut bucket = EmbedBucket {
+                matrix: capture.matrix,
+                cols: Vec::with_capacity(capture.rows.len()),
+                row_alive: vec![true; capture.rows.len()],
+                hnsw: capture.hnsw,
+                cells: capture.cells,
+                cell_rows,
+            };
+            for (row, &pi) in capture.rows.iter().enumerate() {
+                bucket.cols.push(pi as u32);
+                cols[pi].row = Some(row as u32);
+            }
+            embed.insert(capture.fgt, bucket);
+        }
+        let alive = vec![true; cols.len()];
+        LinkIndex { config, cache: seed.cache, table_ids: seed.table_ids, cols, alive, label_groups, embed }
+    }
+
+    /// Live (non-retracted) columns currently indexed.
+    pub fn live_columns(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    /// Link a batch of new column profiles against the lake: appends
+    /// their metadata quads and every similarity edge involving a new
+    /// column to `out`, and registers the columns for future deltas.
+    /// Columns are processed in order, so intra-batch pairs are covered
+    /// exactly once (each column is scored against all columns registered
+    /// before it).
+    pub fn add_columns(
+        &mut self,
+        out: &mut Vec<Quad>,
+        profiles: &[ColumnProfile],
+        we: &WordEmbeddings,
+    ) -> DeltaLinkStats {
+        let mut stats = DeltaLinkStats { columns_added: profiles.len(), ..Default::default() };
+        let vocab = Vocab::new();
+        let label_pred = Term::iri(object_prop::iri(object_prop::HAS_LABEL_SIMILARITY));
+        let content_pred = Term::iri(object_prop::iri(object_prop::HAS_CONTENT_SIMILARITY));
+        let certainty = Term::iri(data_prop::iri(data_prop::WITH_CERTAINTY));
+        let r_max =
+            ((2.0 * (1.0 - self.config.theta as f64)).sqrt() + GEOM_MARGIN as f64) as f32;
+        let mut seen_datasets: HashSet<String> = HashSet::new();
+        let mut seen_tables: HashSet<(String, String)> = HashSet::new();
+        let mut touched: HashSet<FineGrainedType> = HashSet::new();
+
+        for p in profiles {
+            // Metadata (idempotent against what bootstrap already
+            // emitted; the store deduplicates).
+            push_profile_metadata(
+                out,
+                &mut stats.metadata_triples,
+                &vocab,
+                p,
+                &mut seen_datasets,
+                &mut seen_tables,
+            );
+            let iri = res::column(&p.meta.dataset, &p.meta.table, &p.meta.column);
+            let next_table = self.table_ids.len() as u32;
+            let table = *self
+                .table_ids
+                .entry((p.meta.dataset.clone(), p.meta.table.clone()))
+                .or_insert(next_table);
+            let label = self.cache.intern(we, &p.meta.column);
+            let cid = self.cols.len() as u32;
+
+            // Label pass: one cached similarity per distinct live label,
+            // fanned out to that label's cross-table columns.
+            if let Some(groups) = self.label_groups.get(&p.fgt) {
+                for (&lid, members) in groups {
+                    let sim = self.cache.similarity(label, lid);
+                    if sim < self.config.alpha {
+                        continue;
+                    }
+                    for &c in members {
+                        let col = &self.cols[c as usize];
+                        if self.alive[c as usize] && col.table != table {
+                            stats.label_edges += 1;
+                            push_edge_with(out, &iri, &col.iri, &label_pred, &certainty, sim as f64);
+                        }
+                    }
+                }
+            }
+
+            // Content pass.
+            if p.fgt == FineGrainedType::Boolean {
+                if let Some(ratio) = p.stats.true_ratio {
+                    for (c, col) in self.cols.iter().enumerate() {
+                        if !self.alive[c]
+                            || col.fgt != FineGrainedType::Boolean
+                            || col.table == table
+                        {
+                            continue;
+                        }
+                        let Some(other) = col.true_ratio else { continue };
+                        stats.candidates += 1;
+                        // the batch pass's exact gate and score
+                        let sim = 1.0 - (ratio - other).abs();
+                        if sim >= self.config.beta {
+                            stats.content_edges += 1;
+                            push_edge_with(out, &iri, &col.iri, &content_pred, &certainty, sim);
+                        }
+                    }
+                }
+            } else if !p.embedding.is_empty() {
+                touched.insert(p.fgt);
+                let bucket = self
+                    .embed
+                    .entry(p.fgt)
+                    .or_insert_with(|| EmbedBucket::new(p.embedding.len()));
+                let row = bucket.matrix.len();
+                bucket.matrix.push_normalized(&p.embedding);
+                bucket.cols.push(cid);
+                bucket.row_alive.push(true);
+                if let Some(h) = bucket.hnsw.as_mut() {
+                    h.add(row as u64, bucket.matrix.row(row));
+                }
+                let q = bucket.matrix.row(row);
+                // Candidates: cell-bounded rows plus everything pending.
+                let candidate_rows: Vec<usize> = match &bucket.cells {
+                    None => (0..row).collect(),
+                    Some(cells) => {
+                        let qq = dot_lanes(q, q);
+                        let dim = cells.dim;
+                        let mut cand: Vec<usize> = Vec::new();
+                        for (ci, members) in cells.members.iter().enumerate() {
+                            let centroid = &cells.centroids[ci * dim..(ci + 1) * dim];
+                            // the batch pass's component-pair bound with
+                            // the query as a singleton of radius
+                            // GEOM_MARGIN
+                            let t = r_max + cells.radii[ci] + GEOM_MARGIN;
+                            let d2 = qq + cells.norms_sq[ci] - 2.0 * dot_lanes(q, centroid);
+                            if d2 > t * t {
+                                continue;
+                            }
+                            cand.extend(members.iter().map(|&r| r as usize));
+                        }
+                        cand.extend(bucket.cell_rows..row);
+                        cand
+                    }
+                };
+                for j in candidate_rows {
+                    if !bucket.row_alive[j] {
+                        continue;
+                    }
+                    let cj = bucket.cols[j] as usize;
+                    if self.cols[cj].table == table {
+                        continue;
+                    }
+                    stats.candidates += 1;
+                    // the scan's kernel: scores are bit-identical to the
+                    // batch path by construction
+                    let score = dot_lanes(q, bucket.matrix.row(j)).clamp(-1.0, 1.0);
+                    if score >= self.config.theta {
+                        stats.content_edges += 1;
+                        push_edge_with(
+                            out,
+                            &iri,
+                            &self.cols[cj].iri,
+                            &content_pred,
+                            &certainty,
+                            score as f64,
+                        );
+                    }
+                }
+            }
+
+            // Register for future deltas (and for later columns of this
+            // same batch).
+            self.label_groups.entry(p.fgt).or_default().entry(label).or_default().push(cid);
+            let row = self.embed.get(&p.fgt).and_then(|b| {
+                (b.cols.last() == Some(&cid)).then(|| (b.cols.len() - 1) as u32)
+            });
+            self.cols.push(ColRef {
+                dataset: p.meta.dataset.clone(),
+                iri,
+                table,
+                label,
+                fgt: p.fgt,
+                true_ratio: p.stats.true_ratio,
+                row,
+            });
+            self.alive.push(true);
+        }
+
+        for fgt in touched {
+            self.maybe_rebuild(fgt, &mut stats);
+        }
+        stats
+    }
+
+    /// Tombstone every column of `dataset`: drops it from the label
+    /// groups, marks its matrix rows dead, and tombstones its HNSW
+    /// entries. Returns how many columns were retracted.
+    pub fn remove_dataset(&mut self, dataset: &str) -> usize {
+        let mut removed = 0usize;
+        for cid in 0..self.cols.len() {
+            if !self.alive[cid] || self.cols[cid].dataset != dataset {
+                continue;
+            }
+            self.alive[cid] = false;
+            removed += 1;
+            let col = &self.cols[cid];
+            if let Some(groups) = self.label_groups.get_mut(&col.fgt) {
+                if let Some(members) = groups.get_mut(&col.label) {
+                    members.retain(|&c| c != cid as u32);
+                    if members.is_empty() {
+                        groups.remove(&col.label);
+                    }
+                }
+            }
+            if let Some(row) = col.row {
+                if let Some(bucket) = self.embed.get_mut(&col.fgt) {
+                    bucket.row_alive[row as usize] = false;
+                    if let Some(h) = bucket.hnsw.as_mut() {
+                        h.remove(row as u64);
+                    }
+                }
+            }
+        }
+        removed
+    }
+
+    /// Recompute a bucket's cell geometry when enough rows are pending
+    /// that per-query exact scans of the pending tail start to dominate.
+    /// Cells are a pure candidate filter, so the policy here trades speed
+    /// only — correctness never depends on when (or whether) this runs.
+    fn maybe_rebuild(&mut self, fgt: FineGrainedType, stats: &mut DeltaLinkStats) {
+        let lk = self.config.linking;
+        let Some(bucket) = self.embed.get_mut(&fgt) else {
+            return;
+        };
+        let n = bucket.matrix.len();
+        let live = bucket.row_alive.iter().filter(|a| **a).count();
+        if live <= lk.bucket_cutoff {
+            return;
+        }
+        let pending = n - if bucket.cells.is_some() { bucket.cell_rows } else { 0 };
+        if pending * 2 <= n {
+            return;
+        }
+        if bucket.hnsw.is_none() {
+            // first time past the cutoff: build the index, then tombstone
+            // already-dead rows
+            let mut h = ShardedHnsw::build(
+                &bucket.matrix,
+                HnswConfig {
+                    m: lk.hnsw_m,
+                    ef_construction: lk.hnsw_ef_construction,
+                    ef_search: lk.hnsw_ef_search,
+                    metric: Metric::Cosine,
+                    seed: HNSW_SEED,
+                },
+                lk.shards,
+            );
+            for (r, alive) in bucket.row_alive.iter().enumerate() {
+                if !alive {
+                    h.remove(r as u64);
+                }
+            }
+            bucket.hnsw = Some(h);
+        }
+        let Some(h) = bucket.hnsw.as_ref() else {
+            return;
+        };
+        let radius = (1.0 - self.config.theta) + RADIUS_MARGIN;
+        let mut seeds: Vec<(u32, u32)> = Vec::new();
+        for i in 0..n {
+            if !bucket.row_alive[i] {
+                continue;
+            }
+            for hit in h.search_radius_with_stats(bucket.matrix.row(i), radius, lk.init_k, &mut stats.hnsw) {
+                let j = hit.id as usize;
+                if j != i {
+                    seeds.push((i.min(j) as u32, i.max(j) as u32));
+                }
+            }
+        }
+        let dim = bucket.matrix.dim();
+        let mut members_out: Vec<Vec<u32>> = Vec::new();
+        let mut centroids: Vec<f32> = Vec::new();
+        let mut radii: Vec<f32> = Vec::new();
+        let mut norms_sq: Vec<f32> = Vec::new();
+        for comp in components(n, &seeds) {
+            let live_members: Vec<u32> =
+                comp.into_iter().filter(|&r| bucket.row_alive[r as usize]).collect();
+            if live_members.is_empty() {
+                continue;
+            }
+            let mut centroid = vec![0.0f32; dim];
+            for &r in &live_members {
+                for (acc, x) in centroid.iter_mut().zip(bucket.matrix.row(r as usize)) {
+                    *acc += x;
+                }
+            }
+            for x in centroid.iter_mut() {
+                *x /= live_members.len() as f32;
+            }
+            let radius_c = live_members
+                .iter()
+                .map(|&r| euclidean(&centroid, bucket.matrix.row(r as usize)))
+                .fold(0.0f32, f32::max)
+                + GEOM_MARGIN;
+            norms_sq.push(dot_lanes(&centroid, &centroid));
+            radii.push(radius_c);
+            centroids.extend_from_slice(&centroid);
+            members_out.push(live_members);
+        }
+        bucket.cells = Some(CellSet { members: members_out, centroids, radii, norms_sq, dim });
+        bucket.cell_rows = n;
+        stats.cell_rebuilds += 1;
+    }
+}
+
+/// Collect every quad a dataset's removal must withdraw:
+///
+/// - its metadata subgraph, regenerated from the retained `profiles` via
+///   the same emitter bootstrap used (dataset/table/column hierarchy and
+///   statistics);
+/// - every similarity edge incident to one of its columns, in both
+///   directions, plus the matching RDF-star score annotations;
+/// - each of its pipelines (found via `aboutDataset`): the default-graph
+///   metadata quads and the pipeline's entire named graph (statements and
+///   verified `readsTable`/`readsColumn` edges);
+/// - its quarantine provenance records (artifact ids prefixed
+///   `<dataset>/` inside [`QUARANTINE_GRAPH`]).
+///
+/// The result may contain duplicates (an edge between two removed
+/// columns is collected from both endpoints); batch retraction
+/// deduplicates.
+pub fn retraction_quads(
+    snap: &StoreSnapshot,
+    dataset: &str,
+    profiles: &[ColumnProfile],
+) -> Vec<Quad> {
+    let mut out: Vec<Quad> = Vec::new();
+    let vocab = Vocab::new();
+
+    // metadata subgraph, regenerated with fresh dedup state
+    let mut triples = 0usize;
+    let mut seen_datasets: HashSet<String> = HashSet::new();
+    let mut seen_tables: HashSet<(String, String)> = HashSet::new();
+    for p in profiles {
+        push_profile_metadata(&mut out, &mut triples, &vocab, p, &mut seen_datasets, &mut seen_tables);
+    }
+
+    // similarity edges touching this dataset's columns, plus their
+    // RDF-star annotations
+    let preds = [
+        Term::iri(object_prop::iri(object_prop::HAS_CONTENT_SIMILARITY)),
+        Term::iri(object_prop::iri(object_prop::HAS_LABEL_SIMILARITY)),
+    ];
+    for p in profiles {
+        let c = Term::iri(res::column(&p.meta.dataset, &p.meta.table, &p.meta.column));
+        for pred in &preds {
+            let outgoing: Vec<Quad> = snap
+                .match_pattern(
+                    &QuadPattern::any().with_subject(c.clone()).with_predicate(pred.clone()),
+                )
+                .collect();
+            let incoming: Vec<Quad> = snap
+                .match_pattern(
+                    &QuadPattern::any().with_predicate(pred.clone()).with_object(c.clone()),
+                )
+                .collect();
+            for quad in outgoing.into_iter().chain(incoming) {
+                let star = Term::quoted(
+                    quad.subject.clone(),
+                    quad.predicate.clone(),
+                    quad.object.clone(),
+                );
+                out.extend(snap.match_pattern(&QuadPattern::any().with_subject(star)));
+                out.push(quad);
+            }
+        }
+    }
+
+    // pipelines about this dataset: default-graph metadata + named graph
+    let about = Term::iri(object_prop::iri(object_prop::ABOUT_DATASET));
+    let ds = Term::iri(res::dataset(dataset));
+    let pipelines: Vec<Term> = snap
+        .match_pattern(&QuadPattern::any().with_predicate(about).with_object(ds))
+        .map(|q| q.subject)
+        .collect();
+    for pipe in pipelines {
+        out.extend(snap.match_pattern(
+            &QuadPattern::any().with_subject(pipe.clone()).with_graph(GraphName::Default),
+        ));
+        if let Some(iri) = pipe.as_iri() {
+            out.extend(
+                snap.match_pattern(&QuadPattern::any().with_graph(GraphName::named(iri))),
+            );
+        }
+    }
+
+    // quarantine provenance whose artifact id starts with "<dataset>/"
+    let prefix = format!("{}/", artifact_iri(dataset));
+    out.extend(
+        snap.match_pattern(
+            &QuadPattern::any().with_graph(GraphName::named(QUARANTINE_GRAPH)),
+        )
+        .filter(|q| q.subject.as_iri().is_some_and(|iri| iri.starts_with(&prefix))),
+    );
+    out
+}

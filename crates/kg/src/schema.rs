@@ -101,21 +101,21 @@ impl Default for LinkingConfig {
 /// Widens the HNSW radius (`1 − θ`) so float noise between the index
 /// metric and the [`dot_lanes`] re-check cannot drop a true candidate;
 /// the exact gate then discards anything the margin let through.
-const RADIUS_MARGIN: f32 = 1e-3;
+pub(crate) const RADIUS_MARGIN: f32 = 1e-3;
 
 /// Widens the boolean sliding window (`1 − β`) the same way; `β` is f64
 /// so a much smaller slack suffices.
 const WINDOW_MARGIN: f64 = 1e-9;
 
 /// Fixed level-assignment seed so pruned runs are reproducible.
-const HNSW_SEED: u64 = 0x11d5;
+pub(crate) const HNSW_SEED: u64 = 0x11d5;
 
 /// Slack added to the Euclidean equivalent of the θ-ball (`√(2(1−θ))`) and
 /// to each component radius in the triangle-inequality bound, absorbing
 /// f32 rounding in centroid/radius computation. The bound only decides
 /// which component pairs are *enumerated*; the exact θ gate still decides
 /// every edge, so over-wide margins cost speed, never correctness.
-const GEOM_MARGIN: f32 = 1e-4;
+pub(crate) const GEOM_MARGIN: f32 = 1e-4;
 
 /// Similarity thresholds (`α`, `β`, `θ` in Algorithm 3) plus engine tuning.
 #[derive(Debug, Clone, Copy)]
@@ -209,6 +209,77 @@ pub fn build_data_global_schema(
     stats
 }
 
+/// Append the metadata quads of one column profile (Algorithm 3 lines
+/// 2–5): the dataset/table hierarchy nodes on first sight, then the
+/// column node with its type and statistics. Shared by the batch schema
+/// pass, the incremental delta path, and retraction-set regeneration, so
+/// the three always agree on the exact quad shapes.
+pub(crate) fn push_profile_metadata(
+    out: &mut Vec<Quad>,
+    triples: &mut usize,
+    vocab: &Vocab,
+    p: &ColumnProfile,
+    seen_datasets: &mut std::collections::HashSet<String>,
+    seen_tables: &mut std::collections::HashSet<(String, String)>,
+) {
+    let mut emit = |out: &mut Vec<Quad>, s: Term, pr: Term, o: Term| {
+        out.push(Quad::new(s, pr, o));
+        *triples += 1;
+    };
+    let is_part_of = vocab.obj(object_prop::IS_PART_OF);
+    let has_table = vocab.obj(object_prop::HAS_TABLE);
+    let has_column = vocab.obj(object_prop::HAS_COLUMN);
+    let d_iri = res::dataset(&p.meta.dataset);
+    if seen_datasets.insert(p.meta.dataset.clone()) {
+        emit(out, Term::iri(d_iri.clone()), vocab.rdf_type.clone(), vocab.class(class::DATASET));
+        emit(out, Term::iri(d_iri.clone()), vocab.rdfs_label.clone(), Term::string(p.meta.dataset.clone()));
+    }
+    let t_iri = res::table(&p.meta.dataset, &p.meta.table);
+    if seen_tables.insert((p.meta.dataset.clone(), p.meta.table.clone())) {
+        emit(out, Term::iri(t_iri.clone()), vocab.rdf_type.clone(), vocab.class(class::TABLE));
+        emit(out, Term::iri(t_iri.clone()), vocab.rdfs_label.clone(), Term::string(p.meta.table.clone()));
+        emit(out, Term::iri(t_iri.clone()), is_part_of.clone(), Term::iri(d_iri.clone()));
+        emit(out, Term::iri(d_iri.clone()), has_table.clone(), Term::iri(t_iri.clone()));
+    }
+    let c_iri = res::column(&p.meta.dataset, &p.meta.table, &p.meta.column);
+    let c = Term::iri(c_iri);
+    emit(out, c.clone(), vocab.rdf_type.clone(), vocab.class(class::COLUMN));
+    emit(out, c.clone(), vocab.rdfs_label.clone(), Term::string(p.meta.column.clone()));
+    emit(out, c.clone(), is_part_of.clone(), Term::iri(t_iri.clone()));
+    emit(out, Term::iri(t_iri), has_column.clone(), c.clone());
+    emit(out, c.clone(), vocab.data(data_prop::HAS_DATA_TYPE), Term::string(p.fgt.label()));
+    emit(
+        out,
+        c.clone(),
+        vocab.data(data_prop::HAS_TOTAL_VALUE_COUNT),
+        Term::integer(p.stats.count as i64),
+    );
+    emit(
+        out,
+        c.clone(),
+        vocab.data(data_prop::HAS_MISSING_VALUE_COUNT),
+        Term::integer(p.stats.nulls as i64),
+    );
+    emit(
+        out,
+        c.clone(),
+        vocab.data(data_prop::HAS_DISTINCT_VALUE_COUNT),
+        Term::integer(p.stats.distinct as i64),
+    );
+    if let Some(v) = p.stats.mean {
+        emit(out, c.clone(), vocab.data(data_prop::HAS_MEAN_VALUE), Term::double(v));
+    }
+    if let Some(v) = p.stats.min {
+        emit(out, c.clone(), vocab.data(data_prop::HAS_MIN_VALUE), Term::double(v));
+    }
+    if let Some(v) = p.stats.max {
+        emit(out, c.clone(), vocab.data(data_prop::HAS_MAX_VALUE), Term::double(v));
+    }
+    if let Some(v) = p.stats.true_ratio {
+        emit(out, c, vocab.data(data_prop::HAS_TRUE_RATIO), Term::double(v));
+    }
+}
+
 /// Append the data global schema quads (default graph) to a batch.
 pub fn data_global_schema_quads(
     out: &mut Vec<Quad>,
@@ -216,80 +287,36 @@ pub fn data_global_schema_quads(
     config: &SchemaConfig,
     we: &WordEmbeddings,
 ) -> SchemaStats {
+    data_global_schema_quads_seeded(out, profiles, config, we).0
+}
+
+/// [`data_global_schema_quads`], additionally handing back the stage-1/2
+/// linking structures ([`LinkSeed`]) the pass built — the interned label
+/// cache, dense table ids, and each bucket's pre-normalized matrix plus
+/// (for HNSW-pruned buckets) the sharded index and candidate components —
+/// so an incremental maintainer can keep linking new columns against them
+/// instead of rebuilding from scratch.
+pub fn data_global_schema_quads_seeded(
+    out: &mut Vec<Quad>,
+    profiles: &[ColumnProfile],
+    config: &SchemaConfig,
+    we: &WordEmbeddings,
+) -> (SchemaStats, LinkSeed) {
     let mut stats = SchemaStats { columns: profiles.len(), ..Default::default() };
     let vocab = Vocab::new();
 
     // ---- metadata subgraph (Algorithm 3 lines 2–5) ----
-    let is_part_of = vocab.obj(object_prop::IS_PART_OF);
-    let has_table = vocab.obj(object_prop::HAS_TABLE);
-    let has_column = vocab.obj(object_prop::HAS_COLUMN);
     let mut seen_tables: std::collections::HashSet<(String, String)> = Default::default();
     let mut seen_datasets: std::collections::HashSet<String> = Default::default();
     for p in profiles {
-        let d_iri = res::dataset(&p.meta.dataset);
-        if seen_datasets.insert(p.meta.dataset.clone()) {
-            emit(out, &mut stats, Term::iri(d_iri.clone()), vocab.rdf_type.clone(), vocab.class(class::DATASET));
-            emit(out, &mut stats, Term::iri(d_iri.clone()), vocab.rdfs_label.clone(), Term::string(p.meta.dataset.clone()));
-        }
-        let t_iri = res::table(&p.meta.dataset, &p.meta.table);
-        if seen_tables.insert((p.meta.dataset.clone(), p.meta.table.clone())) {
-            emit(out, &mut stats, Term::iri(t_iri.clone()), vocab.rdf_type.clone(), vocab.class(class::TABLE));
-            emit(out, &mut stats, Term::iri(t_iri.clone()), vocab.rdfs_label.clone(), Term::string(p.meta.table.clone()));
-            emit(
-                out,
-                &mut stats,
-                Term::iri(t_iri.clone()),
-                is_part_of.clone(),
-                Term::iri(d_iri.clone()),
-            );
-            emit(
-                out,
-                &mut stats,
-                Term::iri(d_iri.clone()),
-                has_table.clone(),
-                Term::iri(t_iri.clone()),
-            );
-        }
-        let c_iri = res::column(&p.meta.dataset, &p.meta.table, &p.meta.column);
-        let c = Term::iri(c_iri.clone());
-        emit(out, &mut stats, c.clone(), vocab.rdf_type.clone(), vocab.class(class::COLUMN));
-        emit(out, &mut stats, c.clone(), vocab.rdfs_label.clone(), Term::string(p.meta.column.clone()));
-        emit(out, &mut stats, c.clone(), is_part_of.clone(), Term::iri(t_iri.clone()));
-        emit(out, &mut stats, Term::iri(t_iri.clone()), has_column.clone(), c.clone());
-        emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_DATA_TYPE), Term::string(p.fgt.label()));
-        emit(
+        push_profile_metadata(
             out,
-            &mut stats,
-            c.clone(),
-            vocab.data(data_prop::HAS_TOTAL_VALUE_COUNT),
-            Term::integer(p.stats.count as i64),
+            &mut stats.metadata_triples,
+            &vocab,
+            p,
+            &mut seen_datasets,
+            &mut seen_tables,
         );
-        emit(
-            out,
-            &mut stats,
-            c.clone(),
-            vocab.data(data_prop::HAS_MISSING_VALUE_COUNT),
-            Term::integer(p.stats.nulls as i64),
-        );
-        emit(
-            out,
-            &mut stats,
-            c.clone(),
-            vocab.data(data_prop::HAS_DISTINCT_VALUE_COUNT),
-            Term::integer(p.stats.distinct as i64),
-        );
-        if let Some(v) = p.stats.mean {
-            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_MEAN_VALUE), Term::double(v));
-        }
-        if let Some(v) = p.stats.min {
-            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_MIN_VALUE), Term::double(v));
-        }
-        if let Some(v) = p.stats.max {
-            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_MAX_VALUE), Term::double(v));
-        }
-        if let Some(v) = p.stats.true_ratio {
-            emit(out, &mut stats, c.clone(), vocab.data(data_prop::HAS_TRUE_RATIO), Term::double(v));
-        }
     }
 
     // ---- pairwise similarity (Algorithm 3 lines 6–19) ----
@@ -387,13 +414,14 @@ pub fn data_global_schema_quads(
     // Buckets run in type-label order so the per-bucket stats (and any
     // tie-broken float accumulation) are reproducible run to run.
     let content_start = Instant::now();
+    let mut captures: Vec<BucketCapture> = Vec::new();
     let mut bucket_order: Vec<(&FineGrainedType, &Vec<usize>)> = by_type.iter().collect();
     bucket_order.sort_by_key(|(fgt, _)| fgt.label());
     for (fgt, members) in bucket_order {
         if *fgt == FineGrainedType::Boolean {
             boolean_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats, fgt.label());
         } else {
-            embeddable_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats, fgt.label());
+            embeddable_content(profiles, members, &col_iris, &table_of, config, &mut edges, &mut stats, *fgt, &mut captures);
         }
     }
     for b in &stats.buckets {
@@ -415,7 +443,67 @@ pub fn data_global_schema_quads(
             push_edge_with(out, &edge.a, &edge.b, &content_pred, &certainty, edge.score);
         }
     }
-    stats
+    let seed = LinkSeed {
+        cache,
+        table_ids: table_ids
+            .into_iter()
+            .map(|((d, t), id)| ((d.to_string(), t.to_string()), id))
+            .collect(),
+        table_of,
+        label_of,
+        buckets: captures,
+    };
+    (stats, seed)
+}
+
+/// The stage-1/2 structures one batch schema pass built, handed over via
+/// [`data_global_schema_quads_seeded`] so incremental maintenance links
+/// against the *same* label cache, table-id assignment, matrices, and
+/// indexes the batch pass used.
+pub struct LinkSeed {
+    /// Interned label embeddings: one entry per distinct column label.
+    pub cache: LabelEmbeddingCache,
+    /// Dense table ids in first-appearance order (the cross-table gate's
+    /// identity space).
+    pub table_ids: std::collections::HashMap<(String, String), u32>,
+    /// Profile index → its table id.
+    pub table_of: Vec<u32>,
+    /// Profile index → its interned label.
+    pub label_of: Vec<lids_embed::LabelId>,
+    /// Per-embeddable-bucket matrices/indexes, in type-label order.
+    pub buckets: Vec<BucketCapture>,
+}
+
+/// One embeddable bucket's content-pass structures, kept alive after the
+/// batch pass.
+pub struct BucketCapture {
+    pub fgt: FineGrainedType,
+    /// Bucket row → profile index (rows with a non-empty embedding).
+    pub rows: Vec<usize>,
+    /// Pre-normalized CoLR vectors, one row per entry of `rows`.
+    pub matrix: RowMatrix,
+    /// The sharded HNSW the pruned path built (`None` for exact-scan
+    /// buckets at or below the cutoff).
+    pub hnsw: Option<ShardedHnsw>,
+    /// The candidate components plus centroid geometry the pruned path
+    /// derived (`None` for exact-scan buckets).
+    pub cells: Option<CellSet>,
+}
+
+/// A partition of a bucket's rows into components with centroid/radius
+/// geometry: the lossless triangle-inequality candidate filter. For a
+/// query vector `q`, every stored row within the θ-ball of `q` lives in a
+/// cell whose centroid is within `r_max + radius` of `q`.
+pub struct CellSet {
+    /// Row ids per cell; every covered row appears in exactly one cell.
+    pub members: Vec<Vec<u32>>,
+    /// Flat `cells × dim` centroid matrix.
+    pub centroids: Vec<f32>,
+    /// Max member distance to the centroid, plus [`GEOM_MARGIN`].
+    pub radii: Vec<f32>,
+    /// Squared centroid norms, for the sqrt-free bound check.
+    pub norms_sq: Vec<f32>,
+    pub dim: usize,
 }
 
 /// Insert one similarity edge: both directions materialised (symmetric,
@@ -439,7 +527,7 @@ pub fn insert_similarity_edge(
 /// [`insert_similarity_edge`] with the shared terms pre-built: the subject
 /// and object terms are constructed once and the reverse direction reuses
 /// them via an in-place swap instead of fresh string allocations.
-fn push_edge_with(
+pub(crate) fn push_edge_with(
     out: &mut Vec<Quad>,
     a_iri: &str,
     b_iri: &str,
@@ -466,7 +554,7 @@ fn push_edge_with(
 }
 
 /// Euclidean distance between two raw f32 vectors.
-fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+pub(crate) fn euclidean(a: &[f32], b: &[f32]) -> f32 {
     a.iter()
         .zip(b)
         .map(|(x, y)| {
@@ -481,7 +569,7 @@ fn euclidean(a: &[f32], b: &[f32]) -> f32 {
 /// with path halving). Every node appears in exactly one component;
 /// isolated nodes come back as singletons. Components are ordered by their
 /// smallest member so downstream iteration is deterministic.
-fn components(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+pub(crate) fn components(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
     let mut parent: Vec<u32> = (0..n as u32).collect();
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
         while parent[x as usize] != x {
@@ -646,20 +734,27 @@ fn embeddable_content(
     config: &SchemaConfig,
     edges: &mut Vec<Edge>,
     stats: &mut SchemaStats,
-    fgt: &'static str,
+    fgt_type: FineGrainedType,
+    captures: &mut Vec<BucketCapture>,
 ) {
+    let fgt = fgt_type.label();
     let rows: Vec<usize> = members
         .iter()
         .copied()
         .filter(|&i| !profiles[i].embedding.is_empty())
         .collect();
-    if rows.len() < 2 {
+    if rows.is_empty() {
         return;
     }
     let dim = profiles[rows[0]].embedding.len();
     let mut m = RowMatrix::with_capacity(dim, rows.len());
     for &i in &rows {
         m.push_normalized(&profiles[i].embedding);
+    }
+    if rows.len() < 2 {
+        // no pairs to score, but the row must stay linkable against
+        captures.push(BucketCapture { fgt: fgt_type, rows, matrix: m, hnsw: None, cells: None });
+        return;
     }
     let eligible = cross_table_pair_count(&rows, table_of);
     let lk = &config.linking;
@@ -678,6 +773,7 @@ fn embeddable_content(
         hits = scan_pairs_above(&m, config.theta, lk.block, |i, j| {
             table_of[rows[i as usize]] != table_of[rows[j as usize]]
         });
+        captures.push(BucketCapture { fgt: fgt_type, rows: rows.clone(), matrix: m, hnsw: None, cells: None });
     } else {
         // Stage 2a: ANN seeding. Radius queries over the sharded HNSW
         // surface nearly every θ-pair; each unordered pair has two chances
@@ -811,6 +907,13 @@ fn embeddable_content(
             strategy: "hnsw",
             hnsw: ann,
         });
+        captures.push(BucketCapture {
+            fgt: fgt_type,
+            rows: rows.clone(),
+            matrix: m,
+            hnsw: Some(index),
+            cells: Some(CellSet { members: comps, centroids, radii, norms_sq, dim }),
+        });
     }
 
     for (i, j, score) in hits {
@@ -821,11 +924,6 @@ fn embeddable_content(
             score: score as f64,
         });
     }
-}
-
-fn emit(out: &mut Vec<Quad>, stats: &mut SchemaStats, s: Term, p: Term, o: Term) {
-    out.push(Quad::new(s, p, o));
-    stats.metadata_triples += 1;
 }
 
 #[cfg(test)]

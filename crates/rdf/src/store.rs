@@ -88,6 +88,41 @@ impl IngestStats {
     }
 }
 
+/// Per-phase timings and counts for one [`QuadStore::retract`] call.
+///
+/// The retraction mirror of [`IngestStats`]: encode resolves terms
+/// against the dictionary (a quad naming any un-interned term cannot be
+/// present and is skipped), index runs the sorted anti-merge over the
+/// four permutations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetractStats {
+    /// Quads offered to the batch, duplicates and absentees included.
+    pub quads_in: usize,
+    /// Quads that were present and left the indexes.
+    pub quads_removed: usize,
+    /// Phase 1: dictionary resolution of the batch's terms.
+    pub encode_secs: f64,
+    /// Phase 2: sorted-run anti-merge of the four indexes.
+    pub index_secs: f64,
+}
+
+impl RetractStats {
+    /// Total wall-clock seconds across both phases.
+    pub fn total_secs(&self) -> f64 {
+        self.encode_secs + self.index_secs
+    }
+
+    /// Offered quads per second over both phases.
+    pub fn quads_per_sec(&self) -> f64 {
+        let secs = self.total_secs();
+        if secs > 0.0 {
+            self.quads_in as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// A quad encoded as four term ids: `[subject, predicate, object, graph]`.
 ///
 /// The graph slot holds the id of the graph IRI term, or the default-graph sentinel
@@ -407,6 +442,10 @@ impl StoreReader {
 pub struct QuadStore {
     snap: Arc<StoreSnapshot>,
     published: Arc<SnapshotCell>,
+    /// `Some(base_generation)` while a delta is open
+    /// ([`QuadStore::begin_delta`]): publication is suppressed and the
+    /// commit collapses all interim generation bumps to `base + 1`.
+    delta: Option<u64>,
 }
 
 impl Deref for QuadStore {
@@ -431,6 +470,7 @@ impl Default for QuadStore {
                 generation: 0,
             }),
             published: Arc::new(SnapshotCell { slot: Mutex::new(None) }),
+            delta: None,
         }
     }
 }
@@ -773,6 +813,93 @@ impl StoreSnapshot {
         removed
     }
 
+    /// In-place batch retraction on the private copy; see
+    /// [`QuadStore::retract`].
+    fn retract_batch(&mut self, quads: &[Quad]) -> RetractStats {
+        let mut stats = RetractStats { quads_in: quads.len(), ..RetractStats::default() };
+        // Phase 1: resolve terms. A quad naming any term the dictionary
+        // has never seen cannot be in the store — skip it.
+        let t = Instant::now();
+        let mut encoded: Vec<EncodedQuad> = Vec::with_capacity(quads.len());
+        for quad in quads {
+            let (Some(s), Some(p), Some(o)) = (
+                self.dict.id_of(&quad.subject),
+                self.dict.id_of(&quad.predicate),
+                self.dict.id_of(&quad.object),
+            ) else {
+                continue;
+            };
+            let Some(g) = self.dict.id_of(&Self::graph_term(&quad.graph)) else {
+                continue;
+            };
+            encoded.push([s.0, p.0, o.0, g.0]);
+        }
+        stats.encode_secs = t.elapsed().as_secs_f64();
+
+        // Phase 2: sorted-run anti-merge, parallel across permutations.
+        let t = Instant::now();
+        stats.quads_removed =
+            self.retract_encoded_batch(&encoded, Self::ingest_threads(encoded.len()));
+        stats.index_secs = t.elapsed().as_secs_f64();
+        stats
+    }
+
+    /// In-place encoded batch retraction on the private copy; see
+    /// [`QuadStore::retract_encoded`].
+    ///
+    /// The anti-merge mirror of [`StoreSnapshot::merge_encoded`]: the
+    /// batch is sorted and deduplicated once in spog order, permuted into
+    /// the other three key orders, and each index drops the run via a
+    /// sorted two-stream difference (rebuild for big runs, point removes
+    /// for small ones), in parallel across the four trees.
+    fn retract_encoded_batch(&mut self, encoded: &[EncodedQuad], threads: usize) -> usize {
+        let before = self.spog.len();
+        // batch-level invalidation, mirroring merge_encoded
+        self.generation += 1;
+        if encoded.is_empty() {
+            return 0;
+        }
+        let mut spog_run: Vec<[u32; 4]> = encoded.to_vec();
+        spog_run.sort_unstable();
+        spog_run.dedup();
+        let perms: [fn(EncodedQuad) -> [u32; 4]; 3] = [
+            |[s, p, o, g]| [p, o, s, g],
+            |[s, p, o, g]| [o, s, p, g],
+            |[s, p, o, g]| [g, s, p, o],
+        ];
+        let perm_ids: [usize; 3] = [0, 1, 2];
+        let deduped = &spog_run;
+        let mut runs: Vec<Vec<[u32; 4]>> = parallel_map_with(
+            ParallelConfig { threads: threads.min(3), chunk: 1 },
+            &perm_ids,
+            |&i| {
+                let mut run: Vec<[u32; 4]> = deduped.iter().map(|&q| perms[i](q)).collect();
+                run.sort_unstable();
+                run
+            },
+        );
+        let (Some(gspo_run), Some(ospg_run), Some(posg_run)) =
+            (runs.pop(), runs.pop(), runs.pop())
+        else {
+            unreachable!("parallel_map_with returns one run per permutation")
+        };
+        if threads > 1 {
+            std::thread::scope(|scope| {
+                scope.spawn(|| anti_merge_sorted_run(&mut self.posg, posg_run));
+                scope.spawn(|| anti_merge_sorted_run(&mut self.ospg, ospg_run));
+                scope.spawn(|| anti_merge_sorted_run(&mut self.gspo, gspo_run));
+                anti_merge_sorted_run(&mut self.spog, spog_run);
+            });
+        } else {
+            anti_merge_sorted_run(&mut self.spog, spog_run);
+            anti_merge_sorted_run(&mut self.posg, posg_run);
+            anti_merge_sorted_run(&mut self.ospg, ospg_run);
+            anti_merge_sorted_run(&mut self.gspo, gspo_run);
+        }
+        debug_assert!(self.validate_indexes());
+        before - self.spog.len()
+    }
+
     /// True when the quad is present.
     pub fn contains(&self, quad: &Quad) -> bool {
         let (Some(s), Some(p), Some(o)) = (
@@ -1096,11 +1223,49 @@ impl QuadStore {
         }
     }
 
+    /// Publication gate every mutator goes through: while a delta is
+    /// open, committed-but-unpublished states stay private to the writer
+    /// so detached readers see whole deltas or nothing.
+    fn maybe_publish(&self) {
+        if self.delta.is_none() {
+            self.publish();
+        }
+    }
+
+    /// Open a delta: suppress snapshot publication until
+    /// [`QuadStore::commit_delta`], so any number of mutating calls land
+    /// on detached readers as one atomic batch. Panics on nested deltas.
+    pub fn begin_delta(&mut self) {
+        assert!(self.delta.is_none(), "begin_delta: delta already open");
+        self.delta = Some(self.snap.generation);
+    }
+
+    /// True while a delta opened by [`QuadStore::begin_delta`] is
+    /// uncommitted.
+    pub fn delta_open(&self) -> bool {
+        self.delta.is_some()
+    }
+
+    /// Commit the open delta: collapse every interim generation bump to
+    /// exactly `base + 1` (so `(store_id, generation)`-keyed caches are
+    /// invalidated once per delta, not once per internal batch) and
+    /// publish the result as one snapshot. A delta that mutated nothing
+    /// leaves the generation untouched. No-op when no delta is open.
+    pub fn commit_delta(&mut self) {
+        let Some(base) = self.delta.take() else {
+            return;
+        };
+        if self.snap.generation != base {
+            Arc::make_mut(&mut self.snap).generation = base + 1;
+        }
+        self.publish();
+    }
+
     /// Insert a quad. Returns `true` when it was not already present.
     pub fn insert(&mut self, quad: &Quad) -> bool {
         let fresh = Arc::make_mut(&mut self.snap).insert_quad(quad);
         if fresh {
-            self.publish();
+            self.maybe_publish();
         }
         fresh
     }
@@ -1130,7 +1295,7 @@ impl QuadStore {
             return IngestStats::default();
         }
         let stats = Arc::make_mut(&mut self.snap).extend_batch(quads);
-        self.publish();
+        self.maybe_publish();
         stats
     }
 
@@ -1146,7 +1311,7 @@ impl QuadStore {
             return 0;
         }
         let added = Arc::make_mut(&mut self.snap).extend_encoded_batch(&encoded);
-        self.publish();
+        self.maybe_publish();
         added
     }
 
@@ -1154,8 +1319,46 @@ impl QuadStore {
     pub fn remove(&mut self, quad: &Quad) -> bool {
         let removed = Arc::make_mut(&mut self.snap).remove_quad(quad);
         if removed {
-            self.publish();
+            self.maybe_publish();
         }
+        removed
+    }
+
+    /// Batch-retract quads, returning per-phase statistics.
+    ///
+    /// Equivalent to calling [`QuadStore::remove`] on each quad, but runs
+    /// as the anti-merge mirror of the bulk loader: one dictionary
+    /// resolution pass (quads naming unknown terms are skipped — they
+    /// cannot be present), then a sorted-run set difference over the four
+    /// index permutations in parallel, published as one snapshot.
+    /// Retraction never shrinks the dictionary; term ids stay stable.
+    pub fn retract(&mut self, quads: impl IntoIterator<Item = Quad>) -> RetractStats {
+        let quads: Vec<Quad> = quads.into_iter().collect();
+        if quads.is_empty() {
+            return RetractStats::default();
+        }
+        let stats = Arc::make_mut(&mut self.snap).retract_batch(&quads);
+        self.maybe_publish();
+        stats
+    }
+
+    /// Batch-retract already-encoded quads: the fast path for retraction
+    /// sets collected from this same store (e.g. via
+    /// [`StoreSnapshot::match_ids`]). Every id must come from **this**
+    /// store's dictionary. Returns how many quads were present and left.
+    pub fn retract_encoded(&mut self, quads: impl IntoIterator<Item = EncodedQuad>) -> usize {
+        let encoded: Vec<EncodedQuad> = quads.into_iter().collect();
+        if encoded.is_empty() {
+            return 0;
+        }
+        let terms = self.snap.dict.len() as u32;
+        assert!(
+            encoded.iter().all(|q| q.iter().all(|&id| id < terms)),
+            "retract_encoded: id outside this store's dictionary"
+        );
+        let threads = StoreSnapshot::ingest_threads(encoded.len());
+        let removed = Arc::make_mut(&mut self.snap).retract_encoded_batch(&encoded, threads);
+        self.maybe_publish();
         removed
     }
 }
@@ -1240,6 +1443,28 @@ fn merge_sorted_run(set: &mut BTreeSet<[u32; 4]>, run: Vec<[u32; 4]>) {
     }
 }
 
+/// Drop a sorted, deduplicated run of index keys from one index tree.
+///
+/// The anti-merge mirror of [`merge_sorted_run`]: a sizeable run
+/// rebuilds the tree from the sorted difference of the two streams
+/// (O(n) per element, `BTreeSet`'s `FromIterator` packs the sorted
+/// output directly); a small run pays per-key point removes instead of a
+/// full rebuild. Keys absent from the tree are ignored.
+fn anti_merge_sorted_run(set: &mut BTreeSet<[u32; 4]>, run: Vec<[u32; 4]>) {
+    if run.is_empty() || set.is_empty() {
+        return;
+    }
+    if run.len() >= set.len() / 8 {
+        let old = std::mem::take(set);
+        *set = DiffSorted { a: old.into_iter().peekable(), b: run.into_iter().peekable() }
+            .collect();
+        return;
+    }
+    for key in run {
+        set.remove(&key);
+    }
+}
+
 /// Deduplicating merge of two sorted streams of index keys.
 struct MergeSorted<A: Iterator, B: Iterator> {
     a: std::iter::Peekable<A>,
@@ -1267,6 +1492,40 @@ where
             }
             (Some(_), None) => self.a.next(),
             (None, _) => self.b.next(),
+        }
+    }
+}
+
+/// Sorted set difference of two sorted streams: yields keys of `a` that
+/// do not appear in `b`.
+struct DiffSorted<A: Iterator, B: Iterator> {
+    a: std::iter::Peekable<A>,
+    b: std::iter::Peekable<B>,
+}
+
+impl<A, B> Iterator for DiffSorted<A, B>
+where
+    A: Iterator<Item = [u32; 4]>,
+    B: Iterator<Item = [u32; 4]>,
+{
+    type Item = [u32; 4];
+
+    fn next(&mut self) -> Option<[u32; 4]> {
+        loop {
+            let x = *self.a.peek()?;
+            match self.b.peek() {
+                None => return self.a.next(),
+                Some(&y) => {
+                    if x < y {
+                        return self.a.next();
+                    } else if x == y {
+                        self.a.next();
+                        self.b.next();
+                    } else {
+                        self.b.next();
+                    }
+                }
+            }
         }
     }
 }
@@ -1857,5 +2116,113 @@ mod tests {
         assert!(!std::ptr::eq(before.as_ref(), store.snapshot().as_ref()));
         assert_eq!(before.len(), 500);
         assert_eq!(store.len(), 501);
+    }
+
+    #[test]
+    fn batch_retract_matches_per_quad_remove() {
+        // big enough to take the rebuild path (run >= set/8) and — via
+        // the small tail batch below — the point-remove path too
+        let quads: Vec<Quad> = (0..600)
+            .map(|i| q(&format!("s{}", i % 30), &format!("p{}", i % 7), &format!("o{i}")))
+            .collect();
+        let victims: Vec<Quad> = quads.iter().step_by(3).cloned().collect();
+
+        let mut batch = QuadStore::new();
+        batch.extend(quads.clone());
+        let stats = batch.retract(victims.clone());
+        assert_eq!(stats.quads_in, victims.len());
+        assert_eq!(stats.quads_removed, victims.len());
+
+        let mut serial = QuadStore::new();
+        serial.extend(quads.clone());
+        for v in &victims {
+            assert!(serial.remove(v));
+        }
+
+        let dump = |s: &QuadStore| {
+            let mut v: Vec<String> = s.iter().map(|q| q.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(dump(&batch), dump(&serial));
+        assert!(batch.validate_indexes());
+
+        // small tail: run < set/8 exercises the point-remove path;
+        // stride 99 from index 1 never lands on an already-removed victim
+        let tail: Vec<Quad> = quads.iter().skip(1).step_by(99).cloned().collect();
+        assert!(tail.len() < batch.len() / 8);
+        let removed = batch.retract(tail.clone()).quads_removed;
+        assert_eq!(removed, tail.len());
+        for v in &tail {
+            serial.remove(v);
+        }
+        assert_eq!(dump(&batch), dump(&serial));
+    }
+
+    #[test]
+    fn retract_skips_absent_and_unknown_quads() {
+        let mut store = QuadStore::new();
+        store.extend([q("a", "p", "b"), q("c", "p", "d")]);
+        let stats = store.retract([
+            q("a", "p", "b"),          // present
+            q("a", "p", "b"),          // batch-internal duplicate
+            q("c", "p", "never-seen"), // unknown term: skipped at encode
+            q("a", "p", "d"),          // known terms, quad absent
+        ]);
+        assert_eq!(stats.quads_in, 4);
+        assert_eq!(stats.quads_removed, 1);
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(&q("c", "p", "d")));
+    }
+
+    #[test]
+    fn retract_encoded_drops_collected_ids() {
+        let mut store = QuadStore::new();
+        store.extend((0..50).map(|i| q(&format!("s{i}"), "p", "o")));
+        let p = store.id_of(&Term::iri("p")).unwrap();
+        let pattern = EncodedPattern { predicate: Some(p), ..EncodedPattern::default() };
+        let hits: Vec<EncodedQuad> = store.match_ids(&pattern).collect();
+        assert_eq!(store.retract_encoded(hits), 50);
+        assert!(store.is_empty());
+        assert!(store.validate_indexes());
+    }
+
+    #[test]
+    fn delta_publishes_once_and_bumps_generation_once() {
+        let mut store = QuadStore::new();
+        store.insert(&q("seed", "p", "o"));
+        let reader = store.reader();
+        let base = store.generation();
+
+        store.begin_delta();
+        assert!(store.delta_open());
+        store.extend([q("a", "p", "b"), q("c", "p", "d")]);
+        store.retract([q("seed", "p", "o")]);
+        store.insert(&q("e", "p", "f"));
+        // several mutations later the reader still sees the pre-delta state
+        assert_eq!(reader.snapshot().len(), 1);
+        assert!(store.generation() > base + 1);
+
+        store.commit_delta();
+        assert!(!store.delta_open());
+        // whole delta at once, one generation bump
+        assert_eq!(reader.snapshot().len(), 3);
+        assert_eq!(store.generation(), base + 1);
+        assert_eq!(reader.snapshot().generation(), base + 1);
+    }
+
+    #[test]
+    fn empty_delta_leaves_generation_untouched() {
+        let mut store = QuadStore::new();
+        store.insert(&q("a", "p", "b"));
+        let base = store.generation();
+        store.begin_delta();
+        store.commit_delta();
+        assert_eq!(store.generation(), base);
+        // retracting nothing real still counts as a mutation epoch
+        store.begin_delta();
+        store.retract([q("a", "p", "never")]);
+        store.commit_delta();
+        assert_eq!(store.generation(), base + 1);
     }
 }

@@ -10,6 +10,8 @@
 //! a clear win, and it is the same recipe Faiss applies with its sharded
 //! `IndexShards` wrapper.
 
+use std::collections::HashSet;
+
 use lids_exec::parallel_map;
 
 use crate::hnsw::{HnswConfig, HnswIndex};
@@ -20,6 +22,10 @@ use crate::{Neighbor, SearchStats, VectorIndex};
 /// are the row indices of the matrix the index was built over.
 pub struct ShardedHnsw {
     shards: Vec<HnswIndex>,
+    /// Tombstoned ids: still in the shard graphs (HNSW deletion would
+    /// degrade the navigability the graphs were built for) but filtered
+    /// out of every search result.
+    dead: HashSet<u64>,
 }
 
 impl ShardedHnsw {
@@ -38,12 +44,38 @@ impl ShardedHnsw {
             }
             idx
         });
-        ShardedHnsw { shards: built }
+        ShardedHnsw { shards: built, dead: HashSet::new() }
     }
 
-    /// Total stored vectors across shards.
+    /// Incrementally insert one vector, routed to shard `id % shards`.
+    ///
+    /// When ids are assigned densely in insertion order (id = row index,
+    /// exactly how [`ShardedHnsw::build`] deals rows), adding rows
+    /// `n0..n` one at a time onto an index built over the first `n0` rows
+    /// reproduces the per-shard insertion sequences of a from-scratch
+    /// build over all `n` rows — so the incremental index is
+    /// *graph-identical* to the batch one (each shard's seeded level RNG
+    /// consumes draws in the same order). Pinned by a test below.
+    pub fn add(&mut self, id: u64, vector: &[f32]) {
+        let shard = (id as usize) % self.shards.len();
+        self.shards[shard].add(id, vector);
+    }
+
+    /// Tombstone a vector: it stays in the shard graph (still usable as a
+    /// routing waypoint) but never appears in search results again.
+    /// Returns `false` when the id was already tombstoned.
+    pub fn remove(&mut self, id: u64) -> bool {
+        self.dead.insert(id)
+    }
+
+    /// Total stored vectors across shards, tombstoned ones included.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of tombstoned ids.
+    pub fn dead_len(&self) -> usize {
+        self.dead.len()
     }
 
     /// True when no vectors are stored.
@@ -75,7 +107,12 @@ impl ShardedHnsw {
     ) -> Vec<Neighbor> {
         let mut out = Vec::new();
         for shard in &self.shards {
-            out.extend(shard.search_radius_with_stats(query, radius, init_k, stats));
+            out.extend(
+                shard
+                    .search_radius_with_stats(query, radius, init_k, stats)
+                    .into_iter()
+                    .filter(|n| !self.dead.contains(&n.id)),
+            );
         }
         out
     }
@@ -163,5 +200,65 @@ mod tests {
         let idx = ShardedHnsw::build(&m, HnswConfig::default(), 8);
         assert!(idx.is_empty());
         assert!(idx.search_radius(&[0.0; 4], 1.0, 4).is_empty());
+    }
+
+    #[test]
+    fn incremental_add_is_graph_identical_to_batch_build() {
+        let m = cluster_matrix();
+        let config = HnswConfig { metric: Metric::Cosine, ..Default::default() };
+        let batch = ShardedHnsw::build(&m, config, 4);
+
+        // build over a prefix, then add the remaining rows one at a time
+        let split = 50;
+        let mut prefix = RowMatrix::new(m.dim());
+        for i in 0..split {
+            prefix.push(m.row(i)); // rows are already normalized
+        }
+        let mut incremental = ShardedHnsw::build(&prefix, config, 4);
+        for i in split..m.len() {
+            incremental.add(i as u64, m.row(i));
+        }
+        assert_eq!(incremental.len(), batch.len());
+
+        // identical graphs answer identically: same ids, bitwise-equal
+        // distances, for every probe and radius tried
+        for probe in [0usize, 7, 40, 55, 79] {
+            for radius in [0.01f32, 0.05, 0.3] {
+                let key = |mut v: Vec<crate::Neighbor>| {
+                    v.sort_by_key(|n| n.id);
+                    v.into_iter().map(|n| (n.id, n.distance.to_bits())).collect::<Vec<_>>()
+                };
+                let a = key(batch.search_radius(m.row(probe), radius, 8));
+                let b = key(incremental.search_radius(m.row(probe), radius, 8));
+                assert_eq!(a, b, "probe {probe} radius {radius}");
+            }
+        }
+    }
+
+    #[test]
+    fn tombstoned_ids_never_surface() {
+        let m = cluster_matrix();
+        let mut idx = ShardedHnsw::build(
+            &m,
+            HnswConfig { metric: Metric::Cosine, ..Default::default() },
+            4,
+        );
+        let query = m.row(0).to_vec();
+        let before: std::collections::HashSet<u64> =
+            idx.search_radius(&query, 0.05, 8).into_iter().map(|n| n.id).collect();
+        assert!(before.contains(&0));
+        assert!(idx.remove(0));
+        assert!(!idx.remove(0), "second tombstone of the same id");
+        assert!(idx.remove(2));
+        assert_eq!(idx.dead_len(), 2);
+        let after: std::collections::HashSet<u64> =
+            idx.search_radius(&query, 0.05, 8).into_iter().map(|n| n.id).collect();
+        assert!(!after.contains(&0));
+        assert!(!after.contains(&2));
+        // everything else within the radius is still found
+        let mut expect = before.clone();
+        expect.remove(&0);
+        expect.remove(&2);
+        assert_eq!(after, expect);
     }
 }

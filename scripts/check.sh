@@ -10,6 +10,12 @@ cargo test -q --workspace
 cargo test -q --test chaos
 # Exact-vs-pruned linking must agree edge for edge, score for score.
 cargo test -q --test linking_differential
+# Incremental maintenance must be exact: any interleaving of apply_delta
+# adds/removals equals a from-scratch bootstrap of the surviving lake,
+# retraction restores the never-ingested baseline, and live readers see
+# whole deltas or nothing (a reader spinning on torn state would hang,
+# which the timeout turns into a failure).
+timeout 600 cargo test -q --release --test incremental_differential
 # Bulk loading must be indistinguishable from sequential insertion:
 # identical quad sets, identical insert-order-dense TermId assignment.
 cargo test -q -p lids-rdf --test bulk_load_differential
@@ -59,6 +65,29 @@ assert report["content_speedup"] > 0
 print("linking_schema smoke report ok")
 EOF
 rm -f "$smoke_out"
+
+# Smoke-run the delta benchmark: a one-dataset delta into a bootstrapped
+# lake must produce a store identical to a full rebuild (asserted inside
+# the binary and re-checked here), cost no more than the rebuild, and
+# retraction must restore the never-ingested baseline.
+delta_out="$(mktemp)"
+timeout 300 target/release/delta_bench --smoke --out "$delta_out" >/dev/null
+python3 - "$delta_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["bench"] == "delta_bench", report
+assert report["smoke"] is True, report
+assert report["identical"] is True, report
+assert report["delta_speedup"] >= 1.0, report["delta_speedup"]
+assert report["delta_columns"] > 0, report
+retraction = report["retraction"]
+assert retraction["identical"] is True, retraction
+assert retraction["quads_retracted"] > 0, retraction
+print("delta_bench smoke report ok (speedup %.1fx, %d quads retracted)"
+      % (report["delta_speedup"], retraction["quads_retracted"]))
+EOF
+rm -f "$delta_out"
 
 # Smoke-run the observability benchmark: the embedded metrics snapshot must
 # carry the lids-obs/v1 schema, the bootstrap counters, and histograms whose
@@ -289,8 +318,8 @@ rm -f "$serve_log"
 # The ingestion-path and query-path crates deny unwrap/expect outside tests;
 # make sure the crate-root opt-ins are still in place so clippy keeps
 # enforcing it.
-for crate in exec profiler pyast core sparql rdf server; do
-  lib="crates/${crate}/src/lib.rs"
+for lib in crates/{exec,profiler,pyast,core,sparql,rdf,server}/src/lib.rs \
+           crates/kg/src/incremental.rs; do
   if ! grep -q "deny(clippy::unwrap_used" "$lib"; then
     echo "error: ${lib} dropped the unwrap_used/expect_used deny opt-in" >&2
     exit 1

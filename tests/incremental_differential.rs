@@ -1,0 +1,386 @@
+//! Differential tests of incremental maintenance: any interleaving of
+//! `apply_delta` adds and removals must leave the store bit-identical
+//! (decoded quad sets — dictionary ids may differ) to a from-scratch
+//! bootstrap of the equivalent final lake. Incremental linking reuses the
+//! batch pass's exact kernels behind a lossless triangle-inequality
+//! candidate bound, so this holds for every lake, not just easy ones.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use kglids_repro::datagen::{synthetic_profiles, Corruptor, ProfileLakeSpec};
+use kglids_repro::embed::WordEmbeddings;
+use kglids_repro::kg::abstraction::PipelineMetadata;
+use kglids_repro::kg::schema::data_global_schema_quads_seeded;
+use kglids_repro::kg::{
+    build_data_global_schema, LinkIndex, LinkingConfig, LinkingMode, SchemaConfig,
+};
+use kglids_repro::kglids::{DeltaBatch, KgLids, KgLidsBuilder, PipelineScript};
+use kglids_repro::profiler::table::{Column, Dataset, Table};
+use kglids_repro::rdf::QuadStore;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Sorted decoded quad strings — the dictionary-independent fingerprint.
+fn dump(store: &QuadStore) -> Vec<String> {
+    let mut quads: Vec<String> = store.iter().map(|q| q.to_string()).collect();
+    quads.sort();
+    quads
+}
+
+fn dump_platform(platform: &KgLids) -> Vec<String> {
+    dump(platform.store())
+}
+
+/// A small mixed-type dataset: labels drawn from a shared pool so
+/// cross-dataset label and content edges actually fire.
+fn gen_dataset(name: &str, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let labels = ["age", "height", "name", "active", "score", "city", "id"];
+    let tables = (0..2 + (seed % 3) as usize)
+        .map(|t| {
+            let cols = (0..2 + ((seed + t as u64) % 3) as usize)
+                .map(|c| {
+                    let label = labels[rng.gen_range(0..labels.len())];
+                    let values: Vec<String> = match label {
+                        "age" | "id" => {
+                            (0..30).map(|_| rng.gen_range(18..90).to_string()).collect()
+                        }
+                        "height" | "score" => (0..30)
+                            .map(|_| format!("{:.2}", rng.gen_range(1.0f64..200.0)))
+                            .collect(),
+                        "active" => (0..30)
+                            .map(|_| if rng.gen_bool(0.5) { "true" } else { "false" }.into())
+                            .collect(),
+                        _ => (0..30).map(|i| format!("entry {i} of {name}")).collect(),
+                    };
+                    Column::new(format!("{label}_{c}"), values)
+                })
+                .collect();
+            Table::new(format!("t{t}"), cols)
+        })
+        .collect();
+    Dataset::new(name, tables)
+}
+
+fn pipeline_for(dataset: &Dataset, id: &str, score: f64) -> PipelineScript {
+    let table = &dataset.tables[0];
+    let column = &table.columns[0].name;
+    PipelineScript {
+        metadata: PipelineMetadata {
+            id: id.into(),
+            dataset: dataset.name.clone(),
+            title: format!("{id} on {}", dataset.name),
+            author: "casey".into(),
+            votes: 3,
+            score,
+            task: "classification".into(),
+        },
+        source: format!(
+            "import pandas as pd\ndf = pd.read_csv('{}/{}.csv')\nx = df['{}']\n",
+            dataset.name, table.name, column
+        ),
+    }
+}
+
+/// The tentpole guarantee, across 10 random lakes and a nontrivial
+/// interleaving: bootstrap {d0,d1,d2} → +d3 → (−d2, +d4) must equal a
+/// from-scratch bootstrap of {d0,d1,d3,d4}, with the plan-cache
+/// generation bumping exactly once per delta.
+#[test]
+fn delta_interleavings_match_full_bootstrap() {
+    for seed in 0..10u64 {
+        let ds: Vec<Dataset> =
+            (0..5).map(|i| gen_dataset(&format!("ds{i}"), seed * 31 + i)).collect();
+        let pipes: Vec<PipelineScript> = ds
+            .iter()
+            .enumerate()
+            .map(|(i, d)| pipeline_for(d, &format!("p{i}"), 0.5 + i as f64 / 10.0))
+            .collect();
+
+        // from-scratch bootstrap of the final lake {d0, d1, d3, d4}
+        let (full, _) = KgLidsBuilder::new()
+            .with_datasets([ds[0].clone(), ds[1].clone(), ds[3].clone(), ds[4].clone()])
+            .with_pipelines([
+                pipes[0].clone(),
+                pipes[1].clone(),
+                pipes[3].clone(),
+                pipes[4].clone(),
+            ])
+            .bootstrap();
+
+        // incremental: {d0, d1, d2} then +d3, then (−d2, +d4)
+        let (mut platform, _) = KgLidsBuilder::new()
+            .with_datasets([ds[0].clone(), ds[1].clone(), ds[2].clone()])
+            .with_pipelines([pipes[0].clone(), pipes[1].clone(), pipes[2].clone()])
+            .bootstrap();
+
+        let base = platform.store().generation();
+        let d1 = platform.apply_delta(
+            DeltaBatch::new().add_dataset(ds[3].clone()).add_pipelines([pipes[3].clone()]),
+        );
+        assert_eq!(d1.generation, base + 1, "seed {seed}: delta must bump gen once");
+
+        let d2 = platform.apply_delta(
+            DeltaBatch::new()
+                .remove_dataset("ds2")
+                .add_dataset(ds[4].clone())
+                .add_pipelines([pipes[4].clone()]),
+        );
+        assert_eq!(d2.generation, base + 2, "seed {seed}: mixed delta bumps gen once");
+        assert_eq!(d2.datasets_removed, 1);
+        assert!(d2.quads_retracted > 0, "seed {seed}: removal must retract quads");
+
+        assert_eq!(
+            dump_platform(&full),
+            dump_platform(&platform),
+            "seed {seed}: incremental store differs from full rebuild"
+        );
+
+        // an empty delta leaves the generation untouched
+        let d3 = platform.apply_delta(DeltaBatch::new());
+        assert_eq!(d3.generation, base + 2, "seed {seed}: empty delta must not publish");
+    }
+}
+
+/// Retraction leaves the store equal to a never-ingested baseline, and no
+/// ghost quarantine entries survive — including provenance of artifacts
+/// that were quarantined while the dataset was being added.
+#[test]
+fn retraction_equals_never_ingested_baseline_including_quarantine() {
+    let keep = gen_dataset("keep", 7);
+    let gone = gen_dataset("gone", 8);
+    let keep_pipe = pipeline_for(&keep, "kp", 0.7);
+    let gone_pipe = pipeline_for(&gone, "gp", 0.6);
+    // a broken pipeline of the doomed dataset: quarantined on add,
+    // withdrawn (report + provenance + gauge) on removal
+    let mut corruptor = Corruptor::new(99);
+    let broken = PipelineScript {
+        source: corruptor.corrupt_py(&gone_pipe.source),
+        metadata: PipelineMetadata { id: "gp_broken".into(), ..gone_pipe.metadata.clone() },
+    };
+
+    let (baseline, _) = KgLidsBuilder::new()
+        .with_dataset(keep.clone())
+        .with_pipelines([keep_pipe.clone()])
+        .bootstrap();
+
+    let (mut platform, _) = KgLidsBuilder::new()
+        .with_dataset(keep.clone())
+        .with_pipelines([keep_pipe.clone()])
+        .bootstrap();
+    let added = platform.apply_delta(
+        DeltaBatch::new()
+            .add_dataset(gone.clone())
+            .add_pipelines([gone_pipe.clone(), broken.clone()]),
+    );
+    assert_eq!(added.pipelines_abstracted, 1);
+    assert_eq!(added.pipelines_failed, 1, "broken script quarantined, batch kept");
+    assert_eq!(platform.quarantine_report().len(), 1);
+    assert_eq!(
+        platform.obs().metrics.snapshot().gauge("ingest.quarantine.artifacts"),
+        Some(1.0)
+    );
+
+    let removed = platform.apply_delta(DeltaBatch::new().remove_dataset("gone"));
+    assert!(removed.quads_retracted > 0);
+    assert_eq!(
+        dump_platform(&baseline),
+        dump_platform(&platform),
+        "retraction must leave the store equal to a never-ingested baseline"
+    );
+    // no ghosts: ledger, gauge, and provenance graph are all clean
+    assert!(platform.quarantine_report().is_clean());
+    assert_eq!(
+        platform.obs().metrics.snapshot().gauge("ingest.quarantine.artifacts"),
+        Some(0.0)
+    );
+    assert!(!platform
+        .ask(
+            "PREFIX p: <http://kglids.org/provenance/> \
+             ASK { GRAPH <http://kglids.org/provenance/quarantine> \
+             { ?a a p:QuarantinedArtifact . } }"
+        )
+        .unwrap());
+}
+
+/// A syntactically broken script inside a `DeltaBatch` quarantines that
+/// script (typed `PyParseError` + provenance quad) without dropping the
+/// rest of the batch — `lids_datagen::faults` py-syntax corruption.
+#[test]
+fn broken_pipeline_in_delta_is_quarantined_without_dropping_batch() {
+    let d = gen_dataset("lake", 21);
+    let good = pipeline_for(&d, "good", 0.9);
+    let mut corruptor = Corruptor::new(4);
+    let broken = PipelineScript {
+        source: corruptor.corrupt_py(&good.source),
+        metadata: PipelineMetadata { id: "bad".into(), ..good.metadata.clone() },
+    };
+
+    let (mut platform, _) = KgLidsBuilder::new().bootstrap();
+    let stats = platform.apply_delta(
+        DeltaBatch::new()
+            .add_dataset(d.clone())
+            .add_pipelines([good.clone(), broken]),
+    );
+    assert_eq!(stats.pipelines_abstracted, 1);
+    assert_eq!(stats.pipelines_failed, 1);
+    assert_eq!(stats.report.quarantined.len(), 1);
+    let entry = &stats.report.quarantined[0];
+    assert_eq!(entry.artifact, "lake/bad");
+    assert_eq!(entry.error.kind(), kglids_repro::exec::ErrorKind::PyParseError);
+    // the good pipeline of the same batch made it into the graph...
+    assert!(platform
+        .ask("PREFIX k: <http://kglids.org/ontology/> ASK { ?p a k:Pipeline . }")
+        .unwrap());
+    // ...and the failure is recorded as provenance
+    assert!(platform
+        .ask(
+            "PREFIX p: <http://kglids.org/provenance/> \
+             ASK { GRAPH <http://kglids.org/provenance/quarantine> \
+             { ?a p:errorKind ?k . } }"
+        )
+        .unwrap());
+}
+
+/// Live readers observe whole deltas or nothing: a polling thread must
+/// only ever see (base generation, base size) or (base+1, final size),
+/// never a torn intermediate.
+#[test]
+fn readers_see_whole_deltas_or_nothing() {
+    let (mut platform, _) =
+        KgLidsBuilder::new().with_dataset(gen_dataset("base", 3)).bootstrap();
+    let reader = platform.reader();
+    let base_gen = reader.snapshot().generation();
+    let base_len = reader.snapshot().len();
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let snap = reader.snapshot();
+                seen.push((snap.generation(), snap.len()));
+            }
+            seen
+        })
+    };
+    for i in 0..3 {
+        platform.apply_delta(
+            DeltaBatch::new().add_dataset(gen_dataset(&format!("extra{i}"), 40 + i)),
+        );
+    }
+    let final_gen = platform.store().generation();
+    let final_len = platform.store().len();
+    stop.store(true, Ordering::Relaxed);
+    let seen = poller.join().expect("poller thread");
+    assert_eq!(final_gen, base_gen + 3, "three deltas, three bumps");
+    // every observation is a committed delta boundary: generations only
+    // ever step by whole deltas, and a given generation always pairs with
+    // one single store size
+    let mut sizes: std::collections::HashMap<u64, std::collections::HashSet<usize>> =
+        Default::default();
+    sizes.entry(base_gen).or_default().insert(base_len);
+    sizes.entry(final_gen).or_default().insert(final_len);
+    for (g, l) in seen {
+        assert!((base_gen..=final_gen).contains(&g), "unknown generation {g}");
+        sizes.entry(g).or_default().insert(l);
+    }
+    for (g, ls) in sizes {
+        assert_eq!(ls.len(), 1, "generation {g} observed with torn sizes {ls:?}");
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// Random interleavings of adds and removals over a pool of datasets:
+    /// whatever survives must equal a from-scratch bootstrap of exactly
+    /// the surviving set, and every applied (non-empty) delta bumps the
+    /// plan-cache generation exactly once.
+    #[test]
+    fn random_add_remove_sequences_match_bootstrap(
+        seed in 0u64..1000,
+        ops in proptest::collection::vec((0usize..6, proptest::prelude::any::<bool>()), 1..7),
+    ) {
+        let pool: Vec<Dataset> =
+            (0..6).map(|i| gen_dataset(&format!("pool{i}"), seed * 61 + i)).collect();
+        let (mut platform, _) = KgLidsBuilder::new().bootstrap();
+        let mut present: Vec<usize> = Vec::new();
+        for (idx, add) in ops {
+            // re-adding a present dataset is a documented caller error;
+            // removing an absent one is a no-op we skip to keep the model
+            // aligned — the interleaving itself stays arbitrary.
+            let batch = if add && !present.contains(&idx) {
+                present.push(idx);
+                DeltaBatch::new().add_dataset(pool[idx].clone())
+            } else if !add && present.contains(&idx) {
+                present.retain(|p| *p != idx);
+                DeltaBatch::new().remove_dataset(&pool[idx].name)
+            } else {
+                continue;
+            };
+            let before = platform.store().generation();
+            let stats = platform.apply_delta(batch);
+            proptest::prop_assert_eq!(stats.generation, before + 1);
+        }
+        let (full, _) = KgLidsBuilder::new()
+            .with_datasets(present.iter().map(|i| pool[*i].clone()))
+            .bootstrap();
+        proptest::prop_assert_eq!(dump_platform(&full), dump_platform(&platform));
+    }
+}
+
+/// The kg-level engine differential at scale: adopt a seeded batch pass
+/// over a large lake (buckets big enough to carry HNSW + cell geometry),
+/// then add the held-out tail incrementally — the union of quads must
+/// equal a from-scratch batch pass over everything. Exercises the
+/// triangle-inequality candidate bound, incremental HNSW inserts, and
+/// cell rebuilds, at `bucket_cutoff` 0 (everything pruned) and default.
+#[test]
+fn link_index_matches_batch_pass_on_large_buckets() {
+    let we = WordEmbeddings::new();
+    for (seed, cutoff) in [(11u64, 0usize), (12, 0), (13, 192), (14, 8)] {
+        let profiles = synthetic_profiles(&ProfileLakeSpec {
+            seed,
+            tables: 60,
+            columns_per_table: 5,
+            tables_per_dataset: 3,
+            ..Default::default()
+        });
+        let linking = LinkingConfig {
+            mode: LinkingMode::Pruned,
+            bucket_cutoff: cutoff,
+            init_k: 4,
+            ..Default::default()
+        };
+        let config = SchemaConfig { linking, ..Default::default() };
+
+        // full batch pass over everything
+        let mut full = QuadStore::new();
+        build_data_global_schema(&mut full, &profiles, &config, &we);
+
+        // batch pass over a prefix, then incremental adds of the tail —
+        // split at a table boundary, in several delta-sized chunks
+        let split = profiles
+            .iter()
+            .position(|p| p.meta.table == profiles[profiles.len() * 3 / 4].meta.table)
+            .unwrap();
+        let mut out = Vec::new();
+        let (_, seedling) =
+            data_global_schema_quads_seeded(&mut out, &profiles[..split], &config, &we);
+        let mut index = LinkIndex::from_seed(seedling, &profiles[..split], config);
+        for chunk in profiles[split..].chunks(7) {
+            index.add_columns(&mut out, chunk, &we);
+        }
+        let mut incremental = QuadStore::new();
+        incremental.extend(out);
+
+        assert_eq!(
+            dump(&full),
+            dump(&incremental),
+            "seed {seed} cutoff {cutoff}: incremental edges differ from batch"
+        );
+    }
+}
